@@ -1,0 +1,686 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Table 1, Figures 1-5, Examples 6.2/6.3) plus empirical
+   space-time sweeps that validate the tradeoff *shapes* on synthetic
+   workloads, and Bechamel wall-clock microbenchmarks.
+
+   Run everything:        dune exec bench/main.exe
+   Run one experiment:    dune exec bench/main.exe -- tab1 fig3a emp-setdisj
+   List experiments:      dune exec bench/main.exe -- --list *)
+
+open Stt_hypergraph
+open Stt_decomp
+open Stt_core
+open Stt_relation
+open Stt_lp
+open Stt_workload
+open Stt_yannakakis
+
+let rule_header () = print_endline (String.make 72 '-')
+
+let section id title =
+  Printf.printf "\n";
+  rule_header ();
+  Printf.printf "[%s] %s\n" id title;
+  rule_header ()
+
+(* ------------------------------------------------------------------ *)
+(* shared symbolic helpers                                              *)
+(* ------------------------------------------------------------------ *)
+
+let logq_eps = Rat.make 1 32
+
+let rules_of q ~max_pmtds =
+  let pmtds = Enum.pmtds ~max_pmtds q in
+  (pmtds, Rule.generate q pmtds)
+
+let combined_logt q rules logs =
+  let dc = Degree.default_dc q.Cq.cq and ac = Degree.default_ac q in
+  List.fold_left
+    (fun acc r ->
+      match Jointflow.logt r ~dc ~ac ~logq:Rat.zero ~logs with
+      | Some t -> Rat.max acc (Rat.max Rat.zero t)
+      | None -> acc)
+    Rat.zero rules
+
+(* prior-art baseline for k-reachability: S·T^{2/(k-1)} ≅ D², capped by
+   BFS at T = D *)
+let reach_baseline_logt k logs =
+  let t = Rat.mul (Rat.make (k - 1) 2) (Rat.sub (Rat.of_int 2) logs) in
+  Rat.min Rat.one (Rat.max Rat.zero t)
+
+let pp_logs_curve ~title rows =
+  Printf.printf "%-10s" "log_D S";
+  List.iter (fun (x, _) -> Printf.printf "%8s" (Rat.to_string x)) rows;
+  Printf.printf "\n%-10s" title;
+  List.iter (fun (_, y) -> Printf.printf "%8s" (Rat.to_string y)) rows;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* fig1                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let fig1 () =
+  section "fig1" "Figure 1 — three PMTDs for the 3-reachability CQAP";
+  let q = Cq.Library.k_path 3 in
+  let of_l = Varset.of_list in
+  let td =
+    Td.create
+      (Rtree.create ~parent:[| -1; 0 |])
+      [| of_l [ 0; 2; 3 ]; of_l [ 0; 1; 2 ] |]
+  in
+  let single = Td.create (Rtree.create ~parent:[| -1 |]) [| Varset.full 4 |] in
+  List.iter
+    (fun (name, p) -> Format.printf "%-22s %a@." name Pmtd.pp p)
+    [
+      ("left  (M = ∅)", Pmtd.create_exn q td ~materialized:[| false; false |]);
+      ( "middle (M = {child})",
+        Pmtd.create_exn q td ~materialized:[| false; true |] );
+      ("right (M = {root})", Pmtd.create_exn q single ~materialized:[| true |]);
+    ];
+  print_endline "paper: left = (T134, T123); middle = (T134, S13); right = (S14)"
+
+(* ------------------------------------------------------------------ *)
+(* fig2                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let fig2 () =
+  section "fig2" "Figure 2 — all non-redundant, non-dominant PMTDs (3-reach)";
+  let pmtds = Enum.pmtds (Cq.Library.k_path 3) in
+  Printf.printf "enumerated: %d PMTDs (paper: 5)\n" (List.length pmtds);
+  List.iter (fun p -> Format.printf "  %a@." Pmtd.pp p) pmtds
+
+(* ------------------------------------------------------------------ *)
+(* tab1                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let tab1 () =
+  section "tab1" "Table 1 — 2-phase disjunctive rules for 3-reachability";
+  let q = Cq.Library.k_path 3 in
+  let pmtds, rules = rules_of q ~max_pmtds:64 in
+  Printf.printf
+    "PMTDs: %d; raw view combinations: %d → subset-minimal rules: %d\n\n"
+    (List.length pmtds)
+    (List.fold_left (fun acc p -> acc * List.length (Pmtd.views p)) 1 pmtds)
+    (List.length rules);
+  let dc = Degree.default_dc q.Cq.cq and ac = Degree.default_ac q in
+  let grid = Tradeoff.grid ~lo:Rat.zero ~hi:(Rat.of_int 2) ~steps:16 in
+  List.iteri
+    (fun i r ->
+      Format.printf "ρ%d: %a@." (i + 1) Rule.pp r;
+      List.iter
+        (fun t -> Format.printf "      %a@." Tradeoff.pp t)
+        (Jointflow.rule_tradeoffs r ~dc ~ac ~logq:logq_eps ~logs_grid:grid))
+    rules;
+  print_endline "\npaper Table 1:";
+  print_endline "  ρ1: S·T² ≅ D²·Q²";
+  print_endline "  ρ2: S²·T³ ≅ D⁴·Q³ ; T ≅ D·Q";
+  print_endline "  ρ3: S²·T³ ≅ D⁴·Q³ ; T ≅ D·Q";
+  print_endline "  ρ4: S·T ≅ D²·Q ; S⁴·T ≅ D⁶·Q ; T ≅ D·Q"
+
+(* ------------------------------------------------------------------ *)
+(* fig3a / fig3b                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let fig3 ~k ~steps () =
+  let id = if k = 3 then "fig3a" else "fig3b" in
+  section id
+    (Printf.sprintf
+       "Figure 3%s — combined %d-reachability tradeoff vs prior art"
+       (if k = 3 then "a" else "b")
+       k);
+  let q = Cq.Library.k_path k in
+  let _, rules = rules_of q ~max_pmtds:128 in
+  Printf.printf "rules analyzed: %d (|Q_A| = 1)\n\n" (List.length rules);
+  let grid = Tradeoff.grid ~lo:Rat.one ~hi:(Rat.of_int 2) ~steps in
+  let ours = List.map (fun logs -> (logs, combined_logt q rules logs)) grid in
+  let baseline = List.map (fun logs -> (logs, reach_baseline_logt k logs)) grid in
+  pp_logs_curve ~title:"baseline" baseline;
+  pp_logs_curve ~title:"ours" ours;
+  let improved =
+    List.for_all2 (fun (_, o) (_, b) -> Rat.compare o b <= 0) ours baseline
+  in
+  let strictly =
+    List.exists2 (fun (_, o) (_, b) -> Rat.compare o b < 0) ours baseline
+  in
+  Printf.printf
+    "\nours ≤ baseline everywhere: %b; strictly better somewhere: %b\n"
+    improved strictly;
+  if k = 4 then
+    print_endline
+      "paper: for 4-reachability the new tradeoff beats the conjectured\n\
+       optimum S·T^{2/3} ≅ |E|² in *every* regime of space"
+  else
+    print_endline
+      "paper: for 3-reachability the tradeoff improves on S·T ≅ |E|² for\n\
+       a significant part of the spectrum"
+
+(* ------------------------------------------------------------------ *)
+(* fig4                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let fig4 () =
+  section "fig4" "Figure 4 / Appendix A — Online Yannakakis worked example";
+  (* φ(x1 x2 x3 x4 x7 x8 | x1 x2) with the 6-node PMTD of Figure 4:
+     T12 ← T13 ← {T345 ← S45; S37 ← S78}; variables x1..x8 ↦ 0..7 *)
+  let of_l = Varset.of_list in
+  (* seven variables: x1 x2 x3 x4 x5 x7 x8 ↦ ids 0..6 *)
+  let var_names = [| "x1"; "x2"; "x3"; "x4"; "x5"; "x7"; "x8" |] in
+  let atoms =
+    [
+      { Cq.rel = "A"; vars = [ 0; 1 ] };
+      { Cq.rel = "B"; vars = [ 0; 2 ] };
+      { Cq.rel = "C"; vars = [ 2; 3; 4 ] };
+      { Cq.rel = "D"; vars = [ 3; 4 ] };
+      { Cq.rel = "E"; vars = [ 2; 5 ] };
+      { Cq.rel = "F"; vars = [ 5; 6 ] };
+    ]
+  in
+  let head = of_l [ 0; 1; 2; 3; 5; 6 ] in
+  let cq = Cq.create ~var_names ~head atoms in
+  let cqap = Cq.with_access cq (of_l [ 0; 1 ]) in
+  let td =
+    Td.create
+      (Rtree.create ~parent:[| -1; 0; 1; 2; 1; 4 |])
+      [|
+        of_l [ 0; 1 ];
+        of_l [ 0; 2 ];
+        of_l [ 2; 3; 4 ];
+        of_l [ 3; 4 ];
+        of_l [ 2; 5 ];
+        of_l [ 5; 6 ];
+      |]
+  in
+  let pmtd =
+    Pmtd.create_exn cqap td
+      ~materialized:[| false; false; false; true; true; true |]
+  in
+  Format.printf "PMTD: %a@." Pmtd.pp pmtd;
+  let rng = Rng.create 77 in
+  let dom = 30 in
+  let db = Db.create () in
+  let pairs n = List.init n (fun _ -> [| Rng.int rng dom; Rng.int rng dom |]) in
+  let triples n =
+    List.init n (fun _ ->
+        [| Rng.int rng dom; Rng.int rng dom; Rng.int rng dom |])
+  in
+  Db.add db "A" (pairs 300);
+  Db.add db "B" (pairs 300);
+  Db.add db "C" (triples 300);
+  Db.add db "D" (pairs 300);
+  Db.add db "E" (pairs 300);
+  Db.add db "F" (pairs 300);
+  let full = Db.eval db (Cq.create ~var_names ~head:(Varset.full 7) atoms) in
+  let view node =
+    Cost.with_counting false (fun () ->
+        Relation.project full (Varset.to_list (Pmtd.view pmtd node).Pmtd.vars))
+  in
+  let pre = Online_yannakakis.preprocess pmtd ~s_views:view in
+  Printf.printf "S-view space: %d tuples\n" (Online_yannakakis.space pre);
+  let q_a =
+    Relation.of_list
+      (Schema.of_list [ 0; 1 ])
+      (List.init 20 (fun _ -> [| Rng.int rng dom; Rng.int rng dom |]))
+  in
+  let result, snap =
+    Cost.measure (fun () -> Online_yannakakis.answer pre ~t_views:view ~q_a)
+  in
+  let expected = Db.eval_access db cqap ~q_a in
+  Printf.printf
+    "answered |Q_A| = %d in %d counted ops; |ψ| = %d (matches brute force: %b)\n"
+    (Relation.cardinal q_a) (Cost.total snap) (Relation.cardinal result)
+    (Relation.equal result expected)
+
+(* ------------------------------------------------------------------ *)
+(* fig5                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let fig5 () =
+  section "fig5" "Figure 5 / Appendix F — Boolean hierarchical CQAP";
+  let q = Cq.Library.hierarchical_binary in
+  Format.printf "query: %a@." Cq.pp_cqap q;
+  Printf.printf "hierarchical: %b\n\n" (Cq.is_hierarchical q.Cq.cq);
+  let pmtds, rules = rules_of q ~max_pmtds:64 in
+  Printf.printf "PMTDs (paper: 5): %d\n" (List.length pmtds);
+  List.iter (fun p -> Format.printf "  %a@." Pmtd.pp p) pmtds;
+  Printf.printf "\nsubset-minimal rules: %d\n" (List.length rules);
+  let dc = Degree.default_dc q.Cq.cq and ac = Degree.default_ac q in
+  let grid = Tradeoff.grid ~lo:Rat.zero ~hi:(Rat.of_int 2) ~steps:4 in
+  List.iter
+    (fun r ->
+      Format.printf "  %a@." Rule.pp r;
+      List.iter
+        (fun t -> Format.printf "      %a  (LP certificate)@." Tradeoff.pp t)
+        (Jointflow.rule_tradeoffs r ~dc ~ac ~logq:logq_eps ~logs_grid:grid))
+    rules;
+  print_endline
+    "\n(at 7 variables the LP runs with lazily generated polymatroid cuts\n\
+    \ and early stopping; its certificates are valid upper bounds but can\n\
+    \ be loose — the machine-checked proof sequences below give the tight\n\
+    \ tradeoffs of Appendix F)";
+  print_endline "\nmachine-checked paper proofs (lib/core/paper_proofs.ml):";
+  List.iter
+    (fun name ->
+      let e = Paper_proofs.find name in
+      Format.printf "  %-28s %a@." e.Paper_proofs.name Tradeoff.pp
+        e.Paper_proofs.tradeoff)
+    [ "F improved (hierarchical)"; "F rule 2 (hierarchical)" ];
+  print_endline "\npaper:";
+  print_endline "  Theorem F.4 baseline (w = 4):    S·T³ ≅ D⁴";
+  print_endline "  framework (first derivation):    S·T³ ≅ D⁴·Q³";
+  print_endline "  improved (bucketize bound vars): S·T⁴ ≅ D⁴·Q⁴, others S·T ≅ D²·Q"
+
+(* ------------------------------------------------------------------ *)
+(* ex62 / ex63                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let ex62 () =
+  section "ex62" "Example 6.2 — k-Set Disjointness via fractional edge covers";
+  List.iter
+    (fun k ->
+      let q = Cq.Library.k_set_disjointness k in
+      let t = Cover.theorem_6_1_auto q in
+      Format.printf "k = %d:  %a   (paper: S·T^%d ≅ Q^%d·D^%d)@." k Tradeoff.pp
+        (Tradeoff.scaled t) k k k)
+    [ 2; 3; 4 ]
+
+let ex63 () =
+  section "ex63" "Example 6.3 — 4-reachability via a tree decomposition";
+  let q = Cq.Library.k_path 4 in
+  let of_l = Varset.of_list in
+  let e i j = of_l [ i; j ] in
+  let bags =
+    [
+      {
+        Cover.bag = of_l [ 0; 1; 3; 4 ];
+        a_t = of_l [ 0; 4 ];
+        u = [ (e 0 1, Rat.one); (e 3 4, Rat.one) ];
+      };
+      {
+        Cover.bag = of_l [ 1; 2; 3 ];
+        a_t = of_l [ 1; 3 ];
+        u = [ (e 1 2, Rat.one); (e 2 3, Rat.one) ];
+      };
+    ]
+  in
+  Format.printf
+    "path {x1,x2,x4,x5} → {x2,x3,x4}:  %a   (paper: S^{3/2}·T ≅ Q·D³)@."
+    Tradeoff.pp
+    (Cover.path_tradeoff q bags)
+
+(* ------------------------------------------------------------------ *)
+(* empirical sweeps                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let slope points =
+  let pts =
+    List.filter_map
+      (fun (x, y) ->
+        if x > 0 && y > 0 then
+          Some (Float.log (float_of_int x), Float.log (float_of_int y))
+        else None)
+      points
+  in
+  match pts with
+  | [] | [ _ ] -> nan
+  | _ ->
+      let n = float_of_int (List.length pts) in
+      let sx = List.fold_left (fun a (x, _) -> a +. x) 0.0 pts in
+      let sy = List.fold_left (fun a (_, y) -> a +. y) 0.0 pts in
+      let sxx = List.fold_left (fun a (x, _) -> a +. (x *. x)) 0.0 pts in
+      let sxy = List.fold_left (fun a (x, y) -> a +. (x *. y)) 0.0 pts in
+      ((n *. sxy) -. (sx *. sy)) /. ((n *. sxx) -. (sx *. sx))
+
+let emp_setdisj () =
+  section "emp-setdisj"
+    "Empirical — 2-/3-Set Disjointness: worst-case probes vs stored space";
+  let memberships =
+    Sets.zipf_sizes ~seed:101 ~universe:3000 ~sets:500 ~memberships:25_000
+      ~s:1.15
+  in
+  Printf.printf "N = %d membership pairs\n" (List.length memberships);
+  List.iter
+    (fun k ->
+      Printf.printf "\nk = %d (paper predicts worst T ∝ S^{-1/%d}):\n" k k;
+      Printf.printf "%12s %12s %10s %10s\n" "budget" "space" "avg ops"
+        "worst ops";
+      let rng0 = Rng.create 55 in
+      (* Zipf-rank queries: heavier sets are asked about more often, the
+         regime where heavy-heavy materialization matters *)
+      let sample = Rng.zipf_sampler rng0 ~n:500 ~s:1.1 in
+      let queries =
+        List.init 400 (fun _ -> Array.init k (fun _ -> sample ()))
+      in
+      let points = ref [] in
+      List.iter
+        (fun budget ->
+          let t = Stt_apps.Setdisj.build ~k ~memberships ~budget in
+          let total = ref 0 and worst = ref 0 in
+          List.iter
+            (fun qy ->
+              let _, snap =
+                Cost.measure (fun () -> Stt_apps.Setdisj.disjoint t qy)
+              in
+              let c = Cost.total snap in
+              total := !total + c;
+              worst := max !worst c)
+            queries;
+          points := (Stt_apps.Setdisj.space t, !worst) :: !points;
+          Printf.printf "%12d %12d %10d %10d\n" budget
+            (Stt_apps.Setdisj.space t)
+            (!total / List.length queries)
+            !worst)
+        [ 0; 100; 1_000; 10_000; 100_000; 1_000_000 ];
+      let informative =
+        (* drop saturated endpoints: zero space or O(1) answers *)
+        List.filter (fun (s, w) -> s > 0 && w > 2) !points
+      in
+      Printf.printf
+        "measured log-log slope (worst vs space): %+.2f (theory %+.2f)\n"
+        (slope informative)
+        (-1.0 /. float_of_int k))
+    [ 2; 3 ]
+
+let emp_reach () =
+  section "emp-reach"
+    "Empirical — k-reachability: framework vs baseline at equal space";
+  let vertices = 800 in
+  let edges = Graphs.zipf_both ~seed:103 ~vertices ~edges:8_000 ~s:1.1 in
+  Printf.printf "|E| = %d\n" (List.length edges);
+  let rng0 = Rng.create 66 in
+  let queries =
+    List.init 300 (fun _ -> (Rng.int rng0 vertices, Rng.int rng0 vertices))
+  in
+  let run name space query =
+    let total = ref 0 and worst = ref 0 in
+    List.iter
+      (fun (u, v) ->
+        let _, snap = Cost.measure (fun () -> ignore (query u v)) in
+        let c = Cost.total snap in
+        total := !total + c;
+        worst := max !worst c)
+      queries;
+    Printf.printf "  %-24s space=%8d avg=%7d worst=%8d\n" name space
+      (!total / List.length queries)
+      !worst;
+    (space, !worst)
+  in
+  List.iter
+    (fun k ->
+      Printf.printf "\nk = %d:\n" k;
+      let bfs = Stt_apps.Reach.Bfs.build edges in
+      ignore (run "BFS (S=0)" 0 (fun u v -> Stt_apps.Reach.Bfs.query bfs ~k u v));
+      let fw_points = ref [] in
+      List.iter
+        (fun budget ->
+          let b = Stt_apps.Reach.Baseline.build ~k edges ~budget in
+          ignore
+            (run
+               (Printf.sprintf "baseline @%d" budget)
+               (Stt_apps.Reach.Baseline.space b)
+               (fun u v -> Stt_apps.Reach.Baseline.query b u v));
+          let f = Stt_apps.Reach.Framework.build ~k edges ~budget in
+          fw_points :=
+            run
+              (Printf.sprintf "framework @%d" budget)
+              (Stt_apps.Reach.Framework.space f)
+              (fun u v -> Stt_apps.Reach.Framework.query f u v)
+            :: !fw_points)
+        [ 2_000; 50_000; 1_000_000 ];
+      if k = 2 then
+        Printf.printf
+          "  framework log-log slope (worst vs space): %+.2f (theory -1/2)\n"
+          (slope !fw_points))
+    [ 2; 3 ]
+
+let emp_hier () =
+  section "emp-hier"
+    "Empirical — hierarchical CQAP: adapted baseline vs framework";
+  let inst = Stt_apps.Hierarchical.generate ~seed:107 ~posts:600 ~size:8_000 in
+  let rng0 = Rng.create 99 in
+  let zdom = 150 in
+  let queries =
+    List.init 300 (fun _ -> Array.init 4 (fun _ -> Rng.int rng0 zdom))
+  in
+  let run name space query =
+    let total = ref 0 and worst = ref 0 in
+    List.iter
+      (fun qy ->
+        let _, snap = Cost.measure (fun () -> ignore (query qy)) in
+        total := !total + Cost.total snap;
+        worst := max !worst (Cost.total snap))
+      queries;
+    Printf.printf "  %-28s space=%8d avg=%6d worst=%7d\n" name space
+      (!total / List.length queries)
+      !worst
+  in
+  List.iter
+    (fun eps ->
+      let t = Stt_apps.Hierarchical.Adapted.build inst ~epsilon:eps in
+      run
+        (Printf.sprintf "adapted (ε = %.2f)" eps)
+        (Stt_apps.Hierarchical.Adapted.space t)
+        (Stt_apps.Hierarchical.Adapted.query t))
+    [ 0.0; 0.15; 0.3; 0.45 ];
+  List.iter
+    (fun budget ->
+      let t = Stt_apps.Hierarchical.Framework.build inst ~budget in
+      run
+        (Printf.sprintf "framework @%d" budget)
+        (Stt_apps.Hierarchical.Framework.space t)
+        (Stt_apps.Hierarchical.Framework.query t))
+    [ 2_000; 200_000 ]
+
+let emp_square () =
+  section "emp-square" "Empirical — square query (Example E.5) budget sweep";
+  let edges = Graphs.cycle_rich ~seed:109 ~vertices:400 ~edges:4_000 in
+  Printf.printf "|E| = %d\n" (List.length edges);
+  let rng0 = Rng.create 31 in
+  let queries = List.init 200 (fun _ -> (Rng.int rng0 400, Rng.int rng0 400)) in
+  Printf.printf "%12s %10s %10s %10s\n" "budget" "space" "avg" "worst";
+  List.iter
+    (fun budget ->
+      let t = Stt_apps.Patterns.Square.build edges ~budget in
+      let total = ref 0 and worst = ref 0 in
+      List.iter
+        (fun (u, w) ->
+          let _, snap =
+            Cost.measure (fun () ->
+                ignore (Stt_apps.Patterns.Square.query t u w))
+          in
+          total := !total + Cost.total snap;
+          worst := max !worst (Cost.total snap))
+        queries;
+      Printf.printf "%12d %10d %10d %10d\n" budget
+        (Stt_apps.Patterns.Square.space t)
+        (!total / List.length queries)
+        !worst)
+    [ 10; 1_000; 20_000; 500_000 ]
+
+let abl_join () =
+  section "abl-join"
+    "Ablation — hash join vs sort-merge join backends (same results)";
+  let edges = Graphs.zipf_both ~seed:301 ~vertices:500 ~edges:10_000 ~s:1.1 in
+  let mk schema =
+    Relation.of_list
+      (Schema.of_list schema)
+      (List.map (fun (a, b) -> [| a; b |]) edges)
+  in
+  let r1 = mk [ 0; 1 ] and r2 = mk [ 1; 2 ] in
+  let time name f =
+    Cost.reset ();
+    let t0 = Unix.gettimeofday () in
+    let out = f () in
+    Printf.printf "  %-12s %8d tuples  %8d counted ops  %6.2fs wall\n" name
+      (Relation.cardinal out)
+      (Cost.total (Cost.snapshot ()))
+      (Unix.gettimeofday () -. t0);
+    out
+  in
+  let h = time "hash" (fun () -> Relation.natural_join r1 r2) in
+  let m = time "sort-merge" (fun () -> Mergejoin.join r1 r2) in
+  Printf.printf "  identical results: %b\n" (Relation.equal h m);
+  ignore (time "hash ⋉" (fun () -> Relation.semijoin r1 r2));
+  ignore (time "merge ⋉" (fun () -> Mergejoin.semijoin r1 r2))
+
+let exact_curves () =
+  section "curves"
+    "Exact piecewise-linear combined curves (no grid artifacts)";
+  List.iter
+    (fun (name, q) ->
+      let rules = Rule.generate q (Enum.pmtds ~max_pmtds:128 q) in
+      let dc = Degree.default_dc q.Cq.cq and ac = Degree.default_ac q in
+      let curve =
+        Curve.combined rules ~dc ~ac ~logq:Rat.zero ~lo:Rat.zero
+          ~hi:(Rat.of_int 2)
+      in
+      Format.printf "%s:@.  @[<v>%a@]@." name Curve.pp curve)
+    [ ("2-reachability", Cq.Library.k_path 2);
+      ("3-reachability", Cq.Library.k_path 3);
+      ("square", Cq.Library.square) ]
+
+let proofs () =
+  section "proofs"
+    "Machine-checked paper proof corpus + automatic derivation";
+  List.iter
+    (fun (e : Paper_proofs.entry) ->
+      let names = e.Paper_proofs.var_names in
+      Format.printf "%-32s %a@." e.Paper_proofs.name Tradeoff.pp
+        e.Paper_proofs.tradeoff;
+      Format.printf "  S-side: %a@."
+        (Stt_polymatroid.Proof.pp names)
+        e.Paper_proofs.seq_s;
+      Format.printf "  T-side: %a@."
+        (Stt_polymatroid.Proof.pp names)
+        e.Paper_proofs.seq_t;
+      (* try to rediscover the S-side sequence automatically *)
+      if e.Paper_proofs.n <= 4 then
+        match
+          Stt_polymatroid.Proof.derive ~max_depth:6
+            ~delta:e.Paper_proofs.delta_s ~lambda:e.Paper_proofs.lambda_s ()
+        with
+        | Some seq ->
+            Format.printf "  S-side rediscovered by search: %a@."
+              (Stt_polymatroid.Proof.pp names)
+              seq
+        | None -> Format.printf "  (search did not rediscover the S-side)@.")
+    Paper_proofs.all
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks                                             *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  section "micro" "Bechamel wall-clock microbenchmarks (one per family)";
+  let open Bechamel in
+  let open Toolkit in
+  let q3 = Cq.Library.k_path 3 in
+  let rules3 = Rule.generate q3 (Enum.pmtds q3) in
+  let dc3 = Degree.default_dc q3.Cq.cq and ac3 = Degree.default_ac q3 in
+  let bench_lp =
+    Test.make ~name:"tab1-jointflow-lp"
+      (Staged.stage (fun () ->
+           ignore
+             (Jointflow.obj (List.hd rules3) ~dc:dc3 ~ac:ac3 ~logd:Rat.one
+                ~logq:Rat.zero ~logs:Rat.one)))
+  in
+  let edges = Graphs.zipf_both ~seed:201 ~vertices:300 ~edges:3_000 ~s:1.1 in
+  let db = Db.create () in
+  Db.add_pairs db "R" edges;
+  let engine = Engine.build_auto (Cq.Library.k_path 2) ~db ~budget:2_000 in
+  let bench_engine =
+    let rng = Rng.create 1 in
+    Test.make ~name:"fig3-engine-answer"
+      (Staged.stage (fun () ->
+           ignore
+             (Engine.answer_tuple engine
+                [| Rng.int rng 300; Rng.int rng 300 |])))
+  in
+  let memberships =
+    Sets.zipf_sizes ~seed:202 ~universe:2_000 ~sets:300 ~memberships:15_000
+      ~s:1.2
+  in
+  let sd = Stt_apps.Setdisj.build ~k:2 ~memberships ~budget:10_000 in
+  let bench_setdisj =
+    let rng = Rng.create 2 in
+    Test.make ~name:"emp-setdisj-query"
+      (Staged.stage (fun () ->
+           ignore
+             (Stt_apps.Setdisj.disjoint sd
+                [| Rng.int rng 300; Rng.int rng 300 |])))
+  in
+  let reach = Stt_apps.Reach.Baseline.build ~k:3 edges ~budget:10_000 in
+  let bench_reach =
+    let rng = Rng.create 3 in
+    Test.make ~name:"emp-reach-baseline-query"
+      (Staged.stage (fun () ->
+           ignore
+             (Stt_apps.Reach.Baseline.query reach (Rng.int rng 300)
+                (Rng.int rng 300))))
+  in
+  let inst = Stt_apps.Hierarchical.generate ~seed:203 ~posts:200 ~size:3_000 in
+  let hier = Stt_apps.Hierarchical.Adapted.build inst ~epsilon:0.5 in
+  let bench_hier =
+    let rng = Rng.create 4 in
+    Test.make ~name:"fig5-hierarchical-query"
+      (Staged.stage (fun () ->
+           ignore
+             (Stt_apps.Hierarchical.Adapted.query hier
+                (Array.init 4 (fun _ -> Rng.int rng 50)))))
+  in
+  let run_one test =
+    let cfg =
+      Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 100) ()
+    in
+    let raw = Benchmark.all cfg [ Instance.monotonic_clock ] test in
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    let results = Analyze.all ols Instance.monotonic_clock raw in
+    Hashtbl.iter
+      (fun name result ->
+        match Analyze.OLS.estimates result with
+        | Some [ est ] -> Printf.printf "  %-28s %14.1f ns/run\n" name est
+        | _ -> Printf.printf "  %-28s (no estimate)\n" name)
+      results
+  in
+  List.iter run_one
+    [ bench_lp; bench_engine; bench_setdisj; bench_reach; bench_hier ]
+
+(* ------------------------------------------------------------------ *)
+(* driver                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("fig1", fig1);
+    ("fig2", fig2);
+    ("tab1", tab1);
+    ("fig3a", fig3 ~k:3 ~steps:8);
+    ("fig3b", fig3 ~k:4 ~steps:4);
+    ("fig4", fig4);
+    ("fig5", fig5);
+    ("ex62", ex62);
+    ("ex63", ex63);
+    ("emp-setdisj", emp_setdisj);
+    ("emp-reach", emp_reach);
+    ("emp-hier", emp_hier);
+    ("emp-square", emp_square);
+    ("abl-join", abl_join);
+    ("curves", exact_curves);
+    ("proofs", proofs);
+    ("micro", micro);
+  ]
+
+let () =
+  match List.tl (Array.to_list Sys.argv) with
+  | [ "--list" ] -> List.iter (fun (id, _) -> print_endline id) experiments
+  | [] -> List.iter (fun (_, f) -> f ()) experiments
+  | ids ->
+      List.iter
+        (fun id ->
+          match List.assoc_opt id experiments with
+          | Some f -> f ()
+          | None ->
+              Printf.eprintf "unknown experiment %s (try --list)\n" id;
+              exit 1)
+        ids

@@ -1,0 +1,219 @@
+(* stt — space-time tradeoffs for CQAPs, from the command line.
+
+   stt queries                         list built-in queries
+   stt pmtds  --query 3reach           enumerate PMTDs
+   stt rules  --query 3reach           generate 2-phase disjunctive rules
+   stt tradeoff --query 3reach [--logs 1.25] [--logq 0]
+                                       per-rule tradeoffs / OBJ(S)
+   stt curve  --query 4reach --steps 8 combined curve over log_D S ∈ [0,2]
+   stt demo   --query 2reach --budget 1000 --edges 4000
+                                       build an index on a synthetic graph
+                                       and report measured space/time *)
+
+open Cmdliner
+open Stt_hypergraph
+open Stt_decomp
+open Stt_core
+open Stt_lp
+
+let builtin_queries =
+  [
+    ("2reach", lazy (Cq.Library.k_path 2));
+    ("3reach", lazy (Cq.Library.k_path 3));
+    ("4reach", lazy (Cq.Library.k_path 4));
+    ("setdisj2", lazy (Cq.Library.k_set_disjointness 2));
+    ("setdisj3", lazy (Cq.Library.k_set_disjointness 3));
+    ("setint2", lazy (Cq.Library.k_set_intersection 2));
+    ("square", lazy Cq.Library.square);
+    ("triangle", lazy Cq.Library.triangle_detect);
+    ("edge-triangle", lazy Cq.Library.edge_triangle);
+    ("hierarchical", lazy Cq.Library.hierarchical_binary);
+  ]
+
+let query_conv =
+  let parse s =
+    match List.assoc_opt s builtin_queries with
+    | Some q -> Ok (Lazy.force q)
+    | None ->
+        Error (`Msg (Printf.sprintf "unknown query %s (try `stt queries')" s))
+  in
+  Arg.conv (parse, fun ppf q -> Cq.pp_cqap ppf q)
+
+let query_arg =
+  Arg.(
+    required
+    & opt (some query_conv) None
+    & info [ "q"; "query" ] ~docv:"QUERY" ~doc:"Built-in query name.")
+
+let rat_of_float f = Rat.of_float_approx ~max_den:64 f
+
+let queries_cmd =
+  let doc = "List built-in queries." in
+  let run () =
+    List.iter
+      (fun (name, q) ->
+        Format.printf "%-14s %a@." name Cq.pp_cqap (Lazy.force q))
+      builtin_queries
+  in
+  Cmd.v (Cmd.info "queries" ~doc) Term.(const run $ const ())
+
+let pmtds_cmd =
+  let doc = "Enumerate the non-redundant, non-dominant PMTDs of a query." in
+  let run q =
+    let pmtds = Enum.pmtds ~max_pmtds:128 q in
+    Format.printf "%d PMTDs:@." (List.length pmtds);
+    List.iter (fun p -> Format.printf "  %a@." Pmtd.pp p) pmtds
+  in
+  Cmd.v (Cmd.info "pmtds" ~doc) Term.(const run $ query_arg)
+
+let rules_cmd =
+  let doc = "Generate the subset-minimal 2-phase disjunctive rules." in
+  let run q =
+    let rules = Rule.generate q (Enum.pmtds ~max_pmtds:128 q) in
+    Format.printf "%d rules:@." (List.length rules);
+    List.iteri (fun i r -> Format.printf "ρ%d: %a@." (i + 1) Rule.pp r) rules
+  in
+  Cmd.v (Cmd.info "rules" ~doc) Term.(const run $ query_arg)
+
+let logs_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "logs" ] ~docv:"X"
+        ~doc:"Space budget as log_D S; omitted = sweep a small grid.")
+
+let logq_arg =
+  Arg.(
+    value
+    & opt float 0.0
+    & info [ "logq" ] ~docv:"X" ~doc:"Access-request size as log_D |Q_A|.")
+
+let tradeoff_cmd =
+  let doc = "Compute per-rule space-time tradeoffs (LP over joint flows)." in
+  let run q logs logq =
+    let rules = Rule.generate q (Enum.pmtds ~max_pmtds:128 q) in
+    let dc = Degree.default_dc q.Cq.cq and ac = Degree.default_ac q in
+    let logq = rat_of_float logq in
+    match logs with
+    | Some logs ->
+        let logs = rat_of_float logs in
+        List.iteri
+          (fun i r ->
+            Format.printf "ρ%d: %a@." (i + 1) Rule.pp r;
+            match Jointflow.obj r ~dc ~ac ~logd:Rat.one ~logq ~logs with
+            | { Jointflow.value = Jointflow.Stored; _ } ->
+                Format.printf "    stored outright: T = Õ(1)@."
+            | { Jointflow.value = Jointflow.Impossible; _ } ->
+                Format.printf "    not computable within this budget@."
+            | { Jointflow.value = Jointflow.Time t; tradeoff; _ } ->
+                Format.printf "    log_D T = %a" Rat.pp t;
+                (match tradeoff with
+                | Some tr -> Format.printf "   [%a]" Tradeoff.pp (Tradeoff.scaled tr)
+                | None -> ());
+                Format.printf "@.")
+          rules
+    | None ->
+        let grid = Tradeoff.grid ~lo:Rat.zero ~hi:(Rat.of_int 2) ~steps:8 in
+        List.iteri
+          (fun i r ->
+            Format.printf "ρ%d: %a@." (i + 1) Rule.pp r;
+            List.iter
+              (fun t -> Format.printf "    %a@." Tradeoff.pp t)
+              (Jointflow.rule_tradeoffs r ~dc ~ac ~logq ~logs_grid:grid))
+          rules
+  in
+  Cmd.v (Cmd.info "tradeoff" ~doc) Term.(const run $ query_arg $ logs_arg $ logq_arg)
+
+let steps_arg =
+  Arg.(value & opt int 8 & info [ "steps" ] ~docv:"N" ~doc:"Grid resolution.")
+
+let exact_arg =
+  Arg.(
+    value & flag
+    & info [ "exact" ]
+        ~doc:"Compute exact piecewise-linear breakpoints instead of sampling.")
+
+let curve_cmd =
+  let doc = "Combined tradeoff curve: worst rule at each budget." in
+  let run q steps exact =
+    let rules = Rule.generate q (Enum.pmtds ~max_pmtds:128 q) in
+    let dc = Degree.default_dc q.Cq.cq and ac = Degree.default_ac q in
+    if exact then
+      let curve =
+        Curve.combined rules ~dc ~ac ~logq:Rat.zero ~lo:Rat.zero
+          ~hi:(Rat.of_int 2)
+      in
+      Format.printf "@[<v>%a@]@." Curve.pp curve
+    else
+      List.iter
+        (fun logs ->
+          let t =
+            List.fold_left
+              (fun acc r ->
+                match Jointflow.logt r ~dc ~ac ~logq:Rat.zero ~logs with
+                | Some t -> Rat.max acc (Rat.max Rat.zero t)
+                | None -> acc)
+              Rat.zero rules
+          in
+          Format.printf "log_D S = %-6s  log_D T = %s@." (Rat.to_string logs)
+            (Rat.to_string t))
+        (Tradeoff.grid ~lo:Rat.zero ~hi:(Rat.of_int 2) ~steps)
+  in
+  Cmd.v (Cmd.info "curve" ~doc) Term.(const run $ query_arg $ steps_arg $ exact_arg)
+
+let budget_arg =
+  Arg.(value & opt int 1000 & info [ "budget" ] ~docv:"N" ~doc:"Space budget in tuples.")
+
+let edges_arg =
+  Arg.(value & opt int 4000 & info [ "edges" ] ~docv:"N" ~doc:"Synthetic edge count.")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"RNG seed.")
+
+let demo_cmd =
+  let doc =
+    "Build an index over a synthetic Zipf graph and report measured \
+     space and per-query cost."
+  in
+  let run q budget nedges seed =
+    let open Stt_relation in
+    let vertices = max 10 (nedges / 10) in
+    let edges =
+      Stt_workload.Graphs.zipf_both ~seed ~vertices ~edges:nedges ~s:1.1
+    in
+    let db = Db.create () in
+    Db.add_pairs db "R" edges;
+    if
+      List.exists
+        (fun (a : Cq.atom) -> a.Cq.rel <> "R")
+        q.Cq.cq.Cq.atoms
+    then (
+      prerr_endline "demo supports single-edge-relation queries only";
+      exit 1);
+    Format.printf "building index (budget %d) over |E| = %d...@." budget
+      (Db.size db);
+    let idx = Engine.build_auto ~max_pmtds:128 q ~db ~budget in
+    Format.printf "space: %d stored tuples@." (Engine.space idx);
+    let rng = Stt_workload.Rng.create (seed + 1) in
+    let arity = Varset.cardinal q.Cq.access in
+    let total = ref 0 and worst = ref 0 and hits = ref 0 in
+    let queries = 200 in
+    for _ = 1 to queries do
+      let tup = Array.init arity (fun _ -> Stt_workload.Rng.int rng vertices) in
+      let hit, snap = Cost.measure (fun () -> Engine.answer_tuple idx tup) in
+      if hit then incr hits;
+      total := !total + Cost.total snap;
+      worst := max !worst (Cost.total snap)
+    done;
+    Format.printf "%d queries: %d hits, avg %d ops, worst %d ops@." queries
+      !hits (!total / queries) !worst
+  in
+  Cmd.v (Cmd.info "demo" ~doc)
+    Term.(const run $ query_arg $ budget_arg $ edges_arg $ seed_arg)
+
+let main =
+  let doc = "space-time tradeoffs for conjunctive queries with access patterns" in
+  Cmd.group
+    (Cmd.info "stt" ~version:"1.0.0" ~doc)
+    [ queries_cmd; pmtds_cmd; rules_cmd; tradeoff_cmd; curve_cmd; demo_cmd ]
+
+let () = exit (Cmd.eval main)

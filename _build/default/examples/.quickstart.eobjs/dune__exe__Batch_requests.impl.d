@@ -1,0 +1,1 @@
+examples/batch_requests.ml: Cost Cq Db Engine Graphs List Printf Relation Rng Stt_core Stt_hypergraph Stt_relation Stt_workload

@@ -1,0 +1,1 @@
+examples/forum_dashboard.ml: Array Cost Hierarchical List Printf Rng Stt_apps Stt_relation Stt_workload

@@ -1,0 +1,1 @@
+examples/forum_dashboard.mli:

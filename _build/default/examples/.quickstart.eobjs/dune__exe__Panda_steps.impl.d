@@ -1,0 +1,1 @@
+examples/panda_steps.ml: Cvec Format Graphs Interp List Paper_proofs Printf Proof Rat Relation Schema Stt_core Stt_hypergraph Stt_lp Stt_polymatroid Stt_relation Stt_workload Varset

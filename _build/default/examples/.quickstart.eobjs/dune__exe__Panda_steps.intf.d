@@ -1,0 +1,1 @@
+examples/panda_steps.mli:

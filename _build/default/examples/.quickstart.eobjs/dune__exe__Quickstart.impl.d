@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cost List Printf Rng Setdisj Sets Stt_apps Stt_relation Stt_workload

@@ -1,0 +1,1 @@
+examples/reachability_oracle.ml: Cost Graphs List Printf Reach Rng Stt_apps Stt_relation Stt_workload

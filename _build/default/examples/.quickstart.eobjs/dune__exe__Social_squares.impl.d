@@ -1,0 +1,1 @@
+examples/social_squares.ml: Cost Graphs List Patterns Printf Rng Stt_apps Stt_relation Stt_workload

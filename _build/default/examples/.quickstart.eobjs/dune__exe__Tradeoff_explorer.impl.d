@@ -1,0 +1,1 @@
+examples/tradeoff_explorer.ml: Cq Degree Enum Format Jointflow List Rat Rule Stt_core Stt_decomp Stt_hypergraph Stt_lp Tradeoff

@@ -1,0 +1,47 @@
+(* Batched access requests (|Q_A| > 1), the generalization the paper
+   introduces over prior work: a stream of single-tuple requests can be
+   batched into one access relation and answered at once.  The engine
+   answers a batch in one pass; this example shows batching beating
+   one-by-one answering on total operations. *)
+
+open Stt_hypergraph
+open Stt_core
+open Stt_relation
+open Stt_workload
+
+let () =
+  print_endline "== batched access requests for 2-reachability ==";
+  let vertices = 400 in
+  let edges = Graphs.zipf_both ~seed:33 ~vertices ~edges:4_000 ~s:1.1 in
+  let db = Db.create () in
+  Db.add_pairs db "R" edges;
+  let q = Cq.Library.k_path 2 in
+  let index = Engine.build_auto q ~db ~budget:2_000 in
+  Printf.printf "graph |E| = %d, index space = %d\n\n" (Db.size db)
+    (Engine.space index);
+
+  let rng = Rng.create 3 in
+  let requests =
+    List.init 500 (fun _ -> [| Rng.int rng vertices; Rng.int rng vertices |])
+  in
+
+  (* one by one *)
+  let (), one_by_one =
+    Cost.measure (fun () ->
+        List.iter (fun req -> ignore (Engine.answer_tuple index req)) requests)
+  in
+  Printf.printf "one-by-one: %d total ops for %d requests\n"
+    (Cost.total one_by_one) (List.length requests);
+
+  (* batched *)
+  let q_a = Relation.of_list (Engine.access_schema index) requests in
+  let answers, batched =
+    Cost.measure (fun () -> Engine.answer index ~q_a)
+  in
+  Printf.printf "batched:    %d total ops, %d of %d requests reachable\n"
+    (Cost.total batched)
+    (Relation.cardinal answers)
+    (Relation.cardinal q_a);
+  print_endline
+    "\n(batching shares the per-request plan overhead and deduplicates\n\
+    \ repeated probes — Section 2.1's motivation for |Q_A| > 1)"

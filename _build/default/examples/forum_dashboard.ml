@@ -1,0 +1,53 @@
+(* The hierarchical CQAP of Appendix F on a synthetic forum: four fact
+   tables R, S, T, U over (thread, group, attribute) and Boolean access
+   requests over the four attributes.
+
+   Two indexes answer the same workload: the baseline adapted from
+   Kara et al. (Theorem F.4, S·T³ ≅ N⁴) and the paper's framework
+   (improved to S·T⁴ ≅ N⁴·|Q|⁴). *)
+
+open Stt_apps
+open Stt_relation
+open Stt_workload
+
+let () =
+  print_endline "== forum dashboard: hierarchical CQAP ==";
+  let inst = Hierarchical.generate ~seed:23 ~posts:400 ~size:6_000 in
+  Printf.printf "facts: R=%d S=%d T=%d U=%d\n\n"
+    (List.length inst.Hierarchical.r)
+    (List.length inst.Hierarchical.s)
+    (List.length inst.Hierarchical.t)
+    (List.length inst.Hierarchical.u);
+  let rng = Rng.create 29 in
+  let zdom = 100 in
+  let queries =
+    List.init 200 (fun _ -> Array.init 4 (fun _ -> Rng.int rng zdom))
+  in
+  let run name space query =
+    let total = ref 0 and hits = ref 0 in
+    List.iter
+      (fun q ->
+        let hit, snap = Cost.measure (fun () -> query q) in
+        if hit then incr hits;
+        total := !total + Cost.total snap)
+      queries;
+    Printf.printf "%-32s space=%7d  avg=%5d ops  (%d hits)\n" name space
+      (!total / List.length queries)
+      !hits
+  in
+  List.iter
+    (fun epsilon ->
+      let t = Hierarchical.Adapted.build inst ~epsilon in
+      run
+        (Printf.sprintf "adapted Kara et al. (ε=%.2f)" epsilon)
+        (Hierarchical.Adapted.space t)
+        (Hierarchical.Adapted.query t))
+    [ 0.0; 0.4; 0.8 ];
+  List.iter
+    (fun budget ->
+      let t = Hierarchical.Framework.build inst ~budget in
+      run
+        (Printf.sprintf "framework (budget %d)" budget)
+        (Hierarchical.Framework.space t)
+        (Hierarchical.Framework.query t))
+    [ 1_000; 100_000 ]

@@ -1,0 +1,46 @@
+(* Quickstart: 2-Set Disjointness — the paper's introductory example.
+
+   We build a space-budgeted index over a family of sets and answer
+   "do sets A and B intersect?" requests.  With budget S the index
+   answers in Õ(N/√S) probes (tradeoff S·T² ≅ N², Section 5). *)
+
+open Stt_apps
+open Stt_relation
+open Stt_workload
+
+let () =
+  print_endline "== quickstart: 2-Set Disjointness index ==";
+  (* a family of 300 sets over a universe of 2000 elements, with
+     Zipf-distributed set sizes (a few huge sets, many small ones) *)
+  let memberships =
+    Sets.zipf_sizes ~seed:1 ~universe:2000 ~sets:300 ~memberships:20_000 ~s:1.2
+  in
+  let n = List.length memberships in
+  Printf.printf "input: %d membership pairs, %d sets\n" n 300;
+
+  (* build indexes at three space budgets *)
+  List.iter
+    (fun budget ->
+      let index = Setdisj.build ~k:2 ~memberships ~budget in
+      Printf.printf
+        "\nbudget %7d: stored %6d entries, %d heavy sets (threshold %d)\n"
+        budget (Setdisj.space index)
+        (Setdisj.heavy_sets index)
+        (Setdisj.threshold index);
+      (* answer a few requests, counting data-structure operations *)
+      let rng = Rng.create 7 in
+      let total = ref 0 and worst = ref 0 and yes = ref 0 in
+      let queries = 500 in
+      for _ = 1 to queries do
+        let q = [| Rng.int rng 300; Rng.int rng 300 |] in
+        let disjoint, snap = Cost.measure (fun () -> Setdisj.disjoint index q) in
+        if not disjoint then incr yes;
+        let c = Cost.total snap in
+        total := !total + c;
+        worst := max !worst c
+      done;
+      Printf.printf
+        "%d queries: %d intersecting; avg %d ops, worst %d ops\n" queries !yes
+        (!total / queries) !worst)
+    [ 0; 2_000; 200_000 ];
+  print_endline "\n(higher budget → fewer online operations: S·T² ≅ N²)"

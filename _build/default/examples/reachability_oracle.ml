@@ -1,0 +1,64 @@
+(* A k-reachability oracle (Section 6.4): "is there a path of length k
+   from u to v?" answered from a space-budgeted index.
+
+   Three implementations are compared on the same graph:
+   - BFS from scratch (no index),
+   - the Goldstein et al. baseline (conjectured-optimal tradeoff
+     S·T^{2/(k-1)} ≅ |E|², which the paper refutes for k ≥ 3),
+   - the paper's framework (PMTDs + 2-phase disjunctive rules + LP). *)
+
+open Stt_apps
+open Stt_relation
+open Stt_workload
+
+let k = 3
+let vertices = 600
+let edges_n = 6_000
+
+let () =
+  Printf.printf "== %d-reachability oracle ==\n" k;
+  let edges = Graphs.zipf_both ~seed:9 ~vertices ~edges:edges_n ~s:1.1 in
+  Printf.printf "graph: %d vertices, %d edges\n\n" vertices (List.length edges);
+
+  let rng = Rng.create 3 in
+  let queries =
+    List.init 300 (fun _ -> (Rng.int rng vertices, Rng.int rng vertices))
+  in
+  let measure name space query =
+    let total = ref 0 and worst = ref 0 and yes = ref 0 in
+    List.iter
+      (fun (u, v) ->
+        let hit, snap = Cost.measure (fun () -> query u v) in
+        if hit then incr yes;
+        total := !total + Cost.total snap;
+        worst := max !worst (Cost.total snap))
+      queries;
+    Printf.printf "%-28s space=%7d  avg=%6d ops  worst=%7d ops  (%d reachable)\n"
+      name space
+      (!total / List.length queries)
+      !worst !yes
+  in
+
+  let bfs = Reach.Bfs.build edges in
+  measure "BFS (S = 0)" 0 (fun u v -> Reach.Bfs.query bfs ~k u v);
+
+  List.iter
+    (fun budget ->
+      let b = Reach.Baseline.build ~k edges ~budget in
+      measure
+        (Printf.sprintf "baseline (budget %d)" budget)
+        (Reach.Baseline.space b)
+        (fun u v -> Reach.Baseline.query b u v))
+    [ 1_000; 100_000 ];
+
+  List.iter
+    (fun budget ->
+      let f = Reach.Framework.build ~k edges ~budget in
+      measure
+        (Printf.sprintf "framework (budget %d)" budget)
+        (Reach.Framework.space f)
+        (fun u v -> Reach.Framework.query f u v))
+    [ 1_000; 100_000 ];
+
+  print_endline "\n(the framework index dominates the baseline at equal space;";
+  print_endline " see bench/main.exe fig3a for the full analytic curves)"

@@ -1,0 +1,46 @@
+(* The square query of Example E.5 on a "social network": given two
+   users, do they sit on opposite corners of a 4-cycle (a pair of
+   mutual friends-of-friends chains)?  Tradeoff S·T² ≅ |E|²·|Q|². *)
+
+open Stt_apps
+open Stt_relation
+open Stt_workload
+
+let () =
+  print_endline "== social squares: opposite corners of a 4-cycle ==";
+  let vertices = 300 in
+  let edges = Graphs.cycle_rich ~seed:17 ~vertices ~edges:3_000 in
+  Printf.printf "graph: %d vertices, %d edges\n\n" vertices (List.length edges);
+  let rng = Rng.create 5 in
+  let queries =
+    List.init 200 (fun _ -> (Rng.int rng vertices, Rng.int rng vertices))
+  in
+  List.iter
+    (fun budget ->
+      let index = Patterns.Square.build edges ~budget in
+      let total = ref 0 and hits = ref 0 and worst = ref 0 in
+      List.iter
+        (fun (u, w) ->
+          let hit, snap =
+            Cost.measure (fun () -> Patterns.Square.query index u w)
+          in
+          if hit then incr hits;
+          total := !total + Cost.total snap;
+          worst := max !worst (Cost.total snap))
+        queries;
+      Printf.printf
+        "budget %7d: space=%7d  avg=%5d ops  worst=%6d ops  (%d squares)\n"
+        budget
+        (Patterns.Square.space index)
+        (!total / List.length queries)
+        !worst !hits)
+    [ 10; 3_000; 300_000 ];
+
+  (* the triangle variant: empty access pattern, one request returns all
+     corner pairs *)
+  print_endline "\n== triangle corner pairs (Example E.4, A = ∅) ==";
+  let tri = Patterns.Triangle.build edges ~budget:1_000_000 in
+  let pairs = Patterns.Triangle.corner_pairs tri in
+  Printf.printf "space=%d, %d (x1,x3) pairs participate in triangles\n"
+    (Patterns.Triangle.space tri)
+    (List.length pairs)

@@ -1,0 +1,48 @@
+(* Symbolic use of the framework: compute the space-time tradeoff of a
+   CQAP without touching any data.  This is the "what do I get for S
+   space?" question a system designer would ask the library. *)
+
+open Stt_hypergraph
+open Stt_decomp
+open Stt_core
+open Stt_lp
+
+let explore name q =
+  Format.printf "@.== %s ==@." name;
+  Format.printf "query: %a@." Cq.pp_cqap q;
+  let pmtds = Enum.pmtds ~max_pmtds:128 q in
+  Format.printf "non-redundant, non-dominant PMTDs: %d@." (List.length pmtds);
+  let rules = Rule.generate q pmtds in
+  Format.printf "subset-minimal 2-phase disjunctive rules: %d@."
+    (List.length rules);
+  let dc = Degree.default_dc q.Cq.cq and ac = Degree.default_ac q in
+  List.iter
+    (fun r ->
+      Format.printf "  %a@." Rule.pp r;
+      let tradeoffs =
+        Jointflow.rule_tradeoffs r ~dc ~ac ~logq:(Rat.make 1 32)
+          ~logs_grid:(Tradeoff.grid ~lo:Rat.zero ~hi:(Rat.of_int 2) ~steps:8)
+      in
+      List.iter (fun t -> Format.printf "      %a@." Tradeoff.pp t) tradeoffs)
+    rules;
+  (* the combined curve: for each budget, the best time over strategies,
+     taking the max over rules (all rules must run) *)
+  Format.printf "combined curve (|Q|=1):@.";
+  List.iter
+    (fun logs ->
+      let worst =
+        List.fold_left
+          (fun acc r ->
+            match Jointflow.logt r ~dc ~ac ~logq:Rat.zero ~logs with
+            | Some t -> Rat.max acc t
+            | None -> acc)
+          Rat.zero rules
+      in
+      Format.printf "  log_D S = %-4s →  log_D T = %s@." (Rat.to_string logs)
+        (Rat.to_string worst))
+    (Tradeoff.grid ~lo:Rat.zero ~hi:(Rat.of_int 2) ~steps:4)
+
+let () =
+  explore "2-Set Disjointness" (Cq.Library.k_set_disjointness 2);
+  explore "3-reachability" (Cq.Library.k_path 3);
+  explore "square query" Cq.Library.square

@@ -1,0 +1,1 @@
+lib/apps/hierarchical.ml: Array Cost Cq Db Engine Float Hashtbl List Rng Stt_core Stt_hypergraph Stt_relation Stt_workload Tuple

@@ -1,0 +1,1 @@
+lib/apps/hierarchical.mli: Stt_core

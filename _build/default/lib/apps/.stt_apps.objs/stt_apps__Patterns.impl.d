@@ -1,0 +1,1 @@
+lib/apps/patterns.ml: Array Cq Db Engine List Relation Schema Stt_core Stt_hypergraph Stt_relation

@@ -1,0 +1,1 @@
+lib/apps/reach.ml: Cost Float Hashtbl List Stt_core Stt_hypergraph Stt_relation Tuple

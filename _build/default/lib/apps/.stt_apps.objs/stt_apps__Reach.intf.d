@@ -1,0 +1,1 @@
+lib/apps/reach.mli: Stt_core

@@ -1,0 +1,1 @@
+lib/apps/setdisj.ml: Array Cost Hashtbl List Stt_relation Tuple

@@ -1,0 +1,187 @@
+open Stt_relation
+open Stt_hypergraph
+open Stt_core
+open Stt_workload
+
+type triple = int * int * int
+
+type instance = {
+  r : triple list;
+  s : triple list;
+  t : triple list;
+  u : triple list;
+}
+
+let generate ~seed ~posts ~size =
+  let rng = Rng.create seed in
+  let sample_x = Rng.zipf_sampler rng ~n:posts ~s:1.1 in
+  let groups = max 2 (posts / 16) in
+  let zdom = max 4 (posts / 4) in
+  let gen () =
+    List.init size (fun _ ->
+        (sample_x (), Rng.int rng groups, Rng.int rng zdom))
+    |> List.sort_uniq compare
+  in
+  { r = gen (); s = gen (); t = gen (); u = gen () }
+
+let db_of inst =
+  let db = Db.create () in
+  let add name triples =
+    Db.add db name (List.map (fun (x, y, z) -> [| x; y; z |]) triples)
+  in
+  add "R" inst.r;
+  add "S" inst.s;
+  add "T" inst.t;
+  add "U" inst.u;
+  db
+
+module Framework = struct
+  type t = Engine.t
+
+  let build inst ~budget =
+    Engine.build_auto Cq.Library.hierarchical_binary ~db:(db_of inst) ~budget
+
+  let space = Engine.space
+  let query t zs = Engine.answer_tuple t zs
+  let engine t = t
+end
+
+module Adapted = struct
+  type t = {
+    light_view : unit Tuple.Tbl.t; (* (z1,z2,z3,z4) for light X *)
+    heavy : int list;              (* heavy X values *)
+    rz : Tuple.t list Tuple.Tbl.t; (* (x, z) -> y list, per relation *)
+    sz : Tuple.t list Tuple.Tbl.t;
+    tz : Tuple.t list Tuple.Tbl.t;
+    uz : Tuple.t list Tuple.Tbl.t;
+    s_member : unit Tuple.Tbl.t;   (* (x, y, z) membership for S and U *)
+    u_member : unit Tuple.Tbl.t;
+    space : int;
+  }
+
+  let space t = t.space
+
+  let group_by_x triples =
+    let tbl = Hashtbl.create 256 in
+    List.iter
+      (fun (x, y, z) ->
+        Hashtbl.replace tbl x ((y, z) :: (try Hashtbl.find tbl x with Not_found -> [])))
+      triples;
+    tbl
+
+  let xz_index triples =
+    let tbl = Tuple.Tbl.create 1024 in
+    List.iter
+      (fun (x, y, z) ->
+        let key = [| x; z |] in
+        let existing = try Tuple.Tbl.find tbl key with Not_found -> [] in
+        Tuple.Tbl.replace tbl key ([| y |] :: existing))
+      triples;
+    tbl
+
+  let members triples =
+    let tbl = Tuple.Tbl.create 1024 in
+    List.iter (fun (x, y, z) -> Tuple.Tbl.replace tbl [| x; y; z |] ()) triples;
+    tbl
+
+  (* (z, z') pairs joined through a shared y, for one x *)
+  let z_pairs left right =
+    List.concat_map
+      (fun (y1, z1) ->
+        List.filter_map
+          (fun (y2, z2) -> if y1 = y2 then Some (z1, z2) else None)
+          right)
+      left
+    |> List.sort_uniq compare
+
+  let build inst ~epsilon =
+    let n =
+      List.fold_left max 1
+        (List.map List.length [ inst.r; inst.s; inst.t; inst.u ])
+    in
+    let threshold =
+      max 1 (int_of_float (Float.pow (float_of_int n) epsilon))
+    in
+    let rx = group_by_x inst.r
+    and sx = group_by_x inst.s
+    and tx = group_by_x inst.t
+    and ux = group_by_x inst.u in
+    let deg x tbl =
+      try List.length (Hashtbl.find tbl x) with Not_found -> 0
+    in
+    let all_x =
+      List.concat_map
+        (fun tbl -> Hashtbl.fold (fun x _ acc -> x :: acc) tbl [])
+        [ rx; sx; tx; ux ]
+      |> List.sort_uniq compare
+    in
+    let is_light x =
+      deg x rx <= threshold && deg x sx <= threshold && deg x tx <= threshold
+      && deg x ux <= threshold
+      (* guard against materializing a huge per-thread view: threads whose
+         worst-case view exceeds the cap are treated as heavy *)
+      && deg x rx * deg x sx * deg x tx * deg x ux <= 1_000_000
+    in
+    let light_view = Tuple.Tbl.create 4096 in
+    let heavy = List.filter (fun x -> not (is_light x)) all_x in
+    List.iter
+      (fun x ->
+        if is_light x then begin
+          let find tbl = try Hashtbl.find tbl x with Not_found -> [] in
+          let p12 = z_pairs (find rx) (find sx) in
+          let p34 = z_pairs (find tx) (find ux) in
+          List.iter
+            (fun (z1, z2) ->
+              List.iter
+                (fun (z3, z4) ->
+                  Tuple.Tbl.replace light_view [| z1; z2; z3; z4 |] ())
+                p34)
+            p12
+        end)
+      all_x;
+    {
+      light_view;
+      heavy;
+      rz = xz_index inst.r;
+      sz = xz_index inst.s;
+      tz = xz_index inst.t;
+      uz = xz_index inst.u;
+      s_member = members inst.s;
+      u_member = members inst.u;
+      space = Tuple.Tbl.length light_view + (4 * List.length heavy);
+    }
+
+  let probe tbl key =
+    Cost.charge_probe ();
+    try Tuple.Tbl.find tbl key with Not_found -> []
+
+  let query t zs =
+    if Array.length zs <> 4 then invalid_arg "Hierarchical.Adapted.query";
+    Cost.charge_probe ();
+    Tuple.Tbl.mem t.light_view zs
+    || List.exists
+         (fun x ->
+           Cost.charge_scan ();
+           let pair left member z z2 =
+             List.exists
+               (fun y ->
+                 Cost.charge_probe ();
+                 Tuple.Tbl.mem member [| x; y.(0); z2 |])
+               (probe left [| x; z |])
+           in
+           pair t.rz t.s_member zs.(0) zs.(1)
+           && pair t.tz t.u_member zs.(2) zs.(3))
+         t.heavy
+end
+
+let naive inst zs =
+  let z1 = zs.(0) and z2 = zs.(1) and z3 = zs.(2) and z4 = zs.(3) in
+  List.exists
+    (fun (x, y1, z) ->
+      z = z1
+      && List.mem (x, y1, z2) inst.s
+      && List.exists
+           (fun (x', y2, z') ->
+             x' = x && z' = z3 && List.mem (x, y2, z4) inst.u)
+           inst.t)
+    inst.r

@@ -1,0 +1,46 @@
+(** Boolean hierarchical CQAPs (Appendix F).
+
+    The running query is the complete-binary-tree query of Figure 5:
+
+    {v φ(Z | Z) ← R(X,Y1,Z1) ∧ S(X,Y1,Z2) ∧ T(X,Y2,Z3) ∧ U(X,Y2,Z4) v}
+
+    [Framework] answers it through the general engine (whose LP derives
+    the improved tradeoff [S·T^4 ≅ |D|^4·|Q|^4]); [Adapted] is the
+    baseline adapted from Kara et al. [19] (Theorem F.4, tradeoff
+    [S·T^3 ≅ |D|^4] for static width w = 4): the query result is
+    materialized for {e light} [X] values (joint degree at most [N^ε]),
+    while heavy [X] values are resolved online from per-relation indexes.
+    Both are exercised against the same workloads in the benchmarks. *)
+
+type triple = int * int * int
+(** (X, Y, Z) *)
+
+type instance = { r : triple list; s : triple list; t : triple list; u : triple list }
+
+val generate : seed:int -> posts:int -> size:int -> instance
+(** A synthetic "forum" workload: [X] = thread, [Y1]/[Y2] = two user
+    groups, [Z1..Z4] = item attributes, with Zipf-skewed thread
+    activity. *)
+
+module Framework : sig
+  type t
+
+  val build : instance -> budget:int -> t
+  val space : t -> int
+
+  val query : t -> int array -> bool
+  (** [query t [|z1; z2; z3; z4|]]. *)
+
+  val engine : t -> Stt_core.Engine.t
+end
+
+module Adapted : sig
+  type t
+
+  val build : instance -> epsilon:float -> t
+  val space : t -> int
+
+  val query : t -> int array -> bool
+end
+
+val naive : instance -> int array -> bool

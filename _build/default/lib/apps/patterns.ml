@@ -1,0 +1,65 @@
+open Stt_relation
+open Stt_hypergraph
+open Stt_core
+
+type edges = (int * int) list
+
+let engine_of cqap edges ~budget =
+  let db = Db.create () in
+  Db.add_pairs db "R" edges;
+  Engine.build_auto cqap ~db ~budget
+
+module Square = struct
+  type t = Engine.t
+
+  let build edges ~budget = engine_of Cq.Library.square edges ~budget
+  let space = Engine.space
+  let query t u w = Engine.answer_tuple t [| u; w |]
+
+  let naive edges u w =
+    (* φ(u, w) ⇔ ∃ x2, x4: R(u,x2) ∧ R(x2,w) ∧ R(w,x4) ∧ R(x4,u) *)
+    let succ x =
+      List.filter_map (fun (a, b) -> if a = x then Some b else None) edges
+    in
+    List.exists (fun x2 -> List.mem (x2, w) edges) (succ u)
+    && List.exists (fun x4 -> List.mem (x4, u) edges) (succ w)
+end
+
+module Triangle = struct
+  type t = Engine.t
+
+  let build edges ~budget = engine_of Cq.Library.triangle_detect edges ~budget
+  let space = Engine.space
+
+  let corner_pairs t =
+    (* empty access pattern: Q_A is the nullary "true" relation *)
+    let q_a = Relation.create (Schema.of_list []) in
+    Relation.add q_a [||];
+    let result = Engine.answer t ~q_a in
+    Relation.fold (fun tup acc -> (tup.(0), tup.(1)) :: acc) result []
+    |> List.sort compare
+
+  let naive edges =
+    List.concat_map
+      (fun (a, b) ->
+        List.filter_map
+          (fun (c, d) ->
+            if c = b && List.mem (d, a) edges then Some (a, d) else None)
+          edges)
+      edges
+    |> List.sort_uniq compare
+end
+
+module EdgeTriangle = struct
+  type t = Engine.t
+
+  let build edges ~budget = engine_of Cq.Library.edge_triangle edges ~budget
+  let space = Engine.space
+  let query t u v = Engine.answer_tuple t [| u; v |]
+
+  let naive edges u v =
+    List.mem (u, v) edges
+    && List.exists
+         (fun (c, d) -> c = v && List.mem (d, u) edges)
+         edges
+end

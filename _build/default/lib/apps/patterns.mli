@@ -1,0 +1,42 @@
+(** Pattern-query indexes over a single edge relation: the square query
+    (Example E.5), triangle listing (Example E.4) and edge-triangle
+    detection — all through the general framework engine. *)
+
+type edges = (int * int) list
+
+module Square : sig
+  type t
+
+  val build : edges -> budget:int -> t
+  val space : t -> int
+
+  val query : t -> int -> int -> bool
+  (** Do the two vertices sit on opposite corners of a 4-cycle? *)
+
+  val naive : edges -> int -> int -> bool
+end
+
+module Triangle : sig
+  type t
+
+  val build : edges -> budget:int -> t
+  val space : t -> int
+
+  val corner_pairs : t -> (int * int) list
+  (** All [(x1, x3)] pairs that occur in a triangle (the query has an
+      empty access pattern: one request returns the whole answer). *)
+
+  val naive : edges -> (int * int) list
+end
+
+module EdgeTriangle : sig
+  type t
+
+  val build : edges -> budget:int -> t
+  val space : t -> int
+
+  val query : t -> int -> int -> bool
+  (** Does the edge [(u, v)] participate in a triangle? *)
+
+  val naive : edges -> int -> int -> bool
+end

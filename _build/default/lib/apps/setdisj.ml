@@ -1,0 +1,225 @@
+open Stt_relation
+
+type combo = int array (* sorted distinct heavy set ids, length in [2, k] *)
+
+module ComboTbl = Hashtbl.Make (struct
+  type t = combo
+
+  let equal = Tuple.equal
+  let hash = Tuple.hash
+end)
+
+type t = {
+  k : int;
+  membership : unit Tuple.Tbl.t; (* (elem, set) pairs *)
+  elems_of_set : (int, int list) Hashtbl.t;
+  set_size : (int, int) Hashtbl.t;
+  heavy : (int, unit) Hashtbl.t;
+  nonempty : int list ComboTbl.t; (* heavy combos -> intersection elems *)
+  threshold : int;
+  space : int;
+}
+
+let space t = t.space
+let threshold t = t.threshold
+let heavy_sets t = Hashtbl.length t.heavy
+
+(* number of combinations C(m, j) summed for j in [2, k], saturating *)
+let combo_count m k =
+  let total = ref 0 in
+  for j = 2 to k do
+    let c = ref 1 in
+    for i = 0 to j - 1 do
+      c := !c * (m - i) / (i + 1);
+      if !c > 1 lsl 40 then c := 1 lsl 40
+    done;
+    total := min (1 lsl 40) (!total + if m >= j then !c else 0)
+  done;
+  !total
+
+let rec distinct_sorted_tuples l j =
+  if j = 0 then [ [] ]
+  else
+    match l with
+    | [] -> []
+    | x :: rest ->
+        List.map (fun t -> x :: t) (distinct_sorted_tuples rest (j - 1))
+        @ distinct_sorted_tuples rest j
+
+let build ~k ~memberships ~budget =
+  if k < 1 then invalid_arg "Setdisj.build: k >= 1 required";
+  let membership = Tuple.Tbl.create (List.length memberships) in
+  let elems_of_set = Hashtbl.create 256 in
+  let set_size = Hashtbl.create 256 in
+  List.iter
+    (fun (e, s) ->
+      let key = [| e; s |] in
+      if not (Tuple.Tbl.mem membership key) then begin
+        Tuple.Tbl.add membership key ();
+        Hashtbl.replace elems_of_set s
+          (e :: (try Hashtbl.find elems_of_set s with Not_found -> []));
+        Hashtbl.replace set_size s
+          (1 + try Hashtbl.find set_size s with Not_found -> 0)
+      end)
+    memberships;
+  (* heavy sets: the largest m sets such that the number of stored
+     combinations fits in the budget *)
+  let by_size =
+    Hashtbl.fold (fun s size acc -> (size, s) :: acc) set_size []
+    |> List.sort (fun (a, _) (b, _) -> compare b a)
+  in
+  let nsets = List.length by_size in
+  let build_with m =
+    let heavy = Hashtbl.create (max 1 m) in
+    List.iteri
+      (fun i (_, s) -> if i < m then Hashtbl.replace heavy s ())
+      by_size;
+    (* non-empty heavy combos, discovered per element *)
+    let nonempty = ComboTbl.create 1024 in
+    let heavy_of_elem = Hashtbl.create 1024 in
+    Tuple.Tbl.iter
+      (fun key () ->
+        let e = key.(0) and s = key.(1) in
+        if Hashtbl.mem heavy s then
+          Hashtbl.replace heavy_of_elem e
+            (s :: (try Hashtbl.find heavy_of_elem e with Not_found -> [])))
+      membership;
+    Hashtbl.iter
+      (fun e sets ->
+        let sets = List.sort_uniq compare sets in
+        for j = 2 to k do
+          List.iter
+            (fun tuple ->
+              let key = Array.of_list tuple in
+              let existing =
+                try ComboTbl.find nonempty key with Not_found -> []
+              in
+              ComboTbl.replace nonempty key (e :: existing))
+            (distinct_sorted_tuples sets j)
+        done)
+      heavy_of_elem;
+    let space =
+      ComboTbl.fold (fun _ elems acc -> acc + 1 + List.length elems) nonempty 0
+    in
+    (heavy, nonempty, space)
+  in
+  (* the intersection element lists count toward the space too, so
+     shrink the heavy family until the real footprint fits *)
+  let rec fit m =
+    let ((_, _, space) as built) = build_with m in
+    if space <= max 0 budget || m = 0 then (m, built) else fit (m / 2)
+  in
+  let m0 =
+    let rec largest m =
+      if m <= 0 then 0
+      else if combo_count m k <= max 0 budget then m
+      else largest (m - 1)
+    in
+    largest nsets
+  in
+  let m, (heavy, nonempty, space) = fit m0 in
+  let threshold =
+    match List.nth_opt by_size m with Some (size, _) -> size | None -> 0
+  in
+  { k; membership; elems_of_set; set_size; heavy; nonempty; threshold; space }
+
+let check_query t sets =
+  if Array.length sets <> t.k then
+    invalid_arg "Setdisj: query arity must equal k";
+  Array.to_list sets |> List.sort_uniq compare
+
+let light_elems t s =
+  try Hashtbl.find t.elems_of_set s with Not_found -> []
+
+let smallest_set t sets =
+  List.fold_left
+    (fun best s ->
+      let size = try Hashtbl.find t.set_size s with Not_found -> 0 in
+      match best with
+      | Some (_, bs) when bs <= size -> best
+      | _ -> Some (s, size))
+    None sets
+
+let scan_intersection t sets =
+  match smallest_set t sets with
+  | None -> []
+  | Some (s0, _) ->
+      List.filter
+        (fun e ->
+          List.for_all
+            (fun s ->
+              s = s0
+              ||
+              (Cost.charge_probe ();
+               Tuple.Tbl.mem t.membership [| e; s |]))
+            sets)
+        (List.map
+           (fun e ->
+             Cost.charge_scan ();
+             e)
+           (light_elems t s0))
+
+let intersection t sets_arr =
+  let sets = check_query t sets_arr in
+  match sets with
+  | [] -> []
+  | [ s ] ->
+      List.map
+        (fun e ->
+          Cost.charge_scan ();
+          e)
+        (light_elems t s)
+  | _ ->
+      let all_heavy = List.for_all (Hashtbl.mem t.heavy) sets in
+      if all_heavy then begin
+        Cost.charge_probe ();
+        try ComboTbl.find t.nonempty (Array.of_list sets)
+        with Not_found -> []
+      end
+      else scan_intersection t sets
+
+let disjoint t sets_arr =
+  let sets = check_query t sets_arr in
+  match sets with
+  | [] -> false
+  | [ s ] -> light_elems t s = []
+  | _ ->
+      let all_heavy = List.for_all (Hashtbl.mem t.heavy) sets in
+      if all_heavy then begin
+        Cost.charge_probe ();
+        not (ComboTbl.mem t.nonempty (Array.of_list sets))
+      end
+      else
+        (* scan the smallest set (light by construction unless all sets
+           are heavy), probing the others *)
+        let rec scan = function
+          | [] -> true
+          | e :: rest ->
+              Cost.charge_scan ();
+              let everywhere =
+                List.for_all
+                  (fun s ->
+                    Cost.charge_probe ();
+                    Tuple.Tbl.mem t.membership [| e; s |])
+                  sets
+              in
+              if everywhere then false else scan rest
+        in
+        (match smallest_set t sets with
+        | None -> true
+        | Some (s0, _) -> scan (light_elems t s0))
+
+let naive_disjoint ~memberships sets_arr =
+  let sets = Array.to_list sets_arr |> List.sort_uniq compare in
+  let members = Hashtbl.create (List.length memberships) in
+  List.iter (fun (e, s) -> Hashtbl.replace members (e, s) ()) memberships;
+  let universe =
+    List.filter_map
+      (fun (e, s) -> if List.mem s sets then Some e else None)
+      memberships
+    |> List.sort_uniq compare
+  in
+  not
+    (List.exists
+       (fun e -> List.for_all (fun s -> Hashtbl.mem members (e, s)) sets)
+       universe)

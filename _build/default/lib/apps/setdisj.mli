@@ -1,0 +1,36 @@
+(** k-Set Disjointness / k-Set Intersection data structures (Section 6.1).
+
+    A direct heavy/light implementation of the strategy the framework
+    derives from the two trivial PMTDs: sets larger than a threshold are
+    {e heavy}; emptiness (or the full intersection) of every k-tuple of
+    heavy sets is materialized, and any query touching a light set is
+    answered by scanning that light set and probing membership hashes.
+
+    With threshold [τ] the structure stores [O((N/τ)^k)] entries and
+    answers in [O(k·τ)] probes — the tradeoff [S·T^k ≅ N^k] of
+    Example 6.2 (for [|Q_A| = 1]). *)
+
+type t
+
+val build : k:int -> memberships:(int * int) list -> budget:int -> t
+(** [memberships] are [(element, set)] pairs; [budget] caps the number of
+    materialized heavy combinations (and intersection elements in
+    intersection mode). *)
+
+val space : t -> int
+(** Entries actually materialized. *)
+
+val threshold : t -> int
+val heavy_sets : t -> int
+
+val disjoint : t -> int array -> bool
+(** [disjoint t sets]: is the intersection of the [k] given sets empty?
+    Cost-counted.  Raises [Invalid_argument] on wrong arity. *)
+
+val intersection : t -> int array -> int list
+(** The elements of the intersection (non-Boolean variant, query (2) of
+    the paper).  Heavy combinations replay the stored list; otherwise the
+    lightest set is scanned. *)
+
+val naive_disjoint : memberships:(int * int) list -> int array -> bool
+(** Reference implementation for tests. *)

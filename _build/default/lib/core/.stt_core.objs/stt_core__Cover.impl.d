@@ -1,0 +1,1 @@
+lib/core/cover.ml: Cq Hypergraph List Lp Printf Rat Stt_hypergraph Stt_lp Tradeoff Varset

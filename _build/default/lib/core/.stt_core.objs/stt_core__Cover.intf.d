@@ -1,0 +1,1 @@
+lib/core/cover.mli: Cq Hypergraph Rat Stt_hypergraph Stt_lp Tradeoff Varset

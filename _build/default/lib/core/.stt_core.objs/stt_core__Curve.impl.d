@@ -1,0 +1,1 @@
+lib/core/curve.ml: Format Jointflow List Rat Stt_lp

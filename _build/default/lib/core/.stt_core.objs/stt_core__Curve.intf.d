@@ -1,0 +1,1 @@
+lib/core/curve.mli: Degree Format Rat Rule Stt_hypergraph Stt_lp

@@ -1,0 +1,1 @@
+lib/core/db.ml: Array Cost Cq Hashtbl Index List Relation Schema Stt_hypergraph Stt_relation Tuple Varset

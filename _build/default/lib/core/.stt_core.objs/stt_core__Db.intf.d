@@ -1,0 +1,1 @@
+lib/core/db.mli: Cq Relation Schema Stt_hypergraph Stt_relation

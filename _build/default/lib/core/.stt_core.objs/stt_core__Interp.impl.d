@@ -1,0 +1,1 @@
+lib/core/interp.ml: List Proof Rat Relation Schema Stt_hypergraph Stt_lp Stt_polymatroid Stt_relation Varset

@@ -1,0 +1,1 @@
+lib/core/interp.mli: Proof Rat Relation Stt_hypergraph Stt_lp Stt_polymatroid Stt_relation Varset

@@ -1,0 +1,1 @@
+lib/core/jointflow.ml: Cq Cvec Degree List Lp Polymatroid Rat Rule Stt_hypergraph Stt_lp Stt_polymatroid Tradeoff Varset

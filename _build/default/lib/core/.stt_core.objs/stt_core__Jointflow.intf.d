@@ -1,0 +1,1 @@
+lib/core/jointflow.mli: Degree Rat Rule Stt_hypergraph Stt_lp Tradeoff Varset

@@ -1,0 +1,1 @@
+lib/core/paper_proofs.ml: Array Cvec List Printf Proof Rat Stt_hypergraph Stt_lp Stt_polymatroid Tradeoff Varset

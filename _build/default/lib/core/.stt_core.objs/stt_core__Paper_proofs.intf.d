@@ -1,0 +1,1 @@
+lib/core/paper_proofs.mli: Cvec Proof Stt_lp Stt_polymatroid Tradeoff

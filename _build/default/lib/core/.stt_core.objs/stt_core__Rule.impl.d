@@ -1,0 +1,1 @@
+lib/core/rule.ml: Cq Format List Pmtd Stt_decomp Stt_hypergraph Varset

@@ -1,0 +1,1 @@
+lib/core/rule.mli: Cq Format Pmtd Stt_decomp Stt_hypergraph Varset

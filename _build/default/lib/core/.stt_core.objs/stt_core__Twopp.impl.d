@@ -1,0 +1,1 @@
+lib/core/twopp.ml: Cost Cq Db Degree Float Hashtbl Index Jointflow List Option Polymatroid Rat Relation Rule Schema Stt_hypergraph Stt_lp Stt_polymatroid Stt_relation Tuple Varset

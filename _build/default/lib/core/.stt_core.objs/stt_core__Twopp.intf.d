@@ -1,0 +1,1 @@
+lib/core/twopp.mli: Db Relation Rule Stt_hypergraph Stt_relation Varset

@@ -1,0 +1,138 @@
+open Stt_hypergraph
+open Stt_lp
+
+type t = (Varset.t * Rat.t) list
+
+let coverage u i =
+  List.fold_left
+    (fun acc (f, w) -> if Varset.mem i f then Rat.add acc w else acc)
+    Rat.zero u
+
+let total_weight u = List.fold_left (fun acc (_, w) -> Rat.add acc w) Rat.zero u
+
+let edge_vars model edges =
+  List.mapi (fun i f -> (f, Lp.var model (Printf.sprintf "u%d" i))) edges
+
+let min_fractional_cover hg ~of_ =
+  let model = Lp.create () in
+  let uvars = edge_vars model hg.Hypergraph.edges in
+  let feasible = ref true in
+  Varset.iter
+    (fun i ->
+      let terms =
+        List.filter_map
+          (fun (f, v) -> if Varset.mem i f then Some (Rat.one, v) else None)
+          uvars
+      in
+      if terms = [] then feasible := false
+      else ignore (Lp.add_ge model terms Rat.one))
+    of_;
+  if not !feasible then None
+  else
+    match Lp.minimize model (List.map (fun (_, v) -> (Rat.one, v)) uvars) with
+    | Lp.Solution s ->
+        Some
+          (List.filter_map
+             (fun (f, v) ->
+               let w = s.Lp.primal v in
+               if Rat.is_zero w then None else Some (f, w))
+             uvars)
+    | Lp.Infeasible | Lp.Unbounded -> None
+
+let slack u ~a ~over =
+  let outside = Varset.diff over a in
+  if Varset.is_empty outside then None
+  else
+    Some
+      (Varset.fold
+         (fun i acc -> Rat.min acc (coverage u i))
+         outside
+         (coverage u (Varset.choose outside)))
+
+let theorem_6_1 (cqap : Cq.cqap) ~u =
+  let cq = cqap.Cq.cq in
+  let all = Varset.full cq.Cq.n in
+  Varset.iter
+    (fun i ->
+      if Rat.compare (coverage u i) Rat.one < 0 then
+        invalid_arg "theorem_6_1: not a fractional edge cover")
+    all;
+  let alpha =
+    match slack u ~a:cqap.Cq.access ~over:all with
+    | Some a -> a
+    | None -> Rat.one (* A = [n]: store the head outright *)
+  in
+  Tradeoff.make ~s_exp:Rat.one ~t_exp:alpha ~d_exp:(total_weight u)
+    ~q_exp:alpha
+
+let theorem_6_1_auto (cqap : Cq.cqap) =
+  let cq = cqap.Cq.cq in
+  let hg = Cq.hypergraph cq in
+  let all = Varset.full cq.Cq.n in
+  match min_fractional_cover hg ~of_:all with
+  | None -> invalid_arg "theorem_6_1_auto: no cover"
+  | Some u0 ->
+      let w_star = total_weight u0 in
+      (* second stage: among covers of weight w*, maximize the slack *)
+      let model = Lp.create () in
+      let uvars = edge_vars model hg.Hypergraph.edges in
+      Varset.iter
+        (fun i ->
+          let terms =
+            List.filter_map
+              (fun (f, v) -> if Varset.mem i f then Some (Rat.one, v) else None)
+              uvars
+          in
+          ignore (Lp.add_ge model terms Rat.one))
+        all;
+      ignore
+        (Lp.add_le model (List.map (fun (_, v) -> (Rat.one, v)) uvars) w_star);
+      let alpha = Lp.var model "alpha" in
+      let outside = Varset.diff all cqap.Cq.access in
+      if Varset.is_empty outside then theorem_6_1 cqap ~u:u0
+      else begin
+        Varset.iter
+          (fun i ->
+            let terms =
+              (Rat.one, alpha)
+              :: List.filter_map
+                   (fun (f, v) ->
+                     if Varset.mem i f then Some (Rat.minus_one, v) else None)
+                   uvars
+            in
+            ignore (Lp.add_le model terms Rat.zero))
+          outside;
+        match Lp.maximize model [ (Rat.one, alpha) ] with
+        | Lp.Solution s ->
+            let u =
+              List.filter_map
+                (fun (f, v) ->
+                  let w = s.Lp.primal v in
+                  if Rat.is_zero w then None else Some (f, w))
+                uvars
+            in
+            theorem_6_1 cqap ~u
+        | Lp.Infeasible | Lp.Unbounded -> theorem_6_1 cqap ~u:u0
+      end
+
+type path_bag = { bag : Varset.t; a_t : Varset.t; u : t }
+
+let path_tradeoff (cqap : Cq.cqap) bags =
+  ignore cqap;
+  let alphas =
+    List.map
+      (fun pb ->
+        match slack pb.u ~a:pb.a_t ~over:pb.bag with
+        | Some a -> a
+        | None -> Rat.one)
+      bags
+  in
+  let s_exp =
+    List.fold_left (fun acc a -> Rat.add acc (Rat.inv a)) Rat.zero alphas
+  in
+  let d_exp =
+    List.fold_left2
+      (fun acc pb a -> Rat.add acc (Rat.div (total_weight pb.u) a))
+      Rat.zero bags alphas
+  in
+  Tradeoff.make ~s_exp ~t_exp:Rat.one ~d_exp ~q_exp:Rat.one

@@ -1,0 +1,35 @@
+(** Fractional edge covers, slack, and the closed-form tradeoffs of
+    Sections 6.2 and 6.3. *)
+
+open Stt_hypergraph
+open Stt_lp
+
+type t = (Varset.t * Rat.t) list
+(** Weight per hyperedge (edges with weight 0 may be omitted). *)
+
+val min_fractional_cover : Hypergraph.t -> of_:Varset.t -> t option
+(** Minimum-total-weight fractional edge cover of the vertex subset
+    [of_]; [None] if some vertex of [of_] is in no edge. *)
+
+val total_weight : t -> Rat.t
+
+val slack : t -> a:Varset.t -> over:Varset.t -> Rat.t option
+(** [α(u, A)] = min over vertices of [over] not in [a] of the coverage
+    [Σ_{F∋i} u_F]; [None] when every vertex of [over] is in [a] (infinite
+    slack). *)
+
+val theorem_6_1 : Cq.cqap -> u:t -> Tradeoff.t
+(** The tradeoff [S · T^α ≅ |Q|^α · |D|^{Σu}] of Theorem 6.1 (with every
+    relation of size [|D|]).  Requires [u] to be an edge cover of all
+    variables; raises [Invalid_argument] otherwise. *)
+
+val theorem_6_1_auto : Cq.cqap -> Tradeoff.t
+(** [theorem_6_1] with the slack-maximizing cover: among covers, maximize
+    [α/Σu] by LP over candidate slack values (simple sweep). *)
+
+type path_bag = { bag : Varset.t; a_t : Varset.t; u : t }
+
+val path_tradeoff : Cq.cqap -> path_bag list -> Tradeoff.t
+(** Section 6.3: for the bags of one root-to-leaf path with their
+    interface sets [A_t] and per-bag covers, the tradeoff
+    [S^{Σ 1/α_t} · T ≅ |Q| · |D|^{Σ u*_t/α_t}]. *)

@@ -1,0 +1,128 @@
+open Stt_relation
+open Stt_hypergraph
+
+type t = (string, int array list) Hashtbl.t
+
+let create () : t = Hashtbl.create 8
+
+let add t name tuples =
+  (match tuples with
+  | [] -> ()
+  | first :: rest ->
+      let arity = Array.length first in
+      List.iter
+        (fun tup ->
+          if Array.length tup <> arity then
+            invalid_arg "Db.add: mixed arities")
+        rest);
+  Hashtbl.replace t name tuples
+
+let add_pairs t name pairs =
+  add t name (List.map (fun (a, b) -> [| a; b |]) pairs)
+
+let mem t name = Hashtbl.mem t name
+let cardinal t name =
+  match Hashtbl.find_opt t name with None -> 0 | Some l -> List.length l
+
+let size t = Hashtbl.fold (fun _ l acc -> max acc (List.length l)) t 0
+
+let relation t (atom : Cq.atom) =
+  let tuples =
+    match Hashtbl.find_opt t atom.Cq.rel with
+    | Some l -> l
+    | None -> invalid_arg ("Db.relation: unknown relation " ^ atom.Cq.rel)
+  in
+  let schema = Schema.of_list atom.Cq.vars in
+  let rel = Relation.create schema in
+  Cost.with_counting false (fun () -> List.iter (Relation.add rel) tuples);
+  rel
+
+exception Too_big
+
+(* natural join that aborts as soon as the output exceeds [limit],
+   before the intermediate is fully materialized *)
+let bounded_join limit a b =
+  let a_schema = Relation.schema a and b_schema = Relation.schema b in
+  let common = Schema.inter a_schema b_schema in
+  let idx = Index.build b common in
+  let extra_vars =
+    List.filter (fun v -> not (Schema.mem v a_schema)) (Schema.vars b_schema)
+  in
+  let extra_pos = Schema.positions b_schema extra_vars in
+  let key_pos = Schema.positions a_schema common in
+  let out = Relation.create (Schema.union a_schema (Schema.of_list extra_vars)) in
+  Relation.iter
+    (fun ta ->
+      List.iter
+        (fun tb ->
+          Relation.add out (Tuple.concat ta (Tuple.project extra_pos tb));
+          if Relation.cardinal out > limit then raise Too_big)
+        (Index.probe idx (Tuple.project key_pos ta)))
+    a;
+  out
+
+(* Greedy connected left-deep join with early projection.  When [limit]
+   is set, raises [Too_big] as soon as an intermediate result exceeds
+   it. *)
+let join_greedy_internal ?limit relations ~keep =
+  match relations with
+  | [] -> invalid_arg "Db.join_greedy: no relations"
+  | first :: _ ->
+      (* start from the smallest relation *)
+      let start =
+        List.fold_left
+          (fun best r ->
+            if Relation.cardinal r < Relation.cardinal best then r else best)
+          first relations
+      in
+      let remaining = ref (List.filter (fun r -> r != start) relations) in
+      let acc = ref start in
+      let needed_later () =
+        List.fold_left
+          (fun vs r ->
+            List.fold_left (fun vs v -> v :: vs) vs (Schema.vars (Relation.schema r)))
+          keep !remaining
+      in
+      while !remaining <> [] do
+        let connected r =
+          Schema.inter (Relation.schema !acc) (Relation.schema r) <> []
+        in
+        let pick =
+          let candidates = List.filter connected !remaining in
+          let pool = if candidates = [] then !remaining else candidates in
+          List.fold_left
+            (fun best r ->
+              if Relation.cardinal r < Relation.cardinal best then r else best)
+            (List.hd pool) pool
+        in
+        remaining := List.filter (fun r -> r != pick) !remaining;
+        (acc :=
+           match limit with
+           | None -> Relation.natural_join !acc pick
+           | Some l -> bounded_join l !acc pick);
+        (* early projection *)
+        let needed = needed_later () in
+        let schema_vars = Schema.vars (Relation.schema !acc) in
+        let kept = List.filter (fun v -> List.mem v needed) schema_vars in
+        if List.length kept < List.length schema_vars then
+          acc := Relation.project !acc kept
+      done;
+      Relation.project !acc
+        (List.filter (fun v -> Schema.mem v (Relation.schema !acc)) keep)
+
+let join_greedy relations ~keep = join_greedy_internal relations ~keep
+
+let join_greedy_bounded relations ~keep ~limit =
+  try Some (join_greedy_internal ~limit relations ~keep)
+  with Too_big -> None
+
+let eval t (cq : Cq.t) =
+  Cost.with_counting false (fun () ->
+      let rels = List.map (relation t) cq.Cq.atoms in
+      join_greedy rels ~keep:(Varset.to_list cq.Cq.head))
+
+let eval_access t (cqap : Cq.cqap) ~q_a =
+  Cost.with_counting false (fun () ->
+      let cq = cqap.Cq.cq in
+      let rels = q_a :: List.map (relation t) cq.Cq.atoms in
+      join_greedy rels ~keep:(Varset.to_list cq.Cq.head))

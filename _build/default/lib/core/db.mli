@@ -1,0 +1,43 @@
+(** Database instances: named relations plus instantiation against query
+    atoms, and a reference (brute-force) CQ evaluator used to validate
+    every data structure in the test suite. *)
+
+open Stt_relation
+open Stt_hypergraph
+
+type t
+
+val create : unit -> t
+val add : t -> string -> int array list -> unit
+(** Register a relation by name; all tuples must share one arity.
+    Replaces any previous relation of that name. *)
+
+val add_pairs : t -> string -> (int * int) list -> unit
+val mem : t -> string -> bool
+val cardinal : t -> string -> int
+val size : t -> int
+(** [max_R |R|] — the paper's [|D|]. *)
+
+val relation : t -> Cq.atom -> Relation.t
+(** Instantiate an atom: a relation over schema [atom.vars]. *)
+
+val eval : t -> Cq.t -> Relation.t
+(** Reference evaluation: join all atoms (greedy connected order) and
+    project onto the head.  Runs with cost counting disabled. *)
+
+val eval_access : t -> Cq.cqap -> q_a:Relation.t -> Relation.t
+(** Reference evaluation of the access CQ [Q_A ∧ body], projected onto
+    the head.  Cost counting disabled. *)
+
+val join_greedy : Relation.t list -> keep:Schema.var list -> Relation.t
+(** Join the given relations in a greedy connected order with early
+    projection: after each join, variables that appear neither in [keep]
+    nor in any remaining relation are projected away.  Respects the
+    global cost counters (this is also the online evaluator's core). *)
+
+val join_greedy_bounded :
+  Relation.t list -> keep:Schema.var list -> limit:int -> Relation.t option
+(** Like {!join_greedy} but gives up ([None]) as soon as any intermediate
+    or final relation exceeds [limit] tuples — used by preprocessing to
+    abandon materializations that cannot fit the space budget without
+    first computing them. *)

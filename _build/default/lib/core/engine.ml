@@ -1,0 +1,74 @@
+open Stt_relation
+open Stt_hypergraph
+open Stt_decomp
+open Stt_yannakakis
+
+type t = {
+  cqap : Cq.cqap;
+  pmtds : Pmtd.t list;
+  rules : Rule.t list;
+  structures : Twopp.t list;
+  preprocessed : (Pmtd.t * Online_yannakakis.preprocessed) list;
+  space : int;
+}
+
+let cqap t = t.cqap
+let pmtds t = t.pmtds
+let rules t = t.rules
+let space t = t.space
+
+let access_schema t = Schema.of_list (Varset.to_list t.cqap.Cq.access)
+
+let schema_of_set b = Schema.of_list (Varset.to_list b)
+
+(* union of target relations whose schema equals [b] *)
+let view_of_targets targets b =
+  let empty = Relation.create (schema_of_set b) in
+  List.fold_left
+    (fun acc (b', rel) -> if Varset.equal b b' then Relation.union acc rel else acc)
+    empty targets
+
+let build cqap pmtd_list ~db ~budget =
+  let rules = Rule.generate cqap pmtd_list in
+  let structures = List.map (fun r -> Twopp.build r ~db ~budget) rules in
+  let all_s_targets = List.concat_map Twopp.s_targets structures in
+  let preprocessed =
+    Cost.with_counting false (fun () ->
+        List.map
+          (fun p ->
+            let s_views node =
+              view_of_targets all_s_targets (Pmtd.view p node).Pmtd.vars
+            in
+            (p, Online_yannakakis.preprocess p ~s_views))
+          pmtd_list)
+  in
+  let space =
+    List.fold_left
+      (fun acc (_, oy) -> acc + Online_yannakakis.space oy)
+      0 preprocessed
+  in
+  { cqap; pmtds = pmtd_list; rules; structures; preprocessed; space }
+
+let build_auto ?max_pmtds cqap ~db ~budget =
+  build cqap (Enum.pmtds ?max_pmtds cqap) ~db ~budget
+
+let answer t ~q_a =
+  let all_t_targets =
+    List.concat_map (fun s -> Twopp.online s ~q_a) t.structures
+  in
+  let head = t.cqap.Cq.cq.Cq.head in
+  let result = ref (Relation.create (Schema.of_list (Varset.to_list head))) in
+  List.iter
+    (fun (p, oy) ->
+      let t_views node =
+        view_of_targets all_t_targets (Pmtd.view p node).Pmtd.vars
+      in
+      let psi = Online_yannakakis.answer oy ~t_views ~q_a in
+      result := Relation.union !result psi)
+    t.preprocessed;
+  !result
+
+let answer_tuple t tup =
+  let q_a = Relation.create (access_schema t) in
+  Relation.add q_a tup;
+  not (Relation.is_empty (answer t ~q_a))

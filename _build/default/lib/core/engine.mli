@@ -1,0 +1,38 @@
+(** End-to-end CQAP index: the general framework of Section 4.
+
+    [build] generates the 2-phase disjunctive rules from the PMTD set,
+    runs 2PP preprocessing for each rule under the space budget, unions
+    same-schema S-targets into per-PMTD S-views and hands them to Online
+    Yannakakis.  [answer] runs 2PP online for each rule, unions T-targets
+    into T-views, evaluates every PMTD's free-connex CQ ψ_i with Online
+    Yannakakis and returns [⋃_i ψ_i] — the exact result of the access
+    CQ. *)
+
+open Stt_relation
+open Stt_hypergraph
+open Stt_decomp
+
+type t
+
+val build : Cq.cqap -> Pmtd.t list -> db:Db.t -> budget:int -> t
+(** Raises [Failure] if some generated rule is impossible at this budget
+    (only when a rule has no T-targets). *)
+
+val build_auto : ?max_pmtds:int -> Cq.cqap -> db:Db.t -> budget:int -> t
+(** [build] over the automatically enumerated PMTD set. *)
+
+val space : t -> int
+(** Intrinsic space: stored S-view tuples (after per-PMTD indexing). *)
+
+val answer : t -> q_a:Relation.t -> Relation.t
+(** Result of the access CQ over the head variables.  Cost counters
+    observe only the online work. *)
+
+val answer_tuple : t -> Tuple.t -> bool
+(** Boolean single-tuple access: is the access request (values of the
+    access variables in ascending-id order) in the answer? *)
+
+val cqap : t -> Cq.cqap
+val pmtds : t -> Pmtd.t list
+val rules : t -> Rule.t list
+val access_schema : t -> Schema.t

@@ -1,0 +1,147 @@
+open Stt_relation
+open Stt_hypergraph
+open Stt_polymatroid
+open Stt_lp
+
+type term = { x : Varset.t; y : Varset.t; weight : Rat.t; rel : Relation.t }
+type state = term list
+
+let init specs =
+  List.map
+    (fun ((x, y), weight, rel) ->
+      if not (Varset.strict_subset x y) then
+        invalid_arg "Interp.init: term needs X ⊂ Y";
+      if
+        not
+          (List.for_all
+             (fun v -> Varset.mem v y)
+             (Schema.vars (Relation.schema rel)))
+      then invalid_arg "Interp.init: relation schema must be within Y";
+      { x; y; weight; rel })
+    specs
+
+(* withdraw weight [w] from terms matching (x, y); fails if the state
+   has less than [w] there in total.  Returns weighted pieces — one per
+   drained source term — so a step spanning several distinct relations
+   is applied piecewise (the relations may have different schemas). *)
+let withdraw state ~x ~y w =
+  let rec go state need acc_pieces acc_state =
+    match state with
+    | [] -> Error "insufficient weight on source term"
+    | t :: rest ->
+        if not (Varset.equal t.x x && Varset.equal t.y y) then
+          go rest need acc_pieces (t :: acc_state)
+        else if Rat.compare t.weight need >= 0 then
+          let leftover = Rat.sub t.weight need in
+          let acc_state =
+            if Rat.is_zero leftover then acc_state
+            else { t with weight = leftover } :: acc_state
+          in
+          Ok ((t.rel, need) :: acc_pieces, List.rev_append acc_state rest)
+        else
+          go rest (Rat.sub need t.weight)
+            ((t.rel, t.weight) :: acc_pieces)
+            acc_state
+  in
+  go state w [] []
+
+let deposit state ~x ~y w rel =
+  if Rat.is_zero w then state else { x; y; weight = w; rel } :: state
+
+let project_to rel vars =
+  (* ascending variable order, so extracted relations have a canonical
+     column order regardless of join history *)
+  let keep =
+    List.filter
+      (fun v -> Schema.mem v (Relation.schema rel))
+      (Varset.to_list vars)
+  in
+  Relation.project rel keep
+
+let apply state { Proof.w; step } =
+  if Rat.sign w < 0 then Error "negative weight"
+  else
+    match step with
+    | Proof.Mono { x; y } -> (
+        (* consume (∅, Y), produce (∅, X) by projection *)
+        match withdraw state ~x:Varset.empty ~y w with
+        | Error e -> Error e
+        | Ok (pieces, rest) ->
+            Ok
+              (List.fold_left
+                 (fun st (rel, pw) ->
+                   deposit st ~x:Varset.empty ~y:x pw (project_to rel x))
+                 rest pieces))
+    | Proof.Decomp { x; y } -> (
+        (* consume (∅, Y), produce (∅, X) and (X, Y) *)
+        match withdraw state ~x:Varset.empty ~y w with
+        | Error e -> Error e
+        | Ok (pieces, rest) ->
+            Ok
+              (List.fold_left
+                 (fun st (rel, pw) ->
+                   let st =
+                     deposit st ~x:Varset.empty ~y:x pw (project_to rel x)
+                   in
+                   deposit st ~x ~y pw rel)
+                 rest pieces))
+    | Proof.Comp { x; y } -> (
+        (* consume (∅, X) and (X, Y), produce (∅, Y) by join; distinct
+           dictionary pieces are joined with matching base weight *)
+        match withdraw state ~x ~y w with
+        | Error e -> Error e
+        | Ok (dict_pieces, rest) ->
+            List.fold_left
+              (fun acc (dict, pw) ->
+                match acc with
+                | Error _ as e -> e
+                | Ok st -> (
+                    match withdraw st ~x:Varset.empty ~y:x pw with
+                    | Error e -> Error e
+                    | Ok (base_pieces, st) ->
+                        Ok
+                          (List.fold_left
+                             (fun st (base, bw) ->
+                               deposit st ~x:Varset.empty ~y bw
+                                 (Relation.natural_join base dict))
+                             st base_pieces)))
+              (Ok rest) dict_pieces)
+    | Proof.Submod { i; j } -> (
+        (* consume (I∩J, I), produce (J, I∪J) reusing the same relation:
+           its extensions become candidates *)
+        match withdraw state ~x:(Varset.inter i j) ~y:i w with
+        | Error e -> Error e
+        | Ok (pieces, rest) ->
+            Ok
+              (List.fold_left
+                 (fun st (rel, pw) ->
+                   deposit st ~x:j ~y:(Varset.union i j) pw rel)
+                 rest pieces))
+
+let run state seq =
+  List.fold_left
+    (fun acc step ->
+      match acc with Error _ as e -> e | Ok st -> apply st step)
+    (Ok state) seq
+
+let extract state b =
+  let matching =
+    List.filter
+      (fun t ->
+        Varset.is_empty t.x && Varset.equal t.y b && Rat.sign t.weight > 0)
+      state
+  in
+  match List.map (fun t -> project_to t.rel b) matching with
+  | [] -> None
+  | first :: rest -> Some (List.fold_left Relation.union first rest)
+
+let filter_exact candidates ~guards =
+  List.fold_left
+    (fun acc guard ->
+      if
+        List.for_all
+          (fun v -> Schema.mem v (Relation.schema acc))
+          (Schema.vars (Relation.schema guard))
+      then Relation.semijoin acc guard
+      else acc)
+    candidates guards

@@ -1,0 +1,58 @@
+(** A PANDA-style interpreter for proof sequences (Appendix D.3).
+
+    PANDA's central construction turns each step of a Shannon-flow proof
+    sequence into a relational operation.  This module implements that
+    correspondence over {!Stt_relation} in its candidate-propagation
+    form:
+
+    - a {e term} [(X, Y)] with weight [w] carries a dictionary: a
+      relation whose tuples encode, for each [X]-binding, a set of
+      candidate extensions to [Y];
+    - {e composition} [h(X) + h(Y|X) ≥ h(Y)] joins the unconditional
+      [X]-term with the [(X,Y)]-dictionary;
+    - {e decomposition} splits an unconditional [Y]-term into its
+      [X]-projection and the dictionary keyed by [X];
+    - {e monotonicity} projects;
+    - {e submodularity} [h(I∪J|J) ≤ h(I|I∩J)] re-keys the
+      [(I∩J, I)]-dictionary as a dictionary for [(J, I∪J)] — its
+      extensions become {e candidates} (possibly spurious; PANDA filters
+      them later by semijoining with guard atoms, which callers do with
+      {!filter_exact}).
+
+    The interpreter tracks fractional weights exactly, mirroring the
+    weighted proof sequences: a step of weight [w] consumes [w] from its
+    source coordinates and produces [w] on its target.  Relations are
+    shared, not copied, so weight-splitting is cheap. *)
+
+open Stt_relation
+open Stt_hypergraph
+open Stt_polymatroid
+open Stt_lp
+
+type term = {
+  x : Varset.t;       (** conditioning set X (empty = unconditional) *)
+  y : Varset.t;       (** carried set Y, X ⊂ Y *)
+  weight : Rat.t;
+  rel : Relation.t;   (** schema ⊆ Y; candidates via natural join *)
+}
+
+type state = term list
+
+val init : ((Varset.t * Varset.t) * Rat.t * Relation.t) list -> state
+(** Starting terms, typically one per δ-coordinate of the inequality,
+    carrying the corresponding input relation (projected onto [Y]). *)
+
+val apply : state -> Proof.weighted -> (state, string) result
+(** One proof step; [Error] explains a missing / under-weighted source
+    term. *)
+
+val run : state -> Proof.seq -> (state, string) result
+
+val extract : state -> Varset.t -> Relation.t option
+(** The union of unconditional relations carried for target [B] (with
+    positive weight), or [None] if no such term exists. *)
+
+val filter_exact : Relation.t -> guards:Relation.t list -> Relation.t
+(** PANDA's final filtering: semijoin the candidate relation with every
+    guard whose schema is contained in the candidate's schema — removing
+    the spurious candidates introduced by submodularity steps. *)

@@ -1,0 +1,163 @@
+open Stt_hypergraph
+open Stt_polymatroid
+open Stt_lp
+
+type value = Stored | Time of Rat.t | Impossible
+
+type point = {
+  value : value;
+  tradeoff : Tradeoff.t option;
+  split_pairs : (Varset.t * Varset.t) list;
+  hs : (Varset.t * Rat.t) list;
+}
+
+let n_of_rule (r : Rule.t) = r.Rule.cqap.Cq.cq.Cq.n
+
+(* LogSizeBound of the preprocessing rule ρ_S alone, used for rules with
+   no T-targets. *)
+let storable r ~dc ~logd ~logs =
+  match
+    Polymatroid.log_size_bound ~n:(n_of_rule r) ~dc ~targets:r.Rule.s_targets
+      ~logd ~logq:Rat.zero
+  with
+  | None -> false
+  | Some bound -> Rat.compare bound logs <= 0
+
+let obj (r : Rule.t) ~dc ~ac ~logd ~logq ~logs =
+  let n = n_of_rule r in
+  let no_point value = { value; tradeoff = None; split_pairs = []; hs = [] } in
+  match r.Rule.t_targets with
+  | [] ->
+      if storable r ~dc ~logd ~logs then no_point Stored
+      else no_point Impossible
+  | t_targets ->
+      let model = Lp.create () in
+      let lazy_cuts = n >= 6 in
+      let hs = Polymatroid.add ~lazy_cuts model ~name:"hS" ~n in
+      let ht = Polymatroid.add ~lazy_cuts model ~name:"hT" ~n in
+      (* degree constraints: DC on h_S; DC ∪ AC on h_T *)
+      let dc_s =
+        List.map
+          (fun c -> (c, Polymatroid.constrain_degree model hs c ~logd ~logq))
+          dc
+      in
+      let dc_t =
+        List.map
+          (fun c -> (c, Polymatroid.constrain_degree model ht c ~logd ~logq))
+          (dc @ ac)
+      in
+      (* split constraints HSC *)
+      let split_rows =
+        List.map
+          (fun (s : Degree.split) ->
+            let bound = Degree.logsize_eval ~logd ~logq s.Degree.sbound in
+            let x = s.Degree.sx and y = s.Degree.sy in
+            (* h_S(X) + h_T(Y|X) <= n_Z *)
+            let row1 =
+              Lp.add_le model
+                ((Rat.one, Polymatroid.var hs x)
+                :: Polymatroid.expr ht (Cvec.term Rat.one ~x ~y))
+                bound
+            in
+            (* h_S(Y|X) + h_T(X) <= n_Z *)
+            let row2 =
+              Lp.add_le model
+                ((Rat.one, Polymatroid.var ht x)
+                :: Polymatroid.expr hs (Cvec.term Rat.one ~x ~y))
+                bound
+            in
+            (s, row1, row2))
+          (Degree.splits dc)
+      in
+      (* storage constraints: h_S(B) >= log S *)
+      let storage_rows =
+        List.map
+          (fun b ->
+            (b, Lp.add_ge model [ (Rat.one, Polymatroid.var hs b) ] logs))
+          r.Rule.s_targets
+      in
+      (* w <= h_T(B), plus a cap keeping lazily-cut relaxations bounded *)
+      let w = Lp.var model "w" in
+      ignore (Lp.add_le model [ (Rat.one, w) ] Polymatroid.cap);
+      List.iter
+        (fun b ->
+          ignore
+            (Lp.add_le model
+               [ (Rat.one, w); (Rat.minus_one, Polymatroid.var ht b) ]
+               Rat.zero))
+        t_targets;
+      (match Polymatroid.solve_cuts model [ hs; ht ] [ (Rat.one, w) ] with
+      | Lp.Infeasible ->
+          (* the adversarial region is empty: the S-targets always fit *)
+          no_point Stored
+      | Lp.Unbounded -> no_point Impossible
+      | Lp.Solution sol when Rat.compare sol.Lp.value Polymatroid.cap >= 0 ->
+          no_point Impossible
+      | Lp.Solution sol ->
+          (* read the joint Shannon-flow coefficients off the dual *)
+          let add_contrib (dexp, qexp) (c : Degree.t) y =
+            ( Rat.add dexp (Rat.mul y c.Degree.bound.Degree.d),
+              Rat.add qexp (Rat.mul y c.Degree.bound.Degree.q) )
+          in
+          let acc = (Rat.zero, Rat.zero) in
+          let acc =
+            List.fold_left
+              (fun acc (c, row) -> add_contrib acc c (sol.Lp.dual row))
+              acc dc_s
+          in
+          let acc =
+            List.fold_left
+              (fun acc (c, row) -> add_contrib acc c (sol.Lp.dual row))
+              acc dc_t
+          in
+          let acc, split_pairs =
+            List.fold_left
+              (fun ((dexp, qexp), pairs) ((s : Degree.split), row1, row2) ->
+                let g = Rat.add (sol.Lp.dual row1) (sol.Lp.dual row2) in
+                let acc' =
+                  ( Rat.add dexp (Rat.mul g s.Degree.sbound.Degree.d),
+                    Rat.add qexp (Rat.mul g s.Degree.sbound.Degree.q) )
+                in
+                let pairs' =
+                  if Rat.sign g > 0 then (s.Degree.sx, s.Degree.sy) :: pairs
+                  else pairs
+                in
+                (acc', pairs'))
+              (acc, []) split_rows
+          in
+          let d_exp, q_exp = acc in
+          let theta_norm =
+            List.fold_left
+              (fun acc (_, row) -> Rat.sub acc (sol.Lp.dual row))
+              Rat.zero storage_rows
+            (* ge-duals are <= 0 in a max problem; θ_B = −dual *)
+          in
+          let hs_values =
+            List.sort_uniq compare (List.map fst split_pairs)
+            |> List.map (fun x -> (x, sol.Lp.primal (Polymatroid.var hs x)))
+          in
+          {
+            value = Time sol.Lp.value;
+            tradeoff =
+              Some
+                (Tradeoff.make ~s_exp:theta_norm ~t_exp:Rat.one ~d_exp ~q_exp);
+            split_pairs;
+            hs = hs_values;
+          })
+
+let logt r ~dc ~ac ~logq ~logs =
+  match (obj r ~dc ~ac ~logd:Rat.one ~logq ~logs).value with
+  | Stored -> Some Rat.zero
+  | Time t -> Some (Rat.max Rat.zero t)
+  | Impossible -> None
+
+let rule_tradeoffs r ~dc ~ac ~logq ~logs_grid =
+  let points =
+    List.filter_map
+      (fun logs ->
+        match obj r ~dc ~ac ~logd:Rat.one ~logq ~logs with
+        | { value = Time _; tradeoff = Some t; _ } -> Some (Tradeoff.scaled t)
+        | _ -> None)
+      logs_grid
+  in
+  List.sort_uniq Tradeoff.compare points

@@ -1,0 +1,67 @@
+(** Joint Shannon-flow LPs for 2-phase disjunctive rules (Appendix C/D).
+
+    For a rule ρ with S-targets BS and T-targets BT, a space budget and
+    degree constraints, [obj] solves the maximin program (12)
+
+    {v OBJ(S) = max  min_{B∈BT} h_T(B)
+        s.t.  h_S ∈ Γ_n ∩ HDC,   h_T ∈ Γ_n ∩ HDC ∩ HAC,
+              (h_S, h_T) ∈ HSC,   h_S(B) ≥ log S for B ∈ BS v}
+
+    as a plain LP (the inner min becomes [w ≤ h_T(B)]).  The optimal dual
+    is a joint Shannon-flow inequality (Theorem D.5); reading its
+    coefficients yields the intrinsic tradeoff of Theorem D.6:
+    [S^{‖θ‖₁} · T ≅ |D|^{d_exp} · |Q_A|^{q_exp}], plus the split pairs
+    and primal [h_S] values the executable 2PP uses to pick heavy/light
+    thresholds. *)
+
+open Stt_hypergraph
+open Stt_lp
+
+type value =
+  | Stored
+      (** the preprocessing rule fits in the budget outright: T = Õ(1) *)
+  | Time of Rat.t  (** OBJ(S): [log_|D| T] *)
+  | Impossible
+      (** no model obtainable within the budget (only possible when the
+          rule has no T-targets) *)
+
+type point = {
+  value : value;
+  tradeoff : Tradeoff.t option;
+      (** from the dual (t_exp = 1); [None] unless [value] is [Time] *)
+  split_pairs : (Varset.t * Varset.t) list;
+      (** (X, Y) pairs whose split constraint has a positive dual *)
+  hs : (Varset.t * Rat.t) list;
+      (** optimal primal [h_S], restricted to the split-pair [X] sets *)
+}
+
+val obj :
+  Rule.t ->
+  dc:Degree.t list ->
+  ac:Degree.t list ->
+  logd:Rat.t ->
+  logq:Rat.t ->
+  logs:Rat.t ->
+  point
+(** All log quantities in the same (arbitrary) unit; benchmarks use
+    units of [log |D|] (i.e. [logd = 1]). *)
+
+val logt :
+  Rule.t ->
+  dc:Degree.t list ->
+  ac:Degree.t list ->
+  logq:Rat.t ->
+  logs:Rat.t ->
+  Rat.t option
+(** Convenience: [log_|D| T] with [logd = 1] ([Some 0] when [Stored],
+    [None] when [Impossible]). *)
+
+val rule_tradeoffs :
+  Rule.t ->
+  dc:Degree.t list ->
+  ac:Degree.t list ->
+  logq:Rat.t ->
+  logs_grid:Rat.t list ->
+  Tradeoff.t list
+(** The distinct (scaled) tradeoffs realized by the rule across a budget
+    sweep — the rows printed in Table 1. *)

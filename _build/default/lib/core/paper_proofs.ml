@@ -1,0 +1,371 @@
+open Stt_hypergraph
+open Stt_polymatroid
+open Stt_lp
+
+type entry = {
+  name : string;
+  n : int;
+  var_names : string array;
+  delta_s : Cvec.t;
+  delta_t : Cvec.t;
+  lambda_s : Cvec.t;
+  lambda_t : Cvec.t;
+  seq_s : Proof.seq;
+  seq_t : Proof.seq;
+  d_exp : Rat.t;
+  q_exp : Rat.t;
+  tradeoff : Tradeoff.t;
+}
+
+(* -- small construction helpers -- *)
+let vs = Varset.of_list
+let r = Rat.of_int
+let one = Rat.one
+
+let uncond c y = Cvec.unconditional c (vs y)
+let cond c x y = Cvec.term c ~x:(vs x) ~y:(vs y)
+let ( ++ ) = Cvec.add
+
+let submod w i j = { Proof.w; step = Proof.Submod { i = vs i; j = vs j } }
+let comp w x y = { Proof.w; step = Proof.Comp { x = vs x; y = vs y } }
+let mono w x y = { Proof.w; step = Proof.Mono { x = vs x; y = vs y } }
+
+let mk_tradeoff s t d q =
+  Tradeoff.make ~s_exp:(r s) ~t_exp:(r t) ~d_exp:(r d) ~q_exp:(r q)
+
+let xs k = Array.init k (fun i -> Printf.sprintf "x%d" (i + 1))
+
+(* ------------------------------------------------------------------ *)
+(* Section 5 / Example E.6 — 2-reachability:
+   S13 ∨ T123 with S·T² ≅ D²·Q².  x1,x2,x3 ↦ 0,1,2. *)
+let e6_2reach =
+  {
+    name = "E.6 (2-reachability)";
+    n = 3;
+    var_names = xs 3;
+    delta_s = uncond one [ 0 ] ++ uncond one [ 2 ];
+    delta_t = cond one [ 0 ] [ 0; 1 ] ++ cond one [ 2 ] [ 1; 2 ] ++ uncond (r 2) [ 0; 2 ];
+    lambda_s = uncond one [ 0; 2 ];
+    lambda_t = uncond (r 2) [ 0; 1; 2 ];
+    seq_s = [ submod one [ 0 ] [ 2 ]; comp one [ 2 ] [ 0; 2 ] ];
+    seq_t =
+      [
+        submod one [ 0; 1 ] [ 0; 2 ];
+        submod one [ 1; 2 ] [ 0; 2 ];
+        comp (r 2) [ 0; 2 ] [ 0; 1; 2 ];
+      ];
+    d_exp = r 2;
+    q_exp = r 2;
+    tradeoff = mk_tradeoff 1 2 2 2;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Example E.5 — the square query, first rule T134 ∨ S13:
+   n14 + n34 + 2·w13 ≥ h_S(13) + 2·h_T(134).  x1..x4 ↦ 0..3;
+   edges used: R(x4,x1) = {0,3} split on x1, R(x3,x4) = {2,3} split on
+   x3. *)
+let e5_square =
+  {
+    name = "E.5 (square query)";
+    n = 4;
+    var_names = xs 4;
+    delta_s = uncond one [ 0 ] ++ uncond one [ 2 ];
+    delta_t =
+      cond one [ 0 ] [ 0; 3 ] ++ cond one [ 2 ] [ 2; 3 ] ++ uncond (r 2) [ 0; 2 ];
+    lambda_s = uncond one [ 0; 2 ];
+    lambda_t = uncond (r 2) [ 0; 2; 3 ];
+    seq_s = [ submod one [ 0 ] [ 2 ]; comp one [ 2 ] [ 0; 2 ] ];
+    seq_t =
+      [
+        submod one [ 0; 3 ] [ 0; 2 ];
+        submod one [ 2; 3 ] [ 0; 2 ];
+        comp (r 2) [ 0; 2 ] [ 0; 2; 3 ];
+      ];
+    d_exp = r 2;
+    q_exp = r 2;
+    tradeoff = mk_tradeoff 1 2 2 2;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Example E.7 ρ1 — 3-reachability, T134 ∨ T124 ∨ S14:
+   n12 + n34 + 2·w14 ≥ h_S(14) + h_T(124) + h_T(134).  x1..x4 ↦ 0..3. *)
+let e7_rho1 =
+  {
+    name = "E.7 ρ1 (3-reachability)";
+    n = 4;
+    var_names = xs 4;
+    delta_s = uncond one [ 0 ] ++ uncond one [ 3 ];
+    delta_t =
+      cond one [ 0 ] [ 0; 1 ] ++ cond one [ 3 ] [ 2; 3 ] ++ uncond (r 2) [ 0; 3 ];
+    lambda_s = uncond one [ 0; 3 ];
+    lambda_t = uncond one [ 0; 1; 3 ] ++ uncond one [ 0; 2; 3 ];
+    seq_s = [ submod one [ 0 ] [ 3 ]; comp one [ 3 ] [ 0; 3 ] ];
+    seq_t =
+      [
+        submod one [ 0; 1 ] [ 0; 3 ];
+        submod one [ 2; 3 ] [ 0; 3 ];
+        comp one [ 0; 3 ] [ 0; 1; 3 ];
+        comp one [ 0; 3 ] [ 0; 2; 3 ];
+      ];
+    d_exp = r 2;
+    q_exp = r 2;
+    tradeoff = mk_tradeoff 1 2 2 2;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Example E.7 ρ2 — T123 ∨ S13 ∨ T124 ∨ S14:
+   2·n12 + n23 + n34 + 3·w14 ≥ h_S(14) + h_S(13) + 3·h_T(124). *)
+let e7_rho2 =
+  {
+    name = "E.7 ρ2 (3-reachability)";
+    n = 4;
+    var_names = xs 4;
+    delta_s = uncond (r 2) [ 0 ] ++ uncond one [ 2 ] ++ uncond one [ 3 ];
+    delta_t =
+      cond (r 2) [ 0 ] [ 0; 1 ]
+      ++ cond one [ 2 ] [ 1; 2 ]
+      ++ cond one [ 3 ] [ 2; 3 ]
+      ++ uncond (r 3) [ 0; 3 ];
+    lambda_s = uncond one [ 0; 3 ] ++ uncond one [ 0; 2 ];
+    lambda_t = uncond (r 3) [ 0; 1; 3 ];
+    seq_s =
+      [
+        submod one [ 0 ] [ 3 ];
+        comp one [ 3 ] [ 0; 3 ];
+        submod one [ 0 ] [ 2 ];
+        comp one [ 2 ] [ 0; 2 ];
+      ];
+    seq_t =
+      [
+        (* two copies of h(01|0) become h(013|03); one of them via the
+           4-variable detour h(0123|023) matching the paper's
+           h_T(2|314) step *)
+        submod one [ 0; 1 ] [ 0; 3 ];
+        submod one [ 2; 3 ] [ 0; 3 ];
+        submod one [ 1; 2 ] [ 0; 2; 3 ];
+        comp one [ 0; 3 ] [ 0; 1; 3 ];
+        comp one [ 0; 3 ] [ 0; 2; 3 ];
+        comp one [ 0; 2; 3 ] [ 0; 1; 2; 3 ];
+        mono one [ 0; 1; 3 ] [ 0; 1; 2; 3 ];
+        submod one [ 0; 1 ] [ 0; 3 ];
+        comp one [ 0; 3 ] [ 0; 1; 3 ];
+      ];
+    d_exp = r 4;
+    q_exp = r 3;
+    tradeoff = mk_tradeoff 2 3 4 3;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Example E.7 ρ4, first sequence — S·T ≅ D²·Q:
+   n12 + n34 + w14 ≥ h_S(14) + h_T(123). *)
+let e7_rho4_st =
+  {
+    name = "E.7 ρ4 / S·T (3-reachability)";
+    n = 4;
+    var_names = xs 4;
+    delta_s = uncond one [ 0 ] ++ uncond one [ 3 ];
+    delta_t =
+      cond one [ 0 ] [ 0; 1 ] ++ cond one [ 3 ] [ 2; 3 ] ++ uncond one [ 0; 3 ];
+    lambda_s = uncond one [ 0; 3 ];
+    lambda_t = uncond one [ 0; 1; 2 ];
+    seq_s = [ submod one [ 0 ] [ 3 ]; comp one [ 3 ] [ 0; 3 ] ];
+    seq_t =
+      [
+        submod one [ 0; 1 ] [ 0; 3 ];
+        submod one [ 2; 3 ] [ 0; 1; 3 ];
+        comp one [ 0; 3 ] [ 0; 1; 3 ];
+        comp one [ 0; 1; 3 ] [ 0; 1; 2; 3 ];
+        mono one [ 0; 1; 2 ] [ 0; 1; 2; 3 ];
+      ];
+    d_exp = r 2;
+    q_exp = r 1;
+    tradeoff = mk_tradeoff 1 1 2 1;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Example E.8 ρ1 — 4-reachability, T2345 ∨ S15 with S·T ≅ D²·Q:
+   n12 + n45 + w15 ≥ h_S(15) + h_T(1245).  x1..x5 ↦ 0..4. *)
+let e8_rho1 =
+  {
+    name = "E.8 ρ1 (4-reachability)";
+    n = 5;
+    var_names = xs 5;
+    delta_s = uncond one [ 0 ] ++ uncond one [ 4 ];
+    delta_t =
+      cond one [ 0 ] [ 0; 1 ] ++ cond one [ 4 ] [ 3; 4 ] ++ uncond one [ 0; 4 ];
+    lambda_s = uncond one [ 0; 4 ];
+    lambda_t = uncond one [ 0; 1; 3; 4 ];
+    seq_s = [ submod one [ 0 ] [ 4 ]; comp one [ 4 ] [ 0; 4 ] ];
+    seq_t =
+      [
+        submod one [ 0; 1 ] [ 0; 4 ];
+        submod one [ 3; 4 ] [ 0; 1; 4 ];
+        comp one [ 0; 4 ] [ 0; 1; 4 ];
+        comp one [ 0; 1; 4 ] [ 0; 1; 3; 4 ];
+      ];
+    d_exp = r 2;
+    q_exp = r 1;
+    tradeoff = mk_tradeoff 1 1 2 1;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Example E.8 ρ2 — T1235 ∨ T1345 ∨ S24 ∨ S15 with S²·T² ≅ D⁴·Q²:
+   n12 + n23 + n34 + n45 + 2·w15
+     ≥ h_S(15) + h_S(24) + h_T(1235) + h_T(1345). *)
+let e8_rho2 =
+  {
+    name = "E.8 ρ2 (4-reachability)";
+    n = 5;
+    var_names = xs 5;
+    delta_s =
+      uncond one [ 0 ] ++ uncond one [ 1 ] ++ uncond one [ 3 ]
+      ++ uncond one [ 4 ];
+    delta_t =
+      cond one [ 0 ] [ 0; 1 ]
+      ++ cond one [ 1 ] [ 1; 2 ]
+      ++ cond one [ 3 ] [ 2; 3 ]
+      ++ cond one [ 4 ] [ 3; 4 ]
+      ++ uncond (r 2) [ 0; 4 ];
+    lambda_s = uncond one [ 0; 4 ] ++ uncond one [ 1; 3 ];
+    lambda_t = uncond one [ 0; 1; 2; 4 ] ++ uncond one [ 0; 2; 3; 4 ];
+    seq_s =
+      [
+        submod one [ 0 ] [ 4 ];
+        comp one [ 4 ] [ 0; 4 ];
+        submod one [ 1 ] [ 3 ];
+        comp one [ 3 ] [ 1; 3 ];
+      ];
+    seq_t =
+      [
+        submod one [ 0; 1 ] [ 0; 4 ];
+        submod one [ 1; 2 ] [ 0; 1; 4 ];
+        submod one [ 3; 4 ] [ 0; 4 ];
+        submod one [ 2; 3 ] [ 0; 3; 4 ];
+        comp one [ 0; 4 ] [ 0; 1; 4 ];
+        comp one [ 0; 1; 4 ] [ 0; 1; 2; 4 ];
+        comp one [ 0; 4 ] [ 0; 3; 4 ];
+        comp one [ 0; 3; 4 ] [ 0; 2; 3; 4 ];
+      ];
+    d_exp = r 4;
+    q_exp = r 2;
+    tradeoff = mk_tradeoff 2 2 4 2;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Section 6.1 — 2-Set Intersection, T123 ∨ S123 with S·T ≅ D²·Q:
+   h_S(x2 y) + {h_S(x1|y) + h_T(y)} + h_T(x1 x2)
+     ≥ h_S(x1 x2 y) + h_T(x1 x2 y).
+   x1, x2, y ↦ 0, 1, 2. *)
+let s61_2setint =
+  {
+    name = "6.1 (2-set intersection)";
+    n = 3;
+    var_names = [| "x1"; "x2"; "y" |];
+    delta_s = uncond one [ 1; 2 ] ++ cond one [ 2 ] [ 0; 2 ];
+    delta_t = uncond one [ 2 ] ++ uncond one [ 0; 1 ];
+    lambda_s = uncond one [ 0; 1; 2 ];
+    lambda_t = uncond one [ 0; 1; 2 ];
+    seq_s =
+      [ submod one [ 0; 2 ] [ 1; 2 ]; comp one [ 1; 2 ] [ 0; 1; 2 ] ];
+    seq_t = [ submod one [ 2 ] [ 0; 1 ]; comp one [ 0; 1 ] [ 0; 1; 2 ] ];
+    d_exp = r 2;
+    q_exp = r 1;
+    tradeoff = mk_tradeoff 1 1 2 1;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Appendix F — the improved hierarchical tradeoff S·T⁴ ≅ D⁴·Q⁴ for the
+   rule T0(Z,X) ∨ S(Z): bucketize on the bound variables:
+   Σ_z {h_T(anc(z)∪z | z) + h_S(z)} + 4·h_T(Z) ≥ h_S(Z) + 4·h_T(XZ).
+   X,Y1,Y2,Z1..Z4 ↦ 0,1,2,3,4,5,6. *)
+let f_hier_improved =
+  let z = [ 3; 4; 5; 6 ] in
+  let xz = [ 0; 3; 4; 5; 6 ] in
+  {
+    name = "F improved (hierarchical)";
+    n = 7;
+    var_names = [| "X"; "Y1"; "Y2"; "Z1"; "Z2"; "Z3"; "Z4" |];
+    delta_s = uncond one [ 3 ] ++ uncond one [ 4 ] ++ uncond one [ 5 ] ++ uncond one [ 6 ];
+    delta_t =
+      cond one [ 3 ] [ 0; 1; 3 ]
+      ++ cond one [ 4 ] [ 0; 1; 4 ]
+      ++ cond one [ 5 ] [ 0; 2; 5 ]
+      ++ cond one [ 6 ] [ 0; 2; 6 ]
+      ++ uncond (r 4) z;
+    lambda_s = uncond one z;
+    lambda_t = uncond (r 4) xz;
+    seq_s =
+      [
+        submod one [ 3 ] [ 4 ];
+        comp one [ 4 ] [ 3; 4 ];
+        submod one [ 5 ] [ 3; 4 ];
+        comp one [ 3; 4 ] [ 3; 4; 5 ];
+        submod one [ 6 ] [ 3; 4; 5 ];
+        comp one [ 3; 4; 5 ] z;
+      ];
+    seq_t =
+      [
+        (* leaf Z1 *)
+        submod one [ 0; 1; 3 ] z;
+        comp one z [ 0; 1; 3; 4; 5; 6 ];
+        mono one xz [ 0; 1; 3; 4; 5; 6 ];
+        (* leaf Z2 *)
+        submod one [ 0; 1; 4 ] z;
+        comp one z [ 0; 1; 3; 4; 5; 6 ];
+        mono one xz [ 0; 1; 3; 4; 5; 6 ];
+        (* leaf Z3 *)
+        submod one [ 0; 2; 5 ] z;
+        comp one z [ 0; 2; 3; 4; 5; 6 ];
+        mono one xz [ 0; 2; 3; 4; 5; 6 ];
+        (* leaf Z4 *)
+        submod one [ 0; 2; 6 ] z;
+        comp one z [ 0; 2; 3; 4; 5; 6 ];
+        mono one xz [ 0; 2; 3; 4; 5; 6 ];
+      ];
+    d_exp = r 4;
+    q_exp = r 4;
+    tradeoff = mk_tradeoff 1 4 4 4;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Appendix F, second rule — T(X,Y1,Z1,Z2) ∨ S(X,Z1,Z2) ∨ S(Z) with
+   S·T ≅ D²·Q: split relation R on (XY1) and use the cardinality of S:
+   {h_T(Y1 X) + h_S(Z1 Y1 X | Y1 X)} + h_S(Z2 Y1 X) + h_T(Z1 Z2)
+     ≥ h_S(X Z1 Z2) + h_T(X Y1 Z1 Z2). *)
+let f_hier_rule2 =
+  {
+    name = "F rule 2 (hierarchical)";
+    n = 7;
+    var_names = [| "X"; "Y1"; "Y2"; "Z1"; "Z2"; "Z3"; "Z4" |];
+    delta_s = cond one [ 0; 1 ] [ 0; 1; 3 ] ++ uncond one [ 0; 1; 4 ];
+    delta_t = uncond one [ 0; 1 ] ++ uncond one [ 3; 4 ];
+    lambda_s = uncond one [ 0; 3; 4 ];
+    lambda_t = uncond one [ 0; 1; 3; 4 ];
+    seq_s =
+      [
+        submod one [ 0; 1; 3 ] [ 0; 1; 4 ];
+        comp one [ 0; 1; 4 ] [ 0; 1; 3; 4 ];
+        mono one [ 0; 3; 4 ] [ 0; 1; 3; 4 ];
+      ];
+    seq_t =
+      [ submod one [ 0; 1 ] [ 3; 4 ]; comp one [ 3; 4 ] [ 0; 1; 3; 4 ] ];
+    d_exp = r 2;
+    q_exp = r 1;
+    tradeoff = mk_tradeoff 1 1 2 1;
+  }
+
+let all =
+  [
+    e6_2reach;
+    e5_square;
+    e7_rho1;
+    e7_rho2;
+    e7_rho4_st;
+    e8_rho1;
+    e8_rho2;
+    s61_2setint;
+    f_hier_improved;
+    f_hier_rule2;
+  ]
+
+let find name = List.find (fun e -> e.name = name) all

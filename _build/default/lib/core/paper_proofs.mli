@@ -1,0 +1,36 @@
+(** The paper's proof sequences, encoded as machine-checkable data.
+
+    Each entry transcribes one joint Shannon-flow inequality from the
+    paper (Section 5 and Appendices E/F) together with its two
+    participating proof sequences — the preprocessing sequence acting on
+    [h_S] and the online sequence acting on [h_T] — and the intrinsic
+    tradeoff the inequality implies via Theorem D.6.
+
+    The test suite validates every entry end to end: both sequences
+    check under {!Stt_polymatroid.Proof.check}, both participating
+    inequalities are verified valid over Γ_n by LP, and the stated
+    tradeoff's |D|/|Q| exponents equal the coefficient sums of the
+    left-hand side.  Variables use 0-based ids ([x_i ↦ i-1]). *)
+
+open Stt_polymatroid
+
+type entry = {
+  name : string;          (** e.g. "E.7 ρ1 (3-reachability)" *)
+  n : int;                (** number of query variables *)
+  var_names : string array;
+  delta_s : Cvec.t;       (** [h_S] terms of the inequality's left side *)
+  delta_t : Cvec.t;       (** [h_T] terms (including the [Q_A] terms) *)
+  lambda_s : Cvec.t;      (** θ-weighted S-targets on the right side *)
+  lambda_t : Cvec.t;      (** λ-weighted T-targets on the right side *)
+  seq_s : Proof.seq;      (** proof of ⟨δ_S, h⟩ ≥ ⟨θ, h⟩ *)
+  seq_t : Proof.seq;      (** proof of ⟨δ_T, h⟩ ≥ ⟨λ, h⟩ *)
+  d_exp : Stt_lp.Rat.t;   (** total |D| mass on the left side *)
+  q_exp : Stt_lp.Rat.t;   (** total |Q_A| mass on the left side *)
+  tradeoff : Tradeoff.t;  (** the scaled tradeoff stated in the paper *)
+}
+
+val all : entry list
+(** Every encoded proof, in paper order. *)
+
+val find : string -> entry
+(** Lookup by [name]; raises [Not_found]. *)

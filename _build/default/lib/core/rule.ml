@@ -1,0 +1,113 @@
+open Stt_hypergraph
+open Stt_decomp
+
+type t = {
+  cqap : Cq.cqap;
+  s_targets : Varset.t list;
+  t_targets : Varset.t list;
+}
+
+let sort_sets = List.sort_uniq Varset.compare
+
+let minimal_sets sets =
+  (* drop any set that strictly contains another set of the list *)
+  List.filter
+    (fun s ->
+      not (List.exists (fun s' -> Varset.strict_subset s' s) sets))
+    sets
+
+let make cqap ~s_targets ~t_targets =
+  {
+    cqap;
+    s_targets = minimal_sets (sort_sets s_targets);
+    t_targets = minimal_sets (sort_sets t_targets);
+  }
+
+let equal a b =
+  List.equal Varset.equal a.s_targets b.s_targets
+  && List.equal Varset.equal a.t_targets b.t_targets
+
+let subset_of xs ys = List.for_all (fun x -> List.exists (Varset.equal x) ys) xs
+
+let subsumes a b =
+  subset_of a.s_targets b.s_targets && subset_of a.t_targets b.t_targets
+
+(* Incremental product with subset-minimal pruning.  Extending two
+   partial target sets with the same view preserves inclusion, so a
+   partial set that is a superset of another can never yield a minimal
+   rule that the smaller one does not also yield — pruning at every step
+   is sound and keeps the frontier small even for 15+ PMTDs. *)
+let generate cqap pmtds =
+  let view_lists =
+    List.map
+      (fun p ->
+        List.map (fun v -> (v.Pmtd.kind, v.Pmtd.vars)) (Pmtd.views p)
+        |> List.sort_uniq compare)
+      pmtds
+  in
+  let add_target (k, vars) (s_ts, t_ts) =
+    match k with
+    | Pmtd.S -> (sort_sets (vars :: s_ts), t_ts)
+    | Pmtd.T -> (s_ts, sort_sets (vars :: t_ts))
+  in
+  let partial_subsumes (s1, t1) (s2, t2) = subset_of s1 s2 && subset_of t1 t2 in
+  let prune partials =
+    let distinct = List.sort_uniq compare partials in
+    List.filter
+      (fun p ->
+        not
+          (List.exists
+             (fun p' -> p' <> p && partial_subsumes p' p)
+             distinct))
+      distinct
+  in
+  let frontier =
+    List.fold_left
+      (fun partials views ->
+        List.concat_map
+          (fun p -> List.map (fun v -> add_target v p) views)
+          partials
+        |> prune)
+      [ ([], []) ]
+      view_lists
+  in
+  let rules =
+    List.map (fun (s, t) -> make cqap ~s_targets:s ~t_targets:t) frontier
+  in
+  (* the within-rule reductions of [make] can re-introduce subsumption *)
+  let rules =
+    List.fold_left
+      (fun acc r -> if List.exists (equal r) acc then acc else r :: acc)
+      [] rules
+    |> List.rev
+  in
+  List.filter
+    (fun r ->
+      not (List.exists (fun r' -> subsumes r' r && not (equal r' r)) rules))
+    rules
+  |> List.sort (fun a b ->
+         let count r =
+           List.length r.s_targets + List.length r.t_targets
+         in
+         let c = compare (count a) (count b) in
+         if c <> 0 then c
+         else
+           compare
+             (List.map Varset.to_int a.s_targets, List.map Varset.to_int a.t_targets)
+             (List.map Varset.to_int b.s_targets, List.map Varset.to_int b.t_targets))
+
+let pp ppf r =
+  let names = r.cqap.Cq.cq.Cq.var_names in
+  let pp_t prefix ppf vars =
+    Format.fprintf ppf "%s%a" prefix (Varset.pp_named names) vars
+  in
+  let targets =
+    List.map (fun v -> `S v) r.s_targets @ List.map (fun v -> `T v) r.t_targets
+  in
+  Format.fprintf ppf "@[<h>%a ← Q_A ∧ body@]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ∨ ")
+       (fun ppf -> function
+         | `S v -> pp_t "S" ppf v
+         | `T v -> pp_t "T" ppf v))
+    targets

@@ -1,0 +1,33 @@
+(** 2-phase disjunctive rules (Definition 4.1) and their generation from
+    a set of PMTDs (Section 4.2).
+
+    A rule is identified by its S-target and T-target schemas; the body
+    is always [Q_A ∧ ⋀ R_F].  Generation takes one view per PMTD
+    (cartesian product), deduplicates targets inside a rule, drops
+    within-rule dominated targets (a T-target that strictly contains
+    another T-target is redundant, cf. Example E.8), and finally keeps
+    only subset-minimal rules (Section 6.4's reduction). *)
+
+open Stt_hypergraph
+open Stt_decomp
+
+type t = {
+  cqap : Cq.cqap;
+  s_targets : Varset.t list; (* sorted, distinct *)
+  t_targets : Varset.t list; (* sorted, distinct *)
+}
+
+val make :
+  Cq.cqap -> s_targets:Varset.t list -> t_targets:Varset.t list -> t
+(** Normalizes (sorts, dedups, removes within-rule dominated targets). *)
+
+val generate : Cq.cqap -> Pmtd.t list -> t list
+(** All rules from the PMTD set, subset-minimal ones only.  Raises
+    [Failure] when the product of view counts exceeds 2^20. *)
+
+val equal : t -> t -> bool
+val subsumes : t -> t -> bool
+(** [subsumes a b]: [a]'s targets are a subset of [b]'s (kind-wise), so
+    any model of [a] is a model of [b]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,445 @@
+open Stt_relation
+open Stt_hypergraph
+open Stt_polymatroid
+open Stt_lp
+
+(* One probing step of an online plan: join the accumulator with the
+   indexed relation, then project to [keep]. *)
+type step = { idx : Index.t; keep : Schema.var list }
+
+type subproblem = {
+  t_target : Varset.t;
+  probe_plan : step list; (* greedy degree order: great average case *)
+  safe_plan : step list;  (* min worst-case-estimate order *)
+  cap : int;              (* abort threshold for the probe plan *)
+}
+
+type t = {
+  rule : Rule.t;
+  stored : (Varset.t * Relation.t) list;
+  space : int;
+  delegated : subproblem list;
+}
+
+let rule t = t.rule
+let s_targets t = t.stored
+let space t = t.space
+let delegated_subproblems t = List.length t.delegated
+
+(* Quantized to 1/16 so the target-selection LPs keep small denominators
+   (exact simplex on native-int rationals). *)
+let log2_rat x =
+  let bits = Float.log2 (float_of_int (max 2 x)) in
+  Rat.make (int_of_float (Float.round (16.0 *. bits))) 16
+
+(* Partition an atom's relation into (heavy, light) by the degree
+   deg(Y | X) measured on distinct Y-projections. *)
+let split_atom rel ~x_vars ~y_vars ~threshold =
+  Cost.with_counting false (fun () ->
+      let proj = Relation.project rel y_vars in
+      let degs = Relation.degrees proj x_vars in
+      let schema = Relation.schema rel in
+      let x_pos = Schema.positions schema x_vars in
+      let heavy = Relation.create schema and light = Relation.create schema in
+      Relation.iter
+        (fun tup ->
+          let key = Tuple.project x_pos tup in
+          let d = try Hashtbl.find degs key with Not_found -> 0 in
+          if d > threshold then Relation.add heavy tup
+          else Relation.add light tup)
+        rel;
+      (heavy, light))
+
+(* Measured degree constraints of a subproblem, for target selection. *)
+let measured_dc rels =
+  List.concat_map
+    (fun ((atom : Cq.atom), rel) ->
+      let fvars = Cq.atom_vars atom in
+      let card =
+        Degree.cardinality fvars
+          { Degree.d = log2_rat (max 1 (Relation.cardinal rel)); q = Rat.zero }
+      in
+      let per_var =
+        List.filter_map
+          (fun v ->
+            if Varset.cardinal fvars < 2 then None
+            else
+              let d = Relation.max_degree rel [ v ] in
+              Some
+                (Degree.make ~x:(Varset.singleton v) ~y:fvars
+                   { Degree.d = log2_rat (max 1 d); q = Rat.zero }))
+          (Varset.to_list fvars)
+      in
+      card :: per_var)
+    rels
+
+let pick_target n ~dc targets =
+  match targets with
+  | [ b ] -> b
+  | _ ->
+      let scored =
+        List.map
+          (fun b ->
+            ( b,
+              Polymatroid.log_size_bound ~n ~dc ~targets:[ b ] ~logd:Rat.one
+                ~logq:Rat.zero ))
+          targets
+      in
+      let best =
+        List.fold_left
+          (fun acc (b, bound) ->
+            match (acc, bound) with
+            | None, Some v -> Some (b, v)
+            | Some (_, v0), Some v when Rat.compare v v0 < 0 -> Some (b, v)
+            | acc, _ -> acc)
+          None scored
+      in
+      (match best with Some (b, _) -> b | None -> List.hd targets)
+
+let pick_target n ~dc targets =
+  try pick_target n ~dc targets with Rat.Overflow -> List.hd targets
+
+(* The atoms joined for a local T-target: every atom contained in the
+   target bag (required for the Yannakakis soundness argument), extended
+   greedily until the target's variables are covered. *)
+let local_atoms rels ~access b =
+  let inside, outside =
+    List.partition (fun (a, _) -> Varset.subset (Cq.atom_vars a) b) rels
+  in
+  let covered =
+    List.fold_left
+      (fun acc (a, _) -> Varset.union acc (Cq.atom_vars a))
+      access inside
+  in
+  let rec extend covered chosen pool =
+    if Varset.subset b covered then List.rev chosen
+    else
+      let missing = Varset.diff b covered in
+      let gain (a, _) = Varset.cardinal (Varset.inter (Cq.atom_vars a) missing) in
+      match
+        List.filter (fun ar -> gain ar > 0) pool
+        |> List.sort (fun a b -> compare (gain b) (gain a))
+      with
+      | [] -> List.rev chosen (* cannot happen: every var is in an atom *)
+      | best :: _ ->
+          extend
+            (Varset.union covered (Cq.atom_vars (fst best)))
+            (best :: chosen)
+            (List.filter (fun ar -> ar != best) pool)
+  in
+  inside @ extend covered [] outside
+
+(* Worst-case cost of joining the atoms in a given order, starting from
+   the access schema with |Q_A| = 1: each step multiplies the running
+   size bound by the relation's max degree on the shared variables —
+   or by its full cardinality when no variable is shared (a product,
+   which PANDA-style plans legitimately use to hit D·|Q| bounds).  The
+   accumulated intermediate sizes are summed. *)
+let order_cost ~access order =
+  let rec go bound seen total = function
+    | [] -> total
+    | (a, rel) :: rest ->
+        let shared =
+          List.filter (fun v -> Varset.mem v seen)
+            (Varset.to_list (Cq.atom_vars a))
+        in
+        let step_factor =
+          match shared with
+          | [] -> Relation.cardinal rel
+          | sh -> Relation.max_degree rel sh
+        in
+        let bound' =
+          if step_factor <= 0 then 0
+          else if bound > max_int / max 1 step_factor then max_int / 2
+          else bound * step_factor
+        in
+        let seen' = Varset.union seen (Cq.atom_vars a) in
+        let total' = if total > max_int - bound' then max_int / 2 else total + bound' in
+        go bound' seen' total' rest
+
+  in
+  go 1 access 0 order
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+      List.concat_map
+        (fun x ->
+          let rest = List.filter (fun y -> y != x) l in
+          List.map (fun p -> x :: p) (permutations rest))
+        l
+
+(* materialize an ordered atom list into indexed steps with early
+   projection *)
+let steps_of_order ~access ~target order =
+  let acc_schema = ref (Varset.to_list access) in
+  let steps = ref [] in
+  List.iteri
+    (fun i (atom, rel) ->
+      let key =
+        List.filter
+          (fun v -> List.mem v !acc_schema)
+          (Varset.to_list (Cq.atom_vars atom))
+      in
+      let idx = Index.build rel key in
+      acc_schema :=
+        !acc_schema
+        @ List.filter
+            (fun v -> not (List.mem v !acc_schema))
+            (Varset.to_list (Cq.atom_vars atom));
+      (* early projection: keep target vars, access vars and anything a
+         later atom still joins on *)
+      let rest = List.filteri (fun j _ -> j > i) order in
+      let needed =
+        List.fold_left
+          (fun acc (a, _) -> Varset.union acc (Cq.atom_vars a))
+          (Varset.union target access)
+          rest
+      in
+      let keep = List.filter (fun v -> Varset.mem v needed) !acc_schema in
+      acc_schema := keep;
+      steps := { idx; keep } :: !steps)
+    order;
+  List.rev !steps
+
+(* greedy order: cheapest connected extension first — excellent on
+   average but can cascade through hubs in the worst case *)
+let greedy_order ~access atoms =
+  let seen = ref access in
+  let remaining = ref atoms in
+  let out = ref [] in
+  while !remaining <> [] do
+    let cost (a, rel) =
+      let shared =
+        List.filter (fun v -> Varset.mem v !seen)
+          (Varset.to_list (Cq.atom_vars a))
+      in
+      match shared with
+      | [] -> max_int
+      | sh -> Relation.max_degree rel sh
+    in
+    let best =
+      List.fold_left
+        (fun acc ar ->
+          match acc with
+          | Some b when cost b <= cost ar -> acc
+          | _ -> Some ar)
+        None !remaining
+    in
+    let chosen = Option.get best in
+    remaining := List.filter (fun ar -> ar != chosen) !remaining;
+    seen := Varset.union !seen (Cq.atom_vars (fst chosen));
+    out := chosen :: !out
+  done;
+  List.rev !out
+
+(* min worst-case-estimate order: considers product-then-filter plans,
+   which realize the paper's D·|Q|-style bounds *)
+let safe_order ~access atoms =
+  if List.length atoms > 5 then atoms
+  else
+    match permutations atoms with
+    | [] -> []
+    | first :: _ as perms ->
+        List.fold_left
+          (fun best o ->
+            if order_cost ~access o < order_cost ~access best then o else best)
+          first perms
+
+(* Build both plans for one subproblem; online execution runs the greedy
+   plan with the safe plan's worst-case estimate as an abort cap and
+   falls back when it trips — adaptive, at most ~2x the worst-case
+   bound, near-greedy on typical requests. *)
+let build_plan rels ~access ~target =
+  Cost.with_counting false (fun () ->
+      let atoms = local_atoms rels ~access target in
+      let safe = safe_order ~access atoms in
+      let greedy = greedy_order ~access atoms in
+      let cap = 2 * (1 + order_cost ~access safe) in
+      ( steps_of_order ~access ~target greedy,
+        steps_of_order ~access ~target safe,
+        cap ))
+
+(* evaluate the (partial) body join projected onto each target, giving
+   up early on any materialization that cannot fit the budget; joins are
+   bounded by a small multiple of the budget because intermediates can
+   legitimately overshoot the projected result *)
+let eval_targets rels targets ~budget =
+  let relations = List.map snd rels in
+  let limit = 16 * max 1 budget in
+  List.filter_map
+    (fun b ->
+      match
+        Db.join_greedy_bounded relations ~keep:(Varset.to_list b) ~limit
+      with
+      | Some rel -> Some (b, rel)
+      | None -> None)
+    targets
+
+let build (r : Rule.t) ~db ~budget =
+  Cost.with_counting false (fun () ->
+      let cqap = r.Rule.cqap in
+      let cq = cqap.Cq.cq in
+      let n = cq.Cq.n in
+      let access = cqap.Cq.access in
+      let dc = Degree.default_dc cq and ac = Degree.default_ac cqap in
+      let dsize = max 2 (Db.size db) in
+      let logd_abs = Float.log2 (float_of_int dsize) in
+      let logs =
+        Rat.of_float_approx ~max_den:1024
+          (Float.log2 (float_of_int (max 2 budget)) /. logd_abs)
+      in
+      let point =
+        (* if the guide LP overflows, build an unguided (split-free)
+           structure — correct, just without heavy/light partitioning *)
+        try Jointflow.obj r ~dc ~ac ~logd:Rat.one ~logq:Rat.zero ~logs
+        with Rat.Overflow ->
+          {
+            Jointflow.value = Jointflow.Time Rat.zero;
+            tradeoff = None;
+            split_pairs = [];
+            hs = [];
+          }
+      in
+      (* [Impossible] is a worst-case prediction; actual materialization is
+         still attempted below and only fails if the real data does not
+         fit either. *)
+      let base = List.map (fun a -> (a, Db.relation db a)) cq.Cq.atoms in
+      let hs_of x =
+        match List.assoc_opt x point.Jointflow.hs with
+        | Some v -> v
+        | None -> Rat.zero
+      in
+      (* attach each dual-positive split pair to its first guarding atom *)
+      let splits =
+        List.filter_map
+          (fun (x, y) ->
+            match
+              List.find_opt
+                (fun (a, _) -> Varset.subset y (Cq.atom_vars a))
+                base
+            with
+            | None -> None
+            | Some (atom, rel) ->
+                let exp = Rat.to_float (hs_of x) *. logd_abs in
+                let t =
+                  float_of_int (max 1 (Relation.cardinal rel))
+                  /. Float.pow 2.0 exp
+                in
+                Some (atom, x, y, max 1 (int_of_float (Float.round t))))
+          (List.sort_uniq compare point.Jointflow.split_pairs)
+      in
+      (* subproblems: every heavy/light choice over the split pairs *)
+      let rec expand rels = function
+        | [] -> [ rels ]
+        | (atom, x, y, threshold) :: rest ->
+            let rel = List.assq atom rels in
+            let heavy, light =
+              split_atom rel
+                ~x_vars:(Varset.to_list x)
+                ~y_vars:(Varset.to_list y)
+                ~threshold
+            in
+            let with_rel repl =
+              List.map
+                (fun (a, r0) -> if a == atom then (a, repl) else (a, r0))
+                rels
+            in
+            expand (with_rel heavy) rest @ expand (with_rel light) rest
+      in
+      let subproblems =
+        expand base splits
+        |> List.filter (fun rels ->
+               List.for_all (fun (_, r) -> not (Relation.is_empty r)) rels)
+      in
+      let stored_acc : (Varset.t, Relation.t) Hashtbl.t = Hashtbl.create 8 in
+      let delegated = ref [] in
+      List.iter
+        (fun rels ->
+          let candidates =
+            match r.Rule.s_targets with
+            | [] -> []
+            | s_targets -> eval_targets rels s_targets ~budget
+          in
+          let best =
+            List.fold_left
+              (fun acc (b, rel) ->
+                match acc with
+                | Some (_, best_rel)
+                  when Relation.cardinal best_rel <= Relation.cardinal rel ->
+                    acc
+                | _ -> Some (b, rel))
+              None candidates
+          in
+          match best with
+          | Some (b, rel) when Relation.cardinal rel <= budget ->
+              let acc =
+                match Hashtbl.find_opt stored_acc b with
+                | Some existing -> Relation.union existing rel
+                | None -> rel
+              in
+              Hashtbl.replace stored_acc b acc
+          | _ -> (
+              match r.Rule.t_targets with
+              | [] -> failwith "Twopp.build: rule impossible at this budget"
+              | t_targets ->
+                  let sub_dc = measured_dc rels in
+                  let t_target = pick_target n ~dc:sub_dc t_targets in
+                  let probe_plan, safe_plan, cap =
+                    build_plan rels ~access ~target:t_target
+                  in
+                  delegated :=
+                    { t_target; probe_plan; safe_plan; cap } :: !delegated))
+        subproblems;
+      let stored =
+        Hashtbl.fold (fun b rel acc -> (b, rel) :: acc) stored_acc []
+      in
+      let space =
+        List.fold_left
+          (fun acc (_, rel) -> acc + Relation.cardinal rel)
+          0 stored
+      in
+      { rule = r; stored; space; delegated = List.rev !delegated })
+
+exception Plan_abort
+
+let run_plan ?cap q_a plan =
+  let acc = ref q_a in
+  List.iter
+    (fun { idx; keep } ->
+      acc := Index.join !acc idx;
+      (match cap with
+      | Some c when Relation.cardinal !acc > c -> raise Plan_abort
+      | _ -> ());
+      acc := Relation.project !acc keep)
+    plan;
+  !acc
+
+let online t ~q_a =
+  let out : (Varset.t, Relation.t) Hashtbl.t = Hashtbl.create 4 in
+  List.iter
+    (fun sub ->
+      let result_rel =
+        (* adaptive execution: greedy plan within the cap, safe plan on
+           overflow *)
+        try run_plan ~cap:(sub.cap * max 1 (Relation.cardinal q_a)) q_a sub.probe_plan
+        with Plan_abort -> run_plan q_a sub.safe_plan
+      in
+      let acc = ref result_rel in
+      let target_vars = Varset.to_list sub.t_target in
+      let result =
+        if
+          List.for_all
+            (fun v -> Schema.mem v (Relation.schema !acc))
+            target_vars
+        then Relation.project !acc target_vars
+        else Relation.create (Schema.of_list target_vars)
+      in
+      let merged =
+        match Hashtbl.find_opt out sub.t_target with
+        | Some existing -> Relation.union existing result
+        | None -> result
+      in
+      Hashtbl.replace out sub.t_target merged)
+    t.delegated;
+  Hashtbl.fold (fun b rel acc -> (b, rel) :: acc) out []

@@ -1,0 +1,44 @@
+(** Executable 2-phase PANDA (2PP, Appendix D) for one 2-phase
+    disjunctive rule.
+
+    [build] solves the joint Shannon-flow LP at the given budget, reads
+    the split pairs with positive dual and the primal [h_S] values, and
+    partitions each guard relation into heavy/light at the implied degree
+    threshold.  Each of the (at most [2^p]) subproblems is then either
+
+    - {e stored}: the smallest S-target projection of the subproblem's
+      body join fits in the budget and is materialized, or
+    - {e delegated}: the subproblem is kept as an index entry; [online]
+      evaluates its cheapest T-target (chosen by polymatroid bound under
+      the subproblem's measured degree constraints) against each access
+      request.
+
+    Differences from full PANDA are deliberate and documented in
+    DESIGN.md: models place every tuple into a single best target per
+    subproblem, and evaluation uses semijoin-reduction plus greedy joins
+    with early projection rather than a proof-sequence interpreter. *)
+
+open Stt_relation
+open Stt_hypergraph
+
+type t
+
+val build : Rule.t -> db:Db.t -> budget:int -> t
+(** Raises [Failure] if the rule has no T-targets and its S-targets do
+    not actually fit in the budget (the rule is impossible at this
+    budget; the worst-case LP prediction alone does not fail the build —
+    real data often fits well below the bound). *)
+
+val s_targets : t -> (Varset.t * Relation.t) list
+(** Materialized (partial) S-target relations, one per target schema
+    (schema column order = ascending variable ids). *)
+
+val space : t -> int
+(** Tuples across all stored S-targets. *)
+
+val delegated_subproblems : t -> int
+val online : t -> q_a:Relation.t -> (Varset.t * Relation.t) list
+(** T-target relations computed from the delegated subproblems for this
+    access request.  Respects the global cost counters. *)
+
+val rule : t -> Rule.t

@@ -1,0 +1,1 @@
+lib/decomp/enum.ml: Array Cq Fun Hashtbl Hypergraph List Pmtd Printf Queue Rtree Stt_hypergraph Td Varset

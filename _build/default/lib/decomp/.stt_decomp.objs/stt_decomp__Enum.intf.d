@@ -1,0 +1,1 @@
+lib/decomp/enum.mli: Cq Pmtd Stt_hypergraph Td

@@ -1,0 +1,1 @@
+lib/decomp/pmtd.ml: Array Cq Format Hypergraph List Rtree String Stt_hypergraph Td Varset

@@ -1,0 +1,1 @@
+lib/decomp/pmtd.mli: Cq Format Hypergraph Stt_hypergraph Td Varset

@@ -1,0 +1,1 @@
+lib/decomp/rtree.ml: Array Format List Queue

@@ -1,0 +1,1 @@
+lib/decomp/rtree.mli: Format

@@ -1,0 +1,1 @@
+lib/decomp/td.ml: Array Format Hashtbl Hypergraph List Rtree String Stt_hypergraph Varset

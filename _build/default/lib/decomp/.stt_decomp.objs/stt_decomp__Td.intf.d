@@ -1,0 +1,1 @@
+lib/decomp/td.mli: Format Hypergraph Rtree Stt_hypergraph Varset

@@ -1,0 +1,112 @@
+open Stt_hypergraph
+
+type kind = S | T
+type view = { node : int; kind : kind; vars : Varset.t }
+type t = { cqap : Cq.cqap; td : Td.t; materialized : bool array }
+
+let access_hypergraph (cqap : Cq.cqap) =
+  (* hypergraph of the access CQ: body atoms plus the Q_A atom *)
+  let cq = cqap.Cq.cq in
+  let edges = List.map Cq.atom_vars cq.Cq.atoms in
+  let edges =
+    if Varset.is_empty cqap.Cq.access then edges
+    else cqap.Cq.access :: edges
+  in
+  Hypergraph.create ~n:cq.Cq.n edges
+
+let create cqap td ~materialized =
+  let open Cq in
+  if Array.length materialized <> Td.size td then Error "size mismatch"
+  else if not (Td.is_valid td (access_hypergraph cqap)) then
+    Error "not a valid tree decomposition of the access CQ"
+  else if not (Varset.subset cqap.access (Td.bag td (Td.root td))) then
+    Error "access pattern not contained in the root bag"
+  else if not (Td.is_free_connex td ~head:cqap.cq.head) then
+    Error "not free-connex w.r.t. the root"
+  else begin
+    let ok = ref true in
+    List.iter
+      (fun i ->
+        if materialized.(i) then
+          List.iter
+            (fun c -> if not materialized.(c) then ok := false)
+            (Rtree.children td.Td.tree i))
+      (Rtree.nodes td.Td.tree);
+    if not !ok then Error "materialization set not descendant-closed"
+    else Ok { cqap; td; materialized = Array.copy materialized }
+  end
+
+let create_exn cqap td ~materialized =
+  match create cqap td ~materialized with
+  | Ok t -> t
+  | Error msg -> invalid_arg ("Pmtd.create: " ^ msg)
+
+let view t node =
+  let head = t.cqap.Cq.cq.Cq.head in
+  let chi = Td.bag t.td node in
+  if not t.materialized.(node) then { node; kind = T; vars = chi }
+  else
+    let vars =
+      match Rtree.parent t.td.Td.tree node with
+      | None -> Varset.inter chi head
+      | Some p ->
+          let chi_p = Td.bag t.td p in
+          if not t.materialized.(p) then
+            Varset.inter chi (Varset.union head chi_p)
+          else if
+            not (Varset.subset (Varset.inter chi head) (Varset.inter chi_p head))
+          then Varset.inter chi head
+          else Varset.empty
+    in
+    { node; kind = S; vars }
+
+let views t = List.map (view t) (Rtree.nodes t.td.Td.tree)
+let s_views t = List.filter (fun v -> v.kind = S) (views t)
+let t_views t = List.filter (fun v -> v.kind = T) (views t)
+
+let no_mutual_subsets views =
+  List.for_all
+    (fun v1 ->
+      List.for_all
+        (fun v2 ->
+          v1.node = v2.node || not (Varset.subset v1.vars v2.vars))
+        views)
+    views
+
+let is_non_redundant t =
+  let svs = s_views t and tvs = t_views t in
+  List.for_all (fun v -> not (Varset.is_empty v.vars)) svs
+  && no_mutual_subsets svs && no_mutual_subsets tvs
+
+let dominates p q =
+  (* q dominated by p (Definition 3.5) *)
+  let covered smaller larger =
+    List.for_all
+      (fun v1 -> List.exists (fun v2 -> Varset.subset v1.vars v2.vars) larger)
+      smaller
+  in
+  covered (s_views q) (s_views p) && covered (t_views q) (t_views p)
+
+let signature t =
+  let part kind vs =
+    vs
+    |> List.filter (fun v -> v.kind = kind)
+    |> List.map (fun v -> Varset.to_string v.vars)
+    |> List.sort compare |> String.concat ","
+  in
+  let vs = views t in
+  "S:" ^ part S vs ^ "|T:" ^ part T vs
+
+let pp ppf t =
+  let names = t.cqap.Cq.cq.Cq.var_names in
+  let pp_view ppf v =
+    Format.fprintf ppf "%s%a"
+      (match v.kind with S -> "S" | T -> "T")
+      (Varset.pp_named names) v.vars
+  in
+  Format.fprintf ppf "@[<h>PMTD(root=%d: %a)@]"
+    (Td.root t.td)
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+       pp_view)
+    (views t)

@@ -1,0 +1,47 @@
+(** Partially materialized tree decompositions (Definition 3.2).
+
+    A PMTD augments a rooted free-connex tree decomposition of the access
+    CQ with a descendant-closed materialization set [M]; every node gets
+    a view: an [S]-view (materialized during preprocessing) if the node
+    is in [M], otherwise a [T]-view (computed online).  The view schemas
+    [v(t)] follow Definition 3.2. *)
+
+open Stt_hypergraph
+
+type kind = S | T
+
+type view = { node : int; kind : kind; vars : Varset.t }
+
+type t = private {
+  cqap : Cq.cqap;
+  td : Td.t;
+  materialized : bool array;
+}
+
+val access_hypergraph : Cq.cqap -> Hypergraph.t
+(** The hypergraph of the access CQ: the body atoms plus (when non-empty)
+    the access-pattern hyperedge [A] contributed by the atom [Q_A]. *)
+
+val create : Cq.cqap -> Td.t -> materialized:bool array -> (t, string) result
+(** Checks all PMTD conditions: the decomposition is a valid free-connex
+    decomposition of the access CQ w.r.t. its root, the access pattern is
+    contained in the root bag, and [M] is descendant-closed. *)
+
+val create_exn : Cq.cqap -> Td.t -> materialized:bool array -> t
+val views : t -> view list
+(** One view per node, in topological order. *)
+
+val view : t -> int -> view
+val s_views : t -> view list
+val t_views : t -> view list
+val is_non_redundant : t -> bool
+(** Definition 3.4. *)
+
+val dominates : t -> t -> bool
+(** [dominates p q]: [q] is dominated by [p] (Definition 3.5). *)
+
+val signature : t -> string
+(** Canonical key on the multiset of (kind, schema) views — PMTDs with
+    equal signatures generate identical disjunctive-rule targets. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,90 @@
+type t = { parent : int array; root : int; children : int list array }
+
+let create ~parent =
+  let n = Array.length parent in
+  if n = 0 then invalid_arg "Rtree.create: empty";
+  let roots = ref [] in
+  Array.iteri (fun i p -> if p = -1 then roots := i :: !roots) parent;
+  let root =
+    match !roots with [ r ] -> r | _ -> invalid_arg "Rtree.create: need exactly one root"
+  in
+  let children = Array.make n [] in
+  Array.iteri
+    (fun i p ->
+      if p <> -1 then begin
+        if p < 0 || p >= n then invalid_arg "Rtree.create: bad parent";
+        children.(p) <- i :: children.(p)
+      end)
+    parent;
+  (* check acyclicity / connectivity by walking up from every node *)
+  Array.iteri
+    (fun i _ ->
+      let rec walk j steps =
+        if steps > n then invalid_arg "Rtree.create: cycle";
+        if parent.(j) <> -1 then walk parent.(j) (steps + 1)
+      in
+      walk i 0)
+    parent;
+  { parent = Array.copy parent; root; children }
+
+let size t = Array.length t.parent
+let root t = t.root
+let parent t i = if t.parent.(i) = -1 then None else Some t.parent.(i)
+let children t i = t.children.(i)
+
+let nodes t =
+  let rec visit acc i = List.fold_left visit (i :: acc) t.children.(i) in
+  List.rev (visit [] t.root)
+
+let bottom_up t = List.rev (nodes t)
+
+let is_ancestor t a b =
+  let rec walk j = match t.parent.(j) with
+    | -1 -> false
+    | p -> p = a || walk p
+  in
+  walk b
+
+let subtree t i =
+  let rec visit acc j = List.fold_left visit (j :: acc) t.children.(j) in
+  List.rev (visit [] i)
+
+let edges t =
+  List.filter_map
+    (fun i -> match parent t i with None -> None | Some p -> Some (i, p))
+    (nodes t)
+
+let reroot t r =
+  let n = size t in
+  if r < 0 || r >= n then invalid_arg "Rtree.reroot";
+  let parent' = Array.make n (-1) in
+  (* BFS from r over the undirected tree edges *)
+  let adj = Array.make n [] in
+  Array.iteri
+    (fun i p ->
+      if p <> -1 then begin
+        adj.(i) <- p :: adj.(i);
+        adj.(p) <- i :: adj.(p)
+      end)
+    t.parent;
+  let visited = Array.make n false in
+  let queue = Queue.create () in
+  Queue.add r queue;
+  visited.(r) <- true;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    List.iter
+      (fun v ->
+        if not visited.(v) then begin
+          visited.(v) <- true;
+          parent'.(v) <- u;
+          Queue.add v queue
+        end)
+      adj.(u)
+  done;
+  create ~parent:parent'
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>tree(root=%d;" t.root;
+  List.iter (fun (c, p) -> Format.fprintf ppf " %d->%d" c p) (edges t);
+  Format.fprintf ppf ")@]"

@@ -1,0 +1,32 @@
+(** Rooted trees over nodes [0 .. size-1]. *)
+
+type t
+
+val create : parent:int array -> t
+(** [parent.(i)] is the parent of node [i]; exactly one node (the root)
+    has parent [-1].  Raises [Invalid_argument] if the array does not
+    describe a rooted tree. *)
+
+val size : t -> int
+val root : t -> int
+val parent : t -> int -> int option
+val children : t -> int -> int list
+val nodes : t -> int list
+(** In topological (parent-before-child) order. *)
+
+val bottom_up : t -> int list
+(** Children before parents. *)
+
+val is_ancestor : t -> int -> int -> bool
+(** [is_ancestor t a b]: is [a] a strict ancestor of [b]? *)
+
+val subtree : t -> int -> int list
+(** Node and all its descendants. *)
+
+val edges : t -> (int * int) list
+(** (child, parent) pairs. *)
+
+val reroot : t -> int -> t
+(** Same underlying tree, rooted at the given node. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/hypergraph/cq.ml: Array Format Hypergraph List Printf Varset

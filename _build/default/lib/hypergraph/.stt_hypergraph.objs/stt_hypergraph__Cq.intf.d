@@ -1,0 +1,1 @@
+lib/hypergraph/cq.mli: Format Hypergraph Varset

@@ -1,0 +1,1 @@
+lib/hypergraph/degree.ml: Cq Format Hashtbl List Rat Stt_lp Varset

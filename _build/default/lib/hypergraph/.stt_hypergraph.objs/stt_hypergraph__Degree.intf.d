@@ -1,0 +1,1 @@
+lib/hypergraph/degree.mli: Cq Format Stt_lp Varset

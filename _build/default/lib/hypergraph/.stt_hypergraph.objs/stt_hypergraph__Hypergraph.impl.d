@@ -1,0 +1,1 @@
+lib/hypergraph/hypergraph.ml: Format List Varset

@@ -1,0 +1,1 @@
+lib/hypergraph/varset.ml: Array Format Hashtbl List Stdlib

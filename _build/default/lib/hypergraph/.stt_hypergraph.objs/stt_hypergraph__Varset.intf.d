@@ -1,0 +1,1 @@
+lib/hypergraph/varset.mli: Format

@@ -1,0 +1,49 @@
+type t = { n : int; edges : Varset.t list }
+
+let create ~n edges =
+  let all = Varset.full n in
+  List.iter
+    (fun e ->
+      if not (Varset.subset e all) then
+        invalid_arg "Hypergraph.create: edge outside vertex range")
+    edges;
+  let covered = List.fold_left Varset.union Varset.empty edges in
+  if not (Varset.equal covered all) then
+    invalid_arg "Hypergraph.create: isolated vertex";
+  { n; edges }
+
+let vertices t = Varset.full t.n
+let covers t s = List.exists (fun e -> Varset.subset s e) t.edges
+let edges_containing t v = List.filter (Varset.mem v) t.edges
+
+let induced t s =
+  let edges =
+    List.filter_map
+      (fun e ->
+        let e' = Varset.inter e s in
+        if Varset.is_empty e' then None else Some e')
+      t.edges
+  in
+  { n = t.n; edges }
+
+let is_connected t =
+  match t.edges with
+  | [] -> t.n = 0
+  | first :: _ ->
+      let rec grow reached =
+        let reached' =
+          List.fold_left
+            (fun acc e ->
+              if Varset.disjoint acc e then acc else Varset.union acc e)
+            reached t.edges
+        in
+        if Varset.equal reached' reached then reached else grow reached'
+      in
+      Varset.equal (grow first) (vertices t)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>H(n=%d; %a)@]" t.n
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+       Varset.pp)
+    t.edges

@@ -1,0 +1,20 @@
+(** Query hypergraphs: vertex set [0..n-1] plus a list of hyperedges. *)
+
+type t = { n : int; edges : Varset.t list }
+
+val create : n:int -> Varset.t list -> t
+(** Raises [Invalid_argument] if an edge mentions a vertex outside
+    [0..n-1] or if some vertex is in no edge. *)
+
+val vertices : t -> Varset.t
+val covers : t -> Varset.t -> bool
+(** Is the set contained in some edge? *)
+
+val edges_containing : t -> int -> Varset.t list
+val induced : t -> Varset.t -> t
+(** Sub-hypergraph induced on a vertex subset: edges are intersected with
+    the subset and empty intersections dropped (vertices keep their
+    original ids; [n] is unchanged). *)
+
+val is_connected : t -> bool
+val pp : Format.formatter -> t -> unit

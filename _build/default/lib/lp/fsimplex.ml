@@ -1,0 +1,169 @@
+type result =
+  | Optimal of { value : float; primal : float array; dual : float array }
+  | Infeasible
+  | Unbounded
+
+let eps = 1e-9
+
+type tableau = {
+  t : float array array;
+  basis : int array;
+  m : int;
+  ncols : int;
+}
+
+exception Unbounded_exc
+
+let pivot tb r j =
+  let t = tb.t in
+  let piv = t.(r).(j) in
+  let width = tb.ncols + 1 in
+  if abs_float (piv -. 1.0) > 0.0 then
+    for k = 0 to width - 1 do
+      t.(r).(k) <- t.(r).(k) /. piv
+    done;
+  for i = 0 to tb.m do
+    if i <> r && abs_float t.(i).(j) > 0.0 then begin
+      let f = t.(i).(j) in
+      for k = 0 to width - 1 do
+        t.(i).(k) <- t.(i).(k) -. (f *. t.(r).(k))
+      done;
+      t.(i).(j) <- 0.0
+    end
+  done;
+  tb.basis.(r) <- j
+
+let iterate tb ~max_col =
+  let t = tb.t in
+  let rhs_col = tb.ncols in
+  let stall = ref 0 in
+  let stall_limit = 4 * (tb.m + 1) in
+  let iterations = ref 0 in
+  let iteration_cap = 200 * (tb.m + 10) in
+  let continue = ref true in
+  while !continue do
+    incr iterations;
+    if !iterations > iteration_cap then raise Unbounded_exc;
+    let obj = t.(tb.m) in
+    let entering =
+      if !stall < stall_limit then begin
+        let best = ref (-1) in
+        for j = 0 to max_col - 1 do
+          if obj.(j) < -.eps && (!best < 0 || obj.(j) < obj.(!best)) then
+            best := j
+        done;
+        if !best < 0 then None else Some !best
+      end
+      else begin
+        let rec find j =
+          if j >= max_col then None
+          else if obj.(j) < -.eps then Some j
+          else find (j + 1)
+        in
+        find 0
+      end
+    in
+    match entering with
+    | None -> continue := false
+    | Some j ->
+        let leaving = ref (-1) in
+        let best = ref 0.0 in
+        for i = 0 to tb.m - 1 do
+          if t.(i).(j) > eps then begin
+            let ratio = t.(i).(rhs_col) /. t.(i).(j) in
+            if
+              !leaving < 0 || ratio < !best -. eps
+              || (abs_float (ratio -. !best) <= eps
+                 && tb.basis.(i) < tb.basis.(!leaving))
+            then begin
+              leaving := i;
+              best := ratio
+            end
+          end
+        done;
+        if !leaving < 0 then raise Unbounded_exc;
+        let before = t.(tb.m).(rhs_col) in
+        pivot tb !leaving j;
+        if abs_float (before -. t.(tb.m).(rhs_col)) <= eps then incr stall
+        else stall := 0
+  done
+
+let solve ~c ~a ~b =
+  let m = Array.length b in
+  let n = Array.length c in
+  let needs_artificial = Array.map (fun bi -> bi < -.eps) b in
+  let n_art =
+    Array.fold_left (fun acc need -> if need then acc + 1 else acc) 0
+      needs_artificial
+  in
+  let ncols = n + m + n_art in
+  let t = Array.make_matrix (m + 1) (ncols + 1) 0.0 in
+  let basis = Array.make m 0 in
+  let art_of_row = Array.make m (-1) in
+  let next_art = ref (n + m) in
+  for i = 0 to m - 1 do
+    let flip = needs_artificial.(i) in
+    let sign = if flip then -1.0 else 1.0 in
+    for j = 0 to n - 1 do
+      t.(i).(j) <- sign *. a.(i).(j)
+    done;
+    t.(i).(n + i) <- sign;
+    t.(i).(ncols) <- sign *. b.(i);
+    if flip then begin
+      t.(i).(!next_art) <- 1.0;
+      basis.(i) <- !next_art;
+      art_of_row.(i) <- !next_art;
+      incr next_art
+    end
+    else basis.(i) <- n + i
+  done;
+  let tb = { t; basis; m; ncols } in
+  try
+    if n_art > 0 then begin
+      for j = n + m to ncols - 1 do
+        t.(m).(j) <- 1.0
+      done;
+      for i = 0 to m - 1 do
+        if art_of_row.(i) >= 0 then
+          for k = 0 to ncols do
+            t.(m).(k) <- t.(m).(k) -. t.(i).(k)
+          done
+      done;
+      iterate tb ~max_col:ncols;
+      if t.(m).(ncols) < -.1e-6 then raise Exit;
+      for i = 0 to m - 1 do
+        if basis.(i) >= n + m then begin
+          let rec find j =
+            if j >= n + m then None
+            else if abs_float t.(i).(j) > eps then Some j
+            else find (j + 1)
+          in
+          match find 0 with Some j -> pivot tb i j | None -> ()
+        end
+      done
+    end;
+    for k = 0 to ncols do
+      t.(m).(k) <- 0.0
+    done;
+    for j = 0 to n - 1 do
+      t.(m).(j) <- -.c.(j)
+    done;
+    for i = 0 to m - 1 do
+      let bj = tb.basis.(i) in
+      if abs_float t.(m).(bj) > 0.0 then begin
+        let f = t.(m).(bj) in
+        for k = 0 to ncols do
+          t.(m).(k) <- t.(m).(k) -. (f *. t.(i).(k))
+        done
+      end
+    done;
+    iterate tb ~max_col:(n + m);
+    let primal = Array.make n 0.0 in
+    for i = 0 to m - 1 do
+      if basis.(i) < n then primal.(basis.(i)) <- t.(i).(ncols)
+    done;
+    let dual = Array.init m (fun i -> t.(m).(n + i)) in
+    Optimal { value = t.(m).(ncols); primal; dual }
+  with
+  | Exit -> Infeasible
+  | Unbounded_exc -> Unbounded

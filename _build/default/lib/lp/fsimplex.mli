@@ -1,0 +1,15 @@
+(** Floating-point twin of {!Simplex}, used as a presolver.
+
+    Same two-phase algorithm and pivoting rules over IEEE doubles with a
+    small tolerance.  It is never trusted for final answers: callers use
+    it to discover which constraints are active at the optimum (e.g. the
+    lazy polymatroid cuts worth generating) and then re-solve exactly
+    with {!Simplex} on the much smaller active set. *)
+
+type result =
+  | Optimal of { value : float; primal : float array; dual : float array }
+  | Infeasible
+  | Unbounded
+
+val solve : c:float array -> a:float array array -> b:float array -> result
+(** [solve ~c ~a ~b]: maximize [c·x] s.t. [A·x <= b], [x >= 0]. *)

@@ -1,0 +1,108 @@
+type t = { num : int; den : int }
+
+exception Overflow
+
+(* Overflow-checked primitives on native ints. *)
+let checked_mul a b =
+  if a = 0 || b = 0 then 0
+  else
+    let p = a * b in
+    if p / a <> b then raise Overflow else p
+
+let checked_add a b =
+  let s = a + b in
+  (* overflow iff operands share sign and result flips it *)
+  if (a >= 0 && b >= 0 && s < 0) || (a < 0 && b < 0 && s >= 0) then
+    raise Overflow
+  else s
+
+let checked_neg a = if a = min_int then raise Overflow else -a
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+let normalize num den =
+  if den = 0 then raise Division_by_zero;
+  if num = 0 then { num = 0; den = 1 }
+  else
+    let s = if den < 0 then -1 else 1 in
+    let num = checked_mul s num and den = checked_mul s den in
+    let g = gcd (abs num) den in
+    { num = num / g; den = den / g }
+
+let make num den = normalize num den
+let of_int n = { num = n; den = 1 }
+let zero = of_int 0
+let one = of_int 1
+let minus_one = of_int (-1)
+let num t = t.num
+let den t = t.den
+
+let add a b =
+  (* reduce via gcd of denominators before multiplying, to delay overflow *)
+  let g = gcd a.den b.den in
+  let da = a.den / g and db = b.den / g in
+  let n = checked_add (checked_mul a.num db) (checked_mul b.num da) in
+  normalize n (checked_mul a.den db)
+
+let neg a = { a with num = checked_neg a.num }
+let sub a b = add a (neg b)
+
+let mul a b =
+  let g1 = gcd (abs a.num) b.den and g2 = gcd (abs b.num) a.den in
+  let n = checked_mul (a.num / g1) (b.num / g2) in
+  let d = checked_mul (a.den / g2) (b.den / g1) in
+  normalize n d
+
+let inv a = normalize a.den a.num
+let div a b = mul a (inv b)
+let abs a = { a with num = Stdlib.abs a.num }
+let sign a = Stdlib.compare a.num 0
+
+let compare a b =
+  (* cross-multiply with checks; denominators are positive *)
+  Stdlib.compare (checked_mul a.num b.den) (checked_mul b.num a.den)
+
+let equal a b = a.num = b.num && a.den = b.den
+let is_zero a = a.num = 0
+let is_integer a = a.den = 1
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+let to_float a = float_of_int a.num /. float_of_int a.den
+
+let of_float_approx ?(max_den = 1_000_000) x =
+  if Float.is_nan x || Float.is_integer x then of_int (int_of_float x)
+  else begin
+    let sgn = if x < 0.0 then -1 else 1 in
+    let x = Float.abs x in
+    let a0 = int_of_float (floor x) in
+    (* continued-fraction convergents: (pm1/qm1) precedes (p/q) *)
+    let rec loop x pm1 qm1 p q =
+      let frac = x -. floor x in
+      if frac < 1e-12 then (p, q)
+      else
+        let x' = 1.0 /. frac in
+        let a = int_of_float (floor x') in
+        let p' = checked_add (checked_mul a p) pm1 in
+        let q' = checked_add (checked_mul a q) qm1 in
+        if q' > max_den then (p, q) else loop x' p q p' q'
+    in
+    let p, q = loop x 1 0 a0 1 in
+    make (sgn * p) q
+  end
+
+let to_string a =
+  if a.den = 1 then string_of_int a.num
+  else Printf.sprintf "%d/%d" a.num a.den
+
+let pp ppf a = Format.pp_print_string ppf (to_string a)
+
+let ( + ) = add
+let ( - ) = sub
+let ( * ) = mul
+let ( / ) = div
+let ( ~- ) = neg
+let ( = ) = equal
+let ( < ) a b = compare a b < 0
+let ( <= ) a b = compare a b <= 0
+let ( > ) a b = compare a b > 0
+let ( >= ) a b = compare a b >= 0

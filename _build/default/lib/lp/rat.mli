@@ -1,0 +1,55 @@
+(** Exact rational arithmetic over overflow-checked native integers.
+
+    Every value is kept normalized (gcd 1, positive denominator).  All
+    operations detect native-int overflow and raise {!Overflow} instead of
+    silently wrapping; the Shannon-flow LPs solved in this project have
+    tiny coefficients, so overflow indicates a bug rather than a scale
+    limit. *)
+
+type t
+
+exception Overflow
+
+val zero : t
+val one : t
+val minus_one : t
+val of_int : int -> t
+
+val make : int -> int -> t
+(** [make num den].  Raises [Division_by_zero] if [den = 0]. *)
+
+val num : t -> int
+val den : t -> int
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val neg : t -> t
+val abs : t -> t
+val inv : t -> t
+val min : t -> t -> t
+val max : t -> t -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val sign : t -> int
+val is_zero : t -> bool
+val is_integer : t -> bool
+val to_float : t -> float
+
+val of_float_approx : ?max_den:int -> float -> t
+(** Best rational approximation with denominator at most [max_den]
+    (default 1_000_000), via continued fractions. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val ( + ) : t -> t -> t
+val ( - ) : t -> t -> t
+val ( * ) : t -> t -> t
+val ( / ) : t -> t -> t
+val ( ~- ) : t -> t
+val ( = ) : t -> t -> bool
+val ( < ) : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( > ) : t -> t -> bool
+val ( >= ) : t -> t -> bool

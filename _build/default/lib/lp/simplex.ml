@@ -1,0 +1,198 @@
+type result =
+  | Optimal of { value : Rat.t; primal : Rat.t array; dual : Rat.t array }
+  | Infeasible
+  | Unbounded
+
+(* Big-tableau layout: rows 0..m-1 are constraints, row m is the
+   objective row in reduced-cost form; column layout is
+   [0..n-1] original variables, [n..n+m-1] slacks, then artificials,
+   and the final column is the right-hand side.  The invariant is the
+   standard one: the objective value equals the objective row's rhs
+   entry. *)
+
+type tableau = {
+  t : Rat.t array array; (* (m+1) x (ncols+1) *)
+  basis : int array;     (* basic column of each constraint row *)
+  m : int;
+  ncols : int;           (* columns excluding rhs *)
+}
+
+exception Unbounded_exc
+
+let pivot tb r j =
+  let t = tb.t in
+  let piv = t.(r).(j) in
+  let width = tb.ncols + 1 in
+  if not Rat.(equal piv one) then
+    for k = 0 to width - 1 do
+      t.(r).(k) <- Rat.div t.(r).(k) piv
+    done;
+  for i = 0 to tb.m do
+    if i <> r && not (Rat.is_zero t.(i).(j)) then begin
+      let f = t.(i).(j) in
+      for k = 0 to width - 1 do
+        t.(i).(k) <- Rat.sub t.(i).(k) (Rat.mul f t.(r).(k))
+      done
+    end
+  done;
+  tb.basis.(r) <- j
+
+(* Pivoting: Dantzig's rule (most negative reduced cost) for speed,
+   falling back to Bland's rule — which cannot cycle — once the
+   objective has stalled for a while.  Termination is therefore
+   guaranteed while typical solves stay fast. *)
+let debug =
+  match Sys.getenv_opt "STT_LP_DEBUG" with Some _ -> true | None -> false
+
+let iterate tb ~max_col =
+  let t = tb.t in
+  let rhs_col = tb.ncols in
+  let stall = ref 0 in
+  let pivots = ref 0 in
+  let stall_limit = 4 * (tb.m + 1) in
+  let continue = ref true in
+  while !continue do
+    let obj = t.(tb.m) in
+    let entering =
+      if !stall < stall_limit then begin
+        (* Dantzig: most negative reduced cost *)
+        let best = ref (-1) in
+        for j = 0 to max_col - 1 do
+          if
+            Rat.sign obj.(j) < 0
+            && (!best < 0 || Rat.compare obj.(j) obj.(!best) < 0)
+          then best := j
+        done;
+        if !best < 0 then None else Some !best
+      end
+      else begin
+        (* Bland: smallest eligible index *)
+        let rec find j =
+          if j >= max_col then None
+          else if Rat.sign obj.(j) < 0 then Some j
+          else find (j + 1)
+        in
+        find 0
+      end
+    in
+    match entering with
+    | None -> continue := false
+    | Some j ->
+        let leaving = ref (-1) in
+        let best = ref Rat.zero in
+        for i = 0 to tb.m - 1 do
+          if Rat.sign t.(i).(j) > 0 then begin
+            let ratio = Rat.div t.(i).(rhs_col) t.(i).(j) in
+            if
+              !leaving < 0
+              || Rat.compare ratio !best < 0
+              || (Rat.equal ratio !best && tb.basis.(i) < tb.basis.(!leaving))
+            then begin
+              leaving := i;
+              best := ratio
+            end
+          end
+        done;
+        if !leaving < 0 then raise Unbounded_exc;
+        let before = t.(tb.m).(rhs_col) in
+        pivot tb !leaving j;
+        incr pivots;
+        if Rat.equal before t.(tb.m).(rhs_col) then incr stall else stall := 0
+  done;
+  if debug then
+    Printf.eprintf "  [simplex] m=%d cols=%d pivots=%d\n%!" tb.m tb.ncols !pivots
+
+let solve ~c ~a ~b =
+  let m = Array.length b in
+  let n = Array.length c in
+  if Array.length a <> m then invalid_arg "Simplex.solve: rows";
+  Array.iter
+    (fun row -> if Array.length row <> n then invalid_arg "Simplex.solve: cols")
+    a;
+  (* rows needing an artificial variable (negative rhs) *)
+  let needs_artificial = Array.map (fun bi -> Rat.sign bi < 0) b in
+  let n_art =
+    Array.fold_left (fun acc need -> if need then acc + 1 else acc) 0
+      needs_artificial
+  in
+  let ncols = n + m + n_art in
+  let t = Array.make_matrix (m + 1) (ncols + 1) Rat.zero in
+  let basis = Array.make m 0 in
+  let art_of_row = Array.make m (-1) in
+  let next_art = ref (n + m) in
+  for i = 0 to m - 1 do
+    let flip = needs_artificial.(i) in
+    let mul1 x = if flip then Rat.neg x else x in
+    for j = 0 to n - 1 do
+      t.(i).(j) <- mul1 a.(i).(j)
+    done;
+    t.(i).(n + i) <- mul1 Rat.one;
+    t.(i).(ncols) <- mul1 b.(i);
+    if flip then begin
+      t.(i).(!next_art) <- Rat.one;
+      basis.(i) <- !next_art;
+      art_of_row.(i) <- !next_art;
+      incr next_art
+    end
+    else basis.(i) <- n + i
+  done;
+  let tb = { t; basis; m; ncols } in
+  try
+    (* Phase 1: maximize -(sum of artificials).  The objective row starts
+       with +1 on artificial columns and is canonicalized by subtracting
+       the rows where those artificials are basic. *)
+    if n_art > 0 then begin
+      for j = n + m to ncols - 1 do
+        t.(m).(j) <- Rat.one
+      done;
+      for i = 0 to m - 1 do
+        if art_of_row.(i) >= 0 then
+          for k = 0 to ncols do
+            t.(m).(k) <- Rat.sub t.(m).(k) t.(i).(k)
+          done
+      done;
+      iterate tb ~max_col:ncols;
+      let phase1_value = t.(m).(ncols) in
+      if Rat.sign phase1_value < 0 then raise Exit;
+      (* Pivot remaining basic artificials out on any real column; rows
+         that are all-zero on real columns are redundant and inert. *)
+      for i = 0 to m - 1 do
+        if basis.(i) >= n + m then begin
+          let rec find j =
+            if j >= n + m then None
+            else if not (Rat.is_zero t.(i).(j)) then Some j
+            else find (j + 1)
+          in
+          match find 0 with
+          | Some j -> pivot tb i j
+          | None -> ()
+        end
+      done
+    end;
+    (* Phase 2: install the real objective and canonicalize w.r.t. the
+       current basis. *)
+    for k = 0 to ncols do
+      t.(m).(k) <- Rat.zero
+    done;
+    for j = 0 to n - 1 do
+      t.(m).(j) <- Rat.neg c.(j)
+    done;
+    for i = 0 to m - 1 do
+      let bj = tb.basis.(i) in
+      if not (Rat.is_zero t.(m).(bj)) then begin
+        let f = t.(m).(bj) in
+        for k = 0 to ncols do
+          t.(m).(k) <- Rat.sub t.(m).(k) (Rat.mul f t.(i).(k))
+        done
+      end
+    done;
+    iterate tb ~max_col:(n + m);
+    let primal = Array.make n Rat.zero in
+    for i = 0 to m - 1 do
+      if basis.(i) < n then primal.(basis.(i)) <- t.(i).(ncols)
+    done;
+    let dual = Array.init m (fun i -> t.(m).(n + i)) in
+    Optimal { value = t.(m).(ncols); primal; dual }
+  with
+  | Exit -> Infeasible
+  | Unbounded_exc -> Unbounded

@@ -1,0 +1,24 @@
+(** Exact two-phase primal simplex.
+
+    Pivoting uses Dantzig's rule (most negative reduced cost) for speed
+    and falls back to Bland's anti-cycling rule once the objective has
+    stalled, so termination is guaranteed.
+
+    Solves [maximize c·x  subject to  A·x <= b, x >= 0] over exact
+    rationals.  Negative right-hand sides are allowed (phase 1 introduces
+    artificial variables).  The solver also returns the optimal dual
+    vector [y] of the inequality system — the certificate used to read
+    off Shannon-flow coefficients. *)
+
+type result =
+  | Optimal of {
+      value : Rat.t;
+      primal : Rat.t array;  (** length n, the optimizer *)
+      dual : Rat.t array;    (** length m, one multiplier per row *)
+    }
+  | Infeasible
+  | Unbounded
+
+val solve : c:Rat.t array -> a:Rat.t array array -> b:Rat.t array -> result
+(** [solve ~c ~a ~b] with [a] of shape m×n, [b] length m, [c] length n.
+    Raises [Invalid_argument] on shape mismatch. *)

@@ -1,0 +1,1 @@
+lib/polymatroid/cvec.ml: Format List Map Rat Setfun Stt_hypergraph Stt_lp Varset

@@ -1,0 +1,1 @@
+lib/polymatroid/cvec.mli: Format Setfun Stt_hypergraph Stt_lp Varset

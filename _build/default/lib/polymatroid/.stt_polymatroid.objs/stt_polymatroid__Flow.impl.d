@@ -1,0 +1,1 @@
+lib/polymatroid/flow.ml: Cvec Degree Format List Lp Polymatroid Rat Setfun Stt_hypergraph Stt_lp Varset

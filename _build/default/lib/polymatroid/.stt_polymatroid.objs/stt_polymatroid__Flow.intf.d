@@ -1,0 +1,1 @@
+lib/polymatroid/flow.mli: Cvec Degree Format Rat Setfun Stt_hypergraph Stt_lp

@@ -1,0 +1,1 @@
+lib/polymatroid/polymatroid.ml: Array Cvec Degree Hashtbl List Lp Printf Rat Stt_hypergraph Stt_lp Sys Unix Varset

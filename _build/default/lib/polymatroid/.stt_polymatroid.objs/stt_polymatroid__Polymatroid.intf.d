@@ -1,0 +1,1 @@
+lib/polymatroid/polymatroid.mli: Cvec Degree Lp Rat Stt_hypergraph Stt_lp Varset

@@ -1,0 +1,1 @@
+lib/polymatroid/proof.ml: Cvec Format Hashtbl List Rat Stt_hypergraph Stt_lp Varset

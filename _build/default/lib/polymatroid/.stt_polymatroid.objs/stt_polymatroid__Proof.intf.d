@@ -1,0 +1,1 @@
+lib/polymatroid/proof.mli: Cvec Format Rat Stt_hypergraph Stt_lp Varset

@@ -1,0 +1,1 @@
+lib/polymatroid/setfun.ml: Array Float Format Rat Stt_hypergraph Stt_lp Varset

@@ -1,0 +1,1 @@
+lib/polymatroid/setfun.mli: Format Stt_hypergraph Stt_lp Varset

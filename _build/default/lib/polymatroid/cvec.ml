@@ -1,0 +1,60 @@
+open Stt_lp
+open Stt_hypergraph
+
+type key = Varset.t * Varset.t
+
+module M = Map.Make (struct
+  type t = key
+
+  let compare (a1, a2) (b1, b2) =
+    let c = Varset.compare a1 b1 in
+    if c <> 0 then c else Varset.compare a2 b2
+end)
+
+type t = Rat.t M.t
+
+let zero = M.empty
+
+let check_key (x, y) =
+  if not (Varset.strict_subset x y) then
+    invalid_arg "Cvec: key must satisfy X ⊂ Y"
+
+let set v k c =
+  check_key k;
+  if Rat.is_zero c then M.remove k v else M.add k c v
+
+let get v k = match M.find_opt k v with Some c -> c | None -> Rat.zero
+
+let of_list kvs =
+  List.fold_left (fun acc (k, c) -> set acc k (Rat.add (get acc k) c)) zero kvs
+
+let to_list v = M.bindings v
+let add a b = M.fold (fun k c acc -> set acc k (Rat.add (get acc k) c)) b a
+let scale s v = if Rat.is_zero s then zero else M.map (Rat.mul s) v
+let sub a b = add a (scale Rat.minus_one b)
+let is_nonneg v = M.for_all (fun _ c -> Rat.sign c >= 0) v
+let geq a b = is_nonneg (sub a b)
+let norm1 v = M.fold (fun _ c acc -> Rat.add acc (Rat.abs c)) v Rat.zero
+
+let term c ~x ~y = set zero (x, y) c
+let unconditional c y = term c ~x:Varset.empty ~y
+
+let dot_setfun v h =
+  M.fold
+    (fun (x, y) c acc -> Rat.add acc (Rat.mul c (Setfun.conditional h x y)))
+    v Rat.zero
+
+let pp names ppf v =
+  let pp_term ppf ((x, y), c) =
+    if Varset.is_empty x then
+      Format.fprintf ppf "%a·h(%a)" Rat.pp c (Varset.pp_named names) y
+    else
+      Format.fprintf ppf "%a·h(%a|%a)" Rat.pp c (Varset.pp_named names) y
+        (Varset.pp_named names) x
+  in
+  match to_list v with
+  | [] -> Format.pp_print_string ppf "0"
+  | terms ->
+      Format.pp_print_list
+        ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " + ")
+        pp_term ppf terms

@@ -1,0 +1,40 @@
+(** Sparse vectors over conditional-polymatroid coordinates.
+
+    A coordinate is a pair [(X, Y)] with [X ⊂ Y]; the coordinate value is
+    the coefficient of [h(Y|X)] (with [h(Y|∅) = h(Y)]).  These vectors
+    represent the [δ] and [λ] sides of Shannon-flow inequalities and the
+    intermediate states of proof sequences. *)
+
+open Stt_hypergraph
+
+type key = Varset.t * Varset.t
+type t
+
+val zero : t
+val of_list : (key * Stt_lp.Rat.t) list -> t
+(** Sums duplicate keys, drops zeros.  Raises [Invalid_argument] unless
+    [X ⊂ Y] for every key. *)
+
+val to_list : t -> (key * Stt_lp.Rat.t) list
+val get : t -> key -> Stt_lp.Rat.t
+val set : t -> key -> Stt_lp.Rat.t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : Stt_lp.Rat.t -> t -> t
+val is_nonneg : t -> bool
+val geq : t -> t -> bool
+(** Element-wise [>=]. *)
+
+val norm1 : t -> Stt_lp.Rat.t
+(** Sum of absolute coordinate values. *)
+
+val term : Stt_lp.Rat.t -> x:Varset.t -> y:Varset.t -> t
+(** The vector [c · e_{(X,Y)}]. *)
+
+val unconditional : Stt_lp.Rat.t -> Varset.t -> t
+(** [term c ~x:Varset.empty ~y]. *)
+
+val dot_setfun : t -> Setfun.t -> Stt_lp.Rat.t
+(** [⟨v, h⟩ = Σ c_{X,Y} · (h(Y) − h(X))]. *)
+
+val pp : string array -> Format.formatter -> t -> unit

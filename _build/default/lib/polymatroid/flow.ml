@@ -1,0 +1,62 @@
+open Stt_hypergraph
+open Stt_lp
+
+type t = { delta : Cvec.t; lambda : Cvec.t; n : int }
+
+let make ~n ~delta ~lambda = { delta; lambda; n }
+
+let solve_min t =
+  let model = Lp.create () in
+  let h = Polymatroid.add model ~name:"h" ~n:t.n in
+  ignore
+    (Lp.add_le model [ (Rat.one, Polymatroid.var h (Varset.full t.n)) ] Rat.one);
+  let objective = Polymatroid.expr h (Cvec.sub t.delta t.lambda) in
+  let objective = if objective = [] then [ (Rat.zero, Polymatroid.var h (Varset.full t.n)) ] else objective in
+  (Lp.minimize model objective, h)
+
+let slack t =
+  match fst (solve_min t) with
+  | Lp.Solution s -> s.Lp.value
+  | Lp.Unbounded -> Rat.of_int (-1) (* cone directions make it arbitrarily bad *)
+  | Lp.Infeasible -> assert false (* h = 0 is always feasible *)
+
+let is_valid t = Rat.sign (slack t) >= 0
+
+let violating_polymatroid t =
+  let outcome, h = solve_min t in
+  match outcome with
+  | Lp.Solution s when Rat.sign s.Lp.value < 0 ->
+      Some
+        (Setfun.create t.n (fun set ->
+             if Varset.is_empty set then Rat.zero
+             else s.Lp.primal (Polymatroid.var h set)))
+  | Lp.Solution _ -> None
+  | Lp.Unbounded | Lp.Infeasible -> None
+
+let implied_bound t =
+  fun constraints ->
+    let find_bound (x, y) =
+      List.find_map
+        (fun (c : Degree.t) ->
+          if Varset.equal c.Degree.x x && Varset.equal c.Degree.y y then
+            Some c.Degree.bound
+          else None)
+        constraints
+    in
+    List.fold_left
+      (fun acc ((x, y), coef) ->
+        match acc with
+        | None -> None
+        | Some total -> (
+            if Rat.sign coef <= 0 then Some total
+            else
+              match find_bound (x, y) with
+              | None -> None
+              | Some b ->
+                  Some (Degree.logsize_add total (Degree.logsize_scale coef b))))
+      (Some Degree.logsize_zero)
+      (Cvec.to_list t.delta)
+
+let pp names ppf t =
+  Format.fprintf ppf "@[<h>%a ≥ %a@]" (Cvec.pp names) t.delta (Cvec.pp names)
+    t.lambda

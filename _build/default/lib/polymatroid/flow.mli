@@ -1,0 +1,28 @@
+(** Shannon-flow inequalities (Appendix D.1).
+
+    A Shannon-flow inequality is [⟨δ, h⟩ ≥ ⟨λ, h⟩] over conditional
+    coordinates, required to hold for every polymatroid [h ∈ Γ_n].  This
+    module verifies candidate inequalities exactly by LP. *)
+
+open Stt_hypergraph
+open Stt_lp
+
+type t = { delta : Cvec.t; lambda : Cvec.t; n : int }
+
+val make : n:int -> delta:Cvec.t -> lambda:Cvec.t -> t
+
+val slack : t -> Rat.t
+(** [min_{h ∈ Γ_n, h([n]) ≤ 1} ⟨δ − λ, h⟩].  The inequality is valid iff
+    this is [≥ 0] (by homogeneity of the cone). *)
+
+val is_valid : t -> bool
+
+val violating_polymatroid : t -> Setfun.t option
+(** A witness polymatroid with [⟨δ, h⟩ < ⟨λ, h⟩], if any. *)
+
+val implied_bound : t -> (Degree.t list -> Degree.logsize option)
+(** Given the constraint set whose coordinates appear in [δ], compute the
+    implied upper bound [Σ δ_{Y|X} · n_{Y|X}]: returns [None] when some
+    positive δ-coordinate has no matching constraint. *)
+
+val pp : string array -> Format.formatter -> t -> unit

@@ -1,0 +1,190 @@
+open Stt_hypergraph
+open Stt_lp
+
+type step =
+  | Submod of { i : Varset.t; j : Varset.t }
+  | Mono of { x : Varset.t; y : Varset.t }
+  | Comp of { x : Varset.t; y : Varset.t }
+  | Decomp of { x : Varset.t; y : Varset.t }
+
+type weighted = { w : Rat.t; step : step }
+type seq = weighted list
+
+let step_vector = function
+  | Submod { i; j } ->
+      if not (Varset.crossing i j) then invalid_arg "Submod: need I ⊥ J";
+      Cvec.of_list
+        [ ((j, Varset.union i j), Rat.one);
+          ((Varset.inter i j, i), Rat.minus_one) ]
+  | Mono { x; y } ->
+      if not (Varset.strict_subset x y) then invalid_arg "Mono: need X ⊂ Y";
+      Cvec.of_list
+        [ ((Varset.empty, y), Rat.minus_one); ((Varset.empty, x), Rat.one) ]
+  | Comp { x; y } ->
+      if not (Varset.strict_subset x y) then invalid_arg "Comp: need X ⊂ Y";
+      if Varset.is_empty x then invalid_arg "Comp: need X ≠ ∅";
+      Cvec.of_list
+        [ ((Varset.empty, y), Rat.one);
+          ((x, y), Rat.minus_one);
+          ((Varset.empty, x), Rat.minus_one) ]
+  | Decomp { x; y } ->
+      if not (Varset.strict_subset x y) then invalid_arg "Decomp: need X ⊂ Y";
+      if Varset.is_empty x then invalid_arg "Decomp: need X ≠ ∅";
+      Cvec.of_list
+        [ ((Varset.empty, y), Rat.minus_one);
+          ((x, y), Rat.one);
+          ((Varset.empty, x), Rat.one) ]
+
+let apply delta { w; step } =
+  if Rat.sign w < 0 then None
+  else
+    let delta' = Cvec.add delta (Cvec.scale w (step_vector step)) in
+    if Cvec.is_nonneg delta' then Some delta' else None
+
+let run delta seq =
+  List.fold_left
+    (fun acc s -> match acc with None -> None | Some d -> apply d s)
+    (Some delta) seq
+
+let check ~delta ~lambda seq =
+  match run delta seq with
+  | None -> false
+  | Some final -> Cvec.geq final lambda
+
+let pp_step names ppf =
+  let pv = Varset.pp_named names in
+  function
+  | Submod { i; j } -> Format.fprintf ppf "submod(%a,%a)" pv i pv j
+  | Mono { x; y } -> Format.fprintf ppf "mono(%a⊂%a)" pv x pv y
+  | Comp { x; y } -> Format.fprintf ppf "comp(%a,%a)" pv x pv y
+  | Decomp { x; y } -> Format.fprintf ppf "decomp(%a,%a)" pv x pv y
+
+let pp names ppf seq =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+    (fun ppf { w; step } ->
+      Format.fprintf ppf "%a·%a" Rat.pp w (pp_step names) step)
+    ppf seq
+
+(* ------------------------------------------------------------------ *)
+(* Goal-directed proof search (Theorem D.1, constructive, small cases) *)
+(* ------------------------------------------------------------------ *)
+
+(* candidate moves at a state δ, aimed at the deficits of λ:
+   - composition to build a deficient unconditional coordinate (∅, B)
+     from available (∅, X) and (X, B) mass;
+   - monotonicity down from available (∅, Y) with Y ⊃ B;
+   - submodularity to re-key an available conditional (I∩J, I) into the
+     (X, B) dictionary a later composition needs;
+   - decomposition of available (∅, Y) to free both a prefix and a
+     dictionary. *)
+let candidate_moves delta lambda =
+  let avail = Cvec.to_list delta in
+  let deficits =
+    List.filter
+      (fun (k, c) -> Stt_lp.Rat.compare (Cvec.get delta k) c < 0)
+      (Cvec.to_list lambda)
+  in
+  let moves = ref [] in
+  let push w step = moves := { w; step } :: !moves in
+  let unconditional =
+    List.filter (fun ((x, _), _) -> Varset.is_empty x) avail
+  in
+  let conditional =
+    List.filter (fun ((x, _), _) -> not (Varset.is_empty x)) avail
+  in
+  List.iter
+    (fun ((dx, b), goal) ->
+      let need = Stt_lp.Rat.sub goal (Cvec.get delta (dx, b)) in
+      if Varset.is_empty dx then begin
+        (* unconditional deficit (∅, B) *)
+        (* composition: (∅, X) + (X, B) → (∅, B) *)
+        List.iter
+          (fun ((x, y), w_dict) ->
+            if Varset.equal y b && not (Varset.is_empty x) then begin
+              let w_base = Cvec.get delta (Varset.empty, x) in
+              let w = Stt_lp.Rat.min need (Stt_lp.Rat.min w_dict w_base) in
+              if Stt_lp.Rat.sign w > 0 then push w (Comp { x; y = b })
+            end)
+          conditional;
+        (* monotonicity: (∅, Y ⊃ B) → (∅, B) *)
+        List.iter
+          (fun ((_, y), w_avail) ->
+            if Varset.strict_subset b y then
+              push (Stt_lp.Rat.min need w_avail) (Mono { x = b; y }))
+          unconditional;
+        (* submodularity feeding a future composition into B: re-key any
+           available (I∩J, I) as (J, I∪J) with I∪J = B (for an
+           unconditional source, J = B \ I) *)
+        List.iter
+          (fun ((x', y'), w_avail) ->
+            if Varset.subset y' b && not (Varset.equal y' b) then begin
+              let j = Varset.union x' (Varset.diff b y') in
+              if
+                Varset.crossing y' j
+                && Varset.equal (Varset.inter y' j) x'
+                && Varset.equal (Varset.union y' j) b
+              then push (Stt_lp.Rat.min need w_avail) (Submod { i = y'; j })
+            end)
+          avail;
+        (* decomposition of an available superset *)
+        List.iter
+          (fun ((_, y), w_avail) ->
+            if Varset.strict_subset b y then
+              push (Stt_lp.Rat.min need w_avail) (Decomp { x = b; y }))
+          unconditional
+      end
+      else begin
+        (* conditional deficit (X, B): decompose an available (∅, B),
+           or re-key some available (I∩J, I) with I∪J = B, I∩J mapped
+           onto X by choosing J = X *)
+        let w_avail = Cvec.get delta (Varset.empty, b) in
+        if Stt_lp.Rat.sign (Stt_lp.Rat.min need w_avail) > 0 then
+          push (Stt_lp.Rat.min need w_avail) (Decomp { x = dx; y = b });
+        List.iter
+          (fun ((x', y'), w_av) ->
+            if
+              Varset.crossing y' dx
+              && Varset.equal (Varset.inter y' dx) x'
+              && Varset.equal (Varset.union y' dx) b
+            then push (Stt_lp.Rat.min need w_av) (Submod { i = y'; j = dx }))
+          avail
+      end)
+    deficits;
+  (* dedup *)
+  List.sort_uniq compare !moves
+
+let derive ?(max_depth = 10) ~delta ~lambda () =
+  let seen = Hashtbl.create 1024 in
+  let rec dfs delta depth acc =
+    if Cvec.geq delta lambda then Some (List.rev acc)
+    else if depth = 0 then None
+    else begin
+      let key = (Cvec.to_list delta, depth) in
+      if Hashtbl.mem seen key then None
+      else begin
+        Hashtbl.add seen key ();
+        let rec try_moves = function
+          | [] -> None
+          | mv :: rest -> (
+              match apply delta mv with
+              | None -> try_moves rest
+              | Some delta' -> (
+                  match dfs delta' (depth - 1) (mv :: acc) with
+                  | Some _ as found -> found
+                  | None -> try_moves rest))
+        in
+        try_moves (candidate_moves delta lambda)
+      end
+    end
+  in
+  let rec deepen d =
+    if d > max_depth then None
+    else
+      match dfs delta d [] with
+      | Some seq when check ~delta ~lambda seq -> Some seq
+      | _ ->
+          Hashtbl.reset seen;
+          deepen (d + 1)
+  in
+  deepen 1

@@ -1,0 +1,54 @@
+(** Proof sequences for Shannon-flow inequalities (Appendix D.1).
+
+    A proof sequence transforms the left-hand vector [δ] into a vector
+    dominating [λ] by weighted applications of the four rules
+    (submodularity, monotonicity, composition, decomposition), keeping
+    every intermediate vector nonnegative.  Each rule corresponds to a
+    relational operator in PANDA; here we validate sequences (the
+    appendix's sequences are encoded in [Stt_core] and machine-checked). *)
+
+open Stt_hypergraph
+open Stt_lp
+
+type step =
+  | Submod of { i : Varset.t; j : Varset.t }
+      (** uses [h(I∪J|J) ≤ h(I|I∩J)] for crossing [I ⊥ J]: moves mass
+          from coordinate [(I∩J, I)] to [(J, I∪J)] *)
+  | Mono of { x : Varset.t; y : Varset.t }
+      (** uses [h(X) ≤ h(Y)] for [X ⊂ Y]: moves mass from [(∅,Y)] to [(∅,X)] *)
+  | Comp of { x : Varset.t; y : Varset.t }
+      (** composition [h(X) + h(Y|X) ≥ h(Y)]: moves mass from [(∅,X)]
+          and [(X,Y)] to [(∅,Y)] *)
+  | Decomp of { x : Varset.t; y : Varset.t }
+      (** decomposition [h(Y) ≥ h(X) + h(Y|X)]: moves mass from [(∅,Y)]
+          to [(∅,X)] and [(X,Y)] *)
+
+type weighted = { w : Rat.t; step : step }
+type seq = weighted list
+
+val step_vector : step -> Cvec.t
+(** The vector [f] such that [⟨f, h⟩ ≤ 0] for every polymatroid; applying
+    a step replaces [δ] by [δ + w·f]. *)
+
+val apply : Cvec.t -> weighted -> Cvec.t option
+(** [None] if the result would have a negative coordinate. *)
+
+val run : Cvec.t -> seq -> Cvec.t option
+(** Apply all steps in order; [None] on the first negativity violation. *)
+
+val check : delta:Cvec.t -> lambda:Cvec.t -> seq -> bool
+(** Conditions (1)–(4) of a proof sequence: all weights nonnegative, all
+    intermediate vectors nonnegative and the final vector dominates
+    [λ]. *)
+
+val pp_step : string array -> Format.formatter -> step -> unit
+val pp : string array -> Format.formatter -> seq -> unit
+
+val derive :
+  ?max_depth:int -> delta:Cvec.t -> lambda:Cvec.t -> unit -> seq option
+(** Search for a proof sequence deriving [λ] from [δ] (iterative
+    deepening over goal-directed rule applications, Theorem D.1's
+    constructive direction for small instances).  Returns a checked
+    sequence or [None] when none is found within [max_depth] steps
+    (default 10).  Intended for the paper-sized inequalities (a handful
+    of coordinates); not a general-purpose prover. *)

@@ -1,0 +1,1 @@
+lib/relation/index.ml: Cost List Relation Schema Tuple

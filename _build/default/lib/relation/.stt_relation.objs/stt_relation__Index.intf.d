@@ -1,0 +1,1 @@
+lib/relation/index.mli: Relation Schema Tuple

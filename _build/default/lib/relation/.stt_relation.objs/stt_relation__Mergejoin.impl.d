@@ -1,0 +1,1 @@
+lib/relation/mergejoin.ml: Array Cost List Relation Schema Tuple

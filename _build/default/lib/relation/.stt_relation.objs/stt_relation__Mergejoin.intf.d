@@ -1,0 +1,1 @@
+lib/relation/mergejoin.mli: Relation Schema Tuple

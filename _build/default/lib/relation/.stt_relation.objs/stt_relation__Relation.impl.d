@@ -1,0 +1,1 @@
+lib/relation/relation.ml: Cost Format Hashtbl List Schema Tuple

@@ -1,0 +1,33 @@
+type snapshot = { probes : int; tuples : int; scans : int }
+
+let probes = ref 0
+let tuples = ref 0
+let scans = ref 0
+let counting = ref true
+
+let reset () =
+  probes := 0;
+  tuples := 0;
+  scans := 0
+
+let snapshot () = { probes = !probes; tuples = !tuples; scans = !scans }
+let total s = s.probes + s.tuples + s.scans
+
+let diff a b =
+  { probes = a.probes - b.probes;
+    tuples = a.tuples - b.tuples;
+    scans = a.scans - b.scans }
+
+let charge_probe () = if !counting then incr probes
+let charge_tuple () = if !counting then incr tuples
+let charge_scan () = if !counting then incr scans
+
+let with_counting flag f =
+  let saved = !counting in
+  counting := flag;
+  Fun.protect ~finally:(fun () -> counting := saved) f
+
+let measure f =
+  reset ();
+  let x = with_counting true f in
+  (x, snapshot ())

@@ -1,0 +1,43 @@
+(** Machine-independent cost accounting for the online phase.
+
+    The paper measures online answering time [T] up to polylogarithmic
+    factors; at laptop scale the reliable observable is the number of
+    data-structure operations, not wall-clock time.  Every hash probe,
+    tuple materialization and tuple scan performed by {!Stt_relation} and
+    by the index structures built on top of it is charged to a global
+    counter.  Benchmarks reset the counter before the online phase and
+    read it afterwards. *)
+
+type snapshot = {
+  probes : int;  (** hash-table lookups (index probes, semijoin tests) *)
+  tuples : int;  (** tuples materialized into intermediate or output views *)
+  scans : int;   (** tuples visited by iteration *)
+}
+
+val reset : unit -> unit
+(** Zero all counters. *)
+
+val snapshot : unit -> snapshot
+(** Read the current counter values. *)
+
+val total : snapshot -> int
+(** [probes + tuples + scans] — the scalar "intrinsic time" we report. *)
+
+val diff : snapshot -> snapshot -> snapshot
+(** [diff later earlier] is the per-field difference. *)
+
+val charge_probe : unit -> unit
+val charge_tuple : unit -> unit
+val charge_scan : unit -> unit
+
+val counting : bool ref
+(** When [false] (e.g. during preprocessing, whose time the paper does not
+    optimize) charges are ignored.  Defaults to [true]. *)
+
+val with_counting : bool -> (unit -> 'a) -> 'a
+(** [with_counting flag f] runs [f] with {!counting} set to [flag],
+    restoring the previous value afterwards (also on exceptions). *)
+
+val measure : (unit -> 'a) -> 'a * snapshot
+(** [measure f] resets the counters, runs [f] with counting enabled and
+    returns its result together with the costs it incurred. *)

@@ -1,0 +1,69 @@
+type t = {
+  key_vars : Schema.var list;
+  source_schema : Schema.t;
+  table : Tuple.t list Tuple.Tbl.t;
+  space : int;
+}
+
+let build rel key_vars =
+  let source_schema = Relation.schema rel in
+  let pos = Schema.positions source_schema key_vars in
+  let table = Tuple.Tbl.create (max 16 (Relation.cardinal rel)) in
+  Cost.with_counting false (fun () ->
+      Relation.iter
+        (fun tup ->
+          let key = Tuple.project pos tup in
+          let bucket = try Tuple.Tbl.find table key with Not_found -> [] in
+          Tuple.Tbl.replace table key (tup :: bucket))
+        rel);
+  { key_vars; source_schema; table; space = Relation.cardinal rel }
+
+let key_vars t = t.key_vars
+let source_schema t = t.source_schema
+
+let probe t key =
+  Cost.charge_probe ();
+  try Tuple.Tbl.find t.table key with Not_found -> []
+
+let probe_mem t key =
+  Cost.charge_probe ();
+  Tuple.Tbl.mem t.table key
+
+let count t key =
+  Cost.charge_probe ();
+  match Tuple.Tbl.find_opt t.table key with
+  | None -> 0
+  | Some bucket -> List.length bucket
+
+let space t = t.space
+
+let semijoin rel t =
+  let key_pos = Schema.positions (Relation.schema rel) t.key_vars in
+  let out = Relation.create (Relation.schema rel) in
+  Relation.iter
+    (fun tup ->
+      Cost.charge_scan ();
+      if probe_mem t (Tuple.project key_pos tup) then Relation.add out tup)
+    rel;
+  out
+
+let join rel t =
+  let rel_schema = Relation.schema rel in
+  let key_pos = Schema.positions rel_schema t.key_vars in
+  let extra_vars =
+    List.filter
+      (fun v -> not (Schema.mem v rel_schema))
+      (Schema.vars t.source_schema)
+  in
+  let extra_pos = Schema.positions t.source_schema extra_vars in
+  let out_schema = Schema.union rel_schema (Schema.of_list extra_vars) in
+  let out = Relation.create out_schema in
+  Relation.iter
+    (fun tup ->
+      Cost.charge_scan ();
+      List.iter
+        (fun other ->
+          Relation.add out (Tuple.concat tup (Tuple.project extra_pos other)))
+        (probe t (Tuple.project key_pos tup)))
+    rel;
+  out

@@ -1,0 +1,35 @@
+(** Persistent hash indexes over relations.
+
+    An index maps a key — the values of a chosen subset of the schema's
+    variables — to the list of matching tuples.  Building is free of
+    online cost (it happens during preprocessing); probing charges one
+    {!Cost} probe per lookup. *)
+
+type t
+
+val build : Relation.t -> Schema.var list -> t
+(** [build rel key_vars] indexes [rel] on [key_vars]. *)
+
+val key_vars : t -> Schema.var list
+val source_schema : t -> Schema.t
+
+val probe : t -> Tuple.t -> Tuple.t list
+(** Matching tuples for a key tuple (values in [key_vars] order). *)
+
+val probe_mem : t -> Tuple.t -> bool
+(** Does any tuple match the key? *)
+
+val count : t -> Tuple.t -> int
+(** Number of matching tuples (degree of the key value). *)
+
+val space : t -> int
+(** Number of indexed tuples — the intrinsic space charged to this index. *)
+
+val semijoin : Relation.t -> t -> Relation.t
+(** [semijoin rel idx] keeps the tuples of [rel] whose key matches the
+    index — cost [O(|rel|)], independent of the indexed relation's size.
+    The index key variables must all appear in [rel]'s schema. *)
+
+val join : Relation.t -> t -> Relation.t
+(** [join rel idx] probes the index once per tuple of [rel] and extends
+    with the matching tuples — cost [O(|rel| + output)]. *)

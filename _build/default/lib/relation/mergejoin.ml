@@ -1,0 +1,91 @@
+let compare_key positions (a : Tuple.t) (b : Tuple.t) =
+  let rec loop i =
+    if i >= Array.length positions then 0
+    else
+      let c = compare a.(positions.(i)) b.(positions.(i)) in
+      if c <> 0 then c else loop (i + 1)
+  in
+  loop 0
+
+let sort rel ~by =
+  let positions = Schema.positions (Relation.schema rel) by in
+  let arr = Array.make (Relation.cardinal rel) [||] in
+  let i = ref 0 in
+  Relation.iter
+    (fun tup ->
+      Cost.charge_scan ();
+      arr.(!i) <- tup;
+      incr i)
+    rel;
+  Array.sort
+    (fun a b ->
+      let c = compare_key positions a b in
+      if c <> 0 then c else Tuple.compare a b)
+    arr;
+  arr
+
+(* advance [idx] to the end of the run of equal keys starting there *)
+let run_end positions arr idx =
+  let n = Array.length arr in
+  let rec loop j =
+    if j < n && compare_key positions arr.(idx) arr.(j) = 0 then begin
+      Cost.charge_probe ();
+      loop (j + 1)
+    end
+    else j
+  in
+  loop (idx + 1)
+
+let merge ~on_match a_schema b_schema a b common =
+  let pa = Schema.positions a_schema common
+  and pb = Schema.positions b_schema common in
+  let sa = Array.length a and sb = Array.length b in
+  let compare_ab (x : Tuple.t) (y : Tuple.t) =
+    let rec loop i =
+      if i >= Array.length pa then 0
+      else
+        let c = compare x.(pa.(i)) y.(pb.(i)) in
+        if c <> 0 then c else loop (i + 1)
+    in
+    loop 0
+  in
+  let i = ref 0 and j = ref 0 in
+  while !i < sa && !j < sb do
+    Cost.charge_probe ();
+    let c = compare_ab a.(!i) b.(!j) in
+    if c < 0 then incr i
+    else if c > 0 then incr j
+    else begin
+      let ei = run_end pa a !i and ej = run_end pb b !j in
+      for x = !i to ei - 1 do
+        for y = !j to ej - 1 do
+          on_match a.(x) b.(y)
+        done
+      done;
+      i := ei;
+      j := ej
+    end
+  done
+
+let join ra rb =
+  let a_schema = Relation.schema ra and b_schema = Relation.schema rb in
+  let common = Schema.inter a_schema b_schema in
+  let extra_b =
+    Schema.positions b_schema
+      (List.filter (fun v -> not (Schema.mem v a_schema)) (Schema.vars b_schema))
+  in
+  let out_schema = Schema.union a_schema b_schema in
+  let out = Relation.create out_schema in
+  let a = sort ra ~by:common and b = sort rb ~by:common in
+  merge a_schema b_schema a b common ~on_match:(fun ta tb ->
+      Relation.add out (Tuple.concat ta (Tuple.project extra_b tb)));
+  out
+
+let semijoin ra rb =
+  let a_schema = Relation.schema ra and b_schema = Relation.schema rb in
+  let common = Schema.inter a_schema b_schema in
+  let out = Relation.create a_schema in
+  let a = sort ra ~by:common and b = sort rb ~by:common in
+  merge a_schema b_schema a b common ~on_match:(fun ta _ ->
+      Relation.add out ta);
+  out

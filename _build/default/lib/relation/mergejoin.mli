@@ -1,0 +1,19 @@
+(** Sort-merge implementations of join and semijoin — an alternative to
+    the hash-based operators in {!Relation}, used as an ablation in the
+    benchmarks (hash vs. sort backends produce identical results; the
+    cost model differs by sort preprocessing vs. probe constants).
+
+    Cost accounting: sorting charges one [scan] per tuple; the merge
+    charges one [probe] per key comparison advancing a cursor and one
+    [tuple] per output tuple (through {!Relation.add}). *)
+
+
+val sort : Relation.t -> by:Schema.var list -> Tuple.t array
+(** Tuples sorted by the given key columns (then by the full tuple). *)
+
+val join : Relation.t -> Relation.t -> Relation.t
+(** Natural join via sort-merge on the common variables.  Equal to
+    {!Relation.natural_join} as a set. *)
+
+val semijoin : Relation.t -> Relation.t -> Relation.t
+(** [semijoin a b] via sort-merge; equal to {!Relation.semijoin}. *)

@@ -1,0 +1,200 @@
+type t = { schema : Schema.t; data : unit Tuple.Tbl.t }
+
+let create schema = { schema; data = Tuple.Tbl.create 64 }
+let schema t = t.schema
+let cardinal t = Tuple.Tbl.length t.data
+let is_empty t = cardinal t = 0
+let mem t tup = Tuple.Tbl.mem t.data tup
+
+let add t tup =
+  if Tuple.arity tup <> Schema.arity t.schema then
+    invalid_arg "Relation.add: arity mismatch";
+  if not (Tuple.Tbl.mem t.data tup) then begin
+    Cost.charge_tuple ();
+    Tuple.Tbl.add t.data tup ()
+  end
+
+let of_list schema tuples =
+  let t = create schema in
+  List.iter (add t) tuples;
+  t
+
+let iter f t = Tuple.Tbl.iter (fun tup () -> f tup) t.data
+let fold f t init = Tuple.Tbl.fold (fun tup () acc -> f tup acc) t.data init
+let to_list t = fold List.cons t []
+
+let copy t =
+  let c = create t.schema in
+  iter (add c) t;
+  c
+
+let singleton schema tup =
+  let t = create schema in
+  add t tup;
+  t
+
+let reorder_positions ~from ~into =
+  (* positions in [from] of the variables of [into], so that projecting a
+     [from]-tuple yields an [into]-tuple *)
+  Schema.positions from (Schema.vars into)
+
+let equal a b =
+  Schema.equal a.schema b.schema
+  && cardinal a = cardinal b
+  &&
+  let pos = reorder_positions ~from:(schema a) ~into:(schema b) in
+  fold (fun tup ok -> ok && mem b (Tuple.project pos tup)) a true
+
+let project t vs =
+  let out_schema = Schema.of_list vs in
+  let pos = Schema.positions t.schema vs in
+  let out = create out_schema in
+  iter
+    (fun tup ->
+      Cost.charge_scan ();
+      add out (Tuple.project pos tup))
+    t;
+  out
+
+let select_eq t v value =
+  let i = Schema.position t.schema v in
+  let out = create t.schema in
+  iter
+    (fun tup ->
+      Cost.charge_scan ();
+      if Tuple.get tup i = value then add out tup)
+    t;
+  out
+
+(* A one-shot hash index: common-variable key -> matching tuples. *)
+let build_key_index rel key_positions =
+  let idx = Tuple.Tbl.create (max 16 (cardinal rel)) in
+  iter
+    (fun tup ->
+      Cost.charge_scan ();
+      let key = Tuple.project key_positions tup in
+      let bucket = try Tuple.Tbl.find idx key with Not_found -> [] in
+      Tuple.Tbl.replace idx key (tup :: bucket))
+    rel;
+  idx
+
+let natural_join a b =
+  (* join the smaller side as build side for cache friendliness *)
+  let common = Schema.inter a.schema b.schema in
+  let out_schema = Schema.union a.schema b.schema in
+  let key_a = Schema.positions a.schema common in
+  let key_b = Schema.positions b.schema common in
+  let extra_b =
+    (* positions in b of the variables that only b contributes *)
+    Schema.positions b.schema
+      (List.filter (fun v -> not (Schema.mem v a.schema)) (Schema.vars b.schema))
+  in
+  let idx = build_key_index b key_b in
+  let out = create out_schema in
+  iter
+    (fun ta ->
+      Cost.charge_scan ();
+      Cost.charge_probe ();
+      match Tuple.Tbl.find_opt idx (Tuple.project key_a ta) with
+      | None -> ()
+      | Some bucket ->
+          List.iter
+            (fun tb -> add out (Tuple.concat ta (Tuple.project extra_b tb)))
+            bucket)
+    a;
+  out
+
+let semijoin a b =
+  let common = Schema.inter a.schema b.schema in
+  let key_a = Schema.positions a.schema common in
+  let key_b = Schema.positions b.schema common in
+  let keys = Tuple.Tbl.create (max 16 (cardinal b)) in
+  iter
+    (fun tb ->
+      Cost.charge_scan ();
+      Tuple.Tbl.replace keys (Tuple.project key_b tb) ())
+    b;
+  let out = create a.schema in
+  iter
+    (fun ta ->
+      Cost.charge_scan ();
+      Cost.charge_probe ();
+      if Tuple.Tbl.mem keys (Tuple.project key_a ta) then add out ta)
+    a;
+  out
+
+let antijoin a b =
+  let common = Schema.inter a.schema b.schema in
+  let key_a = Schema.positions a.schema common in
+  let key_b = Schema.positions b.schema common in
+  let keys = Tuple.Tbl.create (max 16 (cardinal b)) in
+  iter
+    (fun tb ->
+      Cost.charge_scan ();
+      Tuple.Tbl.replace keys (Tuple.project key_b tb) ())
+    b;
+  let out = create a.schema in
+  iter
+    (fun ta ->
+      Cost.charge_scan ();
+      Cost.charge_probe ();
+      if not (Tuple.Tbl.mem keys (Tuple.project key_a ta)) then add out ta)
+    a;
+  out
+
+let union a b =
+  if not (Schema.equal a.schema b.schema) then
+    invalid_arg "Relation.union: schemas differ";
+  let out = copy a in
+  let pos = reorder_positions ~from:b.schema ~into:a.schema in
+  iter
+    (fun tb ->
+      Cost.charge_scan ();
+      add out (Tuple.project pos tb))
+    b;
+  out
+
+let product a b =
+  if Schema.inter a.schema b.schema <> [] then
+    invalid_arg "Relation.product: schemas overlap";
+  let out = create (Schema.union a.schema b.schema) in
+  iter
+    (fun ta ->
+      iter
+        (fun tb ->
+          Cost.charge_scan ();
+          add out (Tuple.concat ta tb))
+        b)
+    a;
+  out
+
+let degrees t vs =
+  let pos = Schema.positions t.schema vs in
+  let counts = Hashtbl.create (max 16 (cardinal t)) in
+  iter
+    (fun tup ->
+      let key = Tuple.project pos tup in
+      let c = try Hashtbl.find counts key with Not_found -> 0 in
+      Hashtbl.replace counts key (c + 1))
+    t;
+  counts
+
+let max_degree t vs =
+  Hashtbl.fold (fun _ c acc -> max c acc) (degrees t vs) 0
+
+let split_heavy_light t vs ~threshold =
+  let pos = Schema.positions t.schema vs in
+  let counts = degrees t vs in
+  let heavy = create t.schema and light = create t.schema in
+  iter
+    (fun tup ->
+      let key = Tuple.project pos tup in
+      let c = Hashtbl.find counts key in
+      if c > threshold then add heavy tup else add light tup)
+    t;
+  (heavy, light)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%a |%d|" Schema.pp t.schema (cardinal t);
+  iter (fun tup -> Format.fprintf ppf "@ %a" Tuple.pp tup) t;
+  Format.fprintf ppf "@]"

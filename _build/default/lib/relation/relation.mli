@@ -1,0 +1,57 @@
+(** In-memory set-semantics relations with cost-accounted operators.
+
+    A relation stores a deduplicated set of tuples under a {!Schema}.  The
+    operators charge the global {!Cost} counters: one [scan] per input
+    tuple visited, one [probe] per hash lookup, one [tuple] per output
+    tuple materialized.  Preprocessing code should wrap calls in
+    [Cost.with_counting false]. *)
+
+type t
+
+val create : Schema.t -> t
+val of_list : Schema.t -> Tuple.t list -> t
+val schema : t -> Schema.t
+val cardinal : t -> int
+val is_empty : t -> bool
+val mem : t -> Tuple.t -> bool
+
+val add : t -> Tuple.t -> unit
+(** Insert (deduplicating).  Raises [Invalid_argument] on arity mismatch. *)
+
+val iter : (Tuple.t -> unit) -> t -> unit
+val fold : (Tuple.t -> 'a -> 'a) -> t -> 'a -> 'a
+val to_list : t -> Tuple.t list
+val copy : t -> t
+val equal : t -> t -> bool
+
+val project : t -> Schema.var list -> t
+(** [project t vs] projects onto the variables [vs] (in that order),
+    deduplicating.  Raises [Not_found] if some [v] is not in the schema. *)
+
+val select_eq : t -> Schema.var -> int -> t
+val natural_join : t -> t -> t
+val semijoin : t -> t -> t
+(** [semijoin a b] keeps the tuples of [a] that join with [b] on their
+    common variables (all of [a] if there are none and [b] is non-empty). *)
+
+val antijoin : t -> t -> t
+val union : t -> t -> t
+(** Set union.  Schemas must be equal as variable sets; the second
+    relation's tuples are reordered to the first schema. *)
+
+val product : t -> t -> t
+(** Cartesian product; schemas must be disjoint. *)
+
+val singleton : Schema.t -> Tuple.t -> t
+
+val degrees : t -> Schema.var list -> (Tuple.t, int) Hashtbl.t
+(** Number of tuples per distinct value of the given variables. *)
+
+val max_degree : t -> Schema.var list -> int
+(** Maximum of {!degrees} over all keys; 0 when empty. *)
+
+val split_heavy_light : t -> Schema.var list -> threshold:int -> t * t
+(** [(heavy, light)]: tuples whose key-group size exceeds [threshold] go
+    to [heavy]; the rest to [light]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,44 @@
+type var = int
+type t = var array
+
+let check_distinct a =
+  let seen = Hashtbl.create (Array.length a) in
+  Array.iter
+    (fun v ->
+      if Hashtbl.mem seen v then
+        invalid_arg "Schema.of_list: duplicate variable";
+      Hashtbl.add seen v ())
+    a
+
+let of_array a =
+  check_distinct a;
+  Array.copy a
+
+let of_list vs = of_array (Array.of_list vs)
+let vars t = Array.to_list t
+let arity = Array.length
+let mem v t = Array.exists (( = ) v) t
+
+let position t v =
+  let n = Array.length t in
+  let rec loop i =
+    if i >= n then raise Not_found else if t.(i) = v then i else loop (i + 1)
+  in
+  loop 0
+
+let positions t vs = Array.of_list (List.map (position t) vs)
+let inter a b = List.filter (fun v -> mem v b) (vars a)
+
+let union a b =
+  Array.append a (Array.of_seq (Seq.filter (fun v -> not (mem v a)) (Array.to_seq b)))
+
+let subset a b = Array.for_all (fun v -> mem v b) a
+let equal a b = subset a b && subset b a
+let restrict t keep = Array.of_seq (Seq.filter (fun v -> List.mem v keep) (Array.to_seq t))
+
+let pp ppf t =
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_seq
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+       Format.pp_print_int)
+    (Array.to_seq t)

@@ -1,0 +1,51 @@
+type t = int array
+
+let make values = Array.of_list values
+let arity = Array.length
+let get t i = t.(i)
+
+let equal (a : t) (b : t) =
+  let n = Array.length a in
+  n = Array.length b
+  &&
+  let rec loop i = i >= n || (a.(i) = b.(i) && loop (i + 1)) in
+  loop 0
+
+let compare (a : t) (b : t) = Stdlib.compare a b
+
+(* FNV-style hash: the polymorphic hash only samples a prefix of long
+   arrays, which degrades hash tables keyed by wide tuples. *)
+let hash (t : t) =
+  let h = ref 0x811c9dc5 in
+  for i = 0 to Array.length t - 1 do
+    h := (!h lxor t.(i)) * 0x01000193 land max_int
+  done;
+  !h
+
+let project positions t = Array.map (fun i -> t.(i)) positions
+let concat = Array.append
+
+let pp ppf t =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_seq
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+       Format.pp_print_int)
+    (Array.to_seq t)
+
+let to_string t = Format.asprintf "%a" pp t
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Hashed = struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end
+
+module Set = Set.Make (Ord)
+module Tbl = Hashtbl.Make (Hashed)

@@ -1,0 +1,25 @@
+(** Tuples are immutable arrays of integer values.
+
+    All attribute domains are encoded as integers; workload generators are
+    responsible for interning richer domains.  Positions are given meaning
+    by the {!Schema} the tuple is stored under. *)
+
+type t = int array
+
+val make : int list -> t
+val arity : t -> int
+val get : t -> int -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val project : int array -> t -> t
+(** [project positions tup] keeps the values at [positions], in order. *)
+
+val concat : t -> t -> t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+module Set : Set.S with type elt = t
+module Tbl : Hashtbl.S with type key = t

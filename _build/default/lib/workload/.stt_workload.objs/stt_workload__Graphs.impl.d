@@ -1,0 +1,1 @@
+lib/workload/graphs.ml: Array Fun Hashtbl List Rng

@@ -1,0 +1,1 @@
+lib/workload/sets.ml: Hashtbl List Rng

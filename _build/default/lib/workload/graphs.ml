@@ -1,0 +1,98 @@
+let dedup edges =
+  let seen = Hashtbl.create (List.length edges) in
+  List.filter
+    (fun e ->
+      if Hashtbl.mem seen e then false
+      else begin
+        Hashtbl.add seen e ();
+        true
+      end)
+    edges
+
+let uniform ~seed ~vertices ~edges =
+  let rng = Rng.create seed in
+  let out = ref [] in
+  let seen = Hashtbl.create edges in
+  let attempts = ref 0 in
+  while Hashtbl.length seen < edges && !attempts < edges * 20 do
+    incr attempts;
+    let u = Rng.int rng vertices and v = Rng.int rng vertices in
+    if u <> v && not (Hashtbl.mem seen (u, v)) then begin
+      Hashtbl.add seen (u, v) ();
+      out := (u, v) :: !out
+    end
+  done;
+  List.rev !out
+
+let zipf_out ~seed ~vertices ~edges ~s =
+  let rng = Rng.create seed in
+  let sample_src = Rng.zipf_sampler rng ~n:vertices ~s in
+  let out = ref [] in
+  let seen = Hashtbl.create edges in
+  let attempts = ref 0 in
+  while Hashtbl.length seen < edges && !attempts < edges * 50 do
+    incr attempts;
+    let u = sample_src () and v = Rng.int rng vertices in
+    if u <> v && not (Hashtbl.mem seen (u, v)) then begin
+      Hashtbl.add seen (u, v) ();
+      out := (u, v) :: !out
+    end
+  done;
+  List.rev !out
+
+let layered ~seed ~layers ~width ~edges =
+  if layers < 2 then invalid_arg "Graphs.layered: need at least 2 layers";
+  let rng = Rng.create seed in
+  let out = ref [] in
+  let seen = Hashtbl.create edges in
+  let attempts = ref 0 in
+  while Hashtbl.length seen < edges && !attempts < edges * 20 do
+    incr attempts;
+    let l = Rng.int rng (layers - 1) in
+    let u = (l * width) + Rng.int rng width
+    and v = ((l + 1) * width) + Rng.int rng width in
+    if not (Hashtbl.mem seen (u, v)) then begin
+      Hashtbl.add seen (u, v) ();
+      out := (u, v) :: !out
+    end
+  done;
+  List.rev !out
+
+let cycle_rich ~seed ~vertices ~edges =
+  let rng = Rng.create seed in
+  let out = ref [] in
+  (* plant 4-cycles with ~60% of the edge budget *)
+  let planted = edges * 3 / 5 / 4 in
+  for _ = 1 to planted do
+    let a = Rng.int rng vertices
+    and b = Rng.int rng vertices
+    and c = Rng.int rng vertices
+    and d = Rng.int rng vertices in
+    out := (a, b) :: (b, c) :: (c, d) :: (d, a) :: !out
+  done;
+  let noise = edges - (4 * planted) in
+  for _ = 1 to noise do
+    let u = Rng.int rng vertices and v = Rng.int rng vertices in
+    if u <> v then out := (u, v) :: !out
+  done;
+  dedup (List.rev !out)
+
+let zipf_both ~seed ~vertices ~edges ~s =
+  let rng = Rng.create seed in
+  let sample_src = Rng.zipf_sampler rng ~n:vertices ~s in
+  let sample_dst = Rng.zipf_sampler rng ~n:vertices ~s in
+  (* decorrelate hub identities on the two sides *)
+  let perm = Array.init vertices Fun.id in
+  Rng.shuffle rng perm;
+  let out = ref [] in
+  let seen = Hashtbl.create edges in
+  let attempts = ref 0 in
+  while Hashtbl.length seen < edges && !attempts < edges * 50 do
+    incr attempts;
+    let u = sample_src () and v = perm.(sample_dst ()) in
+    if u <> v && not (Hashtbl.mem seen (u, v)) then begin
+      Hashtbl.add seen (u, v) ();
+      out := (u, v) :: !out
+    end
+  done;
+  List.rev !out

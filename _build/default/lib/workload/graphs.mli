@@ -1,0 +1,28 @@
+(** Random directed-graph generators (edge lists, deduplicated).
+
+    All generators are deterministic in the seed. *)
+
+val uniform : seed:int -> vertices:int -> edges:int -> (int * int) list
+(** Erdős–Rényi style: uniformly random distinct directed edges. *)
+
+val zipf_out :
+  seed:int -> vertices:int -> edges:int -> s:float -> (int * int) list
+(** Out-degrees follow a Zipf([s]) law — produces the heavy/light skew
+    the tradeoff data structures exploit. *)
+
+val layered :
+  seed:int -> layers:int -> width:int -> edges:int -> (int * int) list
+(** A DAG of [layers] vertex layers of size [width]; edges connect
+    consecutive layers only, so k-paths between the first and last layer
+    exist iff [layers = k + 1].  Vertex ids: layer [l], slot [i] ↦
+    [l * width + i]. *)
+
+val cycle_rich : seed:int -> vertices:int -> edges:int -> (int * int) list
+(** A union of random 4-cycles plus uniform noise — workload for the
+    square query. *)
+
+val zipf_both :
+  seed:int -> vertices:int -> edges:int -> s:float -> (int * int) list
+(** Both endpoints Zipf([s])-distributed (independently, over separately
+    shuffled vertex orders): heavy hubs on both sides, the regime where
+    materializing heavy-heavy pairs pays off. *)

@@ -1,0 +1,21 @@
+(** Deterministic splitmix64 RNG so every workload is reproducible from a
+    seed, independent of the stdlib Random state. *)
+
+type t
+
+val create : int -> t
+val int : t -> int -> int
+(** [int t bound]: uniform in [0, bound). Raises on [bound <= 0]. *)
+
+val float : t -> float -> float
+(** Uniform in [0, bound). *)
+
+val bool : t -> bool
+val shuffle : t -> 'a array -> unit
+
+val zipf : t -> n:int -> s:float -> int
+(** A Zipf(s)-distributed rank in [0, n), by inverse-CDF over precomputed
+    weights (recomputed per call; use {!zipf_sampler} in loops). *)
+
+val zipf_sampler : t -> n:int -> s:float -> unit -> int
+(** Precomputes the CDF once. *)

@@ -1,0 +1,50 @@
+let gen ~rng ~universe ~memberships ~sample_set =
+  let seen = Hashtbl.create memberships in
+  let out = ref [] in
+  let attempts = ref 0 in
+  while Hashtbl.length seen < memberships && !attempts < memberships * 30 do
+    incr attempts;
+    let e = Rng.int rng universe and s = sample_set () in
+    if not (Hashtbl.mem seen (e, s)) then begin
+      Hashtbl.add seen (e, s) ();
+      out := (e, s) :: !out
+    end
+  done;
+  List.rev !out
+
+let uniform ~seed ~universe ~sets ~memberships =
+  let rng = Rng.create seed in
+  gen ~rng ~universe ~memberships ~sample_set:(fun () -> Rng.int rng sets)
+
+let zipf_sizes ~seed ~universe ~sets ~memberships ~s =
+  let rng = Rng.create seed in
+  let sample = Rng.zipf_sampler rng ~n:sets ~s in
+  gen ~rng ~universe ~memberships ~sample_set:sample
+
+let planted_pairs ~seed ~universe ~sets ~memberships ~intersecting =
+  let rng = Rng.create seed in
+  let base =
+    gen ~rng ~universe
+      ~memberships:(max 0 (memberships - (2 * intersecting)))
+      ~sample_set:(fun () -> Rng.int rng sets)
+  in
+  let witnesses = ref [] in
+  let extra = ref [] in
+  for _ = 1 to intersecting do
+    let s1 = Rng.int rng sets and s2 = Rng.int rng sets in
+    let e = Rng.int rng universe in
+    extra := (e, s1) :: (e, s2) :: !extra;
+    witnesses := (s1, s2) :: !witnesses
+  done;
+  let seen = Hashtbl.create 64 in
+  let all =
+    List.filter
+      (fun p ->
+        if Hashtbl.mem seen p then false
+        else begin
+          Hashtbl.add seen p ();
+          true
+        end)
+      (base @ List.rev !extra)
+  in
+  (all, List.rev !witnesses)

@@ -1,0 +1,28 @@
+(** Set-family generators for the k-Set Disjointness workloads.
+
+    A family is encoded, as in the paper's introduction, by membership
+    pairs [(element, set_id)] — the relation [R(y, x)] stating that
+    element [y] belongs to set [x]. *)
+
+val uniform :
+  seed:int -> universe:int -> sets:int -> memberships:int -> (int * int) list
+
+val zipf_sizes :
+  seed:int ->
+  universe:int ->
+  sets:int ->
+  memberships:int ->
+  s:float ->
+  (int * int) list
+(** Set sizes follow a Zipf([s]) law: a few huge sets, many small ones —
+    the regime where heavy/light materialization pays off. *)
+
+val planted_pairs :
+  seed:int ->
+  universe:int ->
+  sets:int ->
+  memberships:int ->
+  intersecting:int ->
+  (int * int) list * (int * int) list
+(** Returns [(memberships, witness_pairs)]: a family where the listed
+    set pairs are guaranteed to intersect (sharing a planted element). *)

@@ -1,0 +1,1 @@
+lib/yannakakis/online_yannakakis.ml: Array Cost Cq Hashtbl Index List Pmtd Relation Rtree Stt_decomp Stt_hypergraph Stt_relation Td Varset

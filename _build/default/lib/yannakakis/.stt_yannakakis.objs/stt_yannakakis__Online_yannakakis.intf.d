@@ -1,0 +1,1 @@
+lib/yannakakis/online_yannakakis.mli: Pmtd Relation Stt_decomp Stt_relation

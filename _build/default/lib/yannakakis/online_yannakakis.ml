@@ -1,0 +1,136 @@
+open Stt_relation
+open Stt_hypergraph
+open Stt_decomp
+
+type preprocessed = {
+  pmtd : Pmtd.t;
+  s_rels : (int, Relation.t) Hashtbl.t;
+  s_idx : (int, Index.t) Hashtbl.t; (* keyed on common vars with parent view *)
+  space : int;
+}
+
+let view_vars p node = (Pmtd.view p node).Pmtd.vars
+
+(* key variables used to link a child view to its parent: for the root,
+   the access pattern; otherwise the intersection with the parent view *)
+let link_vars (p : Pmtd.t) node =
+  let tree = p.Pmtd.td.Td.tree in
+  match Rtree.parent tree node with
+  | None -> Varset.inter (view_vars p node) p.Pmtd.cqap.Cq.access
+  | Some par -> Varset.inter (view_vars p node) (view_vars p par)
+
+let semijoin_via_index rel idx = Index.semijoin rel idx
+let join_via_index rel idx = Index.join rel idx
+
+let preprocess pmtd ~s_views =
+  Cost.with_counting false (fun () ->
+      let tree = pmtd.Pmtd.td.Td.tree in
+      let s_rels = Hashtbl.create 8 in
+      let s_idx = Hashtbl.create 8 in
+      let materialized = pmtd.Pmtd.materialized in
+      List.iter
+        (fun node -> if materialized.(node) then
+            Hashtbl.replace s_rels node (s_views node))
+        (Rtree.nodes tree);
+      (* bottom-up semijoin pass over SS-edges *)
+      List.iter
+        (fun node ->
+          if materialized.(node) then
+            match Rtree.parent tree node with
+            | Some par when materialized.(par) ->
+                let reduced =
+                  Relation.semijoin (Hashtbl.find s_rels par)
+                    (Hashtbl.find s_rels node)
+                in
+                Hashtbl.replace s_rels par reduced
+            | Some _ | None -> ())
+        (Rtree.bottom_up tree);
+      (* hash index per S-view on its link variables *)
+      let space = ref 0 in
+      Hashtbl.iter
+        (fun node rel ->
+          space := !space + Relation.cardinal rel;
+          Hashtbl.replace s_idx node
+            (Index.build rel (Varset.to_list (link_vars pmtd node))))
+        s_rels;
+      { pmtd; s_rels; s_idx; space = !space })
+
+let space t = t.space
+
+type node_state = {
+  mutable rel : Relation.t;
+  mutable removed : bool;
+  is_s : bool;
+}
+
+let answer t ~t_views ~q_a =
+  let pmtd = t.pmtd in
+  let tree = pmtd.Pmtd.td.Td.tree in
+  let head = pmtd.Pmtd.cqap.Cq.cq.Cq.head in
+  let materialized = pmtd.Pmtd.materialized in
+  let states = Hashtbl.create 8 in
+  List.iter
+    (fun node ->
+      let is_s = materialized.(node) in
+      let rel =
+        if is_s then Hashtbl.find t.s_rels node else t_views node
+      in
+      Hashtbl.replace states node { rel; removed = false; is_s })
+    (Rtree.nodes tree);
+  let state node = Hashtbl.find states node in
+  let head_covered ~child ~parent =
+    Varset.subset
+      (Varset.inter (view_vars pmtd child) head)
+      (view_vars pmtd parent)
+  in
+  (* bottom-up semijoin-reduce pass *)
+  List.iter
+    (fun node ->
+      match Rtree.parent tree node with
+      | None -> ()
+      | Some par ->
+          let child_st = state node and par_st = state par in
+          if child_st.is_s && par_st.is_s then () (* SS: done at preprocess *)
+          else if child_st.is_s then begin
+            (* ST edge: parent T-view semijoined via the child's index *)
+            par_st.rel <-
+              semijoin_via_index par_st.rel (Hashtbl.find t.s_idx node);
+            if head_covered ~child:node ~parent:par then
+              child_st.removed <- true
+          end
+          else begin
+            (* TT edge *)
+            par_st.rel <- Relation.semijoin par_st.rel child_st.rel;
+            if head_covered ~child:node ~parent:par then
+              child_st.removed <- true
+            else
+              child_st.rel <-
+                Relation.project child_st.rel
+                  (Varset.to_list
+                     (Varset.inter (view_vars pmtd node) head))
+          end)
+    (Rtree.bottom_up tree);
+  (* root *)
+  let root = Rtree.root tree in
+  let root_st = state root in
+  let q_a =
+    if root_st.is_s then
+      semijoin_via_index q_a (Hashtbl.find t.s_idx root)
+    else begin
+      root_st.rel <-
+        Relation.project root_st.rel
+          (Varset.to_list (Varset.inter (view_vars pmtd root) head));
+      Relation.semijoin q_a root_st.rel
+    end
+  in
+  (* top-down join pass *)
+  let result = ref q_a in
+  List.iter
+    (fun node ->
+      let st = state node in
+      if not st.removed then
+        if st.is_s then
+          result := join_via_index !result (Hashtbl.find t.s_idx node)
+        else result := Relation.natural_join !result st.rel)
+    (Rtree.nodes tree);
+  Relation.project !result (Varset.to_list head)

@@ -1,0 +1,31 @@
+(** Online Yannakakis for PMTDs (Theorem 3.7 and Appendix A).
+
+    Given the S-views of a PMTD, [preprocess] stores them with hash
+    indexes (and runs the bottom-up semijoin pass over SS-edges) in space
+    linear in their size.  [answer] then computes the free-connex acyclic
+    CQ
+
+    {v ψ(x_H) ← Q_A ∧ ⋀_{t∈M} S_{v(t)} ∧ ⋀_{t∉M} T_{v(t)} v}
+
+    in time [O(max_t |T_{v(t)}| + |Q_A| + |ψ|)] — crucially with no
+    dependence on the size of the S-views, which are only ever probed
+    through their indexes. *)
+
+open Stt_relation
+open Stt_decomp
+
+type preprocessed
+
+val preprocess : Pmtd.t -> s_views:(int -> Relation.t) -> preprocessed
+(** [s_views node] must supply a relation over schema [v(node)] (any
+    variable order) for every materialized node. *)
+
+val space : preprocessed -> int
+(** Total stored tuples across indexed S-views. *)
+
+val answer :
+  preprocessed -> t_views:(int -> Relation.t) -> q_a:Relation.t -> Relation.t
+(** [t_views node] must supply a relation over schema [v(node)] for every
+    non-materialized node; [q_a] is the access request over schema [A]
+    (in ascending variable order or any order containing exactly A).
+    Returns ψ over the head variables. *)

@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Array Cost Graphs Hierarchical List Patterns Printf Reach Rng Setdisj Sets Stt_apps Stt_relation Stt_workload

@@ -1,0 +1,1 @@
+test/test_cover.ml: Alcotest Cover Cq Hypergraph List Printf Rat Stt_core Stt_hypergraph Stt_lp Tradeoff Varset

@@ -1,0 +1,1 @@
+test/test_cq.ml: Alcotest Cq Degree Hypergraph List Rat Stt_hypergraph Stt_lp Varset

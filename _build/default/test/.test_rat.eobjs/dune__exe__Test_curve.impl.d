@@ -1,0 +1,1 @@
+test/test_curve.ml: Alcotest Cq Curve Degree Enum Jointflow List Printf Rat Rule Stt_core Stt_decomp Stt_hypergraph Stt_lp Tradeoff

@@ -1,0 +1,1 @@
+test/test_db.ml: Alcotest Array Cq Db List Relation Schema Stt_core Stt_hypergraph Stt_relation

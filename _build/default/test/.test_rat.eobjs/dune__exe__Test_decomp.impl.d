@@ -1,0 +1,1 @@
+test/test_decomp.ml: Alcotest Cq Enum Format List Pmtd Rtree Stt_decomp Stt_hypergraph Td Varset

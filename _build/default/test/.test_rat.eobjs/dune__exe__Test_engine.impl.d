@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Cq Db Engine Graphs List QCheck2 QCheck_alcotest Relation Rng Schema Sets Stt_apps Stt_core Stt_hypergraph Stt_relation Stt_workload

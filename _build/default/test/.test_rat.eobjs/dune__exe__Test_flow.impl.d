@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest Cq Cvec Degree Flow List Option QCheck2 QCheck_alcotest Rat Setfun Stt_hypergraph Stt_lp Stt_polymatroid Varset

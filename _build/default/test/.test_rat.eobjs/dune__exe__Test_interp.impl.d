@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Array Graphs Interp List Paper_proofs Printf Proof Rat Relation Schema Stt_core Stt_hypergraph Stt_lp Stt_polymatroid Stt_relation Stt_workload Varset

@@ -1,0 +1,1 @@
+test/test_jointflow.ml: Alcotest Cq Degree Enum Jointflow List Printf Rat Rule Stt_core Stt_decomp Stt_hypergraph Stt_lp Tradeoff Varset

@@ -1,0 +1,1 @@
+test/test_lp_layer.ml: Alcotest Float List Lp QCheck2 QCheck_alcotest Rat Stt_lp

@@ -1,0 +1,1 @@
+test/test_mergejoin.ml: Alcotest Array List Mergejoin QCheck2 QCheck_alcotest Relation Schema Stt_relation

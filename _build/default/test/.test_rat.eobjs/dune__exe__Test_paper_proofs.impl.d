@@ -1,0 +1,1 @@
+test/test_paper_proofs.ml: Alcotest Cvec Flow List Paper_proofs Proof Stt_core Stt_polymatroid Tradeoff

@@ -1,0 +1,1 @@
+test/test_polymatroid.ml: Alcotest Array Cq Degree Option Polymatroid QCheck2 QCheck_alcotest Rat Setfun Stt_hypergraph Stt_lp Stt_polymatroid Varset

@@ -1,0 +1,1 @@
+test/test_proof.ml: Alcotest Cvec Flow List Proof QCheck2 QCheck_alcotest Rat Setfun Stt_hypergraph Stt_lp Stt_polymatroid Varset

@@ -1,0 +1,1 @@
+test/test_rule.ml: Alcotest Cq Enum List Rule Stt_core Stt_decomp Stt_hypergraph Varset

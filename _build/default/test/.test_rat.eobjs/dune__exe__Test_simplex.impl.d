@@ -1,0 +1,1 @@
+test/test_simplex.ml: Alcotest Fun List Lp Printf QCheck2 QCheck_alcotest Rat Stt_lp

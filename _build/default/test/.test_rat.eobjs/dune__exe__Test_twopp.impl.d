@@ -1,0 +1,1 @@
+test/test_twopp.ml: Alcotest Array Cq Db Enum Fun Graphs List Printf Relation Rule Schema Stt_core Stt_decomp Stt_hypergraph Stt_relation Stt_workload Tuple Twopp Varset

@@ -1,0 +1,1 @@
+test/test_varset.ml: Alcotest List QCheck2 QCheck_alcotest Stt_hypergraph Varset

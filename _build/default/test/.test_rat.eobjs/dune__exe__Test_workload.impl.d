@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Fun Graphs List Rng Sets Stt_workload

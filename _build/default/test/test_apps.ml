@@ -1,0 +1,230 @@
+(* Application-level data structures: correctness against naive
+   references and tradeoff sanity (more budget never hurts). *)
+
+open Stt_relation
+open Stt_apps
+open Stt_workload
+
+(* --- k-Set Disjointness --- *)
+
+let members = Sets.zipf_sizes ~seed:21 ~universe:150 ~sets:60 ~memberships:1200 ~s:1.2
+
+let test_setdisj_correct () =
+  let rng = Rng.create 5 in
+  List.iter
+    (fun budget ->
+      let t = Setdisj.build ~k:2 ~memberships:members ~budget in
+      for _ = 1 to 100 do
+        let q = [| Rng.int rng 60; Rng.int rng 60 |] in
+        Alcotest.check Alcotest.bool "matches naive"
+          (Setdisj.naive_disjoint ~memberships:members q)
+          (Setdisj.disjoint t q)
+      done)
+    [ 0; 40; 4000 ]
+
+let test_setdisj_k3 () =
+  let rng = Rng.create 6 in
+  let t = Setdisj.build ~k:3 ~memberships:members ~budget:2000 in
+  for _ = 1 to 60 do
+    let q = [| Rng.int rng 60; Rng.int rng 60; Rng.int rng 60 |] in
+    Alcotest.check Alcotest.bool "k=3 matches naive"
+      (Setdisj.naive_disjoint ~memberships:members q)
+      (Setdisj.disjoint t q)
+  done
+
+let test_setdisj_intersection () =
+  let rng = Rng.create 7 in
+  let t = Setdisj.build ~k:2 ~memberships:members ~budget:1000 in
+  for _ = 1 to 60 do
+    let s1 = Rng.int rng 60 and s2 = Rng.int rng 60 in
+    let inter = Setdisj.intersection t [| s1; s2 |] |> List.sort_uniq compare in
+    let expected =
+      List.filter_map (fun (e, s) -> if s = s1 then Some e else None) members
+      |> List.filter (fun e -> List.mem (e, s2) members)
+      |> List.sort_uniq compare
+    in
+    Alcotest.check Alcotest.(list int) "intersection" expected inter
+  done
+
+let test_setdisj_tradeoff_shape () =
+  (* worst-case cost must (weakly) improve with budget on a skewed family *)
+  let rng0 = Rng.create 9 in
+  let queries = List.init 150 (fun _ -> [| Rng.int rng0 30; Rng.int rng0 30 |]) in
+  let worst budget =
+    let t = Setdisj.build ~k:2 ~memberships:members ~budget in
+    List.fold_left
+      (fun acc q ->
+        let _, snap = Cost.measure (fun () -> ignore (Setdisj.disjoint t q)) in
+        max acc (Cost.total snap))
+      0 queries
+  in
+  let w0 = worst 0 and w_mid = worst 400 and w_big = worst 100000 in
+  Alcotest.check Alcotest.bool
+    (Printf.sprintf "w0=%d >= w_big=%d" w0 w_big)
+    true
+    (w0 >= w_big);
+  Alcotest.check Alcotest.bool "mid between" true (w_mid <= w0)
+
+(* --- k-Reachability --- *)
+
+let graph = Graphs.zipf_both ~seed:31 ~vertices:120 ~edges:1200 ~s:1.1
+
+let test_bfs_correct () =
+  let t = Reach.Bfs.build graph in
+  let rng = Rng.create 8 in
+  for _ = 1 to 60 do
+    let u = Rng.int rng 120 and v = Rng.int rng 120 in
+    List.iter
+      (fun k ->
+        Alcotest.check Alcotest.bool "bfs = naive"
+          (Reach.naive graph ~k u v)
+          (Reach.Bfs.query t ~k u v))
+      [ 1; 2; 3 ]
+  done
+
+let test_baseline_correct () =
+  let rng = Rng.create 9 in
+  List.iter
+    (fun k ->
+      List.iter
+        (fun budget ->
+          let t = Reach.Baseline.build ~k graph ~budget in
+          for _ = 1 to 50 do
+            let u = Rng.int rng 120 and v = Rng.int rng 120 in
+            Alcotest.check Alcotest.bool
+              (Printf.sprintf "baseline k=%d budget=%d" k budget)
+              (Reach.naive graph ~k u v)
+              (Reach.Baseline.query t u v)
+          done)
+        [ 4; 400; 40000 ])
+    [ 2; 3 ]
+
+let test_framework_correct () =
+  let rng = Rng.create 10 in
+  List.iter
+    (fun k ->
+      let t = Reach.Framework.build ~k graph ~budget:500 in
+      for _ = 1 to 40 do
+        let u = Rng.int rng 120 and v = Rng.int rng 120 in
+        Alcotest.check Alcotest.bool
+          (Printf.sprintf "framework k=%d" k)
+          (Reach.naive graph ~k u v)
+          (Reach.Framework.query t u v)
+      done)
+    [ 2; 3 ]
+
+let test_at_most_correct () =
+  let rng = Rng.create 17 in
+  let t = Reach.AtMost.build ~k:3 graph ~budget:600 in
+  for _ = 1 to 40 do
+    let u = Rng.int rng 120 and v = Rng.int rng 120 in
+    let expect =
+      u = v
+      || Reach.naive graph ~k:1 u v
+      || Reach.naive graph ~k:2 u v
+      || Reach.naive graph ~k:3 u v
+    in
+    Alcotest.check Alcotest.bool "at-most-3" expect (Reach.AtMost.query t u v)
+  done
+
+let test_baseline_space_grows () =
+  let s b = Reach.Baseline.space (Reach.Baseline.build ~k:3 graph ~budget:b) in
+  Alcotest.check Alcotest.bool "space grows" true (s 10000 >= s 10)
+
+(* --- patterns --- *)
+
+let pattern_graph = Graphs.cycle_rich ~seed:41 ~vertices:50 ~edges:280
+
+let test_square_correct () =
+  let t = Patterns.Square.build pattern_graph ~budget:2000 in
+  let rng = Rng.create 11 in
+  for _ = 1 to 60 do
+    let u = Rng.int rng 50 and v = Rng.int rng 50 in
+    Alcotest.check Alcotest.bool "square"
+      (Patterns.Square.naive pattern_graph u v)
+      (Patterns.Square.query t u v)
+  done
+
+let test_edge_triangle_correct () =
+  let t = Patterns.EdgeTriangle.build pattern_graph ~budget:2000 in
+  List.iter
+    (fun (u, v) ->
+      Alcotest.check Alcotest.bool "edge triangle"
+        (Patterns.EdgeTriangle.naive pattern_graph u v)
+        (Patterns.EdgeTriangle.query t u v))
+    (List.filteri (fun i _ -> i < 40) pattern_graph)
+
+let test_triangle_listing () =
+  let t = Patterns.Triangle.build pattern_graph ~budget:100000 in
+  Alcotest.check
+    Alcotest.(list (pair int int))
+    "corner pairs"
+    (Patterns.Triangle.naive pattern_graph)
+    (Patterns.Triangle.corner_pairs t)
+
+(* --- hierarchical --- *)
+
+let inst = Hierarchical.generate ~seed:51 ~posts:30 ~size:250
+
+let random_z_queries n seed =
+  let rng = Rng.create seed in
+  (* mix random probes and planted positives drawn from the data *)
+  let planted =
+    List.filteri (fun i _ -> i < n / 2) inst.Hierarchical.r
+    |> List.map (fun (_, _, z) -> [| z; z; z; z |])
+  in
+  planted @ List.init (n / 2) (fun _ ->
+      Array.init 4 (fun _ -> Rng.int rng 10))
+
+let test_hierarchical_adapted_correct () =
+  List.iter
+    (fun epsilon ->
+      let t = Hierarchical.Adapted.build inst ~epsilon in
+      List.iter
+        (fun q ->
+          Alcotest.check Alcotest.bool
+            (Printf.sprintf "adapted eps=%.2f" epsilon)
+            (Hierarchical.naive inst q)
+            (Hierarchical.Adapted.query t q))
+        (random_z_queries 40 12))
+    [ 0.0; 0.3; 1.0 ]
+
+let test_hierarchical_framework_correct () =
+  let t = Hierarchical.Framework.build inst ~budget:2000 in
+  List.iter
+    (fun q ->
+      Alcotest.check Alcotest.bool "framework"
+        (Hierarchical.naive inst q)
+        (Hierarchical.Framework.query t q))
+    (random_z_queries 30 13)
+
+let () =
+  Alcotest.run "apps"
+    [
+      ( "set disjointness",
+        [
+          Alcotest.test_case "k=2 correct" `Quick test_setdisj_correct;
+          Alcotest.test_case "k=3 correct" `Quick test_setdisj_k3;
+          Alcotest.test_case "intersection" `Quick test_setdisj_intersection;
+          Alcotest.test_case "tradeoff shape" `Quick test_setdisj_tradeoff_shape;
+        ] );
+      ( "reachability",
+        [
+          Alcotest.test_case "BFS" `Quick test_bfs_correct;
+          Alcotest.test_case "baseline" `Quick test_baseline_correct;
+          Alcotest.test_case "framework" `Slow test_framework_correct;
+          Alcotest.test_case "at-most-k" `Slow test_at_most_correct;
+          Alcotest.test_case "baseline space" `Quick test_baseline_space_grows;
+        ] );
+      ( "patterns",
+        [
+          Alcotest.test_case "square" `Slow test_square_correct;
+          Alcotest.test_case "edge triangle" `Quick test_edge_triangle_correct;
+          Alcotest.test_case "triangle listing" `Quick test_triangle_listing;
+        ] );
+      ( "hierarchical",
+        [
+          Alcotest.test_case "adapted" `Quick test_hierarchical_adapted_correct;
+          Alcotest.test_case "framework" `Slow test_hierarchical_framework_correct;
+        ] );
+    ]

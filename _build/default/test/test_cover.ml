@@ -1,0 +1,144 @@
+(* Fractional edge covers, slack and the Section 6.2/6.3 tradeoffs. *)
+
+open Stt_hypergraph
+open Stt_core
+open Stt_lp
+
+let rat = Alcotest.testable Rat.pp Rat.equal
+let tr = Alcotest.testable Tradeoff.pp Tradeoff.equal
+let of_l = Varset.of_list
+
+let test_min_cover_triangle () =
+  let hg = Cq.hypergraph Cq.Library.triangle_detect.Cq.cq in
+  match Cover.min_fractional_cover hg ~of_:(Varset.full 3) with
+  | Some u ->
+      Alcotest.check rat "weight 3/2" (Rat.make 3 2) (Cover.total_weight u)
+  | None -> Alcotest.fail "cover expected"
+
+let test_min_cover_path () =
+  let hg = Cq.hypergraph (Cq.Library.k_path 3).Cq.cq in
+  match Cover.min_fractional_cover hg ~of_:(Varset.full 4) with
+  | Some u -> Alcotest.check rat "weight 2" (Rat.of_int 2) (Cover.total_weight u)
+  | None -> Alcotest.fail "cover expected"
+
+let test_no_cover () =
+  let hg = Hypergraph.create ~n:2 [ of_l [ 0 ]; of_l [ 1 ] ] in
+  (* vertex 2 out of range of edges: ask to cover a variable beyond *)
+  match Cover.min_fractional_cover hg ~of_:(of_l [ 0; 1 ]) with
+  | Some _ -> ()
+  | None -> Alcotest.fail "cover of existing vars expected"
+
+let test_slack_example_6_2 () =
+  (* k-Set Disjointness with u_j = 1 on each of the k edges: slack k *)
+  List.iter
+    (fun k ->
+      let q = Cq.Library.k_set_disjointness k in
+      let hg = Cq.hypergraph q.Cq.cq in
+      let u = List.map (fun f -> (f, Rat.one)) hg.Hypergraph.edges in
+      match Cover.slack u ~a:q.Cq.access ~over:(Varset.full (k + 1)) with
+      | Some a -> Alcotest.check rat "slack k" (Rat.of_int k) a
+      | None -> Alcotest.fail "slack expected")
+    [ 2; 3; 4 ]
+
+let test_theorem_6_1_k_set () =
+  (* Example 6.2: S·T^k ≅ Q^k·D^k *)
+  List.iter
+    (fun k ->
+      let q = Cq.Library.k_set_disjointness k in
+      let hg = Cq.hypergraph q.Cq.cq in
+      let u = List.map (fun f -> (f, Rat.one)) hg.Hypergraph.edges in
+      Alcotest.check tr
+        (Printf.sprintf "k=%d" k)
+        (Tradeoff.make ~s_exp:Rat.one ~t_exp:(Rat.of_int k)
+           ~d_exp:(Rat.of_int k) ~q_exp:(Rat.of_int k))
+        (Cover.theorem_6_1 q ~u))
+    [ 2; 3 ]
+
+let test_theorem_6_1_auto () =
+  let q = Cq.Library.k_set_disjointness 2 in
+  let t = Cover.theorem_6_1_auto q in
+  (* the auto cover must recover at least the slack-2 tradeoff *)
+  Alcotest.check rat "t_exp = 2" (Rat.of_int 2)
+    (Rat.div t.Tradeoff.t_exp t.Tradeoff.s_exp)
+
+let test_theorem_6_1_rejects_non_cover () =
+  let q = Cq.Library.k_set_disjointness 2 in
+  Alcotest.check_raises "not a cover"
+    (Invalid_argument "theorem_6_1: not a fractional edge cover") (fun () ->
+      ignore (Cover.theorem_6_1 q ~u:[]))
+
+let test_example_6_3 () =
+  (* 4-reachability via the TD {x1,x2,x4,x5} -> {x2,x3,x4}:
+     S^{3/2}·T ≅ Q·D³ *)
+  let q = Cq.Library.k_path 4 in
+  let e i j = of_l [ i; j ] in
+  let bag1 =
+    {
+      Cover.bag = of_l [ 0; 1; 3; 4 ];
+      a_t = of_l [ 0; 4 ];
+      u = [ (e 0 1, Rat.one); (e 3 4, Rat.one) ];
+    }
+  in
+  let bag2 =
+    {
+      Cover.bag = of_l [ 1; 2; 3 ];
+      a_t = of_l [ 1; 3 ];
+      u = [ (e 1 2, Rat.one); (e 2 3, Rat.one) ];
+    }
+  in
+  let t = Cover.path_tradeoff q [ bag1; bag2 ] in
+  Alcotest.check tr "S^{3/2}·T ≅ Q·D³"
+    (Tradeoff.make ~s_exp:(Rat.make 3 2) ~t_exp:Rat.one ~d_exp:(Rat.of_int 3)
+       ~q_exp:Rat.one)
+    t
+
+let test_k_reach_prior_tradeoff () =
+  (* Section 6.3 + [12]: the framework recovers S·T^{2/(k-1)} ≅ D²·(...)
+     via the root-to-leaf path of the natural decomposition; check k = 3
+     with bags {x1,x2,x4} -> {x2,x3,x4} *)
+  let q = Cq.Library.k_path 3 in
+  let e i j = of_l [ i; j ] in
+  let bag1 =
+    {
+      Cover.bag = of_l [ 0; 1; 3 ];
+      a_t = of_l [ 0; 3 ];
+      u = [ (e 0 1, Rat.one); (e 2 3, Rat.one) ];
+    }
+  in
+  let bag2 =
+    {
+      Cover.bag = of_l [ 1; 2; 3 ];
+      a_t = of_l [ 1; 3 ];
+      u = [ (e 1 2, Rat.one); (e 2 3, Rat.one) ];
+    }
+  in
+  let t = Cover.path_tradeoff q [ bag1; bag2 ] in
+  (* slack of bag1 w.r.t {x1,x4}: covers x2 once → α1 = 1;
+     slack of bag2 w.r.t {x2,x4}: covers x3 twice → α2 = 2;
+     S^{1+1/2}·T ≅ Q·D^{2+1} — the S·T^{2/3}-family line for k=3 *)
+  Alcotest.check tr "S^{3/2}·T ≅ Q·D³"
+    (Tradeoff.make ~s_exp:(Rat.make 3 2) ~t_exp:Rat.one ~d_exp:(Rat.of_int 3)
+       ~q_exp:Rat.one)
+    t
+
+let () =
+  Alcotest.run "cover"
+    [
+      ( "covers",
+        [
+          Alcotest.test_case "triangle min cover" `Quick test_min_cover_triangle;
+          Alcotest.test_case "path min cover" `Quick test_min_cover_path;
+          Alcotest.test_case "degenerate cover" `Quick test_no_cover;
+          Alcotest.test_case "slack (Ex 6.2)" `Quick test_slack_example_6_2;
+        ] );
+      ( "tradeoffs",
+        [
+          Alcotest.test_case "Theorem 6.1 k-set" `Quick test_theorem_6_1_k_set;
+          Alcotest.test_case "Theorem 6.1 auto" `Quick test_theorem_6_1_auto;
+          Alcotest.test_case "rejects non-cover" `Quick
+            test_theorem_6_1_rejects_non_cover;
+          Alcotest.test_case "Example 6.3" `Quick test_example_6_3;
+          Alcotest.test_case "3-reach path tradeoff" `Quick
+            test_k_reach_prior_tradeoff;
+        ] );
+    ]

@@ -1,0 +1,138 @@
+(* CQ / CQAP model, hypergraphs and degree constraints. *)
+
+open Stt_hypergraph
+open Stt_lp
+
+let vs = Alcotest.testable Varset.pp Varset.equal
+
+let test_create_validations () =
+  Alcotest.check_raises "repeated var in atom"
+    (Invalid_argument "Cq.create: repeated variable in atom") (fun () ->
+      ignore
+        (Cq.create ~var_names:[| "x"; "y" |] ~head:Varset.empty
+           [ { Cq.rel = "R"; vars = [ 0; 0 ] } ]));
+  Alcotest.check_raises "uncovered variable"
+    (Invalid_argument "Cq.create: variable in no atom") (fun () ->
+      ignore
+        (Cq.create ~var_names:[| "x"; "y" |] ~head:Varset.empty
+           [ { Cq.rel = "R"; vars = [ 0 ] } ]))
+
+let test_k_path () =
+  let q = Cq.Library.k_path 3 in
+  Alcotest.check Alcotest.int "4 variables" 4 q.Cq.cq.Cq.n;
+  Alcotest.check Alcotest.int "3 atoms" 3 (List.length q.Cq.cq.Cq.atoms);
+  Alcotest.check vs "access = endpoints" (Varset.of_list [ 0; 3 ]) q.Cq.access;
+  Alcotest.check vs "head = access" (Varset.of_list [ 0; 3 ]) q.Cq.cq.Cq.head;
+  Alcotest.check Alcotest.bool "acyclic" true (Cq.is_acyclic q.Cq.cq)
+
+let test_access_normalization () =
+  (* H ⊉ A is normalized by enlarging the head *)
+  let cq =
+    Cq.create ~var_names:[| "x"; "y" |] ~head:Varset.empty
+      [ { Cq.rel = "R"; vars = [ 0; 1 ] } ]
+  in
+  let cqap = Cq.with_access cq (Varset.singleton 0) in
+  Alcotest.check vs "head now contains access" (Varset.singleton 0)
+    cqap.Cq.cq.Cq.head
+
+let test_set_disjointness () =
+  let q = Cq.Library.k_set_disjointness 3 in
+  Alcotest.check Alcotest.int "vars" 4 q.Cq.cq.Cq.n;
+  Alcotest.check vs "access" (Varset.of_list [ 0; 1; 2 ]) q.Cq.access;
+  Alcotest.check vs "head" (Varset.of_list [ 0; 1; 2 ]) q.Cq.cq.Cq.head;
+  let qi = Cq.Library.k_set_intersection 3 in
+  Alcotest.check vs "intersection head keeps y" (Varset.of_list [ 0; 1; 2; 3 ])
+    qi.Cq.cq.Cq.head
+
+let test_hierarchical_detection () =
+  Alcotest.check Alcotest.bool "binary-tree query" true
+    (Cq.is_hierarchical Cq.Library.hierarchical_binary.Cq.cq);
+  Alcotest.check Alcotest.bool "set disjointness" true
+    (Cq.is_hierarchical (Cq.Library.k_set_disjointness 2).Cq.cq);
+  Alcotest.check Alcotest.bool "path not hierarchical" false
+    (Cq.is_hierarchical (Cq.Library.k_path 3).Cq.cq)
+
+let test_acyclicity () =
+  Alcotest.check Alcotest.bool "triangle cyclic" false
+    (Cq.is_acyclic Cq.Library.triangle_detect.Cq.cq);
+  Alcotest.check Alcotest.bool "square cyclic" false
+    (Cq.is_acyclic Cq.Library.square.Cq.cq);
+  Alcotest.check Alcotest.bool "hierarchical acyclic" true
+    (Cq.is_acyclic Cq.Library.hierarchical_binary.Cq.cq);
+  Alcotest.check Alcotest.bool "paths acyclic" true
+    (Cq.is_acyclic (Cq.Library.k_path 5).Cq.cq)
+
+let test_hypergraph () =
+  let q = Cq.Library.k_path 2 in
+  let hg = Cq.hypergraph q.Cq.cq in
+  Alcotest.check Alcotest.bool "connected" true (Hypergraph.is_connected hg);
+  Alcotest.check Alcotest.bool "covers edge" true
+    (Hypergraph.covers hg (Varset.of_list [ 0; 1 ]));
+  Alcotest.check Alcotest.bool "does not cover {0,2}" false
+    (Hypergraph.covers hg (Varset.of_list [ 0; 2 ]));
+  Alcotest.check Alcotest.int "edges of var 1" 2
+    (List.length (Hypergraph.edges_containing hg 1));
+  Alcotest.check_raises "isolated vertex"
+    (Invalid_argument "Hypergraph.create: isolated vertex") (fun () ->
+      ignore (Hypergraph.create ~n:3 [ Varset.of_list [ 0; 1 ] ]))
+
+let test_degree_constraints () =
+  let q = Cq.Library.k_path 3 in
+  let dc = Degree.default_dc q.Cq.cq in
+  Alcotest.check Alcotest.int "one cardinality per hyperedge" 3
+    (List.length dc);
+  List.iter
+    (fun (c : Degree.t) ->
+      Alcotest.check Alcotest.bool "is cardinality" true (Degree.is_cardinality c);
+      Alcotest.check (Alcotest.testable Rat.pp Rat.equal) "bound d" Rat.one
+        c.Degree.bound.Degree.d)
+    dc;
+  let ac = Degree.default_ac q in
+  Alcotest.check Alcotest.int "one access constraint" 1 (List.length ac);
+  let q2 = Cq.Library.k_set_disjointness 2 in
+  Alcotest.check Alcotest.int "two constraints" 2
+    (List.length (Degree.default_dc q2.Cq.cq))
+
+let test_splits () =
+  let q = Cq.Library.k_path 2 in
+  let splits = Degree.splits (Degree.default_dc q.Cq.cq) in
+  (* per binary edge {a,b}: (a, ab) and (b, ab) *)
+  Alcotest.check Alcotest.int "four splits" 4 (List.length splits);
+  List.iter
+    (fun (s : Degree.split) ->
+      Alcotest.check Alcotest.bool "x strict subset of y" true
+        (Varset.strict_subset s.Degree.sx s.Degree.sy))
+    splits
+
+let test_dedup () =
+  let c1 = Degree.cardinality (Varset.of_list [ 0; 1 ]) Degree.logsize_d in
+  let c2 =
+    Degree.cardinality (Varset.of_list [ 0; 1 ])
+      (Degree.logsize_scale (Rat.make 1 2) Degree.logsize_d)
+  in
+  let deduped = Degree.dedup [ c1; c2 ] in
+  Alcotest.check Alcotest.int "kept one" 1 (List.length deduped);
+  let kept = List.hd deduped in
+  Alcotest.check (Alcotest.testable Rat.pp Rat.equal) "kept the smaller"
+    (Rat.make 1 2) kept.Degree.bound.Degree.d
+
+let () =
+  Alcotest.run "cq"
+    [
+      ( "cq",
+        [
+          Alcotest.test_case "create validations" `Quick test_create_validations;
+          Alcotest.test_case "k-path" `Quick test_k_path;
+          Alcotest.test_case "access normalization" `Quick test_access_normalization;
+          Alcotest.test_case "set disjointness" `Quick test_set_disjointness;
+          Alcotest.test_case "hierarchical detection" `Quick test_hierarchical_detection;
+          Alcotest.test_case "acyclicity" `Quick test_acyclicity;
+          Alcotest.test_case "hypergraph" `Quick test_hypergraph;
+        ] );
+      ( "degree",
+        [
+          Alcotest.test_case "defaults" `Quick test_degree_constraints;
+          Alcotest.test_case "splits" `Quick test_splits;
+          Alcotest.test_case "dedup best-constraint" `Quick test_dedup;
+        ] );
+    ]

@@ -1,0 +1,91 @@
+(* Exact piecewise-linear curves: breakpoints of the 3-reachability
+   combined curve and agreement with dense sampling. *)
+
+open Stt_hypergraph
+open Stt_decomp
+open Stt_core
+open Stt_lp
+
+let rat = Alcotest.testable Rat.pp Rat.equal
+
+let q3 = Cq.Library.k_path 3
+let rules3 = Rule.generate q3 (Enum.pmtds q3)
+let dc3 = Degree.default_dc q3.Cq.cq
+let ac3 = Degree.default_ac q3
+
+let combined3 =
+  Curve.combined rules3 ~dc:dc3 ~ac:ac3 ~logq:Rat.zero ~lo:Rat.zero
+    ~hi:(Rat.of_int 2)
+
+let test_endpoints () =
+  (* at S = 1 the best strategy is BFS-like: T = D; at S = D² everything
+     is stored: T = 1 *)
+  Alcotest.check (Alcotest.option rat) "T(1) = D" (Some Rat.one)
+    (Curve.eval combined3 Rat.zero);
+  Alcotest.check (Alcotest.option rat) "T(D²) = 1" (Some Rat.zero)
+    (Curve.eval combined3 (Rat.of_int 2))
+
+let test_monotone_decreasing () =
+  List.iter
+    (fun seg ->
+      match Curve.slope seg with
+      | Some s ->
+          Alcotest.check Alcotest.bool "non-increasing" true (Rat.sign s <= 0)
+      | None -> ())
+    combined3
+
+let test_matches_sampling () =
+  List.iter
+    (fun logs ->
+      let sampled =
+        List.fold_left
+          (fun acc r ->
+            match Jointflow.logt r ~dc:dc3 ~ac:ac3 ~logq:Rat.zero ~logs with
+            | Some t -> Rat.max acc (Rat.max Rat.zero t)
+            | None -> acc)
+          Rat.zero rules3
+      in
+      Alcotest.check (Alcotest.option rat)
+        (Printf.sprintf "curve(%s)" (Rat.to_string logs))
+        (Some sampled)
+        (Curve.eval combined3 logs))
+    (Tradeoff.grid ~lo:Rat.zero ~hi:(Rat.of_int 2) ~steps:7)
+
+let test_improvement_segment_present () =
+  (* Figure 3a: somewhere between log S = 11/8 and 2 the curve lies
+     strictly below the prior-art line 2 - logS *)
+  let x = Rat.make 3 2 in
+  match Curve.eval combined3 x with
+  | Some t ->
+      Alcotest.check Alcotest.bool "strictly better than S·T=D² at 3/2" true
+        (Rat.compare t (Rat.sub (Rat.of_int 2) x) < 0)
+  | None -> Alcotest.fail "curve undefined"
+
+let test_segment_continuity () =
+  let rec check = function
+    | a :: (b :: _ as rest) ->
+        Alcotest.check rat "contiguous" a.Curve.hi b.Curve.lo;
+        Alcotest.check rat "continuous" a.Curve.hi_t b.Curve.lo_t;
+        check rest
+    | _ -> ()
+  in
+  check combined3
+
+let test_eval_outside () =
+  Alcotest.check (Alcotest.option rat) "outside range" None
+    (Curve.eval combined3 (Rat.of_int 5))
+
+let () =
+  Alcotest.run "curve"
+    [
+      ( "combined 3-reach",
+        [
+          Alcotest.test_case "endpoints" `Quick test_endpoints;
+          Alcotest.test_case "monotone" `Quick test_monotone_decreasing;
+          Alcotest.test_case "matches sampling" `Quick test_matches_sampling;
+          Alcotest.test_case "improvement segment" `Quick
+            test_improvement_segment_present;
+          Alcotest.test_case "continuity" `Quick test_segment_continuity;
+          Alcotest.test_case "outside range" `Quick test_eval_outside;
+        ] );
+    ]

@@ -1,0 +1,101 @@
+(* The database layer: instantiation, reference evaluation and the
+   budget-bounded join used by preprocessing. *)
+
+open Stt_relation
+open Stt_hypergraph
+open Stt_core
+
+let sorted r = List.sort compare (List.map Array.to_list (Relation.to_list r))
+
+let small_db () =
+  let db = Db.create () in
+  Db.add_pairs db "R" [ (1, 2); (2, 3); (3, 4); (1, 3) ];
+  db
+
+let test_relation_instantiation () =
+  let db = small_db () in
+  let rel = Db.relation db { Cq.rel = "R"; vars = [ 5; 7 ] } in
+  Alcotest.check Alcotest.int "cardinality" 4 (Relation.cardinal rel);
+  Alcotest.check Alcotest.(list int) "schema is the atom's vars" [ 5; 7 ]
+    (Schema.vars (Relation.schema rel));
+  Alcotest.check_raises "unknown relation"
+    (Invalid_argument "Db.relation: unknown relation Z") (fun () ->
+      ignore (Db.relation db { Cq.rel = "Z"; vars = [ 0; 1 ] }))
+
+let test_eval_2path () =
+  let db = small_db () in
+  let q = Cq.Library.k_path 2 in
+  let result = Db.eval db q.Cq.cq in
+  (* 2-paths: 1→2→3, 2→3→4, 1→3→4 ⇒ endpoint pairs (1,3), (2,4), (1,4) *)
+  Alcotest.check
+    Alcotest.(list (list int))
+    "endpoint pairs"
+    [ [ 1; 3 ]; [ 1; 4 ]; [ 2; 4 ] ]
+    (sorted result)
+
+let test_eval_access () =
+  let db = small_db () in
+  let q = Cq.Library.k_path 2 in
+  let q_a =
+    Relation.of_list (Schema.of_list [ 0; 2 ]) [ [| 1; 3 |]; [| 3; 1 |] ]
+  in
+  Alcotest.check
+    Alcotest.(list (list int))
+    "filtered by request"
+    [ [ 1; 3 ] ]
+    (sorted (Db.eval_access db q ~q_a))
+
+let test_size () =
+  let db = Db.create () in
+  Db.add_pairs db "A" [ (1, 2) ];
+  Db.add_pairs db "B" [ (1, 2); (3, 4) ];
+  Alcotest.check Alcotest.int "max cardinality" 2 (Db.size db);
+  Alcotest.check Alcotest.int "per relation" 1 (Db.cardinal db "A")
+
+let test_mixed_arity_rejected () =
+  let db = Db.create () in
+  Alcotest.check_raises "mixed arities" (Invalid_argument "Db.add: mixed arities")
+    (fun () -> Db.add db "R" [ [| 1 |]; [| 1; 2 |] ])
+
+let rel_of schema tuples =
+  Relation.of_list (Schema.of_list schema) (List.map Array.of_list tuples)
+
+let test_bounded_join () =
+  let a = rel_of [ 0; 1 ] (List.init 50 (fun i -> [ i / 10; i ])) in
+  let b = rel_of [ 1; 2 ] (List.init 50 (fun i -> [ i; i mod 7 ])) in
+  (* unbounded result *)
+  let full = Db.join_greedy [ a; b ] ~keep:[ 0; 2 ] in
+  (* a generous limit reproduces it *)
+  (match Db.join_greedy_bounded [ a; b ] ~keep:[ 0; 2 ] ~limit:10_000 with
+  | Some r ->
+      Alcotest.check Alcotest.bool "same result" true (Relation.equal r full)
+  | None -> Alcotest.fail "should fit");
+  (* a tiny limit gives up *)
+  match Db.join_greedy_bounded [ a; b ] ~keep:[ 0; 2 ] ~limit:3 with
+  | None -> ()
+  | Some _ -> Alcotest.fail "should exceed limit"
+
+let test_bounded_join_explosive () =
+  (* dense bipartite cross: the bound must trip during the join, without
+     materializing the full product *)
+  let a = rel_of [ 0; 1 ] (List.init 300 (fun i -> [ i; 0 ])) in
+  let b = rel_of [ 1; 2 ] (List.init 300 (fun i -> [ 0; i ])) in
+  match Db.join_greedy_bounded [ a; b ] ~keep:[ 0; 2 ] ~limit:1000 with
+  | None -> ()
+  | Some _ -> Alcotest.fail "90000-tuple product should exceed the limit"
+
+let () =
+  Alcotest.run "db"
+    [
+      ( "db",
+        [
+          Alcotest.test_case "instantiation" `Quick test_relation_instantiation;
+          Alcotest.test_case "eval 2-path" `Quick test_eval_2path;
+          Alcotest.test_case "eval access" `Quick test_eval_access;
+          Alcotest.test_case "size" `Quick test_size;
+          Alcotest.test_case "mixed arity" `Quick test_mixed_arity_rejected;
+          Alcotest.test_case "bounded join" `Quick test_bounded_join;
+          Alcotest.test_case "bounded join explosive" `Quick
+            test_bounded_join_explosive;
+        ] );
+    ]

@@ -1,0 +1,235 @@
+(* Rooted trees, tree decompositions, PMTDs and their enumeration —
+   including the paper's exact artifact counts (Figures 1, 2; Appendix F). *)
+
+open Stt_hypergraph
+open Stt_decomp
+
+let vs = Alcotest.testable Varset.pp Varset.equal
+let of_l = Varset.of_list
+
+(* --- Rtree --- *)
+
+let chain3 = Rtree.create ~parent:[| -1; 0; 1 |]
+
+let test_rtree_basics () =
+  Alcotest.check Alcotest.int "root" 0 (Rtree.root chain3);
+  Alcotest.check Alcotest.(option int) "parent" (Some 1) (Rtree.parent chain3 2);
+  Alcotest.check Alcotest.(list int) "children" [ 1 ] (Rtree.children chain3 0);
+  Alcotest.check Alcotest.(list int) "topological" [ 0; 1; 2 ] (Rtree.nodes chain3);
+  Alcotest.check Alcotest.(list int) "bottom-up" [ 2; 1; 0 ] (Rtree.bottom_up chain3);
+  Alcotest.check Alcotest.bool "ancestor" true (Rtree.is_ancestor chain3 0 2);
+  Alcotest.check Alcotest.bool "not self-ancestor" false (Rtree.is_ancestor chain3 1 1);
+  Alcotest.check Alcotest.(list int) "subtree" [ 1; 2 ] (Rtree.subtree chain3 1)
+
+let test_rtree_validation () =
+  Alcotest.check_raises "two roots"
+    (Invalid_argument "Rtree.create: need exactly one root") (fun () ->
+      ignore (Rtree.create ~parent:[| -1; -1 |]));
+  Alcotest.check_raises "cycle" (Invalid_argument "Rtree.create: cycle")
+    (fun () -> ignore (Rtree.create ~parent:[| 1; 0; -1 |]))
+
+let test_reroot () =
+  let t = Rtree.reroot chain3 2 in
+  Alcotest.check Alcotest.int "new root" 2 (Rtree.root t);
+  Alcotest.check Alcotest.(option int) "0's parent is 1" (Some 1)
+    (Rtree.parent t 0);
+  Alcotest.check Alcotest.bool "2 is ancestor of 0" true (Rtree.is_ancestor t 2 0)
+
+(* --- Td --- *)
+
+let path3 = Cq.Library.k_path 3
+let hg3 = Pmtd.access_hypergraph path3
+
+let td_two_bags =
+  (* {x1,x3,x4} -> {x1,x2,x3}, the left decomposition of Figure 1 *)
+  Td.create
+    (Rtree.create ~parent:[| -1; 0 |])
+    [| of_l [ 0; 2; 3 ]; of_l [ 0; 1; 2 ] |]
+
+let test_td_validity () =
+  Alcotest.check Alcotest.bool "valid" true (Td.is_valid td_two_bags hg3);
+  (* disconnected occurrence of a variable *)
+  let bad =
+    Td.create
+      (Rtree.create ~parent:[| -1; 0; 1 |])
+      [| of_l [ 0; 1 ]; of_l [ 1; 2 ]; of_l [ 0; 2; 3 ] |]
+  in
+  Alcotest.check Alcotest.bool "broken running intersection" false
+    (Td.is_valid bad hg3)
+
+let test_td_top_and_free_connex () =
+  Alcotest.check Alcotest.int "top of x2 is child" 1 (Td.top td_two_bags 1);
+  Alcotest.check Alcotest.int "top of x1 is root" 0 (Td.top td_two_bags 0);
+  Alcotest.check Alcotest.bool "free-connex for {x1,x4}" true
+    (Td.is_free_connex td_two_bags ~head:(of_l [ 0; 3 ]));
+  (* rooted at the child, TOP(x2) (a bound var) sits above TOP(x4): not
+     free-connex *)
+  let rerooted = Td.reroot td_two_bags 1 in
+  Alcotest.check Alcotest.bool "not free-connex rerooted" false
+    (Td.is_free_connex rerooted ~head:(of_l [ 0; 3 ]))
+
+let test_td_merge () =
+  let merged = Td.merge_subtree td_two_bags 1 in
+  Alcotest.check Alcotest.int "two nodes still" 2 (Td.size merged);
+  Alcotest.check vs "child bag unions" (of_l [ 0; 1; 2 ]) (Td.bag merged 1);
+  let merged_root = Td.merge_subtree td_two_bags 0 in
+  Alcotest.check Alcotest.int "single node" 1 (Td.size merged_root);
+  Alcotest.check vs "full bag" (Varset.full 4) (Td.bag merged_root 0)
+
+(* --- Pmtd: Figure 1 --- *)
+
+let pmtd_fig1_left =
+  Pmtd.create_exn path3 td_two_bags ~materialized:[| false; false |]
+
+let pmtd_fig1_mid =
+  Pmtd.create_exn path3 td_two_bags ~materialized:[| false; true |]
+
+let single_bag_td =
+  Td.create (Rtree.create ~parent:[| -1 |]) [| Varset.full 4 |]
+
+let pmtd_fig1_right =
+  Pmtd.create_exn path3 single_bag_td ~materialized:[| true |]
+
+let test_fig1_views () =
+  (* left: T134, T123 *)
+  let views p = List.map (fun v -> (v.Pmtd.kind, v.Pmtd.vars)) (Pmtd.views p) in
+  Alcotest.check
+    (Alcotest.list (Alcotest.pair (Alcotest.testable (fun ppf -> function
+       | Pmtd.S -> Format.fprintf ppf "S"
+       | Pmtd.T -> Format.fprintf ppf "T") ( = )) vs))
+    "left" [ (Pmtd.T, of_l [ 0; 2; 3 ]); (Pmtd.T, of_l [ 0; 1; 2 ]) ]
+    (views pmtd_fig1_left);
+  (* middle: the S-view projects out x2: S13 *)
+  Alcotest.check vs "S13" (of_l [ 0; 2 ]) (Pmtd.view pmtd_fig1_mid 1).Pmtd.vars;
+  Alcotest.check Alcotest.bool "kind S" true
+    ((Pmtd.view pmtd_fig1_mid 1).Pmtd.kind = Pmtd.S);
+  (* right: S14 *)
+  Alcotest.check vs "S14" (of_l [ 0; 3 ]) (Pmtd.view pmtd_fig1_right 0).Pmtd.vars
+
+let test_pmtd_validations () =
+  (* M not descendant-closed: root materialized, child not *)
+  (match Pmtd.create path3 td_two_bags ~materialized:[| true; false |] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected descendant-closure failure");
+  (* A ⊄ root bag *)
+  let td_bad_root = Td.reroot td_two_bags 1 in
+  match Pmtd.create path3 td_bad_root ~materialized:[| false; false |] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected root-bag failure"
+
+let test_example_3_6_redundancy () =
+  (* both bags materialized: the child S-view becomes empty → redundant *)
+  let p = Pmtd.create_exn path3 td_two_bags ~materialized:[| true; true |] in
+  Alcotest.check Alcotest.bool "redundant" false (Pmtd.is_non_redundant p);
+  (* the single-bag T PMTD dominates the left PMTD of Figure 1 *)
+  let p_t1234 =
+    Pmtd.create_exn path3 single_bag_td ~materialized:[| false |]
+  in
+  Alcotest.check Alcotest.bool "T1234 dominates (T134,T123)" true
+    (Pmtd.dominates p_t1234 pmtd_fig1_left);
+  Alcotest.check Alcotest.bool "converse fails" false
+    (Pmtd.dominates pmtd_fig1_left p_t1234);
+  (* Figure 1's PMTDs are mutually non-dominant *)
+  List.iter
+    (fun (a, b) ->
+      Alcotest.check Alcotest.bool "non-dominant" false (Pmtd.dominates a b))
+    [
+      (pmtd_fig1_left, pmtd_fig1_mid);
+      (pmtd_fig1_mid, pmtd_fig1_left);
+      (pmtd_fig1_left, pmtd_fig1_right);
+      (pmtd_fig1_right, pmtd_fig1_mid);
+    ]
+
+(* --- Enumeration: the paper's counts --- *)
+
+let test_fig2_five_pmtds () =
+  let pmtds = Enum.pmtds path3 in
+  Alcotest.check Alcotest.int "exactly 5 (Figure 2)" 5 (List.length pmtds);
+  let sigs = List.map Pmtd.signature pmtds |> List.sort compare in
+  Alcotest.check Alcotest.int "distinct signatures" 5
+    (List.length (List.sort_uniq compare sigs));
+  (* the all-S PMTD S14 must be present *)
+  Alcotest.check Alcotest.bool "S14 present" true
+    (List.exists
+       (fun p ->
+         match Pmtd.views p with
+         | [ v ] -> v.Pmtd.kind = Pmtd.S && Varset.equal v.Pmtd.vars (of_l [ 0; 3 ])
+         | _ -> false)
+       pmtds)
+
+let test_2path_two_pmtds () =
+  Alcotest.check Alcotest.int "2" 2 (List.length (Enum.pmtds (Cq.Library.k_path 2)))
+
+let test_set_disjointness_pmtds () =
+  (* the single-bag decomposition gives exactly (T), (S_A) *)
+  let pmtds = Enum.pmtds (Cq.Library.k_set_disjointness 2) in
+  Alcotest.check Alcotest.int "2" 2 (List.length pmtds)
+
+let test_hierarchical_five () =
+  let pmtds = Enum.pmtds Cq.Library.hierarchical_binary in
+  Alcotest.check Alcotest.int "5 (Appendix F)" 5 (List.length pmtds)
+
+let test_enum_soundness () =
+  (* every enumerated PMTD is valid, non-redundant, and no PMTD strictly
+     dominates another *)
+  List.iter
+    (fun q ->
+      let pmtds = Enum.pmtds q in
+      List.iter
+        (fun p ->
+          Alcotest.check Alcotest.bool "non-redundant" true
+            (Pmtd.is_non_redundant p))
+        pmtds;
+      List.iter
+        (fun p ->
+          List.iter
+            (fun p' ->
+              if Pmtd.signature p <> Pmtd.signature p' then
+                Alcotest.check Alcotest.bool "no strict domination" false
+                  (Pmtd.dominates p p' && not (Pmtd.dominates p' p)))
+            pmtds)
+        pmtds)
+    [ Cq.Library.k_path 2; Cq.Library.k_path 3; Cq.Library.square ]
+
+let test_induced () =
+  (* Section 6.3 induced set from the Figure 1 decomposition *)
+  let induced = Enum.induced path3 td_two_bags in
+  Alcotest.check Alcotest.bool "at least 3 PMTDs" true
+    (List.length induced >= 3);
+  List.iter
+    (fun p ->
+      Alcotest.check Alcotest.bool "non-redundant" true
+        (Pmtd.is_non_redundant p))
+    induced
+
+let () =
+  Alcotest.run "decomp"
+    [
+      ( "rtree",
+        [
+          Alcotest.test_case "basics" `Quick test_rtree_basics;
+          Alcotest.test_case "validation" `Quick test_rtree_validation;
+          Alcotest.test_case "reroot" `Quick test_reroot;
+        ] );
+      ( "td",
+        [
+          Alcotest.test_case "validity" `Quick test_td_validity;
+          Alcotest.test_case "top / free-connex" `Quick test_td_top_and_free_connex;
+          Alcotest.test_case "merge subtree" `Quick test_td_merge;
+        ] );
+      ( "pmtd",
+        [
+          Alcotest.test_case "Figure 1 views" `Quick test_fig1_views;
+          Alcotest.test_case "validations" `Quick test_pmtd_validations;
+          Alcotest.test_case "Example 3.6" `Quick test_example_3_6_redundancy;
+        ] );
+      ( "enumeration",
+        [
+          Alcotest.test_case "Figure 2: five PMTDs" `Quick test_fig2_five_pmtds;
+          Alcotest.test_case "2-path: two PMTDs" `Quick test_2path_two_pmtds;
+          Alcotest.test_case "set disjointness" `Quick test_set_disjointness_pmtds;
+          Alcotest.test_case "hierarchical: five" `Quick test_hierarchical_five;
+          Alcotest.test_case "soundness" `Quick test_enum_soundness;
+          Alcotest.test_case "induced sets" `Quick test_induced;
+        ] );
+    ]

@@ -1,0 +1,171 @@
+(* End-to-end engine: exactness against brute force for every query
+   family, across budgets, on random databases — the main integration
+   test of the repository. *)
+
+open Stt_relation
+open Stt_hypergraph
+open Stt_core
+open Stt_workload
+
+let sorted r = List.sort compare (List.map Array.to_list (Relation.to_list r))
+
+let check_equal_answers q db budget requests =
+  let idx = Engine.build_auto q ~db ~budget in
+  let q_a =
+    Relation.of_list (Engine.access_schema idx) (List.map Array.of_list requests)
+  in
+  let got = sorted (Engine.answer idx ~q_a) in
+  let expected = sorted (Db.eval_access db q ~q_a) in
+  Alcotest.check Alcotest.(list (list int)) "answers" expected got
+
+let graph_db edges =
+  let db = Db.create () in
+  Db.add_pairs db "R" edges;
+  db
+
+let small_graph = Graphs.zipf_both ~seed:3 ~vertices:60 ~edges:500 ~s:1.1
+
+let requests_2 n seed =
+  let rng = Rng.create seed in
+  List.init n (fun _ -> [ Rng.int rng 60; Rng.int rng 60 ])
+
+let test_2reach_budgets () =
+  List.iter
+    (fun budget ->
+      check_equal_answers (Cq.Library.k_path 2) (graph_db small_graph) budget
+        (requests_2 40 7))
+    [ 1; 30; 300; 100000 ]
+
+let test_3reach_budgets () =
+  List.iter
+    (fun budget ->
+      check_equal_answers (Cq.Library.k_path 3) (graph_db small_graph) budget
+        (requests_2 25 8))
+    [ 1; 300; 100000 ]
+
+let test_square () =
+  let edges = Graphs.cycle_rich ~seed:5 ~vertices:40 ~edges:300 in
+  List.iter
+    (fun budget ->
+      check_equal_answers Cq.Library.square (graph_db edges) budget
+        (requests_2 30 9))
+    [ 1; 200; 50000 ]
+
+let test_set_disjointness () =
+  let members = Sets.zipf_sizes ~seed:6 ~universe:80 ~sets:30 ~memberships:400 ~s:1.2 in
+  let db = Db.create () in
+  Db.add_pairs db "R" members;
+  let rng = Rng.create 10 in
+  let requests = List.init 30 (fun _ -> [ Rng.int rng 30; Rng.int rng 30 ]) in
+  List.iter
+    (fun budget ->
+      check_equal_answers (Cq.Library.k_set_disjointness 2) db budget requests)
+    [ 1; 100; 50000 ]
+
+let test_hierarchical () =
+  let q = Cq.Library.hierarchical_binary in
+  let inst = Stt_apps.Hierarchical.generate ~seed:4 ~posts:20 ~size:150 in
+  let db = Db.create () in
+  let add name triples =
+    Db.add db name (List.map (fun (x, y, z) -> [| x; y; z |]) triples)
+  in
+  add "R" inst.Stt_apps.Hierarchical.r;
+  add "S" inst.Stt_apps.Hierarchical.s;
+  add "T" inst.Stt_apps.Hierarchical.t;
+  add "U" inst.Stt_apps.Hierarchical.u;
+  let rng = Rng.create 11 in
+  let zdom = 20 in
+  let requests =
+    List.init 25 (fun _ ->
+        [ Rng.int rng zdom; Rng.int rng zdom; Rng.int rng zdom; Rng.int rng zdom ])
+  in
+  List.iter
+    (fun budget -> check_equal_answers q db budget requests)
+    [ 1; 500; 200000 ]
+
+let test_triangle_empty_access () =
+  let edges = Graphs.uniform ~seed:12 ~vertices:25 ~edges:120 in
+  let db = graph_db edges in
+  let idx = Engine.build_auto Cq.Library.triangle_detect ~db ~budget:100000 in
+  let q_a = Relation.create (Schema.of_list []) in
+  Relation.add q_a [||];
+  let got = sorted (Engine.answer idx ~q_a) in
+  let expected =
+    Stt_apps.Patterns.Triangle.naive edges |> List.map (fun (a, b) -> [ a; b ])
+  in
+  Alcotest.check Alcotest.(list (list int)) "triangle pairs" expected got
+
+let test_batched_requests () =
+  (* batching many requests at once must equal per-request answers *)
+  let db = graph_db small_graph in
+  let q = Cq.Library.k_path 2 in
+  let idx = Engine.build_auto q ~db ~budget:300 in
+  let requests = requests_2 30 13 in
+  let batched =
+    sorted
+      (Engine.answer idx
+         ~q_a:
+           (Relation.of_list (Engine.access_schema idx)
+              (List.map Array.of_list requests)))
+  in
+  let singly =
+    List.filter (fun req -> Engine.answer_tuple idx (Array.of_list req)) requests
+    |> List.sort_uniq compare
+  in
+  Alcotest.check Alcotest.(list (list int)) "batched = singly" singly batched
+
+let test_space_reported () =
+  let db = graph_db small_graph in
+  let idx0 = Engine.build_auto (Cq.Library.k_path 2) ~db ~budget:1 in
+  let idx_big = Engine.build_auto (Cq.Library.k_path 2) ~db ~budget:1_000_000 in
+  Alcotest.check Alcotest.bool "more budget, more space" true
+    (Engine.space idx_big >= Engine.space idx0);
+  Alcotest.check Alcotest.bool "tiny budget, no space" true
+    (Engine.space idx0 <= 4)
+
+(* randomized integration sweep *)
+let digraph_gen =
+  QCheck2.Gen.(
+    pair
+      (list_size (int_range 0 80) (pair (int_range 0 11) (int_range 0 11)))
+      (pair (int_range 0 3) (list_size (int_range 1 6) (pair (int_range 0 11) (int_range 0 11)))))
+
+let qcheck_cases =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"2-reach random graphs and budgets" ~count:40
+         digraph_gen
+         (fun (edges, (b_exp, reqs)) ->
+           let budget = [| 1; 50; 2000; 100000 |].(b_exp) in
+           let db = graph_db edges in
+           let q = Cq.Library.k_path 2 in
+           let idx = Engine.build_auto q ~db ~budget in
+           List.for_all
+             (fun (u, v) ->
+               Engine.answer_tuple idx [| u; v |]
+               = not
+                   (Relation.is_empty
+                      (Db.eval_access db q
+                         ~q_a:
+                           (Relation.of_list (Schema.of_list [ 0; 2 ])
+                              [ [| u; v |] ]))))
+             reqs));
+  ]
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "exactness",
+        [
+          Alcotest.test_case "2-reach across budgets" `Quick test_2reach_budgets;
+          Alcotest.test_case "3-reach across budgets" `Quick test_3reach_budgets;
+          Alcotest.test_case "square" `Quick test_square;
+          Alcotest.test_case "2-set disjointness" `Quick test_set_disjointness;
+          Alcotest.test_case "hierarchical" `Quick test_hierarchical;
+          Alcotest.test_case "triangle (empty access)" `Quick
+            test_triangle_empty_access;
+          Alcotest.test_case "batched requests" `Quick test_batched_requests;
+          Alcotest.test_case "space accounting" `Quick test_space_reported;
+        ] );
+      ("random", qcheck_cases);
+    ]

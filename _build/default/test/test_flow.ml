@@ -1,0 +1,137 @@
+(* Shannon-flow inequalities: LP verification of classic inequalities and
+   rejection of false ones, with violating-polymatroid witnesses. *)
+
+open Stt_hypergraph
+open Stt_polymatroid
+open Stt_lp
+
+let of_l = Varset.of_list
+let uncond c y = Cvec.unconditional (Rat.of_int c) (of_l y)
+let cond c x y = Cvec.term (Rat.of_int c) ~x:(of_l x) ~y:(of_l y)
+let ( ++ ) = Cvec.add
+
+let test_shearer_triangle () =
+  (* h(01) + h(12) + h(02) >= 2 h(012): Shearer's lemma *)
+  let delta = uncond 1 [ 0; 1 ] ++ uncond 1 [ 1; 2 ] ++ uncond 1 [ 0; 2 ] in
+  let lambda = uncond 2 [ 0; 1; 2 ] in
+  Alcotest.check Alcotest.bool "valid" true
+    (Flow.is_valid (Flow.make ~n:3 ~delta ~lambda))
+
+let test_submodularity_instance () =
+  (* h(01) + h(12) >= h(012) + h(1) *)
+  let delta = uncond 1 [ 0; 1 ] ++ uncond 1 [ 1; 2 ] in
+  let lambda = uncond 1 [ 0; 1; 2 ] ++ uncond 1 [ 1 ] in
+  Alcotest.check Alcotest.bool "valid" true
+    (Flow.is_valid (Flow.make ~n:3 ~delta ~lambda))
+
+let test_monotonicity_instance () =
+  let delta = uncond 1 [ 0; 1 ] in
+  let lambda = uncond 1 [ 0 ] in
+  Alcotest.check Alcotest.bool "valid" true
+    (Flow.is_valid (Flow.make ~n:2 ~delta ~lambda))
+
+let test_conditional_composition () =
+  (* h(0) + h(01|0) >= h(01) *)
+  let delta = uncond 1 [ 0 ] ++ cond 1 [ 0 ] [ 0; 1 ] in
+  let lambda = uncond 1 [ 0; 1 ] in
+  Alcotest.check Alcotest.bool "valid" true
+    (Flow.is_valid (Flow.make ~n:2 ~delta ~lambda))
+
+let test_two_path_flow () =
+  (* the paper's 2-reachability inequality, T-side:
+     h(1|0) + h(1|2) + 2h(02) >= 2h(012) *)
+  let delta =
+    cond 1 [ 0 ] [ 0; 1 ] ++ cond 1 [ 2 ] [ 1; 2 ] ++ uncond 2 [ 0; 2 ]
+  in
+  let lambda = uncond 2 [ 0; 1; 2 ] in
+  Alcotest.check Alcotest.bool "valid" true
+    (Flow.is_valid (Flow.make ~n:3 ~delta ~lambda))
+
+let test_invalid_rejected () =
+  (* h(0) + h(1) >= h(01) + h(0 ∩ 1 = ∅ part)… strengthen to something
+     false: h(01) >= 2 h(0) fails (take h = cardinality) *)
+  let delta = uncond 1 [ 0; 1 ] in
+  let lambda = uncond 2 [ 0 ] in
+  let flow = Flow.make ~n:2 ~delta ~lambda in
+  Alcotest.check Alcotest.bool "invalid" false (Flow.is_valid flow);
+  match Flow.violating_polymatroid flow with
+  | None -> Alcotest.fail "expected witness"
+  | Some h ->
+      Alcotest.check Alcotest.bool "witness is polymatroid" true
+        (Setfun.is_polymatroid h);
+      Alcotest.check Alcotest.bool "witness violates" true
+        (Rat.compare
+           (Cvec.dot_setfun delta h)
+           (Cvec.dot_setfun lambda h)
+        < 0)
+
+let test_shearer_rejected_when_weakened () =
+  (* only two of the three triangle edges do NOT cover twice *)
+  let delta = uncond 1 [ 0; 1 ] ++ uncond 1 [ 1; 2 ] in
+  let lambda = uncond 2 [ 0; 1; 2 ] in
+  Alcotest.check Alcotest.bool "invalid" false
+    (Flow.is_valid (Flow.make ~n:3 ~delta ~lambda))
+
+let test_implied_bound () =
+  let q = Stt_hypergraph.Cq.Library.k_path 2 in
+  let dc = Degree.default_dc q.Cq.cq in
+  let delta = uncond 1 [ 0; 1 ] ++ uncond 1 [ 1; 2 ] in
+  let flow = Flow.make ~n:3 ~delta ~lambda:(uncond 1 [ 0; 1; 2 ]) in
+  (match Flow.implied_bound flow dc with
+  | Some b ->
+      Alcotest.check
+        (Alcotest.testable Rat.pp Rat.equal)
+        "2 log D" (Rat.of_int 2) b.Degree.d
+  | None -> Alcotest.fail "expected bound");
+  (* missing constraint -> None *)
+  match Flow.implied_bound flow [ List.hd dc ] with
+  | None -> ()
+  | Some _ -> Alcotest.fail "expected None"
+
+(* property: random small inequalities — validity is exactly the absence
+   of a violating polymatroid witness *)
+let coeff_gen =
+  QCheck2.Gen.(
+    list_size (int_range 1 3)
+      (pair
+         (map Varset.of_list (list_size (int_range 1 3) (int_range 0 2)))
+         (int_range 1 2)))
+
+let qcheck_cases =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"validity iff no witness" ~count:100
+         (QCheck2.Gen.pair coeff_gen coeff_gen)
+         (fun (dl, ll) ->
+           let to_vec l =
+             List.fold_left
+               (fun acc (s, c) ->
+                 if Varset.is_empty s then acc
+                 else Cvec.add acc (Cvec.unconditional (Rat.of_int c) s))
+               Cvec.zero l
+           in
+           let flow = Flow.make ~n:3 ~delta:(to_vec dl) ~lambda:(to_vec ll) in
+           Flow.is_valid flow = Option.is_none (Flow.violating_polymatroid flow)));
+  ]
+
+let () =
+  Alcotest.run "flow"
+    [
+      ( "valid inequalities",
+        [
+          Alcotest.test_case "Shearer triangle" `Quick test_shearer_triangle;
+          Alcotest.test_case "submodularity" `Quick test_submodularity_instance;
+          Alcotest.test_case "monotonicity" `Quick test_monotonicity_instance;
+          Alcotest.test_case "composition" `Quick test_conditional_composition;
+          Alcotest.test_case "2-path flow" `Quick test_two_path_flow;
+        ] );
+      ( "invalid inequalities",
+        [
+          Alcotest.test_case "rejected with witness" `Quick test_invalid_rejected;
+          Alcotest.test_case "weakened Shearer rejected" `Quick
+            test_shearer_rejected_when_weakened;
+        ] );
+      ( "implied bound",
+        [ Alcotest.test_case "reads constraints" `Quick test_implied_bound ] );
+      ("properties", qcheck_cases);
+    ]

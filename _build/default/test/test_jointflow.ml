@@ -1,0 +1,181 @@
+(* The tradeoff LPs: Table 1 and the section-6 tradeoffs, reproduced from
+   the dual of the joint Shannon-flow program — the paper's central
+   quantitative artifacts. *)
+
+open Stt_hypergraph
+open Stt_decomp
+open Stt_core
+open Stt_lp
+
+let rat = Alcotest.testable Rat.pp Rat.equal
+let tr = Alcotest.testable Tradeoff.pp Tradeoff.equal
+
+let tradeoffs_of q =
+  let pmtds = Enum.pmtds q in
+  let rules = Rule.generate q pmtds in
+  let dc = Degree.default_dc q.Cq.cq and ac = Degree.default_ac q in
+  let grid = Tradeoff.grid ~lo:Rat.zero ~hi:(Rat.of_int 2) ~steps:8 in
+  List.map
+    (fun r ->
+      (r, Jointflow.rule_tradeoffs r ~dc ~ac ~logq:(Rat.make 1 32) ~logs_grid:grid))
+    rules
+
+let mk s t d q =
+  Tradeoff.make ~s_exp:(Rat.of_int s) ~t_exp:(Rat.of_int t)
+    ~d_exp:(Rat.of_int d) ~q_exp:(Rat.of_int q)
+
+let contains trs expected =
+  List.exists (Tradeoff.equal expected) trs
+
+let test_2reach_tradeoff () =
+  (* S·T² ≅ D²·Q² — the paper's Section 5 running example *)
+  match tradeoffs_of (Cq.Library.k_path 2) with
+  | [ (_, trs) ] ->
+      Alcotest.check Alcotest.bool "S·T² ≅ D²Q²" true
+        (contains trs (mk 1 2 2 2))
+  | _ -> Alcotest.fail "expected exactly one rule"
+
+let test_table1 () =
+  (* every tradeoff printed in Table 1 appears for its rule *)
+  let all = tradeoffs_of (Cq.Library.k_path 3) in
+  let find s t =
+    List.find_map
+      (fun ((r : Rule.t), trs) ->
+        let sig_s = List.map Varset.to_int r.Rule.s_targets in
+        let sig_t = List.map Varset.to_int r.Rule.t_targets in
+        if
+          List.sort compare sig_s
+          = List.sort compare (List.map (fun l -> Varset.to_int (Varset.of_list l)) s)
+          && List.sort compare sig_t
+             = List.sort compare (List.map (fun l -> Varset.to_int (Varset.of_list l)) t)
+        then Some trs
+        else None)
+      all
+  in
+  (* ρ1: S·T² ≅ D²Q² *)
+  (match find [ [ 0; 3 ] ] [ [ 0; 2; 3 ]; [ 0; 1; 3 ] ] with
+  | Some trs ->
+      Alcotest.check Alcotest.bool "ρ1 S·T²≅D²Q²" true (contains trs (mk 1 2 2 2))
+  | None -> Alcotest.fail "ρ1 missing");
+  (* ρ2: S²·T³ ≅ D⁴Q³ *)
+  (match find [ [ 0; 2 ]; [ 0; 3 ] ] [ [ 0; 1; 2 ]; [ 0; 1; 3 ] ] with
+  | Some trs ->
+      Alcotest.check Alcotest.bool "ρ2 S²T³≅D⁴Q³" true (contains trs (mk 2 3 4 3))
+  | None -> Alcotest.fail "ρ2 missing");
+  (* ρ3 symmetric *)
+  (match find [ [ 1; 3 ]; [ 0; 3 ] ] [ [ 0; 2; 3 ]; [ 1; 2; 3 ] ] with
+  | Some trs ->
+      Alcotest.check Alcotest.bool "ρ3 S²T³≅D⁴Q³" true (contains trs (mk 2 3 4 3))
+  | None -> Alcotest.fail "ρ3 missing");
+  (* ρ4: S·T ≅ D²Q, S⁴·T ≅ D⁶Q and T ≅ DQ *)
+  match find [ [ 0; 2 ]; [ 1; 3 ]; [ 0; 3 ] ] [ [ 0; 1; 2 ]; [ 1; 2; 3 ] ] with
+  | Some trs ->
+      Alcotest.check Alcotest.bool "ρ4 S·T≅D²Q" true (contains trs (mk 1 1 2 1));
+      Alcotest.check Alcotest.bool "ρ4 S⁴·T≅D⁶Q" true (contains trs (mk 4 1 6 1));
+      Alcotest.check Alcotest.bool "ρ4 T≅DQ" true (contains trs (mk 0 1 1 1))
+  | None -> Alcotest.fail "ρ4 missing"
+
+let test_k_set_disjointness () =
+  (* Section 6.1: S·T^{k-1} ≅ D^k·Q^{k-1} for the intersection CQAP *)
+  List.iter
+    (fun k ->
+      match tradeoffs_of (Cq.Library.k_set_intersection k) with
+      | [ (_, trs) ] ->
+          Alcotest.check Alcotest.bool
+            (Printf.sprintf "k=%d: S·T^%d ≅ D^%d·Q^%d" k (k - 1) k (k - 1))
+            true
+            (contains trs (mk 1 (k - 1) k (k - 1)))
+      | _ -> Alcotest.fail "expected one rule")
+    [ 2; 3 ]
+
+let test_square () =
+  (* Example E.5: S·T² ≅ D²·Q² for both rules *)
+  let all = tradeoffs_of Cq.Library.square in
+  Alcotest.check Alcotest.int "two rules" 2 (List.length all);
+  List.iter
+    (fun (_, trs) ->
+      Alcotest.check Alcotest.bool "S·T²≅D²Q²" true (contains trs (mk 1 2 2 2)))
+    all
+
+let test_triangle_stored () =
+  (* Example E.4: linear space suffices (S13 is contained in the edge
+     relation, so |S13| <= |D|).  Just above the linear-space boundary
+     the adversarial region h_S(13) >= logS is empty and the LP reports
+     Stored.  (At exactly logS = 1 the non-strict boundary is feasible
+     and the LP reports a finite time instead — expected.) *)
+  let q = Cq.Library.triangle_detect in
+  let rules = Rule.generate q (Enum.pmtds q) in
+  let dc = Degree.default_dc q.Cq.cq and ac = Degree.default_ac q in
+  List.iter
+    (fun r ->
+      match
+        (Jointflow.obj r ~dc ~ac ~logd:Rat.one ~logq:Rat.zero
+           ~logs:(Rat.make 9 8))
+          .Jointflow.value
+      with
+      | Jointflow.Stored -> ()
+      | Jointflow.Time t ->
+          Alcotest.failf "expected Stored, got T=%s" (Rat.to_string t)
+      | Jointflow.Impossible -> Alcotest.fail "impossible?")
+    rules
+
+let test_obj_monotone_in_budget () =
+  (* OBJ(S) is non-increasing in S *)
+  let q = Cq.Library.k_path 3 in
+  let rules = Rule.generate q (Enum.pmtds q) in
+  let dc = Degree.default_dc q.Cq.cq and ac = Degree.default_ac q in
+  List.iter
+    (fun r ->
+      let ts =
+        List.filter_map
+          (fun logs -> Jointflow.logt r ~dc ~ac ~logq:Rat.zero ~logs)
+          (Tradeoff.grid ~lo:Rat.zero ~hi:(Rat.of_int 2) ~steps:8)
+      in
+      let rec decreasing = function
+        | a :: (b :: _ as rest) -> Rat.compare b a <= 0 && decreasing rest
+        | _ -> true
+      in
+      Alcotest.check Alcotest.bool "non-increasing" true (decreasing ts))
+    rules
+
+let test_duality_identity () =
+  (* Theorem D.6: logT + ‖θ‖·logS = d_exp·logD + q_exp·logQ exactly *)
+  let q = Cq.Library.k_path 3 in
+  let rules = Rule.generate q (Enum.pmtds q) in
+  let dc = Degree.default_dc q.Cq.cq and ac = Degree.default_ac q in
+  let logq = Rat.make 1 8 and logs = Rat.make 3 4 in
+  List.iter
+    (fun r ->
+      match Jointflow.obj r ~dc ~ac ~logd:Rat.one ~logq ~logs with
+      | { Jointflow.value = Time t; tradeoff = Some tr; _ } ->
+          let lhs = Rat.add t (Rat.mul tr.Tradeoff.s_exp logs) in
+          let rhs = Rat.add tr.Tradeoff.d_exp (Rat.mul tr.Tradeoff.q_exp logq) in
+          Alcotest.check rat "strong duality" rhs lhs
+      | _ -> Alcotest.fail "expected Time")
+    rules
+
+let test_scaled () =
+  let t =
+    Tradeoff.make ~s_exp:(Rat.make 2 3) ~t_exp:Rat.one ~d_exp:(Rat.make 4 3)
+      ~q_exp:Rat.one
+  in
+  Alcotest.check tr "scaled to integers" (mk 2 3 4 3) (Tradeoff.scaled t)
+
+let () =
+  Alcotest.run "jointflow"
+    [
+      ( "paper tradeoffs",
+        [
+          Alcotest.test_case "2-reach" `Quick test_2reach_tradeoff;
+          Alcotest.test_case "Table 1 (3-reach)" `Quick test_table1;
+          Alcotest.test_case "k-set intersection" `Quick test_k_set_disjointness;
+          Alcotest.test_case "square (E.5)" `Quick test_square;
+          Alcotest.test_case "triangle stored (E.4)" `Quick test_triangle_stored;
+        ] );
+      ( "structure",
+        [
+          Alcotest.test_case "OBJ monotone" `Quick test_obj_monotone_in_budget;
+          Alcotest.test_case "duality identity" `Quick test_duality_identity;
+          Alcotest.test_case "scaling" `Quick test_scaled;
+        ] );
+    ]

@@ -1,0 +1,111 @@
+(* The LP modelling layer's newer features: row enabling/disabling and
+   the floating-point presolver, cross-checked against the exact
+   solver. *)
+
+open Stt_lp
+
+let rat = Alcotest.testable Rat.pp Rat.equal
+let r = Rat.of_int
+
+let test_disable_row () =
+  let m = Lp.create () in
+  let x = Lp.var m "x" in
+  let tight = Lp.add_le m [ (r 1, x) ] (r 2) in
+  let loose = Lp.add_le m [ (r 1, x) ] (r 5) in
+  (match Lp.maximize m [ (r 1, x) ] with
+  | Lp.Solution s -> Alcotest.check rat "both enabled" (r 2) s.Lp.value
+  | _ -> Alcotest.fail "solution expected");
+  Lp.set_enabled m tight false;
+  Alcotest.check Alcotest.bool "disabled" false (Lp.is_enabled m tight);
+  (match Lp.maximize m [ (r 1, x) ] with
+  | Lp.Solution s ->
+      Alcotest.check rat "tight row ignored" (r 5) s.Lp.value;
+      Alcotest.check rat "disabled row dual is 0" Rat.zero (s.Lp.dual tight);
+      Alcotest.check rat "loose row dual" Rat.one (s.Lp.dual loose)
+  | _ -> Alcotest.fail "solution expected");
+  Lp.set_enabled m tight true;
+  match Lp.maximize m [ (r 1, x) ] with
+  | Lp.Solution s -> Alcotest.check rat "re-enabled" (r 2) s.Lp.value
+  | _ -> Alcotest.fail "solution expected"
+
+let test_disable_eq () =
+  let m = Lp.create () in
+  let x = Lp.var m "x" in
+  let eq = Lp.add_eq m [ (r 1, x) ] (r 3) in
+  ignore (Lp.add_le m [ (r 1, x) ] (r 7));
+  (match Lp.maximize m [ (r 1, x) ] with
+  | Lp.Solution s -> Alcotest.check rat "pinned" (r 3) s.Lp.value
+  | _ -> Alcotest.fail "solution expected");
+  Lp.set_enabled m eq false;
+  match Lp.maximize m [ (r 1, x) ] with
+  | Lp.Solution s -> Alcotest.check rat "freed" (r 7) s.Lp.value
+  | _ -> Alcotest.fail "solution expected"
+
+let test_float_matches_exact () =
+  let m = Lp.create () in
+  let x = Lp.var m "x" and y = Lp.var m "y" in
+  ignore (Lp.add_le m [ (r 2, x); (r 1, y) ] (r 3));
+  ignore (Lp.add_le m [ (r 1, x); (r 2, y) ] (r 3));
+  let obj = [ (r 1, x); (r 1, y) ] in
+  match (Lp.maximize m obj, Lp.maximize_float m obj) with
+  | Lp.Solution s, Some f ->
+      Alcotest.check Alcotest.bool "values agree (to perturbation)" true
+        (Float.abs (Rat.to_float s.Lp.value -. f.Lp.fvalue) < 1e-3)
+  | _ -> Alcotest.fail "both should solve"
+
+let test_float_infeasible () =
+  let m = Lp.create () in
+  let x = Lp.var m "x" in
+  ignore (Lp.add_le m [ (r 1, x) ] (r (-1)));
+  Alcotest.check Alcotest.bool "float sees infeasible" true
+    (Lp.maximize_float m [ (r 1, x) ] = None)
+
+(* random boxed LPs: float presolver value tracks the exact value *)
+let lp_gen =
+  QCheck2.Gen.(
+    let coef = map Rat.of_int (int_range (-3) 3) in
+    let* n = int_range 2 4 in
+    let* c = list_size (pure n) coef in
+    let* rows =
+      list_size (int_range 1 4)
+        (pair (list_size (pure n) coef) (map Rat.of_int (int_range 0 6)))
+    in
+    pure (n, c, rows))
+
+let qcheck_cases =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"float value ≈ exact value" ~count:200 lp_gen
+         (fun (n, c, rows) ->
+           let m = Lp.create () in
+           let vars = List.init n (fun i -> Lp.var m (string_of_int i)) in
+           List.iter
+             (fun (coeffs, rhs) ->
+               ignore (Lp.add_le m (List.combine coeffs vars) rhs))
+             rows;
+           List.iter
+             (fun v -> ignore (Lp.add_le m [ (Rat.one, v) ] (r 10)))
+             vars;
+           let obj = List.combine c vars in
+           match (Lp.maximize m obj, Lp.maximize_float m obj) with
+           | Lp.Solution s, Some f ->
+               Float.abs (Rat.to_float s.Lp.value -. f.Lp.fvalue) < 1e-2
+           | Lp.Infeasible, None -> true
+           | _ -> false));
+  ]
+
+let () =
+  Alcotest.run "lp_layer"
+    [
+      ( "enable/disable",
+        [
+          Alcotest.test_case "le rows" `Quick test_disable_row;
+          Alcotest.test_case "eq rows" `Quick test_disable_eq;
+        ] );
+      ( "float presolver",
+        [
+          Alcotest.test_case "matches exact" `Quick test_float_matches_exact;
+          Alcotest.test_case "infeasible" `Quick test_float_infeasible;
+        ] );
+      ("properties", qcheck_cases);
+    ]

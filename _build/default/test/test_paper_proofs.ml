@@ -1,0 +1,59 @@
+(* Machine-check every encoded paper proof: the proof sequences are
+   valid derivations, the participating inequalities hold over Γ_n, and
+   the coefficient sums reproduce the stated tradeoffs (Theorem D.6). *)
+
+open Stt_polymatroid
+open Stt_core
+
+let check_entry (e : Paper_proofs.entry) () =
+  (* (1) proof sequences check step by step *)
+  Alcotest.check Alcotest.bool
+    (e.Paper_proofs.name ^ ": preprocessing sequence")
+    true
+    (Proof.check ~delta:e.Paper_proofs.delta_s ~lambda:e.Paper_proofs.lambda_s
+       e.Paper_proofs.seq_s);
+  Alcotest.check Alcotest.bool
+    (e.Paper_proofs.name ^ ": online sequence")
+    true
+    (Proof.check ~delta:e.Paper_proofs.delta_t ~lambda:e.Paper_proofs.lambda_t
+       e.Paper_proofs.seq_t);
+  (* (2) both participating Shannon-flow inequalities are valid (for
+     small n, exactly by LP) *)
+  if e.Paper_proofs.n <= 5 then begin
+    Alcotest.check Alcotest.bool
+      (e.Paper_proofs.name ^ ": S-inequality valid over Γ_n")
+      true
+      (Flow.is_valid
+         (Flow.make ~n:e.Paper_proofs.n ~delta:e.Paper_proofs.delta_s
+            ~lambda:e.Paper_proofs.lambda_s));
+    Alcotest.check Alcotest.bool
+      (e.Paper_proofs.name ^ ": T-inequality valid over Γ_n")
+      true
+      (Flow.is_valid
+         (Flow.make ~n:e.Paper_proofs.n ~delta:e.Paper_proofs.delta_t
+            ~lambda:e.Paper_proofs.lambda_t))
+  end;
+  (* (3) the coefficient sums match the stated tradeoff:
+     S^{‖λ_S‖} · T^{‖λ_T‖} ≅ D^{d_exp} · Q^{q_exp} after scaling *)
+  let derived =
+    Tradeoff.scaled
+      (Tradeoff.make
+         ~s_exp:(Cvec.norm1 e.Paper_proofs.lambda_s)
+         ~t_exp:(Cvec.norm1 e.Paper_proofs.lambda_t)
+         ~d_exp:e.Paper_proofs.d_exp ~q_exp:e.Paper_proofs.q_exp)
+  in
+  Alcotest.check
+    (Alcotest.testable Tradeoff.pp Tradeoff.equal)
+    (e.Paper_proofs.name ^ ": tradeoff")
+    (Tradeoff.scaled e.Paper_proofs.tradeoff)
+    derived
+
+let () =
+  Alcotest.run "paper_proofs"
+    [
+      ( "entries",
+        List.map
+          (fun (e : Paper_proofs.entry) ->
+            Alcotest.test_case e.Paper_proofs.name `Quick (check_entry e))
+          Paper_proofs.all );
+    ]

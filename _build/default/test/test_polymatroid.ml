@@ -1,0 +1,180 @@
+(* Set functions, polymatroid axioms and the LogSizeBound LP (whose
+   optimal values on classic queries are the AGM bounds). *)
+
+open Stt_hypergraph
+open Stt_polymatroid
+open Stt_lp
+
+let rat = Alcotest.testable Rat.pp Rat.equal
+let of_l = Varset.of_list
+
+let cardinality_fn n =
+  (* h(S) = |S| : the free matroid rank, a polymatroid *)
+  Setfun.create n (fun s -> Rat.of_int (Varset.cardinal s))
+
+let test_polymatroid_checks () =
+  Alcotest.check Alcotest.bool "cardinality is polymatroid" true
+    (Setfun.is_polymatroid (cardinality_fn 4));
+  (* a coverage function: h(S) = |union of blocks indexed by S| *)
+  let blocks = [| of_l [ 0; 1 ]; of_l [ 1; 2 ]; of_l [ 3 ] |] in
+  let coverage =
+    Setfun.create 3 (fun s ->
+        let u =
+          Varset.fold (fun i acc -> Varset.union acc blocks.(i)) s Varset.empty
+        in
+        Rat.of_int (Varset.cardinal u))
+  in
+  Alcotest.check Alcotest.bool "coverage is polymatroid" true
+    (Setfun.is_polymatroid coverage);
+  (* a non-submodular function: h(S) = |S|^2 *)
+  let square =
+    Setfun.create 3 (fun s ->
+        Rat.of_int (Varset.cardinal s * Varset.cardinal s))
+  in
+  Alcotest.check Alcotest.bool "square not submodular" false
+    (Setfun.is_submodular square);
+  (* non-monotone *)
+  let dip =
+    Setfun.create 2 (fun s -> if Varset.cardinal s = 1 then Rat.of_int 2 else Rat.one)
+  in
+  Alcotest.check Alcotest.bool "dip not monotone" false (Setfun.is_monotone dip)
+
+let test_conditional () =
+  let h = cardinality_fn 3 in
+  Alcotest.check rat "h(012|0) = 2" (Rat.of_int 2)
+    (Setfun.conditional h (of_l [ 0 ]) (of_l [ 0; 1; 2 ]))
+
+let triangle_dc =
+  Degree.default_dc Cq.Library.triangle_detect.Cq.cq
+
+let test_agm_triangle () =
+  (* LogSizeBound of the full triangle join = AGM bound = 3/2 · log D *)
+  match
+    Polymatroid.log_size_bound ~n:3 ~dc:triangle_dc
+      ~targets:[ Varset.full 3 ] ~logd:Rat.one ~logq:Rat.zero
+  with
+  | Some v -> Alcotest.check rat "3/2" (Rat.make 3 2) v
+  | None -> Alcotest.fail "bounded expected"
+
+let test_agm_path () =
+  (* 2-path full join: |R|^2 / ... AGM = 2 (join of two relations sharing
+     a variable has bound D^2... actually D^2 via both covers) *)
+  let q = Cq.Library.k_path 2 in
+  match
+    Polymatroid.log_size_bound ~n:3
+      ~dc:(Degree.default_dc q.Cq.cq)
+      ~targets:[ Varset.full 3 ] ~logd:Rat.one ~logq:Rat.zero
+  with
+  | Some v -> Alcotest.check rat "2" (Rat.of_int 2) v
+  | None -> Alcotest.fail "bounded expected"
+
+let test_disjunctive_bound_smaller () =
+  (* disjunctive rule with two targets can be smaller than either single
+     target: max min over {0,1} and {1,2} for the 2-path *)
+  let q = Cq.Library.k_path 2 in
+  let dc = Degree.default_dc q.Cq.cq in
+  let single =
+    Option.get
+      (Polymatroid.log_size_bound ~n:3 ~dc ~targets:[ Varset.full 3 ]
+         ~logd:Rat.one ~logq:Rat.zero)
+  in
+  let disjunctive =
+    Option.get
+      (Polymatroid.log_size_bound ~n:3 ~dc
+         ~targets:[ Varset.full 3; of_l [ 0; 2 ] ]
+         ~logd:Rat.one ~logq:Rat.zero)
+  in
+  Alcotest.check Alcotest.bool "disjunctive <= single" true
+    (Rat.compare disjunctive single <= 0)
+
+let test_degree_constraint_tightens () =
+  (* a degree bound deg(x3|x2) <= D^(1/2) caps the 2-path join at
+     |R12| · D^(1/2) = D^(3/2); bounding the *other* direction
+     deg(x2|x1) does not help (the witness h(0)=1, h(1)=0, h(012)=2 is a
+     polymatroid), so the bound stays 2 *)
+  let q = Cq.Library.k_path 2 in
+  let dc = Degree.default_dc q.Cq.cq in
+  let fwd =
+    Degree.make ~x:(of_l [ 1 ]) ~y:(of_l [ 1; 2 ])
+      (Degree.logsize_scale (Rat.make 1 2) Degree.logsize_d)
+  in
+  (match
+     Polymatroid.log_size_bound ~n:3 ~dc:(fwd :: dc)
+       ~targets:[ Varset.full 3 ] ~logd:Rat.one ~logq:Rat.zero
+   with
+  | Some v -> Alcotest.check rat "3/2 with deg(x3|x2)" (Rat.make 3 2) v
+  | None -> Alcotest.fail "bounded expected");
+  let back =
+    Degree.make ~x:(of_l [ 0 ]) ~y:(of_l [ 0; 1 ])
+      (Degree.logsize_scale (Rat.make 1 2) Degree.logsize_d)
+  in
+  match
+    Polymatroid.log_size_bound ~n:3 ~dc:(back :: dc)
+      ~targets:[ Varset.full 3 ] ~logd:Rat.one ~logq:Rat.zero
+  with
+  | Some v -> Alcotest.check rat "still 2 with deg(x2|x1)" (Rat.of_int 2) v
+  | None -> Alcotest.fail "bounded expected"
+
+let test_unbounded_without_constraints () =
+  match
+    Polymatroid.log_size_bound ~n:2 ~dc:[] ~targets:[ of_l [ 0; 1 ] ]
+      ~logd:Rat.one ~logq:Rat.zero
+  with
+  | None -> ()
+  | Some _ -> Alcotest.fail "expected unbounded"
+
+(* random coverage functions are polymatroids *)
+let coverage_gen =
+  QCheck2.Gen.(
+    list_size (pure 3)
+      (map Varset.of_list (list_size (int_range 0 4) (int_range 0 5))))
+
+let qcheck_cases =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"coverage functions are polymatroids"
+         ~count:200 coverage_gen (fun blocks_l ->
+           let blocks = Array.of_list blocks_l in
+           let h =
+             Setfun.create 3 (fun s ->
+                 let u =
+                   Varset.fold
+                     (fun i acc -> Varset.union acc blocks.(i))
+                     s Varset.empty
+                 in
+                 Rat.of_int (Varset.cardinal u))
+           in
+           Setfun.is_polymatroid h));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"min of matroid rank and constant is polymatroid"
+         ~count:200
+         QCheck2.Gen.(int_range 0 4)
+         (fun cap ->
+           let h =
+             Setfun.create 4 (fun s ->
+                 Rat.of_int (min cap (Varset.cardinal s)))
+           in
+           Setfun.is_polymatroid h));
+  ]
+
+let () =
+  Alcotest.run "polymatroid"
+    [
+      ( "setfun",
+        [
+          Alcotest.test_case "axioms" `Quick test_polymatroid_checks;
+          Alcotest.test_case "conditional" `Quick test_conditional;
+        ] );
+      ( "log_size_bound",
+        [
+          Alcotest.test_case "AGM triangle 3/2" `Quick test_agm_triangle;
+          Alcotest.test_case "AGM 2-path 2" `Quick test_agm_path;
+          Alcotest.test_case "disjunctive smaller" `Quick
+            test_disjunctive_bound_smaller;
+          Alcotest.test_case "degree constraint tightens" `Quick
+            test_degree_constraint_tightens;
+          Alcotest.test_case "unbounded without constraints" `Quick
+            test_unbounded_without_constraints;
+        ] );
+      ("properties", qcheck_cases);
+    ]

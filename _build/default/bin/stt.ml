@@ -15,6 +15,7 @@ open Stt_hypergraph
 open Stt_decomp
 open Stt_core
 open Stt_lp
+open Stt_obs
 
 let builtin_queries =
   [
@@ -46,6 +47,58 @@ let query_arg =
     & info [ "q"; "query" ] ~docv:"QUERY" ~doc:"Built-in query name.")
 
 let rat_of_float f = Rat.of_float_approx ~max_den:64 f
+
+(* --json DIR: write a machine-readable artifact next to the printed
+   output — the command's results plus the observability trace of the
+   run (schema "stt-cli/1", see DESIGN.md). *)
+let json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"DIR"
+        ~doc:
+          "Write a machine-readable artifact STT_<command>.json (results \
+           plus observability trace) into $(docv).")
+
+let json_rat r = Json.String (Rat.to_string r)
+
+let json_tradeoff (t : Tradeoff.t) =
+  Json.Obj
+    [
+      ("s_exp", json_rat t.Tradeoff.s_exp);
+      ("t_exp", json_rat t.Tradeoff.t_exp);
+      ("d_exp", json_rat t.Tradeoff.d_exp);
+      ("q_exp", json_rat t.Tradeoff.q_exp);
+      ("pretty", Json.String (Format.asprintf "%a" Tradeoff.pp t));
+    ]
+
+(* [f] returns the command's data as JSON fields; without [--json] it
+   runs with observability off and the data is discarded. *)
+let with_artifact cmd json_dir f =
+  match json_dir with
+  | None -> ignore (f ())
+  | Some dir ->
+      if not (Sys.file_exists dir && Sys.is_directory dir) then (
+        Format.eprintf "stt: --json %s: not a directory@." dir;
+        exit 1);
+      Obs.set_enabled true;
+      Obs.reset ();
+      let t0 = Unix.gettimeofday () in
+      let data = Fun.protect ~finally:(fun () -> Obs.set_enabled false) f in
+      let wall = Unix.gettimeofday () -. t0 in
+      let doc =
+        Json.Obj
+          [
+            ("schema", Json.String "stt-cli/1");
+            ("command", Json.String cmd);
+            ("wall_s", Json.Float wall);
+            ("data", Json.Obj data);
+            ("trace", Obs.trace ());
+          ]
+      in
+      let path = Filename.concat dir ("STT_" ^ cmd ^ ".json") in
+      Json.to_file path doc;
+      Format.printf "artifact: %s@." path
 
 let queries_cmd =
   let doc = "List built-in queries." in
@@ -90,39 +143,68 @@ let logq_arg =
 
 let tradeoff_cmd =
   let doc = "Compute per-rule space-time tradeoffs (LP over joint flows)." in
-  let run q logs logq =
+  let run q logs logq json_dir =
+    with_artifact "tradeoff" json_dir @@ fun () ->
     let rules = Rule.generate q (Enum.pmtds ~max_pmtds:128 q) in
     let dc = Degree.default_dc q.Cq.cq and ac = Degree.default_ac q in
     let logq = rat_of_float logq in
-    match logs with
-    | Some logs ->
-        let logs = rat_of_float logs in
-        List.iteri
-          (fun i r ->
-            Format.printf "ρ%d: %a@." (i + 1) Rule.pp r;
-            match Jointflow.obj r ~dc ~ac ~logd:Rat.one ~logq ~logs with
-            | { Jointflow.value = Jointflow.Stored; _ } ->
-                Format.printf "    stored outright: T = Õ(1)@."
-            | { Jointflow.value = Jointflow.Impossible; _ } ->
-                Format.printf "    not computable within this budget@."
-            | { Jointflow.value = Jointflow.Time t; tradeoff; _ } ->
-                Format.printf "    log_D T = %a" Rat.pp t;
-                (match tradeoff with
-                | Some tr -> Format.printf "   [%a]" Tradeoff.pp (Tradeoff.scaled tr)
-                | None -> ());
-                Format.printf "@.")
-          rules
-    | None ->
-        let grid = Tradeoff.grid ~lo:Rat.zero ~hi:(Rat.of_int 2) ~steps:8 in
-        List.iteri
-          (fun i r ->
-            Format.printf "ρ%d: %a@." (i + 1) Rule.pp r;
-            List.iter
-              (fun t -> Format.printf "    %a@." Tradeoff.pp t)
-              (Jointflow.rule_tradeoffs r ~dc ~ac ~logq ~logs_grid:grid))
-          rules
+    let rows =
+      match logs with
+      | Some logs ->
+          let logs = rat_of_float logs in
+          List.mapi
+            (fun i r ->
+              Format.printf "ρ%d: %a@." (i + 1) Rule.pp r;
+              let obj =
+                match Jointflow.obj r ~dc ~ac ~logd:Rat.one ~logq ~logs with
+                | { Jointflow.value = Jointflow.Stored; _ } ->
+                    Format.printf "    stored outright: T = Õ(1)@.";
+                    Json.Obj [ ("kind", Json.String "stored") ]
+                | { Jointflow.value = Jointflow.Impossible; _ } ->
+                    Format.printf "    not computable within this budget@.";
+                    Json.Obj [ ("kind", Json.String "impossible") ]
+                | { Jointflow.value = Jointflow.Time t; tradeoff; _ } ->
+                    Format.printf "    log_D T = %a" Rat.pp t;
+                    (match tradeoff with
+                    | Some tr ->
+                        Format.printf "   [%a]" Tradeoff.pp (Tradeoff.scaled tr)
+                    | None -> ());
+                    Format.printf "@.";
+                    Json.Obj
+                      (("kind", Json.String "time")
+                      :: ("logt", json_rat t)
+                      ::
+                      (match tradeoff with
+                      | Some tr ->
+                          [ ("tradeoff", json_tradeoff (Tradeoff.scaled tr)) ]
+                      | None -> []))
+              in
+              Json.Obj
+                [
+                  ("rule", Json.String (Format.asprintf "%a" Rule.pp r));
+                  ("obj", obj);
+                ])
+            rules
+      | None ->
+          let grid = Tradeoff.grid ~lo:Rat.zero ~hi:(Rat.of_int 2) ~steps:8 in
+          List.mapi
+            (fun i r ->
+              Format.printf "ρ%d: %a@." (i + 1) Rule.pp r;
+              let ts =
+                Jointflow.rule_tradeoffs r ~dc ~ac ~logq ~logs_grid:grid
+              in
+              List.iter (fun t -> Format.printf "    %a@." Tradeoff.pp t) ts;
+              Json.Obj
+                [
+                  ("rule", Json.String (Format.asprintf "%a" Rule.pp r));
+                  ("tradeoffs", Json.List (List.map json_tradeoff ts));
+                ])
+            rules
+    in
+    [ ("rules", Json.List rows) ]
   in
-  Cmd.v (Cmd.info "tradeoff" ~doc) Term.(const run $ query_arg $ logs_arg $ logq_arg)
+  Cmd.v (Cmd.info "tradeoff" ~doc)
+    Term.(const run $ query_arg $ logs_arg $ logq_arg $ json_arg)
 
 let steps_arg =
   Arg.(value & opt int 8 & info [ "steps" ] ~docv:"N" ~doc:"Grid resolution.")
@@ -135,31 +217,52 @@ let exact_arg =
 
 let curve_cmd =
   let doc = "Combined tradeoff curve: worst rule at each budget." in
-  let run q steps exact =
+  let run q steps exact json_dir =
+    with_artifact "curve" json_dir @@ fun () ->
     let rules = Rule.generate q (Enum.pmtds ~max_pmtds:128 q) in
     let dc = Degree.default_dc q.Cq.cq and ac = Degree.default_ac q in
-    if exact then
+    if exact then begin
       let curve =
         Curve.combined rules ~dc ~ac ~logq:Rat.zero ~lo:Rat.zero
           ~hi:(Rat.of_int 2)
       in
-      Format.printf "@[<v>%a@]@." Curve.pp curve
+      Format.printf "@[<v>%a@]@." Curve.pp curve;
+      [
+        ( "segments",
+          Json.List
+            (List.map
+               (fun (s : Curve.segment) ->
+                 Json.Obj
+                   [
+                     ("lo", json_rat s.Curve.lo);
+                     ("hi", json_rat s.Curve.hi);
+                     ("lo_t", json_rat s.Curve.lo_t);
+                     ("hi_t", json_rat s.Curve.hi_t);
+                   ])
+               curve) );
+      ]
+    end
     else
-      List.iter
-        (fun logs ->
-          let t =
-            List.fold_left
-              (fun acc r ->
-                match Jointflow.logt r ~dc ~ac ~logq:Rat.zero ~logs with
-                | Some t -> Rat.max acc (Rat.max Rat.zero t)
-                | None -> acc)
-              Rat.zero rules
-          in
-          Format.printf "log_D S = %-6s  log_D T = %s@." (Rat.to_string logs)
-            (Rat.to_string t))
-        (Tradeoff.grid ~lo:Rat.zero ~hi:(Rat.of_int 2) ~steps)
+      let points =
+        List.map
+          (fun logs ->
+            let t =
+              List.fold_left
+                (fun acc r ->
+                  match Jointflow.logt r ~dc ~ac ~logq:Rat.zero ~logs with
+                  | Some t -> Rat.max acc (Rat.max Rat.zero t)
+                  | None -> acc)
+                Rat.zero rules
+            in
+            Format.printf "log_D S = %-6s  log_D T = %s@." (Rat.to_string logs)
+              (Rat.to_string t);
+            Json.Obj [ ("logs", json_rat logs); ("logt", json_rat t) ])
+          (Tradeoff.grid ~lo:Rat.zero ~hi:(Rat.of_int 2) ~steps)
+      in
+      [ ("points", Json.List points) ]
   in
-  Cmd.v (Cmd.info "curve" ~doc) Term.(const run $ query_arg $ steps_arg $ exact_arg)
+  Cmd.v (Cmd.info "curve" ~doc)
+    Term.(const run $ query_arg $ steps_arg $ exact_arg $ json_arg)
 
 let budget_arg =
   Arg.(value & opt int 1000 & info [ "budget" ] ~docv:"N" ~doc:"Space budget in tuples.")
@@ -174,7 +277,8 @@ let demo_cmd =
     "Build an index over a synthetic Zipf graph and report measured \
      space and per-query cost."
   in
-  let run q budget nedges seed =
+  let run q budget nedges seed json_dir =
+    with_artifact "demo" json_dir @@ fun () ->
     let open Stt_relation in
     let vertices = max 10 (nedges / 10) in
     let edges =
@@ -205,10 +309,29 @@ let demo_cmd =
       worst := max !worst (Cost.total snap)
     done;
     Format.printf "%d queries: %d hits, avg %d ops, worst %d ops@." queries
-      !hits (!total / queries) !worst
+      !hits (!total / queries) !worst;
+    [
+      ("budget", Json.Int budget);
+      ("edges", Json.Int (List.length edges));
+      ("space", Json.Int (Engine.space idx));
+      ( "per_pmtd_space",
+        Json.List
+          (List.map
+             (fun (p, s) ->
+               Json.Obj
+                 [
+                   ("pmtd", Json.String (Format.asprintf "%a" Pmtd.pp p));
+                   ("space", Json.Int s);
+                 ])
+             (Engine.per_pmtd_space idx)) );
+      ("queries", Json.Int queries);
+      ("hits", Json.Int !hits);
+      ("avg_ops", Json.Int (!total / queries));
+      ("worst_ops", Json.Int !worst);
+    ]
   in
   Cmd.v (Cmd.info "demo" ~doc)
-    Term.(const run $ query_arg $ budget_arg $ edges_arg $ seed_arg)
+    Term.(const run $ query_arg $ budget_arg $ edges_arg $ seed_arg $ json_arg)
 
 let main =
   let doc = "space-time tradeoffs for conjunctive queries with access patterns" in

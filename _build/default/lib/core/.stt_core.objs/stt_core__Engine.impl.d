@@ -1,1 +1,1 @@
-lib/core/engine.ml: Cost Cq Enum List Online_yannakakis Pmtd Relation Rule Schema Stt_decomp Stt_hypergraph Stt_relation Stt_yannakakis Twopp Varset
+lib/core/engine.ml: Cost Cq Enum Json List Obs Online_yannakakis Pmtd Relation Rule Schema Stt_decomp Stt_hypergraph Stt_obs Stt_relation Stt_yannakakis Twopp Varset

@@ -107,8 +107,19 @@ let join_greedy_internal ?limit relations ~keep =
         if List.length kept < List.length schema_vars then
           acc := Relation.project !acc kept
       done;
-      Relation.project !acc
-        (List.filter (fun v -> Schema.mem v (Relation.schema !acc)) keep)
+      let result =
+        Relation.project !acc
+          (List.filter (fun v -> Schema.mem v (Relation.schema !acc)) keep)
+      in
+      (* The joins above bound every *joined* intermediate, but with a
+         single input relation (or when the last projection is the
+         identity on an unchecked accumulator) the final result was
+         never compared against the limit — check it explicitly so the
+         [.mli] contract ("any intermediate or final relation") holds. *)
+      (match limit with
+      | Some l when Relation.cardinal result > l -> raise Too_big
+      | _ -> ());
+      result
 
 let join_greedy relations ~keep = join_greedy_internal relations ~keep
 

@@ -40,4 +40,15 @@ val join_greedy_bounded :
 (** Like {!join_greedy} but gives up ([None]) as soon as any intermediate
     or final relation exceeds [limit] tuples — used by preprocessing to
     abandon materializations that cannot fit the space budget without
-    first computing them. *)
+    first computing them.
+
+    Edge cases, pinned down by the test suite:
+    - the {e input} relations themselves are not counted against the
+      limit — only relations this function materializes (joined
+      intermediates, projections, the final result);
+    - a single-relation join is just a projection, and its result is
+      still checked (so [limit:0] with a non-empty projected input is
+      [None]);
+    - [limit:0] succeeds iff the result is empty (e.g. an empty input
+      relation), returning [Some empty];
+    - raises [Invalid_argument] on an empty relation {e list}. *)

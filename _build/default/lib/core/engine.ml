@@ -2,6 +2,7 @@ open Stt_relation
 open Stt_hypergraph
 open Stt_decomp
 open Stt_yannakakis
+open Stt_obs
 
 type t = {
   cqap : Cq.cqap;
@@ -16,6 +17,10 @@ let cqap t = t.cqap
 let pmtds t = t.pmtds
 let rules t = t.rules
 let space t = t.space
+let structures t = t.structures
+
+let per_pmtd_space t =
+  List.map (fun (p, oy) -> (p, Online_yannakakis.space oy)) t.preprocessed
 
 let access_schema t = Schema.of_list (Varset.to_list t.cqap.Cq.access)
 
@@ -29,7 +34,10 @@ let view_of_targets targets b =
     empty targets
 
 let build cqap pmtd_list ~db ~budget =
+  Obs.span "engine.build" ~attrs:[ ("budget", Json.Int budget) ] @@ fun () ->
   let rules = Rule.generate cqap pmtd_list in
+  Obs.set_attr "pmtds" (Json.Int (List.length pmtd_list));
+  Obs.set_attr "rules" (Json.Int (List.length rules));
   let structures = List.map (fun r -> Twopp.build r ~db ~budget) rules in
   let all_s_targets = List.concat_map Twopp.s_targets structures in
   let preprocessed =
@@ -47,26 +55,51 @@ let build cqap pmtd_list ~db ~budget =
       (fun acc (_, oy) -> acc + Online_yannakakis.space oy)
       0 preprocessed
   in
+  Obs.set_attr "space" (Json.Int space);
+  Obs.set_attr "pmtd_space"
+    (Json.List
+       (List.map
+          (fun (_, oy) -> Json.Int (Online_yannakakis.space oy))
+          preprocessed));
   { cqap; pmtds = pmtd_list; rules; structures; preprocessed; space }
 
 let build_auto ?max_pmtds cqap ~db ~budget =
   build cqap (Enum.pmtds ?max_pmtds cqap) ~db ~budget
 
 let answer t ~q_a =
-  let all_t_targets =
-    List.concat_map (fun s -> Twopp.online s ~q_a) t.structures
+  Obs.span "engine.answer" @@ fun () ->
+  let result, cost =
+    Cost.scoped (fun () ->
+        let all_t_targets =
+          List.concat_map (fun s -> Twopp.online s ~q_a) t.structures
+        in
+        let head = t.cqap.Cq.cq.Cq.head in
+        let result =
+          ref (Relation.create (Schema.of_list (Varset.to_list head)))
+        in
+        List.iter
+          (fun (p, oy) ->
+            let t_views node =
+              view_of_targets all_t_targets (Pmtd.view p node).Pmtd.vars
+            in
+            let psi = Online_yannakakis.answer oy ~t_views ~q_a in
+            result := Relation.union !result psi)
+          t.preprocessed;
+        !result)
   in
-  let head = t.cqap.Cq.cq.Cq.head in
-  let result = ref (Relation.create (Schema.of_list (Varset.to_list head))) in
-  List.iter
-    (fun (p, oy) ->
-      let t_views node =
-        view_of_targets all_t_targets (Pmtd.view p node).Pmtd.vars
-      in
-      let psi = Online_yannakakis.answer oy ~t_views ~q_a in
-      result := Relation.union !result psi)
-    t.preprocessed;
-  !result
+  if Obs.enabled () then begin
+    Obs.set_attr "q_a" (Json.Int (Relation.cardinal q_a));
+    Obs.set_attr "result" (Json.Int (Relation.cardinal result));
+    Obs.set_attr "cost"
+      (Json.Obj
+         [
+           ("probes", Json.Int cost.Cost.probes);
+           ("tuples", Json.Int cost.Cost.tuples);
+           ("scans", Json.Int cost.Cost.scans);
+         ]);
+    Obs.observe "engine.answer.ops" (float_of_int (Cost.total cost))
+  end;
+  result
 
 let answer_tuple t tup =
   let q_a = Relation.create (access_schema t) in

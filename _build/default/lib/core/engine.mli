@@ -35,4 +35,11 @@ val answer_tuple : t -> Tuple.t -> bool
 val cqap : t -> Cq.cqap
 val pmtds : t -> Pmtd.t list
 val rules : t -> Rule.t list
+val structures : t -> Twopp.t list
+(** The 2PP structure of each generated rule, in rule order. *)
+
+val per_pmtd_space : t -> (Pmtd.t * int) list
+(** Stored S-view tuples per PMTD (the summands of {!space}), as
+    reported in the benchmark artifacts. *)
+
 val access_schema : t -> Schema.t

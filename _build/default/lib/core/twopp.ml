@@ -2,6 +2,7 @@ open Stt_relation
 open Stt_hypergraph
 open Stt_polymatroid
 open Stt_lp
+open Stt_obs
 
 (* One probing step of an online plan: join the accumulator with the
    indexed relation, then project to [keep]. *)
@@ -19,12 +20,14 @@ type t = {
   stored : (Varset.t * Relation.t) list;
   space : int;
   delegated : subproblem list;
+  stored_subs : int; (* subproblems materialized within the budget *)
 }
 
 let rule t = t.rule
 let s_targets t = t.stored
 let space t = t.space
 let delegated_subproblems t = List.length t.delegated
+let stored_subproblems t = t.stored_subs
 
 (* Quantized to 1/16 so the target-selection LPs keep small denominators
    (exact simplex on native-int rationals). *)
@@ -277,10 +280,23 @@ let eval_targets rels targets ~budget =
     targets
 
 let build (r : Rule.t) ~db ~budget =
+  Obs.span "twopp.build"
+    ~attrs:
+      [
+        ("rule", Json.String (Format.asprintf "%a" Rule.pp r));
+        ("budget", Json.Int budget);
+      ]
+  @@ fun () ->
   Cost.with_counting false (fun () ->
       let cqap = r.Rule.cqap in
       let cq = cqap.Cq.cq in
       let n = cq.Cq.n in
+      let vs_str b =
+        "{"
+        ^ String.concat ","
+            (List.map (fun v -> cq.Cq.var_names.(v)) (Varset.to_list b))
+        ^ "}"
+      in
       let access = cqap.Cq.access in
       let dc = Degree.default_dc cq and ac = Degree.default_ac cqap in
       let dsize = max 2 (Db.size db) in
@@ -289,6 +305,7 @@ let build (r : Rule.t) ~db ~budget =
         Rat.of_float_approx ~max_den:1024
           (Float.log2 (float_of_int (max 2 budget)) /. logd_abs)
       in
+      let pivots_before = Simplex.pivot_count () in
       let point =
         (* if the guide LP overflows, build an unguided (split-free)
            structure — correct, just without heavy/light partitioning *)
@@ -299,8 +316,31 @@ let build (r : Rule.t) ~db ~budget =
             tradeoff = None;
             split_pairs = [];
             hs = [];
+            split_duals = [];
+            lp_vars = 0;
+            lp_cstrs = 0;
           }
       in
+      let lp_pivots = Simplex.pivot_count () - pivots_before in
+      Obs.incr ~by:lp_pivots "simplex.pivots";
+      Obs.set_attr "lp"
+        (Json.Obj
+           [
+             ("vars", Json.Int point.Jointflow.lp_vars);
+             ("cstrs", Json.Int point.Jointflow.lp_cstrs);
+             ("pivots", Json.Int lp_pivots);
+             ( "split_duals",
+               Json.List
+                 (List.map
+                    (fun (x, y, g) ->
+                      Json.Obj
+                        [
+                          ("x", Json.String (vs_str x));
+                          ("y", Json.String (vs_str y));
+                          ("dual", Json.String (Rat.to_string g));
+                        ])
+                    point.Jointflow.split_duals) );
+           ]);
       (* [Impossible] is a worst-case prediction; actual materialization is
          still attempted below and only fails if the real data does not
          fit either. *)
@@ -335,10 +375,20 @@ let build (r : Rule.t) ~db ~budget =
         | (atom, x, y, threshold) :: rest ->
             let rel = List.assq atom rels in
             let heavy, light =
-              split_atom rel
-                ~x_vars:(Varset.to_list x)
-                ~y_vars:(Varset.to_list y)
-                ~threshold
+              Obs.span "twopp.split" (fun () ->
+                  let h, l =
+                    split_atom rel
+                      ~x_vars:(Varset.to_list x)
+                      ~y_vars:(Varset.to_list y)
+                      ~threshold
+                  in
+                  Obs.set_attr "atom" (Json.String atom.Cq.rel);
+                  Obs.set_attr "x" (Json.String (vs_str x));
+                  Obs.set_attr "y" (Json.String (vs_str y));
+                  Obs.set_attr "threshold" (Json.Int threshold);
+                  Obs.set_attr "heavy" (Json.Int (Relation.cardinal h));
+                  Obs.set_attr "light" (Json.Int (Relation.cardinal l));
+                  (h, l))
             in
             let with_rel repl =
               List.map
@@ -354,8 +404,10 @@ let build (r : Rule.t) ~db ~budget =
       in
       let stored_acc : (Varset.t, Relation.t) Hashtbl.t = Hashtbl.create 8 in
       let delegated = ref [] in
+      let stored_subs = ref 0 in
       List.iter
         (fun rels ->
+          Obs.span "twopp.subproblem" @@ fun () ->
           let candidates =
             match r.Rule.s_targets with
             | [] -> []
@@ -373,6 +425,10 @@ let build (r : Rule.t) ~db ~budget =
           in
           match best with
           | Some (b, rel) when Relation.cardinal rel <= budget ->
+              incr stored_subs;
+              Obs.set_attr "decision" (Json.String "stored");
+              Obs.set_attr "target" (Json.String (vs_str b));
+              Obs.set_attr "tuples" (Json.Int (Relation.cardinal rel));
               let acc =
                 match Hashtbl.find_opt stored_acc b with
                 | Some existing -> Relation.union existing rel
@@ -385,6 +441,8 @@ let build (r : Rule.t) ~db ~budget =
               | t_targets ->
                   let sub_dc = measured_dc rels in
                   let t_target = pick_target n ~dc:sub_dc t_targets in
+                  Obs.set_attr "decision" (Json.String "delegated");
+                  Obs.set_attr "target" (Json.String (vs_str t_target));
                   let probe_plan, safe_plan, cap =
                     build_plan rels ~access ~target:t_target
                   in
@@ -399,7 +457,17 @@ let build (r : Rule.t) ~db ~budget =
           (fun acc (_, rel) -> acc + Relation.cardinal rel)
           0 stored
       in
-      { rule = r; stored; space; delegated = List.rev !delegated })
+      Obs.set_attr "subproblems" (Json.Int (List.length subproblems));
+      Obs.set_attr "stored" (Json.Int !stored_subs);
+      Obs.set_attr "delegated" (Json.Int (List.length !delegated));
+      Obs.set_attr "space" (Json.Int space);
+      {
+        rule = r;
+        stored;
+        space;
+        delegated = List.rev !delegated;
+        stored_subs = !stored_subs;
+      })
 
 exception Plan_abort
 

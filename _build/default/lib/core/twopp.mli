@@ -37,6 +37,13 @@ val space : t -> int
 (** Tuples across all stored S-targets. *)
 
 val delegated_subproblems : t -> int
+val stored_subproblems : t -> int
+(** Number of heavy/light subproblems whose best S-target fit the budget
+    and was materialized.  Every one of them contributed at most
+    [budget] tuples to {!space} at the moment it was stored, so
+    [space t <= stored_subproblems t * budget] — the budget-implied
+    space bound checked by the differential test harness. *)
+
 val online : t -> q_a:Relation.t -> (Varset.t * Relation.t) list
 (** T-target relations computed from the delegated subproblems for this
     access request.  Respects the global cost counters. *)

@@ -19,7 +19,13 @@ type tableau = {
 
 exception Unbounded_exc
 
+(* Cumulative pivot counter across all solves: observability reads this
+   before/after a solve to attribute pivots to a pipeline stage. *)
+let total_pivots = ref 0
+let pivot_count () = !total_pivots
+
 let pivot tb r j =
+  incr total_pivots;
   let t = tb.t in
   let piv = t.(r).(j) in
   let width = tb.ncols + 1 in

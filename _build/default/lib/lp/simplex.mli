@@ -22,3 +22,8 @@ type result =
 val solve : c:Rat.t array -> a:Rat.t array array -> b:Rat.t array -> result
 (** [solve ~c ~a ~b] with [a] of shape m×n, [b] length m, [c] length n.
     Raises [Invalid_argument] on shape mismatch. *)
+
+val pivot_count : unit -> int
+(** Cumulative number of pivots performed by every [solve] call in this
+    process (monotone).  Diff before/after a solve to attribute pivots
+    to one pipeline stage; benchmark artifacts record these diffs. *)

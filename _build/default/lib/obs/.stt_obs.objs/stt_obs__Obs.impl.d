@@ -1,0 +1,1 @@
+lib/obs/obs.ml: Array Domain Float Fun Hashtbl Json List Stdlib Unix

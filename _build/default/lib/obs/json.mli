@@ -1,0 +1,37 @@
+(** Minimal hand-rolled JSON: just enough to serialize and re-parse the
+    observability traces and benchmark artifacts — no external
+    dependency, deterministic output, lossless round-trips.
+
+    Numbers are kept as either [Int] (serialized without a decimal
+    point) or [Float] (always serialized with a point or exponent, via
+    ["%.17g"], so parsing restores the exact IEEE value).  Strings are
+    escaped per RFC 8259; input escapes [\uXXXX] are folded to bytes for
+    the ASCII range and re-encoded as UTF-8 otherwise. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val equal : t -> t -> bool
+(** Structural equality; object field order is significant. *)
+
+val to_string : t -> string
+(** Compact serialization (no whitespace). *)
+
+val to_string_pretty : t -> string
+(** Two-space-indented serialization, for files meant to be read. *)
+
+val of_string : string -> (t, string) result
+(** Parse a complete JSON document; trailing garbage is an error.  The
+    error string includes the byte offset. *)
+
+val to_file : string -> t -> unit
+(** Write {!to_string_pretty} plus a trailing newline. *)
+
+val member : string -> t -> t option
+(** Field lookup on [Obj]; [None] on missing field or non-object. *)

@@ -1,0 +1,184 @@
+type span_node = {
+  sname : string;
+  mutable attrs : (string * Json.t) list;
+  mutable children : span_node list; (* reversed *)
+  mutable elapsed_s : float;
+}
+
+type hist = {
+  mutable count : int;
+  mutable sum : float;
+  mutable minv : float;
+  mutable maxv : float;
+  buckets : int array; (* bucket i >= 1 covers [2^(i-1), 2^i); bucket 0 is [0,1) *)
+}
+
+type context = {
+  mutable roots : span_node list; (* reversed, finished *)
+  mutable stack : span_node list; (* open spans, innermost first *)
+  counter_tbl : (string, int ref) Hashtbl.t;
+  hist_tbl : (string, hist) Hashtbl.t;
+}
+
+let create_context () =
+  {
+    roots = [];
+    stack = [];
+    counter_tbl = Hashtbl.create 16;
+    hist_tbl = Hashtbl.create 8;
+  }
+
+let ctx_key = Domain.DLS.new_key create_context
+let current () = Domain.DLS.get ctx_key
+
+let with_context ctx f =
+  let saved = Domain.DLS.get ctx_key in
+  Domain.DLS.set ctx_key ctx;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set ctx_key saved) f
+
+let enabled_flag = ref false
+let enabled () = !enabled_flag
+let set_enabled b = enabled_flag := b
+
+let reset () =
+  let ctx = current () in
+  ctx.roots <- [];
+  Hashtbl.reset ctx.counter_tbl;
+  Hashtbl.reset ctx.hist_tbl
+
+let set_attr key v =
+  if !enabled_flag then
+    match (current ()).stack with
+    | [] -> ()
+    | s :: _ ->
+        s.attrs <-
+          (if List.mem_assoc key s.attrs then
+             List.map (fun (k, w) -> if k = key then (k, v) else (k, w)) s.attrs
+           else s.attrs @ [ (key, v) ])
+
+let span ?(attrs = []) name f =
+  if not !enabled_flag then f ()
+  else begin
+    let ctx = current () in
+    let s = { sname = name; attrs; children = []; elapsed_s = 0.0 } in
+    let t0 = Unix.gettimeofday () in
+    ctx.stack <- s :: ctx.stack;
+    Fun.protect
+      ~finally:(fun () ->
+        s.elapsed_s <- Unix.gettimeofday () -. t0;
+        (* pop [s]; tolerate unbalanced pops from nested with_context *)
+        ctx.stack <-
+          (match ctx.stack with
+          | top :: rest when top == s -> rest
+          | other -> List.filter (fun x -> x != s) other);
+        match ctx.stack with
+        | parent :: _ -> parent.children <- s :: parent.children
+        | [] -> ctx.roots <- s :: ctx.roots)
+      f
+  end
+
+let incr ?(by = 1) name =
+  if by < 0 then invalid_arg "Obs.incr: counters are monotone (by < 0)";
+  if !enabled_flag then begin
+    let ctx = current () in
+    match Hashtbl.find_opt ctx.counter_tbl name with
+    | Some r -> r := !r + by
+    | None -> Hashtbl.add ctx.counter_tbl name (ref by)
+  end
+
+let counter_value name =
+  match Hashtbl.find_opt (current ()).counter_tbl name with
+  | Some r -> !r
+  | None -> 0
+
+let counters () =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) (current ()).counter_tbl []
+  |> List.sort compare
+
+let bucket_of v =
+  if v < 1.0 then 0
+  else
+    let i = 1 + int_of_float (Float.log2 v) in
+    Stdlib.min i 63
+
+let observe name v =
+  if !enabled_flag then begin
+    let ctx = current () in
+    let h =
+      match Hashtbl.find_opt ctx.hist_tbl name with
+      | Some h -> h
+      | None ->
+          let h =
+            {
+              count = 0;
+              sum = 0.0;
+              minv = infinity;
+              maxv = neg_infinity;
+              buckets = Array.make 64 0;
+            }
+          in
+          Hashtbl.add ctx.hist_tbl name h;
+          h
+    in
+    h.count <- h.count + 1;
+    h.sum <- h.sum +. v;
+    h.minv <- Float.min h.minv v;
+    h.maxv <- Float.max h.maxv v;
+    let b = bucket_of (Float.max 0.0 v) in
+    h.buckets.(b) <- h.buckets.(b) + 1
+  end
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let rec json_of_span s =
+  let base =
+    [ ("name", Json.String s.sname); ("elapsed_s", Json.Float s.elapsed_s) ]
+  in
+  let with_attrs =
+    if s.attrs = [] then base else base @ [ ("attrs", Json.Obj s.attrs) ]
+  in
+  let with_children =
+    if s.children = [] then with_attrs
+    else
+      with_attrs
+      @ [ ("children", Json.List (List.rev_map json_of_span s.children)) ]
+  in
+  Json.Obj with_children
+
+let json_of_hist h =
+  let buckets = ref [] in
+  for i = Array.length h.buckets - 1 downto 0 do
+    if h.buckets.(i) > 0 then
+      buckets :=
+        Json.Obj
+          [
+            ("lt", Json.Float (Float.pow 2.0 (float_of_int i)));
+            ("n", Json.Int h.buckets.(i));
+          ]
+        :: !buckets
+  done;
+  Json.Obj
+    [
+      ("count", Json.Int h.count);
+      ("sum", Json.Float h.sum);
+      ("min", Json.Float (if h.count = 0 then 0.0 else h.minv));
+      ("max", Json.Float (if h.count = 0 then 0.0 else h.maxv));
+      ("buckets", Json.List !buckets);
+    ]
+
+let trace () =
+  let ctx = current () in
+  let hists =
+    Hashtbl.fold (fun k h acc -> (k, json_of_hist h) :: acc) ctx.hist_tbl []
+    |> List.sort compare
+  in
+  Json.Obj
+    [
+      ("schema", Json.String "stt-trace/1");
+      ("spans", Json.List (List.rev_map json_of_span ctx.roots));
+      ( "counters",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (counters ())) );
+      ("histograms", Json.Obj hists);
+    ]

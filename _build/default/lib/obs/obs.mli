@@ -1,0 +1,72 @@
+(** Structured observability: hierarchical spans, monotone counters and
+    power-of-two histograms, serialized to JSON.
+
+    The paper's claims are quantitative — tradeoff exponents, LP duals,
+    online operation counts — so every pipeline stage records what it did
+    into the current {e trace context}: a tree of named spans with
+    attributes, plus process-wide counters and histograms.  Benchmarks
+    and the CLI serialize the trace next to their human-readable output,
+    giving each table a machine-readable twin.
+
+    Observability is {b off by default} and must change nothing when
+    disabled: [span] just runs its thunk, counters stay untouched, and —
+    because this module never calls into {!Stt_relation} — no [Cost]
+    operation is ever charged by instrumentation (the test suite checks
+    both invariants).
+
+    Contexts are per-domain (via [Domain.DLS]), so parallel builds each
+    get an isolated trace. *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+(** Toggle collection globally.  Disabling does not clear existing data. *)
+
+val reset : unit -> unit
+(** Drop all finished spans, counters and histograms of the current
+    context.  Open spans are kept (their data is recorded on close). *)
+
+(** {1 Spans} *)
+
+val span : ?attrs:(string * Json.t) list -> string -> (unit -> 'a) -> 'a
+(** [span name f] runs [f] inside a span: spans opened during [f] become
+    children, and the span records its wall-clock duration on close
+    (also on exception).  When disabled this is exactly [f ()]. *)
+
+val set_attr : string -> Json.t -> unit
+(** Attach (or overwrite) an attribute on the innermost open span of the
+    current context; silently ignored when disabled or outside a span. *)
+
+(** {1 Counters and histograms} *)
+
+val incr : ?by:int -> string -> unit
+(** Bump a monotone counter ([by] defaults to 1).  Raises
+    [Invalid_argument] on negative [by] — counters only go up. *)
+
+val counter_value : string -> int
+(** Current value; 0 for a counter never bumped. *)
+
+val counters : unit -> (string * int) list
+(** All counters, sorted by name. *)
+
+val observe : string -> float -> unit
+(** Record a sample into a histogram with buckets [[0,1), [1,2), [2,4),
+    [4,8), ...] — negative samples clamp into the first bucket. *)
+
+(** {1 Traces} *)
+
+val trace : unit -> Json.t
+(** The full current context as JSON: finished root spans (in open
+    order), counters and histograms.  Schema documented in DESIGN.md
+    ("Observability"). *)
+
+(** {1 Contexts} *)
+
+type context
+(** An isolated trace (spans + counters + histograms).  Each domain has
+    an implicit default context. *)
+
+val create_context : unit -> context
+
+val with_context : context -> (unit -> 'a) -> 'a
+(** Run with [context] installed as the current context, restoring the
+    previous one afterwards (also on exceptions). *)

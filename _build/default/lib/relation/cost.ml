@@ -27,7 +27,18 @@ let with_counting flag f =
   counting := flag;
   Fun.protect ~finally:(fun () -> counting := saved) f
 
+(* Scoped measurement never resets the global counters: it diffs
+   snapshots, so nested scopes (and a [measure] nested inside
+   [with_counting false]) compose — an inner scope cannot clobber the
+   counts an outer scope is accumulating, and an exception unwinding
+   through a scope leaves both the counters and the counting flag
+   exactly as [Fun.protect] restored them. *)
+let scoped f =
+  let before = snapshot () in
+  let x = f () in
+  (x, diff (snapshot ()) before)
+
 let measure f =
-  reset ();
+  let before = snapshot () in
   let x = with_counting true f in
-  (x, snapshot ())
+  (x, diff (snapshot ()) before)

@@ -38,6 +38,16 @@ val with_counting : bool -> (unit -> 'a) -> 'a
 (** [with_counting flag f] runs [f] with {!counting} set to [flag],
     restoring the previous value afterwards (also on exceptions). *)
 
+val scoped : (unit -> 'a) -> 'a * snapshot
+(** [scoped f] runs [f] under the {e current} counting mode and returns
+    the costs charged while it ran, measured as a snapshot difference —
+    the global counters are never reset, so scopes nest arbitrarily and
+    observability code can attach per-span costs without perturbing an
+    enclosing measurement. *)
+
 val measure : (unit -> 'a) -> 'a * snapshot
-(** [measure f] resets the counters, runs [f] with counting enabled and
-    returns its result together with the costs it incurred. *)
+(** [measure f] is {!scoped} with counting forced on: it returns the
+    costs [f] incurred.  Like {!scoped} it is re-entrant — it does not
+    reset the counters, so a [measure] nested inside another (or inside
+    [with_counting false]) neither loses nor double-frees counts, and an
+    exception from [f] restores the counting flag. *)

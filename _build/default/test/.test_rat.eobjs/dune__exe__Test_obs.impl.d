@@ -1,0 +1,1 @@
+test/test_obs.ml: Alcotest Array Cost Cq Db Engine Fun Json List Obs Relation Schema String Stt_core Stt_hypergraph Stt_obs Stt_relation

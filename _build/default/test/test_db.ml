@@ -75,6 +75,48 @@ let test_bounded_join () =
   | None -> ()
   | Some _ -> Alcotest.fail "should exceed limit"
 
+let test_bounded_join_limit_zero () =
+  (* limit:0 succeeds iff the result is empty *)
+  let a = rel_of [ 0; 1 ] [ [ 1; 2 ] ] in
+  let b = rel_of [ 1; 2 ] [ [ 9; 9 ] ] in
+  (match Db.join_greedy_bounded [ a; b ] ~keep:[ 0; 2 ] ~limit:0 with
+  | Some r ->
+      Alcotest.check Alcotest.int "empty join fits limit 0" 0
+        (Relation.cardinal r)
+  | None -> Alcotest.fail "empty result must fit limit 0");
+  let b' = rel_of [ 1; 2 ] [ [ 2; 7 ] ] in
+  match Db.join_greedy_bounded [ a; b' ] ~keep:[ 0; 2 ] ~limit:0 with
+  | None -> ()
+  | Some _ -> Alcotest.fail "one output tuple must exceed limit 0"
+
+let test_bounded_join_final_exceeds () =
+  (* a single-relation "join" is a projection; its *final* result must
+     still be checked against the limit (regression: it was not) *)
+  let r = rel_of [ 0; 1 ] (List.init 10 (fun i -> [ i; i ])) in
+  (match Db.join_greedy_bounded [ r ] ~keep:[ 0; 1 ] ~limit:3 with
+  | None -> ()
+  | Some _ -> Alcotest.fail "final result of 10 tuples must exceed limit 3");
+  (* ... but a small projection of a large input is within contract:
+     inputs themselves are not intermediates *)
+  let skewed = rel_of [ 0; 1 ] (List.init 10 (fun i -> [ 0; i ])) in
+  match Db.join_greedy_bounded [ skewed ] ~keep:[ 0 ] ~limit:3 with
+  | Some r -> Alcotest.check Alcotest.int "projected size" 1 (Relation.cardinal r)
+  | None -> Alcotest.fail "1-tuple projection fits limit 3"
+
+let test_bounded_join_empty_inputs () =
+  let empty = Relation.create (Schema.of_list [ 0; 1 ]) in
+  let b = rel_of [ 1; 2 ] [ [ 1; 2 ]; [ 3; 4 ] ] in
+  (match Db.join_greedy_bounded [ empty; b ] ~keep:[ 0; 2 ] ~limit:100 with
+  | Some r -> Alcotest.check Alcotest.int "empty join" 0 (Relation.cardinal r)
+  | None -> Alcotest.fail "empty join always fits");
+  (* unbounded variant agrees *)
+  Alcotest.check Alcotest.int "unbounded empty join" 0
+    (Relation.cardinal (Db.join_greedy [ empty; b ] ~keep:[ 0; 2 ]));
+  (* empty relation *list* is a contract violation *)
+  Alcotest.check_raises "no relations"
+    (Invalid_argument "Db.join_greedy: no relations") (fun () ->
+      ignore (Db.join_greedy_bounded [] ~keep:[] ~limit:10))
+
 let test_bounded_join_explosive () =
   (* dense bipartite cross: the bound must trip during the join, without
      materializing the full product *)
@@ -95,6 +137,12 @@ let () =
           Alcotest.test_case "size" `Quick test_size;
           Alcotest.test_case "mixed arity" `Quick test_mixed_arity_rejected;
           Alcotest.test_case "bounded join" `Quick test_bounded_join;
+          Alcotest.test_case "bounded join limit 0" `Quick
+            test_bounded_join_limit_zero;
+          Alcotest.test_case "bounded join final result checked" `Quick
+            test_bounded_join_final_exceeds;
+          Alcotest.test_case "bounded join empty inputs" `Quick
+            test_bounded_join_empty_inputs;
           Alcotest.test_case "bounded join explosive" `Quick
             test_bounded_join_explosive;
         ] );

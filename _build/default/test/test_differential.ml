@@ -1,0 +1,188 @@
+(* Randomized differential testing: the full pipeline (PMTD enumeration,
+   disjunctive rules, 2PP preprocessing, Online Yannakakis) against the
+   brute-force reference evaluator, over 200 random CQAP instances.
+
+   Each instance draws a random small query (≤ 5 variables), a random
+   database (≤ 64 tuples per relation over a small domain), a random
+   access request set and a random space budget; the engine's answer must
+   match [Db.eval_access] tuple-for-tuple, and the stored space must stay
+   under the budget-implied bound
+
+     Engine.space ≤ (Σ_p #s_views p) × (Σ_ρ stored_subproblems ρ × budget).
+
+   Everything is derived from a fixed base seed, so a failure report's
+   seed reproduces the instance exactly. *)
+
+open Stt_relation
+open Stt_hypergraph
+open Stt_decomp
+open Stt_core
+open Stt_workload
+
+let sorted r = List.sort compare (List.map Array.to_list (Relation.to_list r))
+
+type instance = {
+  seed : int;
+  cqap : Cq.cqap;
+  db : Db.t;
+  q_a : Relation.t;
+  budget : int;
+}
+
+let budgets = [| 1; 2; 4; 16; 256; 100_000 |]
+
+let gen_instance seed =
+  let rng = Rng.create seed in
+  let nvars = 1 + Rng.int rng 5 in
+  let natoms = 1 + Rng.int rng 4 in
+  let pick_vars k =
+    let arr = Array.init nvars Fun.id in
+    Rng.shuffle rng arr;
+    Array.to_list (Array.sub arr 0 k)
+  in
+  let atoms =
+    List.init natoms (fun i ->
+        let arity = 1 + Rng.int rng (min 3 nvars) in
+        { Cq.rel = Printf.sprintf "R%d" i; vars = pick_vars arity })
+  in
+  (* every variable must occur in some atom: cover leftovers with unary
+     atoms *)
+  let covered =
+    List.fold_left
+      (fun acc a -> Varset.union acc (Cq.atom_vars a))
+      Varset.empty atoms
+  in
+  let missing = Varset.diff (Varset.full nvars) covered in
+  let atoms =
+    atoms
+    @ List.mapi
+        (fun j v -> { Cq.rel = Printf.sprintf "M%d" j; vars = [ v ] })
+        (Varset.to_list missing)
+  in
+  let random_subset () =
+    Varset.filter (fun _ -> Rng.bool rng) (Varset.full nvars)
+  in
+  let var_names = Array.init nvars (Printf.sprintf "x%d") in
+  let cq = Cq.create ~var_names ~head:(random_subset ()) atoms in
+  let cqap = Cq.with_access cq (random_subset ()) in
+  let dom = 1 + Rng.int rng 8 in
+  let db = Db.create () in
+  List.iter
+    (fun (a : Cq.atom) ->
+      let arity = List.length a.Cq.vars in
+      let n = Rng.int rng 17 in
+      Db.add db a.Cq.rel
+        (List.init n (fun _ -> Array.init arity (fun _ -> Rng.int rng dom))))
+    atoms;
+  let access = Varset.to_list cqap.Cq.access in
+  let q_a =
+    let schema = Schema.of_list access in
+    match List.length access with
+    | 0 -> Relation.of_list schema [ [||] ]
+    | k ->
+        Relation.of_list schema
+          (List.init
+             (1 + Rng.int rng 8)
+             (fun _ -> Array.init k (fun _ -> Rng.int rng dom)))
+  in
+  let budget = budgets.(Rng.int rng (Array.length budgets)) in
+  { seed; cqap; db; q_a; budget }
+
+(* ------------------------------------------------------------------ *)
+(* building an index for an instance                                    *)
+(* ------------------------------------------------------------------ *)
+
+exception Skip of string
+
+(* The engine's correctness guarantee (union of ψ_i over the PMTDs it
+   was built with) holds for any non-empty PMTD subset, so we cap the
+   set at 6 to keep the rule cartesian product tractable on adversarial
+   random queries.  A budget too small for some rule without T-targets
+   is escalated — the comparison then runs at the budget actually
+   used. *)
+let build_index inst =
+  let pmtds =
+    try Enum.pmtds ~max_pmtds:4096 inst.cqap
+    with Failure msg -> raise (Skip ("pmtd enumeration: " ^ msg))
+  in
+  let pmtds = List.filteri (fun i _ -> i < 6) pmtds in
+  let rec go budget attempts =
+    if attempts = 0 then raise (Skip "no feasible budget")
+    else
+      try (Engine.build inst.cqap pmtds ~db:inst.db ~budget, budget)
+      with Failure _ -> go (budget * 64) (attempts - 1)
+  in
+  go inst.budget 5
+
+let space_bound idx ~budget =
+  let s_nodes =
+    List.fold_left
+      (fun acc p -> acc + List.length (Pmtd.s_views p))
+      0 (Engine.pmtds idx)
+  in
+  let stored_tuples =
+    List.fold_left
+      (fun acc s -> acc + (Twopp.stored_subproblems s * budget))
+      0 (Engine.structures idx)
+  in
+  s_nodes * stored_tuples
+
+(* ------------------------------------------------------------------ *)
+(* the harness                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let n_instances = 200
+let base_seed = 0xC0FFEE
+
+let pp_tuples fmt ts =
+  Format.fprintf fmt "{%s}"
+    (String.concat "; "
+       (List.map
+          (fun t -> "(" ^ String.concat "," (List.map string_of_int t) ^ ")")
+          ts))
+
+let run_one i =
+  let rec attempt k =
+    let seed = base_seed + (1000 * i) + k in
+    let inst = gen_instance seed in
+    match build_index inst with
+    | exception Skip reason ->
+        if k >= 20 then
+          Alcotest.failf "instance %d: no buildable query after %d tries (%s)"
+            i (k + 1) reason
+        else attempt (k + 1)
+    | idx, used_budget ->
+        let expected = sorted (Db.eval_access inst.db inst.cqap ~q_a:inst.q_a) in
+        let got = sorted (Engine.answer idx ~q_a:inst.q_a) in
+        if got <> expected then
+          Alcotest.failf
+            "instance %d (seed %d): engine disagrees with reference@\n\
+             query: %a@\n\
+             budget: %d (used %d)@\n\
+             expected %a@\ngot      %a"
+            i seed Cq.pp_cqap inst.cqap inst.budget used_budget pp_tuples
+            expected pp_tuples got;
+        let bound = space_bound idx ~budget:used_budget in
+        if Engine.space idx > bound then
+          Alcotest.failf
+            "instance %d (seed %d): space %d exceeds budget-implied bound %d \
+             (budget %d)"
+            i seed (Engine.space idx) bound used_budget
+  in
+  attempt 0
+
+let test_differential () =
+  for i = 0 to n_instances - 1 do
+    run_one i
+  done
+
+let () =
+  Alcotest.run "differential"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case
+            (Printf.sprintf "%d random instances vs reference" n_instances)
+            `Slow test_differential;
+        ] );
+    ]

@@ -1,0 +1,310 @@
+(* The observability layer: span trees, counters, histograms, JSON
+   round-trips, and the invariant that a disabled Obs changes neither
+   query results nor cost accounting. *)
+
+open Stt_obs
+open Stt_relation
+open Stt_hypergraph
+open Stt_core
+
+(* Run [f] with observability enabled inside a fresh, isolated context;
+   the global flag is restored afterwards so other tests see Obs off. *)
+let with_obs f =
+  Obs.with_context (Obs.create_context ()) @@ fun () ->
+  Obs.set_enabled true;
+  Fun.protect ~finally:(fun () -> Obs.set_enabled false) f
+
+let member_exn k j =
+  match Json.member k j with
+  | Some v -> v
+  | None -> Alcotest.failf "missing field %S in %s" k (Json.to_string j)
+
+let as_list = function
+  | Json.List l -> l
+  | j -> Alcotest.failf "expected a JSON list, got %s" (Json.to_string j)
+
+let span_names j =
+  List.map
+    (fun s ->
+      match member_exn "name" s with
+      | Json.String n -> n
+      | j -> Alcotest.failf "span name is not a string: %s" (Json.to_string j))
+    (as_list j)
+
+(* ------------------------------------------------------------------ *)
+(* spans                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_span_nesting () =
+  with_obs @@ fun () ->
+  let r =
+    Obs.span "outer" ~attrs:[ ("k", Json.Int 1) ] @@ fun () ->
+    Obs.span "child1" (fun () -> ());
+    Obs.span "child2" (fun () ->
+        Obs.set_attr "depth" (Json.Int 2);
+        Obs.span "grandchild" (fun () -> ()));
+    17
+  in
+  Alcotest.check Alcotest.int "span returns the thunk's value" 17 r;
+  let spans = member_exn "spans" (Obs.trace ()) in
+  Alcotest.check
+    Alcotest.(list string)
+    "one root span" [ "outer" ] (span_names spans);
+  let outer = List.hd (as_list spans) in
+  (match member_exn "elapsed_s" outer with
+  | Json.Float f ->
+      Alcotest.check Alcotest.bool "elapsed is non-negative" true (f >= 0.0)
+  | _ -> Alcotest.fail "elapsed_s is not a float");
+  (match Json.member "k" (member_exn "attrs" outer) with
+  | Some (Json.Int 1) -> ()
+  | _ -> Alcotest.fail "constructor attrs kept");
+  let children = member_exn "children" outer in
+  Alcotest.check
+    Alcotest.(list string)
+    "children in open order" [ "child1"; "child2" ] (span_names children);
+  let child2 = List.nth (as_list children) 1 in
+  (match Json.member "depth" (member_exn "attrs" child2) with
+  | Some (Json.Int 2) -> ()
+  | _ -> Alcotest.fail "set_attr lands on the innermost open span");
+  Alcotest.check
+    Alcotest.(list string)
+    "grandchild nested under child2" [ "grandchild" ]
+    (span_names (member_exn "children" child2))
+
+let test_span_exception () =
+  with_obs @@ fun () ->
+  (try Obs.span "boom" (fun () -> raise Exit) with Exit -> ());
+  (* the span is still finished and recorded, and the stack is balanced:
+     a subsequent span becomes a root, not a child of "boom" *)
+  Obs.span "after" (fun () -> ());
+  let spans = member_exn "spans" (Obs.trace ()) in
+  Alcotest.check
+    Alcotest.(list string)
+    "span closed on exception" [ "boom"; "after" ] (span_names spans)
+
+let test_reset () =
+  with_obs @@ fun () ->
+  Obs.span "old" (fun () -> Obs.incr "c");
+  Obs.reset ();
+  Alcotest.check Alcotest.int "counters cleared" 0 (Obs.counter_value "c");
+  let spans = member_exn "spans" (Obs.trace ()) in
+  Alcotest.check Alcotest.(list string) "spans cleared" [] (span_names spans)
+
+(* ------------------------------------------------------------------ *)
+(* counters and histograms                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_counter_monotonicity () =
+  with_obs @@ fun () ->
+  Alcotest.check Alcotest.int "unbumped counter reads 0" 0
+    (Obs.counter_value "c");
+  Obs.incr "c";
+  Obs.incr ~by:5 "c";
+  Obs.incr ~by:0 "c";
+  Alcotest.check Alcotest.int "1 + 5 + 0" 6 (Obs.counter_value "c");
+  Obs.incr "b";
+  Alcotest.check
+    Alcotest.(list (pair string int))
+    "counters sorted by name"
+    [ ("b", 1); ("c", 6) ]
+    (Obs.counters ());
+  Alcotest.check_raises "negative increments are rejected"
+    (Invalid_argument "Obs.incr: counters are monotone (by < 0)") (fun () ->
+      Obs.incr ~by:(-1) "c");
+  Alcotest.check Alcotest.int "value intact after rejected incr" 6
+    (Obs.counter_value "c")
+
+let test_histogram () =
+  with_obs @@ fun () ->
+  List.iter (Obs.observe "h") [ 0.5; 1.0; 3.0; 100.0; -2.0 ];
+  let h = member_exn "h" (member_exn "histograms" (Obs.trace ())) in
+  Alcotest.check Alcotest.int "count" 5
+    (match member_exn "count" h with Json.Int n -> n | _ -> -1);
+  (match member_exn "min" h with
+  | Json.Float f -> Alcotest.check (Alcotest.float 1e-9) "min" (-2.0) f
+  | _ -> Alcotest.fail "min");
+  (match member_exn "max" h with
+  | Json.Float f -> Alcotest.check (Alcotest.float 1e-9) "max" 100.0 f
+  | _ -> Alcotest.fail "max");
+  (* buckets are [0,1), [1,2), [2,4), ..., negatives clamp into the
+     first: 0.5 and -2.0 → lt 1; 1.0 → lt 2; 3.0 → lt 4; 100.0 → lt 128 *)
+  let buckets =
+    List.map
+      (fun b ->
+        match (member_exn "lt" b, member_exn "n" b) with
+        | Json.Float lt, Json.Int n -> (lt, n)
+        | _ -> Alcotest.fail "bucket shape")
+      (as_list (member_exn "buckets" h))
+  in
+  Alcotest.check
+    Alcotest.(list (pair (float 1e-9) int))
+    "occupied buckets"
+    [ (1.0, 2); (2.0, 1); (4.0, 1); (128.0, 1) ]
+    buckets
+
+(* ------------------------------------------------------------------ *)
+(* JSON round-trips                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let roundtrip what serialize doc =
+  match Json.of_string (serialize doc) with
+  | Ok j ->
+      Alcotest.check Alcotest.bool (what ^ " round-trips") true
+        (Json.equal doc j)
+  | Error e -> Alcotest.failf "%s: parse error: %s" what e
+
+let test_json_roundtrip () =
+  let doc =
+    Json.Obj
+      [
+        ("null", Json.Null);
+        ("t", Json.Bool true);
+        ("f", Json.Bool false);
+        ("i", Json.Int (-42));
+        ("max", Json.Int max_int);
+        ("min", Json.Int min_int);
+        ("pi", Json.Float 3.14159265358979312);
+        ("tiny", Json.Float 1e-300);
+        ("huge", Json.Float 1.7976931348623157e308);
+        ("whole", Json.Float 2.0);
+        ("negz", Json.Float (-0.5));
+        ("s", Json.String "a\"b\\c\nd\te \x01 caf\xc3\xa9");
+        ("empty", Json.String "");
+        ( "l",
+          Json.List
+            [ Json.Int 0; Json.List []; Json.Obj []; Json.String "x" ] );
+        ("o", Json.Obj [ ("nested", Json.Obj [ ("deep", Json.Int 1) ]) ]);
+      ]
+  in
+  roundtrip "compact" Json.to_string doc;
+  roundtrip "pretty" Json.to_string_pretty doc;
+  (* Int and Float stay distinct through serialization *)
+  (match Json.of_string (Json.to_string (Json.Float 2.0)) with
+  | Ok (Json.Float 2.0) -> ()
+  | Ok j -> Alcotest.failf "Float 2.0 reparsed as %s" (Json.to_string j)
+  | Error e -> Alcotest.fail e);
+  match Json.of_string (Json.to_string (Json.Int 2)) with
+  | Ok (Json.Int 2) -> ()
+  | Ok j -> Alcotest.failf "Int 2 reparsed as %s" (Json.to_string j)
+  | Error e -> Alcotest.fail e
+
+let test_json_unicode_escape () =
+  (* \uXXXX escapes fold to UTF-8 bytes *)
+  match Json.of_string {|"caf\u00e9 \u0041"|} with
+  | Ok (Json.String s) ->
+      Alcotest.check Alcotest.string "utf-8 folding" "caf\xc3\xa9 A" s
+  | Ok _ -> Alcotest.fail "not a string"
+  | Error e -> Alcotest.fail e
+
+let test_json_errors () =
+  List.iter
+    (fun s ->
+      match Json.of_string s with
+      | Ok j ->
+          Alcotest.failf "%S should not parse (got %s)" s (Json.to_string j)
+      | Error e ->
+          Alcotest.check Alcotest.bool "error mentions byte offset" true
+            (String.length e > 0))
+    [
+      "";
+      "{";
+      "tru";
+      "\"unterminated";
+      "\"bad \\x escape\"";
+      "1 2";
+      "[1,]";
+      "{\"a\":1,}";
+      "{\"a\" 1}";
+      "[1 2]";
+    ]
+
+let test_trace_roundtrip () =
+  with_obs @@ fun () ->
+  Obs.span "a" ~attrs:[ ("q", Json.String "3-reach") ] (fun () ->
+      Obs.incr "n";
+      Obs.incr ~by:3 "n";
+      Obs.observe "lat" 2.5;
+      Obs.span "b" (fun () -> ()));
+  let t = Obs.trace () in
+  roundtrip "trace (compact)" Json.to_string t;
+  roundtrip "trace (pretty)" Json.to_string_pretty t;
+  match member_exn "schema" t with
+  | Json.String "stt-trace/1" -> ()
+  | j -> Alcotest.failf "schema tag: %s" (Json.to_string j)
+
+(* ------------------------------------------------------------------ *)
+(* disabling observability changes nothing                              *)
+(* ------------------------------------------------------------------ *)
+
+let sorted r = List.sort compare (List.map Array.to_list (Relation.to_list r))
+
+(* one full build + answer cycle; returns everything an experiment
+   could observe about the engine *)
+let build_and_answer () =
+  let db = Db.create () in
+  Db.add_pairs db "R" [ (1, 2); (2, 3); (3, 4); (1, 3); (2, 4); (4, 1) ];
+  let q = Cq.Library.k_path 3 in
+  let idx = Engine.build_auto q ~db ~budget:2 in
+  let q_a =
+    Relation.of_list
+      (Schema.of_list [ 0; 3 ])
+      [ [| 1; 4 |]; [| 2; 3 |]; [| 4; 1 |]; [| 3; 3 |] ]
+  in
+  let result, cost = Cost.measure (fun () -> Engine.answer idx ~q_a) in
+  (sorted result, Engine.space idx, cost)
+
+let test_disabled_is_invisible () =
+  Alcotest.check Alcotest.bool "obs starts disabled" false (Obs.enabled ());
+  let r_off, space_off, c_off = build_and_answer () in
+  let r_on, space_on, c_on = with_obs build_and_answer in
+  Alcotest.check
+    Alcotest.(list (list int))
+    "same answers with obs on and off" r_off r_on;
+  Alcotest.check Alcotest.int "same stored space" space_off space_on;
+  Alcotest.check Alcotest.int "same probes" c_off.Cost.probes c_on.Cost.probes;
+  Alcotest.check Alcotest.int "same tuples" c_off.Cost.tuples c_on.Cost.tuples;
+  Alcotest.check Alcotest.int "same scans" c_off.Cost.scans c_on.Cost.scans
+
+let test_obs_charges_no_cost () =
+  with_obs @@ fun () ->
+  let (), c =
+    Cost.measure (fun () ->
+        Obs.span "s" ~attrs:[ ("a", Json.Int 1) ] (fun () ->
+            Obs.incr "k";
+            Obs.observe "h" 3.0;
+            Obs.set_attr "b" Json.Null);
+        ignore (Obs.trace ()))
+  in
+  Alcotest.check Alcotest.int "instrumentation charges no Cost ops" 0
+    (Cost.total c)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "spans",
+        [
+          Alcotest.test_case "nesting" `Quick test_span_nesting;
+          Alcotest.test_case "exception safety" `Quick test_span_exception;
+          Alcotest.test_case "reset" `Quick test_reset;
+        ] );
+      ( "counters",
+        [
+          Alcotest.test_case "monotone counters" `Quick
+            test_counter_monotonicity;
+          Alcotest.test_case "histograms" `Quick test_histogram;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "unicode escapes" `Quick test_json_unicode_escape;
+          Alcotest.test_case "parse errors" `Quick test_json_errors;
+          Alcotest.test_case "trace round-trip" `Quick test_trace_roundtrip;
+        ] );
+      ( "invariance",
+        [
+          Alcotest.test_case "disabled obs is invisible" `Quick
+            test_disabled_is_invisible;
+          Alcotest.test_case "obs charges no cost" `Quick
+            test_obs_charges_no_cost;
+        ] );
+    ]

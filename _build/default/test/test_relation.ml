@@ -103,6 +103,63 @@ let test_measure () =
   let (), snap = Cost.measure (fun () -> Cost.charge_probe ()) in
   Alcotest.check Alcotest.int "measure captures" 1 snap.Cost.probes
 
+exception Boom
+
+let test_measure_reentrant () =
+  (* a nested measure must not clobber the outer measurement: measure is
+     snapshot-diff based, not reset based *)
+  let (), outer =
+    Cost.measure (fun () ->
+        Cost.charge_probe ();
+        let (), inner = Cost.measure (fun () -> Cost.charge_scan ()) in
+        Alcotest.check Alcotest.int "inner scans" 1 inner.Cost.scans;
+        Alcotest.check Alcotest.int "inner probes" 0 inner.Cost.probes;
+        Cost.charge_tuple ())
+  in
+  Alcotest.check Alcotest.int "outer probes" 1 outer.Cost.probes;
+  Alcotest.check Alcotest.int "outer tuples" 1 outer.Cost.tuples;
+  (* the inner work happened while outer was measuring: it is included *)
+  Alcotest.check Alcotest.int "outer scans" 1 outer.Cost.scans
+
+let test_measure_no_leak_on_exception () =
+  (* regression: a measure nested inside [with_counting false] must not
+     leak a disabled (or force-enabled) counting state when its thunk
+     raises *)
+  Cost.counting := true;
+  (try
+     Cost.with_counting false (fun () ->
+         ignore (Cost.measure (fun () -> raise Boom));
+         ())
+   with Boom -> ());
+  Alcotest.check Alcotest.bool "counting restored after exception" true
+    !Cost.counting;
+  (* and the flag inside the outer scope is still respected afterwards *)
+  Cost.reset ();
+  (try
+     Cost.with_counting false (fun () ->
+         (try ignore (Cost.measure (fun () -> raise Boom)) with Boom -> ());
+         (* back in the disabled scope: charges must be ignored *)
+         Cost.charge_probe ())
+   with Boom -> ());
+  Alcotest.check Alcotest.int "disabled scope intact after nested raise" 0
+    (Cost.total (Cost.snapshot ()))
+
+let test_scoped () =
+  (* scoped respects the current counting mode and never resets *)
+  Cost.reset ();
+  Cost.charge_probe ();
+  let (), snap = Cost.scoped (fun () -> Cost.charge_scan ()) in
+  Alcotest.check Alcotest.int "scoped scans" 1 snap.Cost.scans;
+  Alcotest.check Alcotest.int "scoped excludes prior charges" 0 snap.Cost.probes;
+  Alcotest.check Alcotest.int "global counters kept" 1
+    (Cost.snapshot ()).Cost.probes;
+  let (), off =
+    Cost.with_counting false (fun () ->
+        Cost.scoped (fun () -> Cost.charge_tuple ()))
+  in
+  Alcotest.check Alcotest.int "scoped under disabled counting" 0
+    (Cost.total off)
+
 (* randomized cross-check against nested-loop reference *)
 let pairs_gen =
   QCheck2.Gen.(list_size (int_range 0 30) (pair (int_range 0 5) (int_range 0 5)))
@@ -163,6 +220,10 @@ let () =
           Alcotest.test_case "index" `Quick test_index;
           Alcotest.test_case "cost counting" `Quick test_cost_counting;
           Alcotest.test_case "measure" `Quick test_measure;
+          Alcotest.test_case "measure re-entrant" `Quick test_measure_reentrant;
+          Alcotest.test_case "measure no leak on exception" `Quick
+            test_measure_no_leak_on_exception;
+          Alcotest.test_case "scoped" `Quick test_scoped;
         ] );
       ("properties", qcheck_cases);
     ]

@@ -9,6 +9,9 @@ type point = {
   tradeoff : Tradeoff.t option;
   split_pairs : (Varset.t * Varset.t) list;
   hs : (Varset.t * Rat.t) list;
+  split_duals : (Varset.t * Varset.t * Rat.t) list;
+  lp_vars : int;
+  lp_cstrs : int;
 }
 
 let n_of_rule (r : Rule.t) = r.Rule.cqap.Cq.cq.Cq.n
@@ -25,7 +28,17 @@ let storable r ~dc ~logd ~logs =
 
 let obj (r : Rule.t) ~dc ~ac ~logd ~logq ~logs =
   let n = n_of_rule r in
-  let no_point value = { value; tradeoff = None; split_pairs = []; hs = [] } in
+  let no_point ?(lp_vars = 0) ?(lp_cstrs = 0) value =
+    {
+      value;
+      tradeoff = None;
+      split_pairs = [];
+      hs = [];
+      split_duals = [];
+      lp_vars;
+      lp_cstrs;
+    }
+  in
   match r.Rule.t_targets with
   | [] ->
       if storable r ~dc ~logd ~logs then no_point Stored
@@ -86,13 +99,17 @@ let obj (r : Rule.t) ~dc ~ac ~logd ~logq ~logs =
                [ (Rat.one, w); (Rat.minus_one, Polymatroid.var ht b) ]
                Rat.zero))
         t_targets;
-      (match Polymatroid.solve_cuts model [ hs; ht ] [ (Rat.one, w) ] with
+      let outcome = Polymatroid.solve_cuts model [ hs; ht ] [ (Rat.one, w) ] in
+      (* dimensions read after the solve so lazily generated cuts count *)
+      let lp_vars = Lp.num_vars model in
+      let lp_cstrs = Lp.num_constraints model in
+      (match outcome with
       | Lp.Infeasible ->
           (* the adversarial region is empty: the S-targets always fit *)
-          no_point Stored
-      | Lp.Unbounded -> no_point Impossible
+          no_point ~lp_vars ~lp_cstrs Stored
+      | Lp.Unbounded -> no_point ~lp_vars ~lp_cstrs Impossible
       | Lp.Solution sol when Rat.compare sol.Lp.value Polymatroid.cap >= 0 ->
-          no_point Impossible
+          no_point ~lp_vars ~lp_cstrs Impossible
       | Lp.Solution sol ->
           (* read the joint Shannon-flow coefficients off the dual *)
           let add_contrib (dexp, qexp) (c : Degree.t) y =
@@ -110,9 +127,9 @@ let obj (r : Rule.t) ~dc ~ac ~logd ~logq ~logs =
               (fun acc (c, row) -> add_contrib acc c (sol.Lp.dual row))
               acc dc_t
           in
-          let acc, split_pairs =
+          let acc, split_pairs, split_duals =
             List.fold_left
-              (fun ((dexp, qexp), pairs) ((s : Degree.split), row1, row2) ->
+              (fun ((dexp, qexp), pairs, duals) ((s : Degree.split), row1, row2) ->
                 let g = Rat.add (sol.Lp.dual row1) (sol.Lp.dual row2) in
                 let acc' =
                   ( Rat.add dexp (Rat.mul g s.Degree.sbound.Degree.d),
@@ -122,8 +139,8 @@ let obj (r : Rule.t) ~dc ~ac ~logd ~logq ~logs =
                   if Rat.sign g > 0 then (s.Degree.sx, s.Degree.sy) :: pairs
                   else pairs
                 in
-                (acc', pairs'))
-              (acc, []) split_rows
+                (acc', pairs', (s.Degree.sx, s.Degree.sy, g) :: duals))
+              (acc, [], []) split_rows
           in
           let d_exp, q_exp = acc in
           let theta_norm =
@@ -143,6 +160,9 @@ let obj (r : Rule.t) ~dc ~ac ~logd ~logq ~logs =
                 (Tradeoff.make ~s_exp:theta_norm ~t_exp:Rat.one ~d_exp ~q_exp);
             split_pairs;
             hs = hs_values;
+            split_duals = List.rev split_duals;
+            lp_vars;
+            lp_cstrs;
           })
 
 let logt r ~dc ~ac ~logq ~logs =

@@ -33,6 +33,11 @@ type point = {
       (** (X, Y) pairs whose split constraint has a positive dual *)
   hs : (Varset.t * Rat.t) list;
       (** optimal primal [h_S], restricted to the split-pair [X] sets *)
+  split_duals : (Varset.t * Varset.t * Rat.t) list;
+      (** every split pair with its dual multiplier (including zeros),
+          recorded for observability *)
+  lp_vars : int;  (** LP variable count (after lazy cut generation) *)
+  lp_cstrs : int;  (** LP constraint count (after lazy cut generation) *)
 }
 
 val obj :

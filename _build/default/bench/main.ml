@@ -39,6 +39,15 @@ let art : (string * Json.t) list ref = ref []
 let record k v = art := (k, v) :: !art
 let json_rat r = Json.String (Rat.to_string r)
 
+(* Monotonic wall clock, so every op-count snapshot in the artifacts has
+   a wall-clock twin and future PRs inherit a perf trajectory. *)
+let now_s () = Int64.to_float (Monotonic_clock.now ()) *. 1e-9
+
+let timed f =
+  let t0 = now_s () in
+  let x = f () in
+  (x, now_s () -. t0)
+
 let json_tradeoff (t : Tradeoff.t) =
   Json.Obj
     [
@@ -194,7 +203,7 @@ let tab1 () =
   Db.add_pairs db "R" edges;
   let budget = 5_000 in
   let pivots0 = Simplex.pivot_count () in
-  let engine = Engine.build q pmtds ~db ~budget in
+  let engine, build_wall = timed (fun () -> Engine.build q pmtds ~db ~budget) in
   let build_pivots = Simplex.pivot_count () - pivots0 in
   let rng = Rng.create 7 in
   let q_a =
@@ -202,7 +211,9 @@ let tab1 () =
       (Schema.of_list [ 0; 3 ])
       (List.init 200 (fun _ -> [| Rng.int rng 300; Rng.int rng 300 |]))
   in
-  let result, snap = Cost.measure (fun () -> Engine.answer engine ~q_a) in
+  let (result, snap), online_wall =
+    timed (fun () -> Cost.measure (fun () -> Engine.answer engine ~q_a))
+  in
   Printf.printf
     "\nempirical (|E| = %d, budget %d): stored space %d tuples,\n\
     \  %d answers to %d requests in %d counted ops, %d simplex pivots\n"
@@ -226,9 +237,11 @@ let tab1 () =
                       ("space", Json.Int s);
                     ])
                 (Engine.per_pmtd_space engine)) );
+         ("build_wall_s", Json.Float build_wall);
          ("requests", Json.Int (Relation.cardinal q_a));
          ("answers", Json.Int (Relation.cardinal result));
          ("online_cost", json_snapshot snap);
+         ("online_wall_s", Json.Float online_wall);
        ]);
   print_endline "\npaper Table 1:";
   print_endline "  ρ1: S·T² ≅ D²·Q²";
@@ -346,14 +359,16 @@ let fig4 () =
       (Schema.of_list [ 0; 1 ])
       (List.init 20 (fun _ -> [| Rng.int rng dom; Rng.int rng dom |]))
   in
-  let result, snap =
-    Cost.measure (fun () -> Online_yannakakis.answer pre ~t_views:view ~q_a)
+  let (result, snap), online_wall =
+    timed (fun () ->
+        Cost.measure (fun () -> Online_yannakakis.answer pre ~t_views:view ~q_a))
   in
   let expected = Db.eval_access db cqap ~q_a in
   record "s_view_space" (Json.Int (Online_yannakakis.space pre));
   record "requests" (Json.Int (Relation.cardinal q_a));
   record "answers" (Json.Int (Relation.cardinal result));
   record "online_cost" (json_snapshot snap);
+  record "online_wall_s" (Json.Float online_wall);
   record "matches_brute_force"
     (Json.Bool (Relation.equal result expected));
   Printf.printf
@@ -499,17 +514,22 @@ let emp_setdisj () =
       let points = ref [] and rows = ref [] in
       List.iter
         (fun budget ->
-          let t = Stt_apps.Setdisj.build ~k ~memberships ~budget in
+          let t, build_wall =
+            timed (fun () -> Stt_apps.Setdisj.build ~k ~memberships ~budget)
+          in
           let total = ref 0 and worst = ref 0 in
-          List.iter
-            (fun qy ->
-              let _, snap =
-                Cost.measure (fun () -> Stt_apps.Setdisj.disjoint t qy)
-              in
-              let c = Cost.total snap in
-              total := !total + c;
-              worst := max !worst c)
-            queries;
+          let (), wall =
+            timed (fun () ->
+                List.iter
+                  (fun qy ->
+                    let _, snap =
+                      Cost.measure (fun () -> Stt_apps.Setdisj.disjoint t qy)
+                    in
+                    let c = Cost.total snap in
+                    total := !total + c;
+                    worst := max !worst c)
+                  queries)
+          in
           points := (Stt_apps.Setdisj.space t, !worst) :: !points;
           rows :=
             Json.Obj
@@ -518,6 +538,8 @@ let emp_setdisj () =
                 ("space", Json.Int (Stt_apps.Setdisj.space t));
                 ("avg_ops", Json.Int (!total / List.length queries));
                 ("worst_ops", Json.Int !worst);
+                ("build_wall_s", Json.Float build_wall);
+                ("query_wall_s", Json.Float wall);
               ]
             :: !rows;
           Printf.printf "%12d %12d %10d %10d\n" budget
@@ -556,13 +578,16 @@ let emp_reach () =
   let rows = ref [] in
   let run name space query =
     let total = ref 0 and worst = ref 0 in
-    List.iter
-      (fun (u, v) ->
-        let _, snap = Cost.measure (fun () -> ignore (query u v)) in
-        let c = Cost.total snap in
-        total := !total + c;
-        worst := max !worst c)
-      queries;
+    let (), wall =
+      timed (fun () ->
+          List.iter
+            (fun (u, v) ->
+              let _, snap = Cost.measure (fun () -> ignore (query u v)) in
+              let c = Cost.total snap in
+              total := !total + c;
+              worst := max !worst c)
+            queries)
+    in
     Printf.printf "  %-24s space=%8d avg=%7d worst=%8d\n" name space
       (!total / List.length queries)
       !worst;
@@ -573,6 +598,7 @@ let emp_reach () =
           ("space", Json.Int space);
           ("avg_ops", Json.Int (!total / List.length queries));
           ("worst_ops", Json.Int !worst);
+          ("query_wall_s", Json.Float wall);
         ]
       :: !rows;
     (space, !worst)
@@ -629,12 +655,15 @@ let emp_hier () =
   let rows = ref [] in
   let run name space query =
     let total = ref 0 and worst = ref 0 in
-    List.iter
-      (fun qy ->
-        let _, snap = Cost.measure (fun () -> ignore (query qy)) in
-        total := !total + Cost.total snap;
-        worst := max !worst (Cost.total snap))
-      queries;
+    let (), wall =
+      timed (fun () ->
+          List.iter
+            (fun qy ->
+              let _, snap = Cost.measure (fun () -> ignore (query qy)) in
+              total := !total + Cost.total snap;
+              worst := max !worst (Cost.total snap))
+            queries)
+    in
     Printf.printf "  %-28s space=%8d avg=%6d worst=%7d\n" name space
       (!total / List.length queries)
       !worst;
@@ -645,6 +674,7 @@ let emp_hier () =
           ("space", Json.Int space);
           ("avg_ops", Json.Int (!total / List.length queries));
           ("worst_ops", Json.Int !worst);
+          ("query_wall_s", Json.Float wall);
         ]
       :: !rows
   in
@@ -677,17 +707,22 @@ let emp_square () =
     (Json.List
        (List.map
           (fun budget ->
-            let t = Stt_apps.Patterns.Square.build edges ~budget in
+            let t, build_wall =
+              timed (fun () -> Stt_apps.Patterns.Square.build edges ~budget)
+            in
             let total = ref 0 and worst = ref 0 in
-            List.iter
-              (fun (u, w) ->
-                let _, snap =
-                  Cost.measure (fun () ->
-                      ignore (Stt_apps.Patterns.Square.query t u w))
-                in
-                total := !total + Cost.total snap;
-                worst := max !worst (Cost.total snap))
-              queries;
+            let (), wall =
+              timed (fun () ->
+                  List.iter
+                    (fun (u, w) ->
+                      let _, snap =
+                        Cost.measure (fun () ->
+                            ignore (Stt_apps.Patterns.Square.query t u w))
+                      in
+                      total := !total + Cost.total snap;
+                      worst := max !worst (Cost.total snap))
+                    queries)
+            in
             Printf.printf "%12d %10d %10d %10d\n" budget
               (Stt_apps.Patterns.Square.space t)
               (!total / List.length queries)
@@ -698,8 +733,137 @@ let emp_square () =
                 ("space", Json.Int (Stt_apps.Patterns.Square.space t));
                 ("avg_ops", Json.Int (!total / List.length queries));
                 ("worst_ops", Json.Int !worst);
+                ("build_wall_s", Json.Float build_wall);
+                ("query_wall_s", Json.Float wall);
               ])
           [ 10; 1_000; 20_000; 500_000 ]))
+
+(* ------------------------------------------------------------------ *)
+(* emp-serve                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let chunks k xs =
+  let rec take n acc = function
+    | x :: tl when n > 0 -> take (n - 1) (x :: acc) tl
+    | rest -> (List.rev acc, rest)
+  in
+  let rec go = function
+    | [] -> []
+    | xs ->
+        let b, rest = take k [] xs in
+        b :: go rest
+  in
+  go xs
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1))
+
+let emp_serve () =
+  section "emp-serve"
+    "Empirical — serving: parallel build + batched online answering";
+  let vertices = 400 in
+  let edges = Graphs.zipf_both ~seed:113 ~vertices ~edges:4_000 ~s:1.1 in
+  let q = Cq.Library.k_path 2 in
+  let budget = 2_000 in
+  let db = Db.create () in
+  Db.add_pairs db "R" edges;
+  Printf.printf "|E| = %d, budget %d (host cores: %d)\n" (List.length edges)
+    budget (Domain.recommended_domain_count ());
+  let saved_jobs = Pool.jobs () in
+  (* build under 1 and 4 domains: outputs must be identical; both walls
+     go into the artifact (speedup only materializes on multicore hosts) *)
+  let build jobs =
+    Pool.set_jobs jobs;
+    timed (fun () -> Engine.build_auto ~max_pmtds:128 q ~db ~budget)
+  in
+  let e1, build_wall_1 = build 1 in
+  let e4, build_wall_4 = build 4 in
+  Pool.set_jobs saved_jobs;
+  let identical_builds =
+    Engine.space e1 = Engine.space e4
+    && List.for_all2
+         (fun (_, a) (_, b) -> a = b)
+         (Engine.per_pmtd_space e1) (Engine.per_pmtd_space e4)
+  in
+  Printf.printf
+    "build: %.4fs @1 domain, %.4fs @4 domains — identical outputs: %b\n"
+    build_wall_1 build_wall_4 identical_builds;
+  let engine = e4 in
+  (* hot-key Zipf request stream over the access schema *)
+  let requests = 8_000 in
+  let skew = 1.5 in
+  let mk_reqs () =
+    let rng = Rng.create 117 in
+    let sample = Rng.zipf_sampler rng ~n:vertices ~s:skew in
+    let acc_schema = Engine.access_schema engine in
+    let arity = Schema.arity acc_schema in
+    List.init requests (fun _ ->
+        Relation.singleton acc_schema (Array.init arity (fun _ -> sample ())))
+  in
+  let serve batch =
+    let reqs = mk_reqs () in
+    let walls = ref [] and total_ops = ref 0 and hits = ref 0 in
+    let answers = ref [] in
+    let (), wall =
+      timed (fun () ->
+          List.iter
+            (fun group ->
+              let out, w = timed (fun () -> Engine.answer_batch engine group) in
+              walls := w :: !walls;
+              List.iter
+                (fun (r, c) ->
+                  if not (Relation.is_empty r) then incr hits;
+                  total_ops := !total_ops + Cost.total c;
+                  answers := r :: !answers)
+                out)
+            (chunks batch reqs))
+    in
+    let sorted = Array.of_list !walls in
+    Array.sort compare sorted;
+    let throughput = float_of_int requests /. wall in
+    Printf.printf
+      "batch=%-4d %9.0f answers/sec  %d hits  avg %3d ops  batch wall p50 \
+       %.5fs p95 %.5fs max %.5fs\n"
+      batch throughput !hits (!total_ops / requests) (percentile sorted 0.50)
+      (percentile sorted 0.95) (percentile sorted 1.0);
+    let row =
+      Json.Obj
+        [
+          ("batch", Json.Int batch);
+          ("requests", Json.Int requests);
+          ("hits", Json.Int !hits);
+          ("total_ops", Json.Int !total_ops);
+          ("wall_s", Json.Float wall);
+          ("answers_per_sec", Json.Float throughput);
+          ("batch_wall_p50_s", Json.Float (percentile sorted 0.50));
+          ("batch_wall_p95_s", Json.Float (percentile sorted 0.95));
+          ("batch_wall_max_s", Json.Float (percentile sorted 1.0));
+        ]
+    in
+    (row, throughput, List.rev !answers)
+  in
+  let row1, tput1, ans1 = serve 1 in
+  let row64, tput64, ans64 = serve 64 in
+  let identical_answers = List.for_all2 Relation.equal ans1 ans64 in
+  let speedup = tput64 /. tput1 in
+  Printf.printf
+    "batched (64) vs per-tuple (1): %.2fx throughput — identical answers: %b\n"
+    speedup identical_answers;
+  record "edges" (Json.Int (List.length edges));
+  record "budget" (Json.Int budget);
+  record "space" (Json.Int (Engine.space engine));
+  record "host_cores" (Json.Int (Domain.recommended_domain_count ()));
+  record "build_wall_1_s" (Json.Float build_wall_1);
+  record "build_wall_4_s" (Json.Float build_wall_4);
+  record "build_speedup" (Json.Float (build_wall_1 /. build_wall_4));
+  record "identical_builds" (Json.Bool identical_builds);
+  record "skew" (Json.Float skew);
+  record "single" row1;
+  record "batched" row64;
+  record "batched_speedup" (Json.Float speedup);
+  record "identical_answers" (Json.Bool identical_answers)
 
 let abl_join () =
   section "abl-join"
@@ -712,9 +876,7 @@ let abl_join () =
   in
   let r1 = mk [ 0; 1 ] and r2 = mk [ 1; 2 ] in
   let time name f =
-    let t0 = Unix.gettimeofday () in
-    let out, snap = Cost.scoped f in
-    let wall = Unix.gettimeofday () -. t0 in
+    let (out, snap), wall = timed (fun () -> Cost.scoped f) in
     Printf.printf "  %-12s %8d tuples  %8d counted ops  %6.2fs wall\n" name
       (Relation.cardinal out) (Cost.total snap) wall;
     record ("join " ^ name)
@@ -906,6 +1068,7 @@ let experiments =
     ("emp-reach", emp_reach);
     ("emp-hier", emp_hier);
     ("emp-square", emp_square);
+    ("emp-serve", emp_serve);
     ("abl-join", abl_join);
     ("curves", exact_curves);
     ("proofs", proofs);
@@ -918,9 +1081,9 @@ let run_experiment (id, f) =
   art := [];
   Obs.set_enabled true;
   Obs.reset ();
-  let t0 = Unix.gettimeofday () in
-  Fun.protect ~finally:(fun () -> Obs.set_enabled false) f;
-  let wall = Unix.gettimeofday () -. t0 in
+  let (), wall =
+    timed (fun () -> Fun.protect ~finally:(fun () -> Obs.set_enabled false) f)
+  in
   let doc =
     Json.Obj
       [

@@ -272,13 +272,25 @@ let edges_arg =
 
 let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"RNG seed.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the parallel build (default: $(b,STT_JOBS) or \
+           the machine's recommended domain count).")
+
+let set_jobs = Option.iter Stt_relation.Pool.set_jobs
+
 let demo_cmd =
   let doc =
     "Build an index over a synthetic Zipf graph and report measured \
      space and per-query cost."
   in
-  let run q budget nedges seed json_dir =
+  let run q budget nedges seed jobs json_dir =
     with_artifact "demo" json_dir @@ fun () ->
+    set_jobs jobs;
     let open Stt_relation in
     let vertices = max 10 (nedges / 10) in
     let edges =
@@ -331,12 +343,142 @@ let demo_cmd =
     ]
   in
   Cmd.v (Cmd.info "demo" ~doc)
-    Term.(const run $ query_arg $ budget_arg $ edges_arg $ seed_arg $ json_arg)
+    Term.(
+      const run $ query_arg $ budget_arg $ edges_arg $ seed_arg $ jobs_arg
+      $ json_arg)
+
+let requests_arg =
+  Arg.(
+    value & opt int 2000
+    & info [ "requests" ] ~docv:"N" ~doc:"Access requests to serve.")
+
+let batch_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "batch" ] ~docv:"N"
+        ~doc:"Requests per batch handed to $(b,answer_batch) (1 = unbatched).")
+
+let skew_arg =
+  Arg.(
+    value & opt float 1.5
+    & info [ "skew" ] ~docv:"S"
+        ~doc:
+          "Zipf exponent of the request stream (hot-key serving; the graph \
+           itself stays at 1.1).")
+
+let chunks k xs =
+  let rec take n acc = function
+    | x :: tl when n > 0 -> take (n - 1) (x :: acc) tl
+    | rest -> (List.rev acc, rest)
+  in
+  let rec go = function
+    | [] -> []
+    | xs ->
+        let b, rest = take k [] xs in
+        b :: go rest
+  in
+  go xs
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1))
+
+let serve_cmd =
+  let doc =
+    "Serve a Zipf stream of single-tuple access requests in batches and \
+     report throughput (answers/sec) and latency percentiles."
+  in
+  let run q budget nedges seed requests batch skew jobs json_dir =
+    with_artifact "serve" json_dir @@ fun () ->
+    set_jobs jobs;
+    let open Stt_relation in
+    let vertices = max 10 (nedges / 10) in
+    let edges =
+      Stt_workload.Graphs.zipf_both ~seed ~vertices ~edges:nedges ~s:1.1
+    in
+    let db = Db.create () in
+    Db.add_pairs db "R" edges;
+    if List.exists (fun (a : Cq.atom) -> a.Cq.rel <> "R") q.Cq.cq.Cq.atoms
+    then (
+      prerr_endline "serve supports single-edge-relation queries only";
+      exit 1);
+    Format.printf "building index (budget %d, jobs %d) over |E| = %d...@."
+      budget (Pool.jobs ()) (Db.size db);
+    let tb0 = Unix.gettimeofday () in
+    let idx = Engine.build_auto ~max_pmtds:128 q ~db ~budget in
+    let build_wall = Unix.gettimeofday () -. tb0 in
+    Format.printf "space: %d stored tuples (built in %.3fs)@."
+      (Engine.space idx) build_wall;
+    (* Zipf-skewed request stream: hub vertices recur, so batches carry
+       duplicates — exactly the sharing [answer_batch] exploits *)
+    let rng = Stt_workload.Rng.create (seed + 1) in
+    let sample = Stt_workload.Rng.zipf_sampler rng ~n:vertices ~s:skew in
+    let acc_schema = Engine.access_schema idx in
+    let arity = Schema.arity acc_schema in
+    let reqs =
+      List.init requests (fun _ ->
+          Relation.singleton acc_schema (Array.init arity (fun _ -> sample ())))
+    in
+    let batch = max 1 batch in
+    let walls = ref [] and total_ops = ref 0 and hits = ref 0 in
+    let t0 = Unix.gettimeofday () in
+    List.iter
+      (fun group ->
+        let w0 = Unix.gettimeofday () in
+        let answers = Engine.answer_batch idx group in
+        walls := (Unix.gettimeofday () -. w0) :: !walls;
+        List.iter
+          (fun (r, c) ->
+            if not (Relation.is_empty r) then incr hits;
+            total_ops := !total_ops + Cost.total c)
+          answers)
+      (chunks batch reqs);
+    let wall = Unix.gettimeofday () -. t0 in
+    let throughput = float_of_int requests /. wall in
+    let sorted = Array.of_list !walls in
+    Array.sort compare sorted;
+    Format.printf
+      "%d requests in %d-batches: %.0f answers/sec, %d hits, avg %d ops@."
+      requests batch throughput !hits
+      (!total_ops / requests);
+    Format.printf "batch wall p50 %.4fs  p95 %.4fs  max %.4fs@."
+      (percentile sorted 0.50) (percentile sorted 0.95) (percentile sorted 1.0);
+    [
+      ("budget", Json.Int budget);
+      ("edges", Json.Int (List.length edges));
+      ("space", Json.Int (Engine.space idx));
+      ("jobs", Json.Int (Pool.jobs ()));
+      ("build_wall_s", Json.Float build_wall);
+      ("requests", Json.Int requests);
+      ("batch", Json.Int batch);
+      ("skew", Json.Float skew);
+      ("hits", Json.Int !hits);
+      ("total_ops", Json.Int !total_ops);
+      ("wall_s", Json.Float wall);
+      ("answers_per_sec", Json.Float throughput);
+      ("batch_wall_p50_s", Json.Float (percentile sorted 0.50));
+      ("batch_wall_p95_s", Json.Float (percentile sorted 0.95));
+      ("batch_wall_max_s", Json.Float (percentile sorted 1.0));
+    ]
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ query_arg $ budget_arg $ edges_arg $ seed_arg $ requests_arg
+      $ batch_arg $ skew_arg $ jobs_arg $ json_arg)
 
 let main =
   let doc = "space-time tradeoffs for conjunctive queries with access patterns" in
   Cmd.group
     (Cmd.info "stt" ~version:"1.0.0" ~doc)
-    [ queries_cmd; pmtds_cmd; rules_cmd; tradeoff_cmd; curve_cmd; demo_cmd ]
+    [
+      queries_cmd;
+      pmtds_cmd;
+      rules_cmd;
+      tradeoff_cmd;
+      curve_cmd;
+      demo_cmd;
+      serve_cmd;
+    ]
 
 let () = exit (Cmd.eval main)

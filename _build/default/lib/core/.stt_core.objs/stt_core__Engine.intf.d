@@ -1,1 +1,1 @@
-lib/core/engine.mli: Cq Db Pmtd Relation Rule Schema Stt_decomp Stt_hypergraph Stt_relation Tuple Twopp
+lib/core/engine.mli: Cost Cq Db Pmtd Relation Rule Schema Stt_decomp Stt_hypergraph Stt_relation Tuple Twopp

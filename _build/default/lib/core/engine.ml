@@ -2,6 +2,7 @@ open Stt_relation
 open Stt_hypergraph
 open Stt_decomp
 open Stt_yannakakis
+open Stt_lp
 open Stt_obs
 
 type t = {
@@ -12,6 +13,14 @@ type t = {
   preprocessed : (Pmtd.t * Online_yannakakis.preprocessed) list;
   space : int;
 }
+
+(* Carry the per-domain simplex pivot counter across the pool's worker
+   domains: capture each worker's local total, merge it into the parent
+   after the join, so pivot counts stay exact under any job count. *)
+let () =
+  Pool.register_worker_hook (fun () ->
+      let n = Simplex.pivot_count () in
+      fun () -> Simplex.add_pivots n)
 
 let cqap t = t.cqap
 let pmtds t = t.pmtds
@@ -33,16 +42,35 @@ let view_of_targets targets b =
     (fun acc (b', rel) -> if Varset.equal b b' then Relation.union acc rel else acc)
     empty targets
 
+(* Parallel map over the domain pool for build phases.  Each task runs
+   under its own Obs context (worker domains have isolated DLS traces),
+   adopted back in input order — so the trace, like the results and the
+   Cost counters, is independent of the job count. *)
+let pmap f xs =
+  match xs with
+  | [] | [ _ ] -> List.map f xs
+  | xs ->
+      let tasks = List.map (fun x -> (x, Obs.create_context ())) xs in
+      let res =
+        Pool.map (fun (x, ctx) -> Obs.with_context ctx (fun () -> f x)) tasks
+      in
+      List.iter (fun (_, ctx) -> Obs.adopt ctx) tasks;
+      res
+
 let build cqap pmtd_list ~db ~budget =
   Obs.span "engine.build" ~attrs:[ ("budget", Json.Int budget) ] @@ fun () ->
   let rules = Rule.generate cqap pmtd_list in
   Obs.set_attr "pmtds" (Json.Int (List.length pmtd_list));
   Obs.set_attr "rules" (Json.Int (List.length rules));
-  let structures = List.map (fun r -> Twopp.build r ~db ~budget) rules in
+  Obs.set_attr "jobs" (Json.Int (Pool.jobs ()));
+  (* phase 1: the 2PP structure of every rule, in parallel across rules *)
+  let structures = pmap (fun r -> Twopp.build r ~db ~budget) rules in
   let all_s_targets = List.concat_map Twopp.s_targets structures in
+  (* phase 2: Yannakakis preprocessing, in parallel across PMTDs (reads
+     the shared S-targets, writes only per-PMTD state) *)
   let preprocessed =
     Cost.with_counting false (fun () ->
-        List.map
+        pmap
           (fun p ->
             let s_views node =
               view_of_targets all_s_targets (Pmtd.view p node).Pmtd.vars
@@ -66,27 +94,31 @@ let build cqap pmtd_list ~db ~budget =
 let build_auto ?max_pmtds cqap ~db ~budget =
   build cqap (Enum.pmtds ?max_pmtds cqap) ~db ~budget
 
+(* The online pipeline without observability wrapping: one 2PP online
+   pass per rule, T-views unioned per PMTD, Online Yannakakis per PMTD,
+   results unioned.  Returns the scoped online cost. *)
+let answer_scoped t ~q_a =
+  Cost.scoped (fun () ->
+      let all_t_targets =
+        List.concat_map (fun s -> Twopp.online s ~q_a) t.structures
+      in
+      let head = t.cqap.Cq.cq.Cq.head in
+      let result =
+        ref (Relation.create (Schema.of_list (Varset.to_list head)))
+      in
+      List.iter
+        (fun (p, oy) ->
+          let t_views node =
+            view_of_targets all_t_targets (Pmtd.view p node).Pmtd.vars
+          in
+          let psi = Online_yannakakis.answer oy ~t_views ~q_a in
+          result := Relation.union !result psi)
+        t.preprocessed;
+      !result)
+
 let answer t ~q_a =
   Obs.span "engine.answer" @@ fun () ->
-  let result, cost =
-    Cost.scoped (fun () ->
-        let all_t_targets =
-          List.concat_map (fun s -> Twopp.online s ~q_a) t.structures
-        in
-        let head = t.cqap.Cq.cq.Cq.head in
-        let result =
-          ref (Relation.create (Schema.of_list (Varset.to_list head)))
-        in
-        List.iter
-          (fun (p, oy) ->
-            let t_views node =
-              view_of_targets all_t_targets (Pmtd.view p node).Pmtd.vars
-            in
-            let psi = Online_yannakakis.answer oy ~t_views ~q_a in
-            result := Relation.union !result psi)
-          t.preprocessed;
-        !result)
-  in
+  let result, cost = answer_scoped t ~q_a in
   if Obs.enabled () then begin
     Obs.set_attr "q_a" (Json.Int (Relation.cardinal q_a));
     Obs.set_attr "result" (Json.Int (Relation.cardinal result));
@@ -105,3 +137,123 @@ let answer_tuple t tup =
   let q_a = Relation.create (access_schema t) in
   Relation.add q_a tup;
   not (Relation.is_empty (answer t ~q_a))
+
+(* ------------------------------------------------------------------ *)
+(* batched answering                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* [share total n i] — the i-th request's even share of a batch-shared
+   snapshot: quotient everywhere, remainder distributed one op at a time
+   to the earliest requests, so shares sum exactly to [total]. *)
+let share total n i =
+  let part v = (v / n) + if i < v mod n then 1 else 0 in
+  {
+    Cost.probes = part total.Cost.probes;
+    tuples = part total.Cost.tuples;
+    scans = part total.Cost.scans;
+  }
+
+let answer_batch t reqs =
+  Obs.span "engine.answer_batch"
+    ~attrs:[ ("requests", Json.Int (List.length reqs)) ]
+  @@ fun () ->
+  match reqs with
+  | [] -> []
+  | reqs ->
+      let n = List.length reqs in
+      let acc_schema = access_schema t in
+      let acc_vars = Schema.vars acc_schema in
+      (* canonical form of a request: tuples reordered to the access
+         schema and sorted, so duplicate requests in the stream share one
+         evaluation *)
+      let canon q_a =
+        let pos = Schema.positions (Relation.schema q_a) acc_vars in
+        List.sort Tuple.compare
+          (Relation.fold (fun tup acc -> Tuple.project pos tup :: acc) q_a [])
+      in
+      let keyed = List.map (fun q -> (canon q, q)) reqs in
+      let first_idx = Hashtbl.create 16 in
+      let uniq = ref [] in
+      List.iteri
+        (fun i (key, q) ->
+          if not (Hashtbl.mem first_idx key) then begin
+            Hashtbl.add first_idx key i;
+            uniq := (key, q) :: !uniq
+          end)
+        keyed;
+      let uniq = List.rev !uniq in
+      let head = t.cqap.Cq.cq.Cq.head in
+      let sliceable = Varset.subset t.cqap.Cq.access head in
+      Obs.set_attr "unique" (Json.Int (List.length uniq));
+      Obs.set_attr "sliced" (Json.Bool (sliceable && List.length uniq > 1));
+      (* per unique request: its answer and the marginal cost of the
+         first evaluation; [shared] is the batch-shared cost *)
+      let results = Hashtbl.create 16 in
+      let shared = ref Cost.zero in
+      if sliceable && List.length uniq > 1 then begin
+        (* access ⊆ head: answer the union of all requests once, then
+           slice each request's answer back out.  Sound because
+           answer(q) = {h ∈ answer(∪ q_j) : h[access] ∈ q} when the
+           access variables survive into the head.  The combined answer
+           is grouped by its access-variable values once (shared), so a
+           slice costs one probe per request tuple plus its output. *)
+        let (head_schema, groups), shared_cost =
+          Cost.scoped (fun () ->
+              let combined = Relation.create acc_schema in
+              List.iter
+                (fun (key, _) -> List.iter (Relation.add combined) key)
+                uniq;
+              let result, _ = answer_scoped t ~q_a:combined in
+              let head_schema = Relation.schema result in
+              let pos = Schema.positions head_schema acc_vars in
+              let scratch = Array.make (Array.length pos) 0 in
+              let groups = Tuple.Tbl.create 64 in
+              Relation.iter
+                (fun tup ->
+                  Cost.charge_scan ();
+                  Tuple.project_into pos tup scratch;
+                  match Tuple.Tbl.find_opt groups scratch with
+                  | Some rows -> rows := tup :: !rows
+                  | None ->
+                      Tuple.Tbl.add groups (Array.copy scratch) (ref [ tup ]))
+                result;
+              (head_schema, groups))
+        in
+        shared := shared_cost;
+        List.iter
+          (fun (key, _) ->
+            let sliced, c =
+              Cost.scoped (fun () ->
+                  let out = Relation.create head_schema in
+                  List.iter
+                    (fun ktup ->
+                      Cost.charge_probe ();
+                      match Tuple.Tbl.find_opt groups ktup with
+                      | Some rows -> List.iter (Relation.add out) !rows
+                      | None -> ())
+                    key;
+                  out)
+            in
+            Hashtbl.add results key (sliced, c))
+          uniq
+      end
+      else
+        (* access pattern not in the head (or a single distinct request):
+           evaluate each unique request once; duplicates still share *)
+        List.iter
+          (fun (key, q) ->
+            let r, c = answer_scoped t ~q_a:q in
+            Hashtbl.add results key (r, c))
+          uniq;
+      (* input-order results; cost accounting: every request carries an
+         even share of the batch-shared cost, the first occurrence of a
+         request additionally carries its marginal evaluation cost *)
+      List.mapi
+        (fun i (key, _) ->
+          let r, marginal = Hashtbl.find results key in
+          let c = share !shared n i in
+          let c =
+            if Hashtbl.find first_idx key = i then Cost.add c marginal else c
+          in
+          (r, c))
+        keyed

@@ -32,6 +32,17 @@ val answer_tuple : t -> Tuple.t -> bool
 (** Boolean single-tuple access: is the access request (values of the
     access variables in ascending-id order) in the answer? *)
 
+val answer_batch : t -> Relation.t list -> (Relation.t * Cost.snapshot) list
+(** Answer a batch of access requests, sharing work across the batch.
+    Results come back in input order and each equals [answer t ~q_a]
+    exactly.  Sharing: duplicate requests (same tuple set, any variable
+    order) are evaluated once; and when the access variables all appear
+    in the head, the whole batch is answered as one combined request and
+    per-request answers are sliced out by semijoin.  Each snapshot is
+    that request's cost share: an even split of the batch-shared work
+    plus, for the first occurrence of each distinct request, its
+    marginal cost; shares sum exactly to the batch total. *)
+
 val cqap : t -> Cq.cqap
 val pmtds : t -> Pmtd.t list
 val rules : t -> Rule.t list

@@ -47,7 +47,9 @@ let split_atom rel ~x_vars ~y_vars ~threshold =
       Relation.iter
         (fun tup ->
           let key = Tuple.project x_pos tup in
-          let d = try Hashtbl.find degs key with Not_found -> 0 in
+          let d =
+            match Tuple.Tbl.find_opt degs key with Some d -> d | None -> 0
+          in
           if d > threshold then Relation.add heavy tup
           else Relation.add light tup)
         rel;

@@ -1,1 +1,1 @@
-lib/lp/simplex.ml: Array Printf Rat Sys
+lib/lp/simplex.ml: Array Domain Printf Rat Sys

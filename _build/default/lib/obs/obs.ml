@@ -36,6 +36,43 @@ let with_context ctx f =
   Domain.DLS.set ctx_key ctx;
   Fun.protect ~finally:(fun () -> Domain.DLS.set ctx_key saved) f
 
+(* Graft a finished (typically worker-domain) context into the current
+   one: its root spans become children of the innermost open span (or
+   roots), keeping creation order, and its counters/histogram samples
+   are added.  Both [roots] and [children] are stored reversed, so
+   prepending [src.roots] keeps the adopted spans after the existing
+   ones once un-reversed. *)
+let adopt src =
+  let dst = Domain.DLS.get ctx_key in
+  if src != dst then begin
+    (match dst.stack with
+    | parent :: _ -> parent.children <- src.roots @ parent.children
+    | [] -> dst.roots <- src.roots @ dst.roots);
+    Hashtbl.iter
+      (fun k r ->
+        match Hashtbl.find_opt dst.counter_tbl k with
+        | Some r0 -> r0 := !r0 + !r
+        | None -> Hashtbl.add dst.counter_tbl k (ref !r))
+      src.counter_tbl;
+    Hashtbl.iter
+      (fun k h ->
+        match Hashtbl.find_opt dst.hist_tbl k with
+        | Some h0 ->
+            h0.count <- h0.count + h.count;
+            h0.sum <- h0.sum +. h.sum;
+            h0.minv <- Float.min h0.minv h.minv;
+            h0.maxv <- Float.max h0.maxv h.maxv;
+            Array.iteri
+              (fun i n -> h0.buckets.(i) <- h0.buckets.(i) + n)
+              h.buckets
+        | None ->
+            Hashtbl.add dst.hist_tbl k { h with buckets = Array.copy h.buckets })
+      src.hist_tbl;
+    src.roots <- [];
+    Hashtbl.reset src.counter_tbl;
+    Hashtbl.reset src.hist_tbl
+  end
+
 let enabled_flag = ref false
 let enabled () = !enabled_flag
 let set_enabled b = enabled_flag := b

@@ -70,3 +70,12 @@ val create_context : unit -> context
 val with_context : context -> (unit -> 'a) -> 'a
 (** Run with [context] installed as the current context, restoring the
     previous one afterwards (also on exceptions). *)
+
+val adopt : context -> unit
+(** Merge a finished context into the current one and empty it: its root
+    spans are appended (in creation order) as children of the innermost
+    open span — or as roots — and its counters and histogram samples are
+    added.  The domain pool runs each parallel task under its own
+    context and adopts them in task order, so parallel traces are
+    deterministic up to timing attributes.  A context must not be
+    adopted into itself (ignored). *)

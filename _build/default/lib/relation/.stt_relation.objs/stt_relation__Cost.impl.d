@@ -1,1 +1,1 @@
-lib/relation/cost.ml: Fun
+lib/relation/cost.ml: Domain Fun

@@ -1,1 +1,1 @@
-lib/relation/index.ml: Cost List Relation Schema Tuple
+lib/relation/index.ml: Array Cost List Relation Schema Tuple

@@ -1,0 +1,1 @@
+lib/relation/pool.ml: Array Atomic Cost Domain List String Sys

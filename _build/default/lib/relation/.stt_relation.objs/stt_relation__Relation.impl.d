@@ -1,1 +1,1 @@
-lib/relation/relation.ml: Cost Format Hashtbl List Schema Tuple
+lib/relation/relation.ml: Array Cost Format List Schema Tuple

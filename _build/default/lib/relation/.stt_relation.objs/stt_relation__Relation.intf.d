@@ -1,1 +1,1 @@
-lib/relation/relation.mli: Format Hashtbl Schema Tuple
+lib/relation/relation.mli: Format Schema Tuple

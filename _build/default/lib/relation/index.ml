@@ -1,29 +1,63 @@
+(* Flat-bucket layout: tuples are stored row-major in one contiguous int
+   array, grouped by key; the hash table maps a key to its (start row,
+   row count) range.  Building allocates one key tuple per distinct key
+   and nothing per row; probing a bucket walks the flat array with zero
+   allocation, and [count] is O(1) instead of a list walk. *)
 type t = {
   key_vars : Schema.var list;
   source_schema : Schema.t;
-  table : Tuple.t list Tuple.Tbl.t;
+  arity : int;
+  table : (int * int) Tuple.Tbl.t; (* key -> (first row, row count) *)
+  data : int array;                (* row-major tuple values, key-grouped *)
   space : int;
 }
 
 let build rel key_vars =
   let source_schema = Relation.schema rel in
   let pos = Schema.positions source_schema key_vars in
-  let table = Tuple.Tbl.create (max 16 (Relation.cardinal rel)) in
+  let arity = Schema.arity source_schema in
+  let n = Relation.cardinal rel in
   Cost.with_counting false (fun () ->
+      (* pass 1: rows per key *)
+      let counts = Tuple.Tbl.create (max 16 n) in
       Relation.iter
         (fun tup ->
           let key = Tuple.project pos tup in
-          let bucket = try Tuple.Tbl.find table key with Not_found -> [] in
-          Tuple.Tbl.replace table key (tup :: bucket))
-        rel);
-  { key_vars; source_schema; table; space = Relation.cardinal rel }
+          match Tuple.Tbl.find_opt counts key with
+          | Some r -> incr r
+          | None -> Tuple.Tbl.add counts key (ref 1))
+        rel;
+      (* prefix sums: freeze each bucket's range, then reuse the count
+         refs as per-key write cursors *)
+      let table = Tuple.Tbl.create (max 16 (Tuple.Tbl.length counts)) in
+      let next = ref 0 in
+      Tuple.Tbl.iter
+        (fun key r ->
+          let c = !r in
+          Tuple.Tbl.add table key (!next, c);
+          r := !next;
+          next := !next + c)
+        counts;
+      (* pass 2: scatter rows into their buckets *)
+      let data = Array.make (n * arity) 0 in
+      Relation.iter
+        (fun tup ->
+          let cursor = Tuple.Tbl.find counts (Tuple.project pos tup) in
+          Array.blit tup 0 data (!cursor * arity) arity;
+          incr cursor)
+        rel;
+      { key_vars; source_schema; arity; table; data; space = n })
 
 let key_vars t = t.key_vars
 let source_schema t = t.source_schema
 
+let row t i = Array.sub t.data (i * t.arity) t.arity
+
 let probe t key =
   Cost.charge_probe ();
-  try Tuple.Tbl.find t.table key with Not_found -> []
+  match Tuple.Tbl.find_opt t.table key with
+  | None -> []
+  | Some (start, len) -> List.init len (fun i -> row t (start + i))
 
 let probe_mem t key =
   Cost.charge_probe ();
@@ -33,17 +67,20 @@ let count t key =
   Cost.charge_probe ();
   match Tuple.Tbl.find_opt t.table key with
   | None -> 0
-  | Some bucket -> List.length bucket
+  | Some (_, len) -> len
 
 let space t = t.space
 
 let semijoin rel t =
   let key_pos = Schema.positions (Relation.schema rel) t.key_vars in
+  let scratch = Array.make (Array.length key_pos) 0 in
   let out = Relation.create (Relation.schema rel) in
   Relation.iter
     (fun tup ->
       Cost.charge_scan ();
-      if probe_mem t (Tuple.project key_pos tup) then Relation.add out tup)
+      Cost.charge_probe ();
+      Tuple.project_into key_pos tup scratch;
+      if Tuple.Tbl.mem t.table scratch then Relation.add out tup)
     rel;
   out
 
@@ -56,14 +93,29 @@ let join rel t =
       (Schema.vars t.source_schema)
   in
   let extra_pos = Schema.positions t.source_schema extra_vars in
+  let n_extra = Array.length extra_pos in
   let out_schema = Schema.union rel_schema (Schema.of_list extra_vars) in
   let out = Relation.create out_schema in
+  let ra = Schema.arity rel_schema in
+  let scratch = Array.make (Array.length key_pos) 0 in
   Relation.iter
     (fun tup ->
       Cost.charge_scan ();
-      List.iter
-        (fun other ->
-          Relation.add out (Tuple.concat tup (Tuple.project extra_pos other)))
-        (probe t (Tuple.project key_pos tup)))
+      Cost.charge_probe ();
+      Tuple.project_into key_pos tup scratch;
+      match Tuple.Tbl.find_opt t.table scratch with
+      | None -> ()
+      | Some (start, len) ->
+          (* emit output rows straight from the flat array: the only
+             allocation per match is the output tuple itself *)
+          for i = 0 to len - 1 do
+            let base = (start + i) * t.arity in
+            let out_tup = Array.make (ra + n_extra) 0 in
+            Array.blit tup 0 out_tup 0 ra;
+            for k = 0 to n_extra - 1 do
+              out_tup.(ra + k) <- t.data.(base + extra_pos.(k))
+            done;
+            Relation.add out out_tup
+          done)
     rel;
   out

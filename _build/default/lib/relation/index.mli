@@ -1,9 +1,12 @@
 (** Persistent hash indexes over relations.
 
     An index maps a key — the values of a chosen subset of the schema's
-    variables — to the list of matching tuples.  Building is free of
-    online cost (it happens during preprocessing); probing charges one
-    {!Cost} probe per lookup. *)
+    variables — to the matching tuples.  Tuples are stored row-major in
+    one contiguous int array, grouped by key; the hash table maps each
+    key to a contiguous (offset, length) range, so bucket iteration is a
+    flat-array walk with zero allocation and {!count} is O(1).  Building
+    is free of online cost (it happens during preprocessing); probing
+    charges one {!Cost} probe per lookup. *)
 
 type t
 
@@ -20,7 +23,8 @@ val probe_mem : t -> Tuple.t -> bool
 (** Does any tuple match the key? *)
 
 val count : t -> Tuple.t -> int
-(** Number of matching tuples (degree of the key value). *)
+(** Number of matching tuples (degree of the key value).  O(1): the
+    bucket length is stored, not recomputed. *)
 
 val space : t -> int
 (** Number of indexed tuples — the intrinsic space charged to this index. *)

@@ -1,0 +1,39 @@
+(** Fixed-size domain pool for offline (preprocessing) parallelism.
+
+    The paper's serving scenario separates an offline phase — whose
+    wall-clock time we want as small as the hardware allows — from an
+    online phase measured in {!Cost} operations.  [map] parallelizes the
+    offline phase across OCaml 5 domains while keeping every observable
+    deterministic: results come back in input order and each task's Cost
+    charges are merged into the calling domain in input order, so a run
+    with [STT_JOBS=8] is bit-identical to [STT_JOBS=1]. *)
+
+val jobs : unit -> int
+(** Current job count.  Initialized on first read from the [STT_JOBS]
+    environment variable if set to a positive integer, otherwise from
+    [Domain.recommended_domain_count ()]. *)
+
+val set_jobs : int -> unit
+(** Override the job count (CLI [--jobs], tests).  Raises
+    [Invalid_argument] if [< 1]. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map f xs] applies [f] to every element, fanning out over at most
+    [jobs] domains (default {!jobs}[ ()]), and returns the results in
+    input order.  With [jobs = 1] (or on short lists) it degenerates to
+    [List.map].  Tasks must be independent: they may read shared
+    structures but must only write task-local state.  Worker domains
+    inherit the caller's {!Cost.counting} flag; each task's charges are
+    {!Cost.merge}d back in input order.  If tasks raise, the exception of
+    the earliest failing task is re-raised after all workers joined. *)
+
+type worker_hook = unit -> unit -> unit
+(** A domain-local-state merge protocol: the outer thunk runs in a
+    worker domain after its last task and captures that domain's
+    accumulated state; the inner thunk runs in the calling domain after
+    the join and merges the capture.  Totals must be commutative sums so
+    the aggregate is schedule-independent. *)
+
+val register_worker_hook : worker_hook -> unit
+(** Register a hook for all subsequent [map] calls (used by [Stt_core]
+    to carry the simplex pivot counter across domains). *)

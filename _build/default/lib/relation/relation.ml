@@ -66,20 +66,56 @@ let select_eq t v value =
     t;
   out
 
-(* A one-shot hash index: common-variable key -> matching tuples. *)
-let build_key_index rel key_positions =
-  let idx = Tuple.Tbl.create (max 16 (cardinal rel)) in
+(* A one-shot flat hash index: common-variable key -> a contiguous
+   (start row, row count) range into a row-major int array.  Build
+   allocates one key tuple per distinct key and nothing per row; probe
+   loops reuse a scratch key buffer, so the join side allocates only its
+   output tuples. *)
+let build_flat_index rel key_positions =
+  let arity = Schema.arity rel.schema in
+  let n = cardinal rel in
+  let counts = Tuple.Tbl.create (max 16 n) in
   iter
     (fun tup ->
       Cost.charge_scan ();
       let key = Tuple.project key_positions tup in
-      let bucket = try Tuple.Tbl.find idx key with Not_found -> [] in
-      Tuple.Tbl.replace idx key (tup :: bucket))
+      match Tuple.Tbl.find_opt counts key with
+      | Some r -> incr r
+      | None -> Tuple.Tbl.add counts key (ref 1))
     rel;
-  idx
+  let table = Tuple.Tbl.create (max 16 (Tuple.Tbl.length counts)) in
+  let next = ref 0 in
+  Tuple.Tbl.iter
+    (fun key r ->
+      let c = !r in
+      Tuple.Tbl.add table key (!next, c);
+      r := !next;
+      next := !next + c)
+    counts;
+  let data = Array.make (n * arity) 0 in
+  Tuple.Tbl.iter
+    (fun tup () ->
+      let cursor = Tuple.Tbl.find counts (Tuple.project key_positions tup) in
+      Array.blit tup 0 data (!cursor * arity) arity;
+      incr cursor)
+    rel.data;
+  (table, data)
+
+(* key set of [rel] under [key_positions]; probing reuses the caller's
+   scratch buffer, building allocates only one tuple per distinct key *)
+let build_key_set rel key_positions =
+  let keys = Tuple.Tbl.create (max 16 (cardinal rel)) in
+  let scratch = Array.make (Array.length key_positions) 0 in
+  iter
+    (fun tb ->
+      Cost.charge_scan ();
+      Tuple.project_into key_positions tb scratch;
+      if not (Tuple.Tbl.mem keys scratch) then
+        Tuple.Tbl.add keys (Array.copy scratch) ())
+    rel;
+  keys
 
 let natural_join a b =
-  (* join the smaller side as build side for cache friendliness *)
   let common = Schema.inter a.schema b.schema in
   let out_schema = Schema.union a.schema b.schema in
   let key_a = Schema.positions a.schema common in
@@ -89,18 +125,29 @@ let natural_join a b =
     Schema.positions b.schema
       (List.filter (fun v -> not (Schema.mem v a.schema)) (Schema.vars b.schema))
   in
-  let idx = build_key_index b key_b in
+  let table, data = build_flat_index b key_b in
+  let arity_b = Schema.arity b.schema in
+  let n_extra = Array.length extra_b in
+  let ra = Schema.arity a.schema in
+  let scratch = Array.make (Array.length key_a) 0 in
   let out = create out_schema in
   iter
     (fun ta ->
       Cost.charge_scan ();
       Cost.charge_probe ();
-      match Tuple.Tbl.find_opt idx (Tuple.project key_a ta) with
+      Tuple.project_into key_a ta scratch;
+      match Tuple.Tbl.find_opt table scratch with
       | None -> ()
-      | Some bucket ->
-          List.iter
-            (fun tb -> add out (Tuple.concat ta (Tuple.project extra_b tb)))
-            bucket)
+      | Some (start, len) ->
+          for i = 0 to len - 1 do
+            let base = (start + i) * arity_b in
+            let out_tup = Array.make (ra + n_extra) 0 in
+            Array.blit ta 0 out_tup 0 ra;
+            for k = 0 to n_extra - 1 do
+              out_tup.(ra + k) <- data.(base + extra_b.(k))
+            done;
+            add out out_tup
+          done)
     a;
   out
 
@@ -108,18 +155,15 @@ let semijoin a b =
   let common = Schema.inter a.schema b.schema in
   let key_a = Schema.positions a.schema common in
   let key_b = Schema.positions b.schema common in
-  let keys = Tuple.Tbl.create (max 16 (cardinal b)) in
-  iter
-    (fun tb ->
-      Cost.charge_scan ();
-      Tuple.Tbl.replace keys (Tuple.project key_b tb) ())
-    b;
+  let keys = build_key_set b key_b in
+  let scratch = Array.make (Array.length key_a) 0 in
   let out = create a.schema in
   iter
     (fun ta ->
       Cost.charge_scan ();
       Cost.charge_probe ();
-      if Tuple.Tbl.mem keys (Tuple.project key_a ta) then add out ta)
+      Tuple.project_into key_a ta scratch;
+      if Tuple.Tbl.mem keys scratch then add out ta)
     a;
   out
 
@@ -127,18 +171,15 @@ let antijoin a b =
   let common = Schema.inter a.schema b.schema in
   let key_a = Schema.positions a.schema common in
   let key_b = Schema.positions b.schema common in
-  let keys = Tuple.Tbl.create (max 16 (cardinal b)) in
-  iter
-    (fun tb ->
-      Cost.charge_scan ();
-      Tuple.Tbl.replace keys (Tuple.project key_b tb) ())
-    b;
+  let keys = build_key_set b key_b in
+  let scratch = Array.make (Array.length key_a) 0 in
   let out = create a.schema in
   iter
     (fun ta ->
       Cost.charge_scan ();
       Cost.charge_probe ();
-      if not (Tuple.Tbl.mem keys (Tuple.project key_a ta)) then add out ta)
+      Tuple.project_into key_a ta scratch;
+      if not (Tuple.Tbl.mem keys scratch) then add out ta)
     a;
   out
 
@@ -168,28 +209,44 @@ let product a b =
     a;
   out
 
-let degrees t vs =
-  let pos = Schema.positions t.schema vs in
-  let counts = Hashtbl.create (max 16 (cardinal t)) in
+(* Tuple.Tbl, not the polymorphic Hashtbl: the polymorphic hash samples
+   only a prefix of wide tuples (see Tuple.hash), which degenerates the
+   degree table to a few buckets on high-arity keys.  The scratch buffer
+   keeps the counting pass allocation-free except one tuple per distinct
+   key. *)
+let degree_refs t pos =
+  let counts = Tuple.Tbl.create (max 16 (cardinal t)) in
+  let scratch = Array.make (Array.length pos) 0 in
   iter
     (fun tup ->
-      let key = Tuple.project pos tup in
-      let c = try Hashtbl.find counts key with Not_found -> 0 in
-      Hashtbl.replace counts key (c + 1))
+      Tuple.project_into pos tup scratch;
+      match Tuple.Tbl.find_opt counts scratch with
+      | Some r -> incr r
+      | None -> Tuple.Tbl.add counts (Array.copy scratch) (ref 1))
     t;
   counts
 
+let degrees t vs =
+  let refs = degree_refs t (Schema.positions t.schema vs) in
+  let out = Tuple.Tbl.create (max 16 (Tuple.Tbl.length refs)) in
+  Tuple.Tbl.iter (fun key r -> Tuple.Tbl.add out key !r) refs;
+  out
+
 let max_degree t vs =
-  Hashtbl.fold (fun _ c acc -> max c acc) (degrees t vs) 0
+  Tuple.Tbl.fold
+    (fun _ r acc -> max !r acc)
+    (degree_refs t (Schema.positions t.schema vs))
+    0
 
 let split_heavy_light t vs ~threshold =
   let pos = Schema.positions t.schema vs in
-  let counts = degrees t vs in
+  let counts = degree_refs t pos in
+  let scratch = Array.make (Array.length pos) 0 in
   let heavy = create t.schema and light = create t.schema in
   iter
     (fun tup ->
-      let key = Tuple.project pos tup in
-      let c = Hashtbl.find counts key in
+      Tuple.project_into pos tup scratch;
+      let c = !(Tuple.Tbl.find counts scratch) in
       if c > threshold then add heavy tup else add light tup)
     t;
   (heavy, light)

@@ -44,8 +44,10 @@ val product : t -> t -> t
 
 val singleton : Schema.t -> Tuple.t -> t
 
-val degrees : t -> Schema.var list -> (Tuple.t, int) Hashtbl.t
-(** Number of tuples per distinct value of the given variables. *)
+val degrees : t -> Schema.var list -> int Tuple.Tbl.t
+(** Number of tuples per distinct value of the given variables.  Keyed
+    with {!Tuple.hash} (full-width FNV), not the polymorphic hash that
+    samples only a prefix of wide tuples. *)
 
 val max_degree : t -> Schema.var list -> int
 (** Maximum of {!degrees} over all keys; 0 when empty. *)

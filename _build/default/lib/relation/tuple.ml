@@ -23,6 +23,14 @@ let hash (t : t) =
   !h
 
 let project positions t = Array.map (fun i -> t.(i)) positions
+
+(* Fill [dst] with the projection instead of allocating: probe loops use
+   one scratch buffer as a transient hash key for the whole scan. *)
+let project_into positions t dst =
+  for i = 0 to Array.length positions - 1 do
+    Array.unsafe_set dst i (Array.unsafe_get t (Array.unsafe_get positions i))
+  done
+
 let concat = Array.append
 
 let pp ppf t =

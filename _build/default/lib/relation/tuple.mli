@@ -16,6 +16,13 @@ val hash : t -> int
 val project : int array -> t -> t
 (** [project positions tup] keeps the values at [positions], in order. *)
 
+val project_into : int array -> t -> int array -> unit
+(** [project_into positions tup dst] writes the projection into [dst]
+    (length ≥ [Array.length positions]) instead of allocating — probe
+    loops reuse one scratch buffer as a transient hash-table key.  The
+    buffer must not be stored in a table: hash tables keep the key they
+    are given. *)
+
 val concat : t -> t -> t
 
 val pp : Format.formatter -> t -> unit

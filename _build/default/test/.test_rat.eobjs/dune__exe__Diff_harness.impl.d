@@ -1,0 +1,1 @@
+test/diff_harness.ml: Array Cq Db Engine Enum Fun List Pmtd Printf Relation Rng Schema Stt_core Stt_decomp Stt_hypergraph Stt_relation Stt_workload Twopp Varset

@@ -1,1 +1,1 @@
-test/test_differential.ml: Alcotest Array Cq Db Engine Enum Format Fun List Pmtd Printf Relation Rng Schema String Stt_core Stt_decomp Stt_hypergraph Stt_relation Stt_workload Twopp Varset
+test/test_differential.ml: Alcotest Array Cq Db Diff_harness Engine Format List Printf Relation String Stt_core Stt_hypergraph Stt_relation

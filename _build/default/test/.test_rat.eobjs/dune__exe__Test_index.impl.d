@@ -1,0 +1,1 @@
+test/test_index.ml: Alcotest Array Cost Index List Relation Schema Stt_relation Unix

@@ -1,0 +1,1 @@
+test/test_parallel.ml: Alcotest Array Cost Cq Db Diff_harness Engine Fun Graphs List Pool Printf Relation Rng Sets Stt_core Stt_hypergraph Stt_relation Stt_workload

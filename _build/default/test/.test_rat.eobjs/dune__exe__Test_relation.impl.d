@@ -1,1 +1,1 @@
-test/test_relation.ml: Alcotest Array Cost Index List QCheck2 QCheck_alcotest Relation Schema Stt_relation
+test/test_relation.ml: Alcotest Array Cost Fun Index List Option QCheck2 QCheck_alcotest Relation Schema Stt_relation Tuple

@@ -15,117 +15,10 @@
 
 open Stt_relation
 open Stt_hypergraph
-open Stt_decomp
 open Stt_core
-open Stt_workload
+open Diff_harness
 
 let sorted r = List.sort compare (List.map Array.to_list (Relation.to_list r))
-
-type instance = {
-  seed : int;
-  cqap : Cq.cqap;
-  db : Db.t;
-  q_a : Relation.t;
-  budget : int;
-}
-
-let budgets = [| 1; 2; 4; 16; 256; 100_000 |]
-
-let gen_instance seed =
-  let rng = Rng.create seed in
-  let nvars = 1 + Rng.int rng 5 in
-  let natoms = 1 + Rng.int rng 4 in
-  let pick_vars k =
-    let arr = Array.init nvars Fun.id in
-    Rng.shuffle rng arr;
-    Array.to_list (Array.sub arr 0 k)
-  in
-  let atoms =
-    List.init natoms (fun i ->
-        let arity = 1 + Rng.int rng (min 3 nvars) in
-        { Cq.rel = Printf.sprintf "R%d" i; vars = pick_vars arity })
-  in
-  (* every variable must occur in some atom: cover leftovers with unary
-     atoms *)
-  let covered =
-    List.fold_left
-      (fun acc a -> Varset.union acc (Cq.atom_vars a))
-      Varset.empty atoms
-  in
-  let missing = Varset.diff (Varset.full nvars) covered in
-  let atoms =
-    atoms
-    @ List.mapi
-        (fun j v -> { Cq.rel = Printf.sprintf "M%d" j; vars = [ v ] })
-        (Varset.to_list missing)
-  in
-  let random_subset () =
-    Varset.filter (fun _ -> Rng.bool rng) (Varset.full nvars)
-  in
-  let var_names = Array.init nvars (Printf.sprintf "x%d") in
-  let cq = Cq.create ~var_names ~head:(random_subset ()) atoms in
-  let cqap = Cq.with_access cq (random_subset ()) in
-  let dom = 1 + Rng.int rng 8 in
-  let db = Db.create () in
-  List.iter
-    (fun (a : Cq.atom) ->
-      let arity = List.length a.Cq.vars in
-      let n = Rng.int rng 17 in
-      Db.add db a.Cq.rel
-        (List.init n (fun _ -> Array.init arity (fun _ -> Rng.int rng dom))))
-    atoms;
-  let access = Varset.to_list cqap.Cq.access in
-  let q_a =
-    let schema = Schema.of_list access in
-    match List.length access with
-    | 0 -> Relation.of_list schema [ [||] ]
-    | k ->
-        Relation.of_list schema
-          (List.init
-             (1 + Rng.int rng 8)
-             (fun _ -> Array.init k (fun _ -> Rng.int rng dom)))
-  in
-  let budget = budgets.(Rng.int rng (Array.length budgets)) in
-  { seed; cqap; db; q_a; budget }
-
-(* ------------------------------------------------------------------ *)
-(* building an index for an instance                                    *)
-(* ------------------------------------------------------------------ *)
-
-exception Skip of string
-
-(* The engine's correctness guarantee (union of ψ_i over the PMTDs it
-   was built with) holds for any non-empty PMTD subset, so we cap the
-   set at 6 to keep the rule cartesian product tractable on adversarial
-   random queries.  A budget too small for some rule without T-targets
-   is escalated — the comparison then runs at the budget actually
-   used. *)
-let build_index inst =
-  let pmtds =
-    try Enum.pmtds ~max_pmtds:4096 inst.cqap
-    with Failure msg -> raise (Skip ("pmtd enumeration: " ^ msg))
-  in
-  let pmtds = List.filteri (fun i _ -> i < 6) pmtds in
-  let rec go budget attempts =
-    if attempts = 0 then raise (Skip "no feasible budget")
-    else
-      try (Engine.build inst.cqap pmtds ~db:inst.db ~budget, budget)
-      with Failure _ -> go (budget * 64) (attempts - 1)
-  in
-  go inst.budget 5
-
-let space_bound idx ~budget =
-  let s_nodes =
-    List.fold_left
-      (fun acc p -> acc + List.length (Pmtd.s_views p))
-      0 (Engine.pmtds idx)
-  in
-  let stored_tuples =
-    List.fold_left
-      (fun acc s -> acc + (Twopp.stored_subproblems s * budget))
-      0 (Engine.structures idx)
-  in
-  s_nodes * stored_tuples
 
 (* ------------------------------------------------------------------ *)
 (* the harness                                                          *)

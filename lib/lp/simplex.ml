@@ -20,12 +20,20 @@ type tableau = {
 exception Unbounded_exc
 
 (* Cumulative pivot counter across all solves: observability reads this
-   before/after a solve to attribute pivots to a pipeline stage. *)
-let total_pivots = ref 0
-let pivot_count () = !total_pivots
+   before/after a solve to attribute pivots to a pipeline stage.  The
+   counter is per-domain (DLS) so parallel preprocessing workers count
+   their own solves exactly; the domain pool merges worker totals back
+   via [add_pivots] (registered as a worker hook by Stt_core). *)
+let pivots_key = Domain.DLS.new_key (fun () -> ref 0)
+let total_pivots () = Domain.DLS.get pivots_key
+let pivot_count () = !(total_pivots ())
+
+let add_pivots n =
+  let r = total_pivots () in
+  r := !r + n
 
 let pivot tb r j =
-  incr total_pivots;
+  incr (total_pivots ());
   let t = tb.t in
   let piv = t.(r).(j) in
   let width = tb.ncols + 1 in

@@ -24,6 +24,12 @@ val solve : c:Rat.t array -> a:Rat.t array array -> b:Rat.t array -> result
     Raises [Invalid_argument] on shape mismatch. *)
 
 val pivot_count : unit -> int
-(** Cumulative number of pivots performed by every [solve] call in this
-    process (monotone).  Diff before/after a solve to attribute pivots
-    to one pipeline stage; benchmark artifacts record these diffs. *)
+(** Cumulative number of pivots performed by every [solve] call in the
+    current domain (monotone).  Diff before/after a solve to attribute
+    pivots to one pipeline stage; benchmark artifacts record these
+    diffs.  Parallel workers count their own solves; the domain pool
+    merges worker totals back with {!add_pivots}. *)
+
+val add_pivots : int -> unit
+(** Add an externally accumulated pivot count (a parallel worker's
+    domain-local total) into the current domain's counter. *)

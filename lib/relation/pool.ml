@@ -1,0 +1,90 @@
+(* Fixed-size domain pool for offline preprocessing.
+
+   [map] fans a list of independent tasks out over at most [jobs ()]
+   domains and returns the results in input order.  Determinism contract:
+   the output list, the Cost counters observed by the caller and any
+   state merged through worker hooks are bit-identical whatever the job
+   count — each task runs the same sequential code against its own
+   domain-local counters, and the per-task Cost snapshots are merged back
+   in input order (integer sums, so any schedule yields the same
+   totals). *)
+
+let env_jobs () =
+  match Sys.getenv_opt "STT_JOBS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> Some n
+      | _ -> None)
+  | None -> None
+
+let default_jobs () =
+  match env_jobs () with
+  | Some n -> n
+  | None -> Domain.recommended_domain_count ()
+
+(* 0 = not yet initialized; first read resolves STT_JOBS / the hardware
+   default, so [set_jobs] (tests, --jobs) always wins over the env. *)
+let jobs_ref = ref 0
+
+let jobs () =
+  if !jobs_ref = 0 then jobs_ref := default_jobs ();
+  !jobs_ref
+
+let set_jobs n =
+  if n < 1 then invalid_arg "Pool.set_jobs: jobs must be >= 1";
+  jobs_ref := n
+
+(* Worker hooks let other libraries with domain-local accumulators (e.g.
+   the simplex pivot counter in Stt_lp, registered by Stt_core) ride the
+   pool's merge protocol: [capture] runs in the worker domain once its
+   tasks are done and returns a thunk the parent runs after joining. *)
+type worker_hook = unit -> unit -> unit
+
+let hooks : worker_hook list ref = ref []
+let register_worker_hook h = hooks := h :: !hooks
+
+let map ?jobs:requested f xs =
+  let k = match requested with Some n -> max 1 n | None -> jobs () in
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | xs when k = 1 -> List.map f xs
+  | xs ->
+      let arr = Array.of_list xs in
+      let n = Array.length arr in
+      let k = min k n in
+      let counting = Cost.counting () in
+      let out = Array.make n None in
+      let costs = Array.make n Cost.zero in
+      let errs = Array.make n None in
+      let merges = Array.make k [] in
+      let next = Atomic.make 0 in
+      let worker w () =
+        (* workers inherit the spawner's counting mode so a build wrapped
+           in [with_counting false] charges nothing in parallel either *)
+        Cost.set_counting counting;
+        let rec loop () =
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n then begin
+            let before = Cost.snapshot () in
+            (match f arr.(i) with
+            | r -> out.(i) <- Some r
+            | exception e -> errs.(i) <- Some e);
+            costs.(i) <- Cost.diff (Cost.snapshot ()) before;
+            loop ()
+          end
+        in
+        loop ();
+        merges.(w) <- List.rev_map (fun h -> h ()) !hooks
+      in
+      let domains = Array.init k (fun w -> Domain.spawn (worker w)) in
+      Array.iter Domain.join domains;
+      Array.iter Cost.merge costs;
+      Array.iter (fun thunks -> List.iter (fun t -> t ()) thunks) merges;
+      (* deterministic failure: re-raise the exception of the earliest
+         failing task, after the merges so counters stay consistent *)
+      Array.iter (function Some e -> raise e | None -> ()) errs;
+      Array.to_list
+        (Array.map
+           (function Some r -> r | None -> assert false (* no err, no gap *))
+           out)

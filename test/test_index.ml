@@ -1,0 +1,146 @@
+(* Direct tests for the flat-bucket hash index: build/probe/semijoin/
+   join/space, plus the O(1) [count] behavior the rework guarantees. *)
+
+open Stt_relation
+
+let schema = Schema.of_list
+let rel vars tuples = Relation.of_list (schema vars) tuples
+let sorted r = List.sort compare (List.map Array.to_list (Relation.to_list r))
+
+let sorted_tuples ts = List.sort compare (List.map Array.to_list ts)
+
+let test_build_probe () =
+  (* R(x0, x1, x2) indexed on x1: buckets group by the middle column *)
+  let r =
+    rel [ 0; 1; 2 ]
+      [
+        [| 1; 10; 100 |];
+        [| 2; 10; 200 |];
+        [| 3; 20; 300 |];
+        [| 1; 10; 100 |];
+        (* duplicate: relations deduplicate *)
+      ]
+  in
+  let idx = Index.build r [ 1 ] in
+  Alcotest.(check (list int)) "key vars" [ 1 ] (Index.key_vars idx);
+  Alcotest.check Alcotest.int "space = indexed tuples" 3 (Index.space idx);
+  Alcotest.(check (list (list int)))
+    "bucket of 10"
+    [ [ 1; 10; 100 ]; [ 2; 10; 200 ] ]
+    (sorted_tuples (Index.probe idx [| 10 |]));
+  Alcotest.(check (list (list int)))
+    "bucket of 20"
+    [ [ 3; 20; 300 ] ]
+    (sorted_tuples (Index.probe idx [| 20 |]));
+  Alcotest.(check (list (list int)))
+    "missing key" [] (sorted_tuples (Index.probe idx [| 99 |]));
+  Alcotest.check Alcotest.bool "probe_mem hit" true (Index.probe_mem idx [| 20 |]);
+  Alcotest.check Alcotest.bool "probe_mem miss" false
+    (Index.probe_mem idx [| 21 |])
+
+let test_count () =
+  let r =
+    rel [ 0; 1 ]
+      (List.init 50 (fun i -> [| (if i < 47 then 7 else i); i |]))
+  in
+  let idx = Index.build r [ 0 ] in
+  Alcotest.check Alcotest.int "heavy key degree" 47 (Index.count idx [| 7 |]);
+  Alcotest.check Alcotest.int "light key degree" 1 (Index.count idx [| 48 |]);
+  Alcotest.check Alcotest.int "absent key degree" 0 (Index.count idx [| 999 |]);
+  (* counting probes are charged like any other probe *)
+  let (), snap = Cost.scoped (fun () -> ignore (Index.count idx [| 7 |])) in
+  Alcotest.check Alcotest.int "one probe per count" 1 snap.Cost.probes
+
+let test_count_constant_time () =
+  (* O(1) count: time many lookups against a tiny bucket and a huge one;
+     a bucket-walking implementation would be ~25000x slower on the huge
+     bucket, the stored-length one is within noise (generous 20x gate) *)
+  let n = 50_000 in
+  let tuples =
+    List.init n (fun i -> [| (if i < 2 then 1 else 2); i |])
+  in
+  let idx = Index.build (rel [ 0; 1 ] tuples) [ 0 ] in
+  Alcotest.check Alcotest.int "small bucket" 2 (Index.count idx [| 1 |]);
+  Alcotest.check Alcotest.int "huge bucket" (n - 2) (Index.count idx [| 2 |]);
+  let time key =
+    let reps = 100_000 in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      ignore (Index.count idx key)
+    done;
+    Unix.gettimeofday () -. t0
+  in
+  ignore (time [| 1 |]);
+  (* warm up *)
+  let small = time [| 1 |] and huge = time [| 2 |] in
+  if huge > small *. 20.0 +. 0.005 then
+    Alcotest.failf
+      "count not O(1): %.4fs on a %d-tuple bucket vs %.4fs on a 2-tuple one"
+      huge (n - 2) small
+
+let test_semijoin () =
+  let r = rel [ 0; 1 ] [ [| 1; 2 |]; [| 3; 4 |]; [| 5; 6 |] ] in
+  let s = rel [ 1; 2 ] [ [| 2; 9 |]; [| 6; 9 |] ] in
+  let idx = Index.build s [ 1 ] in
+  Alcotest.(check (list (list int)))
+    "semijoin keeps matching keys"
+    [ [ 1; 2 ]; [ 5; 6 ] ]
+    (sorted (Index.semijoin r idx));
+  (* cost: one scan + one probe per probe-side tuple, nothing per stored
+     tuple *)
+  let (), snap = Cost.scoped (fun () -> ignore (Index.semijoin r idx)) in
+  Alcotest.check Alcotest.int "semijoin scans" 3 snap.Cost.scans;
+  Alcotest.check Alcotest.int "semijoin probes" 3 snap.Cost.probes
+
+let test_join () =
+  let r = rel [ 0; 1 ] [ [| 1; 2 |]; [| 3; 4 |] ] in
+  let s = rel [ 1; 2 ] [ [| 2; 7 |]; [| 2; 8 |]; [| 4; 9 |]; [| 5; 0 |] ] in
+  let idx = Index.build s [ 1 ] in
+  let out = Index.join r idx in
+  Alcotest.(check (list (list int)))
+    "join extends with bucket rows"
+    [ [ 1; 2; 7 ]; [ 1; 2; 8 ]; [ 3; 4; 9 ] ]
+    (sorted out);
+  Alcotest.(check (list int))
+    "join schema starts with probe side" [ 0; 1; 2 ]
+    (Schema.vars (Relation.schema out))
+
+let test_multi_var_key () =
+  (* composite key, key vars in non-schema order *)
+  let r = rel [ 0; 1; 2 ] [ [| 1; 2; 3 |]; [| 1; 2; 4 |]; [| 9; 2; 3 |] ] in
+  let idx = Index.build r [ 2; 0 ] in
+  Alcotest.(check (list (list int)))
+    "composite key (3, 1)"
+    [ [ 1; 2; 3 ] ]
+    (sorted_tuples (Index.probe idx [| 3; 1 |]));
+  Alcotest.check Alcotest.int "composite count" 1 (Index.count idx [| 4; 1 |])
+
+let test_empty_relation () =
+  let idx = Index.build (rel [ 0; 1 ] []) [ 0 ] in
+  Alcotest.check Alcotest.int "empty space" 0 (Index.space idx);
+  Alcotest.(check (list (list int)))
+    "empty probe" [] (sorted_tuples (Index.probe idx [| 1 |]));
+  Alcotest.check Alcotest.int "empty count" 0 (Index.count idx [| 1 |])
+
+let test_build_charges_nothing () =
+  let r = rel [ 0; 1 ] (List.init 100 (fun i -> [| i; i |])) in
+  let (), snap = Cost.scoped (fun () -> ignore (Index.build r [ 0 ])) in
+  Alcotest.check Alcotest.int "building is preprocessing (free online)" 0
+    (Cost.total snap)
+
+let () =
+  Alcotest.run "index"
+    [
+      ( "index",
+        [
+          Alcotest.test_case "build and probe" `Quick test_build_probe;
+          Alcotest.test_case "count" `Quick test_count;
+          Alcotest.test_case "count is O(1)" `Slow test_count_constant_time;
+          Alcotest.test_case "semijoin" `Quick test_semijoin;
+          Alcotest.test_case "join" `Quick test_join;
+          Alcotest.test_case "multi-variable key" `Quick test_multi_var_key;
+          Alcotest.test_case "empty relation" `Quick test_empty_relation;
+          Alcotest.test_case "build charges nothing" `Quick
+            test_build_charges_nothing;
+        ] );
+    ]

@@ -66,7 +66,54 @@ let test_degrees () =
   Alcotest.check Alcotest.int "max degree" 3 (Relation.max_degree r [ 0 ]);
   let heavy, light = Relation.split_heavy_light r [ 0 ] ~threshold:2 in
   Alcotest.check Alcotest.int "heavy" 3 (Relation.cardinal heavy);
-  Alcotest.check Alcotest.int "light" 1 (Relation.cardinal light)
+  Alcotest.check Alcotest.int "light" 1 (Relation.cardinal light);
+  let degs = Relation.degrees r [ 0 ] in
+  Alcotest.check Alcotest.int "degree of 1" 3
+    (Option.value ~default:0 (Tuple.Tbl.find_opt degs [| 1 |]));
+  Alcotest.check Alcotest.int "degree of 2" 1
+    (Option.value ~default:0 (Tuple.Tbl.find_opt degs [| 2 |]))
+
+let test_degrees_wide_tuples () =
+  (* regression: the polymorphic hash samples only a prefix of long int
+     arrays, so wide keys differing only in their tail used to collapse
+     into degenerate buckets; [degrees] now keys with the full-width
+     {!Tuple.hash}.  40-column keys, distinct only in the last column. *)
+  let width = 40 in
+  let vars = List.init width Fun.id in
+  let groups = 32 and per_group = 3 in
+  let tuples =
+    List.concat
+      (List.init groups (fun g ->
+           List.init per_group (fun j ->
+               List.init width (fun c ->
+                   if c = width - 2 then g
+                   else if c = width - 1 then j
+                   else 7))))
+  in
+  let r = rel_of vars tuples in
+  Alcotest.check Alcotest.int "all tuples kept" (groups * per_group)
+    (Relation.cardinal r);
+  (* key on everything except the final column: degree = per_group each *)
+  let key = List.init (width - 1) Fun.id in
+  let degs = Relation.degrees r key in
+  Alcotest.check Alcotest.int "distinct wide keys" groups
+    (Tuple.Tbl.length degs);
+  Tuple.Tbl.iter
+    (fun _ d -> Alcotest.check Alcotest.int "wide-key degree" per_group d)
+    degs;
+  Alcotest.check Alcotest.int "wide max degree" per_group
+    (Relation.max_degree r key);
+  let heavy, light = Relation.split_heavy_light r key ~threshold:per_group in
+  Alcotest.check Alcotest.int "no heavy at threshold" 0
+    (Relation.cardinal heavy);
+  Alcotest.check Alcotest.int "all light" (groups * per_group)
+    (Relation.cardinal light);
+  let heavy, light =
+    Relation.split_heavy_light r key ~threshold:(per_group - 1)
+  in
+  Alcotest.check Alcotest.int "all heavy below threshold"
+    (groups * per_group) (Relation.cardinal heavy);
+  Alcotest.check Alcotest.int "none light" 0 (Relation.cardinal light)
 
 let test_index () =
   let r = rel_of [ 0; 1 ] [ [ 1; 2 ]; [ 1; 3 ]; [ 2; 3 ] ] in
@@ -125,14 +172,14 @@ let test_measure_no_leak_on_exception () =
   (* regression: a measure nested inside [with_counting false] must not
      leak a disabled (or force-enabled) counting state when its thunk
      raises *)
-  Cost.counting := true;
+  Cost.set_counting true;
   (try
      Cost.with_counting false (fun () ->
          ignore (Cost.measure (fun () -> raise Boom));
          ())
    with Boom -> ());
   Alcotest.check Alcotest.bool "counting restored after exception" true
-    !Cost.counting;
+    (Cost.counting ());
   (* and the flag inside the outer scope is still respected afterwards *)
   Cost.reset ();
   (try
@@ -217,6 +264,8 @@ let () =
           Alcotest.test_case "union" `Quick test_union;
           Alcotest.test_case "select" `Quick test_select;
           Alcotest.test_case "degrees" `Quick test_degrees;
+          Alcotest.test_case "degrees on wide tuples" `Quick
+            test_degrees_wide_tuples;
           Alcotest.test_case "index" `Quick test_index;
           Alcotest.test_case "cost counting" `Quick test_cost_counting;
           Alcotest.test_case "measure" `Quick test_measure;

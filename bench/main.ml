@@ -851,6 +851,36 @@ let emp_serve () =
   Printf.printf
     "batched (64) vs per-tuple (1): %.2fx throughput — identical answers: %b\n"
     speedup identical_answers;
+  (* snapshot round trip: pay the build once, serve from the file —
+     loading must cost a fraction of the cold build and the loaded
+     engine must answer identically *)
+  let snap_path = Filename.temp_file "stt_emp_serve" ".snap" in
+  let snapshot_bytes, save_wall =
+    timed (fun () ->
+        match Engine.save engine snap_path with
+        | Ok bytes -> bytes
+        | Error e -> failwith (Stt_store.Store.error_to_string e))
+  in
+  let loaded, load_wall =
+    timed (fun () ->
+        match Engine.load snap_path with
+        | Ok l -> l
+        | Error e -> failwith (Stt_store.Store.error_to_string e))
+  in
+  Sys.remove snap_path;
+  let identical_loaded =
+    Engine.space loaded = Engine.space engine
+    &&
+    let reqs = List.filteri (fun i _ -> i < 256) (mk_reqs ()) in
+    List.for_all2
+      (fun (r, c) (r', c') -> Relation.equal r r' && c = c')
+      (Engine.answer_batch engine reqs)
+      (Engine.answer_batch loaded reqs)
+  in
+  Printf.printf
+    "snapshot: %d bytes, saved %.4fs, loaded %.4fs (cold build %.4fs) — \
+     identical answers and op counts: %b\n"
+    snapshot_bytes save_wall load_wall build_wall_1 identical_loaded;
   record "edges" (Json.Int (List.length edges));
   record "budget" (Json.Int budget);
   record "space" (Json.Int (Engine.space engine));
@@ -863,7 +893,12 @@ let emp_serve () =
   record "single" row1;
   record "batched" row64;
   record "batched_speedup" (Json.Float speedup);
-  record "identical_answers" (Json.Bool identical_answers)
+  record "identical_answers" (Json.Bool identical_answers);
+  record "snapshot_bytes" (Json.Int snapshot_bytes);
+  record "snapshot_save_wall_s" (Json.Float save_wall);
+  record "snapshot_load_wall_s" (Json.Float load_wall);
+  record "snapshot_load_speedup" (Json.Float (build_wall_1 /. load_wall));
+  record "identical_loaded" (Json.Bool identical_loaded)
 
 let abl_join () =
   section "abl-join"

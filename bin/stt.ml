@@ -8,7 +8,10 @@
    stt curve  --query 4reach --steps 8 combined curve over log_D S ∈ [0,2]
    stt demo   --query 2reach --budget 1000 --edges 4000
                                        build an index on a synthetic graph
-                                       and report measured space/time *)
+                                       and report measured space/time
+   stt snapshot --query 2reach -o q.snap
+                                       build once, save a binary snapshot
+   stt serve  --from-snapshot q.snap   serve without rebuilding *)
 
 open Cmdliner
 open Stt_hypergraph
@@ -283,6 +286,27 @@ let jobs_arg =
 
 let set_jobs = Option.iter Stt_relation.Pool.set_jobs
 
+(* demo/serve/snapshot evaluate over a synthetic graph bound to the
+   single edge relation R; reject queries over anything else, naming the
+   offending relation *)
+let require_single_edge_relation cmd q =
+  match
+    List.find_opt (fun (a : Cq.atom) -> a.Cq.rel <> "R") q.Cq.cq.Cq.atoms
+  with
+  | None -> ()
+  | Some a ->
+      Format.eprintf
+        "stt %s: supports single-edge-relation queries only (atom over %S)@."
+        cmd a.Cq.rel;
+      exit 1
+
+(* synthetic Zipf graph shared by demo/serve/snapshot *)
+let synthetic_db ~seed ~vertices ~edges =
+  let pairs = Stt_workload.Graphs.zipf_both ~seed ~vertices ~edges ~s:1.1 in
+  let db = Db.create () in
+  Db.add_pairs db "R" pairs;
+  db
+
 let demo_cmd =
   let doc =
     "Build an index over a synthetic Zipf graph and report measured \
@@ -293,18 +317,8 @@ let demo_cmd =
     set_jobs jobs;
     let open Stt_relation in
     let vertices = max 10 (nedges / 10) in
-    let edges =
-      Stt_workload.Graphs.zipf_both ~seed ~vertices ~edges:nedges ~s:1.1
-    in
-    let db = Db.create () in
-    Db.add_pairs db "R" edges;
-    if
-      List.exists
-        (fun (a : Cq.atom) -> a.Cq.rel <> "R")
-        q.Cq.cq.Cq.atoms
-    then (
-      prerr_endline "demo supports single-edge-relation queries only";
-      exit 1);
+    require_single_edge_relation "demo" q;
+    let db = synthetic_db ~seed ~vertices ~edges:nedges in
     Format.printf "building index (budget %d) over |E| = %d...@." budget
       (Db.size db);
     let idx = Engine.build_auto ~max_pmtds:128 q ~db ~budget in
@@ -324,7 +338,7 @@ let demo_cmd =
       !hits (!total / queries) !worst;
     [
       ("budget", Json.Int budget);
-      ("edges", Json.Int (List.length edges));
+      ("edges", Json.Int (Db.size db));
       ("space", Json.Int (Engine.space idx));
       ( "per_pmtd_space",
         Json.List
@@ -384,32 +398,70 @@ let percentile sorted p =
   if n = 0 then 0.0
   else sorted.(min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1))
 
+let serve_query_arg =
+  Arg.(
+    value
+    & opt (some query_conv) None
+    & info [ "q"; "query" ] ~docv:"QUERY"
+        ~doc:"Built-in query name (not needed with $(b,--from-snapshot)).")
+
+let from_snapshot_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "from-snapshot" ] ~docv:"FILE"
+        ~doc:
+          "Serve from a saved snapshot instead of building: load $(docv) and \
+           skip the query and the preprocessing entirely.  Pass the same \
+           $(b,--edges) as at snapshot time so the request stream samples \
+           the same vertex range.")
+
 let serve_cmd =
   let doc =
     "Serve a Zipf stream of single-tuple access requests in batches and \
      report throughput (answers/sec) and latency percentiles."
   in
-  let run q budget nedges seed requests batch skew jobs json_dir =
+  let run q budget nedges seed requests batch skew jobs snapshot json_dir =
     with_artifact "serve" json_dir @@ fun () ->
     set_jobs jobs;
     let open Stt_relation in
     let vertices = max 10 (nedges / 10) in
-    let edges =
-      Stt_workload.Graphs.zipf_both ~seed ~vertices ~edges:nedges ~s:1.1
+    let idx, build_wall, origin =
+      match snapshot with
+      | Some path -> (
+          let t0 = Unix.gettimeofday () in
+          match Engine.load path with
+          | Ok idx ->
+              let wall = Unix.gettimeofday () -. t0 in
+              Format.printf
+                "loaded snapshot %s: space %d stored tuples (in %.3fs)@." path
+                (Engine.space idx) wall;
+              (idx, wall, "snapshot")
+          | Error e ->
+              Format.eprintf "stt serve: %s: %s@." path
+                (Stt_store.Store.error_to_string e);
+              exit 1)
+      | None ->
+          let q =
+            match q with
+            | Some q -> q
+            | None ->
+                Format.eprintf
+                  "stt serve: a query is required unless --from-snapshot is \
+                   given@.";
+                exit 1
+          in
+          require_single_edge_relation "serve" q;
+          let db = synthetic_db ~seed ~vertices ~edges:nedges in
+          Format.printf "building index (budget %d, jobs %d) over |E| = %d...@."
+            budget (Pool.jobs ()) (Db.size db);
+          let tb0 = Unix.gettimeofday () in
+          let idx = Engine.build_auto ~max_pmtds:128 q ~db ~budget in
+          let wall = Unix.gettimeofday () -. tb0 in
+          Format.printf "space: %d stored tuples (built in %.3fs)@."
+            (Engine.space idx) wall;
+          (idx, wall, "build")
     in
-    let db = Db.create () in
-    Db.add_pairs db "R" edges;
-    if List.exists (fun (a : Cq.atom) -> a.Cq.rel <> "R") q.Cq.cq.Cq.atoms
-    then (
-      prerr_endline "serve supports single-edge-relation queries only";
-      exit 1);
-    Format.printf "building index (budget %d, jobs %d) over |E| = %d...@."
-      budget (Pool.jobs ()) (Db.size db);
-    let tb0 = Unix.gettimeofday () in
-    let idx = Engine.build_auto ~max_pmtds:128 q ~db ~budget in
-    let build_wall = Unix.gettimeofday () -. tb0 in
-    Format.printf "space: %d stored tuples (built in %.3fs)@."
-      (Engine.space idx) build_wall;
     (* Zipf-skewed request stream: hub vertices recur, so batches carry
        duplicates — exactly the sharing [answer_batch] exploits *)
     let rng = Stt_workload.Rng.create (seed + 1) in
@@ -446,7 +498,8 @@ let serve_cmd =
       (percentile sorted 0.50) (percentile sorted 0.95) (percentile sorted 1.0);
     [
       ("budget", Json.Int budget);
-      ("edges", Json.Int (List.length edges));
+      ("edges", Json.Int nedges);
+      ("origin", Json.String origin);
       ("space", Json.Int (Engine.space idx));
       ("jobs", Json.Int (Pool.jobs ()));
       ("build_wall_s", Json.Float build_wall);
@@ -464,8 +517,59 @@ let serve_cmd =
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
-      const run $ query_arg $ budget_arg $ edges_arg $ seed_arg $ requests_arg
-      $ batch_arg $ skew_arg $ jobs_arg $ json_arg)
+      const run $ serve_query_arg $ budget_arg $ edges_arg $ seed_arg
+      $ requests_arg $ batch_arg $ skew_arg $ jobs_arg $ from_snapshot_arg
+      $ json_arg)
+
+let out_arg =
+  Arg.(
+    value & opt string "stt.snap"
+    & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Snapshot output path.")
+
+let snapshot_cmd =
+  let doc =
+    "Build an index over a synthetic Zipf graph and save it as a versioned, \
+     checksummed binary snapshot for $(b,stt serve --from-snapshot)."
+  in
+  let run q budget nedges seed jobs out json_dir =
+    with_artifact "snapshot" json_dir @@ fun () ->
+    set_jobs jobs;
+    let open Stt_relation in
+    let vertices = max 10 (nedges / 10) in
+    require_single_edge_relation "snapshot" q;
+    let db = synthetic_db ~seed ~vertices ~edges:nedges in
+    Format.printf "building index (budget %d, jobs %d) over |E| = %d...@."
+      budget (Pool.jobs ()) (Db.size db);
+    let tb0 = Unix.gettimeofday () in
+    let idx = Engine.build_auto ~max_pmtds:128 q ~db ~budget in
+    let build_wall = Unix.gettimeofday () -. tb0 in
+    Format.printf "space: %d stored tuples (built in %.3fs)@."
+      (Engine.space idx) build_wall;
+    let ts0 = Unix.gettimeofday () in
+    match Engine.save idx out with
+    | Error e ->
+        Format.eprintf "stt snapshot: %s: %s@." out
+          (Stt_store.Store.error_to_string e);
+        exit 1
+    | Ok bytes ->
+        let save_wall = Unix.gettimeofday () -. ts0 in
+        Format.printf "snapshot: %s, %d bytes (saved in %.3fs)@." out bytes
+          save_wall;
+        [
+          ("budget", Json.Int budget);
+          ("edges", Json.Int (Db.size db));
+          ("space", Json.Int (Engine.space idx));
+          ("jobs", Json.Int (Pool.jobs ()));
+          ("build_wall_s", Json.Float build_wall);
+          ("save_wall_s", Json.Float save_wall);
+          ("snapshot", Json.String out);
+          ("snapshot_bytes", Json.Int bytes);
+        ]
+  in
+  Cmd.v (Cmd.info "snapshot" ~doc)
+    Term.(
+      const run $ query_arg $ budget_arg $ edges_arg $ seed_arg $ jobs_arg
+      $ out_arg $ json_arg)
 
 let main =
   let doc = "space-time tradeoffs for conjunctive queries with access patterns" in
@@ -479,6 +583,7 @@ let main =
       curve_cmd;
       demo_cmd;
       serve_cmd;
+      snapshot_cmd;
     ]
 
 let () = exit (Cmd.eval main)

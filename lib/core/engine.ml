@@ -257,3 +257,320 @@ let answer_batch t reqs =
           in
           (r, c))
         keyed
+
+(* ------------------------------------------------------------------ *)
+(* snapshots                                                            *)
+(* ------------------------------------------------------------------ *)
+
+module Store = Stt_store.Store
+module C = Stt_store.Codec
+
+let format_version = 1
+
+(* Semantic violations raise [Codec.Corrupt] so the store layer surfaces
+   them as [Malformed] — a snapshot whose every CRC checks out can still
+   describe an impossible structure, and loading must reject it rather
+   than crash later during [answer]. *)
+let corrupt fmt = Printf.ksprintf (fun s -> raise (C.Corrupt s)) fmt
+
+let guard ctx f =
+  try f () with
+  | Invalid_argument msg | Failure msg -> corrupt "%s: %s" ctx msg
+  | Not_found -> corrupt "%s: missing binding" ctx
+
+let write_vs e vs = C.write_uint e (Varset.to_int vs)
+let read_vs d = Varset.of_int_unsafe (C.read_uint d)
+
+let read_vs_in full ctx d =
+  let vs = read_vs d in
+  if not (Varset.subset vs full) then corrupt "%s: variables out of range" ctx;
+  vs
+
+(* relations: schema variables, then the tuple block sorted so the
+   column-major delta codec sees slowly-changing columns *)
+let write_relation e rel =
+  let schema = Relation.schema rel in
+  C.write_list e (C.write_uint e) (Schema.vars schema);
+  C.write_rows e
+    ~arity:(Schema.arity schema)
+    (List.sort Tuple.compare (Relation.to_list rel))
+
+let read_relation d =
+  let vars = C.read_list d (fun () -> C.read_uint d) in
+  let schema = guard "relation schema" (fun () -> Schema.of_list vars) in
+  let rows = C.read_rows d ~arity:(Schema.arity schema) in
+  let rel = Relation.create schema in
+  List.iter (fun r -> guard "relation row" (fun () -> Relation.add rel r)) rows;
+  rel
+
+(* indexes: the row-major data array (in index order — bucket offsets
+   point into it) plus one (key, offset, length) triple per bucket,
+   sorted by key for determinism *)
+let write_index e idx =
+  let schema = Index.source_schema idx in
+  let arity = Schema.arity schema in
+  let key_vars = Index.key_vars idx in
+  C.write_list e (C.write_uint e) key_vars;
+  C.write_list e (C.write_uint e) (Schema.vars schema);
+  let data = Index.raw_data idx in
+  let n_rows = if arity > 0 then Array.length data / arity else Index.space idx in
+  C.write_rows e ~arity (List.init n_rows (fun i -> Array.sub data (i * arity) arity));
+  let buckets =
+    List.sort (fun (a, _, _) (b, _, _) -> Tuple.compare a b) (Index.buckets idx)
+  in
+  C.write_rows e ~arity:(List.length key_vars)
+    (List.map (fun (k, _, _) -> k) buckets);
+  List.iter
+    (fun (_, start, len) ->
+      C.write_uint e start;
+      C.write_uint e len)
+    buckets
+
+let read_index d =
+  let key_vars = C.read_list d (fun () -> C.read_uint d) in
+  let vars = C.read_list d (fun () -> C.read_uint d) in
+  let schema = guard "index schema" (fun () -> Schema.of_list vars) in
+  let data = Array.concat (C.read_rows d ~arity:(Schema.arity schema)) in
+  let keys = C.read_rows d ~arity:(List.length key_vars) in
+  let buckets =
+    List.rev
+      (List.fold_left
+         (fun acc key ->
+           let start = C.read_uint d in
+           let len = C.read_uint d in
+           (key, start, len) :: acc)
+         [] keys)
+  in
+  guard "index" (fun () ->
+      Index.of_buckets ~key_vars ~source_schema:schema ~data ~buckets)
+
+let write_cqap e (q : Cq.cqap) =
+  let cq = q.Cq.cq in
+  C.write_uint e cq.Cq.n;
+  C.write_list e (C.write_string e) (Array.to_list cq.Cq.var_names);
+  write_vs e cq.Cq.head;
+  write_vs e q.Cq.access;
+  C.write_list e
+    (fun (a : Cq.atom) ->
+      C.write_string e a.Cq.rel;
+      C.write_list e (C.write_uint e) a.Cq.vars)
+    cq.Cq.atoms
+
+let read_cqap d =
+  let n = C.read_uint d in
+  if n > 62 then corrupt "cqap: %d variables (max 62)" n;
+  let var_names = Array.of_list (C.read_list d (fun () -> C.read_string d)) in
+  if Array.length var_names <> n then corrupt "cqap: var_names length";
+  let full = Varset.full n in
+  let head = read_vs_in full "cqap head" d in
+  let access = read_vs_in full "cqap access" d in
+  let atoms =
+    C.read_list d (fun () ->
+        let rel = C.read_string d in
+        let vars = C.read_list d (fun () -> C.read_uint d) in
+        { Cq.rel; vars })
+  in
+  let cq = guard "cqap" (fun () -> Cq.create ~var_names ~head atoms) in
+  (* [head] was normalized to contain [access] when the index was built,
+     so [with_access] reconstructs the head verbatim *)
+  guard "cqap access" (fun () -> Cq.with_access cq access)
+
+let write_pmtd e (p : Pmtd.t) =
+  let tree = p.Pmtd.td.Td.tree in
+  let size = Rtree.size tree in
+  C.write_uint e size;
+  for i = 0 to size - 1 do
+    C.write_int e (match Rtree.parent tree i with None -> -1 | Some q -> q)
+  done;
+  Array.iter (write_vs e) p.Pmtd.td.Td.bags;
+  Array.iter (C.write_bool e) p.Pmtd.materialized
+
+let read_pmtd cqap d =
+  let size = C.read_uint d in
+  if size = 0 then corrupt "pmtd: empty tree";
+  let parent = Array.make size 0 in
+  for i = 0 to size - 1 do
+    parent.(i) <- C.read_int d
+  done;
+  let full = Varset.full cqap.Cq.cq.Cq.n in
+  let bags = Array.make size Varset.empty in
+  for i = 0 to size - 1 do
+    bags.(i) <- read_vs_in full "pmtd bag" d
+  done;
+  let materialized = Array.make size false in
+  for i = 0 to size - 1 do
+    materialized.(i) <- C.read_bool d
+  done;
+  let tree = guard "pmtd tree" (fun () -> Rtree.create ~parent) in
+  let td = guard "pmtd td" (fun () -> Td.create tree bags) in
+  match Pmtd.create cqap td ~materialized with
+  | Ok p -> p
+  | Error msg -> corrupt "pmtd: %s" msg
+
+let write_rule e (r : Rule.t) =
+  C.write_list e (write_vs e) r.Rule.s_targets;
+  C.write_list e (write_vs e) r.Rule.t_targets
+
+let read_rule cqap d =
+  let full = Varset.full cqap.Cq.cq.Cq.n in
+  let s_targets = C.read_list d (fun () -> read_vs_in full "rule s-target" d) in
+  let t_targets = C.read_list d (fun () -> read_vs_in full "rule t-target" d) in
+  guard "rule" (fun () -> Rule.make cqap ~s_targets ~t_targets)
+
+let write_step e (s : Twopp.step) =
+  write_index e s.Twopp.idx;
+  C.write_list e (C.write_uint e) s.Twopp.keep
+
+let read_step d =
+  let idx = read_index d in
+  let keep = C.read_list d (fun () -> C.read_uint d) in
+  { Twopp.idx; keep }
+
+let write_structure e st =
+  C.write_uint e (Twopp.stored_subproblems st);
+  C.write_list e
+    (fun (vs, rel) ->
+      write_vs e vs;
+      write_relation e rel)
+    (List.sort (fun (a, _) (b, _) -> Varset.compare a b) (Twopp.s_targets st));
+  C.write_list e
+    (fun (sub : Twopp.subproblem) ->
+      write_vs e sub.Twopp.t_target;
+      C.write_uint e sub.Twopp.cap;
+      C.write_list e (write_step e) sub.Twopp.probe_plan;
+      C.write_list e (write_step e) sub.Twopp.safe_plan)
+    (Twopp.delegated st)
+
+let read_structure cqap rule d =
+  let full = Varset.full cqap.Cq.cq.Cq.n in
+  let stored_subs = C.read_uint d in
+  let stored =
+    C.read_list d (fun () ->
+        let vs = read_vs_in full "stored s-target" d in
+        let rel = read_relation d in
+        if not (Schema.equal (Relation.schema rel) (schema_of_set vs)) then
+          corrupt "stored s-target: relation schema differs from target";
+        (vs, rel))
+  in
+  let delegated =
+    C.read_list d (fun () ->
+        let t_target = read_vs_in full "delegated t-target" d in
+        let cap = C.read_uint d in
+        let probe_plan = C.read_list d (fun () -> read_step d) in
+        let safe_plan = C.read_list d (fun () -> read_step d) in
+        { Twopp.t_target; probe_plan; safe_plan; cap })
+  in
+  Twopp.import rule ~stored ~delegated ~stored_subs
+
+let write_preprocessed e oy =
+  C.write_list e
+    (fun (node, rel, idx) ->
+      C.write_uint e node;
+      write_relation e rel;
+      write_index e idx)
+    (Online_yannakakis.export oy)
+
+let read_preprocessed (p : Pmtd.t) d =
+  let size = Td.size p.Pmtd.td in
+  let seen = Array.make size false in
+  let entries =
+    C.read_list d (fun () ->
+        let node = C.read_uint d in
+        if node >= size then corrupt "s-view node %d out of range" node;
+        if not p.Pmtd.materialized.(node) then
+          corrupt "s-view at non-materialized node %d" node;
+        if seen.(node) then corrupt "duplicate s-view for node %d" node;
+        seen.(node) <- true;
+        let rel = read_relation d in
+        if
+          not
+            (Schema.equal (Relation.schema rel)
+               (schema_of_set (Pmtd.view p node).Pmtd.vars))
+        then corrupt "s-view %d: relation schema differs from the view" node;
+        let idx = read_index d in
+        (node, rel, idx))
+  in
+  Array.iteri
+    (fun i m -> if m && not seen.(i) then corrupt "missing s-view for node %d" i)
+    p.Pmtd.materialized;
+  Online_yannakakis.import p entries
+
+let save t path =
+  Obs.span "engine.save" ~attrs:[ ("path", Json.String path) ] @@ fun () ->
+  Cost.with_counting false @@ fun () ->
+  let sections =
+    [
+      ("cqap", fun e -> write_cqap e t.cqap);
+      ("pmtds", fun e -> C.write_list e (write_pmtd e) t.pmtds);
+      ("rules", fun e -> C.write_list e (write_rule e) t.rules);
+      ("twopp", fun e -> C.write_list e (write_structure e) t.structures);
+      ( "yannakakis",
+        fun e ->
+          C.write_list e (fun (_, oy) -> write_preprocessed e oy) t.preprocessed
+      );
+      ( "summary",
+        fun e ->
+          C.write_uint e t.space;
+          C.write_uint e (List.length t.pmtds);
+          C.write_uint e (List.length t.rules) );
+    ]
+  in
+  match Store.write ~version:format_version path sections with
+  | Ok bytes as ok ->
+      Obs.incr ~by:bytes "snapshot.write.bytes";
+      Obs.set_attr "bytes" (Json.Int bytes);
+      ok
+  | Error _ as e -> e
+
+let ( let* ) = Result.bind
+
+(* decode in file-section order, pairing aligned sections (structures
+   with rules, preprocessed state with PMTDs) by position; [fold_left]
+   fixes the evaluation order the shared decoder requires *)
+let map_in_order f xs d =
+  let n = C.read_uint d in
+  if n <> List.length xs then
+    corrupt "aligned section: %d entries for %d owners" n (List.length xs);
+  List.rev (List.fold_left (fun acc x -> f x d :: acc) [] xs)
+
+let load path =
+  Obs.span "engine.load" ~attrs:[ ("path", Json.String path) ] @@ fun () ->
+  Cost.with_counting false @@ fun () ->
+  let* r = Store.Reader.load ~version:format_version path in
+  let bytes = Store.Reader.bytes r in
+  Obs.incr ~by:bytes "snapshot.read.bytes";
+  Obs.set_attr "bytes" (Json.Int bytes);
+  let* cqap = Store.Reader.section r "cqap" read_cqap in
+  let* pmtds =
+    Store.Reader.section r "pmtds" (fun d ->
+        C.read_list d (fun () -> read_pmtd cqap d))
+  in
+  let* rules =
+    Store.Reader.section r "rules" (fun d ->
+        C.read_list d (fun () -> read_rule cqap d))
+  in
+  let* structures =
+    Store.Reader.section r "twopp" (map_in_order (read_structure cqap) rules)
+  in
+  let* preprocessed =
+    Store.Reader.section r "yannakakis"
+      (map_in_order (fun p d -> (p, read_preprocessed p d)) pmtds)
+  in
+  let space =
+    List.fold_left
+      (fun acc (_, oy) -> acc + Online_yannakakis.space oy)
+      0 preprocessed
+  in
+  let* () =
+    Store.Reader.section r "summary" (fun d ->
+        let stored_space = C.read_uint d in
+        let np = C.read_uint d in
+        let nr = C.read_uint d in
+        if np <> List.length pmtds then corrupt "summary: pmtd count mismatch";
+        if nr <> List.length rules then corrupt "summary: rule count mismatch";
+        if stored_space <> space then
+          corrupt "summary: space %d but loaded S-views hold %d" stored_space
+            space)
+  in
+  Obs.set_attr "space" (Json.Int space);
+  Ok { cqap; pmtds; rules; structures; preprocessed; space }

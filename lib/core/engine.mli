@@ -54,3 +54,29 @@ val per_pmtd_space : t -> (Pmtd.t * int) list
     reported in the benchmark artifacts. *)
 
 val access_schema : t -> Schema.t
+
+(** {1 Snapshots}
+
+    A built index is pure data, so the expensive preprocessing (LP
+    solves, heavy/light splits, plan search, S-view materialization and
+    indexing) can be paid for once: {!save} serializes the whole
+    structure to a versioned, checksummed snapshot file and {!load}
+    rebuilds an engine that is observationally identical to the one that
+    was saved — same {!space}, same {!answer}/{!answer_batch} results
+    and the same online operation counts — without touching the source
+    database. *)
+
+val format_version : int
+(** Wire-format version written by {!save}.  {!load} rejects any other
+    version with [Version_skew]. *)
+
+val save : t -> string -> (int, Stt_store.Store.error) result
+(** [save t path] writes the snapshot and returns its size in bytes.
+    Records an [engine.save] span and bumps the
+    [snapshot.write.bytes] counter when observability is enabled. *)
+
+val load : string -> (t, Stt_store.Store.error) result
+(** [load path] validates the file strictly — magic, format version,
+    section checksums, and the structural invariants of every decoded
+    component — and rebuilds the engine.  Any defect surfaces as a
+    typed error, never a crash or a silently wrong structure. *)

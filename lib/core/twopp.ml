@@ -26,8 +26,15 @@ type t = {
 let rule t = t.rule
 let s_targets t = t.stored
 let space t = t.space
+let delegated t = t.delegated
 let delegated_subproblems t = List.length t.delegated
 let stored_subproblems t = t.stored_subs
+
+let import rule ~stored ~delegated ~stored_subs =
+  let space =
+    List.fold_left (fun acc (_, rel) -> acc + Relation.cardinal rel) 0 stored
+  in
+  { rule; stored; space; delegated; stored_subs }
 
 (* Quantized to 1/16 so the target-selection LPs keep small denominators
    (exact simplex on native-int rationals). *)

@@ -21,6 +21,17 @@
 open Stt_relation
 open Stt_hypergraph
 
+type step = { idx : Index.t; keep : Schema.var list }
+(** One probing step of an online plan: join the accumulator with the
+    indexed relation, then project to [keep]. *)
+
+type subproblem = {
+  t_target : Varset.t;
+  probe_plan : step list;  (** greedy degree order: great average case *)
+  safe_plan : step list;  (** min worst-case-estimate order *)
+  cap : int;  (** abort threshold for the probe plan *)
+}
+
 type t
 
 val build : Rule.t -> db:Db.t -> budget:int -> t
@@ -49,3 +60,22 @@ val online : t -> q_a:Relation.t -> (Varset.t * Relation.t) list
     access request.  Respects the global cost counters. *)
 
 val rule : t -> Rule.t
+
+(** {1 Snapshot access}
+
+    A built structure is pure data — stored S-target relations plus the
+    delegated subproblems' index-backed plans — so it round-trips
+    through the snapshot store without re-running the LP, the
+    heavy/light splits or the plan search. *)
+
+val delegated : t -> subproblem list
+(** The delegated subproblems, in build order. *)
+
+val import :
+  Rule.t ->
+  stored:(Varset.t * Relation.t) list ->
+  delegated:subproblem list ->
+  stored_subs:int ->
+  t
+(** Reassemble a structure from {!s_targets}, {!delegated} and
+    {!stored_subproblems}; [space] is recomputed from [stored]. *)

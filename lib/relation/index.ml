@@ -71,6 +71,38 @@ let count t key =
 
 let space t = t.space
 
+let raw_data t = t.data
+let buckets t = Tuple.Tbl.fold (fun k (s, l) acc -> (k, s, l) :: acc) t.table []
+
+let of_buckets ~key_vars ~source_schema ~data ~buckets =
+  let arity = Schema.arity source_schema in
+  (* key_vars must resolve against the schema (raises Not_found on skew) *)
+  (match Schema.positions source_schema key_vars with
+  | _ -> ()
+  | exception Not_found ->
+      invalid_arg "Index.of_buckets: key variable not in schema");
+  if arity > 0 && Array.length data mod arity <> 0 then
+    invalid_arg "Index.of_buckets: data length not a multiple of arity";
+  let n_rows =
+    if arity > 0 then Array.length data / arity
+    else List.fold_left (fun acc (_, _, len) -> acc + len) 0 buckets
+  in
+  let kn = List.length key_vars in
+  let table = Tuple.Tbl.create (max 16 (List.length buckets)) in
+  let space = ref 0 in
+  List.iter
+    (fun (key, start, len) ->
+      if Array.length key <> kn then
+        invalid_arg "Index.of_buckets: key arity mismatch";
+      if start < 0 || len < 0 || start + len > n_rows then
+        invalid_arg "Index.of_buckets: bucket range out of bounds";
+      if Tuple.Tbl.mem table key then
+        invalid_arg "Index.of_buckets: duplicate bucket key";
+      space := !space + len;
+      Tuple.Tbl.add table key (start, len))
+    buckets;
+  { key_vars; source_schema; arity; table; data; space = !space }
+
 let semijoin rel t =
   let key_pos = Schema.positions (Relation.schema rel) t.key_vars in
   let scratch = Array.make (Array.length key_pos) 0 in

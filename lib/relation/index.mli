@@ -37,3 +37,29 @@ val semijoin : Relation.t -> t -> Relation.t
 val join : Relation.t -> t -> Relation.t
 (** [join rel idx] probes the index once per tuple of [rel] and extends
     with the matching tuples — cost [O(|rel| + output)]. *)
+
+(** {1 Snapshot access}
+
+    The flat layout serializes naturally: the row-major data array plus
+    one [(key, offset, length)] triple per bucket describe the index
+    completely.  {!of_buckets} rebuilds the probe structure from those
+    parts — one hash insertion per {e bucket}, no per-row projection or
+    re-counting — so loading a snapshot skips the two build passes. *)
+
+val raw_data : t -> int array
+(** The row-major, key-grouped backing array.  Do not mutate. *)
+
+val buckets : t -> (Tuple.t * int * int) list
+(** [(key, first_row, row_count)] per distinct key, in unspecified
+    order.  Row offsets index {!raw_data} in units of rows. *)
+
+val of_buckets :
+  key_vars:Schema.var list ->
+  source_schema:Schema.t ->
+  data:int array ->
+  buckets:(Tuple.t * int * int) list ->
+  t
+(** Reconstruct an index from its serialized parts.  Raises
+    [Invalid_argument] if the parts are inconsistent: key arity
+    mismatch, data length not a multiple of the schema arity, or a
+    bucket range outside the data array. *)

@@ -1,0 +1,134 @@
+exception Short of string
+exception Corrupt of string
+
+(* ------------------------------------------------------------------ *)
+(* encoding                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type encoder = Buffer.t
+
+let encoder () = Buffer.create 1024
+let contents = Buffer.contents
+let write_u8 b v = Buffer.add_char b (Char.chr (v land 0xFF))
+
+let write_u32 b v =
+  if v < 0 || v > 0xFFFFFFFF then invalid_arg "Codec.write_u32";
+  write_u8 b v;
+  write_u8 b (v lsr 8);
+  write_u8 b (v lsr 16);
+  write_u8 b (v lsr 24)
+
+let rec write_uint b v =
+  if v < 0 then invalid_arg "Codec.write_uint: negative"
+  else if v < 0x80 then write_u8 b v
+  else begin
+    write_u8 b (0x80 lor (v land 0x7F));
+    write_uint b (v lsr 7)
+  end
+
+(* zigzag: 0 → 0, -1 → 1, 1 → 2, -2 → 3, ... keeps small magnitudes in
+   one varint byte regardless of sign *)
+let write_int b v = write_uint b ((v lsl 1) lxor (v asr 62))
+let write_bool b v = write_u8 b (if v then 1 else 0)
+
+let write_string b s =
+  write_uint b (String.length s);
+  Buffer.add_string b s
+
+let write_list b f xs =
+  write_uint b (List.length xs);
+  List.iter f xs
+
+let write_uint_array b a =
+  write_uint b (Array.length a);
+  Array.iter (write_uint b) a
+
+let write_rows b ~arity rows =
+  write_uint b (List.length rows);
+  for j = 0 to arity - 1 do
+    let prev = ref 0 in
+    List.iter
+      (fun row ->
+        if Array.length row <> arity then
+          invalid_arg "Codec.write_rows: arity mismatch";
+        write_int b (row.(j) - !prev);
+        prev := row.(j))
+      rows
+  done
+
+(* ------------------------------------------------------------------ *)
+(* decoding                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type decoder = { src : string; mutable pos : int }
+
+let decoder src = { src; pos = 0 }
+let remaining d = String.length d.src - d.pos
+
+let read_u8 d =
+  if d.pos >= String.length d.src then raise (Short "byte");
+  let v = Char.code (String.unsafe_get d.src d.pos) in
+  d.pos <- d.pos + 1;
+  v
+
+let read_u32 d =
+  let a = read_u8 d in
+  let b = read_u8 d in
+  let c = read_u8 d in
+  let e = read_u8 d in
+  a lor (b lsl 8) lor (c lsl 16) lor (e lsl 24)
+
+let read_uint d =
+  let rec go shift acc =
+    if shift > 62 then raise (Corrupt "varint too long");
+    let byte = read_u8 d in
+    let acc = acc lor ((byte land 0x7F) lsl shift) in
+    if byte land 0x80 = 0 then acc else go (shift + 7) acc
+  in
+  go 0 0
+
+let read_int d =
+  let v = read_uint d in
+  (v lsr 1) lxor (- (v land 1))
+
+let read_bool d =
+  match read_u8 d with
+  | 0 -> false
+  | 1 -> true
+  | n -> raise (Corrupt (Printf.sprintf "bool byte %d" n))
+
+let read_bytes d n =
+  if n < 0 then raise (Corrupt "negative byte count");
+  if n > remaining d then raise (Short "bytes");
+  let s = String.sub d.src d.pos n in
+  d.pos <- d.pos + n;
+  s
+
+let read_string d = read_bytes d (read_uint d)
+
+let read_count d =
+  let n = read_uint d in
+  (* every element costs at least one byte, so a count beyond the
+     remaining bytes is corruption, not a huge allocation request *)
+  if n > remaining d + 1 then raise (Corrupt "count exceeds payload");
+  n
+
+let read_list d f = List.init (read_count d) (fun _ -> f ())
+let read_uint_array d = Array.init (read_count d) (fun _ -> read_uint d)
+
+let read_rows d ~arity =
+  let n = read_count d in
+  let rows = List.init n (fun _ -> Array.make arity 0) in
+  for j = 0 to arity - 1 do
+    let prev = ref 0 in
+    List.iter
+      (fun row ->
+        prev := !prev + read_int d;
+        row.(j) <- !prev)
+      rows
+  done;
+  rows
+
+let expect_end d what =
+  if remaining d <> 0 then
+    raise (Corrupt (Printf.sprintf "%s: %d trailing bytes" what (remaining d)))

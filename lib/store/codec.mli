@@ -1,0 +1,74 @@
+(** Binary primitives of the snapshot wire format.
+
+    Encoders append to a growable buffer; decoders walk a string slice.
+    Integers use LEB128 varints (zigzag for signed values), so small
+    ids, arities and deltas cost one byte.  [write_rows]/[read_rows]
+    encode a block of equal-arity int rows column-major with per-column
+    row-to-row deltas — sorted tuple sets compress to a few bits per
+    value because each column changes slowly down the rows.
+
+    Decoders never read past their slice: exhaustion raises {!Short} and
+    structurally impossible data (e.g. a negative count) raises
+    {!Corrupt}, which the {!Store} layer maps to its typed errors. *)
+
+exception Short of string
+(** Decoder ran out of bytes; the payload is truncated. *)
+
+exception Corrupt of string
+(** The bytes decode to a structurally impossible value. *)
+
+(** {1 Encoding} *)
+
+type encoder
+
+val encoder : unit -> encoder
+val contents : encoder -> string
+val write_u8 : encoder -> int -> unit
+val write_u32 : encoder -> int -> unit
+(** Fixed-width little-endian, for the header fields that must live at
+    stable byte offsets (format version). *)
+
+val write_uint : encoder -> int -> unit
+(** LEB128 varint; the int must be non-negative. *)
+
+val write_int : encoder -> int -> unit
+(** Zigzag varint: small magnitudes of either sign stay small.  The
+    value must lie in [[-2^61, 2^61 - 1]] — the zigzag of anything
+    larger overflows OCaml's 63-bit int. *)
+
+val write_bool : encoder -> bool -> unit
+val write_string : encoder -> string -> unit
+val write_list : encoder -> ('a -> unit) -> 'a list -> unit
+(** Length prefix, then each element with the given writer. *)
+
+val write_uint_array : encoder -> int array -> unit
+
+val write_rows : encoder -> arity:int -> int array list -> unit
+(** Column-major delta encoding of equal-arity rows, in the order
+    given.  [arity] may be 0 (rows are empty tuples). *)
+
+(** {1 Decoding} *)
+
+type decoder
+
+val decoder : string -> decoder
+val remaining : decoder -> int
+val read_u8 : decoder -> int
+val read_u32 : decoder -> int
+val read_uint : decoder -> int
+val read_int : decoder -> int
+val read_bool : decoder -> bool
+val read_string : decoder -> string
+
+val read_bytes : decoder -> int -> string
+(** Exactly [n] raw bytes (no length prefix); {!Short} if fewer remain. *)
+
+val read_list : decoder -> (unit -> 'a) -> 'a list
+val read_uint_array : decoder -> int array
+
+val read_rows : decoder -> arity:int -> int array list
+(** Inverse of {!write_rows}; rows come back in written order. *)
+
+val expect_end : decoder -> string -> unit
+(** Raises {!Corrupt} if any byte is left — every section must be
+    consumed exactly. *)

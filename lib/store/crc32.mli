@@ -1,0 +1,17 @@
+(** CRC-32 (IEEE 802.3, the zlib/PNG polynomial), table-driven.
+
+    Used as the per-section integrity check of the snapshot format: a
+    flipped bit anywhere in a section payload changes the stored CRC
+    with overwhelming probability, turning silent corruption into a
+    typed [Checksum_mismatch] at load time. *)
+
+type t
+(** A running checksum. *)
+
+val init : t
+val update : t -> string -> pos:int -> len:int -> t
+val finish : t -> int
+(** Final value in [0, 2^32); independent of update chunking. *)
+
+val string : string -> int
+(** One-shot checksum of a whole string. *)

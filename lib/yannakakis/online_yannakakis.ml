@@ -57,6 +57,24 @@ let preprocess pmtd ~s_views =
 
 let space t = t.space
 
+let export t =
+  Hashtbl.fold
+    (fun node rel acc -> (node, rel, Hashtbl.find t.s_idx node) :: acc)
+    t.s_rels []
+  |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+
+let import pmtd entries =
+  let s_rels = Hashtbl.create 8 in
+  let s_idx = Hashtbl.create 8 in
+  let space = ref 0 in
+  List.iter
+    (fun (node, rel, idx) ->
+      space := !space + Relation.cardinal rel;
+      Hashtbl.replace s_rels node rel;
+      Hashtbl.replace s_idx node idx)
+    entries;
+  { pmtd; s_rels; s_idx; space = !space }
+
 type node_state = {
   mutable rel : Relation.t;
   mutable removed : bool;

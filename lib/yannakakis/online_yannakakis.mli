@@ -23,6 +23,16 @@ val preprocess : Pmtd.t -> s_views:(int -> Relation.t) -> preprocessed
 val space : preprocessed -> int
 (** Total stored tuples across indexed S-views. *)
 
+val export : preprocessed -> (int * Relation.t * Index.t) list
+(** Snapshot view of the preprocessed state: one
+    [(node, reduced S-view, link-variable index)] triple per
+    materialized node, sorted by node id.  Together with the PMTD this
+    determines the structure completely. *)
+
+val import : Pmtd.t -> (int * Relation.t * Index.t) list -> preprocessed
+(** Rebuild from {!export}ed parts without re-running the semijoin
+    pass or re-indexing; [space] is recomputed from the relations. *)
+
 val answer :
   preprocessed -> t_views:(int -> Relation.t) -> q_a:Relation.t -> Relation.t
 (** [t_views node] must supply a relation over schema [v(node)] for every

@@ -11,7 +11,14 @@
                                        and report measured space/time
    stt snapshot --query 2reach -o q.snap
                                        build once, save a binary snapshot
-   stt serve  --from-snapshot q.snap   serve without rebuilding *)
+   stt serve  --from-snapshot q.snap   serve without rebuilding
+   stt serve-net --from-snapshot q.snap --port 7421
+                                       serve over TCP (worker domains,
+                                       bounded queue, deadlines; SIGTERM
+                                       drains and flushes an artifact)
+   stt bench-net --port 7421 --connections 8 --requests 10000
+                                       closed-loop Zipf load generator:
+                                       answers/sec + p50/p95/p99 *)
 
 open Cmdliner
 open Stt_hypergraph
@@ -50,6 +57,27 @@ let query_arg =
     & info [ "q"; "query" ] ~docv:"QUERY" ~doc:"Built-in query name.")
 
 let rat_of_float f = Rat.of_float_approx ~max_den:64 f
+
+(* counts that must be >= 1 (--jobs, --batch, ...): reject 0 and
+   negatives at parse time with cmdliner's one-line error (exit 124)
+   instead of surfacing an Invalid_argument backtrace later *)
+let pos_int =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n > 0 -> Ok n
+    | Some _ -> Error (`Msg (Printf.sprintf "%s is not a positive integer" s))
+    | None -> Error (`Msg (Printf.sprintf "%S is not an integer" s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let nonneg_int =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 0 -> Ok n
+    | Some _ -> Error (`Msg (Printf.sprintf "%s is negative" s))
+    | None -> Error (`Msg (Printf.sprintf "%S is not an integer" s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
 
 (* --json DIR: write a machine-readable artifact next to the printed
    output — the command's results plus the observability trace of the
@@ -278,7 +306,7 @@ let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"RNG see
 let jobs_arg =
   Arg.(
     value
-    & opt (some int) None
+    & opt (some pos_int) None
     & info [ "j"; "jobs" ] ~docv:"N"
         ~doc:
           "Worker domains for the parallel build (default: $(b,STT_JOBS) or \
@@ -286,26 +314,19 @@ let jobs_arg =
 
 let set_jobs = Option.iter Stt_relation.Pool.set_jobs
 
-(* demo/serve/snapshot evaluate over a synthetic graph bound to the
-   single edge relation R; reject queries over anything else, naming the
-   offending relation *)
+module Scenario = Stt_workload.Scenario
+
+(* demo/serve/snapshot evaluate over the shared synthetic scenario
+   ([Stt_workload.Scenario]): a Zipf graph bound to the single edge
+   relation R.  Reject queries over anything else, naming the offender. *)
 let require_single_edge_relation cmd q =
-  match
-    List.find_opt (fun (a : Cq.atom) -> a.Cq.rel <> "R") q.Cq.cq.Cq.atoms
-  with
+  match Scenario.single_edge_violation q with
   | None -> ()
-  | Some a ->
+  | Some rel ->
       Format.eprintf
         "stt %s: supports single-edge-relation queries only (atom over %S)@."
-        cmd a.Cq.rel;
+        cmd rel;
       exit 1
-
-(* synthetic Zipf graph shared by demo/serve/snapshot *)
-let synthetic_db ~seed ~vertices ~edges =
-  let pairs = Stt_workload.Graphs.zipf_both ~seed ~vertices ~edges ~s:1.1 in
-  let db = Db.create () in
-  Db.add_pairs db "R" pairs;
-  db
 
 let demo_cmd =
   let doc =
@@ -316,9 +337,9 @@ let demo_cmd =
     with_artifact "demo" json_dir @@ fun () ->
     set_jobs jobs;
     let open Stt_relation in
-    let vertices = max 10 (nedges / 10) in
+    let vertices = Scenario.vertices_for_edges nedges in
     require_single_edge_relation "demo" q;
-    let db = synthetic_db ~seed ~vertices ~edges:nedges in
+    let db = Scenario.synthetic_db ~seed ~vertices ~edges:nedges in
     Format.printf "building index (budget %d) over |E| = %d...@." budget
       (Db.size db);
     let idx = Engine.build_auto ~max_pmtds:128 q ~db ~budget in
@@ -368,7 +389,7 @@ let requests_arg =
 
 let batch_arg =
   Arg.(
-    value & opt int 64
+    value & opt pos_int 64
     & info [ "batch" ] ~docv:"N"
         ~doc:"Requests per batch handed to $(b,answer_batch) (1 = unbatched).")
 
@@ -425,7 +446,7 @@ let serve_cmd =
     with_artifact "serve" json_dir @@ fun () ->
     set_jobs jobs;
     let open Stt_relation in
-    let vertices = max 10 (nedges / 10) in
+    let vertices = Scenario.vertices_for_edges nedges in
     let idx, build_wall, origin =
       match snapshot with
       | Some path -> (
@@ -452,7 +473,7 @@ let serve_cmd =
                 exit 1
           in
           require_single_edge_relation "serve" q;
-          let db = synthetic_db ~seed ~vertices ~edges:nedges in
+          let db = Scenario.synthetic_db ~seed ~vertices ~edges:nedges in
           Format.printf "building index (budget %d, jobs %d) over |E| = %d...@."
             budget (Pool.jobs ()) (Db.size db);
           let tb0 = Unix.gettimeofday () in
@@ -464,13 +485,13 @@ let serve_cmd =
     in
     (* Zipf-skewed request stream: hub vertices recur, so batches carry
        duplicates — exactly the sharing [answer_batch] exploits *)
-    let rng = Stt_workload.Rng.create (seed + 1) in
-    let sample = Stt_workload.Rng.zipf_sampler rng ~n:vertices ~s:skew in
     let acc_schema = Engine.access_schema idx in
     let arity = Schema.arity acc_schema in
     let reqs =
-      List.init requests (fun _ ->
-          Relation.singleton acc_schema (Array.init arity (fun _ -> sample ())))
+      List.map
+        (Relation.singleton acc_schema)
+        (Scenario.zipf_requests ~seed:(seed + 1) ~n:vertices ~requests ~skew
+           ~arity)
     in
     let batch = max 1 batch in
     let walls = ref [] and total_ops = ref 0 and hits = ref 0 in
@@ -535,9 +556,9 @@ let snapshot_cmd =
     with_artifact "snapshot" json_dir @@ fun () ->
     set_jobs jobs;
     let open Stt_relation in
-    let vertices = max 10 (nedges / 10) in
+    let vertices = Scenario.vertices_for_edges nedges in
     require_single_edge_relation "snapshot" q;
-    let db = synthetic_db ~seed ~vertices ~edges:nedges in
+    let db = Scenario.synthetic_db ~seed ~vertices ~edges:nedges in
     Format.printf "building index (budget %d, jobs %d) over |E| = %d...@."
       budget (Pool.jobs ()) (Db.size db);
     let tb0 = Unix.gettimeofday () in
@@ -571,6 +592,269 @@ let snapshot_cmd =
       const run $ query_arg $ budget_arg $ edges_arg $ seed_arg $ jobs_arg
       $ out_arg $ json_arg)
 
+let port_arg =
+  Arg.(
+    value & opt nonneg_int 7421
+    & info [ "port" ] ~docv:"PORT" ~doc:"TCP port ($(b,0) picks an ephemeral one).")
+
+let queue_arg =
+  Arg.(
+    value & opt pos_int 128
+    & info [ "queue" ] ~docv:"N"
+        ~doc:"Job-queue capacity; a full queue sheds requests as OVERLOADED.")
+
+let serve_net_cmd =
+  let doc =
+    "Serve access requests over TCP: worker domains behind a bounded job \
+     queue, per-request deadlines, graceful SIGTERM/SIGINT drain."
+  in
+  let run q budget nedges seed jobs snapshot port queue json_dir =
+    with_artifact "serve-net" json_dir @@ fun () ->
+    set_jobs jobs;
+    let open Stt_net in
+    let idx, origin =
+      match snapshot with
+      | Some path -> (
+          match Engine.load path with
+          | Ok idx ->
+              Format.printf "loaded snapshot %s: space %d stored tuples@." path
+                (Engine.space idx);
+              (idx, "snapshot")
+          | Error e ->
+              Format.eprintf "stt serve-net: %s: %s@." path
+                (Stt_store.Store.error_to_string e);
+              exit 1)
+      | None ->
+          let q =
+            match q with
+            | Some q -> q
+            | None ->
+                Format.eprintf
+                  "stt serve-net: a query is required unless --from-snapshot \
+                   is given@.";
+                exit 1
+          in
+          require_single_edge_relation "serve-net" q;
+          let vertices = Scenario.vertices_for_edges nedges in
+          let db = Scenario.synthetic_db ~seed ~vertices ~edges:nedges in
+          Format.printf "building index (budget %d, jobs %d) over |E| = %d...@."
+            budget
+            (Stt_relation.Pool.jobs ())
+            (Db.size db);
+          let idx = Engine.build_auto ~max_pmtds:128 q ~db ~budget in
+          Format.printf "space: %d stored tuples@." (Engine.space idx);
+          (idx, "build")
+    in
+    let workers = Stt_relation.Pool.jobs () in
+    let server =
+      Server.start ~port ~workers ~queue_capacity:queue
+        ~space:(Engine.space idx)
+        (Server.engine_handler idx)
+    in
+    Format.printf "serving on 127.0.0.1:%d (%d workers, queue %d)@."
+      (Server.port server) workers queue;
+    Format.printf "SIGTERM or Ctrl-C drains in-flight requests and exits@.";
+    Format.print_flush ();
+    let drain = Sys.Signal_handle (fun _ -> Server.stop server) in
+    Sys.set_signal Sys.sigterm drain;
+    Sys.set_signal Sys.sigint drain;
+    while not (Server.stopping server) do
+      try Unix.sleepf 0.2 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    done;
+    let st = Server.wait server in
+    Format.printf
+      "drained: %d connections, %d received, %d answered, %d shed, %d past \
+       deadline, %d bad requests@."
+      st.Server.connections st.Server.received st.Server.answered
+      st.Server.rejected_overload st.Server.rejected_deadline
+      st.Server.bad_requests;
+    let server_trace =
+      match Json.of_string (Server.trace_json server) with
+      | Ok j -> j
+      | Error _ -> Json.Null
+    in
+    [
+      ("origin", Json.String origin);
+      ("space", Json.Int (Engine.space idx));
+      ("port", Json.Int (Server.port server));
+      ("workers", Json.Int workers);
+      ("queue", Json.Int queue);
+      ("connections", Json.Int st.Server.connections);
+      ("received", Json.Int st.Server.received);
+      ("answered", Json.Int st.Server.answered);
+      ("rejected_overload", Json.Int st.Server.rejected_overload);
+      ("rejected_deadline", Json.Int st.Server.rejected_deadline);
+      ("bad_requests", Json.Int st.Server.bad_requests);
+      ("server_trace", server_trace);
+    ]
+  in
+  Cmd.v (Cmd.info "serve-net" ~doc)
+    Term.(
+      const run $ serve_query_arg $ budget_arg $ edges_arg $ seed_arg
+      $ jobs_arg $ from_snapshot_arg $ port_arg $ queue_arg $ json_arg)
+
+let host_arg =
+  Arg.(
+    value & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"HOST" ~doc:"Server host to connect to.")
+
+let connections_arg =
+  Arg.(
+    value & opt pos_int 8
+    & info [ "connections" ] ~docv:"N"
+        ~doc:"Concurrent client connections (one domain each).")
+
+let net_requests_arg =
+  Arg.(
+    value & opt pos_int 10000
+    & info [ "requests" ] ~docv:"N"
+        ~doc:"Total access tuples across all connections.")
+
+let net_batch_arg =
+  Arg.(
+    value & opt pos_int 16
+    & info [ "batch" ] ~docv:"N" ~doc:"Access tuples per request frame.")
+
+let deadline_ms_arg =
+  Arg.(
+    value & opt nonneg_int 0
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:"Per-request serving budget in milliseconds ($(b,0) = none).")
+
+let verify_arg =
+  Arg.(
+    value & flag
+    & info [ "verify" ]
+        ~doc:
+          "Build a local index over the same synthetic graph and check every \
+           answered tuple's rows against a direct $(b,answer_batch) — \
+           mismatches fail the run.")
+
+let bench_artifact_arg =
+  Arg.(
+    value & opt string "BENCH_emp-net.json"
+    & info [ "artifact" ] ~docv:"FILE"
+        ~doc:"Benchmark artifact output path (schema $(b,stt-bench/1)).")
+
+let bench_net_cmd =
+  let doc =
+    "Closed-loop Zipf load generator against $(b,stt serve-net): reports \
+     answers/sec and p50/p95/p99 latency, with zero-loss accounting."
+  in
+  let run q budget nedges seed host port connections requests batch skew
+      deadline_ms verify artifact =
+    require_single_edge_relation "bench-net" q;
+    let open Stt_net in
+    let vertices = Scenario.vertices_for_edges nedges in
+    let arity = Varset.cardinal q.Cq.access in
+    let verify_fn =
+      if not verify then None
+      else begin
+        let db = Scenario.synthetic_db ~seed ~vertices ~edges:nedges in
+        Format.printf
+          "building verification index (budget %d) over |E| = %d...@." budget
+          (Db.size db);
+        let idx = Engine.build_auto ~max_pmtds:128 q ~db ~budget in
+        let h = Server.engine_handler idx in
+        Some
+          (fun ~arity tuples ->
+            List.map (fun (rows, _, _) -> rows) (h ~arity tuples))
+      end
+    in
+    Obs.set_enabled true;
+    Obs.reset ();
+    let cfg =
+      {
+        Loadgen.host;
+        port;
+        connections;
+        requests;
+        batch;
+        arity;
+        values = vertices;
+        skew;
+        seed = seed + 1;
+        deadline_ms;
+      }
+    in
+    Format.printf "%d connections x closed loop, %d requests in %d-batches@."
+      connections requests batch;
+    let t0 = Unix.gettimeofday () in
+    match Loadgen.run ?verify:verify_fn cfg with
+    | Error msg ->
+        Format.eprintf "stt bench-net: %s@." msg;
+        exit 1
+    | Ok r ->
+        let wall = Unix.gettimeofday () -. t0 in
+        Format.printf
+          "%d sent: %d answered (%d rows), %d shed, %d past deadline, %d \
+           lost, %d duplicated, %d mismatched, %d errors@."
+          r.Loadgen.sent r.Loadgen.answered r.Loadgen.rows
+          r.Loadgen.rejected_overload r.Loadgen.rejected_deadline
+          r.Loadgen.lost r.Loadgen.duplicated r.Loadgen.mismatched
+          r.Loadgen.errors;
+        Format.printf
+          "%.0f answers/sec   rtt p50 %.0fus  p95 %.0fus  p99 %.0fus@."
+          r.Loadgen.throughput r.Loadgen.p50_us r.Loadgen.p95_us
+          r.Loadgen.p99_us;
+        let clean =
+          r.Loadgen.answered > 0 && r.Loadgen.lost = 0
+          && r.Loadgen.duplicated = 0 && r.Loadgen.mismatched = 0
+          && r.Loadgen.errors = 0
+        in
+        let doc =
+          Json.Obj
+            [
+              ("schema", Json.String "stt-bench/1");
+              ("experiment", Json.String "emp-net");
+              ("wall_s", Json.Float wall);
+              ( "data",
+                Json.Obj
+                  [
+                    ("host", Json.String host);
+                    ("port", Json.Int port);
+                    ("connections", Json.Int connections);
+                    ("requests", Json.Int requests);
+                    ("batch", Json.Int batch);
+                    ("skew", Json.Float skew);
+                    ("deadline_ms", Json.Int deadline_ms);
+                    ("sent", Json.Int r.Loadgen.sent);
+                    ("answered", Json.Int r.Loadgen.answered);
+                    ("rows", Json.Int r.Loadgen.rows);
+                    ("rejected_overload", Json.Int r.Loadgen.rejected_overload);
+                    ("rejected_deadline", Json.Int r.Loadgen.rejected_deadline);
+                    ("lost", Json.Int r.Loadgen.lost);
+                    ("duplicated", Json.Int r.Loadgen.duplicated);
+                    ("mismatched", Json.Int r.Loadgen.mismatched);
+                    ("errors", Json.Int r.Loadgen.errors);
+                    ("verified", Json.Bool (verify && r.Loadgen.mismatched = 0));
+                    ("elapsed_s", Json.Float r.Loadgen.elapsed_s);
+                    ("answers_per_sec", Json.Float r.Loadgen.throughput);
+                    ("p50_us", Json.Float r.Loadgen.p50_us);
+                    ("p95_us", Json.Float r.Loadgen.p95_us);
+                    ("p99_us", Json.Float r.Loadgen.p99_us);
+                  ] );
+              ("trace", Obs.trace ());
+            ]
+        in
+        Json.to_file artifact doc;
+        Format.printf "artifact: %s@." artifact;
+        Obs.set_enabled false;
+        if not clean then begin
+          Format.eprintf
+            "stt bench-net: run not clean (answered %d, lost %d, duplicated \
+             %d, mismatched %d, errors %d)@."
+            r.Loadgen.answered r.Loadgen.lost r.Loadgen.duplicated
+            r.Loadgen.mismatched r.Loadgen.errors;
+          exit 1
+        end
+  in
+  Cmd.v (Cmd.info "bench-net" ~doc)
+    Term.(
+      const run $ query_arg $ budget_arg $ edges_arg $ seed_arg $ host_arg
+      $ port_arg $ connections_arg $ net_requests_arg $ net_batch_arg
+      $ skew_arg $ deadline_ms_arg $ verify_arg $ bench_artifact_arg)
+
 let main =
   let doc = "space-time tradeoffs for conjunctive queries with access patterns" in
   Cmd.group
@@ -583,7 +867,22 @@ let main =
       curve_cmd;
       demo_cmd;
       serve_cmd;
+      serve_net_cmd;
       snapshot_cmd;
+      bench_net_cmd;
     ]
 
-let () = exit (Cmd.eval main)
+(* audit: no command may die with a raw backtrace — untyped escapes
+   (Failure, Sys_error, stray Unix errors) become one-line `stt: ...`
+   messages with a non-zero exit, matching the typed error paths above *)
+let () =
+  match Cmd.eval ~catch:false main with
+  | code -> exit code
+  | exception Failure msg | exception Sys_error msg ->
+      Format.eprintf "stt: %s@." msg;
+      exit 1
+  | exception Unix.Unix_error (e, fn, arg) ->
+      Format.eprintf "stt: %s%s: %s@." fn
+        (if arg = "" then "" else " " ^ arg)
+        (Unix.error_message e);
+      exit 1

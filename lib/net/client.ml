@@ -1,0 +1,47 @@
+type t = { fd : Unix.file_descr; mutable open_ : bool }
+
+let ( let* ) r f = Result.bind r f
+
+let connect ?(host = "127.0.0.1") ~port () =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  match
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    try
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+      Unix.setsockopt fd Unix.TCP_NODELAY true;
+      fd
+    with e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise e
+  with
+  | fd -> (
+      match
+        let* () = Frame.write_hello fd in
+        Frame.read_hello fd
+      with
+      | Ok () -> Ok { fd; open_ = true }
+      | Error e ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          Error e)
+  | exception Unix.Unix_error (e, _, _) ->
+      Error (Frame.Io_error (Unix.error_message e))
+
+let send t req =
+  if not t.open_ then Error Frame.Closed
+  else Frame.write_frame t.fd (Frame.encode_request req)
+
+let recv t =
+  if not t.open_ then Error Frame.Closed
+  else
+    let* blob = Frame.read_frame t.fd in
+    Frame.decode_response blob
+
+let rpc t req =
+  let* () = send t req in
+  recv t
+
+let close t =
+  if t.open_ then begin
+    t.open_ <- false;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end

@@ -1,0 +1,21 @@
+(** Blocking client connection to a {!Server}.
+
+    [connect] performs the hello exchange; afterwards {!rpc} (or
+    {!send}/{!recv} for pipelining) moves whole frames.  One connection
+    must not be shared between domains without external serialization —
+    the load generator gives each connection its own domain. *)
+
+type t
+
+val connect : ?host:string -> port:int -> unit -> (t, Frame.error) result
+(** TCP connect (default host [127.0.0.1], [TCP_NODELAY]), write our
+    hello, read and validate the server's. *)
+
+val send : t -> Frame.request -> (unit, Frame.error) result
+val recv : t -> (Frame.response, Frame.error) result
+
+val rpc : t -> Frame.request -> (Frame.response, Frame.error) result
+(** [send] then [recv] — one closed-loop round trip. *)
+
+val close : t -> unit
+(** Idempotent. *)

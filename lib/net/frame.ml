@@ -1,0 +1,308 @@
+open Stt_relation
+module Codec = Stt_store.Codec
+module Crc32 = Stt_store.Crc32
+
+let magic = "\x89STTWIRE"
+let protocol_version = 1
+let hello_len = String.length magic + 4
+let max_frame_len = 1 lsl 26
+
+type error =
+  | Io_error of string
+  | Closed
+  | Bad_magic
+  | Version_skew of { found : int; expected : int }
+  | Truncated of string
+  | Checksum_mismatch
+  | Malformed of string
+
+let error_to_string = function
+  | Io_error msg -> "io error: " ^ msg
+  | Closed -> "connection closed by peer"
+  | Bad_magic -> "not an stt-net peer (bad magic)"
+  | Version_skew { found; expected } ->
+      Printf.sprintf "peer speaks protocol version %d, this build expects %d"
+        found expected
+  | Truncated ctx -> "truncated frame: " ^ ctx
+  | Checksum_mismatch -> "frame checksum mismatch"
+  | Malformed ctx -> "malformed frame: " ^ ctx
+
+let pp_error ppf e = Format.pp_print_string ppf (error_to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* frame types                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type request =
+  | Answer of {
+      id : int;
+      deadline_us : int;
+      arity : int;
+      tuples : int array list;
+    }
+  | Stats of { id : int }
+  | Health of { id : int }
+
+type reject = Overloaded | Deadline_exceeded | Bad_request of string
+
+type answer = { rows : int array list; row_arity : int; cost : Cost.snapshot }
+
+type health = { ready : bool; space : int; workers : int; queue_capacity : int }
+
+type response =
+  | Answers of { id : int; answers : answer list }
+  | Rejected of { id : int; reject : reject }
+  | Stats_reply of { id : int; json : string }
+  | Health_reply of { id : int; health : health }
+
+let tag_answer = 0x01
+let tag_stats = 0x02
+let tag_health = 0x03
+let tag_answers = 0x81
+let tag_rejected = 0x82
+let tag_stats_reply = 0x83
+let tag_health_reply = 0x84
+
+(* ------------------------------------------------------------------ *)
+(* encoding                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* every frame blob is body ^ crc32(body), so a flipped byte anywhere in
+   a blob is caught before any field is trusted *)
+let seal body =
+  let e = Codec.encoder () in
+  Codec.write_u32 e (Crc32.string body);
+  body ^ Codec.contents e
+
+let encode_body f =
+  let e = Codec.encoder () in
+  f e;
+  seal (Codec.contents e)
+
+(* arity-0 rows carry no bytes, which trips the codec's count-vs-payload
+   guard; a bare count is enough for them (boolean answers) *)
+let write_rows_any e ~arity rows =
+  if arity = 0 then Codec.write_uint e (List.length rows)
+  else Codec.write_rows e ~arity rows
+
+let read_rows_any d ~arity =
+  if arity = 0 then begin
+    let n = Codec.read_uint d in
+    if n > 1 lsl 30 then raise (Codec.Corrupt "row count");
+    List.init n (fun _ -> [||])
+  end
+  else Codec.read_rows d ~arity
+
+let encode_request req =
+  encode_body @@ fun e ->
+  match req with
+  | Answer { id; deadline_us; arity; tuples } ->
+      Codec.write_u8 e tag_answer;
+      Codec.write_uint e id;
+      Codec.write_uint e deadline_us;
+      Codec.write_uint e arity;
+      write_rows_any e ~arity tuples
+  | Stats { id } ->
+      Codec.write_u8 e tag_stats;
+      Codec.write_uint e id
+  | Health { id } ->
+      Codec.write_u8 e tag_health;
+      Codec.write_uint e id
+
+let write_cost e (c : Cost.snapshot) =
+  Codec.write_uint e c.Cost.probes;
+  Codec.write_uint e c.Cost.tuples;
+  Codec.write_uint e c.Cost.scans
+
+let encode_response resp =
+  encode_body @@ fun e ->
+  match resp with
+  | Answers { id; answers } ->
+      Codec.write_u8 e tag_answers;
+      Codec.write_uint e id;
+      Codec.write_list e
+        (fun { rows; row_arity; cost } ->
+          Codec.write_uint e row_arity;
+          write_rows_any e ~arity:row_arity rows;
+          write_cost e cost)
+        answers
+  | Rejected { id; reject } ->
+      Codec.write_u8 e tag_rejected;
+      Codec.write_uint e id;
+      (match reject with
+      | Overloaded -> Codec.write_u8 e 1
+      | Deadline_exceeded -> Codec.write_u8 e 2
+      | Bad_request msg ->
+          Codec.write_u8 e 3;
+          Codec.write_string e msg)
+  | Stats_reply { id; json } ->
+      Codec.write_u8 e tag_stats_reply;
+      Codec.write_uint e id;
+      Codec.write_string e json
+  | Health_reply { id; health } ->
+      Codec.write_u8 e tag_health_reply;
+      Codec.write_uint e id;
+      Codec.write_bool e health.ready;
+      Codec.write_uint e health.space;
+      Codec.write_uint e health.workers;
+      Codec.write_uint e health.queue_capacity
+
+(* ------------------------------------------------------------------ *)
+(* decoding                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* strip + verify the trailing CRC, then run the body decoder; the
+   Codec's exceptions and leftover bytes map to the typed errors *)
+let decode_body what blob f =
+  let len = String.length blob in
+  if len < 4 then Error (Truncated (what ^ " shorter than its checksum"))
+  else
+    let body = String.sub blob 0 (len - 4) in
+    let crc = Codec.decoder (String.sub blob (len - 4) 4) in
+    if Codec.read_u32 crc <> Crc32.string body then Error Checksum_mismatch
+    else
+      let d = Codec.decoder body in
+      match
+        let v = f d in
+        Codec.expect_end d what;
+        v
+      with
+      | v -> Ok v
+      | exception Codec.Short ctx -> Error (Truncated ctx)
+      | exception Codec.Corrupt ctx -> Error (Malformed ctx)
+
+let read_arity what d =
+  let arity = Codec.read_uint d in
+  if arity > 64 then
+    raise (Codec.Corrupt (Printf.sprintf "%s arity %d" what arity))
+  else arity
+
+let decode_request blob =
+  decode_body "request" blob @@ fun d ->
+  match Codec.read_u8 d with
+  | t when t = tag_answer ->
+      let id = Codec.read_uint d in
+      let deadline_us = Codec.read_uint d in
+      let arity = read_arity "access" d in
+      let tuples = read_rows_any d ~arity in
+      Answer { id; deadline_us; arity; tuples }
+  | t when t = tag_stats -> Stats { id = Codec.read_uint d }
+  | t when t = tag_health -> Health { id = Codec.read_uint d }
+  | t -> raise (Codec.Corrupt (Printf.sprintf "unknown request tag 0x%02x" t))
+
+let read_cost d =
+  let probes = Codec.read_uint d in
+  let tuples = Codec.read_uint d in
+  let scans = Codec.read_uint d in
+  { Cost.probes; tuples; scans }
+
+let decode_response blob =
+  decode_body "response" blob @@ fun d ->
+  match Codec.read_u8 d with
+  | t when t = tag_answers ->
+      let id = Codec.read_uint d in
+      let answers =
+        Codec.read_list d (fun () ->
+            let row_arity = read_arity "answer" d in
+            let rows = read_rows_any d ~arity:row_arity in
+            let cost = read_cost d in
+            { rows; row_arity; cost })
+      in
+      Answers { id; answers }
+  | t when t = tag_rejected ->
+      let id = Codec.read_uint d in
+      let reject =
+        match Codec.read_u8 d with
+        | 1 -> Overloaded
+        | 2 -> Deadline_exceeded
+        | 3 -> Bad_request (Codec.read_string d)
+        | n -> raise (Codec.Corrupt (Printf.sprintf "reject code %d" n))
+      in
+      Rejected { id; reject }
+  | t when t = tag_stats_reply ->
+      let id = Codec.read_uint d in
+      Stats_reply { id; json = Codec.read_string d }
+  | t when t = tag_health_reply ->
+      let id = Codec.read_uint d in
+      let ready = Codec.read_bool d in
+      let space = Codec.read_uint d in
+      let workers = Codec.read_uint d in
+      let queue_capacity = Codec.read_uint d in
+      Health_reply
+        { id; health = { ready; space; workers; queue_capacity } }
+  | t -> raise (Codec.Corrupt (Printf.sprintf "unknown response tag 0x%02x" t))
+
+(* ------------------------------------------------------------------ *)
+(* hello                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let hello =
+  let e = Codec.encoder () in
+  Codec.write_u32 e protocol_version;
+  magic ^ Codec.contents e
+
+let check_hello s =
+  if String.length s <> hello_len then Error (Truncated "hello")
+  else if String.sub s 0 (String.length magic) <> magic then Error Bad_magic
+  else
+    let d = Codec.decoder (String.sub s (String.length magic) 4) in
+    let found = Codec.read_u32 d in
+    if found <> protocol_version then
+      Error (Version_skew { found; expected = protocol_version })
+    else Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* blocking frame I/O                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let rec really_write fd s pos len =
+  if len = 0 then Ok ()
+  else
+    match Unix.write_substring fd s pos len with
+    | 0 -> Error Closed
+    | n -> really_write fd s (pos + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> really_write fd s pos len
+    | exception Unix.Unix_error (Unix.EPIPE, _, _) -> Error Closed
+    | exception Unix.Unix_error (e, _, _) ->
+        Error (Io_error (Unix.error_message e))
+
+let really_read fd n =
+  let buf = Bytes.create n in
+  let rec go pos =
+    if pos = n then Ok (Bytes.unsafe_to_string buf)
+    else
+      match Unix.read fd buf pos (n - pos) with
+      | 0 -> if pos = 0 then Error Closed else Error (Truncated "frame body")
+      | k -> go (pos + k)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go pos
+      | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> Error Closed
+      | exception Unix.Unix_error (e, _, _) ->
+          Error (Io_error (Unix.error_message e))
+  in
+  go 0
+
+let write_frame fd blob =
+  let e = Codec.encoder () in
+  Codec.write_u32 e (String.length blob);
+  let framed = Codec.contents e ^ blob in
+  really_write fd framed 0 (String.length framed)
+
+let read_frame fd =
+  match really_read fd 4 with
+  | Error _ as e -> e
+  | Ok prefix -> (
+      let len = Codec.read_u32 (Codec.decoder prefix) in
+      if len < 4 || len > max_frame_len then
+        Error (Malformed (Printf.sprintf "frame length %d" len))
+      else
+        match really_read fd len with
+        | Error Closed -> Error (Truncated "frame body")
+        | r -> r)
+
+let write_hello fd = really_write fd hello 0 (String.length hello)
+
+let read_hello fd =
+  match really_read fd hello_len with
+  | Error Closed -> Error Closed
+  | Error _ as e -> e
+  | Ok s -> check_hello s

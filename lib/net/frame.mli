@@ -1,0 +1,121 @@
+(** Wire protocol of the network serving layer.
+
+    A connection opens with a fixed-size hello (8-byte magic + u32 LE
+    protocol version, sent by {e both} peers immediately after connect);
+    everything after the hellos is length-prefixed frames:
+
+    {v
+      length   u32 LE — byte length of body + crc
+      body     Codec-encoded frame (u8 tag, then fields)
+      crc32    u32 LE, CRC-32 of the body bytes
+    v}
+
+    Bodies reuse {!Stt_store.Codec} primitives (LEB128 varints, zigzag
+    for signed values, column-major delta row blocks), so a batch of
+    sorted access tuples costs a few bits per value on the wire.  The
+    per-frame CRC means any single-byte corruption surfaces as a typed
+    {!error} — same contract as the snapshot store, checked by the same
+    style of flip-sweep test.
+
+    Decoding is total: every decoder returns a [result], never raises,
+    and validates strictly (full consumption, checksum, known tags). *)
+
+open Stt_relation
+
+val magic : string
+(** 8 bytes, ["\x89STTWIRE"]. *)
+
+val protocol_version : int
+(** Bumped on any wire change; hellos must match exactly. *)
+
+val hello_len : int
+(** Byte length of the hello blob (magic + version). *)
+
+val max_frame_len : int
+(** Hard cap on a frame's length prefix (64 MiB) — a corrupt or hostile
+    length decodes to {!error} instead of an unbounded allocation. *)
+
+type error =
+  | Io_error of string  (** socket read/write failed (errno message) *)
+  | Closed  (** peer closed the connection mid-frame or mid-hello *)
+  | Bad_magic  (** the peer's hello does not start with {!magic} *)
+  | Version_skew of { found : int; expected : int }
+      (** the peer speaks an incompatible protocol version *)
+  | Truncated of string  (** frame body ends mid-structure (context) *)
+  | Checksum_mismatch  (** frame body CRC differs *)
+  | Malformed of string
+      (** bytes decode to an impossible structure (context) *)
+
+val error_to_string : error -> string
+val pp_error : Format.formatter -> error -> unit
+
+(** {1 Frame types} *)
+
+type request =
+  | Answer of {
+      id : int;
+      deadline_us : int;
+          (** serving budget in µs from server receipt; [0] = none.  The
+              server checks it before and after the engine call and
+              replies [Deadline_exceeded] when blown. *)
+      arity : int;
+      tuples : int array list;  (** batch of access tuples, one request each *)
+    }
+  | Stats of { id : int }  (** fetch the server's observability trace *)
+  | Health of { id : int }  (** readiness probe *)
+
+type reject =
+  | Overloaded  (** job queue full — shed instead of queueing unboundedly *)
+  | Deadline_exceeded
+  | Bad_request of string
+
+type answer = {
+  rows : int array list;  (** this tuple's answer slice, sorted *)
+  row_arity : int;
+  cost : Cost.snapshot;  (** per-request online op counts *)
+}
+
+type health = {
+  ready : bool;
+  space : int;  (** stored tuples of the served engine *)
+  workers : int;
+  queue_capacity : int;
+}
+
+type response =
+  | Answers of { id : int; answers : answer list }
+      (** in the order of the request's tuples *)
+  | Rejected of { id : int; reject : reject }
+  | Stats_reply of { id : int; json : string }
+      (** the server's [Obs.trace] document, serialized *)
+  | Health_reply of { id : int; health : health }
+
+(** {1 Encoding / decoding}
+
+    Encoders produce the [body ^ crc] blob (no length prefix); decoders
+    take exactly that blob. *)
+
+val encode_request : request -> string
+val decode_request : string -> (request, error) result
+val encode_response : response -> string
+val decode_response : string -> (response, error) result
+
+val hello : string
+(** The blob each peer writes immediately after connect. *)
+
+val check_hello : string -> (unit, error) result
+
+(** {1 Blocking frame I/O}
+
+    Used by the client and the load generator; the server's accept loop
+    does its own non-blocking buffering over the same framing layout
+    (u32 length prefix + blob). *)
+
+val write_frame : Unix.file_descr -> string -> (unit, error) result
+(** Length prefix + blob, written fully. *)
+
+val read_frame : Unix.file_descr -> (string, error) result
+(** Read one length prefix and exactly that many bytes. *)
+
+val write_hello : Unix.file_descr -> (unit, error) result
+val read_hello : Unix.file_descr -> (unit, error) result

@@ -1,0 +1,199 @@
+module Obs = Stt_obs.Obs
+module Scenario = Stt_workload.Scenario
+
+type config = {
+  host : string;
+  port : int;
+  connections : int;
+  requests : int;
+  batch : int;
+  arity : int;
+  values : int;
+  skew : float;
+  seed : int;
+  deadline_ms : int;
+}
+
+type report = {
+  sent : int;
+  answered : int;
+  rows : int;
+  rejected_overload : int;
+  rejected_deadline : int;
+  lost : int;
+  duplicated : int;
+  mismatched : int;
+  errors : int;
+  elapsed_s : float;
+  p50_us : float;
+  p95_us : float;
+  p99_us : float;
+  throughput : float;
+}
+
+(* per-connection tallies, merged in connection order at the end *)
+type tally = {
+  mutable t_sent : int;
+  mutable t_answered : int;
+  mutable t_rows : int;
+  mutable t_overload : int;
+  mutable t_deadline : int;
+  mutable t_lost : int;
+  mutable t_dup : int;
+  mutable t_mismatched : int;
+  mutable t_errors : int;
+  mutable t_connected : bool;
+}
+
+let new_tally () =
+  { t_sent = 0; t_answered = 0; t_rows = 0; t_overload = 0; t_deadline = 0;
+    t_lost = 0; t_dup = 0; t_mismatched = 0; t_errors = 0; t_connected = false }
+
+let rec chunks k = function
+  | [] -> []
+  | l ->
+      let rec take n acc = function
+        | rest when n = 0 -> (List.rev acc, rest)
+        | [] -> (List.rev acc, [])
+        | x :: rest -> take (n - 1) (x :: acc) rest
+      in
+      let c, rest = take k [] l in
+      c :: chunks k rest
+
+let check_answers tally ?verify ~batch answers =
+  let n_batch = List.length batch and n_ans = List.length answers in
+  tally.t_answered <- tally.t_answered + Stdlib.min n_batch n_ans;
+  (* a short reply loses the tail of the batch; a long one duplicated *)
+  if n_ans < n_batch then tally.t_lost <- tally.t_lost + (n_batch - n_ans);
+  if n_ans > n_batch then tally.t_dup <- tally.t_dup + (n_ans - n_batch);
+  List.iter
+    (fun (a : Frame.answer) -> tally.t_rows <- tally.t_rows + List.length a.rows)
+    answers;
+  match verify with
+  | None -> ()
+  | Some f ->
+      let expected = f ~arity:(match batch with
+        | t :: _ -> Array.length t
+        | [] -> 0) batch
+      in
+      List.iteri
+        (fun i (a : Frame.answer) ->
+          match List.nth_opt expected i with
+          | Some rows when List.equal (fun x y -> Stt_relation.Tuple.compare x y = 0) a.rows rows -> ()
+          | _ -> tally.t_mismatched <- tally.t_mismatched + 1)
+        answers
+
+let drive_connection ?verify cfg index n_requests tally =
+  match Client.connect ~host:cfg.host ~port:cfg.port () with
+  | Error _ -> ()
+  | Ok client ->
+      tally.t_connected <- true;
+      let tuples =
+        Scenario.zipf_requests
+          ~seed:(cfg.seed + (7919 * (index + 1)))
+          ~n:cfg.values ~requests:n_requests ~skew:cfg.skew ~arity:cfg.arity
+      in
+      let batches = chunks cfg.batch tuples in
+      let deadline_us = cfg.deadline_ms * 1000 in
+      let seq = ref 0 in
+      (try
+         List.iter
+           (fun batch ->
+             let id = (index * 1_000_000) + !seq in
+             incr seq;
+             let n = List.length batch in
+             let req =
+               Frame.Answer { id; deadline_us; arity = cfg.arity;
+                              tuples = batch }
+             in
+             let t0 = Unix.gettimeofday () in
+             match Client.rpc client req with
+             | Error _ ->
+                 (* the frame may or may not have left; either way these
+                    tuples got no answer *)
+                 tally.t_sent <- tally.t_sent + n;
+                 tally.t_errors <- tally.t_errors + n;
+                 raise Stdlib.Exit
+             | Ok resp -> (
+                 tally.t_sent <- tally.t_sent + n;
+                 Obs.observe "net.rtt_us"
+                   ((Unix.gettimeofday () -. t0) *. 1e6);
+                 match resp with
+                 | Frame.Answers { id = rid; answers } when rid = id ->
+                     check_answers tally ?verify ~batch answers
+                 | Frame.Rejected { id = rid; reject } when rid = id -> (
+                     match reject with
+                     | Frame.Overloaded ->
+                         tally.t_overload <- tally.t_overload + n
+                     | Frame.Deadline_exceeded ->
+                         tally.t_deadline <- tally.t_deadline + n
+                     | Frame.Bad_request _ ->
+                         tally.t_errors <- tally.t_errors + n)
+                 | _ ->
+                     (* a reply for a request we are not waiting on *)
+                     tally.t_dup <- tally.t_dup + 1;
+                     tally.t_lost <- tally.t_lost + n))
+           batches
+       with Stdlib.Exit -> ());
+      Client.close client
+
+let run ?verify cfg =
+  if cfg.connections < 1 then Error "connections must be >= 1"
+  else if cfg.requests < 1 then Error "requests must be >= 1"
+  else if cfg.batch < 1 then Error "batch must be >= 1"
+  else begin
+    let was_enabled = Obs.enabled () in
+    Obs.set_enabled true;
+    Fun.protect ~finally:(fun () -> Obs.set_enabled was_enabled) @@ fun () ->
+    let per_conn =
+      let base = cfg.requests / cfg.connections
+      and extra = cfg.requests mod cfg.connections in
+      List.init cfg.connections (fun i -> base + if i < extra then 1 else 0)
+    in
+    let tallies = List.map (fun _ -> new_tally ()) per_conn in
+    let t0 = Unix.gettimeofday () in
+    let domains =
+      List.mapi
+        (fun i (n, tally) ->
+          let ctx = Obs.create_context () in
+          let d =
+            Domain.spawn (fun () ->
+                Obs.with_context ctx (fun () ->
+                    drive_connection ?verify cfg i n tally))
+          in
+          (d, ctx))
+        (List.combine per_conn tallies)
+    in
+    List.iter (fun (d, _) -> Domain.join d) domains;
+    let elapsed_s = Unix.gettimeofday () -. t0 in
+    if not (List.exists (fun t -> t.t_connected) tallies) then
+      Error
+        (Printf.sprintf "no connection could reach %s:%d" cfg.host cfg.port)
+    else begin
+      (* merge the per-connection traces into the caller's context, in
+         connection order: the report's percentiles and the caller's
+         [Obs.trace] read the same merged histogram *)
+      List.iter (fun (_, ctx) -> Obs.adopt ctx) domains;
+      let sum f = List.fold_left (fun acc t -> acc + f t) 0 tallies in
+      let answered = sum (fun t -> t.t_answered) in
+      Ok
+        {
+          sent = sum (fun t -> t.t_sent);
+          answered;
+          rows = sum (fun t -> t.t_rows);
+          rejected_overload = sum (fun t -> t.t_overload);
+          rejected_deadline = sum (fun t -> t.t_deadline);
+          lost = sum (fun t -> t.t_lost);
+          duplicated = sum (fun t -> t.t_dup);
+          mismatched = sum (fun t -> t.t_mismatched);
+          errors = sum (fun t -> t.t_errors);
+          elapsed_s;
+          p50_us = Obs.percentile "net.rtt_us" 0.50;
+          p95_us = Obs.percentile "net.rtt_us" 0.95;
+          p99_us = Obs.percentile "net.rtt_us" 0.99;
+          throughput =
+            (if elapsed_s > 0.0 then float_of_int answered /. elapsed_s
+             else 0.0);
+        }
+    end
+  end

@@ -1,0 +1,58 @@
+(** Closed-loop multi-connection load generator for {!Server}.
+
+    One domain per connection; each domain opens its own TCP connection,
+    then repeatedly sends a batch of Zipf-distributed access tuples and
+    waits for the reply before sending the next (closed loop, one
+    outstanding frame per connection).  Every round trip's latency is
+    {!Obs.observe}d into the [net.rtt_us] histogram of the connection's
+    context; the contexts are adopted in connection order into the
+    {e caller's} current context, and the report's p50/p95/p99 are read
+    back with {!Obs.percentile} — the summary numbers and the caller's
+    trace JSON can never disagree.
+
+    Accounting is per access tuple: [sent] splits exactly into
+    [answered + rejected_overload + rejected_deadline + errors + lost],
+    and any reply that does not match the one outstanding request id is
+    counted in [duplicated].  A clean run has [lost = duplicated =
+    mismatched = errors = 0]. *)
+
+type config = {
+  host : string;
+  port : int;
+  connections : int;  (** client connections = load-generating domains *)
+  requests : int;  (** total access tuples across all connections *)
+  batch : int;  (** tuples per request frame *)
+  arity : int;  (** access tuple arity *)
+  values : int;  (** Zipf domain size (values are drawn from [0, values)) *)
+  skew : float;  (** Zipf exponent *)
+  seed : int;
+  deadline_ms : int;  (** per-request serving budget; [0] = none *)
+}
+
+type report = {
+  sent : int;
+  answered : int;
+  rows : int;  (** total answer rows across all answered tuples *)
+  rejected_overload : int;
+  rejected_deadline : int;
+  lost : int;  (** sent but never answered or rejected *)
+  duplicated : int;  (** replies whose id matches no outstanding request *)
+  mismatched : int;  (** answered tuples whose rows differ from [verify] *)
+  errors : int;  (** tuples burned by transport errors *)
+  elapsed_s : float;
+  p50_us : float;
+  p95_us : float;
+  p99_us : float;
+  throughput : float;  (** answered tuples per second *)
+}
+
+val run :
+  ?verify:(arity:int -> int array list -> int array list list) ->
+  config ->
+  (report, string) result
+(** Drive the full workload and aggregate.  [verify], given each batch,
+    returns the expected sorted answer rows per tuple (e.g. from a local
+    [Engine.answer_batch] over the same data); answered tuples are
+    compared against it.  Returns [Error] only for unusable configs or
+    when {e no} connection could connect; per-connection failures after
+    that surface in the counters.  Temporarily enables {!Obs}. *)

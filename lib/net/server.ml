@@ -1,0 +1,480 @@
+open Stt_relation
+module Obs = Stt_obs.Obs
+module Json = Stt_obs.Json
+
+type handler =
+  arity:int -> int array list -> (int array list * int * Cost.snapshot) list
+
+let engine_handler engine ~arity tuples =
+  let module Engine = Stt_core.Engine in
+  let schema = Engine.access_schema engine in
+  if arity <> Schema.arity schema then
+    failwith
+      (Printf.sprintf "access arity %d, engine expects %d" arity
+         (Schema.arity schema));
+  let requests =
+    List.map (fun tup -> Relation.of_list schema [ tup ]) tuples
+  in
+  Engine.answer_batch engine requests
+  |> List.map (fun (rel, cost) ->
+         let rows = List.sort Tuple.compare (Relation.to_list rel) in
+         (rows, Schema.arity (Relation.schema rel), cost))
+
+type stats = {
+  connections : int;
+  received : int;
+  answered : int;
+  rejected_overload : int;
+  rejected_deadline : int;
+  bad_requests : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* bounded job queue: non-blocking push (full -> shed), blocking pop    *)
+(* ------------------------------------------------------------------ *)
+
+module Bq = struct
+  type 'a t = {
+    q : 'a Queue.t;
+    cap : int;
+    m : Mutex.t;
+    c : Condition.t;
+    mutable closed : bool;
+  }
+
+  let create cap =
+    { q = Queue.create (); cap; m = Mutex.create (); c = Condition.create ();
+      closed = false }
+
+  let try_push t x =
+    Mutex.protect t.m (fun () ->
+        if t.closed || Queue.length t.q >= t.cap then false
+        else begin
+          Queue.push x t.q;
+          Condition.signal t.c;
+          true
+        end)
+
+  (* blocks until an element arrives; [None] once closed and drained *)
+  let pop t =
+    Mutex.protect t.m (fun () ->
+        let rec go () =
+          if not (Queue.is_empty t.q) then Some (Queue.pop t.q)
+          else if t.closed then None
+          else begin
+            Condition.wait t.c t.m;
+            go ()
+          end
+        in
+        go ())
+
+  let close t =
+    Mutex.protect t.m (fun () ->
+        t.closed <- true;
+        Condition.broadcast t.c)
+end
+
+(* ------------------------------------------------------------------ *)
+(* per-connection read buffer (owned by the IO domain)                  *)
+(* ------------------------------------------------------------------ *)
+
+module Rbuf = struct
+  type t = { mutable data : Bytes.t; mutable pos : int; mutable len : int }
+
+  let create () = { data = Bytes.create 4096; pos = 0; len = 0 }
+  let length b = b.len
+
+  let ensure b n =
+    if b.pos > 0 then begin
+      Bytes.blit b.data b.pos b.data 0 b.len;
+      b.pos <- 0
+    end;
+    if Bytes.length b.data - b.len < n then begin
+      let cap = ref (2 * Bytes.length b.data) in
+      while !cap - b.len < n do
+        cap := !cap * 2
+      done;
+      let d = Bytes.create !cap in
+      Bytes.blit b.data 0 d 0 b.len;
+      b.data <- d
+    end
+
+  (* one read(2); the caller selects first, so this does not block *)
+  let fill b fd =
+    ensure b 65536;
+    let n = Unix.read fd b.data b.len (Bytes.length b.data - b.len) in
+    b.len <- b.len + n;
+    n
+
+  let peek b n = Bytes.sub_string b.data b.pos n
+
+  let consume b n =
+    b.pos <- b.pos + n;
+    b.len <- b.len - n
+end
+
+type conn = {
+  fd : Unix.file_descr;
+  rbuf : Rbuf.t;
+  wmutex : Mutex.t;
+  mutable hello_done : bool;
+  mutable open_ : bool; (* guarded by wmutex: false once fd is closed *)
+}
+
+type job = {
+  jconn : conn;
+  jid : int;
+  jarity : int;
+  jtuples : int array list;
+  jdeadline : float; (* absolute gettimeofday seconds; infinity = none *)
+}
+
+type t = {
+  listen_fd : Unix.file_descr;
+  bound_port : int;
+  space : int;
+  workers : int;
+  queue_capacity : int;
+  queue : job Bq.t;
+  handler : handler;
+  stop_flag : bool Atomic.t;
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
+  obs_mutex : Mutex.t;
+  obs_ctx : Obs.context;
+  conns_mutex : Mutex.t;
+  conns : (Unix.file_descr, conn) Hashtbl.t;
+  c_conns : int Atomic.t;
+  c_received : int Atomic.t;
+  c_answered : int Atomic.t;
+  c_overload : int Atomic.t;
+  c_deadline : int Atomic.t;
+  c_bad : int Atomic.t;
+  mutable io_domain : unit Domain.t option;
+  mutable worker_domains : unit Domain.t list;
+}
+
+let port t = t.bound_port
+
+let stats t =
+  {
+    connections = Atomic.get t.c_conns;
+    received = Atomic.get t.c_received;
+    answered = Atomic.get t.c_answered;
+    rejected_overload = Atomic.get t.c_overload;
+    rejected_deadline = Atomic.get t.c_deadline;
+    bad_requests = Atomic.get t.c_bad;
+  }
+
+let trace_json t =
+  Mutex.protect t.obs_mutex (fun () ->
+      Obs.with_context t.obs_ctx (fun () -> Json.to_string (Obs.trace ())))
+
+(* Writes come from worker domains and the IO domain; the per-connection
+   mutex serializes them and guards [open_] so nobody writes to (or
+   double-closes) a dead fd.  Write failures just drop the connection's
+   replies — the peer is gone. *)
+let send_response conn resp =
+  let blob = Frame.encode_response resp in
+  Mutex.protect conn.wmutex (fun () ->
+      if conn.open_ then ignore (Frame.write_frame conn.fd blob))
+
+let close_conn t conn =
+  Mutex.protect conn.wmutex (fun () ->
+      if conn.open_ then begin
+        conn.open_ <- false;
+        (try Unix.close conn.fd with Unix.Unix_error _ -> ())
+      end);
+  Mutex.protect t.conns_mutex (fun () -> Hashtbl.remove t.conns conn.fd)
+
+(* ------------------------------------------------------------------ *)
+(* worker domains                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let serve_job t job =
+  let started = Unix.gettimeofday () in
+  if started > job.jdeadline then begin
+    Atomic.incr t.c_deadline;
+    send_response job.jconn
+      (Frame.Rejected { id = job.jid; reject = Frame.Deadline_exceeded })
+  end
+  else begin
+    (* each job runs under its own context so worker traces never race;
+       the finished context is adopted into the server's under a lock *)
+    let jctx = Obs.create_context () in
+    let result =
+      Obs.with_context jctx (fun () ->
+          Obs.span "net.request"
+            ~attrs:
+              [
+                ("id", Json.Int job.jid);
+                ("tuples", Json.Int (List.length job.jtuples));
+              ]
+            (fun () ->
+              try Ok (t.handler ~arity:job.jarity job.jtuples) with
+              | Failure msg -> Error msg
+              | e -> Error (Printexc.to_string e)))
+    in
+    let finished = Unix.gettimeofday () in
+    (match result with
+    | Error msg ->
+        Atomic.incr t.c_bad;
+        send_response job.jconn
+          (Frame.Rejected { id = job.jid; reject = Frame.Bad_request msg })
+    | Ok _ when finished > job.jdeadline ->
+        Atomic.incr t.c_deadline;
+        send_response job.jconn
+          (Frame.Rejected { id = job.jid; reject = Frame.Deadline_exceeded })
+    | Ok answers ->
+        Atomic.incr t.c_answered;
+        let answers =
+          List.map
+            (fun (rows, row_arity, cost) -> { Frame.rows; row_arity; cost })
+            answers
+        in
+        send_response job.jconn (Frame.Answers { id = job.jid; answers }));
+    Mutex.protect t.obs_mutex (fun () ->
+        Obs.with_context t.obs_ctx (fun () ->
+            Obs.adopt jctx;
+            Obs.incr "net.requests";
+            Obs.observe "net.serve_us" ((finished -. started) *. 1e6)))
+  end
+
+let worker_loop t () =
+  let rec go () =
+    match Bq.pop t.queue with
+    | None -> ()
+    | Some job ->
+        serve_job t job;
+        go ()
+  in
+  go ()
+
+(* ------------------------------------------------------------------ *)
+(* IO domain: select loop                                               *)
+(* ------------------------------------------------------------------ *)
+
+let handle_request t conn now = function
+  | Frame.Answer { id; deadline_us; arity; tuples } ->
+      Atomic.incr t.c_received;
+      let jdeadline =
+        if deadline_us = 0 then infinity
+        else now +. (float_of_int deadline_us /. 1e6)
+      in
+      let job = { jconn = conn; jid = id; jarity = arity; jtuples = tuples;
+                  jdeadline }
+      in
+      if not (Bq.try_push t.queue job) then begin
+        Atomic.incr t.c_overload;
+        send_response conn (Frame.Rejected { id; reject = Frame.Overloaded })
+      end
+  | Frame.Stats { id } ->
+      send_response conn (Frame.Stats_reply { id; json = trace_json t })
+  | Frame.Health { id } ->
+      send_response conn
+        (Frame.Health_reply
+           {
+             id;
+             health =
+               {
+                 Frame.ready = true;
+                 space = t.space;
+                 workers = t.workers;
+                 queue_capacity = t.queue_capacity;
+               };
+           })
+
+(* cut every complete frame out of the connection's buffer; returns
+   [false] when the connection must be dropped (bad hello / bad frame) *)
+let rec drain_buffer t conn =
+  let buf = conn.rbuf in
+  if not conn.hello_done then
+    if Rbuf.length buf < Frame.hello_len then true
+    else begin
+      let hello = Rbuf.peek buf Frame.hello_len in
+      Rbuf.consume buf Frame.hello_len;
+      match Frame.check_hello hello with
+      | Ok () ->
+          conn.hello_done <- true;
+          drain_buffer t conn
+      | Error _ ->
+          Atomic.incr t.c_bad;
+          false
+    end
+  else if Rbuf.length buf < 4 then true
+  else
+    let len =
+      Stt_store.Codec.read_u32 (Stt_store.Codec.decoder (Rbuf.peek buf 4))
+    in
+    if len < 4 || len > Frame.max_frame_len then begin
+      Atomic.incr t.c_bad;
+      send_response conn
+        (Frame.Rejected
+           {
+             id = 0;
+             reject =
+               Frame.Bad_request (Printf.sprintf "frame length %d" len);
+           });
+      false
+    end
+    else if Rbuf.length buf < 4 + len then true
+    else begin
+      Rbuf.consume buf 4;
+      let blob = Rbuf.peek buf len in
+      Rbuf.consume buf len;
+      match Frame.decode_request blob with
+      | Ok req ->
+          handle_request t conn (Unix.gettimeofday ()) req;
+          drain_buffer t conn
+      | Error e ->
+          (* the stream may be out of sync past a bad frame: answer with
+             a typed rejection, then drop the connection *)
+          Atomic.incr t.c_bad;
+          send_response conn
+            (Frame.Rejected
+               { id = 0; reject = Frame.Bad_request (Frame.error_to_string e) });
+          false
+    end
+
+let accept_loop t () =
+  let live = Hashtbl.create 32 in
+  let add_conn fd =
+    Unix.setsockopt fd Unix.TCP_NODELAY true;
+    let conn =
+      { fd; rbuf = Rbuf.create (); wmutex = Mutex.create ();
+        hello_done = false; open_ = true }
+    in
+    Atomic.incr t.c_conns;
+    Hashtbl.replace live fd conn;
+    Mutex.protect t.conns_mutex (fun () -> Hashtbl.replace t.conns fd conn);
+    (* greet immediately; a peer that never reads its hello has bigger
+       problems than this blocking write *)
+    ignore (Frame.write_hello fd)
+  in
+  let drop conn =
+    Hashtbl.remove live conn.fd;
+    close_conn t conn
+  in
+  let handle_readable conn =
+    match Rbuf.fill conn.rbuf conn.fd with
+    | 0 -> drop conn
+    | _ -> if not (drain_buffer t conn) then drop conn
+    | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+      -> ()
+    | exception Unix.Unix_error (_, _, _) -> drop conn
+  in
+  let rec loop () =
+    if not (Atomic.get t.stop_flag) then begin
+      let conn_fds = Hashtbl.fold (fun fd _ acc -> fd :: acc) live [] in
+      let watched = t.listen_fd :: t.wake_r :: conn_fds in
+      match Unix.select watched [] [] (-1.0) with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | ready, _, _ ->
+          if List.mem t.wake_r ready then begin
+            let scratch = Bytes.create 64 in
+            ignore (try Unix.read t.wake_r scratch 0 64 with _ -> 0)
+          end;
+          if List.mem t.listen_fd ready then begin
+            match Unix.accept t.listen_fd with
+            | fd, _ -> add_conn fd
+            | exception
+                Unix.Unix_error
+                  ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+                ()
+          end;
+          List.iter
+            (fun fd ->
+              match Hashtbl.find_opt live fd with
+              | Some conn -> handle_readable conn
+              | None -> ())
+            ready;
+          loop ()
+    end
+  in
+  loop ();
+  (* drain: no new connections, no new reads; queued jobs still get
+     answered by the workers, so connection fds stay open until [wait] *)
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  Bq.close t.queue
+
+(* ------------------------------------------------------------------ *)
+(* lifecycle                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let start ?(host = "127.0.0.1") ~port ~workers ~queue_capacity ?(space = 0)
+    handler =
+  if workers < 1 then invalid_arg "Server.start: workers must be >= 1";
+  if queue_capacity < 1 then
+    invalid_arg "Server.start: queue_capacity must be >= 1";
+  (* a peer vanishing mid-write must surface as EPIPE, not kill us *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
+  let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+     Unix.bind listen_fd addr;
+     Unix.listen listen_fd 128
+   with e ->
+     (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+     raise e);
+  let bound_port =
+    match Unix.getsockname listen_fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> port
+  in
+  let wake_r, wake_w = Unix.pipe () in
+  let t =
+    {
+      listen_fd;
+      bound_port;
+      space;
+      workers;
+      queue_capacity;
+      queue = Bq.create queue_capacity;
+      handler;
+      stop_flag = Atomic.make false;
+      wake_r;
+      wake_w;
+      obs_mutex = Mutex.create ();
+      obs_ctx = Obs.create_context ();
+      conns_mutex = Mutex.create ();
+      conns = Hashtbl.create 32;
+      c_conns = Atomic.make 0;
+      c_received = Atomic.make 0;
+      c_answered = Atomic.make 0;
+      c_overload = Atomic.make 0;
+      c_deadline = Atomic.make 0;
+      c_bad = Atomic.make 0;
+      io_domain = None;
+      worker_domains = [];
+    }
+  in
+  t.worker_domains <-
+    List.init workers (fun _ -> Domain.spawn (worker_loop t));
+  t.io_domain <- Some (Domain.spawn (accept_loop t));
+  t
+
+let stopping t = Atomic.get t.stop_flag
+
+let stop t =
+  if not (Atomic.exchange t.stop_flag true) then
+    (* wake the select loop; a full pipe just means it is already awake *)
+    try ignore (Unix.write_substring t.wake_w "x" 0 1)
+    with Unix.Unix_error _ -> ()
+
+let wait t =
+  (match t.io_domain with
+  | Some d ->
+      Domain.join d;
+      t.io_domain <- None
+  | None -> ());
+  List.iter Domain.join t.worker_domains;
+  t.worker_domains <- [];
+  let leftovers =
+    Mutex.protect t.conns_mutex (fun () ->
+        Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [])
+  in
+  List.iter (fun c -> close_conn t c) leftovers;
+  (try Unix.close t.wake_r with Unix.Unix_error _ -> ());
+  (try Unix.close t.wake_w with Unix.Unix_error _ -> ());
+  stats t

@@ -1,0 +1,83 @@
+(** Concurrent TCP server for online CQAP answering.
+
+    Threading model: one IO domain runs a [select] loop that accepts
+    connections, buffers bytes and cuts them into frames; decoded
+    [Answer] requests go into a {b bounded} job queue drained by a fixed
+    pool of worker domains, each answering through the shared handler
+    (the engine's online path only touches per-call state, so a single
+    built index serves all workers without locks).  [Stats] and [Health]
+    frames are answered inline by the IO domain.
+
+    Backpressure: when the job queue is full the request is {e shed}
+    with an explicit [Overloaded] rejection instead of queueing
+    unboundedly.  Deadlines: a request's [deadline_us] budget starts at
+    receipt and is checked both before the handler runs and after it
+    returns — either check failing yields [Deadline_exceeded].
+
+    Shutdown: {!stop} stops accepting and reading, lets the workers
+    drain every already-queued job (each gets its reply), then {!wait}
+    joins all domains and closes the sockets.  Per-request observability
+    (spans, op counts, service-time histogram) accumulates in a
+    server-owned {!Obs.context}, served over the wire via [Stats]. *)
+
+open Stt_relation
+
+type handler = arity:int -> int array list -> (int array list * int * Cost.snapshot) list
+(** [handler ~arity tuples] answers a batch of access tuples, returning
+    — in input order — each tuple's sorted answer rows, their arity and
+    the per-request op counts.  Raising [Failure msg] rejects the batch
+    as [Bad_request msg].  Must be safe to call concurrently from
+    multiple domains. *)
+
+val engine_handler : Stt_core.Engine.t -> handler
+(** Answer through [Engine.answer_batch]; rejects batches whose arity
+    differs from the engine's access schema. *)
+
+type stats = {
+  connections : int;  (** accepted over the server's lifetime *)
+  received : int;  (** [Answer] requests received *)
+  answered : int;
+  rejected_overload : int;
+  rejected_deadline : int;
+  bad_requests : int;  (** malformed frames + handler rejections *)
+}
+
+type t
+
+val start :
+  ?host:string ->
+  port:int ->
+  workers:int ->
+  queue_capacity:int ->
+  ?space:int ->
+  handler ->
+  t
+(** Bind [host:port] (default host [127.0.0.1]; port [0] picks an
+    ephemeral port, see {!port}), then spawn the IO domain and [workers]
+    worker domains.  [space] is reported in [Health] replies.  Raises
+    [Invalid_argument] on non-positive [workers] or [queue_capacity];
+    [Unix.Unix_error] if the bind fails. *)
+
+val port : t -> int
+(** The actually bound port. *)
+
+val stop : t -> unit
+(** Begin graceful drain: stop accepting and reading, finish every
+    in-flight (already queued or running) request.  Idempotent and
+    async-signal-safe enough for a [SIGTERM] handler. *)
+
+val stopping : t -> bool
+(** Whether {!stop} has been called — lets a main loop sleep until a
+    signal handler triggers the drain, then {!wait}. *)
+
+val wait : t -> stats
+(** Block until the drain finishes, join every domain, close all
+    sockets and return the totals.  Call once, after {!stop} (or from
+    another domain while a signal handler calls {!stop}). *)
+
+val stats : t -> stats
+(** Current totals (readable while serving). *)
+
+val trace_json : t -> string
+(** The server's accumulated [Obs] trace document, serialized — the
+    payload of a [Stats_reply]. *)

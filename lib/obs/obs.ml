@@ -5,12 +5,20 @@ type span_node = {
   mutable elapsed_s : float;
 }
 
+(* Samples land in log-linear sub-buckets: 64 power-of-two ranges
+   ([0,1), [1,2), [2,4), ...) each split into [sub_buckets] equal-width
+   slots, HDR-histogram style.  The coarse power-of-two view serialized
+   to JSON is the per-range sum; the fine view bounds any percentile
+   estimate's relative error by [1 / sub_buckets] in bounded memory. *)
+let coarse_buckets = 64
+let sub_buckets = 16
+
 type hist = {
   mutable count : int;
   mutable sum : float;
   mutable minv : float;
   mutable maxv : float;
-  buckets : int array; (* bucket i >= 1 covers [2^(i-1), 2^i); bucket 0 is [0,1) *)
+  fine : int array; (* coarse_buckets * sub_buckets log-linear slots *)
 }
 
 type context = {
@@ -62,11 +70,8 @@ let adopt src =
             h0.sum <- h0.sum +. h.sum;
             h0.minv <- Float.min h0.minv h.minv;
             h0.maxv <- Float.max h0.maxv h.maxv;
-            Array.iteri
-              (fun i n -> h0.buckets.(i) <- h0.buckets.(i) + n)
-              h.buckets
-        | None ->
-            Hashtbl.add dst.hist_tbl k { h with buckets = Array.copy h.buckets })
+            Array.iteri (fun i n -> h0.fine.(i) <- h0.fine.(i) + n) h.fine
+        | None -> Hashtbl.add dst.hist_tbl k { h with fine = Array.copy h.fine })
       src.hist_tbl;
     src.roots <- [];
     Hashtbl.reset src.counter_tbl;
@@ -136,7 +141,29 @@ let bucket_of v =
   if v < 1.0 then 0
   else
     let i = 1 + int_of_float (Float.log2 v) in
-    Stdlib.min i 63
+    Stdlib.min i (coarse_buckets - 1)
+
+(* [base b] is the lower bound of coarse bucket [b]; its width equals its
+   base except for bucket 0 ([0,1), width 1). *)
+let bucket_base b = if b = 0 then 0.0 else Float.pow 2.0 (float_of_int (b - 1))
+let bucket_width b = if b = 0 then 1.0 else bucket_base b
+
+let fine_slot v =
+  let v = Float.max 0.0 v in
+  let b = bucket_of v in
+  let frac = (v -. bucket_base b) /. bucket_width b in
+  let s =
+    Stdlib.min (sub_buckets - 1)
+      (Stdlib.max 0 (int_of_float (frac *. float_of_int sub_buckets)))
+  in
+  (b * sub_buckets) + s
+
+(* upper bound of a fine slot — percentile estimates report this bound,
+   so they never under-report *)
+let fine_upper slot =
+  let b = slot / sub_buckets and s = slot mod sub_buckets in
+  bucket_base b
+  +. (bucket_width b *. float_of_int (s + 1) /. float_of_int sub_buckets)
 
 let observe name v =
   if !enabled_flag then begin
@@ -151,7 +178,7 @@ let observe name v =
               sum = 0.0;
               minv = infinity;
               maxv = neg_infinity;
-              buckets = Array.make 64 0;
+              fine = Array.make (coarse_buckets * sub_buckets) 0;
             }
           in
           Hashtbl.add ctx.hist_tbl name h;
@@ -161,9 +188,33 @@ let observe name v =
     h.sum <- h.sum +. v;
     h.minv <- Float.min h.minv v;
     h.maxv <- Float.max h.maxv v;
-    let b = bucket_of (Float.max 0.0 v) in
-    h.buckets.(b) <- h.buckets.(b) + 1
+    let s = fine_slot v in
+    h.fine.(s) <- h.fine.(s) + 1
   end
+
+let hist_percentile h p =
+  if h.count = 0 then 0.0
+  else
+    let rank =
+      Stdlib.max 1
+        (int_of_float (Float.ceil (p *. float_of_int h.count)))
+    in
+    let rec walk slot cum =
+      if slot >= Array.length h.fine then h.maxv
+      else
+        let cum = cum + h.fine.(slot) in
+        if cum >= rank then fine_upper slot else walk (slot + 1) cum
+    in
+    (* clamp into the exact observed range: a single-sample histogram
+       reports the sample itself, and p → 1 converges to the exact max *)
+    Float.min h.maxv (Float.max h.minv (walk 0 0))
+
+let percentile name p =
+  if not (Float.is_finite p) || p <= 0.0 || p > 1.0 then
+    invalid_arg "Obs.percentile: p must be in (0, 1]";
+  match Hashtbl.find_opt (current ()).hist_tbl name with
+  | None -> 0.0
+  | Some h -> hist_percentile h p
 
 (* ------------------------------------------------------------------ *)
 (* JSON                                                                 *)
@@ -185,14 +236,22 @@ let rec json_of_span s =
   Json.Obj with_children
 
 let json_of_hist h =
+  let coarse b =
+    let acc = ref 0 in
+    for s = b * sub_buckets to ((b + 1) * sub_buckets) - 1 do
+      acc := !acc + h.fine.(s)
+    done;
+    !acc
+  in
   let buckets = ref [] in
-  for i = Array.length h.buckets - 1 downto 0 do
-    if h.buckets.(i) > 0 then
+  for i = coarse_buckets - 1 downto 0 do
+    let n = coarse i in
+    if n > 0 then
       buckets :=
         Json.Obj
           [
             ("lt", Json.Float (Float.pow 2.0 (float_of_int i)));
-            ("n", Json.Int h.buckets.(i));
+            ("n", Json.Int n);
           ]
         :: !buckets
   done;
@@ -202,6 +261,9 @@ let json_of_hist h =
       ("sum", Json.Float h.sum);
       ("min", Json.Float (if h.count = 0 then 0.0 else h.minv));
       ("max", Json.Float (if h.count = 0 then 0.0 else h.maxv));
+      ("p50", Json.Float (hist_percentile h 0.50));
+      ("p95", Json.Float (hist_percentile h 0.95));
+      ("p99", Json.Float (hist_percentile h 0.99));
       ("buckets", Json.List !buckets);
     ]
 

@@ -50,7 +50,22 @@ val counters : unit -> (string * int) list
 
 val observe : string -> float -> unit
 (** Record a sample into a histogram with buckets [[0,1), [1,2), [2,4),
-    [4,8), ...] — negative samples clamp into the first bucket. *)
+    [4,8), ...] — negative samples clamp into the first bucket.  Each
+    power-of-two bucket is internally split into 16 equal-width
+    sub-buckets (HDR-histogram style, bounded memory), which is what
+    {!percentile} reads. *)
+
+val percentile : string -> float -> float
+(** [percentile name p] — approximate p-quantile ([p ∈ (0, 1]]) of the
+    named histogram, computed from the log-linear sub-buckets: the
+    reported value is the upper bound of the sub-bucket holding the
+    rank-[⌈p·count⌉] sample, clamped into the exact observed
+    [[min, max]].  Relative error is at most 1/16 (≈ 6%); a
+    single-sample histogram reports the sample exactly.  Returns [0.0]
+    for a histogram that does not exist or is empty; raises
+    [Invalid_argument] on [p] outside [(0, 1]].  This is where latency
+    summaries (e.g. [stt bench-net]'s p50/p95/p99) come from — the
+    percentiles are also serialized into {!trace}. *)
 
 (** {1 Traces} *)
 

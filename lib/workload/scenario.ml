@@ -1,0 +1,22 @@
+open Stt_hypergraph
+
+let edge_relation = "R"
+
+let single_edge_violation (q : Cq.cqap) =
+  List.find_opt
+    (fun (a : Cq.atom) -> a.Cq.rel <> edge_relation)
+    q.Cq.cq.Cq.atoms
+  |> Option.map (fun (a : Cq.atom) -> a.Cq.rel)
+
+let vertices_for_edges edges = max 10 (edges / 10)
+
+let synthetic_db ~seed ~vertices ~edges =
+  let pairs = Graphs.zipf_both ~seed ~vertices ~edges ~s:1.1 in
+  let db = Stt_core.Db.create () in
+  Stt_core.Db.add_pairs db edge_relation pairs;
+  db
+
+let zipf_requests ~seed ~n ~requests ~skew ~arity =
+  let rng = Rng.create seed in
+  let sample = Rng.zipf_sampler rng ~n ~s:skew in
+  List.init requests (fun _ -> Array.init arity (fun _ -> sample ()))

@@ -1,0 +1,37 @@
+(** The shared synthetic serving scenario.
+
+    [stt demo]/[serve]/[snapshot]/[serve-net], the [bench-net] load
+    generator and the test suite all evaluate CQAPs over the same
+    synthetic workload: a two-sided Zipf graph bound to the single edge
+    relation ["R"], probed by a hot-key Zipf request stream.  This module
+    is the one implementation they share — the graph builder, the
+    vertex-range convention, the single-edge-relation guard and the
+    request-stream generator — so a snapshot written by one command and
+    the streams driven against it by another always agree. *)
+
+open Stt_hypergraph
+
+val edge_relation : string
+(** The relation name every scenario query must be bound to (["R"]). *)
+
+val single_edge_violation : Cq.cqap -> string option
+(** The scenario binds the synthetic graph to the single edge relation
+    {!edge_relation}; [Some rel] names the first atom over anything
+    else, [None] if the query qualifies. *)
+
+val vertices_for_edges : int -> int
+(** [max 10 (edges / 10)] — the vertex range implied by an edge count.
+    Snapshot-time builds and later request streams must use the same
+    convention so requests sample the populated range. *)
+
+val synthetic_db : seed:int -> vertices:int -> edges:int -> Stt_core.Db.t
+(** Two-sided Zipf(1.1) random graph (deduplicated edge set) loaded into
+    a fresh database under {!edge_relation}.  Deterministic in [seed]. *)
+
+val zipf_requests :
+  seed:int -> n:int -> requests:int -> skew:float -> arity:int ->
+  int array list
+(** The hot-key access-request stream: [requests] tuples of [arity]
+    components, each an independent Zipf([skew]) rank in [[0, n)].
+    Deterministic in [seed] — the serving CLI, the network load
+    generator and the benches all replay the same stream. *)

@@ -1,0 +1,420 @@
+(* The network serving layer, bottom to top.
+
+   The frame codec round-trips arbitrary requests and responses and —
+   thanks to the per-frame CRC — rejects every truncation and every
+   single-byte corruption with a typed error, never a crash.  On top, an
+   in-process loopback server must answer exactly what a direct
+   [Engine.answer_batch] call answers (rows and op counts), shed with
+   [Overloaded] when its bounded queue is full, reject blown deadlines
+   with [Deadline_exceeded], and — the drain property — answer every
+   already-accepted request even after [stop]. *)
+
+open Stt_relation
+open Stt_hypergraph
+open Stt_core
+module Frame = Stt_net.Frame
+module Server = Stt_net.Server
+module Client = Stt_net.Client
+module Loadgen = Stt_net.Loadgen
+
+(* ------------------------------------------------------------------ *)
+(* frame codec: round trips                                             *)
+(* ------------------------------------------------------------------ *)
+
+let gen_tuples =
+  QCheck.Gen.(
+    sized_size (int_bound 6) @@ fun arity ->
+    list_size (int_bound 20)
+      (array_size (return arity) (int_bound 1_000_000))
+    >|= fun tuples -> (arity, tuples))
+
+let gen_request =
+  QCheck.Gen.(
+    oneof
+      [
+        ( gen_tuples >>= fun (arity, tuples) ->
+          int_bound 1_000_000 >>= fun id ->
+          int_bound 10_000_000 >|= fun deadline_us ->
+          Frame.Answer { id; deadline_us; arity; tuples } );
+        (int_bound 1_000_000 >|= fun id -> Frame.Stats { id });
+        (int_bound 1_000_000 >|= fun id -> Frame.Health { id });
+      ])
+
+let gen_cost =
+  QCheck.Gen.(
+    triple (int_bound 10_000) (int_bound 10_000) (int_bound 10_000)
+    >|= fun (probes, tuples, scans) -> { Cost.probes; tuples; scans })
+
+let gen_answer =
+  QCheck.Gen.(
+    gen_tuples >>= fun (row_arity, rows) ->
+    gen_cost >|= fun cost -> { Frame.rows; row_arity; cost })
+
+let gen_response =
+  QCheck.Gen.(
+    oneof
+      [
+        ( int_bound 1_000_000 >>= fun id ->
+          list_size (int_bound 8) gen_answer >|= fun answers ->
+          Frame.Answers { id; answers } );
+        ( int_bound 1_000_000 >>= fun id ->
+          oneof
+            [
+              return Frame.Overloaded;
+              return Frame.Deadline_exceeded;
+              (string_size (int_bound 40) >|= fun m -> Frame.Bad_request m);
+            ]
+          >|= fun reject -> Frame.Rejected { id; reject } );
+        ( int_bound 1_000_000 >>= fun id ->
+          string_size (int_bound 200) >|= fun json ->
+          Frame.Stats_reply { id; json } );
+        ( int_bound 1_000_000 >>= fun id ->
+          quad bool (int_bound 100_000) (int_bound 64) (int_bound 4096)
+          >|= fun (ready, space, workers, queue_capacity) ->
+          Frame.Health_reply
+            { id; health = { Frame.ready; space; workers; queue_capacity } } );
+      ])
+
+let request_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"request round-trips"
+    (QCheck.make gen_request) (fun req ->
+      match Frame.decode_request (Frame.encode_request req) with
+      | Ok req' -> req = req'
+      | Error e -> QCheck.Test.fail_reportf "%s" (Frame.error_to_string e))
+
+let response_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"response round-trips"
+    (QCheck.make gen_response) (fun resp ->
+      match Frame.decode_response (Frame.encode_response resp) with
+      | Ok resp' -> resp = resp'
+      | Error e -> QCheck.Test.fail_reportf "%s" (Frame.error_to_string e))
+
+(* ------------------------------------------------------------------ *)
+(* frame codec: damage                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let sample_blobs =
+  lazy
+    [
+      Frame.encode_request
+        (Frame.Answer
+           {
+             id = 7;
+             deadline_us = 250_000;
+             arity = 2;
+             tuples = [ [| 1; 2 |]; [| 3; 4 |]; [| 3; 5 |] ];
+           });
+      Frame.encode_request (Frame.Stats { id = 1 });
+      Frame.encode_response
+        (Frame.Answers
+           {
+             id = 7;
+             answers =
+               [
+                 {
+                   Frame.rows = [ [| 1; 2; 3 |]; [| 4; 5; 6 |] ];
+                   row_arity = 3;
+                   cost = { Cost.probes = 10; tuples = 2; scans = 5 };
+                 };
+               ];
+           });
+      Frame.encode_response
+        (Frame.Rejected { id = 3; reject = Frame.Bad_request "nope" });
+    ]
+
+(* decoding never crashes and never silently succeeds on damaged bytes *)
+let expect_rejected what = function
+  | Ok _ -> Alcotest.failf "%s: decode unexpectedly succeeded" what
+  | Error _ -> ()
+
+let truncation_sweep () =
+  List.iter
+    (fun blob ->
+      for keep = 0 to String.length blob - 1 do
+        let prefix = String.sub blob 0 keep in
+        expect_rejected
+          (Printf.sprintf "request prefix of %d bytes" keep)
+          (Frame.decode_request prefix);
+        expect_rejected
+          (Printf.sprintf "response prefix of %d bytes" keep)
+          (Frame.decode_response prefix)
+      done)
+    (Lazy.force sample_blobs)
+
+let flip_sweep () =
+  List.iter
+    (fun blob ->
+      for pos = 0 to String.length blob - 1 do
+        for bit = 0 to 7 do
+          let damaged = Bytes.of_string blob in
+          Bytes.set damaged pos
+            (Char.chr (Char.code blob.[pos] lxor (1 lsl bit)));
+          let damaged = Bytes.to_string damaged in
+          expect_rejected
+            (Printf.sprintf "request flip byte %d bit %d" pos bit)
+            (Frame.decode_request damaged);
+          expect_rejected
+            (Printf.sprintf "response flip byte %d bit %d" pos bit)
+            (Frame.decode_response damaged)
+        done
+      done)
+    (Lazy.force sample_blobs)
+
+let hello_checks () =
+  Alcotest.(check bool)
+    "own hello accepted" true
+    (Frame.check_hello Frame.hello = Ok ());
+  (match Frame.check_hello ("XXXXXXXX" ^ String.make 4 '\000') with
+  | Error Frame.Bad_magic -> ()
+  | _ -> Alcotest.fail "bad magic not detected");
+  let skewed = String.sub Frame.hello 0 8 ^ "\x63\x00\x00\x00" in
+  (match Frame.check_hello skewed with
+  | Error (Frame.Version_skew { found = 0x63; _ }) -> ()
+  | _ -> Alcotest.fail "version skew not detected");
+  match Frame.check_hello "short" with
+  | Error (Frame.Truncated _) -> ()
+  | _ -> Alcotest.fail "short hello not detected"
+
+(* ------------------------------------------------------------------ *)
+(* loopback fixture                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let fixture =
+  lazy
+    (let q = Cq.Library.k_path 2 in
+     let db = Stt_workload.Scenario.synthetic_db ~seed:11 ~vertices:300 ~edges:2500 in
+     Engine.build_auto ~max_pmtds:128 q ~db ~budget:500)
+
+let fixture_tuples n seed =
+  let idx = Lazy.force fixture in
+  let arity = Schema.arity (Engine.access_schema idx) in
+  let rng = Stt_workload.Rng.create seed in
+  List.init n (fun _ ->
+      Array.init arity (fun _ -> Stt_workload.Rng.int rng 300))
+
+let with_server ?(workers = 2) ?(queue = 64) handler f =
+  let server =
+    Server.start ~port:0 ~workers ~queue_capacity:queue handler
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop server;
+      ignore (Server.wait server))
+    (fun () -> f server)
+
+let with_client server f =
+  match Client.connect ~port:(Server.port server) () with
+  | Error e -> Alcotest.failf "connect: %s" (Frame.error_to_string e)
+  | Ok client -> Fun.protect ~finally:(fun () -> Client.close client) (fun () -> f client)
+
+let rpc_exn client req =
+  match Client.rpc client req with
+  | Ok resp -> resp
+  | Error e -> Alcotest.failf "rpc: %s" (Frame.error_to_string e)
+
+let loopback_matches_direct () =
+  let idx = Lazy.force fixture in
+  let arity = Schema.arity (Engine.access_schema idx) in
+  let handler = Server.engine_handler idx in
+  with_server handler @@ fun server ->
+  with_client server @@ fun client ->
+  (* several batches, including a repeated tuple inside one batch *)
+  List.iteri
+    (fun i tuples ->
+      let expected = handler ~arity tuples in
+      match rpc_exn client (Frame.Answer { id = i; deadline_us = 0; arity; tuples }) with
+      | Frame.Answers { id; answers } ->
+          Alcotest.(check int) "id echoed" i id;
+          Alcotest.(check int) "answer per tuple" (List.length expected)
+            (List.length answers);
+          List.iter2
+            (fun (rows, row_arity, cost) (a : Frame.answer) ->
+              Alcotest.(check (list (array int))) "same rows" rows a.Frame.rows;
+              Alcotest.(check int) "same arity" row_arity a.Frame.row_arity;
+              Alcotest.(check bool) "same op counts" true (cost = a.Frame.cost))
+            expected answers
+      | _ -> Alcotest.fail "expected Answers")
+    [
+      fixture_tuples 5 21;
+      fixture_tuples 16 22;
+      (match fixture_tuples 1 23 with
+      | [ t ] -> [ t; Array.copy t; t ]
+      | _ -> assert false);
+    ]
+
+let health_and_stats () =
+  let idx = Lazy.force fixture in
+  with_server ~workers:3 ~queue:17 (Server.engine_handler idx) @@ fun server ->
+  with_client server @@ fun client ->
+  (match rpc_exn client (Frame.Health { id = 42 }) with
+  | Frame.Health_reply { id = 42; health } ->
+      Alcotest.(check bool) "ready" true health.Frame.ready;
+      Alcotest.(check int) "workers" 3 health.Frame.workers;
+      Alcotest.(check int) "queue" 17 health.Frame.queue_capacity
+  | _ -> Alcotest.fail "expected Health_reply");
+  match rpc_exn client (Frame.Stats { id = 43 }) with
+  | Frame.Stats_reply { id = 43; json } -> (
+      match Stt_obs.Json.of_string json with
+      | Ok (Stt_obs.Json.Obj _) -> ()
+      | Ok _ -> Alcotest.fail "stats is not a JSON object"
+      | Error e -> Alcotest.failf "stats JSON does not parse: %s" e)
+  | _ -> Alcotest.fail "expected Stats_reply"
+
+let slow_handler delay_s ~arity tuples =
+  ignore arity;
+  Unix.sleepf delay_s;
+  List.map (fun t -> ([ t ], Array.length t, Cost.zero)) tuples
+
+let deadline_enforced () =
+  with_server ~workers:1 (slow_handler 0.05) @@ fun server ->
+  with_client server @@ fun client ->
+  (* 1 ms budget, 50 ms handler: the post-answer check must trip *)
+  (match
+     rpc_exn client
+       (Frame.Answer
+          { id = 1; deadline_us = 1_000; arity = 1; tuples = [ [| 5 |] ] })
+   with
+  | Frame.Rejected { id = 1; reject = Frame.Deadline_exceeded } -> ()
+  | _ -> Alcotest.fail "expected Deadline_exceeded");
+  (* a generous budget answers normally *)
+  match
+    rpc_exn client
+      (Frame.Answer
+         { id = 2; deadline_us = 5_000_000; arity = 1; tuples = [ [| 5 |] ] })
+  with
+  | Frame.Answers { id = 2; answers = [ a ] } ->
+      Alcotest.(check (list (array int))) "echoed" [ [| 5 |] ] a.Frame.rows
+  | _ -> Alcotest.fail "expected Answers"
+
+let overload_sheds () =
+  (* one slow worker, queue of one: pipelining 10 frames must shed some
+     with OVERLOADED, answer the rest, and reply exactly once per id *)
+  with_server ~workers:1 ~queue:1 (slow_handler 0.05) @@ fun server ->
+  with_client server @@ fun client ->
+  let n = 10 in
+  for id = 0 to n - 1 do
+    match
+      Client.send client
+        (Frame.Answer
+           { id; deadline_us = 0; arity = 1; tuples = [ [| id |] ] })
+    with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "send %d: %s" id (Frame.error_to_string e)
+  done;
+  let seen = Array.make n 0 in
+  let answered = ref 0 and shed = ref 0 in
+  for _ = 1 to n do
+    match Client.recv client with
+    | Ok (Frame.Answers { id; answers = [ a ] }) ->
+        seen.(id) <- seen.(id) + 1;
+        incr answered;
+        Alcotest.(check (list (array int)))
+          "answered id echoes its tuple" [ [| id |] ] a.Frame.rows
+    | Ok (Frame.Rejected { id; reject = Frame.Overloaded }) ->
+        seen.(id) <- seen.(id) + 1;
+        incr shed
+    | Ok _ -> Alcotest.fail "unexpected response kind"
+    | Error e -> Alcotest.failf "recv: %s" (Frame.error_to_string e)
+  done;
+  Array.iteri
+    (fun id c -> Alcotest.(check int) (Printf.sprintf "id %d replied once" id) 1 c)
+    seen;
+  Alcotest.(check int) "all accounted" n (!answered + !shed);
+  Alcotest.(check bool) "something was shed" true (!shed >= 1);
+  Alcotest.(check bool) "something was answered" true (!answered >= 1)
+
+let drain_answers_in_flight () =
+  let server =
+    Server.start ~port:0 ~workers:1 ~queue_capacity:8 (slow_handler 0.05)
+  in
+  match Client.connect ~port:(Server.port server) () with
+  | Error e -> Alcotest.failf "connect: %s" (Frame.error_to_string e)
+  | Ok client ->
+      (match
+         Client.send client
+           (Frame.Answer
+              { id = 9; deadline_us = 0; arity = 1; tuples = [ [| 1 |]; [| 2 |] ] })
+       with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "send: %s" (Frame.error_to_string e));
+      (* let the IO loop queue it, then begin the drain *)
+      Unix.sleepf 0.02;
+      Server.stop server;
+      (match Client.recv client with
+      | Ok (Frame.Answers { id = 9; answers }) ->
+          Alcotest.(check int) "both tuples answered" 2 (List.length answers)
+      | Ok _ -> Alcotest.fail "unexpected response"
+      | Error e -> Alcotest.failf "recv after stop: %s" (Frame.error_to_string e));
+      Client.close client;
+      let stats = Server.wait server in
+      Alcotest.(check int) "answered" 1 stats.Server.answered;
+      Alcotest.(check int) "received" 1 stats.Server.received
+
+(* ------------------------------------------------------------------ *)
+(* load generator                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let loadgen_clean_run () =
+  let idx = Lazy.force fixture in
+  let arity = Schema.arity (Engine.access_schema idx) in
+  let handler = Server.engine_handler idx in
+  with_server ~workers:2 ~queue:256 handler @@ fun server ->
+  let cfg =
+    {
+      Loadgen.host = "127.0.0.1";
+      port = Server.port server;
+      connections = 4;
+      requests = 400;
+      batch = 8;
+      arity;
+      values = 300;
+      skew = 1.1;
+      seed = 77;
+      deadline_ms = 0;
+    }
+  in
+  let verify ~arity tuples =
+    List.map (fun (rows, _, _) -> rows) (handler ~arity tuples)
+  in
+  match Loadgen.run ~verify cfg with
+  | Error e -> Alcotest.failf "loadgen: %s" e
+  | Ok r ->
+      Alcotest.(check int) "all sent" 400 r.Loadgen.sent;
+      Alcotest.(check int) "all answered" 400 r.Loadgen.answered;
+      Alcotest.(check int) "no losses" 0 r.Loadgen.lost;
+      Alcotest.(check int) "no duplicates" 0 r.Loadgen.duplicated;
+      Alcotest.(check int) "no mismatches" 0 r.Loadgen.mismatched;
+      Alcotest.(check int) "no errors" 0 r.Loadgen.errors;
+      Alcotest.(check bool) "latency percentiles ordered" true
+        (r.Loadgen.p50_us > 0.0
+        && r.Loadgen.p50_us <= r.Loadgen.p95_us
+        && r.Loadgen.p95_us <= r.Loadgen.p99_us)
+
+let () =
+  Alcotest.run "net"
+    [
+      ( "frame",
+        [
+          QCheck_alcotest.to_alcotest request_roundtrip;
+          QCheck_alcotest.to_alcotest response_roundtrip;
+          Alcotest.test_case "every truncation is rejected" `Quick
+            truncation_sweep;
+          Alcotest.test_case "every bit flip is rejected" `Slow flip_sweep;
+          Alcotest.test_case "hello validation" `Quick hello_checks;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "loopback equals direct answer_batch" `Quick
+            loopback_matches_direct;
+          Alcotest.test_case "health and stats frames" `Quick health_and_stats;
+          Alcotest.test_case "deadlines are enforced" `Quick deadline_enforced;
+          Alcotest.test_case "full queue sheds with OVERLOADED" `Quick
+            overload_sheds;
+          Alcotest.test_case "graceful drain answers in-flight requests"
+            `Quick drain_answers_in_flight;
+        ] );
+      ( "loadgen",
+        [
+          Alcotest.test_case "clean closed-loop run" `Quick loadgen_clean_run;
+        ] );
+    ]

@@ -142,6 +142,44 @@ let test_histogram () =
     [ (1.0, 2); (2.0, 1); (4.0, 1); (128.0, 1) ]
     buckets
 
+let test_percentiles () =
+  with_obs @@ fun () ->
+  (* 1..1000 uniformly: each percentile's exact value is its rank, and
+     the log-linear sub-buckets bound the estimate to [exact, ~1.07x] *)
+  for i = 1 to 1000 do
+    Obs.observe "p" (float_of_int i)
+  done;
+  List.iter
+    (fun (p, exact) ->
+      let v = Obs.percentile "p" p in
+      Alcotest.check Alcotest.bool
+        (Printf.sprintf "p%.0f in [%.0f, %.0f] (got %.1f)" (100. *. p) exact
+           (exact *. 1.07) v)
+        true
+        (v >= exact && v <= exact *. 1.07))
+    [ (0.50, 500.0); (0.95, 950.0); (0.99, 990.0) ];
+  Alcotest.check (Alcotest.float 1e-9) "p100 is the exact max" 1000.0
+    (Obs.percentile "p" 1.0);
+  Obs.observe "one" 42.0;
+  Alcotest.check (Alcotest.float 1e-9) "single sample is exact" 42.0
+    (Obs.percentile "one" 0.5);
+  Alcotest.check (Alcotest.float 1e-9) "missing histogram" 0.0
+    (Obs.percentile "absent" 0.5);
+  Alcotest.check_raises "p out of range"
+    (Invalid_argument "Obs.percentile: p must be in (0, 1]") (fun () ->
+      ignore (Obs.percentile "p" 0.0));
+  (* the trace JSON reports the same numbers as the API *)
+  let h = member_exn "p" (member_exn "histograms" (Obs.trace ())) in
+  List.iter
+    (fun (field, p) ->
+      match member_exn field h with
+      | Json.Float f ->
+          Alcotest.check (Alcotest.float 1e-9)
+            (field ^ " in trace JSON")
+            (Obs.percentile "p" p) f
+      | _ -> Alcotest.failf "%s is not a float" field)
+    [ ("p50", 0.50); ("p95", 0.95); ("p99", 0.99) ]
+
 (* ------------------------------------------------------------------ *)
 (* JSON round-trips                                                     *)
 (* ------------------------------------------------------------------ *)
@@ -292,6 +330,7 @@ let () =
           Alcotest.test_case "monotone counters" `Quick
             test_counter_monotonicity;
           Alcotest.test_case "histograms" `Quick test_histogram;
+          Alcotest.test_case "percentiles" `Quick test_percentiles;
         ] );
       ( "json",
         [

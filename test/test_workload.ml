@@ -96,6 +96,51 @@ let test_zipf_sizes_skew () =
   Alcotest.check Alcotest.bool "set 0 bigger than set 40" true
     (size 0 > size 40)
 
+(* ------------------------------------------------------------------ *)
+(* shared serving scenario                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_scenario_db () =
+  let db = Scenario.synthetic_db ~seed:5 ~vertices:100 ~edges:600 in
+  Alcotest.check Alcotest.bool "has the edge relation" true
+    (Stt_core.Db.mem db Scenario.edge_relation);
+  Alcotest.check Alcotest.bool "edges present" true
+    (Stt_core.Db.cardinal db Scenario.edge_relation > 0);
+  Alcotest.check Alcotest.int "vertices floor" 10 (Scenario.vertices_for_edges 5);
+  Alcotest.check Alcotest.int "vertices scale" 50
+    (Scenario.vertices_for_edges 500)
+
+let test_scenario_guard () =
+  Alcotest.check Alcotest.bool "k-path is single-edge" true
+    (Scenario.single_edge_violation (Stt_hypergraph.Cq.Library.k_path 3) = None);
+  match
+    Scenario.single_edge_violation Stt_hypergraph.Cq.Library.hierarchical_binary
+  with
+  | Some rel ->
+      Alcotest.check Alcotest.string "names the first odd relation" "S" rel
+  | None -> Alcotest.fail "multi-relation query not flagged"
+
+let test_scenario_requests () =
+  let reqs = Scenario.zipf_requests ~seed:9 ~n:50 ~requests:200 ~skew:1.2 ~arity:2 in
+  Alcotest.check Alcotest.int "count" 200 (List.length reqs);
+  List.iter
+    (fun t ->
+      Alcotest.check Alcotest.int "arity" 2 (Array.length t);
+      Array.iter
+        (fun v -> Alcotest.check Alcotest.bool "range" true (v >= 0 && v < 50))
+        t)
+    reqs;
+  Alcotest.check Alcotest.bool "deterministic" true
+    (reqs = Scenario.zipf_requests ~seed:9 ~n:50 ~requests:200 ~skew:1.2 ~arity:2);
+  (* skewed: low ids must dominate high ids *)
+  let count p =
+    List.fold_left
+      (fun acc t -> acc + Array.fold_left (fun a v -> if p v then a + 1 else a) 0 t)
+      0 reqs
+  in
+  Alcotest.check Alcotest.bool "zipf skew" true
+    (count (fun v -> v < 5) > count (fun v -> v >= 45))
+
 let () =
   Alcotest.run "workload"
     [
@@ -117,5 +162,11 @@ let () =
         [
           Alcotest.test_case "families" `Quick test_set_families;
           Alcotest.test_case "zipf sizes" `Quick test_zipf_sizes_skew;
+        ] );
+      ( "scenario",
+        [
+          Alcotest.test_case "synthetic db" `Quick test_scenario_db;
+          Alcotest.test_case "single-edge guard" `Quick test_scenario_guard;
+          Alcotest.test_case "zipf requests" `Quick test_scenario_requests;
         ] );
     ]

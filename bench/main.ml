@@ -900,6 +900,144 @@ let emp_serve () =
   record "snapshot_load_speedup" (Json.Float (build_wall_1 /. load_wall));
   record "identical_loaded" (Json.Bool identical_loaded)
 
+(* ------------------------------------------------------------------ *)
+(* emp-cache                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let emp_cache () =
+  section "emp-cache"
+    "Empirical — workload-adaptive answer cache across budgets and skews";
+  (* 3-reach at a tight space budget keeps the online path expensive, so
+     a cache hit (one probe + a decode) has real work to displace *)
+  let vertices = 400 in
+  let edges = Graphs.zipf_both ~seed:131 ~vertices ~edges:4_000 ~s:1.1 in
+  let q = Cq.Library.k_path 3 in
+  let budget = 1_000 in
+  let db = Db.create () in
+  Db.add_pairs db "R" edges;
+  let engine, build_wall =
+    timed (fun () -> Engine.build_auto ~max_pmtds:128 q ~db ~budget)
+  in
+  Printf.printf "|E| = %d, budget %d, space %d (built in %.3fs)\n"
+    (List.length edges) budget (Engine.space engine) build_wall;
+  let requests = 4_000 in
+  let batch = 16 in
+  let acc_schema = Engine.access_schema engine in
+  let arity = Schema.arity acc_schema in
+  (* same seed for every run: a budget sweep serves the same stream *)
+  let mk_reqs ~skew =
+    let rng = Rng.create 117 in
+    let sample =
+      if skew = 0.0 then fun () -> Rng.int rng vertices
+      else Rng.zipf_sampler rng ~n:vertices ~s:skew
+    in
+    List.init requests (fun _ ->
+        Relation.singleton acc_schema (Array.init arity (fun _ -> sample ())))
+  in
+  let serve ~label ~skew ~cache_budget =
+    Engine.attach_cache engine ~budget:cache_budget (* 0 detaches *);
+    let reqs = mk_reqs ~skew in
+    let walls = ref [] and total_ops = ref 0 in
+    let answers = ref [] in
+    let (), wall =
+      timed (fun () ->
+          List.iter
+            (fun group ->
+              let out, w = timed (fun () -> Engine.answer_batch engine group) in
+              walls := w :: !walls;
+              List.iter
+                (fun (r, c) ->
+                  total_ops := !total_ops + Cost.total c;
+                  answers := r :: !answers)
+                out)
+            (chunks batch reqs))
+    in
+    let sorted = Array.of_list !walls in
+    Array.sort compare sorted;
+    let throughput = float_of_int requests /. wall in
+    let hit_rate, used, entries =
+      match Engine.cache_stats engine with
+      | None -> (0.0, 0, 0)
+      | Some s ->
+          let open Stt_cache.Cache in
+          let lookups = s.hits + s.misses in
+          ( (if lookups = 0 then 0.0
+             else float_of_int s.hits /. float_of_int lookups),
+            s.used,
+            s.entries )
+    in
+    Printf.printf
+      "%-12s cache=%-6d %9.0f answers/sec  avg %4d ops  hit rate %.3f  \
+       occupancy %d tuples (%d entries)  batch wall p50 %.5fs p99 %.5fs\n"
+      label cache_budget throughput (!total_ops / requests) hit_rate used
+      entries (percentile sorted 0.50) (percentile sorted 0.99);
+    let row =
+      Json.Obj
+        [
+          ("cache_budget", Json.Int cache_budget);
+          ("requests", Json.Int requests);
+          ("total_ops", Json.Int !total_ops);
+          ("wall_s", Json.Float wall);
+          ("answers_per_sec", Json.Float throughput);
+          ("batch_wall_p50_s", Json.Float (percentile sorted 0.50));
+          ("batch_wall_p99_s", Json.Float (percentile sorted 0.99));
+          ("hit_rate", Json.Float hit_rate);
+          ("cache_used", Json.Int used);
+          ("cache_entries", Json.Int entries);
+        ]
+    in
+    (row, throughput, !total_ops, List.rev !answers)
+  in
+  let skew = 1.5 in
+  let row_z0, t_z0, ops_z0, ans_z0 =
+    serve ~label:"zipf" ~skew ~cache_budget:0
+  in
+  let row_zs, _, _, ans_zs = serve ~label:"zipf" ~skew ~cache_budget:500 in
+  let row_zl, t_zl, ops_zl, ans_zl =
+    serve ~label:"zipf" ~skew ~cache_budget:20_000
+  in
+  let row_u0, t_u0, _, ans_u0 =
+    serve ~label:"uniform" ~skew:0.0 ~cache_budget:0
+  in
+  let row_ul, t_ul, _, ans_ul =
+    serve ~label:"uniform" ~skew:0.0 ~cache_budget:20_000
+  in
+  Engine.attach_cache engine ~budget:0;
+  let identical_answers =
+    List.for_all2 Relation.equal ans_z0 ans_zs
+    && List.for_all2 Relation.equal ans_z0 ans_zl
+    && List.for_all2 Relation.equal ans_u0 ans_ul
+  in
+  let skew_speedup = t_zl /. t_z0 in
+  (* op counts are machine-independent: the deterministic twin of the
+     wall-clock speedup, for noise-free regression gating *)
+  let skew_ops_ratio = float_of_int ops_z0 /. float_of_int (max 1 ops_zl) in
+  let uniform_ratio = t_ul /. t_u0 in
+  Printf.printf
+    "zipf(%.1f): cached (20000) vs uncached: %.2fx throughput, %.2fx fewer \
+     ops — identical answers: %b\n"
+    skew skew_speedup skew_ops_ratio identical_answers;
+  Printf.printf
+    "uniform: cached vs uncached: %.2fx throughput (flat is the goal — \
+     admission keeps cold traffic from churning the cache)\n"
+    uniform_ratio;
+  record "edges" (Json.Int (List.length edges));
+  record "budget" (Json.Int budget);
+  record "space" (Json.Int (Engine.space engine));
+  record "build_wall_s" (Json.Float build_wall);
+  record "requests" (Json.Int requests);
+  record "batch" (Json.Int batch);
+  record "zipf_skew" (Json.Float skew);
+  record "zipf_uncached" row_z0;
+  record "zipf_small" row_zs;
+  record "zipf_large" row_zl;
+  record "uniform_uncached" row_u0;
+  record "uniform_large" row_ul;
+  record "identical_answers" (Json.Bool identical_answers);
+  record "skew_speedup" (Json.Float skew_speedup);
+  record "skew_ops_ratio" (Json.Float skew_ops_ratio);
+  record "uniform_ratio" (Json.Float uniform_ratio)
+
 let abl_join () =
   section "abl-join"
     "Ablation — hash join vs sort-merge join backends (same results)";
@@ -1104,6 +1242,7 @@ let experiments =
     ("emp-hier", emp_hier);
     ("emp-square", emp_square);
     ("emp-serve", emp_serve);
+    ("emp-cache", emp_cache);
     ("abl-join", abl_join);
     ("curves", exact_curves);
     ("proofs", proofs);

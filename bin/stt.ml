@@ -314,6 +314,37 @@ let jobs_arg =
 
 let set_jobs = Option.iter Stt_relation.Pool.set_jobs
 
+let cache_budget_arg =
+  Arg.(
+    value & opt nonneg_int 0
+    & info [ "cache-budget" ] ~docv:"N"
+        ~doc:
+          "Answer-cache budget in stored tuples, on top of the engine's \
+           space budget ($(b,0) = no cache).  With $(b,--from-snapshot), \
+           $(b,0) keeps any warm cache stored in the snapshot; a positive \
+           value replaces it with a fresh cache of this budget.")
+
+(* cache fields shared by the serve/serve-net artifacts: intrinsic space
+   stays [space]; the cache reports its own occupancy and hit rate *)
+let json_cache_stats idx =
+  match Engine.cache_stats idx with
+  | None -> [ ("cache_budget", Json.Int 0); ("total_space", Json.Int (Engine.space idx)) ]
+  | Some (s : Stt_cache.Cache.stats) ->
+      let lookups = s.hits + s.misses in
+      [
+        ("cache_budget", Json.Int s.budget);
+        ("cache_space", Json.Int s.used);
+        ("cache_entries", Json.Int s.entries);
+        ("cache_hits", Json.Int s.hits);
+        ("cache_misses", Json.Int s.misses);
+        ("cache_evictions", Json.Int s.evictions);
+        ( "cache_hit_rate",
+          Json.Float
+            (if lookups = 0 then 0.0
+             else float_of_int s.hits /. float_of_int lookups) );
+        ("total_space", Json.Int (Engine.total_space idx));
+      ]
+
 module Scenario = Stt_workload.Scenario
 
 (* demo/serve/snapshot evaluate over the shared synthetic scenario
@@ -442,7 +473,8 @@ let serve_cmd =
     "Serve a Zipf stream of single-tuple access requests in batches and \
      report throughput (answers/sec) and latency percentiles."
   in
-  let run q budget nedges seed requests batch skew jobs snapshot json_dir =
+  let run q budget nedges seed requests batch skew cache_budget jobs snapshot
+      json_dir =
     with_artifact "serve" json_dir @@ fun () ->
     set_jobs jobs;
     let open Stt_relation in
@@ -483,6 +515,10 @@ let serve_cmd =
             (Engine.space idx) wall;
           (idx, wall, "build")
     in
+    if cache_budget > 0 then begin
+      Engine.attach_cache idx ~budget:cache_budget;
+      Format.printf "answer cache: %d stored tuples budget@." cache_budget
+    end;
     (* Zipf-skewed request stream: hub vertices recur, so batches carry
        duplicates — exactly the sharing [answer_batch] exploits *)
     let acc_schema = Engine.access_schema idx in
@@ -535,12 +571,13 @@ let serve_cmd =
       ("batch_wall_p95_s", Json.Float (percentile sorted 0.95));
       ("batch_wall_max_s", Json.Float (percentile sorted 1.0));
     ]
+    @ json_cache_stats idx
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const run $ serve_query_arg $ budget_arg $ edges_arg $ seed_arg
-      $ requests_arg $ batch_arg $ skew_arg $ jobs_arg $ from_snapshot_arg
-      $ json_arg)
+      $ requests_arg $ batch_arg $ skew_arg $ cache_budget_arg $ jobs_arg
+      $ from_snapshot_arg $ json_arg)
 
 let out_arg =
   Arg.(
@@ -552,7 +589,7 @@ let snapshot_cmd =
     "Build an index over a synthetic Zipf graph and save it as a versioned, \
      checksummed binary snapshot for $(b,stt serve --from-snapshot)."
   in
-  let run q budget nedges seed jobs out json_dir =
+  let run q budget nedges seed cache_budget jobs out json_dir =
     with_artifact "snapshot" json_dir @@ fun () ->
     set_jobs jobs;
     let open Stt_relation in
@@ -566,6 +603,10 @@ let snapshot_cmd =
     let build_wall = Unix.gettimeofday () -. tb0 in
     Format.printf "space: %d stored tuples (built in %.3fs)@."
       (Engine.space idx) build_wall;
+    (* an attached (empty) cache is persisted with the snapshot, so a
+       server loading it starts caching without any flag of its own *)
+    if cache_budget > 0 then
+      Engine.attach_cache idx ~budget:cache_budget;
     let ts0 = Unix.gettimeofday () in
     match Engine.save idx out with
     | Error e ->
@@ -585,12 +626,13 @@ let snapshot_cmd =
           ("save_wall_s", Json.Float save_wall);
           ("snapshot", Json.String out);
           ("snapshot_bytes", Json.Int bytes);
+          ("cache_budget", Json.Int cache_budget);
         ]
   in
   Cmd.v (Cmd.info "snapshot" ~doc)
     Term.(
-      const run $ query_arg $ budget_arg $ edges_arg $ seed_arg $ jobs_arg
-      $ out_arg $ json_arg)
+      const run $ query_arg $ budget_arg $ edges_arg $ seed_arg
+      $ cache_budget_arg $ jobs_arg $ out_arg $ json_arg)
 
 let port_arg =
   Arg.(
@@ -608,7 +650,7 @@ let serve_net_cmd =
     "Serve access requests over TCP: worker domains behind a bounded job \
      queue, per-request deadlines, graceful SIGTERM/SIGINT drain."
   in
-  let run q budget nedges seed jobs snapshot port queue json_dir =
+  let run q budget nedges seed cache_budget jobs snapshot port queue json_dir =
     with_artifact "serve-net" json_dir @@ fun () ->
     set_jobs jobs;
     let open Stt_net in
@@ -645,10 +687,15 @@ let serve_net_cmd =
           Format.printf "space: %d stored tuples@." (Engine.space idx);
           (idx, "build")
     in
+    if cache_budget > 0 then begin
+      Engine.attach_cache idx ~budget:cache_budget;
+      Format.printf "answer cache: %d stored tuples budget@." cache_budget
+    end;
     let workers = Stt_relation.Pool.jobs () in
     let server =
       Server.start ~port ~workers ~queue_capacity:queue
         ~space:(Engine.space idx)
+        ~cache_info:(Server.engine_cache_info idx)
         (Server.engine_handler idx)
     in
     Format.printf "serving on 127.0.0.1:%d (%d workers, queue %d)@."
@@ -687,11 +734,13 @@ let serve_net_cmd =
       ("bad_requests", Json.Int st.Server.bad_requests);
       ("server_trace", server_trace);
     ]
+    @ json_cache_stats idx
   in
   Cmd.v (Cmd.info "serve-net" ~doc)
     Term.(
       const run $ serve_query_arg $ budget_arg $ edges_arg $ seed_arg
-      $ jobs_arg $ from_snapshot_arg $ port_arg $ queue_arg $ json_arg)
+      $ cache_budget_arg $ jobs_arg $ from_snapshot_arg $ port_arg $ queue_arg
+      $ json_arg)
 
 let host_arg =
   Arg.(
@@ -742,7 +791,7 @@ let bench_net_cmd =
      answers/sec and p50/p95/p99 latency, with zero-loss accounting."
   in
   let run q budget nedges seed host port connections requests batch skew
-      deadline_ms verify artifact =
+      cache_budget deadline_ms verify artifact =
     require_single_edge_relation "bench-net" q;
     let open Stt_net in
     let vertices = Scenario.vertices_for_edges nedges in
@@ -754,6 +803,8 @@ let bench_net_cmd =
         Format.printf
           "building verification index (budget %d) over |E| = %d...@." budget
           (Db.size db);
+        (* deliberately no cache here, whatever --cache-budget says: the
+           reference answers come from the direct, uncached answer_batch *)
         let idx = Engine.build_auto ~max_pmtds:128 q ~db ~budget in
         let h = Server.engine_handler idx in
         Some
@@ -786,6 +837,44 @@ let bench_net_cmd =
         exit 1
     | Ok r ->
         let wall = Unix.gettimeofday () -. t0 in
+        (* one extra connection after the run: the server's Health frame
+           carries its cache occupancy and hit counts, so the artifact
+           records the hit rate this load actually achieved *)
+        let server_cache =
+          match Client.connect ~host ~port () with
+          | Error _ -> None
+          | Ok c ->
+              let resp = Client.rpc c (Frame.Health { id = 0 }) in
+              Client.close c;
+              (match resp with
+              | Ok (Frame.Health_reply { health; _ }) -> Some health.Frame.cache
+              | Ok _ | Error _ -> None)
+        in
+        (match server_cache with
+        | Some ch when ch.Frame.cache_budget <> cache_budget ->
+            Format.printf
+              "note: server cache budget %d differs from --cache-budget %d@."
+              ch.Frame.cache_budget cache_budget
+        | _ -> ());
+        let json_server_cache =
+          match server_cache with
+          | None -> Json.Null
+          | Some ch ->
+              let lookups = ch.Frame.cache_hits + ch.Frame.cache_misses in
+              Json.Obj
+                [
+                  ("budget", Json.Int ch.Frame.cache_budget);
+                  ("used", Json.Int ch.Frame.cache_used);
+                  ("entries", Json.Int ch.Frame.cache_entries);
+                  ("hits", Json.Int ch.Frame.cache_hits);
+                  ("misses", Json.Int ch.Frame.cache_misses);
+                  ( "hit_rate",
+                    Json.Float
+                      (if lookups = 0 then 0.0
+                       else float_of_int ch.Frame.cache_hits
+                            /. float_of_int lookups) );
+                ]
+        in
         Format.printf
           "%d sent: %d answered (%d rows), %d shed, %d past deadline, %d \
            lost, %d duplicated, %d mismatched, %d errors@."
@@ -833,6 +922,8 @@ let bench_net_cmd =
                     ("p50_us", Json.Float r.Loadgen.p50_us);
                     ("p95_us", Json.Float r.Loadgen.p95_us);
                     ("p99_us", Json.Float r.Loadgen.p99_us);
+                    ("cache_budget", Json.Int cache_budget);
+                    ("server_cache", json_server_cache);
                   ] );
               ("trace", Obs.trace ());
             ]
@@ -853,7 +944,8 @@ let bench_net_cmd =
     Term.(
       const run $ query_arg $ budget_arg $ edges_arg $ seed_arg $ host_arg
       $ port_arg $ connections_arg $ net_requests_arg $ net_batch_arg
-      $ skew_arg $ deadline_ms_arg $ verify_arg $ bench_artifact_arg)
+      $ skew_arg $ cache_budget_arg $ deadline_ms_arg $ verify_arg
+      $ bench_artifact_arg)
 
 let main =
   let doc = "space-time tradeoffs for conjunctive queries with access patterns" in

@@ -1,0 +1,300 @@
+open Stt_relation
+open Stt_obs
+module C = Stt_store.Codec
+
+type entry = {
+  key : string;
+  vars : Schema.var list;
+  arity : int;
+  rows : int;
+  blob : string; (* delta-encoded sorted answer rows *)
+  key_tuples : int;
+  charge : int; (* stored-tuple charge: max 1 (key_tuples + rows) *)
+  mutable prev : entry option; (* toward older *)
+  mutable next : entry option; (* toward newer *)
+}
+
+type stripe = {
+  lock : Mutex.t;
+  tbl : (string, entry) Hashtbl.t;
+  sketch : Sketch.t;
+  s_budget : int;
+  mutable oldest : entry option;
+  mutable newest : entry option;
+  mutable s_used : int;
+  mutable s_hits : int;
+  mutable s_misses : int;
+  mutable s_insertions : int;
+  mutable s_evictions : int;
+  mutable s_rejected : int;
+}
+
+type t = { stripe_arr : stripe array; t_budget : int }
+
+type stats = {
+  entries : int;
+  used : int;
+  budget : int;
+  hits : int;
+  misses : int;
+  insertions : int;
+  evictions : int;
+  rejected : int;
+}
+
+let create ?(stripes = 8) ~budget () =
+  if budget <= 0 then invalid_arg "Cache.create: budget must be positive";
+  if stripes <= 0 then invalid_arg "Cache.create: stripes must be positive";
+  let n = ref 1 in
+  while !n < stripes do
+    n := !n * 2
+  done;
+  let n = !n in
+  let mk i =
+    (* spread the budget evenly, remainder to the first stripes *)
+    let s_budget = (budget / n) + (if i < budget mod n then 1 else 0) in
+    {
+      lock = Mutex.create ();
+      tbl = Hashtbl.create 64;
+      sketch = Sketch.create ~width:(min 65536 (max 1024 s_budget));
+      s_budget;
+      oldest = None;
+      newest = None;
+      s_used = 0;
+      s_hits = 0;
+      s_misses = 0;
+      s_insertions = 0;
+      s_evictions = 0;
+      s_rejected = 0;
+    }
+  in
+  { stripe_arr = Array.init n mk; t_budget = budget }
+
+let budget t = t.t_budget
+let stripes t = Array.length t.stripe_arr
+
+let stripe_of t key =
+  t.stripe_arr.(Hashtbl.hash key land (Array.length t.stripe_arr - 1))
+
+let locked s f =
+  Mutex.lock s.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock s.lock) f
+
+(* ------------------------------------------------------------------ *)
+(* intrusive LRU list (oldest <-> ... <-> newest), under the stripe lock *)
+(* ------------------------------------------------------------------ *)
+
+let unlink s e =
+  (match e.prev with None -> s.oldest <- e.next | Some p -> p.next <- e.next);
+  (match e.next with None -> s.newest <- e.prev | Some n -> n.prev <- e.prev);
+  e.prev <- None;
+  e.next <- None
+
+let push_newest s e =
+  e.prev <- s.newest;
+  e.next <- None;
+  (match s.newest with None -> s.oldest <- Some e | Some n -> n.next <- Some e);
+  s.newest <- Some e
+
+let insert_entry s e =
+  Hashtbl.replace s.tbl e.key e;
+  push_newest s e;
+  s.s_used <- s.s_used + e.charge;
+  s.s_insertions <- s.s_insertions + 1
+
+let evict_entry s e =
+  unlink s e;
+  Hashtbl.remove s.tbl e.key;
+  s.s_used <- s.s_used - e.charge;
+  s.s_evictions <- s.s_evictions + 1
+
+(* ------------------------------------------------------------------ *)
+(* value encoding                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let make_entry ~key ~key_tuples rel =
+  Cost.with_counting false (fun () ->
+      let schema = Relation.schema rel in
+      let rows = List.sort Tuple.compare (Relation.to_list rel) in
+      let arity = Schema.arity schema in
+      let enc = C.encoder () in
+      C.write_rows enc ~arity rows;
+      {
+        key;
+        vars = Schema.vars schema;
+        arity;
+        rows = List.length rows;
+        blob = C.contents enc;
+        key_tuples;
+        charge = max 1 (key_tuples + List.length rows);
+        prev = None;
+        next = None;
+      })
+
+let decode_raw e =
+  Cost.with_counting false (fun () ->
+      let d = C.decoder e.blob in
+      let rows = C.read_rows d ~arity:e.arity in
+      C.expect_end d "cache value";
+      Relation.of_list (Schema.of_list e.vars) rows)
+
+(* A hit materializes the answer: charge one tuple per row, exactly as
+   if the engine had copied a preprocessed heavy-key answer out. *)
+let decode_entry e =
+  let rel = decode_raw e in
+  for _ = 1 to e.rows do
+    Cost.charge_tuple ()
+  done;
+  rel
+
+(* ------------------------------------------------------------------ *)
+(* operations                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let find t key =
+  let s = stripe_of t key in
+  Cost.charge_probe ();
+  let hit =
+    locked s (fun () ->
+        Sketch.touch s.sketch key;
+        match Hashtbl.find_opt s.tbl key with
+        | None ->
+            s.s_misses <- s.s_misses + 1;
+            None
+        | Some e ->
+            unlink s e;
+            push_newest s e;
+            s.s_hits <- s.s_hits + 1;
+            Some e)
+  in
+  match hit with
+  | None ->
+      Obs.incr "cache.miss";
+      None
+  | Some e ->
+      Obs.incr "cache.hit";
+      Some (decode_entry e)
+
+let add t ~key ~key_tuples rel =
+  let s = stripe_of t key in
+  let e = make_entry ~key ~key_tuples rel in
+  let evicted, admitted_bytes =
+    locked s (fun () ->
+        match Hashtbl.find_opt s.tbl key with
+        | Some cur ->
+            (* already cached (e.g. a concurrent miss): refresh recency *)
+            unlink s cur;
+            push_newest s cur;
+            (0, 0)
+        | None ->
+            if e.charge > s.s_budget then begin
+              s.s_rejected <- s.s_rejected + 1;
+              (0, 0)
+            end
+            else begin
+              let cand = Sketch.estimate s.sketch key in
+              let evicted = ref 0 in
+              let verdict = ref `Admit in
+              while !verdict = `Admit && s.s_used + e.charge > s.s_budget do
+                match s.oldest with
+                | None -> verdict := `Reject
+                | Some victim ->
+                    (* TinyLFU: the incumbent wins ties, so one-hit
+                       wonders (estimate <= any live entry) bounce off *)
+                    if Sketch.estimate s.sketch victim.key >= cand then begin
+                      s.s_rejected <- s.s_rejected + 1;
+                      verdict := `Reject
+                    end
+                    else begin
+                      evict_entry s victim;
+                      incr evicted
+                    end
+              done;
+              if !verdict = `Admit then begin
+                insert_entry s e;
+                (!evicted, String.length key + String.length e.blob)
+              end
+              else (!evicted, 0)
+            end)
+  in
+  if evicted > 0 then Obs.incr ~by:evicted "cache.evict";
+  if admitted_bytes > 0 then Obs.incr ~by:admitted_bytes "cache.bytes"
+
+let install t ~key ~key_tuples rel =
+  let s = stripe_of t key in
+  let e = make_entry ~key ~key_tuples rel in
+  let evicted, admitted_bytes =
+    locked s (fun () ->
+        (match Hashtbl.find_opt s.tbl key with
+        | Some cur -> evict_entry s cur
+        | None -> ());
+        if e.charge > s.s_budget then begin
+          s.s_rejected <- s.s_rejected + 1;
+          (0, 0)
+        end
+        else begin
+          let evicted = ref 0 in
+          while s.s_used + e.charge > s.s_budget do
+            match s.oldest with
+            | None -> assert false (* charge <= s_budget, so used > 0 *)
+            | Some victim ->
+                evict_entry s victim;
+                incr evicted
+          done;
+          insert_entry s e;
+          (!evicted, String.length key + String.length e.blob)
+        end)
+  in
+  if evicted > 0 then Obs.incr ~by:evicted "cache.evict";
+  if admitted_bytes > 0 then Obs.incr ~by:admitted_bytes "cache.bytes"
+
+let fold_stripes t f init =
+  Array.fold_left (fun acc s -> locked s (fun () -> f acc s)) init t.stripe_arr
+
+let used t = fold_stripes t (fun acc s -> acc + s.s_used) 0
+let entries t = fold_stripes t (fun acc s -> acc + Hashtbl.length s.tbl) 0
+
+let stats t =
+  fold_stripes t
+    (fun acc s ->
+      {
+        acc with
+        entries = acc.entries + Hashtbl.length s.tbl;
+        used = acc.used + s.s_used;
+        hits = acc.hits + s.s_hits;
+        misses = acc.misses + s.s_misses;
+        insertions = acc.insertions + s.s_insertions;
+        evictions = acc.evictions + s.s_evictions;
+        rejected = acc.rejected + s.s_rejected;
+      })
+    {
+      entries = 0;
+      used = 0;
+      budget = t.t_budget;
+      hits = 0;
+      misses = 0;
+      insertions = 0;
+      evictions = 0;
+      rejected = 0;
+    }
+
+let export t =
+  List.rev
+    (fold_stripes t
+       (fun acc s ->
+         let rec walk acc = function
+           | None -> acc
+           | Some e -> walk ((e.key, e.key_tuples, decode_raw e) :: acc) e.next
+         in
+         walk acc s.oldest)
+       [])
+
+let clear t =
+  Array.iter
+    (fun s ->
+      locked s (fun () ->
+          Hashtbl.reset s.tbl;
+          s.oldest <- None;
+          s.newest <- None;
+          s.s_used <- 0))
+    t.stripe_arr

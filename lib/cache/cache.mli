@@ -1,0 +1,85 @@
+(** Bounded, space-accounted answer cache with TinyLFU admission.
+
+    The paper trades preprocessing space for answering time statically;
+    this cache makes the same trade dynamically: hot access requests are
+    answered from memory charged against an explicit budget measured in
+    {e stored tuples} (request tuples + answer tuples per entry), the
+    same unit as the engine's intrinsic space.  Values are kept
+    delta-encoded via {!Stt_store.Codec} so a cached answer costs a few
+    bytes per tuple, and every hit decodes a fresh relation — handing
+    out an owned value, never a shared mutable one.
+
+    Admission is TinyLFU-style: a per-stripe count-min {!Sketch} tracks
+    recent request frequency, and when the cache is full a newcomer is
+    admitted only if its frequency estimate strictly beats the LRU
+    victim's — one-hit wonders can never displace hot entries.
+
+    The structure is striped for multicore serving: keys hash onto a
+    power-of-two number of stripes, each with its own mutex, hash table,
+    LRU list, sketch and budget share, so worker domains contend only
+    when they touch the same stripe.
+
+    Cost accounting: a {!find} charges exactly one probe, plus one tuple
+    per answer row on a hit.  All maintenance (encoding, eviction,
+    admission) is free — the online cost model only sees the probe and
+    the materialized answer, mirroring how the paper counts a
+    materialized heavy key.  Obs counters [cache.hit], [cache.miss],
+    [cache.evict] and [cache.bytes] (cumulative encoded bytes admitted)
+    are bumped when observability is enabled. *)
+
+open Stt_relation
+
+type t
+
+type stats = {
+  entries : int;  (** live entries across all stripes *)
+  used : int;  (** stored-tuple charge currently held *)
+  budget : int;  (** configured budget in stored tuples *)
+  hits : int;
+  misses : int;
+  insertions : int;
+  evictions : int;
+  rejected : int;  (** denied by admission filter or per-entry capacity *)
+}
+
+val create : ?stripes:int -> budget:int -> unit -> t
+(** [budget] is the total stored-tuple budget (must be positive —
+    callers model "cache disabled" as no cache at all).  [stripes]
+    (default 8) is rounded up to a power of two; the budget is split
+    evenly across stripes, so very small budgets with many stripes
+    leave some stripes with no capacity — unit tests of admission
+    mechanics should pass [~stripes:1].  Raises [Invalid_argument] on
+    non-positive [budget] or [stripes]. *)
+
+val budget : t -> int
+val stripes : t -> int
+val used : t -> int
+val entries : t -> int
+val stats : t -> stats
+
+val find : t -> string -> Relation.t option
+(** Look up a canonical key (from {!Key.encode}).  A hit refreshes LRU
+    recency and returns a freshly decoded relation; both outcomes touch
+    the admission sketch, so repeated misses build up the frequency
+    needed to get admitted later. *)
+
+val add : t -> key:string -> key_tuples:int -> Relation.t -> unit
+(** Offer an answer for caching under TinyLFU admission.  [key_tuples]
+    is the number of request tuples behind [key]; the entry is charged
+    [max 1 (key_tuples + cardinal answer)] stored tuples.  No-op if the
+    key is already cached (recency is refreshed — answers are
+    deterministic, so the stored value is already correct). *)
+
+val install : t -> key:string -> key_tuples:int -> Relation.t -> unit
+(** Like {!add} but bypasses the admission filter (evicting LRU victims
+    unconditionally while over budget) and replaces an existing entry.
+    Used to rebuild a warm cache from a snapshot, where admission
+    already happened in a previous life. *)
+
+val export : t -> (string * int * Relation.t) list
+(** All live entries as [(key, key_tuples, answer)], stripe by stripe,
+    oldest first within each stripe — the order {!install} needs to
+    reproduce the same LRU state.  Decoding is cost-free. *)
+
+val clear : t -> unit
+(** Drop every entry (cumulative stats are kept). *)

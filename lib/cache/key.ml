@@ -1,0 +1,26 @@
+open Stt_relation
+module C = Stt_store.Codec
+
+(* Extracted from Engine.answer_batch so batch dedup and cache keying
+   share one definition of request equivalence. *)
+let canon ~access q_a =
+  Cost.with_counting false (fun () ->
+      let pos = Schema.positions (Relation.schema q_a) (Schema.vars access) in
+      List.sort Tuple.compare
+        (Relation.fold (fun tup acc -> Tuple.project pos tup :: acc) q_a []))
+
+let encode ~arity rows =
+  let e = C.encoder () in
+  C.write_uint e arity;
+  C.write_rows e ~arity rows;
+  C.contents e
+
+let decode s =
+  let d = C.decoder s in
+  let arity = C.read_uint d in
+  let rows = C.read_rows d ~arity in
+  C.expect_end d "key";
+  (arity, rows)
+
+let of_request ~access q_a =
+  encode ~arity:(Schema.arity access) (canon ~access q_a)

@@ -1,0 +1,35 @@
+(** Canonical keys for access requests.
+
+    An access request is a relation [q_A] over (a permutation of) the
+    access variables; two requests with the same {e tuple set} must be
+    treated as the same request no matter the variable order of their
+    schema or the insertion order of their tuples.  This module is the
+    single definition of that equivalence: {!Engine.answer_batch} uses
+    {!canon} to deduplicate a batch, and {!Stt_cache.Cache} uses
+    {!encode} to key cached answers — so the dedup relation and the
+    cache keying can never drift apart. *)
+
+open Stt_relation
+
+val canon : access:Schema.t -> Relation.t -> Tuple.t list
+(** [canon ~access q_a] reorders every tuple of [q_a] into the column
+    order of [access] and sorts the rows with {!Tuple.compare} — the
+    canonical representative of [q_a]'s equivalence class.  Raises
+    [Not_found] if [q_a]'s schema is missing an access variable.  Does
+    not charge {!Cost} counters (canonicalization is bookkeeping, not
+    query work). *)
+
+val encode : arity:int -> Tuple.t list -> string
+(** Serialize canonical rows (as returned by {!canon}) into a compact
+    byte string via {!Stt_store.Codec.write_rows}.  Equal tuple sets
+    yield equal strings; the string is self-describing enough for
+    {!decode} to invert it. *)
+
+val decode : string -> int * Tuple.t list
+(** Inverse of {!encode}: [(arity, rows)] with rows in canonical order.
+    Raises {!Stt_store.Codec.Corrupt} or {!Stt_store.Codec.Short} on
+    malformed input — used to validate keys read back from a snapshot's
+    cache section. *)
+
+val of_request : access:Schema.t -> Relation.t -> string
+(** [encode ~arity:(Schema.arity access) (canon ~access q_a)]. *)

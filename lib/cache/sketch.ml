@@ -1,0 +1,52 @@
+type t = {
+  mask : int;
+  counters : Bytes.t; (* rows * width saturating 4-bit counts, one per byte *)
+  mutable touches : int;
+  sample : int; (* halve all counters after this many touches *)
+}
+
+let rows = 4
+let max_count = 15
+
+let create ~width =
+  let w = ref 16 in
+  while !w < width do
+    w := !w * 2
+  done;
+  {
+    mask = !w - 1;
+    counters = Bytes.make (rows * !w) '\000';
+    touches = 0;
+    sample = 8 * !w;
+  }
+
+(* Row-seeded hashing: the seeds are arbitrary distinct odd constants,
+   so the four rows give (near-)independent collision patterns. *)
+let slot t row key =
+  (row * (t.mask + 1))
+  + (Hashtbl.seeded_hash ((row * 0x9e3779b1) lor 1) key land t.mask)
+
+let age t =
+  for i = 0 to Bytes.length t.counters - 1 do
+    Bytes.unsafe_set t.counters i
+      (Char.unsafe_chr (Char.code (Bytes.unsafe_get t.counters i) lsr 1))
+  done
+
+let touch t key =
+  t.touches <- t.touches + 1;
+  if t.touches >= t.sample then begin
+    t.touches <- 0;
+    age t
+  end;
+  for r = 0 to rows - 1 do
+    let i = slot t r key in
+    let c = Char.code (Bytes.get t.counters i) in
+    if c < max_count then Bytes.set t.counters i (Char.chr (c + 1))
+  done
+
+let estimate t key =
+  let m = ref max_int in
+  for r = 0 to rows - 1 do
+    m := min !m (Char.code (Bytes.get t.counters (slot t r key)))
+  done;
+  !m

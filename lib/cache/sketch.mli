@@ -1,0 +1,27 @@
+(** Count-min frequency sketch with periodic aging (the TinyLFU
+    admission filter's memory).
+
+    Four hash rows of 4-bit saturating counters estimate how often each
+    key has been requested recently; after a sample window of touches
+    every counter is halved, so the estimate tracks the {e current}
+    workload rather than all of history.  The sketch is O(width) bytes
+    regardless of how many distinct keys flow through it — it never
+    charges against the cache's tuple budget and never charges {!Cost}
+    counters.
+
+    Not thread-safe: each cache stripe owns one sketch and touches it
+    under the stripe lock. *)
+
+type t
+
+val create : width:int -> t
+(** [width] is rounded up to a power of two (min 16).  Memory is
+    [4 * width] bytes. *)
+
+val touch : t -> string -> unit
+(** Record one access.  Saturates at 15 per counter; every
+    [8 * width] touches all counters are halved. *)
+
+val estimate : t -> string -> int
+(** Frequency estimate in [0, 15]: the minimum over the four rows, an
+    upper bound on the true recent count (collisions only inflate). *)

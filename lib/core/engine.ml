@@ -4,6 +4,8 @@ open Stt_decomp
 open Stt_yannakakis
 open Stt_lp
 open Stt_obs
+module Cache = Stt_cache.Cache
+module Ckey = Stt_cache.Key
 
 type t = {
   cqap : Cq.cqap;
@@ -12,6 +14,10 @@ type t = {
   structures : Twopp.t list;
   preprocessed : (Pmtd.t * Online_yannakakis.preprocessed) list;
   space : int;
+  mutable cache : Cache.t option;
+      (* workload-adaptive answer cache; None = disabled.  Charged
+         against its own budget, not [space] — [space] stays the
+         intrinsic S-view footprint the paper's bound talks about. *)
 }
 
 (* Carry the per-domain simplex pivot counter across the pool's worker
@@ -27,6 +33,15 @@ let pmtds t = t.pmtds
 let rules t = t.rules
 let space t = t.space
 let structures t = t.structures
+let cache t = t.cache
+
+let attach_cache t ~budget =
+  t.cache <- (if budget <= 0 then None else Some (Cache.create ~budget ()))
+
+let cache_space t = match t.cache with None -> 0 | Some c -> Cache.used c
+let cache_budget t = match t.cache with None -> 0 | Some c -> Cache.budget c
+let cache_stats t = Option.map Cache.stats t.cache
+let total_space t = t.space + cache_space t
 
 let per_pmtd_space t =
   List.map (fun (p, oy) -> (p, Online_yannakakis.space oy)) t.preprocessed
@@ -89,7 +104,7 @@ let build cqap pmtd_list ~db ~budget =
        (List.map
           (fun (_, oy) -> Json.Int (Online_yannakakis.space oy))
           preprocessed));
-  { cqap; pmtds = pmtd_list; rules; structures; preprocessed; space }
+  { cqap; pmtds = pmtd_list; rules; structures; preprocessed; space; cache = None }
 
 let build_auto ?max_pmtds cqap ~db ~budget =
   build cqap (Enum.pmtds ?max_pmtds cqap) ~db ~budget
@@ -118,8 +133,24 @@ let answer_scoped t ~q_a =
 
 let answer t ~q_a =
   Obs.span "engine.answer" @@ fun () ->
-  let result, cost = answer_scoped t ~q_a in
+  let result, cost, via =
+    match t.cache with
+    | None ->
+        let r, c = answer_scoped t ~q_a in
+        (r, c, "direct")
+    | Some cache -> (
+        let access = access_schema t in
+        let rows = Ckey.canon ~access q_a in
+        let key = Ckey.encode ~arity:(Schema.arity access) rows in
+        match Cost.scoped (fun () -> Cache.find cache key) with
+        | Some r, c -> (r, c, "hit")
+        | None, lookup ->
+            let r, c = answer_scoped t ~q_a in
+            Cache.add cache ~key ~key_tuples:(List.length rows) r;
+            (r, Cost.add lookup c, "miss"))
+  in
   if Obs.enabled () then begin
+    Obs.set_attr "cache" (Json.String via);
     Obs.set_attr "q_a" (Json.Int (Relation.cardinal q_a));
     Obs.set_attr "result" (Json.Int (Relation.cardinal result));
     Obs.set_attr "cost"
@@ -163,34 +194,56 @@ let answer_batch t reqs =
       let n = List.length reqs in
       let acc_schema = access_schema t in
       let acc_vars = Schema.vars acc_schema in
-      (* canonical form of a request: tuples reordered to the access
-         schema and sorted, so duplicate requests in the stream share one
-         evaluation *)
-      let canon q_a =
-        let pos = Schema.positions (Relation.schema q_a) acc_vars in
-        List.sort Tuple.compare
-          (Relation.fold (fun tup acc -> Tuple.project pos tup :: acc) q_a [])
+      let arity = Schema.arity acc_schema in
+      (* canonical form of a request — tuples reordered to the access
+         schema and sorted (Stt_cache.Key, shared with the answer
+         cache so dedup and cache keying can never disagree) *)
+      let keyed =
+        List.map
+          (fun q ->
+            let rows = Ckey.canon ~access:acc_schema q in
+            (Ckey.encode ~arity rows, rows, q))
+          reqs
       in
-      let keyed = List.map (fun q -> (canon q, q)) reqs in
       let first_idx = Hashtbl.create 16 in
       let uniq = ref [] in
       List.iteri
-        (fun i (key, q) ->
+        (fun i (key, rows, q) ->
           if not (Hashtbl.mem first_idx key) then begin
             Hashtbl.add first_idx key i;
-            uniq := (key, q) :: !uniq
+            uniq := (key, rows, q) :: !uniq
           end)
         keyed;
       let uniq = List.rev !uniq in
       let head = t.cqap.Cq.cq.Cq.head in
       let sliceable = Varset.subset t.cqap.Cq.access head in
       Obs.set_attr "unique" (Json.Int (List.length uniq));
-      Obs.set_attr "sliced" (Json.Bool (sliceable && List.length uniq > 1));
       (* per unique request: its answer and the marginal cost of the
          first evaluation; [shared] is the batch-shared cost *)
       let results = Hashtbl.create 16 in
+      (* the failed cache probe of a miss, folded into that request's
+         marginal below *)
+      let miss_lookup = Hashtbl.create 16 in
       let shared = ref Cost.zero in
-      if sliceable && List.length uniq > 1 then begin
+      let misses =
+        match t.cache with
+        | None -> uniq
+        | Some cache ->
+            List.filter
+              (fun (key, _, _) ->
+                match Cost.scoped (fun () -> Cache.find cache key) with
+                | Some r, c ->
+                    Hashtbl.add results key (r, c);
+                    false
+                | None, c ->
+                    Hashtbl.add miss_lookup key c;
+                    true)
+              uniq
+      in
+      Obs.set_attr "cache_hits"
+        (Json.Int (List.length uniq - List.length misses));
+      Obs.set_attr "sliced" (Json.Bool (sliceable && List.length misses > 1));
+      if sliceable && List.length misses > 1 then begin
         (* access ⊆ head: answer the union of all requests once, then
            slice each request's answer back out.  Sound because
            answer(q) = {h ∈ answer(∪ q_j) : h[access] ∈ q} when the
@@ -201,8 +254,8 @@ let answer_batch t reqs =
           Cost.scoped (fun () ->
               let combined = Relation.create acc_schema in
               List.iter
-                (fun (key, _) -> List.iter (Relation.add combined) key)
-                uniq;
+                (fun (_, rows, _) -> List.iter (Relation.add combined) rows)
+                misses;
               let result, _ = answer_scoped t ~q_a:combined in
               let head_schema = Relation.schema result in
               let pos = Schema.positions head_schema acc_vars in
@@ -221,7 +274,7 @@ let answer_batch t reqs =
         in
         shared := shared_cost;
         List.iter
-          (fun (key, _) ->
+          (fun (key, rows, _) ->
             let sliced, c =
               Cost.scoped (fun () ->
                   let out = Relation.create head_schema in
@@ -231,29 +284,47 @@ let answer_batch t reqs =
                       match Tuple.Tbl.find_opt groups ktup with
                       | Some rows -> List.iter (Relation.add out) !rows
                       | None -> ())
-                    key;
+                    rows;
                   out)
             in
             Hashtbl.add results key (sliced, c))
-          uniq
+          misses
       end
       else
-        (* access pattern not in the head (or a single distinct request):
+        (* access pattern not in the head (or a single distinct miss):
            evaluate each unique request once; duplicates still share *)
         List.iter
-          (fun (key, q) ->
+          (fun (key, _, q) ->
             let r, c = answer_scoped t ~q_a:q in
             Hashtbl.add results key (r, c))
-          uniq;
+          misses;
+      (* install the freshly evaluated answers for the next batch *)
+      (match t.cache with
+      | None -> ()
+      | Some cache ->
+          List.iter
+            (fun (key, rows, _) ->
+              match Hashtbl.find_opt results key with
+              | Some (r, _) ->
+                  Cache.add cache ~key ~key_tuples:(List.length rows) r
+              | None -> ())
+            misses);
       (* input-order results; cost accounting: every request carries an
          even share of the batch-shared cost, the first occurrence of a
-         request additionally carries its marginal evaluation cost *)
+         request additionally carries its marginal evaluation cost (for
+         a cache miss, including the failed cache probe) *)
       List.mapi
-        (fun i (key, _) ->
+        (fun i (key, _, _) ->
           let r, marginal = Hashtbl.find results key in
           let c = share !shared n i in
           let c =
-            if Hashtbl.find first_idx key = i then Cost.add c marginal else c
+            if Hashtbl.find first_idx key = i then
+              let lookup =
+                Option.value ~default:Cost.zero
+                  (Hashtbl.find_opt miss_lookup key)
+              in
+              Cost.add (Cost.add c lookup) marginal
+            else c
           in
           (r, c))
         keyed
@@ -515,6 +586,26 @@ let save t path =
           C.write_uint e (List.length t.rules) );
     ]
   in
+  (* optional trailing section: a warm answer cache.  Written only when
+     one is attached, so snapshots from cache-less engines are unchanged
+     byte for byte and readers predating the section still load them. *)
+  let sections =
+    match t.cache with
+    | None -> sections
+    | Some cache ->
+        sections
+        @ [
+            ( "cache",
+              fun e ->
+                C.write_uint e (Cache.budget cache);
+                C.write_uint e (Cache.stripes cache);
+                C.write_list e
+                  (fun (key, _, rel) ->
+                    C.write_string e key;
+                    write_relation e rel)
+                  (Cache.export cache) );
+          ]
+  in
   match Store.write ~version:format_version path sections with
   | Ok bytes as ok ->
       Obs.incr ~by:bytes "snapshot.write.bytes";
@@ -572,5 +663,46 @@ let load path =
           corrupt "summary: space %d but loaded S-views hold %d" stored_space
             space)
   in
+  (* the cache section is optional (older snapshots predate it); its
+     keys must be canonical encodings over the access schema and its
+     answers must live over the head schema, or a hit would silently
+     return a wrong or differently-shaped answer *)
+  let* cache =
+    if not (List.mem "cache" (Store.Reader.section_names r)) then Ok None
+    else
+      Store.Reader.section r "cache" (fun d ->
+          let budget = C.read_uint d in
+          let stripes = C.read_uint d in
+          if budget <= 0 then corrupt "cache: non-positive budget";
+          if stripes <= 0 || stripes > 4096 then
+            corrupt "cache: %d stripes out of range" stripes;
+          let access = schema_of_set cqap.Cq.access in
+          let head_schema = schema_of_set cqap.Cq.cq.Cq.head in
+          let cache = Cache.create ~stripes ~budget () in
+          let entries =
+            C.read_list d (fun () ->
+                let key = C.read_string d in
+                (* a Short inside the nested key string is a malformed
+                   section, not a truncated file *)
+                let arity, rows =
+                  try Ckey.decode key
+                  with C.Short _ -> corrupt "cache key: truncated encoding"
+                in
+                if arity <> Schema.arity access then
+                  corrupt "cache key: arity %d for a %d-ary access" arity
+                    (Schema.arity access);
+                if not (String.equal (Ckey.encode ~arity rows) key) then
+                  corrupt "cache key: not in canonical form";
+                let rel = read_relation d in
+                if not (Schema.equal (Relation.schema rel) head_schema) then
+                  corrupt "cache entry: schema differs from the head";
+                (key, List.length rows, rel))
+          in
+          List.iter
+            (fun (key, key_tuples, rel) ->
+              Cache.install cache ~key ~key_tuples rel)
+            entries;
+          Some cache)
+  in
   Obs.set_attr "space" (Json.Int space);
-  Ok { cqap; pmtds; rules; structures; preprocessed; space }
+  Ok { cqap; pmtds; rules; structures; preprocessed; space; cache }

@@ -22,15 +22,21 @@ val build_auto : ?max_pmtds:int -> Cq.cqap -> db:Db.t -> budget:int -> t
 (** [build] over the automatically enumerated PMTD set. *)
 
 val space : t -> int
-(** Intrinsic space: stored S-view tuples (after per-PMTD indexing). *)
+(** Intrinsic space: stored S-view tuples (after per-PMTD indexing).
+    Does not include the answer cache — see {!cache_space}. *)
 
 val answer : t -> q_a:Relation.t -> Relation.t
 (** Result of the access CQ over the head variables.  Cost counters
-    observe only the online work. *)
+    observe only the online work.  With a cache attached the request is
+    canonicalized and looked up first: a hit costs one probe plus one
+    tuple per answer row and returns a bit-identical answer; a miss runs
+    the 2PP online pipeline and offers the result for admission. *)
 
 val answer_tuple : t -> Tuple.t -> bool
 (** Boolean single-tuple access: is the access request (values of the
-    access variables in ascending-id order) in the answer? *)
+    access variables in ascending-id order) in the answer?  Routed
+    through {!answer}, so a warm cache answers a repeated boolean
+    access in O(1) probes. *)
 
 val answer_batch : t -> Relation.t list -> (Relation.t * Cost.snapshot) list
 (** Answer a batch of access requests, sharing work across the batch.
@@ -41,7 +47,10 @@ val answer_batch : t -> Relation.t list -> (Relation.t * Cost.snapshot) list
     per-request answers are sliced out by semijoin.  Each snapshot is
     that request's cost share: an even split of the batch-shared work
     plus, for the first occurrence of each distinct request, its
-    marginal cost; shares sum exactly to the batch total. *)
+    marginal cost; shares sum exactly to the batch total.  With a cache
+    attached, unique requests are looked up first and only the misses
+    are evaluated (and offered for admission); a hit's marginal is its
+    lookup-and-decode cost. *)
 
 val cqap : t -> Cq.cqap
 val pmtds : t -> Pmtd.t list
@@ -54,6 +63,35 @@ val per_pmtd_space : t -> (Pmtd.t * int) list
     reported in the benchmark artifacts. *)
 
 val access_schema : t -> Schema.t
+
+(** {1 Adaptive answer cache}
+
+    The paper trades space for time statically; an attached
+    {!Stt_cache.Cache} extends the trade to runtime: hot access
+    requests are answered from a bounded cache charged in stored
+    tuples on top of the intrinsic budget.  Results are exact — the
+    cache only ever returns what {!answer} computed — and the cache
+    rides along in snapshots as an optional section. *)
+
+val attach_cache : t -> budget:int -> unit
+(** Attach a fresh cache with the given stored-tuple budget (replacing
+    any current one); a non-positive budget detaches instead.  The
+    cache is consulted by {!answer}, {!answer_tuple} and
+    {!answer_batch}, and shared by every domain answering through this
+    engine. *)
+
+val cache : t -> Stt_cache.Cache.t option
+val cache_budget : t -> int
+(** Configured cache budget in stored tuples; 0 when no cache. *)
+
+val cache_space : t -> int
+(** Stored tuples currently held by the cache; 0 when no cache. *)
+
+val cache_stats : t -> Stt_cache.Cache.stats option
+
+val total_space : t -> int
+(** [space t + cache_space t] — what the artifacts report as the full
+    memory story. *)
 
 (** {1 Snapshots}
 
@@ -73,7 +111,10 @@ val format_version : int
 val save : t -> string -> (int, Stt_store.Store.error) result
 (** [save t path] writes the snapshot and returns its size in bytes.
     Records an [engine.save] span and bumps the
-    [snapshot.write.bytes] counter when observability is enabled. *)
+    [snapshot.write.bytes] counter when observability is enabled.
+    An attached cache is persisted as an optional trailing "cache"
+    section (budget, striping and every warm entry in LRU order);
+    without one the snapshot is byte-identical to earlier formats. *)
 
 val load : string -> (t, Stt_store.Store.error) result
 (** [load path] validates the file strictly — magic, format version,

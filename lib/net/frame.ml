@@ -3,7 +3,11 @@ module Codec = Stt_store.Codec
 module Crc32 = Stt_store.Crc32
 
 let magic = "\x89STTWIRE"
-let protocol_version = 1
+
+(* v2: Health_reply grew the answer-cache block (budget/used/entries/
+   hits/misses).  Hellos must match exactly, so v1 peers are refused
+   with Version_skew instead of misparsing the longer frame. *)
+let protocol_version = 2
 let hello_len = String.length magic + 4
 let max_frame_len = 1 lsl 26
 
@@ -47,7 +51,30 @@ type reject = Overloaded | Deadline_exceeded | Bad_request of string
 
 type answer = { rows : int array list; row_arity : int; cost : Cost.snapshot }
 
-type health = { ready : bool; space : int; workers : int; queue_capacity : int }
+type cache_health = {
+  cache_budget : int;
+  cache_used : int;
+  cache_entries : int;
+  cache_hits : int;
+  cache_misses : int;
+}
+
+let no_cache =
+  {
+    cache_budget = 0;
+    cache_used = 0;
+    cache_entries = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+  }
+
+type health = {
+  ready : bool;
+  space : int;
+  workers : int;
+  queue_capacity : int;
+  cache : cache_health;
+}
 
 type response =
   | Answers of { id : int; answers : answer list }
@@ -145,7 +172,12 @@ let encode_response resp =
       Codec.write_bool e health.ready;
       Codec.write_uint e health.space;
       Codec.write_uint e health.workers;
-      Codec.write_uint e health.queue_capacity
+      Codec.write_uint e health.queue_capacity;
+      Codec.write_uint e health.cache.cache_budget;
+      Codec.write_uint e health.cache.cache_used;
+      Codec.write_uint e health.cache.cache_entries;
+      Codec.write_uint e health.cache.cache_hits;
+      Codec.write_uint e health.cache.cache_misses
 
 (* ------------------------------------------------------------------ *)
 (* decoding                                                             *)
@@ -228,8 +260,30 @@ let decode_response blob =
       let space = Codec.read_uint d in
       let workers = Codec.read_uint d in
       let queue_capacity = Codec.read_uint d in
+      let cache_budget = Codec.read_uint d in
+      let cache_used = Codec.read_uint d in
+      let cache_entries = Codec.read_uint d in
+      let cache_hits = Codec.read_uint d in
+      let cache_misses = Codec.read_uint d in
       Health_reply
-        { id; health = { ready; space; workers; queue_capacity } }
+        {
+          id;
+          health =
+            {
+              ready;
+              space;
+              workers;
+              queue_capacity;
+              cache =
+                {
+                  cache_budget;
+                  cache_used;
+                  cache_entries;
+                  cache_hits;
+                  cache_misses;
+                };
+            };
+        }
   | t -> raise (Codec.Corrupt (Printf.sprintf "unknown response tag 0x%02x" t))
 
 (* ------------------------------------------------------------------ *)

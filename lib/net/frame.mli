@@ -75,11 +75,23 @@ type answer = {
   cost : Cost.snapshot;  (** per-request online op counts *)
 }
 
+type cache_health = {
+  cache_budget : int;  (** configured answer-cache budget; 0 = no cache *)
+  cache_used : int;  (** stored tuples currently held by the cache *)
+  cache_entries : int;
+  cache_hits : int;
+  cache_misses : int;
+}
+
+val no_cache : cache_health
+(** The all-zero block a cache-less server reports. *)
+
 type health = {
   ready : bool;
-  space : int;  (** stored tuples of the served engine *)
+  space : int;  (** intrinsic stored tuples of the served engine *)
   workers : int;
   queue_capacity : int;
+  cache : cache_health;  (** answer-cache occupancy and hit counts *)
 }
 
 type response =

@@ -20,6 +20,21 @@ let engine_handler engine ~arity tuples =
          let rows = List.sort Tuple.compare (Relation.to_list rel) in
          (rows, Schema.arity (Relation.schema rel), cost))
 
+(* The engine (and its striped cache) is shared by every worker domain,
+   so the IO domain can read occupancy and hit counts directly. *)
+let engine_cache_info engine () =
+  let module Engine = Stt_core.Engine in
+  match Engine.cache_stats engine with
+  | None -> Frame.no_cache
+  | Some (s : Stt_cache.Cache.stats) ->
+      {
+        Frame.cache_budget = s.budget;
+        cache_used = s.used;
+        cache_entries = s.entries;
+        cache_hits = s.hits;
+        cache_misses = s.misses;
+      }
+
 type stats = {
   connections : int;
   received : int;
@@ -133,6 +148,7 @@ type t = {
   listen_fd : Unix.file_descr;
   bound_port : int;
   space : int;
+  cache_info : unit -> Frame.cache_health;
   workers : int;
   queue_capacity : int;
   queue : job Bq.t;
@@ -281,6 +297,7 @@ let handle_request t conn now = function
                  space = t.space;
                  workers = t.workers;
                  queue_capacity = t.queue_capacity;
+                 cache = t.cache_info ();
                };
            })
 
@@ -402,7 +419,7 @@ let accept_loop t () =
 (* ------------------------------------------------------------------ *)
 
 let start ?(host = "127.0.0.1") ~port ~workers ~queue_capacity ?(space = 0)
-    handler =
+    ?(cache_info = fun () -> Frame.no_cache) handler =
   if workers < 1 then invalid_arg "Server.start: workers must be >= 1";
   if queue_capacity < 1 then
     invalid_arg "Server.start: queue_capacity must be >= 1";
@@ -428,6 +445,7 @@ let start ?(host = "127.0.0.1") ~port ~workers ~queue_capacity ?(space = 0)
       listen_fd;
       bound_port;
       space;
+      cache_info;
       workers;
       queue_capacity;
       queue = Bq.create queue_capacity;

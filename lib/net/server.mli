@@ -31,7 +31,14 @@ type handler = arity:int -> int array list -> (int array list * int * Cost.snaps
 
 val engine_handler : Stt_core.Engine.t -> handler
 (** Answer through [Engine.answer_batch]; rejects batches whose arity
-    differs from the engine's access schema. *)
+    differs from the engine's access schema.  If the engine has an
+    answer cache attached it is shared by all worker domains — the
+    cache is striped and lock-protected, the rest of the online path
+    touches only per-call state. *)
+
+val engine_cache_info : Stt_core.Engine.t -> unit -> Frame.cache_health
+(** Live cache occupancy and hit counts of the engine's attached cache
+    ({!Frame.no_cache} when none), for {!start}'s [cache_info]. *)
 
 type stats = {
   connections : int;  (** accepted over the server's lifetime *)
@@ -50,13 +57,17 @@ val start :
   workers:int ->
   queue_capacity:int ->
   ?space:int ->
+  ?cache_info:(unit -> Frame.cache_health) ->
   handler ->
   t
 (** Bind [host:port] (default host [127.0.0.1]; port [0] picks an
     ephemeral port, see {!port}), then spawn the IO domain and [workers]
-    worker domains.  [space] is reported in [Health] replies.  Raises
-    [Invalid_argument] on non-positive [workers] or [queue_capacity];
-    [Unix.Unix_error] if the bind fails. *)
+    worker domains.  [space] is reported in [Health] replies;
+    [cache_info] (default: always {!Frame.no_cache}) is polled by the
+    IO domain on each [Health] request, so it must be cheap and safe to
+    call concurrently with the workers.  Raises [Invalid_argument] on
+    non-positive [workers] or [queue_capacity]; [Unix.Unix_error] if
+    the bind fails. *)
 
 val port : t -> int
 (** The actually bound port. *)

@@ -267,6 +267,23 @@ let json_of_hist h =
       ("buckets", Json.List !buckets);
     ]
 
+(* For every counter pair <p>.hit / <p>.miss with at least one event,
+   derive <p>.hit_rate — so hit rates live in the trace without anyone
+   maintaining a ratio by hand (counters only go up, ratios don't). *)
+let derived_rates counters =
+  let value k = Option.value ~default:0 (List.assoc_opt k counters) in
+  List.filter_map
+    (fun (k, hits) ->
+      match Filename.chop_suffix_opt ~suffix:".hit" k with
+      | None -> None
+      | Some p ->
+          let total = hits + value (p ^ ".miss") in
+          if total = 0 then None
+          else
+            Some
+              (p ^ ".hit_rate", Json.Float (float_of_int hits /. float_of_int total)))
+    counters
+
 let trace () =
   let ctx = current () in
   let hists =
@@ -279,5 +296,6 @@ let trace () =
       ("spans", Json.List (List.rev_map json_of_span ctx.roots));
       ( "counters",
         Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (counters ())) );
+      ("derived", Json.Obj (derived_rates (counters ())));
       ("histograms", Json.Obj hists);
     ]

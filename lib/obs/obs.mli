@@ -71,7 +71,10 @@ val percentile : string -> float -> float
 
 val trace : unit -> Json.t
 (** The full current context as JSON: finished root spans (in open
-    order), counters and histograms.  Schema documented in DESIGN.md
+    order), counters, derived values and histograms.  For every counter
+    pair [<p>.hit]/[<p>.miss] with at least one event, [derived] carries
+    [<p>.hit_rate] (hits / (hits + misses)) — e.g. the answer cache's
+    [cache.hit_rate].  Schema documented in DESIGN.md
     ("Observability"). *)
 
 (** {1 Contexts} *)

@@ -1,0 +1,419 @@
+(* Stt_cache: canonical request keys, TinyLFU admission, bounded space,
+   LRU recency, striped-lock concurrency, the engine's warm-cache fast
+   path, warm-cache snapshot round trips, and a 50-instance differential
+   check that a cached engine stays bit-identical to an uncached twin. *)
+
+open Stt_relation
+open Stt_hypergraph
+open Stt_core
+open Stt_cache
+open Stt_workload
+open Diff_harness
+
+let sorted r = List.sort compare (List.map Array.to_list (Relation.to_list r))
+
+let check_tuples msg expected got =
+  Alcotest.check Alcotest.(list (list int)) msg expected got
+
+(* ------------------------------------------------------------------ *)
+(* Key: the shared canonicalization contract                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_key_permutation_invariance () =
+  let access = Schema.of_list [ 2; 5 ] in
+  (* same tuple set, different schema order and insertion order *)
+  let q1 =
+    Relation.of_list (Schema.of_list [ 2; 5 ]) [ [| 1; 2 |]; [| 3; 4 |] ]
+  in
+  let q2 =
+    Relation.of_list (Schema.of_list [ 5; 2 ]) [ [| 4; 3 |]; [| 2; 1 |] ]
+  in
+  Alcotest.(check string)
+    "permuted schema and insertion order give the same key"
+    (Key.of_request ~access q1)
+    (Key.of_request ~access q2);
+  let q3 =
+    Relation.of_list (Schema.of_list [ 2; 5 ]) [ [| 1; 2 |]; [| 3; 5 |] ]
+  in
+  Alcotest.(check bool)
+    "different tuple sets give different keys" false
+    (String.equal (Key.of_request ~access q1) (Key.of_request ~access q3))
+
+let test_key_canon_sorts () =
+  let access = Schema.of_list [ 0; 1 ] in
+  let q =
+    Relation.of_list (Schema.of_list [ 1; 0 ])
+      [ [| 9; 3 |]; [| 0; 7 |]; [| 2; 1 |] ]
+  in
+  (* reordered into access column order (x0, x1) and sorted *)
+  check_tuples "canonical rows"
+    [ [ 1; 2 ]; [ 3; 9 ]; [ 7; 0 ] ]
+    (List.map Array.to_list (Key.canon ~access q))
+
+let test_key_roundtrip () =
+  let rows = [ [| 1; 2 |]; [| 3; 4 |]; [| 3; 9 |] ] in
+  let arity', rows' = Key.decode (Key.encode ~arity:2 rows) in
+  Alcotest.(check int) "arity" 2 arity';
+  check_tuples "rows" (List.map Array.to_list rows)
+    (List.map Array.to_list rows');
+  (* arity 0 (boolean access) round trips too *)
+  let a0, r0 = Key.decode (Key.encode ~arity:0 [ [||] ]) in
+  Alcotest.(check int) "arity 0" 0 a0;
+  Alcotest.(check int) "one empty row" 1 (List.length r0)
+
+(* ------------------------------------------------------------------ *)
+(* Sketch: count-min frequency estimates                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_sketch () =
+  let s = Sketch.create ~width:1024 in
+  Alcotest.(check int) "fresh key estimates 0" 0 (Sketch.estimate s "nope");
+  for _ = 1 to 3 do
+    Sketch.touch s "k"
+  done;
+  let e = Sketch.estimate s "k" in
+  Alcotest.(check bool) "count-min never underestimates" true (e >= 3);
+  Alcotest.(check bool) "estimate is capped" true (e <= 15);
+  for _ = 1 to 30 do
+    Sketch.touch s "k"
+  done;
+  Alcotest.(check int) "saturates at 15" 15 (Sketch.estimate s "k")
+
+(* ------------------------------------------------------------------ *)
+(* Cache: admission, eviction, space, recency                           *)
+(* ------------------------------------------------------------------ *)
+
+(* arity-1 helpers: entry i holds one row, so with [key_tuples:1] every
+   entry charges exactly 2 stored tuples *)
+let key_of i = Key.encode ~arity:1 [ [| i |] ]
+let rel_of i = Relation.of_list (Schema.of_list [ 7 ]) [ [| i |] ]
+let export_keys c = List.map (fun (k, _, _) -> k) (Cache.export c)
+
+let test_admission () =
+  let c = Cache.create ~stripes:1 ~budget:4 () in
+  (* build frequency for a and b through repeated misses, then admit *)
+  List.iter
+    (fun i ->
+      for _ = 1 to 5 do
+        assert (Cache.find c (key_of i) = None)
+      done;
+      Cache.add c ~key:(key_of i) ~key_tuples:1 (rel_of i))
+    [ 0; 1 ];
+  Alcotest.(check int) "cache full" 4 (Cache.used c);
+  Alcotest.(check int) "two entries" 2 (Cache.entries c);
+  (* a one-hit wonder must not displace a hot incumbent *)
+  assert (Cache.find c (key_of 2) = None);
+  Cache.add c ~key:(key_of 2) ~key_tuples:1 (rel_of 2);
+  Alcotest.(check (list string))
+    "one-hit wonder bounced off"
+    [ key_of 0; key_of 1 ]
+    (export_keys c);
+  Alcotest.(check bool) "rejection counted" true ((Cache.stats c).rejected >= 1);
+  (* a hotter newcomer displaces the LRU victim *)
+  for _ = 1 to 8 do
+    assert (Cache.find c (key_of 3) = None)
+  done;
+  Cache.add c ~key:(key_of 3) ~key_tuples:1 (rel_of 3);
+  Alcotest.(check (list string))
+    "hot newcomer evicted the oldest incumbent"
+    [ key_of 1; key_of 3 ]
+    (export_keys c);
+  Alcotest.(check int) "one eviction" 1 (Cache.stats c).evictions;
+  Alcotest.(check bool) "still within budget" true (Cache.used c <= 4)
+
+let test_space_invariant () =
+  let c = Cache.create ~stripes:1 ~budget:10 () in
+  for i = 0 to 49 do
+    Cache.install c ~key:(key_of i) ~key_tuples:1 (rel_of i);
+    Alcotest.(check bool)
+      (Printf.sprintf "used <= budget after install %d" i)
+      true
+      (Cache.used c <= Cache.budget c)
+  done;
+  Alcotest.(check int) "5 entries of charge 2 fit in budget 10" 5
+    (Cache.entries c);
+  Alcotest.(check bool) "evictions happened" true
+    ((Cache.stats c).evictions > 0);
+  Cache.clear c;
+  Alcotest.(check int) "clear empties" 0 (Cache.entries c);
+  Alcotest.(check int) "clear frees the charge" 0 (Cache.used c)
+
+let test_oversized_rejected () =
+  let c = Cache.create ~stripes:1 ~budget:4 () in
+  let big =
+    Relation.of_list (Schema.of_list [ 7 ]) (List.init 10 (fun i -> [| i |]))
+  in
+  Cache.add c ~key:(key_of 0) ~key_tuples:1 big;
+  Alcotest.(check int) "oversized add rejected" 0 (Cache.entries c);
+  Cache.install c ~key:(key_of 0) ~key_tuples:1 big;
+  Alcotest.(check int) "oversized install rejected" 0 (Cache.entries c);
+  Alcotest.(check int) "both counted" 2 (Cache.stats c).rejected
+
+let test_lru_recency () =
+  let c = Cache.create ~stripes:1 ~budget:6 () in
+  List.iter
+    (fun i -> Cache.install c ~key:(key_of i) ~key_tuples:1 (rel_of i))
+    [ 0; 1; 2 ];
+  (* touching 0 makes 1 the eviction victim *)
+  (match Cache.find c (key_of 0) with
+  | Some r -> check_tuples "hit decodes the stored answer" [ [ 0 ] ] (sorted r)
+  | None -> Alcotest.fail "expected a hit");
+  Cache.install c ~key:(key_of 3) ~key_tuples:1 (rel_of 3);
+  Alcotest.(check (list string))
+    "oldest unrefreshed entry evicted"
+    [ key_of 2; key_of 0; key_of 3 ]
+    (export_keys c)
+
+let test_stats_and_obs_counters () =
+  let ctx = Stt_obs.Obs.create_context () in
+  Stt_obs.Obs.with_context ctx @@ fun () ->
+  Stt_obs.Obs.set_enabled true;
+  Fun.protect ~finally:(fun () -> Stt_obs.Obs.set_enabled false) @@ fun () ->
+  let c = Cache.create ~stripes:1 ~budget:100 () in
+  for _ = 1 to 3 do
+    assert (Cache.find c (key_of 0) = None)
+  done;
+  Cache.add c ~key:(key_of 0) ~key_tuples:1 (rel_of 0);
+  for _ = 1 to 2 do
+    assert (Cache.find c (key_of 0) <> None)
+  done;
+  let s = Cache.stats c in
+  Alcotest.(check int) "hits" 2 s.hits;
+  Alcotest.(check int) "misses" 3 s.misses;
+  Alcotest.(check int) "insertions" 1 s.insertions;
+  Alcotest.(check int) "entries" 1 s.entries;
+  Alcotest.(check int) "used = key + rows" 2 s.used;
+  Alcotest.(check int) "obs hit counter" 2
+    (Stt_obs.Obs.counter_value "cache.hit");
+  Alcotest.(check int) "obs miss counter" 3
+    (Stt_obs.Obs.counter_value "cache.miss");
+  Alcotest.(check bool) "obs bytes counter" true
+    (Stt_obs.Obs.counter_value "cache.bytes" > 0);
+  (* the trace document derives cache.hit_rate from the counter pair *)
+  match Stt_obs.Json.member "derived" (Stt_obs.Obs.trace ()) with
+  | None -> Alcotest.fail "trace has no derived object"
+  | Some d -> (
+      match Stt_obs.Json.member "cache.hit_rate" d with
+      | Some (Stt_obs.Json.Float f) ->
+          Alcotest.(check (float 1e-9)) "hit rate" 0.4 f
+      | _ -> Alcotest.fail "derived cache.hit_rate missing")
+
+(* ------------------------------------------------------------------ *)
+(* striped-lock concurrency smoke                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_concurrent_stripes () =
+  let c = Cache.create ~stripes:8 ~budget:400 () in
+  let n_keys = 32 in
+  let expected i =
+    List.sort compare [ [ i * 3 ]; [ (i * 3) + 1 ]; [ (i * 3) + 2 ] ]
+  in
+  let value i =
+    Relation.of_list (Schema.of_list [ 7 ])
+      [ [| i * 3 |]; [| (i * 3) + 1 |]; [| (i * 3) + 2 |] ]
+  in
+  let worker d () =
+    for j = 0 to 399 do
+      let i = ((d * 131) + (j * 31)) mod n_keys in
+      match Cache.find c (key_of i) with
+      | Some r ->
+          if sorted r <> expected i then
+            failwith (Printf.sprintf "domain %d: wrong value for key %d" d i)
+      | None -> Cache.add c ~key:(key_of i) ~key_tuples:1 (value i)
+    done
+  in
+  let domains = List.init 4 (fun d -> Domain.spawn (worker d)) in
+  List.iter Domain.join domains;
+  Alcotest.(check bool) "within budget" true (Cache.used c <= Cache.budget c);
+  (* every surviving entry still decodes to its key's exact answer *)
+  List.iter
+    (fun (k, kt, r) ->
+      Alcotest.(check int) "key_tuples preserved" 1 kt;
+      let _, rows = Key.decode k in
+      match rows with
+      | [ [| i |] ] -> check_tuples "entry value" (expected i) (sorted r)
+      | _ -> Alcotest.fail "unexpected key shape")
+    (Cache.export c);
+  let s = Cache.stats c in
+  Alcotest.(check int) "every find counted" 1600 (s.hits + s.misses)
+
+(* ------------------------------------------------------------------ *)
+(* engine integration: warm fast path and snapshot round trip           *)
+(* ------------------------------------------------------------------ *)
+
+let build_2reach () =
+  let db = Db.create () in
+  Db.add_pairs db "R" (Graphs.zipf_both ~seed:3 ~vertices:60 ~edges:500 ~s:1.1);
+  Engine.build_auto (Cq.Library.k_path 2) ~db ~budget:300
+
+let test_warm_answer_tuple_is_o1 () =
+  let idx = build_2reach () in
+  Engine.attach_cache idx ~budget:1000;
+  let tup = [| 4; 9 |] in
+  let cold, cold_cost = Cost.measure (fun () -> Engine.answer_tuple idx tup) in
+  let warm, warm_cost = Cost.measure (fun () -> Engine.answer_tuple idx tup) in
+  Alcotest.(check bool) "same verdict" cold warm;
+  (* warm path: one cache probe, the materialized q_a tuple and at most
+     one materialized answer row — no index probes, no scans *)
+  Alcotest.(check int) "warm hit costs one probe" 1 warm_cost.Cost.probes;
+  Alcotest.(check bool) "warm hit materializes <= 2 tuples" true
+    (warm_cost.Cost.tuples <= 2);
+  Alcotest.(check int) "warm hit scans nothing" 0 warm_cost.Cost.scans;
+  Alcotest.(check bool) "warm is cheaper than cold" true
+    (Cost.total warm_cost < Cost.total cold_cost);
+  let s = Option.get (Engine.cache_stats idx) in
+  Alcotest.(check int) "one hit" 1 s.Cache.hits;
+  Alcotest.(check int) "one miss" 1 s.Cache.misses
+
+let temp_snap () = Filename.temp_file "stt_cache_test" ".snap"
+
+let test_warm_snapshot_roundtrip () =
+  let idx = build_2reach () in
+  Engine.attach_cache idx ~budget:2000;
+  let rng = Rng.create 17 in
+  let requests =
+    List.init 30 (fun _ ->
+        Relation.of_list (Engine.access_schema idx)
+          [ [| Rng.int rng 60; Rng.int rng 60 |] ])
+  in
+  (* warm the cache, with repeats so some entries carry hit history *)
+  List.iter (fun q_a -> ignore (Engine.answer idx ~q_a)) (requests @ requests);
+  let path = temp_snap () in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  (match Engine.save idx path with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "save: %s" (Stt_store.Store.error_to_string e));
+  match Engine.load path with
+  | Error e -> Alcotest.failf "load: %s" (Stt_store.Store.error_to_string e)
+  | Ok loaded ->
+      let s = Option.get (Engine.cache_stats idx) in
+      let s' = Option.get (Engine.cache_stats loaded) in
+      Alcotest.(check int) "budget survives" s.Cache.budget s'.Cache.budget;
+      Alcotest.(check int) "entries survive" s.Cache.entries s'.Cache.entries;
+      Alcotest.(check int) "charge survives" s.Cache.used s'.Cache.used;
+      Alcotest.(check int) "cache space reported" s.Cache.used
+        (Engine.cache_space loaded);
+      Alcotest.(check int) "total space"
+        (Engine.space idx + s.Cache.used)
+        (Engine.total_space loaded);
+      (* every warmed request is a hit on the loaded engine with the
+         same answer and the same op counts as on the original *)
+      List.iter
+        (fun q_a ->
+          let a, c = Cost.measure (fun () -> Engine.answer idx ~q_a) in
+          let a', c' = Cost.measure (fun () -> Engine.answer loaded ~q_a) in
+          check_tuples "answers identical" (sorted a) (sorted a');
+          Alcotest.(check (list int))
+            "hit op counts identical"
+            [ c.Cost.probes; c.Cost.tuples; c.Cost.scans ]
+            [ c'.Cost.probes; c'.Cost.tuples; c'.Cost.scans ])
+        requests
+
+(* ------------------------------------------------------------------ *)
+(* differential: cached engine == uncached twin, 50 random instances    *)
+(* ------------------------------------------------------------------ *)
+
+let n_instances = 50
+let base_seed = 0xCAC4E
+
+let run_one i =
+  let rec attempt k =
+    let seed = base_seed + (1000 * i) + k in
+    let inst = gen_instance seed in
+    match build_index inst with
+    | exception Skip reason ->
+        if k >= 20 then
+          Alcotest.failf "instance %d: no buildable query after %d tries (%s)"
+            i (k + 1) reason
+        else attempt (k + 1)
+    | plain, _ ->
+        (* the twin build is deterministic: same instance, same engine *)
+        let cached, _ = build_index inst in
+        Engine.attach_cache cached ~budget:(1 + (i mod 3 * 50));
+        let reference q_a = sorted (Engine.answer plain ~q_a) in
+        let singletons =
+          List.map
+            (fun tup -> Relation.of_list (Relation.schema inst.q_a) [ tup ])
+            (Relation.to_list inst.q_a)
+        in
+        let reqs = (inst.q_a :: singletons) @ (inst.q_a :: singletons) in
+        (* answer: cold then warm *)
+        List.iter
+          (fun q_a ->
+            if sorted (Engine.answer cached ~q_a) <> reference q_a then
+              Alcotest.failf "instance %d (seed %d): answer diverges" i seed)
+          reqs;
+        (* answer_tuple: cold then warm *)
+        Relation.iter
+          (fun tup ->
+            let expect =
+              not (Relation.is_empty (Db.eval_access inst.db inst.cqap
+                     ~q_a:(Relation.of_list (Relation.schema inst.q_a) [ tup ])))
+            in
+            if Engine.answer_tuple cached tup <> expect
+               || Engine.answer_tuple cached tup <> expect
+            then
+              Alcotest.failf "instance %d (seed %d): answer_tuple diverges" i
+                seed)
+          inst.q_a;
+        (* answer_batch with duplicates, against per-request references *)
+        List.iter2
+          (fun q_a (r, _) ->
+            if sorted r <> reference q_a then
+              Alcotest.failf "instance %d (seed %d): answer_batch diverges" i
+                seed)
+          reqs
+          (Engine.answer_batch cached reqs)
+  in
+  attempt 0
+
+let test_differential_cached () =
+  for i = 0 to n_instances - 1 do
+    run_one i
+  done
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "cache"
+    [
+      ( "key",
+        [
+          Alcotest.test_case "permutation invariance" `Quick
+            test_key_permutation_invariance;
+          Alcotest.test_case "canon sorts into access order" `Quick
+            test_key_canon_sorts;
+          Alcotest.test_case "encode/decode round trip" `Quick
+            test_key_roundtrip;
+        ] );
+      ( "sketch",
+        [ Alcotest.test_case "count-min estimates" `Quick test_sketch ] );
+      ( "cache",
+        [
+          Alcotest.test_case "TinyLFU admission" `Quick test_admission;
+          Alcotest.test_case "space invariant under churn" `Quick
+            test_space_invariant;
+          Alcotest.test_case "oversized entries rejected" `Quick
+            test_oversized_rejected;
+          Alcotest.test_case "LRU recency" `Quick test_lru_recency;
+          Alcotest.test_case "stats and obs counters" `Quick
+            test_stats_and_obs_counters;
+          Alcotest.test_case "4-domain striped smoke" `Quick
+            test_concurrent_stripes;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "warm answer_tuple is O(1)" `Quick
+            test_warm_answer_tuple_is_o1;
+          Alcotest.test_case "warm snapshot round trip" `Quick
+            test_warm_snapshot_roundtrip;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case
+            (Printf.sprintf "%d random instances, cached == uncached"
+               n_instances)
+            `Slow test_differential_cached;
+        ] );
+    ]

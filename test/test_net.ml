@@ -70,9 +70,29 @@ let gen_response =
           Frame.Stats_reply { id; json } );
         ( int_bound 1_000_000 >>= fun id ->
           quad bool (int_bound 100_000) (int_bound 64) (int_bound 4096)
-          >|= fun (ready, space, workers, queue_capacity) ->
+          >>= fun (ready, space, workers, queue_capacity) ->
+          quad (int_bound 100_000) (int_bound 100_000) (int_bound 10_000)
+            (pair (int_bound 1_000_000) (int_bound 1_000_000))
+          >|= fun (cache_budget, cache_used, cache_entries, (hits, misses)) ->
           Frame.Health_reply
-            { id; health = { Frame.ready; space; workers; queue_capacity } } );
+            {
+              id;
+              health =
+                {
+                  Frame.ready;
+                  space;
+                  workers;
+                  queue_capacity;
+                  cache =
+                    {
+                      Frame.cache_budget;
+                      cache_used;
+                      cache_entries;
+                      cache_hits = hits;
+                      cache_misses = misses;
+                    };
+                };
+            } );
       ])
 
 let request_roundtrip =

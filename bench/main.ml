@@ -1038,6 +1038,147 @@ let emp_cache () =
   record "skew_ops_ratio" (Json.Float skew_ops_ratio);
   record "uniform_ratio" (Json.Float uniform_ratio)
 
+(* ------------------------------------------------------------------ *)
+(* emp-churn                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let emp_churn () =
+  section "emp-churn"
+    "Empirical — incremental maintenance vs from-scratch rebuilds under churn";
+  (* same fixture as emp-cache: 3-reach over the 4k-edge Zipf graph at a
+     tight space budget, so both deltas and rebuilds have real work *)
+  let vertices = 400 and n_edges = 4_000 in
+  let q = Cq.Library.k_path 3 in
+  let budget = 1_000 in
+  let seed = 131 in
+  let edges = Graphs.zipf_both ~seed ~vertices ~edges:n_edges ~s:1.1 in
+  let db = Db.create () in
+  Db.add_pairs db "R" edges;
+  let engine, build_wall =
+    timed (fun () -> Engine.build_auto ~max_pmtds:128 q ~db ~budget)
+  in
+  let acc_schema = Engine.access_schema engine in
+  let arity = Schema.arity acc_schema in
+  Printf.printf "|E| = %d, budget %d, space %d (built in %.3fs)\n"
+    (List.length edges) budget (Engine.space engine) build_wall;
+  (* the shared churn stream: ~30%% inserts / ~15%% deletes / ~55%%
+     queries, Zipf-skewed onto the hot keys *)
+  let n_ops = 400 in
+  let ops =
+    Scenario.churn_ops ~seed ~vertices ~edges:n_edges ~ops:n_ops ~arity
+  in
+  (* live mirror of the edge set, so the cold rebuild at the end sees
+     exactly the post-churn graph *)
+  let live = Hashtbl.create (2 * n_edges) in
+  List.iter (fun e -> Hashtbl.replace live e ()) edges;
+  let delta_ops = ref 0 and n_deltas = ref 0 and applied = ref 0 in
+  let first_delta_ops = ref 0 in
+  let delta_walls = ref [] in
+  let query_ops = ref 0 and n_queries = ref 0 in
+  let (), churn_wall =
+    timed (fun () ->
+        List.iter
+          (fun op ->
+            match op with
+            | Scenario.Insert (u, v) | Scenario.Delete (u, v) ->
+                let add =
+                  match op with Scenario.Insert _ -> true | _ -> false
+                in
+                let (eff, cost), w =
+                  timed (fun () ->
+                      if add then Engine.insert engine "R" [| u; v |]
+                      else Engine.delete engine "R" [| u; v |])
+                in
+                if add then Hashtbl.replace live (u, v) ()
+                else Hashtbl.remove live (u, v);
+                if eff then incr applied;
+                incr n_deltas;
+                (* the first delta also pays the one-time thaw *)
+                if !n_deltas = 1 then first_delta_ops := Cost.total cost;
+                delta_ops := !delta_ops + Cost.total cost;
+                delta_walls := w :: !delta_walls
+            | Scenario.Query t ->
+                let q_a = Relation.singleton acc_schema t in
+                let _, c = Cost.measure (fun () -> Engine.answer engine ~q_a) in
+                query_ops := !query_ops + Cost.total c;
+                incr n_queries)
+          ops)
+  in
+  (* the alternative the maintenance path displaces: a from-scratch
+     build of the post-churn graph (op-counted once; a rebuild-per-delta
+     baseline would pay this for every one of the deltas) *)
+  let final_db = Db.create () in
+  Db.add_pairs final_db "R" (Hashtbl.fold (fun e () acc -> e :: acc) live []);
+  let (rebuilt, rebuild_cost), rebuild_wall =
+    timed (fun () ->
+        Cost.scoped (fun () ->
+            Engine.build_auto ~counted:true ~max_pmtds:128 q ~db:final_db
+              ~budget))
+  in
+  let rebuild_ops = Cost.total rebuild_cost in
+  (* the maintained engine must be observationally the rebuild *)
+  let reqs =
+    let rng = Rng.create 117 in
+    let sample = Rng.zipf_sampler rng ~n:vertices ~s:1.5 in
+    List.init 256 (fun _ ->
+        Relation.singleton acc_schema (Array.init arity (fun _ -> sample ())))
+  in
+  let identical_answers =
+    List.for_all2
+      (fun (r, _) (r', _) -> Relation.equal r r')
+      (Engine.answer_batch engine reqs)
+      (Engine.answer_batch rebuilt reqs)
+  in
+  let avg_delta_ops =
+    float_of_int !delta_ops /. float_of_int (max 1 !n_deltas)
+  in
+  let delta_rebuild_ratio = float_of_int rebuild_ops /. avg_delta_ops in
+  let sorted_walls = Array.of_list !delta_walls in
+  Array.sort compare sorted_walls;
+  let avg_delta_wall =
+    Array.fold_left ( +. ) 0.0 sorted_walls
+    /. float_of_int (max 1 (Array.length sorted_walls))
+  in
+  Printf.printf
+    "churn: %d ops (%d deltas, %d effective, %d queries) in %.3fs\n" n_ops
+    !n_deltas !applied !n_queries churn_wall;
+  Printf.printf
+    "deltas: avg %.0f ops (first, incl. thaw: %d), wall p50 %.6fs p99 %.6fs\n"
+    avg_delta_ops !first_delta_ops
+    (percentile sorted_walls 0.50)
+    (percentile sorted_walls 0.99);
+  Printf.printf "rebuild of the final graph: %d ops, %.3fs wall\n" rebuild_ops
+    rebuild_wall;
+  Printf.printf
+    "per-delta maintenance is %.0fx cheaper than a rebuild (ops), %.0fx \
+     (wall) — identical answers after churn: %b\n"
+    delta_rebuild_ratio
+    (rebuild_wall /. max 1e-9 avg_delta_wall)
+    identical_answers;
+  record "edges" (Json.Int (List.length edges));
+  record "budget" (Json.Int budget);
+  record "space" (Json.Int (Engine.space engine));
+  record "build_wall_s" (Json.Float build_wall);
+  record "ops" (Json.Int n_ops);
+  record "deltas" (Json.Int !n_deltas);
+  record "deltas_applied" (Json.Int !applied);
+  record "queries" (Json.Int !n_queries);
+  record "epoch" (Json.Int (Engine.epoch engine));
+  record "churn_wall_s" (Json.Float churn_wall);
+  record "delta_ops_total" (Json.Int !delta_ops);
+  record "delta_ops_avg" (Json.Float avg_delta_ops);
+  record "first_delta_ops" (Json.Int !first_delta_ops);
+  record "delta_wall_p50_s" (Json.Float (percentile sorted_walls 0.50));
+  record "delta_wall_p99_s" (Json.Float (percentile sorted_walls 0.99));
+  record "query_ops_avg"
+    (Json.Float (float_of_int !query_ops /. float_of_int (max 1 !n_queries)));
+  record "rebuild_ops" (Json.Int rebuild_ops);
+  record "rebuild_wall_s" (Json.Float rebuild_wall);
+  record "delta_rebuild_ratio" (Json.Float delta_rebuild_ratio);
+  record "delta_rebuild_wall_ratio"
+    (Json.Float (rebuild_wall /. max 1e-9 avg_delta_wall));
+  record "identical_answers" (Json.Bool identical_answers)
+
 let abl_join () =
   section "abl-join"
     "Ablation — hash join vs sort-merge join backends (same results)";
@@ -1243,6 +1384,7 @@ let experiments =
     ("emp-square", emp_square);
     ("emp-serve", emp_serve);
     ("emp-cache", emp_cache);
+    ("emp-churn", emp_churn);
     ("abl-join", abl_join);
     ("curves", exact_curves);
     ("proofs", proofs);

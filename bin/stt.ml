@@ -696,6 +696,10 @@ let serve_net_cmd =
       Server.start ~port ~workers ~queue_capacity:queue
         ~space:(Engine.space idx)
         ~cache_info:(Server.engine_cache_info idx)
+        ?update_handler:
+          (if Engine.supports_maintenance idx then
+             Some (Server.engine_update_handler idx)
+           else None)
         (Server.engine_handler idx)
     in
     Format.printf "serving on 127.0.0.1:%d (%d workers, queue %d)@."
@@ -710,10 +714,10 @@ let serve_net_cmd =
     done;
     let st = Server.wait server in
     Format.printf
-      "drained: %d connections, %d received, %d answered, %d shed, %d past \
-       deadline, %d bad requests@."
+      "drained: %d connections, %d received, %d answered, %d updated, %d \
+       shed, %d past deadline, %d bad requests@."
       st.Server.connections st.Server.received st.Server.answered
-      st.Server.rejected_overload st.Server.rejected_deadline
+      st.Server.updated st.Server.rejected_overload st.Server.rejected_deadline
       st.Server.bad_requests;
     let server_trace =
       match Json.of_string (Server.trace_json server) with
@@ -729,6 +733,7 @@ let serve_net_cmd =
       ("connections", Json.Int st.Server.connections);
       ("received", Json.Int st.Server.received);
       ("answered", Json.Int st.Server.answered);
+      ("updated", Json.Int st.Server.updated);
       ("rejected_overload", Json.Int st.Server.rejected_overload);
       ("rejected_deadline", Json.Int st.Server.rejected_deadline);
       ("bad_requests", Json.Int st.Server.bad_requests);

@@ -27,6 +27,7 @@ type stripe = {
   mutable s_insertions : int;
   mutable s_evictions : int;
   mutable s_rejected : int;
+  mutable s_invalidated : int;
 }
 
 type t = { stripe_arr : stripe array; t_budget : int }
@@ -40,6 +41,7 @@ type stats = {
   insertions : int;
   evictions : int;
   rejected : int;
+  invalidated : int;
 }
 
 let create ?(stripes = 8) ~budget () =
@@ -66,6 +68,7 @@ let create ?(stripes = 8) ~budget () =
       s_insertions = 0;
       s_evictions = 0;
       s_rejected = 0;
+      s_invalidated = 0;
     }
   in
   { stripe_arr = Array.init n mk; t_budget = budget }
@@ -266,6 +269,7 @@ let stats t =
         insertions = acc.insertions + s.s_insertions;
         evictions = acc.evictions + s.s_evictions;
         rejected = acc.rejected + s.s_rejected;
+        invalidated = acc.invalidated + s.s_invalidated;
       })
     {
       entries = 0;
@@ -276,7 +280,33 @@ let stats t =
       insertions = 0;
       evictions = 0;
       rejected = 0;
+      invalidated = 0;
     }
+
+(* Precise invalidation after a base-data delta: drop exactly the
+   entries whose key the predicate marks as affected.  One probe charged
+   per entry examined — the scan is real online work done on behalf of
+   the mutation, so it lands in the maintenance cost, not in answering.
+   Invalidations are counted separately from capacity evictions. *)
+let invalidate t affected =
+  fold_stripes t
+    (fun acc s ->
+      let victims =
+        Hashtbl.fold
+          (fun key e acc ->
+            Cost.charge_probe ();
+            if affected key then e :: acc else acc)
+          s.tbl []
+      in
+      List.iter
+        (fun e ->
+          unlink s e;
+          Hashtbl.remove s.tbl e.key;
+          s.s_used <- s.s_used - e.charge;
+          s.s_invalidated <- s.s_invalidated + 1)
+        victims;
+      acc + List.length victims)
+    0
 
 let export t =
   List.rev

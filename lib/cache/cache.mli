@@ -40,6 +40,7 @@ type stats = {
   insertions : int;
   evictions : int;
   rejected : int;  (** denied by admission filter or per-entry capacity *)
+  invalidated : int;  (** dropped by {!invalidate} after base-data deltas *)
 }
 
 val create : ?stripes:int -> budget:int -> unit -> t
@@ -75,6 +76,14 @@ val install : t -> key:string -> key_tuples:int -> Relation.t -> unit
     unconditionally while over budget) and replaces an existing entry.
     Used to rebuild a warm cache from a snapshot, where admission
     already happened in a previous life. *)
+
+val invalidate : t -> (string -> bool) -> int
+(** [invalidate t affected] drops every entry whose canonical key
+    satisfies [affected], returning how many were dropped.  Used after a
+    base-data delta to evict exactly the cached answers the delta can
+    change; one probe is charged per entry examined.  Invalidations are
+    counted in [stats.invalidated], separate from capacity
+    [evictions]. *)
 
 val export : t -> (string * int * Relation.t) list
 (** All live entries as [(key, key_tuples, answer)], stripe by stripe,

@@ -12,12 +12,17 @@ type t = {
   pmtds : Pmtd.t list;
   rules : Rule.t list;
   structures : Twopp.t list;
-  preprocessed : (Pmtd.t * Online_yannakakis.preprocessed) list;
-  space : int;
+  mutable preprocessed : (Pmtd.t * Online_yannakakis.preprocessed) list;
+  mutable space : int;
   mutable cache : Cache.t option;
       (* workload-adaptive answer cache; None = disabled.  Charged
          against its own budget, not [space] — [space] stays the
          intrinsic S-view footprint the paper's bound talks about. *)
+  mutable epoch : int;
+      (* number of effective base-tuple deltas applied since build;
+         recorded in snapshots so a replica can tell stale from fresh *)
+  mutable thawed : bool;
+      (* S-views re-materialized unreduced for incremental maintenance *)
 }
 
 (* Carry the per-domain simplex pivot counter across the pool's worker
@@ -72,19 +77,19 @@ let pmap f xs =
       List.iter (fun (_, ctx) -> Obs.adopt ctx) tasks;
       res
 
-let build cqap pmtd_list ~db ~budget =
+let build ?(counted = false) cqap pmtd_list ~db ~budget =
   Obs.span "engine.build" ~attrs:[ ("budget", Json.Int budget) ] @@ fun () ->
   let rules = Rule.generate cqap pmtd_list in
   Obs.set_attr "pmtds" (Json.Int (List.length pmtd_list));
   Obs.set_attr "rules" (Json.Int (List.length rules));
   Obs.set_attr "jobs" (Json.Int (Pool.jobs ()));
   (* phase 1: the 2PP structure of every rule, in parallel across rules *)
-  let structures = pmap (fun r -> Twopp.build r ~db ~budget) rules in
+  let structures = pmap (fun r -> Twopp.build ~counted r ~db ~budget) rules in
   let all_s_targets = List.concat_map Twopp.s_targets structures in
   (* phase 2: Yannakakis preprocessing, in parallel across PMTDs (reads
      the shared S-targets, writes only per-PMTD state) *)
   let preprocessed =
-    Cost.with_counting false (fun () ->
+    Cost.with_counting counted (fun () ->
         pmap
           (fun p ->
             let s_views node =
@@ -104,10 +109,20 @@ let build cqap pmtd_list ~db ~budget =
        (List.map
           (fun (_, oy) -> Json.Int (Online_yannakakis.space oy))
           preprocessed));
-  { cqap; pmtds = pmtd_list; rules; structures; preprocessed; space; cache = None }
+  {
+    cqap;
+    pmtds = pmtd_list;
+    rules;
+    structures;
+    preprocessed;
+    space;
+    cache = None;
+    epoch = 0;
+    thawed = false;
+  }
 
-let build_auto ?max_pmtds cqap ~db ~budget =
-  build cqap (Enum.pmtds ?max_pmtds cqap) ~db ~budget
+let build_auto ?counted ?max_pmtds cqap ~db ~budget =
+  build ?counted cqap (Enum.pmtds ?max_pmtds cqap) ~db ~budget
 
 (* The online pipeline without observability wrapping: one 2PP online
    pass per rule, T-views unioned per PMTD, Online Yannakakis per PMTD,
@@ -328,6 +343,213 @@ let answer_batch t reqs =
           in
           (r, c))
         keyed
+
+(* ------------------------------------------------------------------ *)
+(* incremental maintenance                                              *)
+(* ------------------------------------------------------------------ *)
+
+let epoch t = t.epoch
+
+let supports_maintenance t =
+  t.structures <> [] && List.for_all Twopp.supports_maintenance t.structures
+
+(* First delta against a built engine: re-materialize the S-views
+   without the SS semijoin reduction (a pure space optimization that
+   [answer] never depends on), because reduced views cannot absorb
+   single-tuple deltas additively.  The conversion is charged as one
+   scan per re-materialized view tuple — a one-time reorganization cost
+   that lands on the first delta and amortizes over the stream. *)
+let thaw t =
+  if not t.thawed then begin
+    let all_s_targets = List.concat_map Twopp.s_targets t.structures in
+    let preprocessed =
+      Cost.with_counting false (fun () ->
+          List.map
+            (fun (p, _) ->
+              let s_views node =
+                view_of_targets all_s_targets (Pmtd.view p node).Pmtd.vars
+              in
+              (p, Online_yannakakis.preprocess ~reduce:false p ~s_views))
+            t.preprocessed)
+    in
+    t.preprocessed <- preprocessed;
+    let space =
+      List.fold_left
+        (fun acc (_, oy) -> acc + Online_yannakakis.space oy)
+        0 preprocessed
+    in
+    for _ = 1 to space do
+      Cost.charge_scan ()
+    done;
+    t.space <- space;
+    t.thawed <- true;
+    Obs.incr "maintain.thaw"
+  end
+
+let known_relation t rel =
+  List.exists (fun (a : Cq.atom) -> a.Cq.rel = rel) t.cqap.Cq.cq.Cq.atoms
+
+(* Access requests whose answers can change with the delta: the
+   access-variable projections of every body derivation that uses the
+   tuple at some atom.  Computed against the base relations — before
+   applying a delete (the dying derivations), after applying an insert
+   (the new ones).  The pinned singleton is the smallest join input, so
+   the greedy join stays narrow around the tuple. *)
+let affected_access t ~rel ~tuple =
+  match t.structures with
+  | [] -> Tuple.Tbl.create 1
+  | s :: _ ->
+      let base = Twopp.base_relations s in
+      let access = Varset.to_list t.cqap.Cq.access in
+      let acc = Tuple.Tbl.create 16 in
+      List.iter
+        (fun ((a : Cq.atom), _) ->
+          if a.Cq.rel = rel then begin
+            let single =
+              Relation.singleton (Schema.of_list a.Cq.vars) tuple
+            in
+            let others =
+              List.filter_map
+                (fun (a', r) -> if a' == a then None else Some r)
+                base
+            in
+            let reach = Db.join_greedy (single :: others) ~keep:access in
+            Relation.iter
+              (fun row ->
+                if not (Tuple.Tbl.mem acc row) then
+                  Tuple.Tbl.add acc (Array.copy row) ())
+              reach
+          end)
+        base;
+      acc
+
+let invalidate_cache t affected =
+  match t.cache with
+  | None -> 0
+  | Some cache ->
+      if Tuple.Tbl.length affected = 0 then 0
+      else
+        Cache.invalidate cache (fun key ->
+            let _, rows = Ckey.decode key in
+            List.exists (Tuple.Tbl.mem affected) rows)
+
+(* S-view routing: an S-view row change for target [b] lands on every
+   materialized node whose view variables equal [b], across all PMTDs. *)
+let nodes_for t b =
+  List.concat_map
+    (fun (p, oy) ->
+      List.filter_map
+        (fun node ->
+          if Varset.equal (Pmtd.view p node).Pmtd.vars b then Some (oy, node)
+          else None)
+        (Online_yannakakis.materialized_nodes oy))
+    t.preprocessed
+
+let apply_one t ~rel ~tuple ~add =
+  if not (known_relation t rel) then
+    failwith (Printf.sprintf "Engine: delta against unknown relation %s" rel);
+  (* reject malformed deltas before any state is touched, so a bad
+     request cannot leave the engine half-updated *)
+  List.iter
+    (fun (a : Cq.atom) ->
+      if a.Cq.rel = rel && List.length a.Cq.vars <> Tuple.arity tuple then
+        failwith
+          (Printf.sprintf "Engine: arity-%d delta for %d-ary relation %s"
+             (Tuple.arity tuple)
+             (List.length a.Cq.vars)
+             rel))
+    t.cqap.Cq.cq.Cq.atoms;
+  if not (supports_maintenance t) then
+    failwith
+      "Engine: snapshot-loaded engines are static replicas and cannot \
+       accept deltas";
+  thaw t;
+  let present =
+    Twopp.base_mem (List.hd t.structures) ~rel tuple
+  in
+  if add = present then false (* redundant delta: no-op *)
+  else begin
+    (* for a delete, the dying derivations must be probed before the
+       base loses the tuple *)
+    let pre_affected =
+      if (not add) && t.cache <> None then Some (affected_access t ~rel ~tuple)
+      else None
+    in
+    let events =
+      List.concat_map
+        (fun s ->
+          List.map (fun ev -> ev) (Twopp.apply_delta s ~rel ~tuple ~add))
+        t.structures
+    in
+    let inserts, deletes = List.partition (fun (_, _, sign) -> sign) events in
+    List.iter
+      (fun (b, row, _) ->
+        List.iter
+          (fun (oy, node) ->
+            ignore (Online_yannakakis.insert_view_tuple oy node row))
+          (nodes_for t b))
+      inserts;
+    List.iter
+      (fun (b, row, _) ->
+        (* the row leaves the views only once no structure stores it *)
+        if
+          not
+            (List.exists (fun s -> Twopp.stored_mem s b row) t.structures)
+        then
+          List.iter
+            (fun (oy, node) ->
+              ignore (Online_yannakakis.delete_view_tuple oy node row))
+            (nodes_for t b))
+      deletes;
+    t.space <-
+      List.fold_left
+        (fun acc (_, oy) -> acc + Online_yannakakis.space oy)
+        0 t.preprocessed;
+    let affected =
+      match pre_affected with
+      | Some a -> Some a
+      | None ->
+          if t.cache <> None then Some (affected_access t ~rel ~tuple)
+          else None
+    in
+    (match affected with
+    | Some aff ->
+        let n = invalidate_cache t aff in
+        if n > 0 then Obs.incr ~by:n "cache.invalidate"
+    | None -> ());
+    t.epoch <- t.epoch + 1;
+    true
+  end
+
+let apply_deltas t deltas =
+  Obs.span "engine.maintain"
+    ~attrs:[ ("deltas", Json.Int (List.length deltas)) ]
+  @@ fun () ->
+  let applied = ref 0 in
+  let (), cost =
+    Cost.scoped (fun () ->
+        List.iter
+          (fun (rel, tuple, add) ->
+            if apply_one t ~rel ~tuple ~add then incr applied)
+          deltas)
+  in
+  if Obs.enabled () then begin
+    Obs.set_attr "applied" (Json.Int !applied);
+    Obs.set_attr "epoch" (Json.Int t.epoch);
+    Obs.incr ~by:cost.Cost.probes "maintain.probes";
+    Obs.incr ~by:cost.Cost.tuples "maintain.tuples";
+    Obs.incr ~by:cost.Cost.scans "maintain.scans";
+    Obs.observe "engine.maintain.ops" (float_of_int (Cost.total cost))
+  end;
+  (!applied, cost)
+
+let insert t rel tuple =
+  let applied, cost = apply_deltas t [ (rel, tuple, true) ] in
+  (applied > 0, cost)
+
+let delete t rel tuple =
+  let applied, cost = apply_deltas t [ (rel, tuple, false) ] in
+  (applied > 0, cost)
 
 (* ------------------------------------------------------------------ *)
 (* snapshots                                                            *)
@@ -586,6 +808,13 @@ let save t path =
           C.write_uint e (List.length t.rules) );
     ]
   in
+  (* optional section: the delta epoch.  Written only after the engine
+     has absorbed deltas, so snapshots of pristine builds are unchanged
+     byte for byte; a replica uses it to tell stale from fresh. *)
+  let sections =
+    if t.epoch = 0 then sections
+    else sections @ [ ("epoch", fun e -> C.write_uint e t.epoch) ]
+  in
   (* optional trailing section: a warm answer cache.  Written only when
      one is attached, so snapshots from cache-less engines are unchanged
      byte for byte and readers predating the section still load them. *)
@@ -704,5 +933,28 @@ let load path =
             entries;
           Some cache)
   in
+  let* epoch =
+    if not (List.mem "epoch" (Store.Reader.section_names r)) then Ok 0
+    else
+      Store.Reader.section r "epoch" (fun d ->
+          let epoch = C.read_uint d in
+          if epoch = 0 then corrupt "epoch: zero epoch should be omitted";
+          epoch)
+  in
   Obs.set_attr "space" (Json.Int space);
-  Ok { cqap; pmtds; rules; structures; preprocessed; space; cache }
+  Obs.set_attr "epoch" (Json.Int epoch);
+  Ok
+    {
+      cqap;
+      pmtds;
+      rules;
+      structures;
+      preprocessed;
+      space;
+      cache;
+      epoch;
+      (* a snapshot of a thawed engine stores the unreduced views; the
+         flag only matters for further maintenance, which imported
+         structures reject anyway *)
+      thawed = epoch > 0;
+    }

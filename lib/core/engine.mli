@@ -14,11 +14,15 @@ open Stt_decomp
 
 type t
 
-val build : Cq.cqap -> Pmtd.t list -> db:Db.t -> budget:int -> t
+val build : ?counted:bool -> Cq.cqap -> Pmtd.t list -> db:Db.t -> budget:int -> t
 (** Raises [Failure] if some generated rule is impossible at this budget
-    (only when a rule has no T-targets). *)
+    (only when a rule has no T-targets).  [counted] (default [false])
+    charges the build's data work to the cost counters — preprocessing
+    is normally silent; benchmarks opt in to compare incremental
+    maintenance against an op-counted rebuild. *)
 
-val build_auto : ?max_pmtds:int -> Cq.cqap -> db:Db.t -> budget:int -> t
+val build_auto :
+  ?counted:bool -> ?max_pmtds:int -> Cq.cqap -> db:Db.t -> budget:int -> t
 (** [build] over the automatically enumerated PMTD set. *)
 
 val space : t -> int
@@ -63,6 +67,50 @@ val per_pmtd_space : t -> (Pmtd.t * int) list
     reported in the benchmark artifacts. *)
 
 val access_schema : t -> Schema.t
+
+(** {1 Incremental maintenance}
+
+    Single-tuple base-data deltas applied without a rebuild: the delta
+    routes through each rule's heavy/light split tree (re-classifying
+    exactly the keys whose degree crossed the build threshold), patches
+    the affected subproblems — delegated plan indexes in place, stored
+    targets by pinned delta joins and last-witness checks — and
+    propagates the resulting S-view row changes into the Yannakakis
+    views.  Cached answers overlapping the delta are invalidated
+    precisely.  All of it is charged to the online cost counters and to
+    the [maintain.probes] / [maintain.tuples] / [maintain.scans] Obs
+    counters, with per-batch totals in the [engine.maintain.ops]
+    histogram.
+
+    The first delta {e thaws} the engine: S-views are re-materialized
+    without the SS semijoin reduction (which {!answer} never depends
+    on), since reduced views cannot absorb deltas additively; the
+    conversion is charged as one scan per view tuple on that first
+    delta.  Engines loaded from snapshots are static replicas: they
+    answer, but reject deltas with [Failure].  A [Failure] escaping
+    mid-delta (unknown relation, arity mismatch, or a newly non-empty
+    subproblem impossible at the build budget) can leave the engine
+    inconsistent — treat it as fatal and rebuild. *)
+
+val insert : t -> string -> Tuple.t -> bool * Cost.snapshot
+(** [insert t rel tuple] adds [tuple] to every atom of relation [rel].
+    Returns whether the delta was effective (inserting a present tuple
+    is a no-op) and the maintenance cost. *)
+
+val delete : t -> string -> Tuple.t -> bool * Cost.snapshot
+(** Remove a tuple; deleting an absent tuple is a no-op. *)
+
+val apply_deltas : t -> (string * Tuple.t * bool) list -> int * Cost.snapshot
+(** Apply a batch of [(relation, tuple, insert?)] deltas in order.
+    Returns how many were effective and the total maintenance cost. *)
+
+val epoch : t -> int
+(** Number of effective deltas absorbed since build; 0 for a pristine
+    engine.  Recorded in snapshots, so replicas can tell stale from
+    fresh. *)
+
+val supports_maintenance : t -> bool
+(** [true] for built engines, [false] for snapshot-loaded replicas. *)
 
 (** {1 Adaptive answer cache}
 
@@ -114,7 +162,10 @@ val save : t -> string -> (int, Stt_store.Store.error) result
     [snapshot.write.bytes] counter when observability is enabled.
     An attached cache is persisted as an optional trailing "cache"
     section (budget, striping and every warm entry in LRU order);
-    without one the snapshot is byte-identical to earlier formats. *)
+    without one the snapshot is byte-identical to earlier formats.
+    An engine that has absorbed deltas also writes an optional "epoch"
+    section; pristine builds omit it, keeping their snapshots
+    byte-identical to earlier formats. *)
 
 val load : string -> (t, Stt_store.Store.error) result
 (** [load path] validates the file strictly — magic, format version,

@@ -15,12 +15,61 @@ type subproblem = {
   cap : int;              (* abort threshold for the probe plan *)
 }
 
+(* ------------------------------------------------------------------ *)
+(* incremental maintenance state                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* A delegated combo remembers which atom each plan step indexes, so a
+   leaf delta can patch exactly the affected step indexes in place. *)
+type dsub = {
+  sub : subproblem;
+  probe_atoms : Cq.atom list; (* aligned with sub.probe_plan *)
+  safe_atoms : Cq.atom list;  (* aligned with sub.safe_plan *)
+}
+
+type decision =
+  | M_absent (* some leaf empty at build (or never activated since) *)
+  | M_stored of Varset.t
+  | M_delegated of dsub
+
+type combo = {
+  crel : (Cq.atom * Relation.t) list; (* this combo's leaf per atom *)
+  mutable cdecision : decision;
+}
+
+(* The heavy/light subproblem lattice as an explicit binary tree, one
+   node per split occurrence (exactly mirroring [expand]'s recursion).
+   Each node tracks the degree state deg(Y|X) of its input set so a
+   tuple delta re-routes — and, when a key crosses the threshold,
+   re-classifies — only the affected keys. *)
+type ctree =
+  | CLeaf of combo
+  | CNode of {
+      catom : Cq.atom;
+      x_pos : int array; (* positions in the atom schema *)
+      y_pos : int array;
+      cthreshold : int;
+      ycount : int Tuple.Tbl.t;  (* y-projection multiplicity *)
+      xdeg : int Tuple.Tbl.t;    (* distinct-y degree per x key *)
+      members : Tuple.t list ref Tuple.Tbl.t; (* x key -> input tuples *)
+      cheavy : ctree;
+      clight : ctree;
+    }
+
+type maint = {
+  mbudget : int;
+  base : (Cq.atom * Relation.t) list; (* live base relation per atom *)
+  tree : ctree;
+  combos : combo list; (* leaves in canonical heavy-first order *)
+}
+
 type t = {
   rule : Rule.t;
-  stored : (Varset.t * Relation.t) list;
-  space : int;
-  delegated : subproblem list;
-  stored_subs : int; (* subproblems materialized within the budget *)
+  mutable stored : (Varset.t * Relation.t) list;
+  mutable space : int;
+  mutable delegated : subproblem list;
+  mutable stored_subs : int; (* subproblems materialized within the budget *)
+  maint : maint option; (* None for snapshot-loaded (static) structures *)
 }
 
 let rule t = t.rule
@@ -29,12 +78,32 @@ let space t = t.space
 let delegated t = t.delegated
 let delegated_subproblems t = List.length t.delegated
 let stored_subproblems t = t.stored_subs
+let supports_maintenance t = t.maint <> None
+
+let base_relations t =
+  match t.maint with Some m -> m.base | None -> []
+
+let base_mem t ~rel tuple =
+  match t.maint with
+  | None -> false
+  | Some m ->
+      List.exists
+        (fun ((a : Cq.atom), base_rel) ->
+          a.Cq.rel = rel
+          && Tuple.arity tuple = List.length a.Cq.vars
+          && Relation.mem base_rel tuple)
+        m.base
+
+let stored_mem t b row =
+  match List.find_opt (fun (b', _) -> Varset.equal b b') t.stored with
+  | Some (_, rel) -> Relation.mem rel row
+  | None -> false
 
 let import rule ~stored ~delegated ~stored_subs =
   let space =
     List.fold_left (fun acc (_, rel) -> acc + Relation.cardinal rel) 0 stored
   in
-  { rule; stored; space; delegated; stored_subs }
+  { rule; stored; space; delegated; stored_subs; maint = None }
 
 (* Quantized to 1/16 so the target-selection LPs keep small denominators
    (exact simplex on native-int rationals). *)
@@ -43,24 +112,24 @@ let log2_rat x =
   Rat.make (int_of_float (Float.round (16.0 *. bits))) 16
 
 (* Partition an atom's relation into (heavy, light) by the degree
-   deg(Y | X) measured on distinct Y-projections. *)
+   deg(Y | X) measured on distinct Y-projections.  Runs under the
+   caller's counting mode: quiet inside a default build, charged inside
+   a [~counted] rebuild. *)
 let split_atom rel ~x_vars ~y_vars ~threshold =
-  Cost.with_counting false (fun () ->
-      let proj = Relation.project rel y_vars in
-      let degs = Relation.degrees proj x_vars in
-      let schema = Relation.schema rel in
-      let x_pos = Schema.positions schema x_vars in
-      let heavy = Relation.create schema and light = Relation.create schema in
-      Relation.iter
-        (fun tup ->
-          let key = Tuple.project x_pos tup in
-          let d =
-            match Tuple.Tbl.find_opt degs key with Some d -> d | None -> 0
-          in
-          if d > threshold then Relation.add heavy tup
-          else Relation.add light tup)
-        rel;
-      (heavy, light))
+  let proj = Relation.project rel y_vars in
+  let degs = Relation.degrees proj x_vars in
+  let schema = Relation.schema rel in
+  let x_pos = Schema.positions schema x_vars in
+  let heavy = Relation.create schema and light = Relation.create schema in
+  Relation.iter
+    (fun tup ->
+      let key = Tuple.project x_pos tup in
+      let d =
+        match Tuple.Tbl.find_opt degs key with Some d -> d | None -> 0
+      in
+      if d > threshold then Relation.add heavy tup else Relation.add light tup)
+    rel;
+  (heavy, light)
 
 (* Measured degree constraints of a subproblem, for target selection. *)
 let measured_dc rels =
@@ -261,7 +330,8 @@ let safe_order ~access atoms =
 (* Build both plans for one subproblem; online execution runs the greedy
    plan with the safe plan's worst-case estimate as an abort cap and
    falls back when it trips — adaptive, at most ~2x the worst-case
-   bound, near-greedy on typical requests. *)
+   bound, near-greedy on typical requests.  Also returns the atom behind
+   each step, so incremental maintenance can patch step indexes. *)
 let build_plan rels ~access ~target =
   Cost.with_counting false (fun () ->
       let atoms = local_atoms rels ~access target in
@@ -269,7 +339,9 @@ let build_plan rels ~access ~target =
       let greedy = greedy_order ~access atoms in
       let cap = 2 * (1 + order_cost ~access safe) in
       ( steps_of_order ~access ~target greedy,
+        List.map fst greedy,
         steps_of_order ~access ~target safe,
+        List.map fst safe,
         cap ))
 
 (* evaluate the (partial) body join projected onto each target, giving
@@ -288,7 +360,120 @@ let eval_targets rels targets ~budget =
       | None -> None)
     targets
 
-let build (r : Rule.t) ~db ~budget =
+(* ------------------------------------------------------------------ *)
+(* the split tree                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let combo_nonempty c =
+  List.for_all (fun (_, r) -> not (Relation.is_empty r)) c.crel
+
+let rec combos_of = function
+  | CLeaf c -> [ c ]
+  | CNode n -> combos_of n.cheavy @ combos_of n.clight
+
+(* [tree_insert]/[tree_delete] keep the invariant that every tuple lives
+   in the branch matching its x key's *current* distinct-y degree, so
+   the leaves always equal what a batch rebuild of the splits would
+   produce.  Leaf changes are appended to [events] as
+   [(combo, tuple, added?)] — all for the same atom. *)
+let rec tree_insert tr atom tup events =
+  match tr with
+  | CLeaf c ->
+      let rel = List.assq atom c.crel in
+      Relation.add rel tup;
+      events := (c, tup, true) :: !events
+  | CNode n ->
+      if n.catom != atom then begin
+        (* a split of another atom: the tuple flows into both branches *)
+        tree_insert n.cheavy atom tup events;
+        tree_insert n.clight atom tup events
+      end
+      else begin
+        Cost.charge_probe ();
+        let y = Tuple.project n.y_pos tup in
+        let x = Tuple.project n.x_pos tup in
+        let yc =
+          Option.value ~default:0 (Tuple.Tbl.find_opt n.ycount y)
+        in
+        Tuple.Tbl.replace n.ycount y (yc + 1);
+        if yc = 0 then begin
+          let xd = Option.value ~default:0 (Tuple.Tbl.find_opt n.xdeg x) in
+          Tuple.Tbl.replace n.xdeg x (xd + 1);
+          if xd = n.cthreshold then begin
+            (* the key crossed upward: its resident tuples move
+               light -> heavy before the new tuple lands *)
+            let ms =
+              match Tuple.Tbl.find_opt n.members x with
+              | Some l -> !l
+              | None -> []
+            in
+            List.iter
+              (fun m ->
+                Cost.charge_scan ();
+                tree_delete n.clight atom m events;
+                tree_insert n.cheavy atom m events)
+              ms
+          end
+        end;
+        (match Tuple.Tbl.find_opt n.members x with
+        | Some l -> l := tup :: !l
+        | None -> Tuple.Tbl.add n.members x (ref [ tup ]));
+        let xd = Tuple.Tbl.find n.xdeg x in
+        if xd > n.cthreshold then tree_insert n.cheavy atom tup events
+        else tree_insert n.clight atom tup events
+      end
+
+and tree_delete tr atom tup events =
+  match tr with
+  | CLeaf c ->
+      let rel = List.assq atom c.crel in
+      ignore (Relation.remove rel tup);
+      events := (c, tup, false) :: !events
+  | CNode n ->
+      if n.catom != atom then begin
+        tree_delete n.cheavy atom tup events;
+        tree_delete n.clight atom tup events
+      end
+      else begin
+        Cost.charge_probe ();
+        let y = Tuple.project n.y_pos tup in
+        let x = Tuple.project n.x_pos tup in
+        let yc = Option.value ~default:0 (Tuple.Tbl.find_opt n.ycount y) in
+        let old_xd = Option.value ~default:0 (Tuple.Tbl.find_opt n.xdeg x) in
+        if yc <= 1 then Tuple.Tbl.remove n.ycount y
+        else Tuple.Tbl.replace n.ycount y (yc - 1);
+        let crossed_down = yc = 1 && old_xd = n.cthreshold + 1 in
+        if yc = 1 then
+          if old_xd <= 1 then Tuple.Tbl.remove n.xdeg x
+          else Tuple.Tbl.replace n.xdeg x (old_xd - 1);
+        (match Tuple.Tbl.find_opt n.members x with
+        | Some l ->
+            l := List.filter (fun m -> not (Tuple.equal m tup)) !l;
+            if !l = [] then Tuple.Tbl.remove n.members x
+        | None -> ());
+        (* the tuple lives in the branch of its old classification *)
+        let was_heavy = old_xd > n.cthreshold in
+        tree_delete (if was_heavy then n.cheavy else n.clight) atom tup events;
+        if crossed_down then begin
+          let ms =
+            match Tuple.Tbl.find_opt n.members x with
+            | Some l -> !l
+            | None -> []
+          in
+          List.iter
+            (fun m ->
+              Cost.charge_scan ();
+              tree_delete n.cheavy atom m events;
+              tree_insert n.clight atom m events)
+            ms
+        end
+      end
+
+(* ------------------------------------------------------------------ *)
+(* build                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let build ?(counted = false) (r : Rule.t) ~db ~budget =
   Obs.span "twopp.build"
     ~attrs:
       [
@@ -296,7 +481,7 @@ let build (r : Rule.t) ~db ~budget =
         ("budget", Json.Int budget);
       ]
   @@ fun () ->
-  Cost.with_counting false (fun () ->
+  Cost.with_counting counted (fun () ->
       let cqap = r.Rule.cqap in
       let cq = cqap.Cq.cq in
       let n = cq.Cq.n in
@@ -378,9 +563,11 @@ let build (r : Rule.t) ~db ~budget =
                 Some (atom, x, y, max 1 (int_of_float (Float.round t))))
           (List.sort_uniq compare point.Jointflow.split_pairs)
       in
-      (* subproblems: every heavy/light choice over the split pairs *)
-      let rec expand rels = function
-        | [] -> [ rels ]
+      (* subproblems: every heavy/light choice over the split pairs,
+         materialized as an explicit tree whose nodes carry the degree
+         state needed to re-route tuple deltas later *)
+      let rec expand_tree rels = function
+        | [] -> CLeaf { crel = rels; cdecision = M_absent }
         | (atom, x, y, threshold) :: rest ->
             let rel = List.assq atom rels in
             let heavy, light =
@@ -399,65 +586,109 @@ let build (r : Rule.t) ~db ~budget =
                   Obs.set_attr "light" (Json.Int (Relation.cardinal l));
                   (h, l))
             in
+            let schema = Relation.schema rel in
+            let x_pos = Schema.positions schema (Varset.to_list x) in
+            let y_pos = Schema.positions schema (Varset.to_list y) in
+            let ycount = Tuple.Tbl.create 64 in
+            let xdeg = Tuple.Tbl.create 64 in
+            let members = Tuple.Tbl.create 64 in
+            Relation.iter
+              (fun tup ->
+                let yk = Tuple.project y_pos tup in
+                let xk = Tuple.project x_pos tup in
+                (match Tuple.Tbl.find_opt ycount yk with
+                | Some c -> Tuple.Tbl.replace ycount yk (c + 1)
+                | None ->
+                    Tuple.Tbl.add ycount yk 1;
+                    (match Tuple.Tbl.find_opt xdeg xk with
+                    | Some d -> Tuple.Tbl.replace xdeg xk (d + 1)
+                    | None -> Tuple.Tbl.add xdeg xk 1));
+                match Tuple.Tbl.find_opt members xk with
+                | Some l -> l := tup :: !l
+                | None -> Tuple.Tbl.add members xk (ref [ tup ]))
+              rel;
             let with_rel repl =
               List.map
                 (fun (a, r0) -> if a == atom then (a, repl) else (a, r0))
                 rels
             in
-            expand (with_rel heavy) rest @ expand (with_rel light) rest
+            let cheavy = expand_tree (with_rel heavy) rest in
+            let clight = expand_tree (with_rel light) rest in
+            CNode
+              {
+                catom = atom; x_pos; y_pos; cthreshold = threshold;
+                ycount; xdeg; members; cheavy; clight;
+              }
       in
-      let subproblems =
-        expand base splits
-        |> List.filter (fun rels ->
-               List.for_all (fun (_, r) -> not (Relation.is_empty r)) rels)
-      in
+      let tree = expand_tree base splits in
+      let combos = combos_of tree in
       let stored_acc : (Varset.t, Relation.t) Hashtbl.t = Hashtbl.create 8 in
+      let union_into b rel =
+        let acc =
+          match Hashtbl.find_opt stored_acc b with
+          | Some existing -> existing
+          | None ->
+              let fresh =
+                Relation.create (Schema.of_list (Varset.to_list b))
+              in
+              Hashtbl.add stored_acc b fresh;
+              fresh
+        in
+        let pos =
+          Schema.positions (Relation.schema rel)
+            (Schema.vars (Relation.schema acc))
+        in
+        Relation.iter (fun row -> Relation.add acc (Tuple.project pos row)) rel
+      in
       let delegated = ref [] in
       let stored_subs = ref 0 in
+      let n_live = ref 0 in
       List.iter
-        (fun rels ->
-          Obs.span "twopp.subproblem" @@ fun () ->
-          let candidates =
-            match r.Rule.s_targets with
-            | [] -> []
-            | s_targets -> eval_targets rels s_targets ~budget
-          in
-          let best =
-            List.fold_left
-              (fun acc (b, rel) ->
-                match acc with
-                | Some (_, best_rel)
-                  when Relation.cardinal best_rel <= Relation.cardinal rel ->
-                    acc
-                | _ -> Some (b, rel))
-              None candidates
-          in
-          match best with
-          | Some (b, rel) when Relation.cardinal rel <= budget ->
-              incr stored_subs;
-              Obs.set_attr "decision" (Json.String "stored");
-              Obs.set_attr "target" (Json.String (vs_str b));
-              Obs.set_attr "tuples" (Json.Int (Relation.cardinal rel));
-              let acc =
-                match Hashtbl.find_opt stored_acc b with
-                | Some existing -> Relation.union existing rel
-                | None -> rel
-              in
-              Hashtbl.replace stored_acc b acc
-          | _ -> (
-              match r.Rule.t_targets with
-              | [] -> failwith "Twopp.build: rule impossible at this budget"
-              | t_targets ->
-                  let sub_dc = measured_dc rels in
-                  let t_target = pick_target n ~dc:sub_dc t_targets in
-                  Obs.set_attr "decision" (Json.String "delegated");
-                  Obs.set_attr "target" (Json.String (vs_str t_target));
-                  let probe_plan, safe_plan, cap =
-                    build_plan rels ~access ~target:t_target
-                  in
-                  delegated :=
-                    { t_target; probe_plan; safe_plan; cap } :: !delegated))
-        subproblems;
+        (fun c ->
+          if combo_nonempty c then begin
+            incr n_live;
+            Obs.span "twopp.subproblem" @@ fun () ->
+            let rels = c.crel in
+            let candidates =
+              match r.Rule.s_targets with
+              | [] -> []
+              | s_targets -> eval_targets rels s_targets ~budget
+            in
+            let best =
+              List.fold_left
+                (fun acc (b, rel) ->
+                  match acc with
+                  | Some (_, best_rel)
+                    when Relation.cardinal best_rel <= Relation.cardinal rel
+                    ->
+                      acc
+                  | _ -> Some (b, rel))
+                None candidates
+            in
+            match best with
+            | Some (b, rel) when Relation.cardinal rel <= budget ->
+                incr stored_subs;
+                Obs.set_attr "decision" (Json.String "stored");
+                Obs.set_attr "target" (Json.String (vs_str b));
+                Obs.set_attr "tuples" (Json.Int (Relation.cardinal rel));
+                union_into b rel;
+                c.cdecision <- M_stored b
+            | _ -> (
+                match r.Rule.t_targets with
+                | [] -> failwith "Twopp.build: rule impossible at this budget"
+                | t_targets ->
+                    let sub_dc = measured_dc rels in
+                    let t_target = pick_target n ~dc:sub_dc t_targets in
+                    Obs.set_attr "decision" (Json.String "delegated");
+                    Obs.set_attr "target" (Json.String (vs_str t_target));
+                    let probe_plan, probe_atoms, safe_plan, safe_atoms, cap =
+                      build_plan rels ~access ~target:t_target
+                    in
+                    let sub = { t_target; probe_plan; safe_plan; cap } in
+                    delegated := sub :: !delegated;
+                    c.cdecision <- M_delegated { sub; probe_atoms; safe_atoms })
+          end)
+        combos;
       let stored =
         Hashtbl.fold (fun b rel acc -> (b, rel) :: acc) stored_acc []
       in
@@ -466,7 +697,7 @@ let build (r : Rule.t) ~db ~budget =
           (fun acc (_, rel) -> acc + Relation.cardinal rel)
           0 stored
       in
-      Obs.set_attr "subproblems" (Json.Int (List.length subproblems));
+      Obs.set_attr "subproblems" (Json.Int !n_live);
       Obs.set_attr "stored" (Json.Int !stored_subs);
       Obs.set_attr "delegated" (Json.Int (List.length !delegated));
       Obs.set_attr "space" (Json.Int space);
@@ -476,7 +707,12 @@ let build (r : Rule.t) ~db ~budget =
         space;
         delegated = List.rev !delegated;
         stored_subs = !stored_subs;
+        maint = Some { mbudget = budget; base; tree; combos };
       })
+
+(* ------------------------------------------------------------------ *)
+(* online                                                               *)
+(* ------------------------------------------------------------------ *)
 
 exception Plan_abort
 
@@ -520,3 +756,302 @@ let online t ~q_a =
       Hashtbl.replace out sub.t_target merged)
     t.delegated;
   Hashtbl.fold (fun b rel acc -> (b, rel) :: acc) out []
+
+(* ------------------------------------------------------------------ *)
+(* incremental maintenance                                              *)
+(* ------------------------------------------------------------------ *)
+
+let stored_rel_for t b =
+  match List.find_opt (fun (b', _) -> Varset.equal b b') t.stored with
+  | Some (_, rel) -> rel
+  | None ->
+      let rel = Relation.create (Schema.of_list (Varset.to_list b)) in
+      t.stored <- t.stored @ [ (b, rel) ];
+      rel
+
+(* Early-exit witness search.  [find_witness binding rels] asks whether
+   some extension of [binding] satisfies every (vars, relation) atom in
+   [rels] — an existence check, so it stops at the first witness instead
+   of enumerating all of them (around a heavy key the witness count is a
+   degree product; a full join would pay for every one).  Scan-based:
+   one [scan] charged per tuple visited. *)
+let consistent binding vs tup =
+  let ok = ref true in
+  List.iteri
+    (fun i v ->
+      if !ok then
+        match Hashtbl.find_opt binding v with
+        | Some x -> if x <> tup.(i) then ok := false
+        | None -> ())
+    vs;
+  !ok
+
+(* bind the atom's unbound variables to the tuple's values; [None] (and
+   no binding change) if the tuple contradicts the current binding *)
+let extend binding vs tup =
+  let added = ref [] in
+  let ok = ref true in
+  List.iteri
+    (fun i v ->
+      if !ok then
+        match Hashtbl.find_opt binding v with
+        | Some x -> if x <> tup.(i) then ok := false
+        | None ->
+            Hashtbl.add binding v tup.(i);
+            added := v :: !added)
+    vs;
+  if !ok then Some !added
+  else begin
+    List.iter (Hashtbl.remove binding) !added;
+    None
+  end
+
+let rec find_witness binding rels =
+  match rels with
+  | [] -> true
+  | _ ->
+      (* one counting scan per remaining atom, then recurse through the
+         atom with the fewest matches under the current binding — around
+         a heavy key the fan-out atom is deferred until its variables
+         are pinned, so branching stays near the cold side's degrees *)
+      let scored =
+        List.map
+          (fun ((vs, rel) as atom) ->
+            let matches = ref [] in
+            Relation.iter
+              (fun tup ->
+                Cost.charge_scan ();
+                if consistent binding vs tup then matches := tup :: !matches)
+              rel;
+            (List.length !matches, !matches, atom))
+          rels
+      in
+      let n, matches, ((vs, _) as atom) =
+        List.fold_left
+          (fun ((bn, _, _) as b) ((n, _, _) as x) -> if n < bn then x else b)
+          (List.hd scored) (List.tl scored)
+      in
+      n > 0
+      &&
+      let rest = List.filter (fun a -> not (a == atom)) rels in
+      List.exists
+        (fun tup ->
+          match extend binding vs tup with
+          | None -> false
+          | Some added ->
+              let hit = find_witness binding rest in
+              if not hit then List.iter (Hashtbl.remove binding) added;
+              hit)
+        matches
+
+(* Which rows of [cand_rel : keep] does the combo's body join still
+   derive?  Semijoin-reduce the body under the candidate pinning (one
+   pass against the candidates, then a forward/backward neighbor sweep
+   — linear in the slice sizes), then run {!find_witness} per row over
+   the reduced slices. *)
+let derivable_rows c ~keep cand_rel =
+  let rels = Array.of_list (List.map snd c.crel) in
+  (* pin the atoms that see candidate columns (one linear semijoin each);
+     atoms with no candidate column are shared by reference, not copied —
+     the witness search prunes them by match counting instead *)
+  let shares a b = Schema.inter (Relation.schema a) (Relation.schema b) <> [] in
+  Array.iteri
+    (fun i r -> if shares r cand_rel then rels.(i) <- Relation.semijoin r cand_rel)
+    rels;
+  let out = Relation.create (Schema.of_list keep) in
+  let any_empty = ref false in
+  Array.iter (fun r -> if Relation.is_empty r then any_empty := true) rels;
+  if not !any_empty then begin
+    let atoms =
+      Array.to_list
+        (Array.map (fun r -> (Schema.vars (Relation.schema r), r)) rels)
+    in
+    Relation.iter
+      (fun row ->
+        let binding = Hashtbl.create 16 in
+        List.iteri (fun i v -> Hashtbl.replace binding v row.(i)) keep;
+        if find_witness binding atoms then Relation.add out row)
+      cand_rel
+  end;
+  out
+
+(* a combo that was empty at build (never classified) just became
+   non-empty: run the build-time decision logic on its current leaves.
+   May raise [Failure] exactly like [build] when the rule has no
+   T-targets and the stored candidates no longer fit the budget. *)
+let activate t m c out_events =
+  let r = t.rule in
+  let rels = c.crel in
+  let candidates =
+    match r.Rule.s_targets with
+    | [] -> []
+    | s_targets -> eval_targets rels s_targets ~budget:m.mbudget
+  in
+  let best =
+    List.fold_left
+      (fun acc (b, rel) ->
+        match acc with
+        | Some (_, best_rel)
+          when Relation.cardinal best_rel <= Relation.cardinal rel ->
+            acc
+        | _ -> Some (b, rel))
+      None candidates
+  in
+  match best with
+  | Some (b, rel) when Relation.cardinal rel <= m.mbudget ->
+      t.stored_subs <- t.stored_subs + 1;
+      c.cdecision <- M_stored b;
+      let union_rel = stored_rel_for t b in
+      let pos =
+        Schema.positions (Relation.schema rel)
+          (Schema.vars (Relation.schema union_rel))
+      in
+      Relation.iter
+        (fun row0 ->
+          let row = Tuple.project pos row0 in
+          if not (Relation.mem union_rel row) then begin
+            Relation.add union_rel row;
+            t.space <- t.space + 1;
+            out_events := (b, row, true) :: !out_events
+          end)
+        rel
+  | _ -> (
+      match r.Rule.t_targets with
+      | [] -> failwith "Twopp.build: rule impossible at this budget"
+      | t_targets ->
+          let sub_dc = measured_dc rels in
+          let t_target =
+            pick_target r.Rule.cqap.Cq.cq.Cq.n ~dc:sub_dc t_targets
+          in
+          let probe_plan, probe_atoms, safe_plan, safe_atoms, cap =
+            build_plan rels ~access:r.Rule.cqap.Cq.access ~target:t_target
+          in
+          let sub = { t_target; probe_plan; safe_plan; cap } in
+          t.delegated <- t.delegated @ [ sub ];
+          c.cdecision <- M_delegated { sub; probe_atoms; safe_atoms })
+
+
+(* one leaf change of [atom] in combo [c], already applied to the leaf
+   relation; update the combo's decision artifacts and record the
+   stored-row (S-view) changes *)
+let propagate t m c atom tup sign out_events =
+  match c.cdecision with
+  | M_absent ->
+      if sign && combo_nonempty c then activate t m c out_events
+  | M_delegated d ->
+      let patch plan atoms =
+        List.iter2
+          (fun (st : step) a ->
+            if a == atom then
+              ignore
+                (if sign then Index.insert st.idx tup
+                 else Index.remove st.idx tup))
+          plan atoms
+      in
+      patch d.sub.probe_plan d.probe_atoms;
+      patch d.sub.safe_plan d.safe_atoms
+  | M_stored b ->
+      let union_rel = stored_rel_for t b in
+      let single =
+        Relation.singleton (Relation.schema (List.assq atom c.crel)) tup
+      in
+      let others =
+        List.filter_map
+          (fun (a, rel) -> if a == atom then None else Some rel)
+          c.crel
+      in
+      let keep = Varset.to_list b in
+      if sign then
+        let delta = Db.join_greedy (single :: others) ~keep in
+        Relation.iter
+          (fun row ->
+            if not (Relation.mem union_rel row) then begin
+              Relation.add union_rel row;
+              t.space <- t.space + 1;
+              out_events := (b, row, true) :: !out_events
+            end)
+          delta
+      else begin
+        (* candidate rows that may have lost their last witness: exactly
+           the rows that were derivable through the removed tuple.  The
+           delta join's intermediates are degree products, so it blows
+           up when both endpoints of the removed tuple are heavy; the
+           stored union, in contrast, is budget-bounded.  Run the delta
+           join only while it stays small and otherwise recheck every
+           stored row — either set over-approximates the victims. *)
+        let limit = 4 * (1 + Relation.cardinal union_rel) in
+        let cands =
+          match Db.join_greedy_bounded (single :: others) ~keep ~limit with
+          | Some delta -> Relation.to_list delta
+          | None -> Relation.to_list union_rel
+        in
+        let victims =
+          (* last-witness check: a candidate row dies only if NO sibling
+             combo with the same target still derives it.  Each combo is
+             checked by semijoin reduction plus early-exit witness
+             search — never by enumerating the (degree-product many)
+             witnesses around a heavy key. *)
+          let cand_rel = Relation.create (Schema.of_list keep) in
+          List.iter
+            (fun row ->
+              if Relation.mem union_rel row then Relation.add cand_rel row)
+            cands;
+          let surviving = ref cand_rel in
+          List.iter
+            (fun c' ->
+              match c'.cdecision with
+              | M_stored b'
+                when Varset.equal b b'
+                     && not (Relation.is_empty !surviving) ->
+                  let derived = derivable_rows c' ~keep !surviving in
+                  surviving := Relation.antijoin !surviving derived
+              | _ -> ())
+            m.combos;
+          Relation.to_list !surviving
+        in
+        List.iter
+          (fun row ->
+            ignore (Relation.remove union_rel row);
+            t.space <- t.space - 1;
+            out_events := (b, row, false) :: !out_events)
+          victims
+      end
+
+let apply_delta t ~rel ~tuple ~add =
+  match t.maint with
+  | None ->
+      failwith
+        "Twopp.apply_delta: structure has no maintenance state (loaded from \
+         a static snapshot)"
+  | Some m ->
+      let out_events = ref [] in
+      List.iter
+        (fun ((atom : Cq.atom), base_rel) ->
+          if atom.Cq.rel = rel then begin
+            if Tuple.arity tuple <> List.length atom.Cq.vars then
+              failwith
+                (Printf.sprintf
+                   "Twopp.apply_delta: arity-%d tuple for %d-ary relation %s"
+                   (Tuple.arity tuple)
+                   (List.length atom.Cq.vars)
+                   rel);
+            let changed =
+              if add then
+                if Relation.mem base_rel tuple then false
+                else begin
+                  Relation.add base_rel tuple;
+                  true
+                end
+              else Relation.remove base_rel tuple
+            in
+            if changed then begin
+              let levs = ref [] in
+              if add then tree_insert m.tree atom tuple levs
+              else tree_delete m.tree atom tuple levs;
+              List.iter
+                (fun (c, tup, sign) -> propagate t m c atom tup sign out_events)
+                (List.rev !levs)
+            end
+          end)
+        m.base;
+      List.rev !out_events

@@ -34,11 +34,16 @@ type subproblem = {
 
 type t
 
-val build : Rule.t -> db:Db.t -> budget:int -> t
+val build : ?counted:bool -> Rule.t -> db:Db.t -> budget:int -> t
 (** Raises [Failure] if the rule has no T-targets and its S-targets do
     not actually fit in the budget (the rule is impossible at this
     budget; the worst-case LP prediction alone does not fail the build —
-    real data often fits well below the bound). *)
+    real data often fits well below the bound).
+
+    [counted] (default [false]) runs the build's data work — split-tree
+    expansion and subproblem joins — under cost counting instead of the
+    usual preprocessing silence, so benchmarks can compare maintenance
+    deltas against an honestly op-counted rebuild. *)
 
 val s_targets : t -> (Varset.t * Relation.t) list
 (** Materialized (partial) S-target relations, one per target schema
@@ -60,6 +65,45 @@ val online : t -> q_a:Relation.t -> (Varset.t * Relation.t) list
     access request.  Respects the global cost counters. *)
 
 val rule : t -> Rule.t
+
+(** {1 Incremental maintenance}
+
+    A freshly built structure keeps its maintenance state: the live base
+    relation per atom and the heavy/light split tree with per-key degree
+    counters.  [apply_delta] routes a single-tuple base delta through the
+    tree — re-classifying exactly the keys whose degree crossed the
+    build-time threshold — and patches each affected subproblem in
+    place: delegated plans get their step indexes updated, stored
+    subproblems get a pinned delta join (inserts) or a last-witness
+    check (deletes) against the combo's leaves.  Structures loaded from
+    a snapshot are static replicas: they answer but do not maintain. *)
+
+val supports_maintenance : t -> bool
+(** [true] for built structures, [false] for {!import}ed ones. *)
+
+val apply_delta :
+  t -> rel:string -> tuple:Tuple.t -> add:bool -> (Varset.t * Tuple.t * bool) list
+(** Apply one base-tuple delta to every atom named [rel].  Returns the
+    resulting stored-target (S-view) row changes as
+    [(target, row, added?)], rows in ascending-variable order — the
+    engine feeds these to the Yannakakis views.  Redundant deltas
+    (inserting a present tuple, deleting an absent one) are no-ops.
+    Raises [Failure] on arity mismatch, on a static replica, or — like
+    {!build} — when a newly non-empty subproblem is impossible at the
+    build budget; a [Failure] mid-delta leaves the structure
+    inconsistent, so callers should treat it as fatal and rebuild. *)
+
+val base_mem : t -> rel:string -> Tuple.t -> bool
+(** Is the tuple in the base relation of some atom named [rel]?  Always
+    [false] on static replicas. *)
+
+val base_relations : t -> (Cq.atom * Relation.t) list
+(** The live base relation per atom (empty on static replicas).  Treat
+    as read-only; mutate only through {!apply_delta}. *)
+
+val stored_mem : t -> Varset.t -> Tuple.t -> bool
+(** Is [row] (ascending-variable order) currently in this structure's
+    stored relation for the given S-target? *)
 
 (** {1 Snapshot access}
 

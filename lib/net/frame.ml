@@ -5,9 +5,10 @@ module Crc32 = Stt_store.Crc32
 let magic = "\x89STTWIRE"
 
 (* v2: Health_reply grew the answer-cache block (budget/used/entries/
-   hits/misses).  Hellos must match exactly, so v1 peers are refused
-   with Version_skew instead of misparsing the longer frame. *)
-let protocol_version = 2
+   hits/misses).  v3: Update/Updated frames for incremental base-data
+   deltas.  Hellos must match exactly, so older peers are refused with
+   Version_skew instead of misparsing unknown frames. *)
+let protocol_version = 3
 let hello_len = String.length magic + 4
 let max_frame_len = 1 lsl 26
 
@@ -37,6 +38,8 @@ let pp_error ppf e = Format.pp_print_string ppf (error_to_string e)
 (* frame types                                                          *)
 (* ------------------------------------------------------------------ *)
 
+type update = { urel : string; utuple : int array; uadd : bool }
+
 type request =
   | Answer of {
       id : int;
@@ -44,6 +47,7 @@ type request =
       arity : int;
       tuples : int array list;
     }
+  | Update of { id : int; deltas : update list }
   | Stats of { id : int }
   | Health of { id : int }
 
@@ -78,6 +82,7 @@ type health = {
 
 type response =
   | Answers of { id : int; answers : answer list }
+  | Updated of { id : int; epoch : int; applied : int; cost : Cost.snapshot }
   | Rejected of { id : int; reject : reject }
   | Stats_reply of { id : int; json : string }
   | Health_reply of { id : int; health : health }
@@ -85,10 +90,12 @@ type response =
 let tag_answer = 0x01
 let tag_stats = 0x02
 let tag_health = 0x03
+let tag_update = 0x04
 let tag_answers = 0x81
 let tag_rejected = 0x82
 let tag_stats_reply = 0x83
 let tag_health_reply = 0x84
+let tag_updated = 0x85
 
 (* ------------------------------------------------------------------ *)
 (* encoding                                                             *)
@@ -129,6 +136,16 @@ let encode_request req =
       Codec.write_uint e deadline_us;
       Codec.write_uint e arity;
       write_rows_any e ~arity tuples
+  | Update { id; deltas } ->
+      Codec.write_u8 e tag_update;
+      Codec.write_uint e id;
+      Codec.write_list e
+        (fun { urel; utuple; uadd } ->
+          Codec.write_string e urel;
+          Codec.write_uint e (Array.length utuple);
+          Array.iter (Codec.write_int e) utuple;
+          Codec.write_bool e uadd)
+        deltas
   | Stats { id } ->
       Codec.write_u8 e tag_stats;
       Codec.write_uint e id
@@ -153,6 +170,12 @@ let encode_response resp =
           write_rows_any e ~arity:row_arity rows;
           write_cost e cost)
         answers
+  | Updated { id; epoch; applied; cost } ->
+      Codec.write_u8 e tag_updated;
+      Codec.write_uint e id;
+      Codec.write_uint e epoch;
+      Codec.write_uint e applied;
+      write_cost e cost
   | Rejected { id; reject } ->
       Codec.write_u8 e tag_rejected;
       Codec.write_uint e id;
@@ -218,6 +241,20 @@ let decode_request blob =
       let arity = read_arity "access" d in
       let tuples = read_rows_any d ~arity in
       Answer { id; deadline_us; arity; tuples }
+  | t when t = tag_update ->
+      let id = Codec.read_uint d in
+      let deltas =
+        Codec.read_list d (fun () ->
+            let urel = Codec.read_string d in
+            let arity = read_arity "update" d in
+            let utuple = Array.make arity 0 in
+            for i = 0 to arity - 1 do
+              utuple.(i) <- Codec.read_int d
+            done;
+            let uadd = Codec.read_bool d in
+            { urel; utuple; uadd })
+      in
+      Update { id; deltas }
   | t when t = tag_stats -> Stats { id = Codec.read_uint d }
   | t when t = tag_health -> Health { id = Codec.read_uint d }
   | t -> raise (Codec.Corrupt (Printf.sprintf "unknown request tag 0x%02x" t))
@@ -241,6 +278,12 @@ let decode_response blob =
             { rows; row_arity; cost })
       in
       Answers { id; answers }
+  | t when t = tag_updated ->
+      let id = Codec.read_uint d in
+      let epoch = Codec.read_uint d in
+      let applied = Codec.read_uint d in
+      let cost = read_cost d in
+      Updated { id; epoch; applied; cost }
   | t when t = tag_rejected ->
       let id = Codec.read_uint d in
       let reject =

@@ -51,6 +51,13 @@ val pp_error : Format.formatter -> error -> unit
 
 (** {1 Frame types} *)
 
+type update = {
+  urel : string;  (** relation name *)
+  utuple : int array;
+  uadd : bool;  (** [true] = insert, [false] = delete *)
+}
+(** One base-tuple delta (protocol v3). *)
+
 type request =
   | Answer of {
       id : int;
@@ -61,6 +68,9 @@ type request =
       arity : int;
       tuples : int array list;  (** batch of access tuples, one request each *)
     }
+  | Update of { id : int; deltas : update list }
+      (** apply a batch of base-data deltas atomically between answer
+          jobs; redundant deltas are no-ops *)
   | Stats of { id : int }  (** fetch the server's observability trace *)
   | Health of { id : int }  (** readiness probe *)
 
@@ -97,6 +107,10 @@ type health = {
 type response =
   | Answers of { id : int; answers : answer list }
       (** in the order of the request's tuples *)
+  | Updated of { id : int; epoch : int; applied : int; cost : Cost.snapshot }
+      (** [epoch] is the engine's delta epoch after the batch; [applied]
+          counts the effective (non-redundant) deltas; [cost] is the
+          maintenance op count *)
   | Rejected of { id : int; reject : reject }
   | Stats_reply of { id : int; json : string }
       (** the server's [Obs.trace] document, serialized *)

@@ -5,6 +5,9 @@ module Json = Stt_obs.Json
 type handler =
   arity:int -> int array list -> (int array list * int * Cost.snapshot) list
 
+type update_handler =
+  Frame.update list -> (int * int * Cost.snapshot, string) result
+
 let engine_handler engine ~arity tuples =
   let module Engine = Stt_core.Engine in
   let schema = Engine.access_schema engine in
@@ -19,6 +22,17 @@ let engine_handler engine ~arity tuples =
   |> List.map (fun (rel, cost) ->
          let rows = List.sort Tuple.compare (Relation.to_list rel) in
          (rows, Schema.arity (Relation.schema rel), cost))
+
+let engine_update_handler engine deltas =
+  let module Engine = Stt_core.Engine in
+  match
+    Engine.apply_deltas engine
+      (List.map
+         (fun { Frame.urel; utuple; uadd } -> (urel, utuple, uadd))
+         deltas)
+  with
+  | applied, cost -> Ok (Engine.epoch engine, applied, cost)
+  | exception Failure msg -> Error msg
 
 (* The engine (and its striped cache) is shared by every worker domain,
    so the IO domain can read occupancy and hit counts directly. *)
@@ -39,6 +53,7 @@ type stats = {
   connections : int;
   received : int;
   answered : int;
+  updated : int;
   rejected_overload : int;
   rejected_deadline : int;
   bad_requests : int;
@@ -90,6 +105,50 @@ module Bq = struct
 end
 
 (* ------------------------------------------------------------------ *)
+(* writer-priority readers/writer lock: answers share the engine, an    *)
+(* update gets it exclusively, and a waiting update blocks new answers  *)
+(* so a steady answer stream cannot starve it                           *)
+(* ------------------------------------------------------------------ *)
+
+module Rw = struct
+  type t = {
+    m : Mutex.t;
+    c : Condition.t;
+    mutable readers : int;
+    mutable writer : bool;
+    mutable waiting_writers : int;
+  }
+
+  let create () =
+    { m = Mutex.create (); c = Condition.create (); readers = 0;
+      writer = false; waiting_writers = 0 }
+
+  let read t f =
+    Mutex.protect t.m (fun () ->
+        while t.writer || t.waiting_writers > 0 do
+          Condition.wait t.c t.m
+        done;
+        t.readers <- t.readers + 1);
+    Fun.protect f ~finally:(fun () ->
+        Mutex.protect t.m (fun () ->
+            t.readers <- t.readers - 1;
+            if t.readers = 0 then Condition.broadcast t.c))
+
+  let write t f =
+    Mutex.protect t.m (fun () ->
+        t.waiting_writers <- t.waiting_writers + 1;
+        while t.writer || t.readers > 0 do
+          Condition.wait t.c t.m
+        done;
+        t.waiting_writers <- t.waiting_writers - 1;
+        t.writer <- true);
+    Fun.protect f ~finally:(fun () ->
+        Mutex.protect t.m (fun () ->
+            t.writer <- false;
+            Condition.broadcast t.c))
+end
+
+(* ------------------------------------------------------------------ *)
 (* per-connection read buffer (owned by the IO domain)                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -136,13 +195,18 @@ type conn = {
   mutable open_ : bool; (* guarded by wmutex: false once fd is closed *)
 }
 
-type job = {
-  jconn : conn;
-  jid : int;
-  jarity : int;
-  jtuples : int array list;
-  jdeadline : float; (* absolute gettimeofday seconds; infinity = none *)
-}
+(* Updates flow through the same bounded queue as answers, so a batch is
+   applied atomically between answer jobs (the RW lock gives it the
+   engine exclusively) and overload sheds both kinds alike. *)
+type job =
+  | JAnswer of {
+      jconn : conn;
+      jid : int;
+      jarity : int;
+      jtuples : int array list;
+      jdeadline : float; (* absolute gettimeofday seconds; infinity = none *)
+    }
+  | JUpdate of { jconn : conn; jid : int; jdeltas : Frame.update list }
 
 type t = {
   listen_fd : Unix.file_descr;
@@ -153,6 +217,8 @@ type t = {
   queue_capacity : int;
   queue : job Bq.t;
   handler : handler;
+  update_handler : update_handler option;
+  rw : Rw.t;
   stop_flag : bool Atomic.t;
   wake_r : Unix.file_descr;
   wake_w : Unix.file_descr;
@@ -163,6 +229,7 @@ type t = {
   c_conns : int Atomic.t;
   c_received : int Atomic.t;
   c_answered : int Atomic.t;
+  c_updated : int Atomic.t;
   c_overload : int Atomic.t;
   c_deadline : int Atomic.t;
   c_bad : int Atomic.t;
@@ -177,6 +244,7 @@ let stats t =
     connections = Atomic.get t.c_conns;
     received = Atomic.get t.c_received;
     answered = Atomic.get t.c_answered;
+    updated = Atomic.get t.c_updated;
     rejected_overload = Atomic.get t.c_overload;
     rejected_deadline = Atomic.get t.c_deadline;
     bad_requests = Atomic.get t.c_bad;
@@ -207,12 +275,12 @@ let close_conn t conn =
 (* worker domains                                                       *)
 (* ------------------------------------------------------------------ *)
 
-let serve_job t job =
+let serve_answer t ~jconn ~jid ~jarity ~jtuples ~jdeadline =
   let started = Unix.gettimeofday () in
-  if started > job.jdeadline then begin
+  if started > jdeadline then begin
     Atomic.incr t.c_deadline;
-    send_response job.jconn
-      (Frame.Rejected { id = job.jid; reject = Frame.Deadline_exceeded })
+    send_response jconn
+      (Frame.Rejected { id = jid; reject = Frame.Deadline_exceeded })
   end
   else begin
     (* each job runs under its own context so worker traces never race;
@@ -223,11 +291,13 @@ let serve_job t job =
           Obs.span "net.request"
             ~attrs:
               [
-                ("id", Json.Int job.jid);
-                ("tuples", Json.Int (List.length job.jtuples));
+                ("id", Json.Int jid);
+                ("tuples", Json.Int (List.length jtuples));
               ]
             (fun () ->
-              try Ok (t.handler ~arity:job.jarity job.jtuples) with
+              try
+                Rw.read t.rw (fun () -> Ok (t.handler ~arity:jarity jtuples))
+              with
               | Failure msg -> Error msg
               | e -> Error (Printexc.to_string e)))
     in
@@ -235,12 +305,12 @@ let serve_job t job =
     (match result with
     | Error msg ->
         Atomic.incr t.c_bad;
-        send_response job.jconn
-          (Frame.Rejected { id = job.jid; reject = Frame.Bad_request msg })
-    | Ok _ when finished > job.jdeadline ->
+        send_response jconn
+          (Frame.Rejected { id = jid; reject = Frame.Bad_request msg })
+    | Ok _ when finished > jdeadline ->
         Atomic.incr t.c_deadline;
-        send_response job.jconn
-          (Frame.Rejected { id = job.jid; reject = Frame.Deadline_exceeded })
+        send_response jconn
+          (Frame.Rejected { id = jid; reject = Frame.Deadline_exceeded })
     | Ok answers ->
         Atomic.incr t.c_answered;
         let answers =
@@ -248,13 +318,52 @@ let serve_job t job =
             (fun (rows, row_arity, cost) -> { Frame.rows; row_arity; cost })
             answers
         in
-        send_response job.jconn (Frame.Answers { id = job.jid; answers }));
+        send_response jconn (Frame.Answers { id = jid; answers }));
     Mutex.protect t.obs_mutex (fun () ->
         Obs.with_context t.obs_ctx (fun () ->
             Obs.adopt jctx;
             Obs.incr "net.requests";
             Obs.observe "net.serve_us" ((finished -. started) *. 1e6)))
   end
+
+let serve_update t ~jconn ~jid ~jdeltas =
+  let started = Unix.gettimeofday () in
+  let jctx = Obs.create_context () in
+  let result =
+    Obs.with_context jctx (fun () ->
+        Obs.span "net.update"
+          ~attrs:
+            [
+              ("id", Json.Int jid);
+              ("deltas", Json.Int (List.length jdeltas));
+            ]
+          (fun () ->
+            match t.update_handler with
+            | None -> Error "this server does not accept updates"
+            | Some uh -> (
+                try Rw.write t.rw (fun () -> uh jdeltas) with
+                | Failure msg -> Error msg
+                | e -> Error (Printexc.to_string e))))
+  in
+  let finished = Unix.gettimeofday () in
+  (match result with
+  | Error msg ->
+      Atomic.incr t.c_bad;
+      send_response jconn
+        (Frame.Rejected { id = jid; reject = Frame.Bad_request msg })
+  | Ok (epoch, applied, cost) ->
+      Atomic.incr t.c_updated;
+      send_response jconn (Frame.Updated { id = jid; epoch; applied; cost }));
+  Mutex.protect t.obs_mutex (fun () ->
+      Obs.with_context t.obs_ctx (fun () ->
+          Obs.adopt jctx;
+          Obs.incr "net.updates";
+          Obs.observe "net.update_us" ((finished -. started) *. 1e6)))
+
+let serve_job t = function
+  | JAnswer { jconn; jid; jarity; jtuples; jdeadline } ->
+      serve_answer t ~jconn ~jid ~jarity ~jtuples ~jdeadline
+  | JUpdate { jconn; jid; jdeltas } -> serve_update t ~jconn ~jid ~jdeltas
 
 let worker_loop t () =
   let rec go () =
@@ -277,9 +386,17 @@ let handle_request t conn now = function
         if deadline_us = 0 then infinity
         else now +. (float_of_int deadline_us /. 1e6)
       in
-      let job = { jconn = conn; jid = id; jarity = arity; jtuples = tuples;
-                  jdeadline }
+      let job =
+        JAnswer
+          { jconn = conn; jid = id; jarity = arity; jtuples = tuples; jdeadline }
       in
+      if not (Bq.try_push t.queue job) then begin
+        Atomic.incr t.c_overload;
+        send_response conn (Frame.Rejected { id; reject = Frame.Overloaded })
+      end
+  | Frame.Update { id; deltas } ->
+      Atomic.incr t.c_received;
+      let job = JUpdate { jconn = conn; jid = id; jdeltas = deltas } in
       if not (Bq.try_push t.queue job) then begin
         Atomic.incr t.c_overload;
         send_response conn (Frame.Rejected { id; reject = Frame.Overloaded })
@@ -419,7 +536,7 @@ let accept_loop t () =
 (* ------------------------------------------------------------------ *)
 
 let start ?(host = "127.0.0.1") ~port ~workers ~queue_capacity ?(space = 0)
-    ?(cache_info = fun () -> Frame.no_cache) handler =
+    ?(cache_info = fun () -> Frame.no_cache) ?update_handler handler =
   if workers < 1 then invalid_arg "Server.start: workers must be >= 1";
   if queue_capacity < 1 then
     invalid_arg "Server.start: queue_capacity must be >= 1";
@@ -450,6 +567,8 @@ let start ?(host = "127.0.0.1") ~port ~workers ~queue_capacity ?(space = 0)
       queue_capacity;
       queue = Bq.create queue_capacity;
       handler;
+      update_handler;
+      rw = Rw.create ();
       stop_flag = Atomic.make false;
       wake_r;
       wake_w;
@@ -460,6 +579,7 @@ let start ?(host = "127.0.0.1") ~port ~workers ~queue_capacity ?(space = 0)
       c_conns = Atomic.make 0;
       c_received = Atomic.make 0;
       c_answered = Atomic.make 0;
+      c_updated = Atomic.make 0;
       c_overload = Atomic.make 0;
       c_deadline = Atomic.make 0;
       c_bad = Atomic.make 0;

@@ -8,6 +8,14 @@
     built index serves all workers without locks).  [Stats] and [Health]
     frames are answered inline by the IO domain.
 
+    Updates (protocol v3): decoded [Update] frames travel through the
+    same bounded queue as answers, but run under the {e write} side of a
+    writer-priority reader/writer lock while answer jobs hold the read
+    side — a delta batch is applied atomically between answer jobs, and
+    a steady stream of answers cannot starve a waiting update.  Servers
+    started without an [update_handler] reject updates as
+    [Bad_request].
+
     Backpressure: when the job queue is full the request is {e shed}
     with an explicit [Overloaded] rejection instead of queueing
     unboundedly.  Deadlines: a request's [deadline_us] budget starts at
@@ -40,10 +48,24 @@ val engine_cache_info : Stt_core.Engine.t -> unit -> Frame.cache_health
 (** Live cache occupancy and hit counts of the engine's attached cache
     ({!Frame.no_cache} when none), for {!start}'s [cache_info]. *)
 
+type update_handler =
+  Frame.update list -> (int * int * Cost.snapshot, string) result
+(** [update_handler deltas] applies a batch of base-tuple deltas and
+    returns [Ok (epoch, applied, cost)] — the post-batch delta epoch,
+    the count of effective (non-redundant) deltas, and the maintenance
+    op count — or [Error msg] to reject the batch as [Bad_request].
+    Runs under the exclusive side of the server's reader/writer lock,
+    so it never overlaps an answer job. *)
+
+val engine_update_handler : Stt_core.Engine.t -> update_handler
+(** Apply through [Engine.apply_deltas]; engine rejections
+    ([Failure]) map to [Error]. *)
+
 type stats = {
   connections : int;  (** accepted over the server's lifetime *)
-  received : int;  (** [Answer] requests received *)
+  received : int;  (** [Answer] + [Update] requests received *)
   answered : int;
+  updated : int;  (** [Update] batches applied successfully *)
   rejected_overload : int;
   rejected_deadline : int;
   bad_requests : int;  (** malformed frames + handler rejections *)
@@ -58,6 +80,7 @@ val start :
   queue_capacity:int ->
   ?space:int ->
   ?cache_info:(unit -> Frame.cache_health) ->
+  ?update_handler:update_handler ->
   handler ->
   t
 (** Bind [host:port] (default host [127.0.0.1]; port [0] picks an
@@ -65,9 +88,10 @@ val start :
     worker domains.  [space] is reported in [Health] replies;
     [cache_info] (default: always {!Frame.no_cache}) is polled by the
     IO domain on each [Health] request, so it must be cheap and safe to
-    call concurrently with the workers.  Raises [Invalid_argument] on
-    non-positive [workers] or [queue_capacity]; [Unix.Unix_error] if
-    the bind fails. *)
+    call concurrently with the workers.  [update_handler] (default:
+    none — updates rejected) applies delta batches under the write lock.
+    Raises [Invalid_argument] on non-positive [workers] or
+    [queue_capacity]; [Unix.Unix_error] if the bind fails. *)
 
 val port : t -> int
 (** The actually bound port. *)

@@ -2,14 +2,28 @@
    array, grouped by key; the hash table maps a key to its (start row,
    row count) range.  Building allocates one key tuple per distinct key
    and nothing per row; probing a bucket walks the flat array with zero
-   allocation, and [count] is O(1) instead of a list walk. *)
+   allocation, and [count] is O(1) instead of a list walk.
+
+   Incremental maintenance works through a small mutable overlay on top
+   of the frozen flat arrays: [extra] holds rows added since the last
+   compaction (grouped by key), [dead] marks flat rows deleted since.
+   Every read path keeps its zero-allocation fast path when the overlay
+   is empty; once the overlay outgrows a fraction of the flat storage it
+   is folded back into fresh flat arrays. *)
 type t = {
   key_vars : Schema.var list;
   source_schema : Schema.t;
   arity : int;
-  table : (int * int) Tuple.Tbl.t; (* key -> (first row, row count) *)
-  data : int array;                (* row-major tuple values, key-grouped *)
-  space : int;
+  key_pos : int array;
+  mutable table : (int * int) Tuple.Tbl.t; (* key -> (first row, row count) *)
+  mutable data : int array;                (* row-major tuple values, key-grouped *)
+  mutable flat_rows : int;
+  mutable space : int;
+  (* ---- overlay (empty in the common, static case) ---- *)
+  mutable extra : Tuple.t list Tuple.Tbl.t; (* key -> rows added since build *)
+  mutable dead : unit Tuple.Tbl.t;          (* flat rows deleted since build *)
+  mutable dead_per_key : int Tuple.Tbl.t;   (* key -> deleted flat rows under it *)
+  mutable overlay_rows : int;               (* |extra rows| + |dead rows| *)
 }
 
 let build rel key_vars =
@@ -46,41 +60,209 @@ let build rel key_vars =
           Array.blit tup 0 data (!cursor * arity) arity;
           incr cursor)
         rel;
-      { key_vars; source_schema; arity; table; data; space = n })
+      {
+        key_vars; source_schema; arity; key_pos = pos; table; data;
+        flat_rows = n; space = n;
+        extra = Tuple.Tbl.create 8; dead = Tuple.Tbl.create 8;
+        dead_per_key = Tuple.Tbl.create 8; overlay_rows = 0;
+      })
 
 let key_vars t = t.key_vars
 let source_schema t = t.source_schema
 
 let row t i = Array.sub t.data (i * t.arity) t.arity
 
+(* fold the overlay back into fresh flat arrays; logical contents (and
+   [space]) are unchanged, so snapshots and probes see the same rows *)
+let compact t =
+  if t.overlay_rows > 0 then
+    Cost.with_counting false (fun () ->
+        let rows_by_key =
+          Tuple.Tbl.create (max 16 (Tuple.Tbl.length t.table))
+        in
+        let add_row key r =
+          match Tuple.Tbl.find_opt rows_by_key key with
+          | Some l -> l := r :: !l
+          | None -> Tuple.Tbl.add rows_by_key (Array.copy key) (ref [ r ])
+        in
+        Tuple.Tbl.iter
+          (fun key (start, len) ->
+            for i = 0 to len - 1 do
+              let r = row t (start + i) in
+              if not (Tuple.Tbl.mem t.dead r) then add_row key r
+            done)
+          t.table;
+        Tuple.Tbl.iter
+          (fun key rows -> List.iter (add_row key) rows)
+          t.extra;
+        let n =
+          Tuple.Tbl.fold (fun _ l acc -> acc + List.length !l) rows_by_key 0
+        in
+        let table = Tuple.Tbl.create (max 16 (Tuple.Tbl.length rows_by_key)) in
+        let data = Array.make (n * t.arity) 0 in
+        let next = ref 0 in
+        Tuple.Tbl.iter
+          (fun key l ->
+            let rows = !l in
+            let len = List.length rows in
+            Tuple.Tbl.add table key (!next, len);
+            List.iter
+              (fun r ->
+                Array.blit r 0 data (!next * t.arity) t.arity;
+                incr next)
+              rows)
+          rows_by_key;
+        t.table <- table;
+        t.data <- data;
+        t.flat_rows <- n;
+        t.extra <- Tuple.Tbl.create 8;
+        t.dead <- Tuple.Tbl.create 8;
+        t.dead_per_key <- Tuple.Tbl.create 8;
+        t.overlay_rows <- 0)
+
+let maybe_compact t =
+  if t.overlay_rows > max 64 (t.flat_rows / 4) then compact t
+
+let dead_under t key =
+  if Tuple.Tbl.length t.dead = 0 then 0
+  else Option.value ~default:0 (Tuple.Tbl.find_opt t.dead_per_key key)
+
+let extra_under t key =
+  match Tuple.Tbl.find_opt t.extra key with Some rows -> rows | None -> []
+
+(* does the frozen flat bucket contain a row equal to [tup] (dead or
+   alive)?  Buckets hold distinct rows, so at most one matches. *)
+let flat_mem t key tup =
+  match Tuple.Tbl.find_opt t.table key with
+  | None -> false
+  | Some (start, len) ->
+      let rec go i =
+        if i >= len then false
+        else
+          let base = (start + i) * t.arity in
+          let rec eq k =
+            k >= t.arity || (t.data.(base + k) = tup.(k) && eq (k + 1))
+          in
+          if eq 0 then true else go (i + 1)
+      in
+      go 0
+
+let extra_mem t key tup = List.exists (Tuple.equal tup) (extra_under t key)
+
+let bump_dead t key by =
+  match Tuple.Tbl.find_opt t.dead_per_key key with
+  | Some v ->
+      let v' = v + by in
+      if v' = 0 then Tuple.Tbl.remove t.dead_per_key key
+      else Tuple.Tbl.replace t.dead_per_key key v'
+  | None -> if by <> 0 then Tuple.Tbl.add t.dead_per_key (Array.copy key) by
+
+let insert t tup =
+  if Tuple.arity tup <> t.arity then invalid_arg "Index.insert: arity mismatch";
+  Cost.charge_probe ();
+  let key = Tuple.project t.key_pos tup in
+  if flat_mem t key tup then
+    if Tuple.Tbl.mem t.dead tup then begin
+      (* resurrect a previously deleted flat row in place *)
+      Tuple.Tbl.remove t.dead tup;
+      bump_dead t key (-1);
+      t.overlay_rows <- t.overlay_rows - 1;
+      t.space <- t.space + 1;
+      true
+    end
+    else false
+  else if extra_mem t key tup then false
+  else begin
+    (match Tuple.Tbl.find_opt t.extra key with
+    | Some rows -> Tuple.Tbl.replace t.extra key (Array.copy tup :: rows)
+    | None -> Tuple.Tbl.add t.extra key [ Array.copy tup ]);
+    t.overlay_rows <- t.overlay_rows + 1;
+    t.space <- t.space + 1;
+    maybe_compact t;
+    true
+  end
+
+let remove t tup =
+  if Tuple.arity tup <> t.arity then invalid_arg "Index.remove: arity mismatch";
+  Cost.charge_probe ();
+  let key = Tuple.project t.key_pos tup in
+  if extra_mem t key tup then begin
+    (match
+       List.filter (fun r -> not (Tuple.equal r tup)) (extra_under t key)
+     with
+    | [] -> Tuple.Tbl.remove t.extra key
+    | rows -> Tuple.Tbl.replace t.extra key rows);
+    t.overlay_rows <- t.overlay_rows - 1;
+    t.space <- t.space - 1;
+    true
+  end
+  else if flat_mem t key tup && not (Tuple.Tbl.mem t.dead tup) then begin
+    Tuple.Tbl.add t.dead (Array.copy tup) ();
+    bump_dead t key 1;
+    t.overlay_rows <- t.overlay_rows + 1;
+    t.space <- t.space - 1;
+    maybe_compact t;
+    true
+  end
+  else false
+
 let probe t key =
   Cost.charge_probe ();
-  match Tuple.Tbl.find_opt t.table key with
-  | None -> []
-  | Some (start, len) -> List.init len (fun i -> row t (start + i))
+  if t.overlay_rows = 0 then
+    match Tuple.Tbl.find_opt t.table key with
+    | None -> []
+    | Some (start, len) -> List.init len (fun i -> row t (start + i))
+  else
+    let flat =
+      match Tuple.Tbl.find_opt t.table key with
+      | None -> []
+      | Some (start, len) ->
+          List.filter
+            (fun r -> not (Tuple.Tbl.mem t.dead r))
+            (List.init len (fun i -> row t (start + i)))
+    in
+    flat @ extra_under t key
 
 let probe_mem t key =
   Cost.charge_probe ();
-  Tuple.Tbl.mem t.table key
+  if t.overlay_rows = 0 then Tuple.Tbl.mem t.table key
+  else
+    (match Tuple.Tbl.find_opt t.table key with
+    | None -> false
+    | Some (_, len) -> len - dead_under t key > 0)
+    || extra_under t key <> []
 
 let count t key =
   Cost.charge_probe ();
-  match Tuple.Tbl.find_opt t.table key with
-  | None -> 0
-  | Some (_, len) -> len
+  if t.overlay_rows = 0 then
+    match Tuple.Tbl.find_opt t.table key with
+    | None -> 0
+    | Some (_, len) -> len
+  else
+    (match Tuple.Tbl.find_opt t.table key with
+    | None -> 0
+    | Some (_, len) -> len - dead_under t key)
+    + List.length (extra_under t key)
 
 let space t = t.space
 
-let raw_data t = t.data
-let buckets t = Tuple.Tbl.fold (fun k (s, l) acc -> (k, s, l) :: acc) t.table []
+let raw_data t =
+  compact t;
+  t.data
+
+let buckets t =
+  compact t;
+  Tuple.Tbl.fold (fun k (s, l) acc -> (k, s, l) :: acc) t.table []
 
 let of_buckets ~key_vars ~source_schema ~data ~buckets =
   let arity = Schema.arity source_schema in
   (* key_vars must resolve against the schema (raises Not_found on skew) *)
-  (match Schema.positions source_schema key_vars with
-  | _ -> ()
-  | exception Not_found ->
-      invalid_arg "Index.of_buckets: key variable not in schema");
+  let key_pos =
+    match Schema.positions source_schema key_vars with
+    | pos -> pos
+    | exception Not_found ->
+        invalid_arg "Index.of_buckets: key variable not in schema"
+  in
   if arity > 0 && Array.length data mod arity <> 0 then
     invalid_arg "Index.of_buckets: data length not a multiple of arity";
   let n_rows =
@@ -101,7 +283,12 @@ let of_buckets ~key_vars ~source_schema ~data ~buckets =
       space := !space + len;
       Tuple.Tbl.add table key (start, len))
     buckets;
-  { key_vars; source_schema; arity; table; data; space = !space }
+  {
+    key_vars; source_schema; arity; key_pos; table; data;
+    flat_rows = !space; space = !space;
+    extra = Tuple.Tbl.create 8; dead = Tuple.Tbl.create 8;
+    dead_per_key = Tuple.Tbl.create 8; overlay_rows = 0;
+  }
 
 let semijoin rel t =
   let key_pos = Schema.positions (Relation.schema rel) t.key_vars in
@@ -112,7 +299,15 @@ let semijoin rel t =
       Cost.charge_scan ();
       Cost.charge_probe ();
       Tuple.project_into key_pos tup scratch;
-      if Tuple.Tbl.mem t.table scratch then Relation.add out tup)
+      let alive =
+        if t.overlay_rows = 0 then Tuple.Tbl.mem t.table scratch
+        else
+          (match Tuple.Tbl.find_opt t.table scratch with
+          | None -> false
+          | Some (_, len) -> len - dead_under t scratch > 0)
+          || extra_under t scratch <> []
+      in
+      if alive then Relation.add out tup)
     rel;
   out
 
@@ -130,24 +325,30 @@ let join rel t =
   let out = Relation.create out_schema in
   let ra = Schema.arity rel_schema in
   let scratch = Array.make (Array.length key_pos) 0 in
+  let no_dead = Tuple.Tbl.length t.dead = 0 in
   Relation.iter
     (fun tup ->
       Cost.charge_scan ();
       Cost.charge_probe ();
       Tuple.project_into key_pos tup scratch;
-      match Tuple.Tbl.find_opt t.table scratch with
+      let emit src base =
+        (* emit output rows straight from the backing array: the only
+           allocation per match is the output tuple itself *)
+        let out_tup = Array.make (ra + n_extra) 0 in
+        Array.blit tup 0 out_tup 0 ra;
+        for k = 0 to n_extra - 1 do
+          out_tup.(ra + k) <- src.(base + extra_pos.(k))
+        done;
+        Relation.add out out_tup
+      in
+      (match Tuple.Tbl.find_opt t.table scratch with
       | None -> ()
       | Some (start, len) ->
-          (* emit output rows straight from the flat array: the only
-             allocation per match is the output tuple itself *)
           for i = 0 to len - 1 do
-            let base = (start + i) * t.arity in
-            let out_tup = Array.make (ra + n_extra) 0 in
-            Array.blit tup 0 out_tup 0 ra;
-            for k = 0 to n_extra - 1 do
-              out_tup.(ra + k) <- t.data.(base + extra_pos.(k))
-            done;
-            Relation.add out out_tup
-          done)
+            if no_dead || not (Tuple.Tbl.mem t.dead (row t (start + i))) then
+              emit t.data ((start + i) * t.arity)
+          done);
+      if t.overlay_rows > 0 then
+        List.iter (fun r -> emit r 0) (extra_under t scratch))
     rel;
   out

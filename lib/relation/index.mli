@@ -29,6 +29,24 @@ val count : t -> Tuple.t -> int
 val space : t -> int
 (** Number of indexed tuples — the intrinsic space charged to this index. *)
 
+(** {1 Incremental maintenance}
+
+    Mutations land in a small overlay (rows added since the last
+    compaction, flat rows marked deleted); every read path merges the
+    overlay transparently and keeps its zero-allocation fast path while
+    the overlay is empty.  Once the overlay outgrows a fraction of the
+    flat storage it is folded back into fresh flat arrays (an uncounted
+    preprocessing-style pass, amortized O(1) per mutation). *)
+
+val insert : t -> Tuple.t -> bool
+(** Add one tuple; [false] if it was already present (idempotent).  One
+    {!Cost} probe charged.  Raises [Invalid_argument] on arity
+    mismatch. *)
+
+val remove : t -> Tuple.t -> bool
+(** Delete one tuple; [false] if it was absent.  One {!Cost} probe
+    charged.  Raises [Invalid_argument] on arity mismatch. *)
+
 val semijoin : Relation.t -> t -> Relation.t
 (** [semijoin rel idx] keeps the tuples of [rel] whose key matches the
     index — cost [O(|rel|)], independent of the indexed relation's size.

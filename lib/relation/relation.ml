@@ -14,6 +14,16 @@ let add t tup =
     Tuple.Tbl.add t.data tup ()
   end
 
+let remove t tup =
+  if Tuple.arity tup <> Schema.arity t.schema then
+    invalid_arg "Relation.remove: arity mismatch";
+  if Tuple.Tbl.mem t.data tup then begin
+    Cost.charge_scan ();
+    Tuple.Tbl.remove t.data tup;
+    true
+  end
+  else false
+
 let of_list schema tuples =
   let t = create schema in
   List.iter (add t) tuples;

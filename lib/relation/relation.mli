@@ -18,6 +18,10 @@ val mem : t -> Tuple.t -> bool
 val add : t -> Tuple.t -> unit
 (** Insert (deduplicating).  Raises [Invalid_argument] on arity mismatch. *)
 
+val remove : t -> Tuple.t -> bool
+(** Delete one tuple; [true] iff it was present (one [scan] charged on a
+    successful removal).  Raises [Invalid_argument] on arity mismatch. *)
+
 val iter : (Tuple.t -> unit) -> t -> unit
 val fold : (Tuple.t -> 'a -> 'a) -> t -> 'a -> 'a
 val to_list : t -> Tuple.t list

@@ -20,3 +20,42 @@ let zipf_requests ~seed ~n ~requests ~skew ~arity =
   let rng = Rng.create seed in
   let sample = Rng.zipf_sampler rng ~n ~s:skew in
   List.init requests (fun _ -> Array.init arity (fun _ -> sample ()))
+
+type churn_op =
+  | Insert of int * int
+  | Delete of int * int
+  | Query of int array
+
+let churn_ops ~seed ~vertices ~edges ~ops ~arity =
+  let rng = Rng.create (seed lxor 0x5A17) in
+  let sample = Rng.zipf_sampler rng ~n:vertices ~s:1.1 in
+  let initial = Graphs.zipf_both ~seed ~vertices ~edges ~s:1.1 in
+  (* a live mirror of the edge set, so deletes usually hit a present
+     edge and inserts are mostly fresh — the stream still carries some
+     redundant deltas, which is the point: the engine must no-op them *)
+  let n0 = List.length initial in
+  let live = Array.make (n0 + ops + 1) (0, 0) in
+  List.iteri (fun i e -> live.(i) <- e) initial;
+  let n_live = ref n0 in
+  let seen = Hashtbl.create (2 * (n0 + ops)) in
+  List.iter (fun e -> Hashtbl.replace seen e ()) initial;
+  List.init ops (fun _ ->
+      let r = Rng.float rng 1.0 in
+      if r < 0.30 then begin
+        let u = sample () and v = sample () in
+        if not (Hashtbl.mem seen (u, v)) then begin
+          Hashtbl.replace seen (u, v) ();
+          live.(!n_live) <- (u, v);
+          incr n_live
+        end;
+        Insert (u, v)
+      end
+      else if r < 0.45 && !n_live > 0 then begin
+        let i = Rng.int rng !n_live in
+        let u, v = live.(i) in
+        live.(i) <- live.(!n_live - 1);
+        decr n_live;
+        Hashtbl.remove seen (u, v);
+        Delete (u, v)
+      end
+      else Query (Array.init arity (fun _ -> sample ())))

@@ -35,3 +35,21 @@ val zipf_requests :
     components, each an independent Zipf([skew]) rank in [[0, n)].
     Deterministic in [seed] — the serving CLI, the network load
     generator and the benches all replay the same stream. *)
+
+type churn_op =
+  | Insert of int * int  (** add an edge to {!edge_relation} *)
+  | Delete of int * int  (** remove an edge from {!edge_relation} *)
+  | Query of int array  (** answer an access request *)
+
+val churn_ops :
+  seed:int -> vertices:int -> edges:int -> ops:int -> arity:int ->
+  churn_op list
+(** An interleaved maintenance workload over the scenario graph of
+    {!synthetic_db} (same [seed]/[vertices]/[edges] convention): [ops]
+    operations mixing edge inserts (~30%), edge deletes (~15%) and
+    access queries (~55%), endpoints and query keys Zipf(1.1)-skewed so
+    churn concentrates on the heavy keys that stress the split-tree
+    reclassification.  Deletes track the live edge set, so they almost
+    always remove a present edge; inserts may occasionally repeat a
+    live edge (an engine must treat those as no-ops).  Deterministic in
+    [seed] — benches, tests and the CLI replay identical streams. *)

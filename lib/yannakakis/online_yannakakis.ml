@@ -6,7 +6,7 @@ type preprocessed = {
   pmtd : Pmtd.t;
   s_rels : (int, Relation.t) Hashtbl.t;
   s_idx : (int, Index.t) Hashtbl.t; (* keyed on common vars with parent view *)
-  space : int;
+  mutable space : int;
 }
 
 let view_vars p node = (Pmtd.view p node).Pmtd.vars
@@ -22,7 +22,7 @@ let link_vars (p : Pmtd.t) node =
 let semijoin_via_index rel idx = Index.semijoin rel idx
 let join_via_index rel idx = Index.join rel idx
 
-let preprocess pmtd ~s_views =
+let preprocess ?(reduce = true) pmtd ~s_views =
   Cost.with_counting false (fun () ->
       let tree = pmtd.Pmtd.td.Td.tree in
       let s_rels = Hashtbl.create 8 in
@@ -32,19 +32,23 @@ let preprocess pmtd ~s_views =
         (fun node -> if materialized.(node) then
             Hashtbl.replace s_rels node (s_views node))
         (Rtree.nodes tree);
-      (* bottom-up semijoin pass over SS-edges *)
-      List.iter
-        (fun node ->
-          if materialized.(node) then
-            match Rtree.parent tree node with
-            | Some par when materialized.(par) ->
-                let reduced =
-                  Relation.semijoin (Hashtbl.find s_rels par)
-                    (Hashtbl.find s_rels node)
-                in
-                Hashtbl.replace s_rels par reduced
-            | Some _ | None -> ())
-        (Rtree.bottom_up tree);
+      (* bottom-up semijoin pass over SS-edges.  A pure space
+         optimization (the top-down answer pass joins every S node
+         anyway), skipped for maintainable engines: reduced views cannot
+         absorb single-tuple deltas additively. *)
+      if reduce then
+        List.iter
+          (fun node ->
+            if materialized.(node) then
+              match Rtree.parent tree node with
+              | Some par when materialized.(par) ->
+                  let reduced =
+                    Relation.semijoin (Hashtbl.find s_rels par)
+                      (Hashtbl.find s_rels node)
+                  in
+                  Hashtbl.replace s_rels par reduced
+              | Some _ | None -> ())
+          (Rtree.bottom_up tree);
       (* hash index per S-view on its link variables *)
       let space = ref 0 in
       Hashtbl.iter
@@ -56,6 +60,30 @@ let preprocess pmtd ~s_views =
       { pmtd; s_rels; s_idx; space = !space })
 
 let space t = t.space
+
+let materialized_nodes t =
+  List.filter
+    (fun node -> t.pmtd.Pmtd.materialized.(node))
+    (Rtree.nodes t.pmtd.Pmtd.td.Td.tree)
+
+let insert_view_tuple t node row =
+  let rel = Hashtbl.find t.s_rels node in
+  if Relation.mem rel row then false
+  else begin
+    Relation.add rel row;
+    ignore (Index.insert (Hashtbl.find t.s_idx node) row);
+    t.space <- t.space + 1;
+    true
+  end
+
+let delete_view_tuple t node row =
+  let rel = Hashtbl.find t.s_rels node in
+  if Relation.remove rel row then begin
+    ignore (Index.remove (Hashtbl.find t.s_idx node) row);
+    t.space <- t.space - 1;
+    true
+  end
+  else false
 
 let export t =
   Hashtbl.fold

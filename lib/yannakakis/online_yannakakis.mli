@@ -16,12 +16,36 @@ open Stt_decomp
 
 type preprocessed
 
-val preprocess : Pmtd.t -> s_views:(int -> Relation.t) -> preprocessed
+val preprocess :
+  ?reduce:bool -> Pmtd.t -> s_views:(int -> Relation.t) -> preprocessed
 (** [s_views node] must supply a relation over schema [v(node)] (any
-    variable order) for every materialized node. *)
+    variable order) for every materialized node.  [reduce] (default
+    [true]) runs the bottom-up SS semijoin pass — a pure space
+    optimization that {!answer} never depends on; pass [false] for
+    engines that will maintain the views incrementally, since reduced
+    views cannot absorb single-tuple deltas additively. *)
 
 val space : preprocessed -> int
 (** Total stored tuples across indexed S-views. *)
+
+(** {1 Incremental maintenance}
+
+    Single-row deltas against the stored S-views, keeping relation,
+    index and {!space} in lockstep.  Only meaningful on views built with
+    [~reduce:false] (unreduced): adding a row to a semijoin-reduced view
+    could not account for previously reduced-away parent rows. *)
+
+val materialized_nodes : preprocessed -> int list
+(** Nodes with a stored S-view, in tree order. *)
+
+val insert_view_tuple : preprocessed -> int -> Tuple.t -> bool
+(** [insert_view_tuple t node row] adds [row] (in the view's schema
+    order) to the node's S-view and its link index; [false] if already
+    present. *)
+
+val delete_view_tuple : preprocessed -> int -> Tuple.t -> bool
+(** Remove a row from the node's S-view and link index; [false] if it
+    was not present. *)
 
 val export : preprocessed -> (int * Relation.t * Index.t) list
 (** Snapshot view of the preprocessed state: one

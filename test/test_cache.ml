@@ -311,6 +311,77 @@ let test_warm_snapshot_roundtrip () =
         requests
 
 (* ------------------------------------------------------------------ *)
+(* maintenance: precise invalidation under deltas                       *)
+(* ------------------------------------------------------------------ *)
+
+(* 2-reach over vertices [0,60): an isolated new edge (100,101) crosses
+   no cached derivation, while (101,102) completes the 2-path
+   100 -> 101 -> 102 and must evict exactly the (100,102) entry *)
+let test_precise_invalidation () =
+  let idx = build_2reach () in
+  Engine.attach_cache idx ~budget:2000;
+  let schema = Engine.access_schema idx in
+  let q_far = Relation.of_list schema [ [| 100; 102 |] ] in
+  let q_near = Relation.of_list schema [ [| 4; 9 |] ] in
+  let stats () = Option.get (Engine.cache_stats idx) in
+  (* cold misses populate both entries *)
+  check_tuples "no 2-path from a vertex outside the graph" []
+    (sorted (Engine.answer idx ~q_a:q_far));
+  let near0 = sorted (Engine.answer idx ~q_a:q_near) in
+  let s0 = stats () in
+  Alcotest.(check int) "two entries cached" 2 s0.Cache.entries;
+  Alcotest.(check int) "two cold misses" 2 s0.Cache.misses;
+  (* non-overlapping delta: the isolated edge creates no 2-path, so the
+     cache must stay warm *)
+  let eff, _ = Engine.insert idx "R" [| 100; 101 |] in
+  Alcotest.(check bool) "first delta effective" true eff;
+  let s1 = stats () in
+  Alcotest.(check int) "nothing invalidated" 0 s1.Cache.invalidated;
+  Alcotest.(check int) "entries untouched" 2 s1.Cache.entries;
+  check_tuples "still no 2-path" [] (sorted (Engine.answer idx ~q_a:q_far));
+  check_tuples "near answer unchanged" near0
+    (sorted (Engine.answer idx ~q_a:q_near));
+  let s1' = stats () in
+  Alcotest.(check int) "both served from cache" (s0.Cache.hits + 2)
+    s1'.Cache.hits;
+  Alcotest.(check int) "no new misses" s0.Cache.misses s1'.Cache.misses;
+  (* overlapping delta: completes 100 -> 101 -> 102, evicting exactly
+     the (100,102) entry *)
+  let eff, _ = Engine.insert idx "R" [| 101; 102 |] in
+  Alcotest.(check bool) "second delta effective" true eff;
+  let s2 = stats () in
+  Alcotest.(check int) "exactly one entry invalidated" 1 s2.Cache.invalidated;
+  Alcotest.(check int) "one entry left" 1 s2.Cache.entries;
+  Alcotest.(check bool) "charge released" true (s2.Cache.used < s1'.Cache.used);
+  (* the untouched entry is still a hit *)
+  check_tuples "near answer still cached" near0
+    (sorted (Engine.answer idx ~q_a:q_near));
+  Alcotest.(check int) "near entry stayed warm" (s1'.Cache.hits + 1)
+    (stats ()).Cache.hits;
+  (* the evicted entry misses, recomputes the post-delta answer... *)
+  check_tuples "rebuilt answer sees the new path"
+    [ [ 100; 102 ] ]
+    (sorted (Engine.answer idx ~q_a:q_far));
+  Alcotest.(check int) "eviction forced a recompute" (s1'.Cache.misses + 1)
+    (stats ()).Cache.misses;
+  (* ...and is a hit again once rebuilt *)
+  check_tuples "rebuilt entry hits"
+    [ [ 100; 102 ] ]
+    (sorted (Engine.answer idx ~q_a:q_far));
+  let s3 = stats () in
+  Alcotest.(check int) "rebuilt hit counted" (s1'.Cache.hits + 2) s3.Cache.hits;
+  Alcotest.(check int) "no further misses" (s1'.Cache.misses + 1)
+    s3.Cache.misses;
+  Alcotest.(check int) "back to two entries" 2 s3.Cache.entries;
+  (* space accounting stays consistent through the churn *)
+  Alcotest.(check int) "epoch counted both deltas" 2 (Engine.epoch idx);
+  Alcotest.(check int) "total space = intrinsic + cache charge"
+    (Engine.space idx + s3.Cache.used)
+    (Engine.total_space idx);
+  Alcotest.(check int) "cache space matches stats" s3.Cache.used
+    (Engine.cache_space idx)
+
+(* ------------------------------------------------------------------ *)
 (* differential: cached engine == uncached twin, 50 random instances    *)
 (* ------------------------------------------------------------------ *)
 
@@ -408,6 +479,8 @@ let () =
             test_warm_answer_tuple_is_o1;
           Alcotest.test_case "warm snapshot round trip" `Quick
             test_warm_snapshot_roundtrip;
+          Alcotest.test_case "precise invalidation under deltas" `Quick
+            test_precise_invalidation;
         ] );
       ( "differential",
         [

@@ -1,0 +1,322 @@
+(* Churn differential for incremental index maintenance: interleaved
+   inserts, deletes and answers against one long-lived engine, checked
+   after every delta against (a) the brute-force reference evaluator
+   and (b) an engine rebuilt from scratch on the mutated database.
+   Everything derives from a fixed base seed.
+
+   Also covers the edge cases a delta engine classically gets wrong —
+   redundant inserts (the tuple is already there) and deleting the last
+   witness of a derived answer — plus the snapshot story: an engine
+   that has absorbed deltas must save/load into an observationally
+   identical replica (same answers, same op counts, same epoch), and
+   the replica must reject further deltas. *)
+
+open Stt_relation
+open Stt_hypergraph
+open Stt_core
+open Stt_workload
+open Diff_harness
+
+let sorted r = List.sort compare (List.map Array.to_list (Relation.to_list r))
+
+let pp_tuples fmt ts =
+  Format.fprintf fmt "{%s}"
+    (String.concat "; "
+       (List.map
+          (fun t -> "(" ^ String.concat "," (List.map string_of_int t) ^ ")")
+          ts))
+
+(* ------------------------------------------------------------------ *)
+(* mirror database: name-keyed mutable tuple sets                       *)
+(* ------------------------------------------------------------------ *)
+
+type mirror = (string, unit Tuple.Tbl.t) Hashtbl.t
+
+let mirror_of_instance inst : mirror =
+  let m = Hashtbl.create 8 in
+  List.iter
+    (fun (a : Cq.atom) ->
+      if not (Hashtbl.mem m a.Cq.rel) then begin
+        let set = Tuple.Tbl.create 32 in
+        Relation.iter
+          (fun tup -> Tuple.Tbl.replace set tup ())
+          (Db.relation inst.db a);
+        Hashtbl.add m a.Cq.rel set
+      end)
+    inst.cqap.Cq.cq.Cq.atoms;
+  m
+
+let db_of_mirror (m : mirror) =
+  let db = Db.create () in
+  Hashtbl.iter
+    (fun rel set ->
+      Db.add db rel (Tuple.Tbl.fold (fun tup () acc -> tup :: acc) set []))
+    m;
+  db
+
+let mirror_apply (m : mirror) rel tuple add =
+  let set = Hashtbl.find m rel in
+  let present = Tuple.Tbl.mem set tuple in
+  if add then begin
+    if not present then Tuple.Tbl.replace set tuple ();
+    not present
+  end
+  else begin
+    if present then Tuple.Tbl.remove set tuple;
+    present
+  end
+
+(* ------------------------------------------------------------------ *)
+(* the churn differential                                               *)
+(* ------------------------------------------------------------------ *)
+
+let n_instances = 200
+let base_seed = 0x5EED1E
+let deltas_per_instance = 6
+
+let run_one i =
+  let rec attempt k =
+    let seed = base_seed + (1000 * i) + k in
+    let inst = gen_instance seed in
+    match build_index inst with
+    | exception Skip reason ->
+        if k >= 20 then
+          Alcotest.failf "instance %d: no buildable query after %d tries (%s)"
+            i (k + 1) reason
+        else attempt (k + 1)
+    | idx, _used_budget ->
+        let rng = Rng.create (seed lxor 0xD317A) in
+        let mirror = mirror_of_instance inst in
+        let rels =
+          List.sort_uniq compare
+            (List.map
+               (fun (a : Cq.atom) -> (a.Cq.rel, List.length a.Cq.vars))
+               inst.cqap.Cq.cq.Cq.atoms)
+        in
+        let engine = ref idx in
+        let check step =
+          let db' = db_of_mirror mirror in
+          let expected =
+            sorted (Db.eval_access db' inst.cqap ~q_a:inst.q_a)
+          in
+          let got = sorted (Engine.answer !engine ~q_a:inst.q_a) in
+          if got <> expected then
+            Alcotest.failf
+              "instance %d (seed %d) after delta %d: maintained engine \
+               disagrees with reference@\n\
+               query: %a@\nexpected %a@\ngot      %a"
+              i seed step Cq.pp_cqap inst.cqap pp_tuples expected pp_tuples
+              got;
+          (* from-scratch rebuild on the mutated database must agree *)
+          let rebuilt, _ = build_index { inst with db = db' } in
+          let fresh = sorted (Engine.answer rebuilt ~q_a:inst.q_a) in
+          if got <> fresh then
+            Alcotest.failf
+              "instance %d (seed %d) after delta %d: maintained engine \
+               disagrees with from-scratch rebuild@\n\
+               query: %a@\nrebuilt %a@\ngot     %a"
+              i seed step Cq.pp_cqap inst.cqap pp_tuples fresh pp_tuples got
+        in
+        for step = 1 to deltas_per_instance do
+          let rel, arity = List.nth rels (Rng.int rng (List.length rels)) in
+          let set = Hashtbl.find mirror rel in
+          let add =
+            Tuple.Tbl.length set = 0
+            || (match Rng.int rng 10 with 0 | 1 | 2 | 3 -> false | _ -> true)
+          in
+          let tuple =
+            if (not add) && Rng.int rng 4 > 0 then begin
+              (* delete a live tuple (landing on the n-th of the set) *)
+              let n = Rng.int rng (Tuple.Tbl.length set) in
+              let j = ref 0 and out = ref [||] in
+              (try
+                 Tuple.Tbl.iter
+                   (fun tup () ->
+                     if !j = n then begin
+                       out := tup;
+                       raise Exit
+                     end;
+                     incr j)
+                   set
+               with Exit -> ());
+              Array.copy !out
+            end
+            else Array.init arity (fun _ -> Rng.int rng 9)
+          in
+          let expected_effective = mirror_apply mirror rel tuple add in
+          let epoch_before = Engine.epoch !engine in
+          (match
+             if add then Engine.insert !engine rel tuple
+             else Engine.delete !engine rel tuple
+           with
+          | effective, _cost ->
+              if effective <> expected_effective then
+                Alcotest.failf
+                  "instance %d (seed %d) delta %d: %s of %s reported \
+                   effective=%b, mirror says %b"
+                  i seed step
+                  (if add then "insert" else "delete")
+                  rel effective expected_effective;
+              let expect_epoch =
+                epoch_before + if expected_effective then 1 else 0
+              in
+              if Engine.epoch !engine <> expect_epoch then
+                Alcotest.failf
+                  "instance %d (seed %d) delta %d: epoch %d, expected %d" i
+                  seed step (Engine.epoch !engine) expect_epoch
+          | exception Failure _ ->
+              (* a newly non-empty subproblem can be impossible at the
+                 build budget, exactly like a failed build; the engine
+                 is poisoned, so rebuild and continue the stream *)
+              let rebuilt, _ = build_index { inst with db = db_of_mirror mirror } in
+              engine := rebuilt);
+          check step
+        done
+  in
+  attempt 0
+
+let test_churn_differential () =
+  for i = 0 to n_instances - 1 do
+    run_one i
+  done
+
+(* ------------------------------------------------------------------ *)
+(* deterministic edge cases: 2-path R(x,y), S(y,z), access x, head x z  *)
+(* ------------------------------------------------------------------ *)
+
+let build_path ~r_rows ~s_rows =
+  let atoms =
+    [ { Cq.rel = "R"; vars = [ 0; 1 ] }; { Cq.rel = "S"; vars = [ 1; 2 ] } ]
+  in
+  let cq =
+    Cq.create
+      ~var_names:[| "x"; "y"; "z" |]
+      ~head:(Varset.of_list [ 0; 2 ])
+      atoms
+  in
+  let cqap = Cq.with_access cq (Varset.singleton 0) in
+  let db = Db.create () in
+  Db.add db "R" r_rows;
+  Db.add db "S" s_rows;
+  (cqap, db, Engine.build_auto ~max_pmtds:64 cqap ~db ~budget:1000)
+
+let q_x v = Relation.of_list (Schema.of_list [ 0 ]) [ [| v |] ]
+
+let test_redundant_insert () =
+  let _, _, eng = build_path ~r_rows:[ [| 1; 2 |] ] ~s_rows:[ [| 2; 3 |] ] in
+  let before = sorted (Engine.answer eng ~q_a:(q_x 1)) in
+  Alcotest.(check (list (list int))) "initial answer" [ [ 1; 3 ] ] before;
+  (* inserting a tuple that is already present must be a no-op *)
+  let effective, _ = Engine.insert eng "R" [| 1; 2 |] in
+  Alcotest.(check bool) "redundant insert ineffective" false effective;
+  Alcotest.(check int) "epoch unchanged" 0 (Engine.epoch eng);
+  Alcotest.(check (list (list int)))
+    "answer unchanged" before
+    (sorted (Engine.answer eng ~q_a:(q_x 1)));
+  (* deleting a tuple that was never there is equally a no-op *)
+  let effective, _ = Engine.delete eng "S" [| 9; 9 |] in
+  Alcotest.(check bool) "redundant delete ineffective" false effective;
+  Alcotest.(check int) "epoch still unchanged" 0 (Engine.epoch eng)
+
+let test_last_witness_delete () =
+  (* (1,3) has two witnesses through y ∈ {2, 4}; (1,5) has one *)
+  let _, _, eng =
+    build_path
+      ~r_rows:[ [| 1; 2 |]; [| 1; 4 |] ]
+      ~s_rows:[ [| 2; 3 |]; [| 4; 3 |]; [| 4; 5 |] ]
+  in
+  Alcotest.(check (list (list int)))
+    "both answers present"
+    [ [ 1; 3 ]; [ 1; 5 ] ]
+    (sorted (Engine.answer eng ~q_a:(q_x 1)));
+  (* drop one witness of (1,3): the answer must survive via the other *)
+  let effective, _ = Engine.delete eng "S" [| 2; 3 |] in
+  Alcotest.(check bool) "witness delete effective" true effective;
+  Alcotest.(check (list (list int)))
+    "answer survives on the second witness"
+    [ [ 1; 3 ]; [ 1; 5 ] ]
+    (sorted (Engine.answer eng ~q_a:(q_x 1)));
+  (* drop the last witness: now (1,3) must disappear, (1,5) stay *)
+  let effective, _ = Engine.delete eng "S" [| 4; 3 |] in
+  Alcotest.(check bool) "last-witness delete effective" true effective;
+  Alcotest.(check (list (list int)))
+    "answer gone with its last witness"
+    [ [ 1; 5 ] ]
+    (sorted (Engine.answer eng ~q_a:(q_x 1)));
+  (* and it comes back on re-insert *)
+  let effective, _ = Engine.insert eng "S" [| 2; 3 |] in
+  Alcotest.(check bool) "re-insert effective" true effective;
+  Alcotest.(check (list (list int)))
+    "answer restored"
+    [ [ 1; 3 ]; [ 1; 5 ] ]
+    (sorted (Engine.answer eng ~q_a:(q_x 1)));
+  Alcotest.(check int) "three effective deltas" 3 (Engine.epoch eng)
+
+let test_snapshot_after_deltas () =
+  let _, _, eng =
+    build_path
+      ~r_rows:[ [| 1; 2 |]; [| 6; 7 |] ]
+      ~s_rows:[ [| 2; 3 |]; [| 7; 8 |] ]
+  in
+  ignore (Engine.insert eng "R" [| 1; 7 |]);
+  ignore (Engine.delete eng "S" [| 7; 8 |]);
+  ignore (Engine.insert eng "S" [| 2; 9 |]);
+  Alcotest.(check int) "epoch after deltas" 3 (Engine.epoch eng);
+  let path = Filename.temp_file "stt_incr" ".snap" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  (match Engine.save eng path with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "save failed");
+  let loaded =
+    match Engine.load path with
+    | Ok l -> l
+    | Error _ -> Alcotest.fail "load failed"
+  in
+  Alcotest.(check int) "epoch round-trips" 3 (Engine.epoch loaded);
+  Alcotest.(check int) "space round-trips" (Engine.space eng)
+    (Engine.space loaded);
+  Alcotest.(check bool)
+    "loaded engine is a static replica" false
+    (Engine.supports_maintenance loaded);
+  (* observationally identical: same answers and same op counts *)
+  let reqs = List.map q_x [ 1; 6; 7 ] in
+  let a = Engine.answer_batch eng reqs in
+  let b = Engine.answer_batch loaded reqs in
+  List.iteri
+    (fun j ((ra, ca), (rb, cb)) ->
+      Alcotest.(check (list (list int)))
+        (Printf.sprintf "request %d: same answer" j)
+        (sorted ra) (sorted rb);
+      if ca <> cb then
+        Alcotest.failf
+          "request %d: op counts differ (probes %d/%d tuples %d/%d scans \
+           %d/%d)"
+          j ca.Cost.probes cb.Cost.probes ca.Cost.tuples cb.Cost.tuples
+          ca.Cost.scans cb.Cost.scans)
+    (List.combine a b);
+  (* a replica must reject further deltas rather than drift silently *)
+  match Engine.insert loaded "R" [| 5; 5 |] with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "replica accepted a delta"
+
+let () =
+  Alcotest.run "incremental"
+    [
+      ( "edge-cases",
+        [
+          Alcotest.test_case "redundant insert/delete are no-ops" `Quick
+            test_redundant_insert;
+          Alcotest.test_case "last-witness delete" `Quick
+            test_last_witness_delete;
+          Alcotest.test_case "snapshot after deltas round-trips" `Quick
+            test_snapshot_after_deltas;
+        ] );
+      ( "churn",
+        [
+          Alcotest.test_case
+            (Printf.sprintf
+               "%d random instances, interleaved deltas vs rebuild"
+               n_instances)
+            `Slow test_churn_differential;
+        ] );
+    ]

@@ -28,6 +28,13 @@ let gen_tuples =
       (array_size (return arity) (int_bound 1_000_000))
     >|= fun tuples -> (arity, tuples))
 
+let gen_update =
+  QCheck.Gen.(
+    sized_size (int_bound 4) @@ fun arity ->
+    string_size ~gen:(char_range 'a' 'z') (int_range 1 12) >>= fun urel ->
+    array_size (return arity) (int_bound 1_000_000) >>= fun utuple ->
+    bool >|= fun uadd -> { Frame.urel; utuple; uadd })
+
 let gen_request =
   QCheck.Gen.(
     oneof
@@ -36,6 +43,9 @@ let gen_request =
           int_bound 1_000_000 >>= fun id ->
           int_bound 10_000_000 >|= fun deadline_us ->
           Frame.Answer { id; deadline_us; arity; tuples } );
+        ( int_bound 1_000_000 >>= fun id ->
+          list_size (int_bound 10) gen_update >|= fun deltas ->
+          Frame.Update { id; deltas } );
         (int_bound 1_000_000 >|= fun id -> Frame.Stats { id });
         (int_bound 1_000_000 >|= fun id -> Frame.Health { id });
       ])
@@ -65,6 +75,11 @@ let gen_response =
               (string_size (int_bound 40) >|= fun m -> Frame.Bad_request m);
             ]
           >|= fun reject -> Frame.Rejected { id; reject } );
+        ( int_bound 1_000_000 >>= fun id ->
+          pair (int_bound 1_000_000) (int_bound 10_000)
+          >>= fun (epoch, applied) ->
+          gen_cost >|= fun cost -> Frame.Updated { id; epoch; applied; cost }
+        );
         ( int_bound 1_000_000 >>= fun id ->
           string_size (int_bound 200) >|= fun json ->
           Frame.Stats_reply { id; json } );
@@ -125,6 +140,24 @@ let sample_blobs =
              tuples = [ [| 1; 2 |]; [| 3; 4 |]; [| 3; 5 |] ];
            });
       Frame.encode_request (Frame.Stats { id = 1 });
+      Frame.encode_request
+        (Frame.Update
+           {
+             id = 12;
+             deltas =
+               [
+                 { Frame.urel = "R"; utuple = [| 3; 4 |]; uadd = true };
+                 { Frame.urel = "R"; utuple = [| 5; 6 |]; uadd = false };
+               ];
+           });
+      Frame.encode_response
+        (Frame.Updated
+           {
+             id = 12;
+             epoch = 9;
+             applied = 2;
+             cost = { Cost.probes = 4; tuples = 1; scans = 0 };
+           });
       Frame.encode_response
         (Frame.Answers
            {
@@ -191,6 +224,13 @@ let hello_checks () =
   (match Frame.check_hello skewed with
   | Error (Frame.Version_skew { found = 0x63; _ }) -> ()
   | _ -> Alcotest.fail "version skew not detected");
+  (* a v2 peer (pre-update protocol) must be refused by a v3 server *)
+  Alcotest.(check int) "updates bumped the protocol to v3" 3
+    Frame.protocol_version;
+  let v2 = String.sub Frame.hello 0 8 ^ "\x02\x00\x00\x00" in
+  (match Frame.check_hello v2 with
+  | Error (Frame.Version_skew { found = 2; expected = 3 }) -> ()
+  | _ -> Alcotest.fail "v2 hello not rejected by v3");
   match Frame.check_hello "short" with
   | Error (Frame.Truncated _) -> ()
   | _ -> Alcotest.fail "short hello not detected"
@@ -212,9 +252,10 @@ let fixture_tuples n seed =
   List.init n (fun _ ->
       Array.init arity (fun _ -> Stt_workload.Rng.int rng 300))
 
-let with_server ?(workers = 2) ?(queue = 64) handler f =
+let with_server ?(workers = 2) ?(queue = 64) ?update_handler handler f =
   let server =
-    Server.start ~port:0 ~workers ~queue_capacity:queue handler
+    Server.start ~port:0 ~workers ~queue_capacity:queue ?update_handler
+      handler
   in
   Fun.protect
     ~finally:(fun () ->
@@ -371,6 +412,136 @@ let drain_answers_in_flight () =
       Alcotest.(check int) "received" 1 stats.Server.received
 
 (* ------------------------------------------------------------------ *)
+(* protocol v3: updates over the wire                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* a private twin pair — the served engine takes its deltas over the
+   wire, the direct engine applies them in-process, and every answer
+   and every Updated reply must agree (the shared [fixture] engine must
+   stay immutable for the other tests) *)
+let churn_fixture () =
+  Engine.build_auto ~max_pmtds:128 (Cq.Library.k_path 2)
+    ~db:(Stt_workload.Scenario.synthetic_db ~seed:12 ~vertices:100 ~edges:800)
+    ~budget:300
+
+let updates_interleave_with_answers () =
+  let served = churn_fixture () and direct = churn_fixture () in
+  let arity = Schema.arity (Engine.access_schema served) in
+  let direct_handler = Server.engine_handler direct in
+  with_server
+    ~update_handler:(Server.engine_update_handler served)
+    (Server.engine_handler served)
+  @@ fun server ->
+  with_client server @@ fun client ->
+  let check_answer id t =
+    let expected = direct_handler ~arity [ t ] in
+    match
+      rpc_exn client
+        (Frame.Answer { id; deadline_us = 0; arity; tuples = [ t ] })
+    with
+    | Frame.Answers { id = id'; answers } ->
+        Alcotest.(check int) "id echoed" id id';
+        List.iter2
+          (fun (rows, row_arity, cost) (a : Frame.answer) ->
+            Alcotest.(check (list (array int))) "same rows" rows a.Frame.rows;
+            Alcotest.(check int) "same arity" row_arity a.Frame.row_arity;
+            Alcotest.(check bool) "same op counts" true (cost = a.Frame.cost))
+          expected answers
+    | _ -> Alcotest.fail "expected Answers"
+  in
+  let check_update id deltas =
+    let expected_applied, expected_cost =
+      Engine.apply_deltas direct
+        (List.map
+           (fun { Frame.urel; utuple; uadd } -> (urel, utuple, uadd))
+           deltas)
+    in
+    match rpc_exn client (Frame.Update { id; deltas }) with
+    | Frame.Updated { id = id'; epoch; applied; cost } ->
+        Alcotest.(check int) "id echoed" id id';
+        Alcotest.(check int) "twin epochs agree" (Engine.epoch direct) epoch;
+        Alcotest.(check int) "twin applied counts agree" expected_applied
+          applied;
+        Alcotest.(check bool) "twin maintenance costs agree" true
+          (expected_cost = cost)
+    | _ -> Alcotest.fail "expected Updated"
+  in
+  (* a churn stream interleaving single-delta updates with answers *)
+  let ops =
+    Stt_workload.Scenario.churn_ops ~seed:12 ~vertices:100 ~edges:800 ~ops:60
+      ~arity
+  in
+  List.iteri
+    (fun i op ->
+      match op with
+      | Stt_workload.Scenario.Insert (u, v) ->
+          check_update i [ { Frame.urel = "R"; utuple = [| u; v |]; uadd = true } ]
+      | Stt_workload.Scenario.Delete (u, v) ->
+          check_update i
+            [ { Frame.urel = "R"; utuple = [| u; v |]; uadd = false } ]
+      | Stt_workload.Scenario.Query t -> check_answer i t)
+    ops;
+  (* a batched update frame applies atomically, in order *)
+  check_update 1000
+    [
+      { Frame.urel = "R"; utuple = [| 7; 8 |]; uadd = true };
+      { Frame.urel = "R"; utuple = [| 8; 9 |]; uadd = true };
+      { Frame.urel = "R"; utuple = [| 7; 8 |]; uadd = false };
+    ];
+  check_answer 1001 (Array.make arity 8);
+  (* malformed deltas reject without disturbing the engine *)
+  (match
+     rpc_exn client
+       (Frame.Update
+          {
+            id = 1002;
+            deltas = [ { Frame.urel = "nope"; utuple = [| 1; 2 |]; uadd = true } ];
+          })
+   with
+  | Frame.Rejected { id = 1002; reject = Frame.Bad_request _ } -> ()
+  | _ -> Alcotest.fail "unknown relation must reject");
+  (match
+     rpc_exn client
+       (Frame.Update
+          {
+            id = 1003;
+            deltas = [ { Frame.urel = "R"; utuple = [| 1 |]; uadd = true } ];
+          })
+   with
+  | Frame.Rejected { id = 1003; reject = Frame.Bad_request _ } -> ()
+  | _ -> Alcotest.fail "wrong arity must reject");
+  check_answer 1004 (Array.make arity 3);
+  let st = Server.stats server in
+  let n_updates =
+    List.length
+      (List.filter
+         (function
+           | Stt_workload.Scenario.Insert _ | Stt_workload.Scenario.Delete _ ->
+               true
+           | Stt_workload.Scenario.Query _ -> false)
+         ops)
+  in
+  Alcotest.(check int) "updated batches counted" (n_updates + 1)
+    st.Server.updated;
+  Alcotest.(check int) "malformed updates counted as bad" 2
+    st.Server.bad_requests
+
+let updates_without_handler_reject () =
+  let idx = Lazy.force fixture in
+  with_server (Server.engine_handler idx) @@ fun server ->
+  with_client server @@ fun client ->
+  match
+    rpc_exn client
+      (Frame.Update
+         {
+           id = 5;
+           deltas = [ { Frame.urel = "R"; utuple = [| 1; 2 |]; uadd = true } ];
+         })
+  with
+  | Frame.Rejected { id = 5; reject = Frame.Bad_request _ } -> ()
+  | _ -> Alcotest.fail "update on a static server must reject"
+
+(* ------------------------------------------------------------------ *)
 (* load generator                                                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -432,6 +603,10 @@ let () =
             overload_sheds;
           Alcotest.test_case "graceful drain answers in-flight requests"
             `Quick drain_answers_in_flight;
+          Alcotest.test_case "updates interleave with answers" `Quick
+            updates_interleave_with_answers;
+          Alcotest.test_case "static server rejects updates" `Quick
+            updates_without_handler_reject;
         ] );
       ( "loadgen",
         [

@@ -141,6 +141,68 @@ let test_scenario_requests () =
   Alcotest.check Alcotest.bool "zipf skew" true
     (count (fun v -> v < 5) > count (fun v -> v >= 45))
 
+let test_scenario_churn () =
+  let seed = 17 and vertices = 60 and edges = 400 and ops = 1000 in
+  let stream () = Scenario.churn_ops ~seed ~vertices ~edges ~ops ~arity:1 in
+  let s = stream () in
+  Alcotest.check Alcotest.int "count" ops (List.length s);
+  Alcotest.check Alcotest.bool "deterministic" true (s = stream ());
+  (* mix roughly 30/15/55 (delete can fall back to query when nothing is
+     live, so only loose bands) *)
+  let ins, del, qry =
+    List.fold_left
+      (fun (i, d, q) -> function
+        | Scenario.Insert _ -> (i + 1, d, q)
+        | Scenario.Delete _ -> (i, d + 1, q)
+        | Scenario.Query _ -> (i, d, q + 1))
+      (0, 0, 0) s
+  in
+  Alcotest.check Alcotest.bool "insert share" true (ins > ops / 5 && ins < ops / 2);
+  Alcotest.check Alcotest.bool "delete share" true (del > ops / 12 && del < ops / 4);
+  Alcotest.check Alcotest.bool "query share" true (qry > (2 * ops) / 5);
+  (* every endpoint/key in range, queries carry the requested arity *)
+  List.iter
+    (function
+      | Scenario.Insert (u, v) | Scenario.Delete (u, v) ->
+          Alcotest.check Alcotest.bool "endpoint range" true
+            (u >= 0 && u < vertices && v >= 0 && v < vertices)
+      | Scenario.Query t ->
+          Alcotest.check Alcotest.int "query arity" 1 (Array.length t);
+          Alcotest.check Alcotest.bool "key range" true
+            (t.(0) >= 0 && t.(0) < vertices))
+    s;
+  (* deltas stay consistent with the live edge set they claim to track:
+     replaying against the scenario db, deletes always hit a live edge *)
+  let live = Hashtbl.create 512 in
+  List.iter
+    (fun e -> Hashtbl.replace live e ())
+    (Graphs.zipf_both ~seed ~vertices ~edges ~s:1.1);
+  let misses =
+    List.fold_left
+      (fun acc -> function
+        | Scenario.Insert (u, v) ->
+            Hashtbl.replace live (u, v) ();
+            acc
+        | Scenario.Delete (u, v) ->
+            let hit = Hashtbl.mem live (u, v) in
+            Hashtbl.remove live (u, v);
+            if hit then acc else acc + 1
+        | Scenario.Query _ -> acc)
+      0 s
+  in
+  Alcotest.check Alcotest.int "deletes hit live edges" 0 misses;
+  (* zipf endpoints: hot vertices dominate the churn *)
+  let touches p =
+    List.fold_left
+      (fun acc -> function
+        | Scenario.Insert (u, v) | Scenario.Delete (u, v) ->
+            acc + (if p u then 1 else 0) + if p v then 1 else 0
+        | Scenario.Query _ -> acc)
+      0 s
+  in
+  Alcotest.check Alcotest.bool "churn skew" true
+    (touches (fun v -> v < 5) > touches (fun v -> v >= vertices - 15))
+
 let () =
   Alcotest.run "workload"
     [
@@ -168,5 +230,6 @@ let () =
           Alcotest.test_case "synthetic db" `Quick test_scenario_db;
           Alcotest.test_case "single-edge guard" `Quick test_scenario_guard;
           Alcotest.test_case "zipf requests" `Quick test_scenario_requests;
+          Alcotest.test_case "churn stream" `Quick test_scenario_churn;
         ] );
     ]

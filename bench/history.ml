@@ -1,0 +1,419 @@
+(* Perf-trajectory collector: aggregates BENCH_*.json artifacts across
+   commits into a committed trajectory file plus a rendered markdown
+   page, and gates CI on regressions relative to the recorded history
+   (same machine only — wall-clock numbers are not comparable across
+   hosts) instead of fixed baselines.
+
+   Collect a run:   dune exec bench/history.exe -- collect [--dir D]
+   Re-render page:  dune exec bench/history.exe -- render
+   Gate a run:      dune exec bench/history.exe -- check [--dir D]
+                                                         [--tolerance 0.2]
+
+   The trajectory file (bench/history/trajectory.json, schema
+   "stt-trajectory/1") holds one entry per (commit, machine,
+   experiment); collecting the same triple again replaces the old
+   entry, so re-runs refresh rather than duplicate.  `check` compares
+   the gated throughput metrics of the current artifacts against the
+   median of the machine's recorded history and fails on a drop beyond
+   the tolerance; a machine with no history yet warns and passes
+   (bootstrap). *)
+
+module Json = Stt_obs.Json
+
+let trajectory_file = "bench/history/trajectory.json"
+let page_file = "bench/history/TRAJECTORY.md"
+
+(* ------------------------------------------------------------------ *)
+(* metric extraction                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Which numbers of each artifact belong in the trajectory.  Paths are
+   dot-separated routes under the artifact root; [gated] metrics are
+   throughputs (higher is better) checked by `check`. *)
+type metric = { name : string; path : string; gated : bool }
+
+let m ?(gated = false) name path = { name; path; gated }
+
+let metrics_of_experiment = function
+  | "emp-net" ->
+      [
+        m ~gated:true "answers_per_sec" "data.answers_per_sec";
+        m "p50_us" "data.p50_us";
+        m "p99_us" "data.p99_us";
+        m "connections" "data.connections";
+        m "backend_speedup" "data.backend_speedup";
+      ]
+  | "emp-serve" ->
+      [
+        m ~gated:true "answers_per_sec" "data.batched.answers_per_sec";
+        m "single_answers_per_sec" "data.single.answers_per_sec";
+        m "build_wall_s" "data.build_wall_1_s";
+        m "snapshot_load_wall_s" "data.snapshot_load_wall_s";
+      ]
+  | "emp-cache" ->
+      [
+        m "answers_per_sec" "data.zipf_large.answers_per_sec";
+        m "skew_speedup" "data.skew_speedup";
+        m "skew_ops_ratio" "data.skew_ops_ratio";
+      ]
+  | "emp-churn" ->
+      [
+        m "delta_rebuild_ratio" "data.delta_rebuild_ratio";
+        m "delta_wall_p50_s" "data.delta_wall_p50_s";
+      ]
+  | _ -> [ m "wall_s" "wall_s" ]
+
+(* strings worth carrying along for the page (never gated) *)
+let tags_of_experiment = function
+  | "emp-net" -> [ ("io_backend", "data.io_backend") ]
+  | _ -> []
+
+let lookup_path doc path =
+  List.fold_left
+    (fun acc key -> Option.bind acc (Json.member key))
+    (Some doc)
+    (String.split_on_char '.' path)
+
+let number = function
+  | Some (Json.Float f) -> Some f
+  | Some (Json.Int i) -> Some (float_of_int i)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* environment                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let machine_id () =
+  match Sys.getenv_opt "STT_BENCH_MACHINE" with
+  | Some m when m <> "" -> m
+  | _ -> (
+      match (Sys.getenv_opt "GITHUB_ACTIONS", Sys.getenv_opt "RUNNER_OS") with
+      | Some "true", Some os -> "github-" ^ os
+      | _ -> Unix.gethostname ())
+
+let commit_id () =
+  match Sys.getenv_opt "GITHUB_SHA" with
+  | Some sha when String.length sha >= 7 -> String.sub sha 0 7
+  | _ -> (
+      let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+      let line = try input_line ic with End_of_file -> "" in
+      match (Unix.close_process_in ic, line) with
+      | Unix.WEXITED 0, l when l <> "" -> l
+      | _ -> "local")
+
+let timestamp () =
+  let tm = Unix.gmtime (Unix.gettimeofday ()) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec
+
+(* ------------------------------------------------------------------ *)
+(* trajectory file                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type entry = {
+  commit : string;
+  machine : string;
+  time : string;
+  experiment : string;
+  metrics : (string * float) list;
+  tags : (string * string) list;
+}
+
+let entry_of_json j =
+  let str k = match Json.member k j with Some (Json.String s) -> s | _ -> "" in
+  let pairs k f =
+    match Json.member k j with
+    | Some (Json.Obj kvs) -> List.filter_map (fun (n, v) -> f n v) kvs
+    | _ -> []
+  in
+  {
+    commit = str "commit";
+    machine = str "machine";
+    time = str "time";
+    experiment = str "experiment";
+    metrics =
+      pairs "metrics" (fun n v ->
+          Option.map (fun f -> (n, f)) (number (Some v)));
+    tags =
+      pairs "tags" (fun n v ->
+          match v with Json.String s -> Some (n, s) | _ -> None);
+  }
+
+let json_of_entry e =
+  Json.Obj
+    [
+      ("commit", Json.String e.commit);
+      ("machine", Json.String e.machine);
+      ("time", Json.String e.time);
+      ("experiment", Json.String e.experiment);
+      ("metrics", Json.Obj (List.map (fun (n, v) -> (n, Json.Float v)) e.metrics));
+      ("tags", Json.Obj (List.map (fun (n, v) -> (n, Json.String v)) e.tags));
+    ]
+
+let read_file path = In_channel.with_open_text path In_channel.input_all
+
+let load_trajectory () =
+  if not (Sys.file_exists trajectory_file) then []
+  else
+    match Json.of_string (read_file trajectory_file) with
+    | Error e -> failwith (trajectory_file ^ ": " ^ e)
+    | Ok doc -> (
+        match Json.member "entries" doc with
+        | Some (Json.List l) -> List.map entry_of_json l
+        | _ -> failwith (trajectory_file ^ ": no entries list"))
+
+let rec mkdir_p dir =
+  if dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let save_trajectory entries =
+  mkdir_p (Filename.dirname trajectory_file);
+  Json.to_file trajectory_file
+    (Json.Obj
+       [
+         ("schema", Json.String "stt-trajectory/1");
+         ("entries", Json.List (List.map json_of_entry entries));
+       ])
+
+(* ------------------------------------------------------------------ *)
+(* artifact scanning                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let scan_artifacts dir =
+  Sys.readdir dir |> Array.to_list |> List.sort compare
+  |> List.filter_map (fun f ->
+         if
+           String.length f > 11
+           && String.sub f 0 6 = "BENCH_"
+           && Filename.check_suffix f ".json"
+         then
+           let path = Filename.concat dir f in
+           match Json.of_string (read_file path) with
+           | Error e ->
+               Printf.eprintf "warning: %s: %s (skipped)\n" path e;
+               None
+           | Ok doc -> (
+               match Json.member "experiment" doc with
+               | Some (Json.String id) -> Some (id, doc)
+               | _ ->
+                   Printf.eprintf "warning: %s: no experiment id (skipped)\n"
+                     path;
+                   None)
+         else None)
+
+let harvest (id, doc) ~commit ~machine ~time =
+  let metrics =
+    List.filter_map
+      (fun mt ->
+        Option.map (fun v -> (mt.name, v)) (number (lookup_path doc mt.path)))
+      (metrics_of_experiment id)
+  in
+  let tags =
+    List.filter_map
+      (fun (name, path) ->
+        match lookup_path doc path with
+        | Some (Json.String s) -> Some (name, s)
+        | _ -> None)
+      (tags_of_experiment id)
+  in
+  { commit; machine; time; experiment = id; metrics; tags }
+
+(* ------------------------------------------------------------------ *)
+(* markdown page                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let render_page entries =
+  let buf = Buffer.create 4096 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out "# Performance trajectory\n\n";
+  out
+    "Regenerated by `dune exec bench/history.exe -- render` from\n\
+     [`trajectory.json`](trajectory.json); one row per collected run,\n\
+     newest last.  Wall-clock numbers are only comparable within a\n\
+     machine; the CI gate (`history check`) therefore compares each\n\
+     run against the median of its own machine's history.\n";
+  let experiments =
+    List.sort_uniq compare (List.map (fun e -> e.experiment) entries)
+  in
+  List.iter
+    (fun exp ->
+      out "\n## %s\n" exp;
+      let of_exp = List.filter (fun e -> e.experiment = exp) entries in
+      let machines =
+        List.sort_uniq compare (List.map (fun e -> e.machine) of_exp)
+      in
+      List.iter
+        (fun mach ->
+          let rows = List.filter (fun e -> e.machine = mach) of_exp in
+          let cols =
+            List.sort_uniq compare
+              (List.concat_map
+                 (fun e ->
+                   List.map fst e.metrics @ List.map fst e.tags)
+                 rows)
+          in
+          out "\n### machine `%s`\n\n" mach;
+          out "| commit | time |%s\n"
+            (String.concat ""
+               (List.map (fun c -> Printf.sprintf " %s |" c) cols));
+          out "|---|---|%s\n"
+            (String.concat "" (List.map (fun _ -> "---|") cols));
+          List.iter
+            (fun e ->
+              out "| `%s` | %s |" e.commit e.time;
+              List.iter
+                (fun c ->
+                  match List.assoc_opt c e.metrics with
+                  | Some v ->
+                      if Float.is_integer v && Float.abs v < 1e15 then
+                        out " %.0f |" v
+                      else out " %.4g |" v
+                  | None -> (
+                      match List.assoc_opt c e.tags with
+                      | Some s -> out " %s |" s
+                      | None -> out " — |"))
+                cols;
+              out "\n")
+            rows)
+        machines)
+    experiments;
+  Out_channel.with_open_text page_file (fun oc ->
+      Out_channel.output_string oc (Buffer.contents buf))
+
+(* ------------------------------------------------------------------ *)
+(* commands                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let collect ~dir =
+  let commit = commit_id () and machine = machine_id () in
+  let time = timestamp () in
+  let fresh =
+    List.map (harvest ~commit ~machine ~time) (scan_artifacts dir)
+  in
+  if fresh = [] then begin
+    Printf.eprintf "history collect: no BENCH_*.json artifacts in %s\n" dir;
+    exit 1
+  end;
+  let old = load_trajectory () in
+  let replaced (e : entry) =
+    List.exists
+      (fun f ->
+        f.commit = e.commit && f.machine = e.machine
+        && f.experiment = e.experiment)
+      fresh
+  in
+  let entries = List.filter (fun e -> not (replaced e)) old @ fresh in
+  save_trajectory entries;
+  render_page entries;
+  List.iter
+    (fun e ->
+      Printf.printf "collected %-12s %s @ %s (%d metrics)\n" e.experiment
+        e.commit e.machine (List.length e.metrics))
+    fresh;
+  Printf.printf "trajectory: %s (%d entries)\npage: %s\n" trajectory_file
+    (List.length entries) page_file
+
+let render () =
+  let entries = load_trajectory () in
+  render_page entries;
+  Printf.printf "page: %s (%d entries)\n" page_file (List.length entries)
+
+let median values =
+  let sorted = List.sort compare values in
+  let n = List.length sorted in
+  if n = 0 then nan
+  else
+    let a = Array.of_list sorted in
+    if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.0
+
+let check ~dir ~tolerance =
+  let machine = machine_id () in
+  let history = load_trajectory () in
+  let current =
+    List.map
+      (harvest ~commit:"current" ~machine ~time:(timestamp ()))
+      (scan_artifacts dir)
+  in
+  if current = [] then begin
+    Printf.eprintf "history check: no BENCH_*.json artifacts in %s\n" dir;
+    exit 1
+  end;
+  let failures = ref 0 and gates = ref 0 in
+  List.iter
+    (fun e ->
+      List.iter
+        (fun mt ->
+          if mt.gated then
+            match List.assoc_opt mt.name e.metrics with
+            | None -> ()
+            | Some value ->
+                let past =
+                  List.filter_map
+                    (fun h ->
+                      if
+                        h.experiment = e.experiment && h.machine = machine
+                      then List.assoc_opt mt.name h.metrics
+                      else None)
+                    history
+                in
+                if past = [] then
+                  Printf.printf
+                    "%-12s %-18s %12.0f  (no %s history — bootstrap, \
+                     skipped)\n"
+                    e.experiment mt.name value machine
+                else begin
+                  incr gates;
+                  let ref_v = median past in
+                  let floor_v = ref_v *. (1.0 -. tolerance) in
+                  let ok = value >= floor_v in
+                  Printf.printf
+                    "%-12s %-18s %12.0f  vs median %12.0f (floor %12.0f, \
+                     %d runs)  %s\n"
+                    e.experiment mt.name value ref_v floor_v
+                    (List.length past)
+                    (if ok then "ok" else "REGRESSION");
+                  if not ok then incr failures
+                end)
+        (metrics_of_experiment e.experiment))
+    current;
+  if !failures > 0 then begin
+    Printf.eprintf
+      "history check: %d gated metric(s) regressed more than %.0f%% vs \
+       trajectory history\n"
+      !failures (tolerance *. 100.0);
+    exit 1
+  end;
+  Printf.printf "history check: %d gate(s) passed (tolerance %.0f%%)\n" !gates
+    (tolerance *. 100.0)
+
+let () =
+  let usage () =
+    prerr_endline
+      "usage: history.exe (collect|render|check) [--dir DIR] [--tolerance T]";
+    exit 2
+  in
+  let dir = ref "." and tolerance = ref 0.2 and cmd = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--dir" :: d :: rest ->
+        dir := d;
+        parse rest
+    | "--tolerance" :: t :: rest ->
+        (match float_of_string_opt t with
+        | Some f when f >= 0.0 && f < 1.0 -> tolerance := f
+        | _ -> usage ());
+        parse rest
+    | c :: rest when !cmd = None && String.length c > 0 && c.[0] <> '-' ->
+        cmd := Some c;
+        parse rest
+    | _ -> usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  match !cmd with
+  | Some "collect" -> collect ~dir:!dir
+  | Some "render" -> render ()
+  | Some "check" -> check ~dir:!dir ~tolerance:!tolerance
+  | _ -> usage ()

@@ -645,12 +645,36 @@ let queue_arg =
     & info [ "queue" ] ~docv:"N"
         ~doc:"Job-queue capacity; a full queue sheds requests as OVERLOADED.")
 
+let io_backend_arg =
+  let parse s =
+    match s with
+    | "auto" -> Ok None
+    | _ -> (
+        match Stt_net.Evloop.backend_of_string s with
+        | Some b -> Ok (Some b)
+        | None ->
+            Error (`Msg (Printf.sprintf "unknown IO backend %S" s)))
+  in
+  let print ppf = function
+    | None -> Format.pp_print_string ppf "auto"
+    | Some b ->
+        Format.pp_print_string ppf (Stt_net.Evloop.backend_name b)
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) None
+    & info [ "io-backend" ] ~docv:"BACKEND"
+        ~doc:
+          "IO readiness backend: $(b,epoll) (Linux, edge-triggered), \
+           $(b,select) (portable), or $(b,auto) (fastest available).")
+
 let serve_net_cmd =
   let doc =
     "Serve access requests over TCP: worker domains behind a bounded job \
      queue, per-request deadlines, graceful SIGTERM/SIGINT drain."
   in
-  let run q budget nedges seed cache_budget jobs snapshot port queue json_dir =
+  let run q budget nedges seed cache_budget jobs snapshot port queue io_backend
+      json_dir =
     with_artifact "serve-net" json_dir @@ fun () ->
     set_jobs jobs;
     let open Stt_net in
@@ -700,10 +724,11 @@ let serve_net_cmd =
           (if Engine.supports_maintenance idx then
              Some (Server.engine_update_handler idx)
            else None)
+        ?io_backend
         (Server.engine_handler idx)
     in
-    Format.printf "serving on 127.0.0.1:%d (%d workers, queue %d)@."
-      (Server.port server) workers queue;
+    Format.printf "serving on 127.0.0.1:%d (%d workers, queue %d, io %s)@."
+      (Server.port server) workers queue (Server.io_backend server);
     Format.printf "SIGTERM or Ctrl-C drains in-flight requests and exits@.";
     Format.print_flush ();
     let drain = Sys.Signal_handle (fun _ -> Server.stop server) in
@@ -730,6 +755,7 @@ let serve_net_cmd =
       ("port", Json.Int (Server.port server));
       ("workers", Json.Int workers);
       ("queue", Json.Int queue);
+      ("io_backend", Json.String (Server.io_backend server));
       ("connections", Json.Int st.Server.connections);
       ("received", Json.Int st.Server.received);
       ("answered", Json.Int st.Server.answered);
@@ -745,7 +771,7 @@ let serve_net_cmd =
     Term.(
       const run $ serve_query_arg $ budget_arg $ edges_arg $ seed_arg
       $ cache_budget_arg $ jobs_arg $ from_snapshot_arg $ port_arg $ queue_arg
-      $ json_arg)
+      $ io_backend_arg $ json_arg)
 
 let host_arg =
   Arg.(
@@ -756,13 +782,32 @@ let connections_arg =
   Arg.(
     value & opt pos_int 8
     & info [ "connections" ] ~docv:"N"
-        ~doc:"Concurrent client connections (one domain each).")
+        ~doc:"Concurrent client connections, multiplexed over the drivers.")
+
+let drivers_arg =
+  Arg.(
+    value & opt pos_int 8
+    & info [ "drivers" ] ~docv:"N"
+        ~doc:
+          "Load-generating domains; each drives its share of the \
+           connections in lockstep rounds (clamped to the connection \
+           count).")
 
 let net_requests_arg =
   Arg.(
     value & opt pos_int 10000
     & info [ "requests" ] ~docv:"N"
         ~doc:"Total access tuples across all connections.")
+
+let active_arg =
+  Arg.(
+    value & opt nonneg_int 0
+    & info [ "active" ] ~docv:"N"
+        ~doc:
+          "Connections that drive requests ($(b,0) = all).  The rest \
+           connect and park idle for the whole run — the idle-keepalive \
+           fleet that separates an O(watched)-per-wakeup readiness \
+           backend from an edge-triggered one.")
 
 let net_batch_arg =
   Arg.(
@@ -790,15 +835,55 @@ let bench_artifact_arg =
     & info [ "artifact" ] ~docv:"FILE"
         ~doc:"Benchmark artifact output path (schema $(b,stt-bench/1)).")
 
+let speedup_vs_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "speedup-vs" ] ~docv:"FILE"
+        ~doc:
+          "Prior bench-net artifact to compare against (e.g. the same \
+           workload served through the $(b,select) backend): its \
+           answers/sec and the speedup ratio are recorded in this run's \
+           artifact as $(b,baseline_answers_per_sec) and \
+           $(b,backend_speedup).")
+
 let bench_net_cmd =
   let doc =
     "Closed-loop Zipf load generator against $(b,stt serve-net): reports \
      answers/sec and p50/p95/p99 latency, with zero-loss accounting."
   in
-  let run q budget nedges seed host port connections requests batch skew
-      cache_budget deadline_ms verify artifact =
+  let run q budget nedges seed host port connections drivers active requests
+      batch skew cache_budget deadline_ms verify artifact speedup_vs =
     require_single_edge_relation "bench-net" q;
     let open Stt_net in
+    (* resolve the comparison artifact up front, so a bad path fails
+       before the minutes-long load runs *)
+    let baseline =
+      match speedup_vs with
+      | None -> None
+      | Some file -> (
+          let fail msg =
+            Format.eprintf "stt bench-net: --speedup-vs %s: %s@." file msg;
+            exit 1
+          in
+          match
+            In_channel.with_open_text file In_channel.input_all
+            |> Json.of_string
+          with
+          | exception Sys_error e -> fail e
+          | Error e -> fail e
+          | Ok doc -> (
+              let data = Json.member "data" doc in
+              match Option.bind data (Json.member "answers_per_sec") with
+              | Some (Json.Float f) when f > 0.0 ->
+                  let backend =
+                    match Option.bind data (Json.member "io_backend") with
+                    | Some (Json.String s) -> s
+                    | _ -> "unknown"
+                  in
+                  Some (file, backend, f)
+              | _ -> fail "no positive .data.answers_per_sec"))
+    in
     let vertices = Scenario.vertices_for_edges nedges in
     let arity = Varset.cardinal q.Cq.access in
     let verify_fn =
@@ -831,10 +916,17 @@ let bench_net_cmd =
         skew;
         seed = seed + 1;
         deadline_ms;
+        drivers;
+        active;
       }
     in
-    Format.printf "%d connections x closed loop, %d requests in %d-batches@."
-      connections requests batch;
+    let driven = if active = 0 then connections else active in
+    Format.printf
+      "%d connections (%d driven, %d parked) x closed loop (%d drivers), %d \
+       requests in %d-batches@."
+      connections driven
+      (connections - driven)
+      (min drivers driven) requests batch;
     let t0 = Unix.gettimeofday () in
     match Loadgen.run ?verify:verify_fn cfg with
     | Error msg ->
@@ -845,15 +937,23 @@ let bench_net_cmd =
         (* one extra connection after the run: the server's Health frame
            carries its cache occupancy and hit counts, so the artifact
            records the hit rate this load actually achieved *)
-        let server_cache =
+        let server_health =
           match Client.connect ~host ~port () with
           | Error _ -> None
           | Ok c ->
               let resp = Client.rpc c (Frame.Health { id = 0 }) in
               Client.close c;
               (match resp with
-              | Ok (Frame.Health_reply { health; _ }) -> Some health.Frame.cache
+              | Ok (Frame.Health_reply { health; _ }) -> Some health
               | Ok _ | Error _ -> None)
+        in
+        let server_cache =
+          Option.map (fun h -> h.Frame.cache) server_health
+        in
+        let server_io_backend =
+          match server_health with
+          | Some h -> h.Frame.io_backend
+          | None -> "unknown"
         in
         (match server_cache with
         | Some ch when ch.Frame.cache_budget <> cache_budget ->
@@ -891,6 +991,21 @@ let bench_net_cmd =
           "%.0f answers/sec   rtt p50 %.0fus  p95 %.0fus  p99 %.0fus@."
           r.Loadgen.throughput r.Loadgen.p50_us r.Loadgen.p95_us
           r.Loadgen.p99_us;
+        let speedup_fields =
+          match baseline with
+          | None -> []
+          | Some (file, backend, base_tput) ->
+              let ratio = r.Loadgen.throughput /. base_tput in
+              Format.printf
+                "vs %s (%s, %.0f answers/sec): %.2fx@." file backend
+                base_tput ratio;
+              [
+                ("baseline_artifact", Json.String file);
+                ("baseline_io_backend", Json.String backend);
+                ("baseline_answers_per_sec", Json.Float base_tput);
+                ("backend_speedup", Json.Float ratio);
+              ]
+        in
         let clean =
           r.Loadgen.answered > 0 && r.Loadgen.lost = 0
           && r.Loadgen.duplicated = 0 && r.Loadgen.mismatched = 0
@@ -904,10 +1019,13 @@ let bench_net_cmd =
               ("wall_s", Json.Float wall);
               ( "data",
                 Json.Obj
-                  [
+                  ([
                     ("host", Json.String host);
                     ("port", Json.Int port);
                     ("connections", Json.Int connections);
+                    ("active", Json.Int driven);
+                    ("drivers", Json.Int (min drivers driven));
+                    ("io_backend", Json.String server_io_backend);
                     ("requests", Json.Int requests);
                     ("batch", Json.Int batch);
                     ("skew", Json.Float skew);
@@ -929,7 +1047,8 @@ let bench_net_cmd =
                     ("p99_us", Json.Float r.Loadgen.p99_us);
                     ("cache_budget", Json.Int cache_budget);
                     ("server_cache", json_server_cache);
-                  ] );
+                  ]
+                  @ speedup_fields) );
               ("trace", Obs.trace ());
             ]
         in
@@ -948,9 +1067,10 @@ let bench_net_cmd =
   Cmd.v (Cmd.info "bench-net" ~doc)
     Term.(
       const run $ query_arg $ budget_arg $ edges_arg $ seed_arg $ host_arg
-      $ port_arg $ connections_arg $ net_requests_arg $ net_batch_arg
-      $ skew_arg $ cache_budget_arg $ deadline_ms_arg $ verify_arg
-      $ bench_artifact_arg)
+      $ port_arg $ connections_arg $ drivers_arg $ active_arg
+      $ net_requests_arg
+      $ net_batch_arg $ skew_arg $ cache_budget_arg $ deadline_ms_arg
+      $ verify_arg $ bench_artifact_arg $ speedup_vs_arg)
 
 let main =
   let doc = "space-time tradeoffs for conjunctive queries with access patterns" in

@@ -49,15 +49,22 @@ let bounded_join limit a b =
     List.filter (fun v -> not (Schema.mem v a_schema)) (Schema.vars b_schema)
   in
   let extra_pos = Schema.positions b_schema extra_vars in
+  let n_extra = Array.length extra_pos in
   let key_pos = Schema.positions a_schema common in
+  let key_scratch = Array.make (Array.length key_pos) 0 in
+  let ra = Schema.arity a_schema in
   let out = Relation.create (Schema.union a_schema (Schema.of_list extra_vars)) in
   Relation.iter
     (fun ta ->
-      List.iter
-        (fun tb ->
-          Relation.add out (Tuple.concat ta (Tuple.project extra_pos tb));
-          if Relation.cardinal out > limit then raise Too_big)
-        (Index.probe idx (Tuple.project key_pos ta)))
+      Tuple.project_into key_pos ta key_scratch;
+      Index.probe_iter idx key_scratch (fun src base ->
+          let out_tup = Array.make (ra + n_extra) 0 in
+          Array.blit ta 0 out_tup 0 ra;
+          for k = 0 to n_extra - 1 do
+            out_tup.(ra + k) <- src.(base + extra_pos.(k))
+          done;
+          Relation.add out out_tup;
+          if Relation.cardinal out > limit then raise Too_big))
     a;
   out
 

@@ -1,0 +1,191 @@
+(* Pluggable IO readiness for the server's IO domain.
+
+   Two backends behind one interface: edge-triggered epoll(7) through
+   the C stubs in evloop_stubs.c (Linux), and the portable Unix.select
+   loop the server shipped with.  The server drives both with the same
+   strategy — read until EAGAIN, write until EAGAIN — which is required
+   for correctness under edge triggering and merely harmless extra
+   syscalls under level triggering, so backend choice is pure policy.
+
+   A loop is single-owner: only the IO domain may call [add],
+   [set_write], [remove] or [wait].  Workers that want write interest
+   signal the IO domain through the server's wake pipe instead. *)
+
+external epoll_available_raw : unit -> bool = "stt_epoll_available"
+external epoll_create_raw : unit -> int = "stt_epoll_create"
+external epoll_close_raw : int -> unit = "stt_epoll_close"
+
+external epoll_ctl_raw : int -> int -> Unix.file_descr -> int -> int
+  = "stt_epoll_ctl"
+
+(* fills the two preallocated arrays; returns the event count *)
+external epoll_wait_raw : int -> int -> Unix.file_descr array -> int array -> int
+  = "stt_epoll_wait"
+
+(* interest/readiness bits shared with the stub *)
+let bit_in = 1
+let bit_out = 2
+let bit_et = 4
+
+type backend = Epoll | Select
+
+let backend_name = function Epoll -> "epoll" | Select -> "select"
+
+let backend_of_string = function
+  | "epoll" -> Some Epoll
+  | "select" -> Some Select
+  | _ -> None
+
+let available = function Select -> true | Epoll -> epoll_available_raw ()
+
+(* STT_EVLOOP=select|epoll overrides; otherwise the fastest available *)
+let default_backend () =
+  match Option.map backend_of_string (Sys.getenv_opt "STT_EVLOOP") with
+  | Some (Some b) -> b
+  | _ -> if available Epoll then Epoll else Select
+
+let max_events = 512
+
+type impl =
+  | Epoll_impl of {
+      epfd : int;
+      fds : Unix.file_descr array; (* filled by each wait *)
+      bits : int array;
+    }
+  | Select_impl
+
+type t = {
+  impl : impl;
+  (* fd -> current write interest; membership = registered *)
+  watched : (Unix.file_descr, bool ref) Hashtbl.t;
+  mutable closed : bool;
+}
+
+let backend t = match t.impl with Epoll_impl _ -> Epoll | Select_impl -> Select
+let name t = backend_name (backend t)
+
+let check fn r =
+  if r < 0 then
+    failwith (Printf.sprintf "Evloop.%s: errno %d" fn (-r))
+
+let create ?backend () =
+  let b =
+    match backend with
+    | Some b ->
+        if not (available b) then
+          failwith
+            (Printf.sprintf "Evloop.create: backend %s unavailable"
+               (backend_name b));
+        b
+    | None -> default_backend ()
+  in
+  let impl =
+    match b with
+    | Select -> Select_impl
+    | Epoll ->
+        let epfd = epoll_create_raw () in
+        check "create" epfd;
+        Epoll_impl
+          {
+            epfd;
+            fds = Array.make max_events Unix.stdin;
+            bits = Array.make max_events 0;
+          }
+  in
+  { impl; watched = Hashtbl.create 64; closed = false }
+
+let add t fd =
+  if t.closed then invalid_arg "Evloop.add: closed";
+  if Hashtbl.mem t.watched fd then invalid_arg "Evloop.add: already watched";
+  (match t.impl with
+  | Epoll_impl e -> check "add" (epoll_ctl_raw e.epfd 0 fd (bit_in lor bit_et))
+  | Select_impl -> ());
+  Hashtbl.replace t.watched fd (ref false)
+
+let set_write t fd want =
+  match Hashtbl.find_opt t.watched fd with
+  | None -> () (* racing a removal: the connection is already gone *)
+  | Some r ->
+      if !r <> want then begin
+        (match t.impl with
+        | Epoll_impl e ->
+            (* MOD rearms edge triggering, so readiness present at this
+               instant is reported as a fresh edge on the next wait *)
+            let bits =
+              bit_in lor bit_et lor (if want then bit_out else 0)
+            in
+            check "set_write" (epoll_ctl_raw e.epfd 1 fd bits)
+        | Select_impl -> ());
+        r := want
+      end
+
+let remove t fd =
+  if Hashtbl.mem t.watched fd then begin
+    Hashtbl.remove t.watched fd;
+    match t.impl with
+    | Epoll_impl e ->
+        (* tolerate DEL racing the close of fd: either way it is gone *)
+        ignore (epoll_ctl_raw e.epfd 2 fd 0)
+    | Select_impl -> ()
+  end
+
+let watched_count t = Hashtbl.length t.watched
+
+let wait t ~timeout_ms f =
+  if t.closed then invalid_arg "Evloop.wait: closed";
+  match t.impl with
+  | Epoll_impl e ->
+      let n = epoll_wait_raw e.epfd timeout_ms e.fds e.bits in
+      check "wait" n;
+      for i = 0 to n - 1 do
+        let fd = Array.unsafe_get e.fds i in
+        (* a callback earlier in this batch may have removed the fd *)
+        if Hashtbl.mem t.watched fd then begin
+          let b = Array.unsafe_get e.bits i in
+          f fd ~readable:(b land bit_in <> 0) ~writable:(b land bit_out <> 0)
+        end
+      done;
+      n
+  | Select_impl -> (
+      let rd = Hashtbl.fold (fun fd _ acc -> fd :: acc) t.watched [] in
+      let wr =
+        Hashtbl.fold
+          (fun fd w acc -> if !w then fd :: acc else acc)
+          t.watched []
+      in
+      let timeout =
+        if timeout_ms < 0 then -1.0 else float_of_int timeout_ms /. 1000.0
+      in
+      match Unix.select rd wr [] timeout with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> 0
+      | rd', wr', _ ->
+          (* one callback per ready fd, with merged readiness *)
+          let wrset = Hashtbl.create (List.length wr' + 1) in
+          List.iter (fun fd -> Hashtbl.replace wrset fd ()) wr';
+          let n = ref 0 in
+          List.iter
+            (fun fd ->
+              if Hashtbl.mem t.watched fd then begin
+                incr n;
+                let writable = Hashtbl.mem wrset fd in
+                if writable then Hashtbl.remove wrset fd;
+                f fd ~readable:true ~writable
+              end)
+            rd';
+          Hashtbl.iter
+            (fun fd () ->
+              if Hashtbl.mem t.watched fd then begin
+                incr n;
+                f fd ~readable:false ~writable:true
+              end)
+            wrset;
+          !n)
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    Hashtbl.reset t.watched;
+    match t.impl with
+    | Epoll_impl e -> epoll_close_raw e.epfd
+    | Select_impl -> ()
+  end

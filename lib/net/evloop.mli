@@ -1,0 +1,66 @@
+(** Pluggable IO readiness for the server's IO domain.
+
+    The select(2) loop the server shipped with rebuilds its fd lists and
+    rescans the whole watched set on every wakeup — O(n) work per event
+    that burns the same core the workers need.  This module puts an
+    edge-triggered epoll(7) backend (via C stubs, Linux only) and that
+    select loop behind one interface, chosen at startup; the server
+    drives both with the identical strategy of reading until [EAGAIN]
+    and writing until [EAGAIN], which edge triggering requires and level
+    triggering tolerates.
+
+    A loop is {b single-owner}: only the IO domain may call {!add},
+    {!set_write}, {!remove} or {!wait}.  Worker domains wanting write
+    interest signal the IO domain (the server uses its wake pipe). *)
+
+type backend = Epoll | Select
+
+val available : backend -> bool
+(** Whether the backend can run on this machine.  [Select] always can;
+    [Epoll] only on Linux. *)
+
+val default_backend : unit -> backend
+(** [Epoll] when available, else [Select]; the [STT_EVLOOP] environment
+    variable ([epoll] / [select]) overrides. *)
+
+val backend_name : backend -> string
+val backend_of_string : string -> backend option
+
+type t
+
+val create : ?backend:backend -> unit -> t
+(** A fresh loop; [backend] defaults to {!default_backend}.  Raises
+    [Failure] when the requested backend is unavailable. *)
+
+val backend : t -> backend
+val name : t -> string
+
+val add : t -> Unix.file_descr -> unit
+(** Watch the fd for readability (edge-triggered under epoll: the fd
+    {b must} be nonblocking and drained to [EAGAIN] on each readable
+    event).  Raises [Invalid_argument] if already watched. *)
+
+val set_write : t -> Unix.file_descr -> bool -> unit
+(** Add or drop write interest.  Idempotent; a no-op for fds not
+    currently watched (a worker's request can race the close). *)
+
+val remove : t -> Unix.file_descr -> unit
+(** Stop watching; call before closing the fd.  A no-op when not
+    watched. *)
+
+val watched_count : t -> int
+
+val wait :
+  t ->
+  timeout_ms:int ->
+  (Unix.file_descr -> readable:bool -> writable:bool -> unit) ->
+  int
+(** Block for readiness ([timeout_ms < 0] waits forever) and invoke the
+    callback once per ready fd.  Hangup/error readiness surfaces as
+    [readable], so the read path observes the EOF.  Returns the number
+    of events delivered — 0 on timeout or [EINTR].  Callbacks may
+    {!remove} fds (including ones with undelivered events in the same
+    batch: their callbacks are skipped). *)
+
+val close : t -> unit
+(** Release the backend's resources.  The loop must not be used after. *)

@@ -6,9 +6,11 @@ let magic = "\x89STTWIRE"
 
 (* v2: Health_reply grew the answer-cache block (budget/used/entries/
    hits/misses).  v3: Update/Updated frames for incremental base-data
-   deltas.  Hellos must match exactly, so older peers are refused with
-   Version_skew instead of misparsing unknown frames. *)
-let protocol_version = 3
+   deltas.  v4: Health_reply reports the server's IO backend (epoll vs
+   select), so benchmarks can assert which loop they measured.  Hellos
+   must match exactly, so older peers are refused with Version_skew
+   instead of misparsing unknown frames. *)
+let protocol_version = 4
 let hello_len = String.length magic + 4
 let max_frame_len = 1 lsl 26
 
@@ -78,6 +80,7 @@ type health = {
   workers : int;
   queue_capacity : int;
   cache : cache_health;
+  io_backend : string;
 }
 
 type response =
@@ -98,6 +101,138 @@ let tag_health_reply = 0x84
 let tag_updated = 0x85
 
 (* ------------------------------------------------------------------ *)
+(* body layout, abstracted over the byte sink                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Frames are encoded through two sinks: the Codec encoder (blocking
+   client path, allocates per frame) and a reusable Netbuf (server's
+   zero-copy path).  One functor writes the body for both, so the
+   layouts cannot drift — the round-trip tests cross-decode them. *)
+
+module type SINK = sig
+  type t
+
+  val u8 : t -> int -> unit
+  val uint : t -> int -> unit
+  val bool : t -> bool -> unit
+  val string : t -> string -> unit
+  val list : t -> ('a -> unit) -> 'a list -> unit
+  val rows : t -> arity:int -> int array list -> unit
+end
+
+module Codec_sink = struct
+  type t = Codec.encoder
+
+  let u8 = Codec.write_u8
+  let uint = Codec.write_uint
+  let bool = Codec.write_bool
+  let string = Codec.write_string
+  let list = Codec.write_list
+  let int = Codec.write_int
+
+  (* arity-0 rows carry no bytes, which trips the codec's
+     count-vs-payload guard; a bare count is enough (boolean answers) *)
+  let rows e ~arity rs =
+    if arity = 0 then uint e (List.length rs) else Codec.write_rows e ~arity rs
+end
+
+module Netbuf_sink = struct
+  type t = Netbuf.t
+
+  let u8 = Netbuf.add_u8
+  let uint = Netbuf.add_uint
+  let bool = Netbuf.add_bool
+  let string = Netbuf.add_string
+  let list = Netbuf.add_list
+  let int = Netbuf.add_int
+
+  let rows b ~arity rs =
+    if arity = 0 then uint b (List.length rs) else Netbuf.add_rows b ~arity rs
+end
+
+module Body (S : sig
+  include SINK
+
+  val int : t -> int -> unit
+end) =
+struct
+  let cost e (c : Cost.snapshot) =
+    S.uint e c.Cost.probes;
+    S.uint e c.Cost.tuples;
+    S.uint e c.Cost.scans
+
+  let request e = function
+    | Answer { id; deadline_us; arity; tuples } ->
+        S.u8 e tag_answer;
+        S.uint e id;
+        S.uint e deadline_us;
+        S.uint e arity;
+        S.rows e ~arity tuples
+    | Update { id; deltas } ->
+        S.u8 e tag_update;
+        S.uint e id;
+        S.list e
+          (fun { urel; utuple; uadd } ->
+            S.string e urel;
+            S.uint e (Array.length utuple);
+            Array.iter (S.int e) utuple;
+            S.bool e uadd)
+          deltas
+    | Stats { id } ->
+        S.u8 e tag_stats;
+        S.uint e id
+    | Health { id } ->
+        S.u8 e tag_health;
+        S.uint e id
+
+  let response e = function
+    | Answers { id; answers } ->
+        S.u8 e tag_answers;
+        S.uint e id;
+        S.list e
+          (fun { rows; row_arity; cost = c } ->
+            S.uint e row_arity;
+            S.rows e ~arity:row_arity rows;
+            cost e c)
+          answers
+    | Updated { id; epoch; applied; cost = c } ->
+        S.u8 e tag_updated;
+        S.uint e id;
+        S.uint e epoch;
+        S.uint e applied;
+        cost e c
+    | Rejected { id; reject } -> (
+        S.u8 e tag_rejected;
+        S.uint e id;
+        match reject with
+        | Overloaded -> S.u8 e 1
+        | Deadline_exceeded -> S.u8 e 2
+        | Bad_request msg ->
+            S.u8 e 3;
+            S.string e msg)
+    | Stats_reply { id; json } ->
+        S.u8 e tag_stats_reply;
+        S.uint e id;
+        S.string e json
+    | Health_reply { id; health } ->
+        S.u8 e tag_health_reply;
+        S.uint e id;
+        S.bool e health.ready;
+        S.uint e health.space;
+        S.uint e health.workers;
+        S.uint e health.queue_capacity;
+        S.uint e health.cache.cache_budget;
+        S.uint e health.cache.cache_used;
+        S.uint e health.cache.cache_entries;
+        S.uint e health.cache.cache_hits;
+        S.uint e health.cache.cache_misses;
+        S.string e health.io_backend
+end
+
+module Codec_body = Body (Codec_sink)
+module Netbuf_body = Body (Netbuf_sink)
+
+(* ------------------------------------------------------------------ *)
 (* encoding                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -113,12 +248,6 @@ let encode_body f =
   f e;
   seal (Codec.contents e)
 
-(* arity-0 rows carry no bytes, which trips the codec's count-vs-payload
-   guard; a bare count is enough for them (boolean answers) *)
-let write_rows_any e ~arity rows =
-  if arity = 0 then Codec.write_uint e (List.length rows)
-  else Codec.write_rows e ~arity rows
-
 let read_rows_any d ~arity =
   if arity = 0 then begin
     let n = Codec.read_uint d in
@@ -127,96 +256,50 @@ let read_rows_any d ~arity =
   end
   else Codec.read_rows d ~arity
 
-let encode_request req =
-  encode_body @@ fun e ->
-  match req with
-  | Answer { id; deadline_us; arity; tuples } ->
-      Codec.write_u8 e tag_answer;
-      Codec.write_uint e id;
-      Codec.write_uint e deadline_us;
-      Codec.write_uint e arity;
-      write_rows_any e ~arity tuples
-  | Update { id; deltas } ->
-      Codec.write_u8 e tag_update;
-      Codec.write_uint e id;
-      Codec.write_list e
-        (fun { urel; utuple; uadd } ->
-          Codec.write_string e urel;
-          Codec.write_uint e (Array.length utuple);
-          Array.iter (Codec.write_int e) utuple;
-          Codec.write_bool e uadd)
-        deltas
-  | Stats { id } ->
-      Codec.write_u8 e tag_stats;
-      Codec.write_uint e id
-  | Health { id } ->
-      Codec.write_u8 e tag_health;
-      Codec.write_uint e id
+let encode_request req = encode_body @@ fun e -> Codec_body.request e req
+let encode_response resp = encode_body @@ fun e -> Codec_body.response e resp
 
-let write_cost e (c : Cost.snapshot) =
-  Codec.write_uint e c.Cost.probes;
-  Codec.write_uint e c.Cost.tuples;
-  Codec.write_uint e c.Cost.scans
+(* Append a complete wire image — length prefix, body, CRC — to [b]
+   without intermediate copies: the prefix is reserved up front and
+   patched once the body length is known, and the CRC runs over the
+   buffer in place.  The caller owns [b] (typically a per-worker scratch
+   buffer) and writes the socket straight from [Netbuf.data]. *)
+let frame_into b f =
+  let start = Netbuf.length b in
+  Netbuf.add_u32 b 0;
+  f ();
+  let body_pos = start + 4 in
+  let body_len = Netbuf.length b - body_pos in
+  let crc = Netbuf.crc32 b ~pos:body_pos ~len:body_len in
+  Netbuf.add_u32 b crc;
+  Netbuf.set_u32 b ~pos:start (body_len + 4)
 
-let encode_response resp =
-  encode_body @@ fun e ->
-  match resp with
-  | Answers { id; answers } ->
-      Codec.write_u8 e tag_answers;
-      Codec.write_uint e id;
-      Codec.write_list e
-        (fun { rows; row_arity; cost } ->
-          Codec.write_uint e row_arity;
-          write_rows_any e ~arity:row_arity rows;
-          write_cost e cost)
-        answers
-  | Updated { id; epoch; applied; cost } ->
-      Codec.write_u8 e tag_updated;
-      Codec.write_uint e id;
-      Codec.write_uint e epoch;
-      Codec.write_uint e applied;
-      write_cost e cost
-  | Rejected { id; reject } ->
-      Codec.write_u8 e tag_rejected;
-      Codec.write_uint e id;
-      (match reject with
-      | Overloaded -> Codec.write_u8 e 1
-      | Deadline_exceeded -> Codec.write_u8 e 2
-      | Bad_request msg ->
-          Codec.write_u8 e 3;
-          Codec.write_string e msg)
-  | Stats_reply { id; json } ->
-      Codec.write_u8 e tag_stats_reply;
-      Codec.write_uint e id;
-      Codec.write_string e json
-  | Health_reply { id; health } ->
-      Codec.write_u8 e tag_health_reply;
-      Codec.write_uint e id;
-      Codec.write_bool e health.ready;
-      Codec.write_uint e health.space;
-      Codec.write_uint e health.workers;
-      Codec.write_uint e health.queue_capacity;
-      Codec.write_uint e health.cache.cache_budget;
-      Codec.write_uint e health.cache.cache_used;
-      Codec.write_uint e health.cache.cache_entries;
-      Codec.write_uint e health.cache.cache_hits;
-      Codec.write_uint e health.cache.cache_misses
+let encode_request_into b req =
+  frame_into b (fun () -> Netbuf_body.request b req)
+
+let encode_response_into b resp =
+  frame_into b (fun () -> Netbuf_body.response b resp)
 
 (* ------------------------------------------------------------------ *)
 (* decoding                                                             *)
 (* ------------------------------------------------------------------ *)
 
-(* strip + verify the trailing CRC, then run the body decoder; the
-   Codec's exceptions and leftover bytes map to the typed errors *)
-let decode_body what blob f =
-  let len = String.length blob in
+(* u32 LE at [pos] — how the server reads a length prefix out of its
+   connection buffer without slicing it *)
+let peek_len src ~pos = Codec.read_u32 (Codec.decoder_sub src ~pos ~len:4)
+
+(* verify the trailing CRC over the range, then run the body decoder on
+   a bounded sub-decoder — no copy of the body is taken; the Codec's
+   exceptions and leftover bytes map to the typed errors *)
+let decode_body_sub what src ~pos ~len f =
   if len < 4 then Error (Truncated (what ^ " shorter than its checksum"))
   else
-    let body = String.sub blob 0 (len - 4) in
-    let crc = Codec.decoder (String.sub blob (len - 4) 4) in
-    if Codec.read_u32 crc <> Crc32.string body then Error Checksum_mismatch
+    let body_len = len - 4 in
+    let expect = Codec.read_u32 (Codec.decoder_sub src ~pos:(pos + body_len) ~len:4) in
+    let actual = Crc32.finish (Crc32.update Crc32.init src ~pos ~len:body_len) in
+    if expect <> actual then Error Checksum_mismatch
     else
-      let d = Codec.decoder body in
+      let d = Codec.decoder_sub src ~pos ~len:body_len in
       match
         let v = f d in
         Codec.expect_end d what;
@@ -226,14 +309,16 @@ let decode_body what blob f =
       | exception Codec.Short ctx -> Error (Truncated ctx)
       | exception Codec.Corrupt ctx -> Error (Malformed ctx)
 
+let decode_body what blob f =
+  decode_body_sub what blob ~pos:0 ~len:(String.length blob) f
+
 let read_arity what d =
   let arity = Codec.read_uint d in
   if arity > 64 then
     raise (Codec.Corrupt (Printf.sprintf "%s arity %d" what arity))
   else arity
 
-let decode_request blob =
-  decode_body "request" blob @@ fun d ->
+let request_of_decoder d =
   match Codec.read_u8 d with
   | t when t = tag_answer ->
       let id = Codec.read_uint d in
@@ -265,8 +350,7 @@ let read_cost d =
   let scans = Codec.read_uint d in
   { Cost.probes; tuples; scans }
 
-let decode_response blob =
-  decode_body "response" blob @@ fun d ->
+let response_of_decoder d =
   match Codec.read_u8 d with
   | t when t = tag_answers ->
       let id = Codec.read_uint d in
@@ -308,6 +392,7 @@ let decode_response blob =
       let cache_entries = Codec.read_uint d in
       let cache_hits = Codec.read_uint d in
       let cache_misses = Codec.read_uint d in
+      let io_backend = Codec.read_string d in
       Health_reply
         {
           id;
@@ -325,9 +410,19 @@ let decode_response blob =
                   cache_hits;
                   cache_misses;
                 };
+              io_backend;
             };
         }
   | t -> raise (Codec.Corrupt (Printf.sprintf "unknown response tag 0x%02x" t))
+
+let decode_request blob = decode_body "request" blob request_of_decoder
+let decode_response blob = decode_body "response" blob response_of_decoder
+
+let decode_request_sub src ~pos ~len =
+  decode_body_sub "request" src ~pos ~len request_of_decoder
+
+let decode_response_sub src ~pos ~len =
+  decode_body_sub "response" src ~pos ~len response_of_decoder
 
 (* ------------------------------------------------------------------ *)
 (* hello                                                                *)

@@ -102,6 +102,10 @@ type health = {
   workers : int;
   queue_capacity : int;
   cache : cache_health;  (** answer-cache occupancy and hit counts *)
+  io_backend : string;
+      (** the readiness backend the server's IO loop runs on ([epoll] or
+          [select], protocol v4) — benchmarks assert which loop they
+          measured *)
 }
 
 type response =
@@ -125,6 +129,28 @@ val encode_request : request -> string
 val decode_request : string -> (request, error) result
 val encode_response : response -> string
 val decode_response : string -> (response, error) result
+
+(** {1 Zero-copy encoding / decoding}
+
+    The server's hot path: encoders append a {e complete} wire image —
+    length prefix, body, CRC — to a caller-owned (typically reused)
+    {!Netbuf.t}, so a steady-state response allocates nothing; decoders
+    read a frame blob in place out of a larger buffer (the connection's
+    read buffer) without slicing it.  Layouts are byte-identical to the
+    string encoders above — both are generated from one body writer. *)
+
+val encode_request_into : Netbuf.t -> request -> unit
+val encode_response_into : Netbuf.t -> response -> unit
+
+val decode_request_sub :
+  string -> pos:int -> len:int -> (request, error) result
+(** Decode the [body ^ crc] blob at [[pos, pos+len)]. *)
+
+val decode_response_sub :
+  string -> pos:int -> len:int -> (response, error) result
+
+val peek_len : string -> pos:int -> int
+(** The u32 LE length prefix at [pos] ([pos + 4] bytes must exist). *)
 
 val hello : string
 (** The blob each peer writes immediately after connect. *)

@@ -1,9 +1,14 @@
 (** Closed-loop multi-connection load generator for {!Server}.
 
-    One domain per connection; each domain opens its own TCP connection,
-    then repeatedly sends a batch of Zipf-distributed access tuples and
-    waits for the reply before sending the next (closed loop, one
-    outstanding frame per connection).  Every round trip's latency is
+    A fixed pool of {e driver} domains multiplexes the connections
+    (OCaml 5 caps live domains at a few dozen — one domain per
+    connection cannot reach the server's connection limits).  Each
+    driver opens its slice of TCP connections, then runs them in
+    lockstep rounds: send a batch of Zipf-distributed access tuples on
+    every idle connection, then collect one reply per in-flight
+    connection.  Every connection stays closed-loop (one outstanding
+    frame), so server-side concurrency equals [connections] regardless
+    of [drivers].  Every round trip's latency is
     {!Obs.observe}d into the [net.rtt_us] histogram of the connection's
     context; the contexts are adopted in connection order into the
     {e caller's} current context, and the report's p50/p95/p99 are read
@@ -27,6 +32,18 @@ type config = {
   skew : float;  (** Zipf exponent *)
   seed : int;
   deadline_ms : int;  (** per-request serving budget; [0] = none *)
+  drivers : int;
+      (** load-generating domains; clamped to [connections].  Keep well
+          under OCaml's domain cap (~120 spare) — 4–16 drivers saturate
+          a loopback server at hundreds of connections. *)
+  active : int;
+      (** connections that actually drive requests; [0] means all.  The
+          remaining [connections - active] complete the hello and then
+          sit parked for the whole run — still established, still
+          registered with the server's readiness backend.  This models
+          the idle-keepalive fleet a real server carries, the regime
+          where select's per-wakeup O(watched) scan dominates and
+          edge-triggered epoll pulls away. *)
 }
 
 type report = {

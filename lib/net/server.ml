@@ -158,6 +158,10 @@ module Rbuf = struct
   let create () = { data = Bytes.create 4096; pos = 0; len = 0 }
   let length b = b.len
 
+  let reset b =
+    b.pos <- 0;
+    b.len <- 0
+
   let ensure b n =
     if b.pos > 0 then begin
       Bytes.blit b.data b.pos b.data 0 b.len;
@@ -173,14 +177,20 @@ module Rbuf = struct
       b.data <- d
     end
 
-  (* one read(2); the caller selects first, so this does not block *)
+  (* one read(2) into the free tail; the fd is nonblocking, so an empty
+     socket raises EAGAIN instead of stalling the IO domain *)
   let fill b fd =
-    ensure b 65536;
-    let n = Unix.read fd b.data b.len (Bytes.length b.data - b.len) in
+    ensure b 8192;
+    let n = Unix.read fd b.data (b.pos + b.len) (Bytes.length b.data - b.pos - b.len) in
     b.len <- b.len + n;
     n
 
   let peek b n = Bytes.sub_string b.data b.pos n
+
+  (* the buffered bytes live at [[pos, pos + length)] of [raw] — frames
+     are decoded in place from this view, no per-frame slice *)
+  let raw b = Bytes.unsafe_to_string b.data
+  let pos b = b.pos
 
   let consume b n =
     b.pos <- b.pos + n;
@@ -189,10 +199,13 @@ end
 
 type conn = {
   fd : Unix.file_descr;
-  rbuf : Rbuf.t;
+  rbuf : Rbuf.t; (* pooled; IO domain only *)
+  pending : Netbuf.t; (* pooled; queued response bytes, under wmutex *)
   wmutex : Mutex.t;
   mutable hello_done : bool;
-  mutable open_ : bool; (* guarded by wmutex: false once fd is closed *)
+  mutable open_ : bool; (* wmutex: writers may touch fd/pending *)
+  mutable closed : bool; (* wmutex: fd has been closed (IO domain/wait) *)
+  mutable wflag : bool; (* sig_m: already queued for write interest *)
 }
 
 (* Updates flow through the same bounded queue as answers, so a batch is
@@ -219,6 +232,8 @@ type t = {
   handler : handler;
   update_handler : update_handler option;
   rw : Rw.t;
+  evloop : Evloop.t;
+  io_backend_name : string;
   stop_flag : bool Atomic.t;
   wake_r : Unix.file_descr;
   wake_w : Unix.file_descr;
@@ -226,6 +241,18 @@ type t = {
   obs_ctx : Obs.context;
   conns_mutex : Mutex.t;
   conns : (Unix.file_descr, conn) Hashtbl.t;
+  (* worker -> IO domain signals: connections wanting write interest
+     (their [pending] has bytes) and connections condemned by a failed
+     write; the IO domain owns the event loop, so only it may register
+     interest or close fds *)
+  sig_m : Mutex.t;
+  mutable sig_want_write : conn list;
+  mutable sig_dead : conn list;
+  (* pooled per-connection buffers: connection churn reuses buffers
+     instead of allocating fresh ones per accept *)
+  rbuf_m : Mutex.t;
+  mutable rbuf_free : Rbuf.t list;
+  wbuf_pool : Netbuf.Pool.t;
   c_conns : int Atomic.t;
   c_received : int Atomic.t;
   c_answered : int Atomic.t;
@@ -238,6 +265,7 @@ type t = {
 }
 
 let port t = t.bound_port
+let io_backend t = t.io_backend_name
 
 let stats t =
   {
@@ -254,21 +282,112 @@ let trace_json t =
   Mutex.protect t.obs_mutex (fun () ->
       Obs.with_context t.obs_ctx (fun () -> Json.to_string (Obs.trace ())))
 
+let max_free_rbufs = 64
+
+let acquire_rbuf t =
+  Mutex.protect t.rbuf_m (fun () ->
+      match t.rbuf_free with
+      | b :: rest ->
+          t.rbuf_free <- rest;
+          b
+      | [] -> Rbuf.create ())
+
+let release_rbuf t b =
+  Rbuf.reset b;
+  Mutex.protect t.rbuf_m (fun () ->
+      if List.length t.rbuf_free < max_free_rbufs then
+        t.rbuf_free <- b :: t.rbuf_free)
+
+(* each domain encodes responses into its own reusable scratch buffer —
+   zero allocation per response once the buffer has grown to the
+   workload's frame size *)
+let scratch_key = Domain.DLS.new_key (fun () -> Netbuf.create 4096)
+
+let wake t =
+  (* a full pipe just means the IO domain is already due to wake *)
+  try ignore (Unix.write_substring t.wake_w "x" 0 1)
+  with Unix.Unix_error _ -> ()
+
+let request_write_interest t conn =
+  let fresh =
+    Mutex.protect t.sig_m (fun () ->
+        if conn.wflag then false
+        else begin
+          conn.wflag <- true;
+          t.sig_want_write <- conn :: t.sig_want_write;
+          true
+        end)
+  in
+  if fresh then wake t
+
+let push_dead t conn =
+  Mutex.protect t.sig_m (fun () -> t.sig_dead <- conn :: t.sig_dead);
+  wake t
+
+(* During drain the IO domain is gone, so nobody will flush [pending] on
+   a writable event; fall back to a bounded blocking flush (the old
+   behaviour of the blocking write path), called under [wmutex]. *)
+let rec drain_flush conn deadline =
+  match Netbuf.flush conn.fd conn.pending with
+  | Netbuf.Flushed | Netbuf.Gone -> ()
+  | Netbuf.Again ->
+      if Unix.gettimeofday () < deadline then begin
+        (try ignore (Unix.select [] [ conn.fd ] [] 0.05)
+         with Unix.Unix_error _ -> ());
+        drain_flush conn deadline
+      end
+
 (* Writes come from worker domains and the IO domain; the per-connection
    mutex serializes them and guards [open_] so nobody writes to (or
-   double-closes) a dead fd.  Write failures just drop the connection's
-   replies — the peer is gone. *)
-let send_response conn resp =
-  let blob = Frame.encode_response resp in
-  Mutex.protect conn.wmutex (fun () ->
-      if conn.open_ then ignore (Frame.write_frame conn.fd blob))
+   stashes onto) a dead connection.  The frame is encoded once into the
+   calling domain's scratch buffer and written straight from it; bytes
+   the socket refuses are stashed on [conn.pending] and the IO domain is
+   asked for write interest. *)
+let send_response t conn resp =
+  let scratch = Domain.DLS.get scratch_key in
+  Netbuf.clear scratch;
+  Frame.encode_response_into scratch resp;
+  let status =
+    Mutex.protect conn.wmutex (fun () ->
+        if not conn.open_ then `Done
+        else
+          match
+            Netbuf.write_or_stash conn.fd ~pending:conn.pending
+              (Netbuf.data scratch) ~pos:0 ~len:(Netbuf.length scratch)
+          with
+          | Netbuf.Flushed -> `Done
+          | Netbuf.Again ->
+              if Atomic.get t.stop_flag then begin
+                drain_flush conn (Unix.gettimeofday () +. 5.0);
+                `Done
+              end
+              else `Want_write
+          | Netbuf.Gone ->
+              conn.open_ <- false;
+              `Dead)
+  in
+  match status with
+  | `Done -> ()
+  | `Want_write -> request_write_interest t conn
+  | `Dead -> push_dead t conn
 
+(* full teardown: close the fd and recycle the connection's buffers.
+   Only the IO domain (or [wait], after it exited) may call this. *)
 let close_conn t conn =
-  Mutex.protect conn.wmutex (fun () ->
-      if conn.open_ then begin
+  let release =
+    Mutex.protect conn.wmutex (fun () ->
         conn.open_ <- false;
-        (try Unix.close conn.fd with Unix.Unix_error _ -> ())
-      end);
+        if conn.closed then false
+        else begin
+          conn.closed <- true;
+          (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+          true
+        end)
+  in
+  if release then begin
+    release_rbuf t conn.rbuf;
+    Netbuf.Pool.release t.wbuf_pool conn.pending
+  end;
   Mutex.protect t.conns_mutex (fun () -> Hashtbl.remove t.conns conn.fd)
 
 (* ------------------------------------------------------------------ *)
@@ -279,7 +398,7 @@ let serve_answer t ~jconn ~jid ~jarity ~jtuples ~jdeadline =
   let started = Unix.gettimeofday () in
   if started > jdeadline then begin
     Atomic.incr t.c_deadline;
-    send_response jconn
+    send_response t jconn
       (Frame.Rejected { id = jid; reject = Frame.Deadline_exceeded })
   end
   else begin
@@ -296,7 +415,10 @@ let serve_answer t ~jconn ~jid ~jarity ~jtuples ~jdeadline =
               ]
             (fun () ->
               try
-                Rw.read t.rw (fun () -> Ok (t.handler ~arity:jarity jtuples))
+                Rw.read t.rw (fun () ->
+                    Ok
+                      (Obs.with_alloc "net.answer.alloc_bytes" (fun () ->
+                           t.handler ~arity:jarity jtuples)))
               with
               | Failure msg -> Error msg
               | e -> Error (Printexc.to_string e)))
@@ -305,11 +427,11 @@ let serve_answer t ~jconn ~jid ~jarity ~jtuples ~jdeadline =
     (match result with
     | Error msg ->
         Atomic.incr t.c_bad;
-        send_response jconn
+        send_response t jconn
           (Frame.Rejected { id = jid; reject = Frame.Bad_request msg })
     | Ok _ when finished > jdeadline ->
         Atomic.incr t.c_deadline;
-        send_response jconn
+        send_response t jconn
           (Frame.Rejected { id = jid; reject = Frame.Deadline_exceeded })
     | Ok answers ->
         Atomic.incr t.c_answered;
@@ -318,7 +440,7 @@ let serve_answer t ~jconn ~jid ~jarity ~jtuples ~jdeadline =
             (fun (rows, row_arity, cost) -> { Frame.rows; row_arity; cost })
             answers
         in
-        send_response jconn (Frame.Answers { id = jid; answers }));
+        send_response t jconn (Frame.Answers { id = jid; answers }));
     Mutex.protect t.obs_mutex (fun () ->
         Obs.with_context t.obs_ctx (fun () ->
             Obs.adopt jctx;
@@ -349,11 +471,11 @@ let serve_update t ~jconn ~jid ~jdeltas =
   (match result with
   | Error msg ->
       Atomic.incr t.c_bad;
-      send_response jconn
+      send_response t jconn
         (Frame.Rejected { id = jid; reject = Frame.Bad_request msg })
   | Ok (epoch, applied, cost) ->
       Atomic.incr t.c_updated;
-      send_response jconn (Frame.Updated { id = jid; epoch; applied; cost }));
+      send_response t jconn (Frame.Updated { id = jid; epoch; applied; cost }));
   Mutex.protect t.obs_mutex (fun () ->
       Obs.with_context t.obs_ctx (fun () ->
           Obs.adopt jctx;
@@ -376,7 +498,7 @@ let worker_loop t () =
   go ()
 
 (* ------------------------------------------------------------------ *)
-(* IO domain: select loop                                               *)
+(* IO domain: readiness loop over Evloop                                *)
 (* ------------------------------------------------------------------ *)
 
 let handle_request t conn now = function
@@ -392,19 +514,19 @@ let handle_request t conn now = function
       in
       if not (Bq.try_push t.queue job) then begin
         Atomic.incr t.c_overload;
-        send_response conn (Frame.Rejected { id; reject = Frame.Overloaded })
+        send_response t conn (Frame.Rejected { id; reject = Frame.Overloaded })
       end
   | Frame.Update { id; deltas } ->
       Atomic.incr t.c_received;
       let job = JUpdate { jconn = conn; jid = id; jdeltas = deltas } in
       if not (Bq.try_push t.queue job) then begin
         Atomic.incr t.c_overload;
-        send_response conn (Frame.Rejected { id; reject = Frame.Overloaded })
+        send_response t conn (Frame.Rejected { id; reject = Frame.Overloaded })
       end
   | Frame.Stats { id } ->
-      send_response conn (Frame.Stats_reply { id; json = trace_json t })
+      send_response t conn (Frame.Stats_reply { id; json = trace_json t })
   | Frame.Health { id } ->
-      send_response conn
+      send_response t conn
         (Frame.Health_reply
            {
              id;
@@ -415,11 +537,14 @@ let handle_request t conn now = function
                  workers = t.workers;
                  queue_capacity = t.queue_capacity;
                  cache = t.cache_info ();
+                 io_backend = t.io_backend_name;
                };
            })
 
-(* cut every complete frame out of the connection's buffer; returns
-   [false] when the connection must be dropped (bad hello / bad frame) *)
+(* cut every complete frame out of the connection's buffer — decoded in
+   place from the buffer's backing bytes, no per-frame body copy;
+   returns [false] when the connection must be dropped (bad hello / bad
+   frame) *)
 let rec drain_buffer t conn =
   let buf = conn.rbuf in
   if not conn.hello_done then
@@ -437,12 +562,10 @@ let rec drain_buffer t conn =
     end
   else if Rbuf.length buf < 4 then true
   else
-    let len =
-      Stt_store.Codec.read_u32 (Stt_store.Codec.decoder (Rbuf.peek buf 4))
-    in
+    let len = Frame.peek_len (Rbuf.raw buf) ~pos:(Rbuf.pos buf) in
     if len < 4 || len > Frame.max_frame_len then begin
       Atomic.incr t.c_bad;
-      send_response conn
+      send_response t conn
         (Frame.Rejected
            {
              id = 0;
@@ -453,10 +576,11 @@ let rec drain_buffer t conn =
     end
     else if Rbuf.length buf < 4 + len then true
     else begin
-      Rbuf.consume buf 4;
-      let blob = Rbuf.peek buf len in
-      Rbuf.consume buf len;
-      match Frame.decode_request blob with
+      let decoded =
+        Frame.decode_request_sub (Rbuf.raw buf) ~pos:(Rbuf.pos buf + 4) ~len
+      in
+      Rbuf.consume buf (4 + len);
+      match decoded with
       | Ok req ->
           handle_request t conn (Unix.gettimeofday ()) req;
           drain_buffer t conn
@@ -464,71 +588,169 @@ let rec drain_buffer t conn =
           (* the stream may be out of sync past a bad frame: answer with
              a typed rejection, then drop the connection *)
           Atomic.incr t.c_bad;
-          send_response conn
+          send_response t conn
             (Frame.Rejected
                { id = 0; reject = Frame.Bad_request (Frame.error_to_string e) });
           false
     end
 
-let accept_loop t () =
-  let live = Hashtbl.create 32 in
+let hello_bytes = Bytes.of_string Frame.hello
+
+let io_loop t () =
+  let loop = t.evloop in
+  let live = Hashtbl.create 64 in
+  (* hoisted out of the loop: the wake pipe drain scratch used to be a
+     fresh 64-byte allocation per wakeup *)
+  let wake_scratch = Bytes.create 64 in
+  let drop conn =
+    Hashtbl.remove live conn.fd;
+    Evloop.remove loop conn.fd;
+    close_conn t conn
+  in
   let add_conn fd =
+    Unix.set_nonblock fd;
     Unix.setsockopt fd Unix.TCP_NODELAY true;
     let conn =
-      { fd; rbuf = Rbuf.create (); wmutex = Mutex.create ();
-        hello_done = false; open_ = true }
+      {
+        fd;
+        rbuf = acquire_rbuf t;
+        pending = Netbuf.Pool.acquire t.wbuf_pool;
+        wmutex = Mutex.create ();
+        hello_done = false;
+        open_ = true;
+        closed = false;
+        wflag = false;
+      }
     in
     Atomic.incr t.c_conns;
     Hashtbl.replace live fd conn;
     Mutex.protect t.conns_mutex (fun () -> Hashtbl.replace t.conns fd conn);
-    (* greet immediately; a peer that never reads its hello has bigger
-       problems than this blocking write *)
-    ignore (Frame.write_hello fd)
+    Evloop.add loop fd;
+    (* greet immediately; the 12 bytes land in the empty socket buffer
+       except under extreme memory pressure, where they stash *)
+    let greeting =
+      Mutex.protect conn.wmutex (fun () ->
+          Netbuf.write_or_stash fd ~pending:conn.pending hello_bytes ~pos:0
+            ~len:(Bytes.length hello_bytes))
+    in
+    match greeting with
+    | Netbuf.Flushed -> ()
+    | Netbuf.Again -> Evloop.set_write loop fd true
+    | Netbuf.Gone -> drop conn
   in
-  let drop conn =
-    Hashtbl.remove live conn.fd;
-    close_conn t conn
+  let rec accept_all () =
+    if not (Atomic.get t.stop_flag) then
+      match Unix.accept t.listen_fd with
+      | fd, _ ->
+          add_conn fd;
+          accept_all ()
+      | exception
+          Unix.Unix_error
+            ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          ()
+      | exception Unix.Unix_error (_, _, _) -> ()
   in
+  (* edge-triggered readiness: always read to EAGAIN (harmless extra
+     syscall under level-triggered select) *)
   let handle_readable conn =
-    match Rbuf.fill conn.rbuf conn.fd with
-    | 0 -> drop conn
-    | _ -> if not (drain_buffer t conn) then drop conn
-    | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
-      -> ()
-    | exception Unix.Unix_error (_, _, _) -> drop conn
+    let rec pump () =
+      match Rbuf.fill conn.rbuf conn.fd with
+      | 0 -> `Drop
+      | _ -> if drain_buffer t conn then pump () else `Drop
+      | exception
+          Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          `Keep
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> pump ()
+      | exception Unix.Unix_error (_, _, _) -> `Drop
+    in
+    match pump () with `Drop -> drop conn | `Keep -> ()
   in
-  let rec loop () =
+  let handle_writable conn =
+    let r =
+      Mutex.protect conn.wmutex (fun () ->
+          if conn.closed || not conn.open_ then `Ignore
+          else
+            match Netbuf.flush conn.fd conn.pending with
+            | Netbuf.Flushed ->
+                Evloop.set_write loop conn.fd false;
+                `Keep
+            | Netbuf.Again -> `Keep
+            | Netbuf.Gone ->
+                conn.open_ <- false;
+                `Drop)
+    in
+    match r with `Drop -> drop conn | `Keep | `Ignore -> ()
+  in
+  let drain_wake () =
+    let rec go () =
+      match Unix.read t.wake_r wake_scratch 0 (Bytes.length wake_scratch) with
+      | 0 -> ()
+      | _ -> go ()
+      | exception
+          Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      | exception Unix.Unix_error (_, _, _) -> ()
+    in
+    go ()
+  in
+  (* apply worker signals: grant write interest to connections with
+     stashed bytes, tear down condemned ones *)
+  let process_signals () =
+    let want, dead =
+      Mutex.protect t.sig_m (fun () ->
+          let want = t.sig_want_write and dead = t.sig_dead in
+          t.sig_want_write <- [];
+          t.sig_dead <- [];
+          List.iter (fun c -> c.wflag <- false) want;
+          (want, dead))
+    in
+    List.iter
+      (fun conn ->
+        match Hashtbl.find_opt live conn.fd with
+        | Some c when c == conn ->
+            Mutex.protect conn.wmutex (fun () ->
+                if
+                  conn.open_ && (not conn.closed)
+                  && Netbuf.length conn.pending > 0
+                then Evloop.set_write loop conn.fd true)
+        | _ -> ())
+      want;
+    List.iter
+      (fun conn ->
+        match Hashtbl.find_opt live conn.fd with
+        | Some c when c == conn -> drop conn
+        | _ -> ())
+      dead
+  in
+  Evloop.add loop t.listen_fd;
+  Evloop.add loop t.wake_r;
+  let rec run () =
     if not (Atomic.get t.stop_flag) then begin
-      let conn_fds = Hashtbl.fold (fun fd _ acc -> fd :: acc) live [] in
-      let watched = t.listen_fd :: t.wake_r :: conn_fds in
-      match Unix.select watched [] [] (-1.0) with
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
-      | ready, _, _ ->
-          if List.mem t.wake_r ready then begin
-            let scratch = Bytes.create 64 in
-            ignore (try Unix.read t.wake_r scratch 0 64 with _ -> 0)
-          end;
-          if List.mem t.listen_fd ready then begin
-            match Unix.accept t.listen_fd with
-            | fd, _ -> add_conn fd
-            | exception
-                Unix.Unix_error
-                  ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
-                ()
-          end;
-          List.iter
-            (fun fd ->
-              match Hashtbl.find_opt live fd with
-              | Some conn -> handle_readable conn
-              | None -> ())
-            ready;
-          loop ()
+      ignore
+        (Evloop.wait loop ~timeout_ms:(-1) (fun fd ~readable ~writable ->
+             if fd = t.wake_r then begin
+               if readable then drain_wake ()
+             end
+             else if fd = t.listen_fd then begin
+               if readable then accept_all ()
+             end
+             else
+               match Hashtbl.find_opt live fd with
+               | None -> ()
+               | Some conn ->
+                   if writable then handle_writable conn;
+                   if readable && Hashtbl.mem live fd then
+                     handle_readable conn));
+      process_signals ();
+      run ()
     end
   in
-  loop ();
+  run ();
   (* drain: no new connections, no new reads; queued jobs still get
      answered by the workers, so connection fds stay open until [wait] *)
   (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  Evloop.close loop;
   Bq.close t.queue
 
 (* ------------------------------------------------------------------ *)
@@ -536,7 +758,8 @@ let accept_loop t () =
 (* ------------------------------------------------------------------ *)
 
 let start ?(host = "127.0.0.1") ~port ~workers ~queue_capacity ?(space = 0)
-    ?(cache_info = fun () -> Frame.no_cache) ?update_handler handler =
+    ?(cache_info = fun () -> Frame.no_cache) ?update_handler ?io_backend
+    handler =
   if workers < 1 then invalid_arg "Server.start: workers must be >= 1";
   if queue_capacity < 1 then
     invalid_arg "Server.start: queue_capacity must be >= 1";
@@ -547,7 +770,8 @@ let start ?(host = "127.0.0.1") ~port ~workers ~queue_capacity ?(space = 0)
   (try
      Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
      Unix.bind listen_fd addr;
-     Unix.listen listen_fd 128
+     Unix.listen listen_fd 512;
+     Unix.set_nonblock listen_fd
    with e ->
      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
      raise e);
@@ -556,7 +780,14 @@ let start ?(host = "127.0.0.1") ~port ~workers ~queue_capacity ?(space = 0)
     | Unix.ADDR_INET (_, p) -> p
     | Unix.ADDR_UNIX _ -> port
   in
+  let evloop =
+    match io_backend with
+    | Some b -> Evloop.create ~backend:b ()
+    | None -> Evloop.create ()
+  in
   let wake_r, wake_w = Unix.pipe () in
+  Unix.set_nonblock wake_r;
+  Unix.set_nonblock wake_w;
   let t =
     {
       listen_fd;
@@ -569,6 +800,8 @@ let start ?(host = "127.0.0.1") ~port ~workers ~queue_capacity ?(space = 0)
       handler;
       update_handler;
       rw = Rw.create ();
+      evloop;
+      io_backend_name = Evloop.name evloop;
       stop_flag = Atomic.make false;
       wake_r;
       wake_w;
@@ -576,6 +809,12 @@ let start ?(host = "127.0.0.1") ~port ~workers ~queue_capacity ?(space = 0)
       obs_ctx = Obs.create_context ();
       conns_mutex = Mutex.create ();
       conns = Hashtbl.create 32;
+      sig_m = Mutex.create ();
+      sig_want_write = [];
+      sig_dead = [];
+      rbuf_m = Mutex.create ();
+      rbuf_free = [];
+      wbuf_pool = Netbuf.Pool.create ~capacity:4096 ();
       c_conns = Atomic.make 0;
       c_received = Atomic.make 0;
       c_answered = Atomic.make 0;
@@ -589,16 +828,13 @@ let start ?(host = "127.0.0.1") ~port ~workers ~queue_capacity ?(space = 0)
   in
   t.worker_domains <-
     List.init workers (fun _ -> Domain.spawn (worker_loop t));
-  t.io_domain <- Some (Domain.spawn (accept_loop t));
+  t.io_domain <- Some (Domain.spawn (io_loop t));
   t
 
 let stopping t = Atomic.get t.stop_flag
 
 let stop t =
-  if not (Atomic.exchange t.stop_flag true) then
-    (* wake the select loop; a full pipe just means it is already awake *)
-    try ignore (Unix.write_substring t.wake_w "x" 0 1)
-    with Unix.Unix_error _ -> ()
+  if not (Atomic.exchange t.stop_flag true) then wake t
 
 let wait t =
   (match t.io_domain with

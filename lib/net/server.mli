@@ -1,12 +1,23 @@
 (** Concurrent TCP server for online CQAP answering.
 
-    Threading model: one IO domain runs a [select] loop that accepts
-    connections, buffers bytes and cuts them into frames; decoded
-    [Answer] requests go into a {b bounded} job queue drained by a fixed
-    pool of worker domains, each answering through the shared handler
-    (the engine's online path only touches per-call state, so a single
-    built index serves all workers without locks).  [Stats] and [Health]
-    frames are answered inline by the IO domain.
+    Threading model: one IO domain runs a readiness loop over
+    {!Evloop} — edge-triggered epoll where available, select otherwise —
+    that accepts connections, buffers bytes and cuts them into frames
+    (decoded in place, no per-frame copy); decoded [Answer] requests go
+    into a {b bounded} job queue drained by a fixed pool of worker
+    domains, each answering through the shared handler (the engine's
+    online path only touches per-call state, so a single built index
+    serves all workers without locks).  [Stats] and [Health] frames are
+    answered inline by the IO domain.
+
+    Byte path: sockets are nonblocking end to end.  Each domain encodes
+    responses into its own reusable scratch buffer and writes the socket
+    straight from it; bytes a full socket refuses are stashed on the
+    connection's pending buffer and flushed by the IO domain when the
+    socket drains (write interest is granted and dropped per
+    connection), so a slow reader costs memory, never a stalled worker.
+    Per-connection read and pending buffers are pooled across
+    connection churn.
 
     Updates (protocol v3): decoded [Update] frames travel through the
     same bounded queue as answers, but run under the {e write} side of a
@@ -81,6 +92,7 @@ val start :
   ?space:int ->
   ?cache_info:(unit -> Frame.cache_health) ->
   ?update_handler:update_handler ->
+  ?io_backend:Evloop.backend ->
   handler ->
   t
 (** Bind [host:port] (default host [127.0.0.1]; port [0] picks an
@@ -90,11 +102,18 @@ val start :
     IO domain on each [Health] request, so it must be cheap and safe to
     call concurrently with the workers.  [update_handler] (default:
     none — updates rejected) applies delta batches under the write lock.
-    Raises [Invalid_argument] on non-positive [workers] or
-    [queue_capacity]; [Unix.Unix_error] if the bind fails. *)
+    [io_backend] picks the readiness backend explicitly (default
+    {!Evloop.default_backend}); raises [Failure] when it is unavailable
+    on this platform.  Raises [Invalid_argument] on non-positive
+    [workers] or [queue_capacity]; [Unix.Unix_error] if the bind
+    fails. *)
 
 val port : t -> int
 (** The actually bound port. *)
+
+val io_backend : t -> string
+(** Name of the readiness backend the IO loop runs on ([epoll] or
+    [select]) — also reported in every [Health] reply. *)
 
 val stop : t -> unit
 (** Begin graceful drain: stop accepting and reading, finish every

@@ -192,6 +192,21 @@ let observe name v =
     h.fine.(s) <- h.fine.(s) + 1
   end
 
+(* Allocation accounting for the hot-path purge: [Gc.allocated_bytes]
+   counts the calling domain's cumulative minor + major allocation, so a
+   delta around a thunk is that thunk's own allocation (single-domain,
+   no GC pauses needed).  When disabled this is exactly [f ()]. *)
+let allocated_bytes = Gc.allocated_bytes
+
+let with_alloc name f =
+  if not !enabled_flag then f ()
+  else begin
+    let a0 = Gc.allocated_bytes () in
+    Fun.protect
+      ~finally:(fun () -> observe name (Gc.allocated_bytes () -. a0))
+      f
+  end
+
 let hist_percentile h p =
   if h.count = 0 then 0.0
   else

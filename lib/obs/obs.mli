@@ -67,6 +67,19 @@ val percentile : string -> float -> float
     summaries (e.g. [stt bench-net]'s p50/p95/p99) come from — the
     percentiles are also serialized into {!trace}. *)
 
+(** {1 Allocation accounting} *)
+
+val allocated_bytes : unit -> float
+(** Cumulative bytes allocated by the calling domain (minor + major),
+    i.e. [Gc.allocated_bytes] — deltas around a call measure that call's
+    own allocation without any GC pause. *)
+
+val with_alloc : string -> (unit -> 'a) -> 'a
+(** [with_alloc name f] runs [f] and records the bytes it allocated on
+    this domain into the histogram [name] (also on exception).  Exactly
+    [f ()] when observability is disabled — the hot-path allocation
+    purge is gated by the same switch as every other probe. *)
+
 (** {1 Traces} *)
 
 val trace : unit -> Json.t

@@ -223,6 +223,18 @@ let probe t key =
     in
     flat @ extra_under t key
 
+let probe_iter t key f =
+  Cost.charge_probe ();
+  let no_dead = Tuple.Tbl.length t.dead = 0 in
+  (match Tuple.Tbl.find_opt t.table key with
+  | None -> ()
+  | Some (start, len) ->
+      for i = 0 to len - 1 do
+        if no_dead || not (Tuple.Tbl.mem t.dead (row t (start + i))) then
+          f t.data ((start + i) * t.arity)
+      done);
+  if t.overlay_rows > 0 then List.iter (fun r -> f r 0) (extra_under t key)
+
 let probe_mem t key =
   Cost.charge_probe ();
   if t.overlay_rows = 0 then Tuple.Tbl.mem t.table key

@@ -19,6 +19,14 @@ val source_schema : t -> Schema.t
 val probe : t -> Tuple.t -> Tuple.t list
 (** Matching tuples for a key tuple (values in [key_vars] order). *)
 
+val probe_iter : t -> Tuple.t -> (int array -> int -> unit) -> unit
+(** [probe_iter t key f] calls [f src base] once per matching tuple,
+    whose values live at [src.(base + k)] for [k < arity].  On the
+    (common) overlay-free index this walks the flat backing array and
+    allocates nothing — the hot-path alternative to {!probe}, which
+    copies every matching row into a fresh list.  [src] aliases index
+    internals: read the row inside [f], do not stash [src]. *)
+
 val probe_mem : t -> Tuple.t -> bool
 (** Does any tuple match the key? *)
 

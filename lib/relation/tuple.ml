@@ -11,7 +11,24 @@ let equal (a : t) (b : t) =
   let rec loop i = i >= n || (a.(i) = b.(i) && loop (i + 1)) in
   loop 0
 
-let compare (a : t) (b : t) = Stdlib.compare a b
+(* Monomorphic lexicographic compare: [Stdlib.compare] on int arrays
+   goes through the polymorphic runtime comparator, which dominates
+   every sorted-merge path; a direct int loop is branch-predictable and
+   allocation-free.  Shorter arrays sort first, like the polymorphic
+   order on arrays. *)
+let compare (a : t) (b : t) =
+  if a == b then 0
+  else
+    let la = Array.length a and lb = Array.length b in
+    if la <> lb then Stdlib.compare la lb
+    else
+      let rec go i =
+        if i >= la then 0
+        else
+          let x = Array.unsafe_get a i and y = Array.unsafe_get b i in
+          if x < y then -1 else if x > y then 1 else go (i + 1)
+      in
+      go 0
 
 (* FNV-style hash: the polymorphic hash only samples a prefix of long
    arrays, which degrades hash tables keyed by wide tuples. *)

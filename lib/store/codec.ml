@@ -60,13 +60,21 @@ let write_rows b ~arity rows =
 (* decoding                                                             *)
 (* ------------------------------------------------------------------ *)
 
-type decoder = { src : string; mutable pos : int }
+type decoder = { src : string; mutable pos : int; limit : int }
 
-let decoder src = { src; pos = 0 }
-let remaining d = String.length d.src - d.pos
+let decoder src = { src; pos = 0; limit = String.length src }
+
+(* decode a window of [src] without copying it out first — the network
+   layer cuts frames straight out of its connection read buffer *)
+let decoder_sub src ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > String.length src then
+    invalid_arg "Codec.decoder_sub";
+  { src; pos; limit = pos + len }
+
+let remaining d = d.limit - d.pos
 
 let read_u8 d =
-  if d.pos >= String.length d.src then raise (Short "byte");
+  if d.pos >= d.limit then raise (Short "byte");
   let v = Char.code (String.unsafe_get d.src d.pos) in
   d.pos <- d.pos + 1;
   v

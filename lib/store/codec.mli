@@ -52,6 +52,13 @@ val write_rows : encoder -> arity:int -> int array list -> unit
 type decoder
 
 val decoder : string -> decoder
+
+val decoder_sub : string -> pos:int -> len:int -> decoder
+(** Decode the window [[pos, pos+len)] of the string without copying it
+    out first — the network layer cuts frames straight out of its
+    connection read buffer.  Raises [Invalid_argument] on an
+    out-of-bounds window. *)
+
 val remaining : decoder -> int
 val read_u8 : decoder -> int
 val read_u32 : decoder -> int

@@ -103,27 +103,23 @@ let import pmtd entries =
     entries;
   { pmtd; s_rels; s_idx; space = !space }
 
-type node_state = {
-  mutable rel : Relation.t;
-  mutable removed : bool;
-  is_s : bool;
-}
-
+(* Per-call node state lives in flat arrays indexed by node id (tree
+   nodes are [0 .. size-1]): the only per-answer setup allocation is the
+   three arrays themselves, no hash table and no per-node records. *)
 let answer t ~t_views ~q_a =
   let pmtd = t.pmtd in
   let tree = pmtd.Pmtd.td.Td.tree in
   let head = pmtd.Pmtd.cqap.Cq.cq.Cq.head in
   let materialized = pmtd.Pmtd.materialized in
-  let states = Hashtbl.create 8 in
+  let n = Rtree.size tree in
+  let rels = Array.make n (Relation.create (Schema.of_list [])) in
+  let removed = Array.make n false in
   List.iter
     (fun node ->
-      let is_s = materialized.(node) in
-      let rel =
-        if is_s then Hashtbl.find t.s_rels node else t_views node
-      in
-      Hashtbl.replace states node { rel; removed = false; is_s })
+      rels.(node) <-
+        (if materialized.(node) then Hashtbl.find t.s_rels node
+         else t_views node))
     (Rtree.nodes tree);
-  let state node = Hashtbl.find states node in
   let head_covered ~child ~parent =
     Varset.subset
       (Varset.inter (view_vars pmtd child) head)
@@ -135,48 +131,46 @@ let answer t ~t_views ~q_a =
       match Rtree.parent tree node with
       | None -> ()
       | Some par ->
-          let child_st = state node and par_st = state par in
-          if child_st.is_s && par_st.is_s then () (* SS: done at preprocess *)
-          else if child_st.is_s then begin
+          if materialized.(node) && materialized.(par) then
+            () (* SS: done at preprocess *)
+          else if materialized.(node) then begin
             (* ST edge: parent T-view semijoined via the child's index *)
-            par_st.rel <-
-              semijoin_via_index par_st.rel (Hashtbl.find t.s_idx node);
+            rels.(par) <-
+              semijoin_via_index rels.(par) (Hashtbl.find t.s_idx node);
             if head_covered ~child:node ~parent:par then
-              child_st.removed <- true
+              removed.(node) <- true
           end
           else begin
             (* TT edge *)
-            par_st.rel <- Relation.semijoin par_st.rel child_st.rel;
+            rels.(par) <- Relation.semijoin rels.(par) rels.(node);
             if head_covered ~child:node ~parent:par then
-              child_st.removed <- true
+              removed.(node) <- true
             else
-              child_st.rel <-
-                Relation.project child_st.rel
+              rels.(node) <-
+                Relation.project rels.(node)
                   (Varset.to_list
                      (Varset.inter (view_vars pmtd node) head))
           end)
     (Rtree.bottom_up tree);
   (* root *)
   let root = Rtree.root tree in
-  let root_st = state root in
   let q_a =
-    if root_st.is_s then
+    if materialized.(root) then
       semijoin_via_index q_a (Hashtbl.find t.s_idx root)
     else begin
-      root_st.rel <-
-        Relation.project root_st.rel
+      rels.(root) <-
+        Relation.project rels.(root)
           (Varset.to_list (Varset.inter (view_vars pmtd root) head));
-      Relation.semijoin q_a root_st.rel
+      Relation.semijoin q_a rels.(root)
     end
   in
   (* top-down join pass *)
   let result = ref q_a in
   List.iter
     (fun node ->
-      let st = state node in
-      if not st.removed then
-        if st.is_s then
+      if not removed.(node) then
+        if materialized.(node) then
           result := join_via_index !result (Hashtbl.find t.s_idx node)
-        else result := Relation.natural_join !result st.rel)
+        else result := Relation.natural_join !result rels.(node))
     (Rtree.nodes tree);
   Relation.project !result (Varset.to_list head)

@@ -16,6 +16,8 @@ module Frame = Stt_net.Frame
 module Server = Stt_net.Server
 module Client = Stt_net.Client
 module Loadgen = Stt_net.Loadgen
+module Netbuf = Stt_net.Netbuf
+module Evloop = Stt_net.Evloop
 
 (* ------------------------------------------------------------------ *)
 (* frame codec: round trips                                             *)
@@ -88,7 +90,8 @@ let gen_response =
           >>= fun (ready, space, workers, queue_capacity) ->
           quad (int_bound 100_000) (int_bound 100_000) (int_bound 10_000)
             (pair (int_bound 1_000_000) (int_bound 1_000_000))
-          >|= fun (cache_budget, cache_used, cache_entries, (hits, misses)) ->
+          >>= fun (cache_budget, cache_used, cache_entries, (hits, misses)) ->
+          oneofl [ "epoll"; "select" ] >|= fun io_backend ->
           Frame.Health_reply
             {
               id;
@@ -106,6 +109,7 @@ let gen_response =
                       cache_hits = hits;
                       cache_misses = misses;
                     };
+                  io_backend;
                 };
             } );
       ])
@@ -224,16 +228,214 @@ let hello_checks () =
   (match Frame.check_hello skewed with
   | Error (Frame.Version_skew { found = 0x63; _ }) -> ()
   | _ -> Alcotest.fail "version skew not detected");
-  (* a v2 peer (pre-update protocol) must be refused by a v3 server *)
-  Alcotest.(check int) "updates bumped the protocol to v3" 3
+  (* a v3 peer (pre-io_backend Health) must be refused by a v4 server *)
+  Alcotest.(check int) "io_backend health bumped the protocol to v4" 4
     Frame.protocol_version;
-  let v2 = String.sub Frame.hello 0 8 ^ "\x02\x00\x00\x00" in
-  (match Frame.check_hello v2 with
-  | Error (Frame.Version_skew { found = 2; expected = 3 }) -> ()
-  | _ -> Alcotest.fail "v2 hello not rejected by v3");
+  let v3 = String.sub Frame.hello 0 8 ^ "\x03\x00\x00\x00" in
+  (match Frame.check_hello v3 with
+  | Error (Frame.Version_skew { found = 3; expected = 4 }) -> ()
+  | _ -> Alcotest.fail "v3 hello not rejected by v4");
   match Frame.check_hello "short" with
   | Error (Frame.Truncated _) -> ()
   | _ -> Alcotest.fail "short hello not detected"
+
+(* ------------------------------------------------------------------ *)
+(* zero-copy path: Netbuf framing = Codec framing, in-place decoding    *)
+(* ------------------------------------------------------------------ *)
+
+(* the Netbuf encoders and the Codec encoders are generated from the
+   same Body functor, so their wire images must be byte-identical:
+   [prefix ^ encode_request req] = what encode_request_into frames *)
+let netbuf_framing_equiv ~name gen encode encode_into =
+  QCheck.Test.make ~count:300 ~name (QCheck.make gen) (fun v ->
+      let blob = encode v in
+      let b = Netbuf.create 8 in
+      encode_into b v;
+      let framed = Netbuf.contents b in
+      Frame.peek_len framed ~pos:0 = String.length blob
+      && String.length framed = 4 + String.length blob
+      && String.sub framed 4 (String.length blob) = blob)
+
+let netbuf_request_equiv =
+  netbuf_framing_equiv ~name:"Netbuf request framing = Codec framing"
+    gen_request Frame.encode_request Frame.encode_request_into
+
+let netbuf_response_equiv =
+  netbuf_framing_equiv ~name:"Netbuf response framing = Codec framing"
+    gen_response Frame.encode_response Frame.encode_response_into
+
+(* two frames encoded back to back into one buffer decode in place via
+   peek_len + decode_*_sub — the server's read path, without the
+   per-frame copy *)
+let decode_sub_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"in-place decode over a shared buffer"
+    (QCheck.make QCheck.Gen.(pair gen_request gen_response))
+    (fun (req, resp) ->
+      let b = Netbuf.create 8 in
+      Frame.encode_request_into b req;
+      Frame.encode_response_into b resp;
+      let s = Netbuf.contents b in
+      let len1 = Frame.peek_len s ~pos:0 in
+      let pos2 = 4 + len1 in
+      let len2 = Frame.peek_len s ~pos:pos2 in
+      pos2 + 4 + len2 = String.length s
+      && Frame.decode_request_sub s ~pos:4 ~len:len1 = Ok req
+      && Frame.decode_response_sub s ~pos:(pos2 + 4) ~len:len2 = Ok resp)
+
+(* ------------------------------------------------------------------ *)
+(* nonblocking writes: partial writes, EAGAIN resumption, ordering      *)
+(* ------------------------------------------------------------------ *)
+
+let drain_nonblocking fd buf into =
+  let rec go () =
+    match Unix.read fd buf 0 (Bytes.length buf) with
+    | 0 -> ()
+    | n ->
+        Buffer.add_subbytes into buf 0 n;
+        go ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+  in
+  go ()
+
+let eagain_resumption () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.set_nonblock a;
+  (* shrink the socket buffer so the payload cannot fit in one write;
+     even if the OS ignores the hint, 4 MB beats any default buffer *)
+  (try Unix.setsockopt_int a Unix.SO_SNDBUF 4096 with Unix.Unix_error _ -> ());
+  let payload = String.init 4_000_000 (fun i -> Char.chr (i land 0xff)) in
+  let src = Bytes.of_string payload in
+  let pending = Netbuf.create 64 in
+  (match Netbuf.write_or_stash a ~pending src ~pos:0 ~len:(Bytes.length src) with
+  | Netbuf.Again -> ()
+  | Netbuf.Flushed -> Alcotest.fail "4 MB fit the socket buffer?"
+  | Netbuf.Gone -> Alcotest.fail "peer gone");
+  Alcotest.(check bool) "remainder queued on EAGAIN" true
+    (Netbuf.length pending > 0);
+  (* a second write while bytes are pending must queue *behind* them,
+     never interleave *)
+  let tail = Bytes.of_string "TAIL" in
+  (match Netbuf.write_or_stash a ~pending tail ~pos:0 ~len:4 with
+  | Netbuf.Again -> ()
+  | _ -> Alcotest.fail "write with non-empty pending must stash");
+  (* reader and flusher in lockstep until the queue drains *)
+  let received = Buffer.create (String.length payload + 4) in
+  let rbuf = Bytes.create 65536 in
+  Unix.set_nonblock b;
+  let rec pump guard =
+    if guard = 0 then Alcotest.fail "flush never completed";
+    drain_nonblocking b rbuf received;
+    match Netbuf.flush a pending with
+    | Netbuf.Flushed -> ()
+    | Netbuf.Again -> pump (guard - 1)
+    | Netbuf.Gone -> Alcotest.fail "peer gone mid-flush"
+  in
+  pump 10_000;
+  Alcotest.(check int) "pending empty after Flushed" 0 (Netbuf.length pending);
+  let total = String.length payload + 4 in
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  while Buffer.length received < total && Unix.gettimeofday () < deadline do
+    drain_nonblocking b rbuf received
+  done;
+  Alcotest.(check int) "every byte arrived" total (Buffer.length received);
+  Alcotest.(check bool) "bytes arrived unmangled, in order" true
+    (Buffer.contents received = payload ^ "TAIL");
+  Unix.close a;
+  Unix.close b
+
+(* blocking Frame.write_frame against a tiny socket buffer: the
+   really_write loop must survive short writes and deliver the frame
+   intact to a concurrent reader *)
+let write_frame_short_writes () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.setsockopt_int a Unix.SO_SNDBUF 4096 with Unix.Unix_error _ -> ());
+  let resp =
+    Frame.Answers
+      {
+        id = 99;
+        answers =
+          [
+            {
+              Frame.rows = List.init 60_000 (fun i -> [| i; i + 1; i * 3 |]);
+              row_arity = 3;
+              cost = Cost.zero;
+            };
+          ];
+      }
+  in
+  let blob = Frame.encode_response resp in
+  let writer =
+    Domain.spawn (fun () -> Frame.write_frame a blob)
+  in
+  let got =
+    match Frame.read_frame b with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "read_frame: %s" (Frame.error_to_string e)
+  in
+  (match Domain.join writer with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "write_frame: %s" (Frame.error_to_string e));
+  Alcotest.(check bool) "frame bytes identical" true (got = blob);
+  Alcotest.(check bool) "frame decodes to the original" true
+    (Frame.decode_response got = Ok resp);
+  Unix.close a;
+  Unix.close b
+
+(* ------------------------------------------------------------------ *)
+(* Evloop: both backends through one readiness scenario                 *)
+(* ------------------------------------------------------------------ *)
+
+let evloop_scenario backend () =
+  if not (Evloop.available backend) then
+    Printf.printf "(%s unavailable here — skipped)\n"
+      (Evloop.backend_name backend)
+  else begin
+    let loop = Evloop.create ~backend () in
+    Alcotest.(check string)
+      "requested backend" (Evloop.backend_name backend) (Evloop.name loop);
+    let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.set_nonblock a;
+    Unix.set_nonblock b;
+    Evloop.add loop a;
+    Alcotest.(check int) "watched" 1 (Evloop.watched_count loop);
+    let events = ref [] in
+    let cb fd ~readable ~writable =
+      events := (fd, readable, writable) :: !events
+    in
+    let wait_for what pred =
+      let rec go tries =
+        if tries = 0 then Alcotest.failf "%s: event never arrived" what
+        else begin
+          events := [];
+          ignore (Evloop.wait loop ~timeout_ms:1_000 cb);
+          if not (List.exists pred !events) then go (tries - 1)
+        end
+      in
+      go 5
+    in
+    (* idle: the wait times out with no events *)
+    Alcotest.(check int) "idle loop delivers nothing" 0
+      (Evloop.wait loop ~timeout_ms:50 cb);
+    (* peer data: readable fires *)
+    ignore (Unix.write b (Bytes.of_string "ping") 0 4);
+    wait_for "readable after peer write" (fun (fd, r, _) -> fd = a && r);
+    (* drain to EAGAIN — mandatory under edge triggering *)
+    let rbuf = Bytes.create 16 in
+    drain_nonblocking a rbuf (Buffer.create 16);
+    (* write interest: an empty socket buffer reports writable *)
+    Evloop.set_write loop a true;
+    wait_for "writable after set_write" (fun (fd, _, w) -> fd = a && w);
+    Evloop.set_write loop a false;
+    Alcotest.(check int) "no events once write interest dropped" 0
+      (Evloop.wait loop ~timeout_ms:50 cb);
+    (* hangup surfaces as readable, so the read path observes the EOF *)
+    Unix.close b;
+    wait_for "hangup surfaces as readable" (fun (fd, r, _) -> fd = a && r);
+    Evloop.remove loop a;
+    Alcotest.(check int) "unwatched" 0 (Evloop.watched_count loop);
+    Evloop.close loop;
+    Unix.close a
+  end
 
 (* ------------------------------------------------------------------ *)
 (* loopback fixture                                                     *)
@@ -252,10 +454,11 @@ let fixture_tuples n seed =
   List.init n (fun _ ->
       Array.init arity (fun _ -> Stt_workload.Rng.int rng 300))
 
-let with_server ?(workers = 2) ?(queue = 64) ?update_handler handler f =
+let with_server ?(workers = 2) ?(queue = 64) ?io_backend ?update_handler
+    handler f =
   let server =
-    Server.start ~port:0 ~workers ~queue_capacity:queue ?update_handler
-      handler
+    Server.start ~port:0 ~workers ~queue_capacity:queue ?io_backend
+      ?update_handler handler
   in
   Fun.protect
     ~finally:(fun () ->
@@ -303,6 +506,32 @@ let loopback_matches_direct () =
       | _ -> assert false);
     ]
 
+(* the select fallback must serve the exact same answers as the
+   default (epoll where available) path *)
+let select_backend_serves () =
+  let idx = Lazy.force fixture in
+  let arity = Schema.arity (Engine.access_schema idx) in
+  let handler = Server.engine_handler idx in
+  with_server ~io_backend:Evloop.Select handler @@ fun server ->
+  Alcotest.(check string) "server runs on select" "select"
+    (Server.io_backend server);
+  with_client server @@ fun client ->
+  (match rpc_exn client (Frame.Health { id = 7 }) with
+  | Frame.Health_reply { id = 7; health } ->
+      Alcotest.(check string) "health says select" "select"
+        health.Frame.io_backend
+  | _ -> Alcotest.fail "expected Health_reply");
+  let tuples = fixture_tuples 9 31 in
+  let expected = handler ~arity tuples in
+  match rpc_exn client (Frame.Answer { id = 1; deadline_us = 0; arity; tuples })
+  with
+  | Frame.Answers { id = 1; answers } ->
+      List.iter2
+        (fun (rows, _, _) (a : Frame.answer) ->
+          Alcotest.(check (list (array int))) "same rows" rows a.Frame.rows)
+        expected answers
+  | _ -> Alcotest.fail "expected Answers"
+
 let health_and_stats () =
   let idx = Lazy.force fixture in
   with_server ~workers:3 ~queue:17 (Server.engine_handler idx) @@ fun server ->
@@ -311,7 +540,11 @@ let health_and_stats () =
   | Frame.Health_reply { id = 42; health } ->
       Alcotest.(check bool) "ready" true health.Frame.ready;
       Alcotest.(check int) "workers" 3 health.Frame.workers;
-      Alcotest.(check int) "queue" 17 health.Frame.queue_capacity
+      Alcotest.(check int) "queue" 17 health.Frame.queue_capacity;
+      Alcotest.(check string) "health reports the live io backend"
+        (Server.io_backend server) health.Frame.io_backend;
+      Alcotest.(check bool) "backend is a known one" true
+        (List.mem health.Frame.io_backend [ "epoll"; "select" ])
   | _ -> Alcotest.fail "expected Health_reply");
   match rpc_exn client (Frame.Stats { id = 43 }) with
   | Frame.Stats_reply { id = 43; json } -> (
@@ -562,12 +795,14 @@ let loadgen_clean_run () =
       skew = 1.1;
       seed = 77;
       deadline_ms = 0;
+      drivers = 2;
+      active = 0;
     }
   in
   let verify ~arity tuples =
     List.map (fun (rows, _, _) -> rows) (handler ~arity tuples)
   in
-  match Loadgen.run ~verify cfg with
+  (match Loadgen.run ~verify cfg with
   | Error e -> Alcotest.failf "loadgen: %s" e
   | Ok r ->
       Alcotest.(check int) "all sent" 400 r.Loadgen.sent;
@@ -579,7 +814,16 @@ let loadgen_clean_run () =
       Alcotest.(check bool) "latency percentiles ordered" true
         (r.Loadgen.p50_us > 0.0
         && r.Loadgen.p50_us <= r.Loadgen.p95_us
-        && r.Loadgen.p95_us <= r.Loadgen.p99_us)
+        && r.Loadgen.p95_us <= r.Loadgen.p99_us));
+  (* parked connections (active < connections) keep idle fds registered
+     at the server but must not disturb the accounting *)
+  match Loadgen.run ~verify { cfg with connections = 12; active = 3 } with
+  | Error e -> Alcotest.failf "loadgen (parked): %s" e
+  | Ok r ->
+      Alcotest.(check int) "all answered with parked conns" 400
+        r.Loadgen.answered;
+      Alcotest.(check int) "no losses with parked conns" 0 r.Loadgen.lost;
+      Alcotest.(check int) "no errors with parked conns" 0 r.Loadgen.errors
 
 let () =
   Alcotest.run "net"
@@ -593,10 +837,29 @@ let () =
           Alcotest.test_case "every bit flip is rejected" `Slow flip_sweep;
           Alcotest.test_case "hello validation" `Quick hello_checks;
         ] );
+      ( "netbuf",
+        [
+          QCheck_alcotest.to_alcotest netbuf_request_equiv;
+          QCheck_alcotest.to_alcotest netbuf_response_equiv;
+          QCheck_alcotest.to_alcotest decode_sub_roundtrip;
+          Alcotest.test_case "EAGAIN stash, resume, ordered flush" `Quick
+            eagain_resumption;
+          Alcotest.test_case "write_frame survives short writes" `Quick
+            write_frame_short_writes;
+        ] );
+      ( "evloop",
+        [
+          Alcotest.test_case "epoll readiness scenario" `Quick
+            (evloop_scenario Evloop.Epoll);
+          Alcotest.test_case "select readiness scenario" `Quick
+            (evloop_scenario Evloop.Select);
+        ] );
       ( "server",
         [
           Alcotest.test_case "loopback equals direct answer_batch" `Quick
             loopback_matches_direct;
+          Alcotest.test_case "select fallback serves identically" `Quick
+            select_backend_serves;
           Alcotest.test_case "health and stats frames" `Quick health_and_stats;
           Alcotest.test_case "deadlines are enforced" `Quick deadline_enforced;
           Alcotest.test_case "full queue sheds with OVERLOADED" `Quick

@@ -43,6 +43,18 @@ let metrics_of_experiment = function
         m "connections" "data.connections";
         m "backend_speedup" "data.backend_speedup";
       ]
+  | "emp-shard" ->
+      [
+        m ~gated:true "answers_per_sec" "data.answers_per_sec";
+        m "p50_us" "data.p50_us";
+        m "p99_us" "data.p99_us";
+        m "shards" "data.shards";
+        m "host_cpus" "data.host_cpus";
+        m "retried_tuples" "data.retried_tuples";
+        (* vs the 1-shard BENCH_emp-net baseline; only meaningful when
+           host_cpus can actually run the fleet in parallel *)
+        m "backend_speedup" "data.backend_speedup";
+      ]
   | "emp-serve" ->
       [
         m ~gated:true "answers_per_sec" "data.batched.answers_per_sec";
@@ -65,7 +77,7 @@ let metrics_of_experiment = function
 
 (* strings worth carrying along for the page (never gated) *)
 let tags_of_experiment = function
-  | "emp-net" -> [ ("io_backend", "data.io_backend") ]
+  | "emp-net" | "emp-shard" -> [ ("io_backend", "data.io_backend") ]
   | _ -> []
 
 let lookup_path doc path =

@@ -773,6 +773,129 @@ let serve_net_cmd =
       $ cache_budget_arg $ jobs_arg $ from_snapshot_arg $ port_arg $ queue_arg
       $ io_backend_arg $ json_arg)
 
+(* ---------------------------------------------------------------- *)
+(* route: the sharded tier's router process                           *)
+(* ---------------------------------------------------------------- *)
+
+let shard_endpoint_conv =
+  let parse s =
+    let fail () =
+      Error
+        (`Msg
+          (Printf.sprintf
+             "shard %S: expected [NAME=]HOST:PORT (e.g. shard-0=127.0.0.1:7421)"
+             s))
+    in
+    let name, addr =
+      match String.index_opt s '=' with
+      | Some i ->
+          (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+      | None -> (s, s)
+    in
+    match String.rindex_opt addr ':' with
+    | None -> fail ()
+    | Some i -> (
+        let host = String.sub addr 0 i in
+        let port_s = String.sub addr (i + 1) (String.length addr - i - 1) in
+        match int_of_string_opt port_s with
+        | Some p when p > 0 && p < 65536 && name <> "" && host <> "" ->
+            Ok { Stt_shard.Router.name; host; port = p }
+        | _ -> fail ())
+  in
+  let print ppf (ep : Stt_shard.Router.endpoint) =
+    Format.fprintf ppf "%s=%s:%d" ep.name ep.host ep.port
+  in
+  Arg.conv (parse, print)
+
+let shard_endpoints_arg =
+  Arg.(
+    non_empty
+    & opt_all shard_endpoint_conv []
+    & info [ "shard" ] ~docv:"[NAME=]HOST:PORT"
+        ~doc:
+          "A replica to route to (repeatable).  NAME identifies the shard \
+           on the consistent-hash ring; it defaults to HOST:PORT.")
+
+let route_cmd =
+  let doc =
+    "Route access requests across replica shards: a consistent-hash ring \
+     over canonical bound-variable keys, scatter/gather with mid-batch \
+     failover, and fleet-aggregated protocol-v5 Health."
+  in
+  let run endpoints port queue jobs io_backend json_dir =
+    with_artifact "route" json_dir @@ fun () ->
+    set_jobs jobs;
+    let module Router = Stt_shard.Router in
+    let workers = Stt_relation.Pool.jobs () in
+    let router =
+      Router.start ~port ~workers ~queue_capacity:queue ?io_backend endpoints
+    in
+    Format.printf "routing on 127.0.0.1:%d (%d shards, %d workers, queue %d, io %s)@."
+      (Router.port router)
+      (List.length (Router.shards router))
+      workers queue
+      (Router.io_backend router);
+    List.iter
+      (fun (ep : Router.endpoint) ->
+        Format.printf "  shard %s -> %s:%d@." ep.name ep.host ep.port)
+      endpoints;
+    Format.printf "SIGTERM or Ctrl-C drains in-flight requests and exits@.";
+    Format.print_flush ();
+    let drain = Sys.Signal_handle (fun _ -> Router.stop router) in
+    Sys.set_signal Sys.sigterm drain;
+    Sys.set_signal Sys.sigint drain;
+    while not (Router.stopping router) do
+      try Unix.sleepf 0.2 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    done;
+    let st = Router.wait router in
+    Format.printf
+      "drained: %d connections, %d received, %d answered, %d shed, %d past \
+       deadline, %d bad requests, %d shard errors, %d tuples re-routed, %d \
+       shard restarts@."
+      st.Stt_net.Core.connections st.Stt_net.Core.received
+      st.Stt_net.Core.answered st.Stt_net.Core.rejected_overload
+      st.Stt_net.Core.rejected_deadline st.Stt_net.Core.bad_requests
+      (Router.shard_errors router)
+      (Router.retried_tuples router)
+      (Router.restarts router);
+    let router_trace =
+      match Json.of_string (Router.trace_json router) with
+      | Ok j -> j
+      | Error _ -> Json.Null
+    in
+    [
+      ("port", Json.Int (Router.port router));
+      ("workers", Json.Int workers);
+      ("queue", Json.Int queue);
+      ("io_backend", Json.String (Router.io_backend router));
+      ( "shards",
+        Json.List
+          (List.map
+             (fun (ep : Router.endpoint) ->
+               Json.Obj
+                 [
+                   ("name", Json.String ep.name);
+                   ("host", Json.String ep.host);
+                   ("port", Json.Int ep.port);
+                 ])
+             endpoints) );
+      ("connections", Json.Int st.Stt_net.Core.connections);
+      ("received", Json.Int st.Stt_net.Core.received);
+      ("answered", Json.Int st.Stt_net.Core.answered);
+      ("rejected_overload", Json.Int st.Stt_net.Core.rejected_overload);
+      ("rejected_deadline", Json.Int st.Stt_net.Core.rejected_deadline);
+      ("bad_requests", Json.Int st.Stt_net.Core.bad_requests);
+      ("shard_errors", Json.Int (Router.shard_errors router));
+      ("retried_tuples", Json.Int (Router.retried_tuples router));
+      ("shard_restarts", Json.Int (Router.restarts router));
+      ("router_trace", router_trace);
+    ]
+  in
+  Cmd.v (Cmd.info "route" ~doc)
+    Term.(
+      const run $ shard_endpoints_arg $ port_arg $ queue_arg $ jobs_arg
+      $ io_backend_arg $ json_arg)
+
 let host_arg =
   Arg.(
     value & opt string "127.0.0.1"
@@ -847,15 +970,89 @@ let speedup_vs_arg =
            artifact as $(b,baseline_answers_per_sec) and \
            $(b,backend_speedup).")
 
+let shards_arg =
+  Arg.(
+    value & opt nonneg_int 0
+    & info [ "shards" ] ~docv:"N"
+        ~doc:
+          "Self-hosted sharded mode: build the index once, snapshot it, \
+           spawn $(docv) replica processes booted from shipped copies of \
+           that snapshot, and drive the load through an in-process \
+           consistent-hash router.  $(b,0) (the default) benches directly \
+           against --host/--port.")
+
+let shard_jobs_arg =
+  Arg.(
+    value & opt pos_int 2
+    & info [ "shard-jobs" ] ~docv:"N"
+        ~doc:"Worker domains per replica process (sharded mode).")
+
+let router_jobs_arg =
+  Arg.(
+    value & opt pos_int 8
+    & info [ "router-jobs" ] ~docv:"N"
+        ~doc:
+          "Router worker domains, bounding concurrent scatter/gather \
+           rounds (sharded mode).")
+
+let drain_after_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "drain-after" ] ~docv:"S"
+        ~doc:
+          "Sharded mode: after $(docv) seconds of load, drain the \
+           highest-numbered shard live — ring removal, then SIGTERM — \
+           so in-flight tuples re-route to the surviving owners.  The \
+           zero-loss gate still applies.")
+
+let rec json_of_health (h : Stt_net.Frame.health) =
+  let ch = h.Stt_net.Frame.cache in
+  Json.Obj
+    [
+      ("ready", Json.Bool h.Stt_net.Frame.ready);
+      ("space", Json.Int h.Stt_net.Frame.space);
+      ("workers", Json.Int h.Stt_net.Frame.workers);
+      ("queue_capacity", Json.Int h.Stt_net.Frame.queue_capacity);
+      ("queue_depth", Json.Int h.Stt_net.Frame.queue_depth);
+      ("uptime_ns", Json.Int h.Stt_net.Frame.uptime_ns);
+      ("io_backend", Json.String h.Stt_net.Frame.io_backend);
+      ( "cache",
+        Json.Obj
+          [
+            ("budget", Json.Int ch.Stt_net.Frame.cache_budget);
+            ("used", Json.Int ch.Stt_net.Frame.cache_used);
+            ("entries", Json.Int ch.Stt_net.Frame.cache_entries);
+            ("hits", Json.Int ch.Stt_net.Frame.cache_hits);
+            ("misses", Json.Int ch.Stt_net.Frame.cache_misses);
+          ] );
+      ( "shards",
+        Json.List
+          (List.map
+             (fun (name, sub) ->
+               Json.Obj
+                 [ ("name", Json.String name); ("health", json_of_health sub) ])
+             h.Stt_net.Frame.shards) );
+    ]
+
 let bench_net_cmd =
   let doc =
-    "Closed-loop Zipf load generator against $(b,stt serve-net): reports \
-     answers/sec and p50/p95/p99 latency, with zero-loss accounting."
+    "Closed-loop Zipf load generator against $(b,stt serve-net) — or, with \
+     $(b,--shards N), against a self-hosted fleet of snapshot-shipped \
+     replicas behind a consistent-hash router: reports answers/sec and \
+     p50/p95/p99 latency, with zero-loss accounting."
   in
   let run q budget nedges seed host port connections drivers active requests
-      batch skew cache_budget deadline_ms verify artifact speedup_vs =
+      batch skew cache_budget deadline_ms verify artifact speedup_vs shards
+      shard_jobs router_jobs drain_after io_backend =
     require_single_edge_relation "bench-net" q;
     let open Stt_net in
+    let sharded = shards > 0 in
+    (* the sharded experiment gets its own artifact lineage *)
+    let artifact =
+      if sharded && artifact = "BENCH_emp-net.json" then "BENCH_emp-shard.json"
+      else artifact
+    in
     (* resolve the comparison artifact up front, so a bad path fails
        before the minutes-long load runs *)
     let baseline =
@@ -886,21 +1083,139 @@ let bench_net_cmd =
     in
     let vertices = Scenario.vertices_for_edges nedges in
     let arity = Varset.cardinal q.Cq.access in
+    (* one local build serves both the snapshot the fleet boots from and
+       the --verify reference — deliberately uncached either way: the
+       reference answers come from the direct answer_batch, and replicas
+       attach their own caches per --cache-budget *)
+    let built = Hashtbl.create 2 in
+    let build_index b =
+      match Hashtbl.find_opt built b with
+      | Some idx -> idx
+      | None ->
+          let db = Scenario.synthetic_db ~seed ~vertices ~edges:nedges in
+          Format.printf "building index (budget %d) over |E| = %d...@." b
+            (Db.size db);
+          Format.print_flush ();
+          let idx = Engine.build_auto ~max_pmtds:128 q ~db ~budget:b in
+          Hashtbl.replace built b idx;
+          idx
+    in
     let verify_fn =
       if not verify then None
       else begin
-        let db = Scenario.synthetic_db ~seed ~vertices ~edges:nedges in
-        Format.printf
-          "building verification index (budget %d) over |E| = %d...@." budget
-          (Db.size db);
-        (* deliberately no cache here, whatever --cache-budget says: the
-           reference answers come from the direct, uncached answer_batch *)
-        let idx = Engine.build_auto ~max_pmtds:128 q ~db ~budget in
-        let h = Server.engine_handler idx in
+        (* answers are invariant under the space budget — only the serving
+           cost moves along the tradeoff curve — so in sharded mode the
+           reference index gets a generous budget: verification then runs
+           near lookup speed in this process instead of competing with
+           the fleet for the same cores at the benched (tight) budget *)
+        let vb = if sharded then max budget 8000 else budget in
+        let h = Server.engine_handler (build_index vb) in
         Some
           (fun ~arity tuples ->
             List.map (fun (rows, _, _) -> rows) (h ~arity tuples))
       end
+    in
+    (* sharded mode self-hosts the serving side: snapshot -> ship to N
+       replica processes -> route through an in-process router, and the
+       load below targets the router instead of --host/--port *)
+    let queue_capacity_for_fleet = 256 in
+    let fleet_ctx =
+      if not sharded then None
+      else begin
+        let module Fleet = Stt_shard.Fleet in
+        let module Router = Stt_shard.Router in
+        let idx = build_index budget in
+        let dir =
+          Filename.concat
+            (Filename.get_temp_dir_name ())
+            (Printf.sprintf "stt-shard-%d" (Unix.getpid ()))
+        in
+        (try Unix.mkdir dir 0o700
+         with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+        let snap = Filename.concat dir "bench.snap" in
+        (match Engine.save idx snap with
+        | Ok n -> Format.printf "snapshot: %s (%d stored tuples)@." snap n
+        | Error e ->
+            Format.eprintf "stt bench-net: saving snapshot: %s@."
+              (Stt_store.Store.error_to_string e);
+            exit 1);
+        Format.printf "spawning %d replicas (%d workers each, queue %d)...@."
+          shards shard_jobs queue_capacity_for_fleet;
+        Format.print_flush ();
+        let fleet =
+          match
+            Fleet.launch ~exe:Sys.executable_name ~snapshot:snap ~dir
+              ~count:shards ~workers:shard_jobs
+              ~queue:queue_capacity_for_fleet ~cache_budget
+              ?io_backend:(Option.map Evloop.backend_name io_backend)
+              ()
+          with
+          | Ok f -> f
+          | Error msg ->
+              Format.eprintf "stt bench-net: %s@." msg;
+              exit 1
+        in
+        let eps = Fleet.endpoints fleet in
+        List.iter
+          (fun (ep : Router.endpoint) ->
+            Format.printf "  %s on %s:%d@." ep.name ep.host ep.port)
+          eps;
+        let router =
+          Router.start ~port:0 ~workers:router_jobs
+            ~queue_capacity:queue_capacity_for_fleet ?io_backend eps
+        in
+        Format.printf "router on 127.0.0.1:%d (%d workers)@."
+          (Router.port router) router_jobs;
+        Format.print_flush ();
+        Some (router, fleet, dir)
+      end
+    in
+    let host, port =
+      match fleet_ctx with
+      | Some (router, _, _) -> ("127.0.0.1", Stt_shard.Router.port router)
+      | None -> (host, port)
+    in
+    let teardown () =
+      match fleet_ctx with
+      | None -> ()
+      | Some (router, fleet, dir) ->
+          Stt_shard.Router.stop router;
+          ignore (Stt_shard.Router.wait router);
+          Stt_shard.Fleet.shutdown fleet;
+          (try
+             Array.iter
+               (fun f ->
+                 try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+               (Sys.readdir dir)
+           with Sys_error _ -> ());
+          (try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    in
+    let drained = ref None in
+    let run_over = Atomic.make false in
+    let drain_domain =
+      match (fleet_ctx, drain_after) with
+      | Some (router, fleet, _), Some s when shards > 1 ->
+          Some
+            (Domain.spawn (fun () ->
+                 (* sleep in slices so a --drain-after beyond the run's
+                    length doesn't leave this domain blocking the join *)
+                 let deadline = Unix.gettimeofday () +. s in
+                 while
+                   (not (Atomic.get run_over))
+                   && Unix.gettimeofday () < deadline
+                 do
+                   Unix.sleepf 0.05
+                 done;
+                 if not (Atomic.get run_over) then begin
+                   let name = Printf.sprintf "shard-%d" (shards - 1) in
+                   Stt_shard.Router.drain_shard router name;
+                   if Stt_shard.Fleet.drain fleet name then drained := Some name
+                 end))
+      | _ -> None
+    in
+    let join_drain () =
+      Atomic.set run_over true;
+      Option.iter Domain.join drain_domain
     in
     Obs.set_enabled true;
     Obs.reset ();
@@ -930,10 +1245,13 @@ let bench_net_cmd =
     let t0 = Unix.gettimeofday () in
     match Loadgen.run ?verify:verify_fn cfg with
     | Error msg ->
+        join_drain ();
+        teardown ();
         Format.eprintf "stt bench-net: %s@." msg;
         exit 1
     | Ok r ->
         let wall = Unix.gettimeofday () -. t0 in
+        join_drain ();
         (* one extra connection after the run: the server's Health frame
            carries its cache occupancy and hit counts, so the artifact
            records the hit rate this load actually achieved *)
@@ -955,12 +1273,48 @@ let bench_net_cmd =
           | Some h -> h.Frame.io_backend
           | None -> "unknown"
         in
+        (* in sharded mode the fleet health sums cache budgets across
+           shards, so the per-server comparison below does not apply *)
         (match server_cache with
-        | Some ch when ch.Frame.cache_budget <> cache_budget ->
+        | Some ch when (not sharded) && ch.Frame.cache_budget <> cache_budget
+          ->
             Format.printf
               "note: server cache budget %d differs from --cache-budget %d@."
               ch.Frame.cache_budget cache_budget
         | _ -> ());
+        let shard_fields =
+          match fleet_ctx with
+          | None -> []
+          | Some (router, _, _) ->
+              (match !drained with
+              | Some name ->
+                  Format.printf
+                    "drained %s mid-run: %d tuples re-routed, %d shard \
+                     errors@."
+                    name
+                    (Stt_shard.Router.retried_tuples router)
+                    (Stt_shard.Router.shard_errors router)
+              | None -> ());
+              [
+                ("shards", Json.Int shards);
+                ("shard_jobs", Json.Int shard_jobs);
+                ("router_jobs", Json.Int router_jobs);
+                ( "drained_shard",
+                  match !drained with
+                  | Some n -> Json.String n
+                  | None -> Json.Null );
+                ( "shard_errors",
+                  Json.Int (Stt_shard.Router.shard_errors router) );
+                ( "retried_tuples",
+                  Json.Int (Stt_shard.Router.retried_tuples router) );
+                ("shard_restarts", Json.Int (Stt_shard.Router.restarts router));
+                ( "fleet_health",
+                  match server_health with
+                  | Some h -> json_of_health h
+                  | None -> Json.Null );
+              ]
+        in
+        teardown ();
         let json_server_cache =
           match server_cache with
           | None -> Json.Null
@@ -1015,7 +1369,8 @@ let bench_net_cmd =
           Json.Obj
             [
               ("schema", Json.String "stt-bench/1");
-              ("experiment", Json.String "emp-net");
+              ( "experiment",
+                Json.String (if sharded then "emp-shard" else "emp-net") );
               ("wall_s", Json.Float wall);
               ( "data",
                 Json.Obj
@@ -1047,8 +1402,11 @@ let bench_net_cmd =
                     ("p99_us", Json.Float r.Loadgen.p99_us);
                     ("cache_budget", Json.Int cache_budget);
                     ("server_cache", json_server_cache);
+                    (* shard-scaling ratios only mean something relative
+                       to the cores the fleet could actually use *)
+                    ("host_cpus", Json.Int (Domain.recommended_domain_count ()));
                   ]
-                  @ speedup_fields) );
+                  @ shard_fields @ speedup_fields) );
               ("trace", Obs.trace ());
             ]
         in
@@ -1070,7 +1428,8 @@ let bench_net_cmd =
       $ port_arg $ connections_arg $ drivers_arg $ active_arg
       $ net_requests_arg
       $ net_batch_arg $ skew_arg $ cache_budget_arg $ deadline_ms_arg
-      $ verify_arg $ bench_artifact_arg $ speedup_vs_arg)
+      $ verify_arg $ bench_artifact_arg $ speedup_vs_arg $ shards_arg
+      $ shard_jobs_arg $ router_jobs_arg $ drain_after_arg $ io_backend_arg)
 
 let main =
   let doc = "space-time tradeoffs for conjunctive queries with access patterns" in
@@ -1085,6 +1444,7 @@ let main =
       demo_cmd;
       serve_cmd;
       serve_net_cmd;
+      route_cmd;
       snapshot_cmd;
       bench_net_cmd;
     ]

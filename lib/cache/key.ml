@@ -24,3 +24,9 @@ let decode s =
 
 let of_request ~access q_a =
   encode ~arity:(Schema.arity access) (canon ~access q_a)
+
+(* A single wire tuple is already in access column order (ascending var
+   ids) and a one-row set is trivially sorted, so its canonical key is
+   just the encoding — this is what the shard router hashes, and it is
+   byte-identical to the key a one-tuple request would be cached under. *)
+let of_tuple ~arity tup = encode ~arity [ tup ]

@@ -33,3 +33,11 @@ val decode : string -> int * Tuple.t list
 
 val of_request : access:Schema.t -> Relation.t -> string
 (** [encode ~arity:(Schema.arity access) (canon ~access q_a)]. *)
+
+val of_tuple : arity:int -> Tuple.t -> string
+(** The canonical key of a single access tuple as it appears on the wire
+    (already in access column order).  [Stt_shard.Ring] hashes this to
+    place the tuple on a shard, so routing, caching, and batch dedup all
+    share one equivalence: permuted-but-equal requests land on the same
+    shard {e and} the same cache entry.  Byte-identical to
+    [of_request] on the one-row relation. *)

@@ -7,10 +7,15 @@ let magic = "\x89STTWIRE"
 (* v2: Health_reply grew the answer-cache block (budget/used/entries/
    hits/misses).  v3: Update/Updated frames for incremental base-data
    deltas.  v4: Health_reply reports the server's IO backend (epoll vs
-   select), so benchmarks can assert which loop they measured.  Hellos
-   must match exactly, so older peers are refused with Version_skew
-   instead of misparsing unknown frames. *)
-let protocol_version = 4
+   select), so benchmarks can assert which loop they measured.  v5:
+   Health_reply carries the live queue depth, a monotonic uptime_ns (so
+   a router can detect a restarted shard: uptime going backwards means
+   the process it aggregated last time is gone), and a recursive
+   per-shard health list (empty for replicas; a router reports one block
+   per shard plus fleet-level sums).  Hellos must match exactly, so
+   older peers are refused with Version_skew instead of misparsing
+   unknown frames. *)
+let protocol_version = 5
 let hello_len = String.length magic + 4
 let max_frame_len = 1 lsl 26
 
@@ -79,8 +84,11 @@ type health = {
   space : int;
   workers : int;
   queue_capacity : int;
+  queue_depth : int;
+  uptime_ns : int;
   cache : cache_health;
   io_backend : string;
+  shards : (string * health) list;
 }
 
 type response =
@@ -185,7 +193,7 @@ struct
         S.u8 e tag_health;
         S.uint e id
 
-  let response e = function
+  let rec response e = function
     | Answers { id; answers } ->
         S.u8 e tag_answers;
         S.uint e id;
@@ -217,16 +225,27 @@ struct
     | Health_reply { id; health } ->
         S.u8 e tag_health_reply;
         S.uint e id;
-        S.bool e health.ready;
-        S.uint e health.space;
-        S.uint e health.workers;
-        S.uint e health.queue_capacity;
-        S.uint e health.cache.cache_budget;
-        S.uint e health.cache.cache_used;
-        S.uint e health.cache.cache_entries;
-        S.uint e health.cache.cache_hits;
-        S.uint e health.cache.cache_misses;
-        S.string e health.io_backend
+        health_block e health
+
+  (* recursive: a router's block nests one sub-block per shard *)
+  and health_block e (h : health) =
+    S.bool e h.ready;
+    S.uint e h.space;
+    S.uint e h.workers;
+    S.uint e h.queue_capacity;
+    S.uint e h.queue_depth;
+    S.uint e h.uptime_ns;
+    S.uint e h.cache.cache_budget;
+    S.uint e h.cache.cache_used;
+    S.uint e h.cache.cache_entries;
+    S.uint e h.cache.cache_hits;
+    S.uint e h.cache.cache_misses;
+    S.string e h.io_backend;
+    S.list e
+      (fun (name, sub) ->
+        S.string e name;
+        health_block e sub)
+      h.shards
 end
 
 module Codec_body = Body (Codec_sink)
@@ -350,7 +369,7 @@ let read_cost d =
   let scans = Codec.read_uint d in
   { Cost.probes; tuples; scans }
 
-let response_of_decoder d =
+let rec response_of_decoder d =
   match Codec.read_u8 d with
   | t when t = tag_answers ->
       let id = Codec.read_uint d in
@@ -383,37 +402,42 @@ let response_of_decoder d =
       Stats_reply { id; json = Codec.read_string d }
   | t when t = tag_health_reply ->
       let id = Codec.read_uint d in
-      let ready = Codec.read_bool d in
-      let space = Codec.read_uint d in
-      let workers = Codec.read_uint d in
-      let queue_capacity = Codec.read_uint d in
-      let cache_budget = Codec.read_uint d in
-      let cache_used = Codec.read_uint d in
-      let cache_entries = Codec.read_uint d in
-      let cache_hits = Codec.read_uint d in
-      let cache_misses = Codec.read_uint d in
-      let io_backend = Codec.read_string d in
-      Health_reply
-        {
-          id;
-          health =
-            {
-              ready;
-              space;
-              workers;
-              queue_capacity;
-              cache =
-                {
-                  cache_budget;
-                  cache_used;
-                  cache_entries;
-                  cache_hits;
-                  cache_misses;
-                };
-              io_backend;
-            };
-        }
+      Health_reply { id; health = read_health d ~depth:0 }
   | t -> raise (Codec.Corrupt (Printf.sprintf "unknown response tag 0x%02x" t))
+
+(* a fleet is one router over replicas, so legitimate nesting is depth 1;
+   the guard keeps a hostile frame from recursing the decoder deep *)
+and read_health d ~depth =
+  if depth > 4 then raise (Codec.Corrupt "health nesting too deep");
+  let ready = Codec.read_bool d in
+  let space = Codec.read_uint d in
+  let workers = Codec.read_uint d in
+  let queue_capacity = Codec.read_uint d in
+  let queue_depth = Codec.read_uint d in
+  let uptime_ns = Codec.read_uint d in
+  let cache_budget = Codec.read_uint d in
+  let cache_used = Codec.read_uint d in
+  let cache_entries = Codec.read_uint d in
+  let cache_hits = Codec.read_uint d in
+  let cache_misses = Codec.read_uint d in
+  let io_backend = Codec.read_string d in
+  let shards =
+    Codec.read_list d (fun () ->
+        let name = Codec.read_string d in
+        (name, read_health d ~depth:(depth + 1)))
+  in
+  {
+    ready;
+    space;
+    workers;
+    queue_capacity;
+    queue_depth;
+    uptime_ns;
+    cache =
+      { cache_budget; cache_used; cache_entries; cache_hits; cache_misses };
+    io_backend;
+    shards;
+  }
 
 let decode_request blob = decode_body "request" blob request_of_decoder
 let decode_response blob = decode_body "response" blob response_of_decoder

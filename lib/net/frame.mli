@@ -101,11 +101,24 @@ type health = {
   space : int;  (** intrinsic stored tuples of the served engine *)
   workers : int;
   queue_capacity : int;
+  queue_depth : int;
+      (** jobs waiting in the bounded queue at reply time (protocol v5) *)
+  uptime_ns : int;
+      (** monotonic nanoseconds since the serving process started
+          (protocol v5).  A router compares this across polls: a value
+          that went {e backwards} means the shard restarted, so any
+          health or cache statistics it aggregated before are stale and
+          must be discarded. *)
   cache : cache_health;  (** answer-cache occupancy and hit counts *)
   io_backend : string;
       (** the readiness backend the server's IO loop runs on ([epoll] or
           [select], protocol v4) — benchmarks assert which loop they
           measured *)
+  shards : (string * health) list;
+      (** per-shard health blocks, named (protocol v5).  Empty for a
+          replica; a router reports one block per shard and fleet-level
+          sums in the top-level fields.  Nesting is bounded (depth 4) at
+          decode time. *)
 }
 
 type response =

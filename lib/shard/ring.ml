@@ -1,0 +1,123 @@
+(* Consistent-hash ring over canonical request keys.
+
+   Each shard contributes [vnodes] points on a 64-bit circle; a key is
+   owned by the first point clockwise from its hash.  Virtual nodes keep
+   the load spread even with a handful of shards, and give the ring its
+   minimal-movement property: adding or removing a shard only moves the
+   keys whose nearest point changed — every other key keeps its owner,
+   so every other shard keeps its warm cache.
+
+   The hash is FNV-1a 64: deterministic across processes and OCaml
+   versions (never [Hashtbl.hash], whose output is explicitly not a
+   wire-stable function), cheap, and plenty uniform for key placement.
+   Keys are the canonical bytes from [Stt_cache.Key], so two requests
+   that canonicalize equal land on the same shard by construction.
+
+   The ring is immutable; [add]/[remove] return a new ring.  The router
+   swaps rings under its own lock — an in-flight request routed on the
+   old ring either completes (any replica can answer: replicas are full
+   snapshots, the partition is for cache locality) or fails over via
+   [owners]. *)
+
+type t = {
+  vnodes : int;
+  points : (int64 * string) array; (* sorted by point, then name *)
+  shards : string list; (* sorted, distinct *)
+}
+
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+(* splitmix64 finalizer: raw FNV-1a leaves the last bytes of short,
+   structured inputs ("shard-0#17", canonical key bytes) almost entirely
+   in the LOW bits — every vnode of a shard then shares its high bits
+   and the ring collapses into one arc per shard.  The unsigned point
+   order lives in the high bits, so finish with a full-avalanche mix. *)
+let mix64 h =
+  let h = Int64.logxor h (Int64.shift_right_logical h 33) in
+  let h = Int64.mul h 0xff51afd7ed558ccdL in
+  let h = Int64.logxor h (Int64.shift_right_logical h 33) in
+  let h = Int64.mul h 0xc4ceb9fe1a85ec53L in
+  Int64.logxor h (Int64.shift_right_logical h 33)
+
+let fnv1a64 s =
+  let h = ref fnv_offset in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) fnv_prime)
+    s;
+  mix64 !h
+
+(* points sort in unsigned order so the clockwise walk is well defined
+   on the full 64-bit circle *)
+let compare_points (h1, n1) (h2, n2) =
+  match Int64.unsigned_compare h1 h2 with
+  | 0 -> String.compare n1 n2
+  | c -> c
+
+let default_vnodes = 128
+
+let create ?(vnodes = default_vnodes) names =
+  if vnodes < 1 then invalid_arg "Ring.create: vnodes must be >= 1";
+  let shards = List.sort_uniq String.compare names in
+  let points =
+    List.concat_map
+      (fun name ->
+        List.init vnodes (fun i ->
+            (fnv1a64 (Printf.sprintf "%s#%d" name i), name)))
+      shards
+    |> Array.of_list
+  in
+  Array.sort compare_points points;
+  { vnodes; points; shards }
+
+let shards t = t.shards
+let is_empty t = t.shards = []
+let mem t name = List.mem name t.shards
+
+let add t name =
+  if mem t name then t else create ~vnodes:t.vnodes (name :: t.shards)
+
+let remove t name =
+  if not (mem t name) then t
+  else create ~vnodes:t.vnodes (List.filter (( <> ) name) t.shards)
+
+(* index of the first point clockwise from [h] (unsigned), wrapping *)
+let successor t h =
+  let n = Array.length t.points in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Int64.unsigned_compare (fst t.points.(mid)) h < 0 then lo := mid + 1
+    else hi := mid
+  done;
+  if !lo = n then 0 else !lo
+
+let owner t key =
+  if is_empty t then invalid_arg "Ring.owner: empty ring";
+  snd t.points.(successor t (fnv1a64 key))
+
+(* first [n] distinct shards on the clockwise walk — the failover
+   preference order.  [owners t ~n:(List.length (shards t)) key] visits
+   every shard, so a router draining shard after shard always finds the
+   next owner. *)
+let owners t ~n key =
+  if is_empty t then []
+  else begin
+    let total = Array.length t.points in
+    let want = min n (List.length t.shards) in
+    let seen = Hashtbl.create 8 in
+    let acc = ref [] in
+    let i = ref (successor t (fnv1a64 key)) in
+    let steps = ref 0 in
+    while Hashtbl.length seen < want && !steps < total do
+      let name = snd t.points.(!i) in
+      if not (Hashtbl.mem seen name) then begin
+        Hashtbl.add seen name ();
+        acc := name :: !acc
+      end;
+      i := if !i + 1 = total then 0 else !i + 1;
+      incr steps
+    done;
+    List.rev !acc
+  end

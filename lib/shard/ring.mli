@@ -1,0 +1,39 @@
+(** Consistent-hash ring: canonical request keys -> shard names.
+
+    Keys are the canonical bytes of [Stt_cache.Key] (routing, caching,
+    and batch dedup share one equivalence), hashed with FNV-1a 64 — a
+    deterministic, process-independent hash, so every router maps a key
+    to the same shard.  Each shard holds [vnodes] virtual points on the
+    64-bit circle; a key belongs to the first point clockwise.
+
+    The ring is immutable: {!add} and {!remove} return new rings and
+    move only the keys whose nearest point changed (minimal movement —
+    the other shards keep their warm caches). *)
+
+type t
+
+val create : ?vnodes:int -> string list -> t
+(** Build a ring over (distinct) shard names; [vnodes] defaults to 128
+    points per shard.  Raises [Invalid_argument] if [vnodes < 1].  An
+    empty name list yields an empty ring. *)
+
+val shards : t -> string list
+(** Sorted, distinct. *)
+
+val is_empty : t -> bool
+val mem : t -> string -> bool
+
+val add : t -> string -> t
+(** No-op if already present. *)
+
+val remove : t -> string -> t
+(** No-op if absent. *)
+
+val owner : t -> string -> string
+(** The shard owning [key].  Raises [Invalid_argument] on an empty
+    ring. *)
+
+val owners : t -> n:int -> string -> string list
+(** The first [n] distinct shards clockwise from [key] — the failover
+    preference order (the head equals {!owner}).  Shorter than [n] when
+    the ring has fewer shards; [[]] on an empty ring. *)

@@ -164,3 +164,40 @@ module Reader = struct
         | exception Codec.Corrupt ctx ->
             Error (Malformed (Printf.sprintf "section %S: %s" name ctx)))
 end
+
+(* Snapshot shipping: the replication primitive of the sharded tier.
+   Build once, ship bytes to each replica — the copy is validated
+   section by section (magic, framing, every CRC) before it lands, at
+   whatever format version the file declares (shipping is transport, not
+   interpretation: the replica's [load] still enforces its own version),
+   and written atomically (tmp + rename) so a replica never boots from a
+   torn file. *)
+let ship ~src ~dst =
+  match Reader.read_file src with
+  | Error _ as e -> e
+  | Ok blob -> (
+      if String.length blob < String.length magic + 4 then
+        Error (Truncated "header")
+      else if String.sub blob 0 (String.length magic) <> magic then
+        Error Bad_magic
+      else
+        let declared =
+          Codec.read_u32 (Codec.decoder (String.sub blob (String.length magic) 4))
+        in
+        match Reader.parse ~version:declared blob with
+        | Error _ as e -> e
+        | Ok _ -> (
+            let tmp = dst ^ ".ship-tmp" in
+            match
+              let oc = open_out_bin tmp in
+              (match output_string oc blob with
+              | () -> close_out oc
+              | exception e ->
+                  close_out_noerr oc;
+                  raise e);
+              Sys.rename tmp dst
+            with
+            | () -> Ok (String.length blob)
+            | exception Sys_error msg ->
+                (try Sys.remove tmp with Sys_error _ -> ());
+                Error (Io_error msg)))

@@ -72,3 +72,14 @@ module Reader : sig
   val bytes : t -> int
   (** Total file size in bytes. *)
 end
+
+val ship : src:string -> dst:string -> (int, error) result
+(** Validate the snapshot at [src] — magic, section framing, every CRC,
+    at whatever format version the file declares — and copy it to [dst]
+    atomically (tmp file + rename), returning the bytes shipped.  This
+    is the replication primitive of the sharded serving tier: build one
+    snapshot, [ship] it to each replica's boot path; a corrupt source
+    surfaces as a typed {!error} before any replica sees it, and a
+    crashed ship never leaves a torn [dst].  Shipping does not interpret
+    the payload, so it forwards snapshots across format versions; the
+    consumer's [load] still enforces its own expected version. *)

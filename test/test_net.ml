@@ -62,6 +62,45 @@ let gen_answer =
     gen_tuples >>= fun (row_arity, rows) ->
     gen_cost >|= fun cost -> { Frame.rows; row_arity; cost })
 
+(* v5 health blocks nest: a router's block carries one sub-block per
+   shard, a replica's shard list is empty — generate both shapes *)
+let gen_health ~shards =
+  QCheck.Gen.(
+    let leaf =
+      quad bool (int_bound 100_000) (int_bound 64) (int_bound 4096)
+      >>= fun (ready, space, workers, queue_capacity) ->
+      quad (int_bound 100_000) (int_bound 100_000) (int_bound 10_000)
+        (pair (int_bound 1_000_000) (int_bound 1_000_000))
+      >>= fun (cache_budget, cache_used, cache_entries, (hits, misses)) ->
+      pair (int_bound 4096) (int_bound 1_000_000_000)
+      >>= fun (queue_depth, uptime_ns) ->
+      oneofl [ "epoll"; "select" ] >|= fun io_backend ->
+      {
+        Frame.ready;
+        space;
+        workers;
+        queue_capacity;
+        queue_depth;
+        uptime_ns;
+        cache =
+          {
+            Frame.cache_budget;
+            cache_used;
+            cache_entries;
+            cache_hits = hits;
+            cache_misses = misses;
+          };
+        io_backend;
+        shards = [];
+      }
+    in
+    if not shards then leaf
+    else
+      leaf >>= fun top ->
+      list_size (int_bound 4)
+        (pair (string_size ~gen:(char_range 'a' 'z') (int_range 1 8)) leaf)
+      >|= fun subs -> { top with Frame.shards = subs })
+
 let gen_response =
   QCheck.Gen.(
     oneof
@@ -86,32 +125,8 @@ let gen_response =
           string_size (int_bound 200) >|= fun json ->
           Frame.Stats_reply { id; json } );
         ( int_bound 1_000_000 >>= fun id ->
-          quad bool (int_bound 100_000) (int_bound 64) (int_bound 4096)
-          >>= fun (ready, space, workers, queue_capacity) ->
-          quad (int_bound 100_000) (int_bound 100_000) (int_bound 10_000)
-            (pair (int_bound 1_000_000) (int_bound 1_000_000))
-          >>= fun (cache_budget, cache_used, cache_entries, (hits, misses)) ->
-          oneofl [ "epoll"; "select" ] >|= fun io_backend ->
-          Frame.Health_reply
-            {
-              id;
-              health =
-                {
-                  Frame.ready;
-                  space;
-                  workers;
-                  queue_capacity;
-                  cache =
-                    {
-                      Frame.cache_budget;
-                      cache_used;
-                      cache_entries;
-                      cache_hits = hits;
-                      cache_misses = misses;
-                    };
-                  io_backend;
-                };
-            } );
+          gen_health ~shards:true >|= fun health ->
+          Frame.Health_reply { id; health } );
       ])
 
 let request_roundtrip =
@@ -228,13 +243,13 @@ let hello_checks () =
   (match Frame.check_hello skewed with
   | Error (Frame.Version_skew { found = 0x63; _ }) -> ()
   | _ -> Alcotest.fail "version skew not detected");
-  (* a v3 peer (pre-io_backend Health) must be refused by a v4 server *)
-  Alcotest.(check int) "io_backend health bumped the protocol to v4" 4
+  (* a v4 peer (pre-shard Health) must be refused by a v5 server *)
+  Alcotest.(check int) "sharded health bumped the protocol to v5" 5
     Frame.protocol_version;
-  let v3 = String.sub Frame.hello 0 8 ^ "\x03\x00\x00\x00" in
-  (match Frame.check_hello v3 with
-  | Error (Frame.Version_skew { found = 3; expected = 4 }) -> ()
-  | _ -> Alcotest.fail "v3 hello not rejected by v4");
+  let v4 = String.sub Frame.hello 0 8 ^ "\x04\x00\x00\x00" in
+  (match Frame.check_hello v4 with
+  | Error (Frame.Version_skew { found = 4; expected = 5 }) -> ()
+  | _ -> Alcotest.fail "v4 hello not rejected by v5");
   match Frame.check_hello "short" with
   | Error (Frame.Truncated _) -> ()
   | _ -> Alcotest.fail "short hello not detected"

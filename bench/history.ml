@@ -73,11 +73,25 @@ let metrics_of_experiment = function
         m "delta_rebuild_ratio" "data.delta_rebuild_ratio";
         m "delta_wall_p50_s" "data.delta_wall_p50_s";
       ]
+  | "emp-agg" ->
+      [
+        m "agg_ops_ratio" "data.agg_ops_ratio";
+        m "tight_agg_ops_ratio" "data.tight_agg_ops_ratio";
+        m "full_agg_wall_s" "data.full_count.agg_wall_s";
+      ]
+  | "agg-net" ->
+      [
+        m ~gated:true "aggs_per_sec" "data.aggs_per_sec";
+        m "p50_us" "data.p50_us";
+        m "p99_us" "data.p99_us";
+        m "shards" "data.shards";
+      ]
   | _ -> [ m "wall_s" "wall_s" ]
 
 (* strings worth carrying along for the page (never gated) *)
 let tags_of_experiment = function
   | "emp-net" | "emp-shard" -> [ ("io_backend", "data.io_backend") ]
+  | "agg-net" -> [ ("agg", "data.agg") ]
   | _ -> []
 
 let lookup_path doc path =

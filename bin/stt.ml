@@ -639,6 +639,16 @@ let port_arg =
     value & opt nonneg_int 7421
     & info [ "port" ] ~docv:"PORT" ~doc:"TCP port ($(b,0) picks an ephemeral one).")
 
+let serve_agg_budget_arg =
+  Arg.(
+    value & opt nonneg_int 0
+    & info [ "agg-budget" ] ~docv:"N"
+        ~doc:
+          "Enable semiring aggregates (COUNT/SUM/MIN/MAX) with at most \
+           $(docv) precomputed table entries per kind; $(b,0) leaves \
+           aggregates off.  Snapshots built with aggregates enabled serve \
+           them regardless of this flag.")
+
 let queue_arg =
   Arg.(
     value & opt pos_int 128
@@ -673,8 +683,8 @@ let serve_net_cmd =
     "Serve access requests over TCP: worker domains behind a bounded job \
      queue, per-request deadlines, graceful SIGTERM/SIGINT drain."
   in
-  let run q budget nedges seed cache_budget jobs snapshot port queue io_backend
-      json_dir =
+  let run q budget nedges seed cache_budget jobs snapshot agg_budget port queue
+      io_backend json_dir =
     with_artifact "serve-net" json_dir @@ fun () ->
     set_jobs jobs;
     let open Stt_net in
@@ -709,8 +719,16 @@ let serve_net_cmd =
             (Db.size db);
           let idx = Engine.build_auto ~max_pmtds:128 q ~db ~budget in
           Format.printf "space: %d stored tuples@." (Engine.space idx);
+          if agg_budget > 0 then
+            Engine.enable_agg idx ~db ~budget:agg_budget;
           (idx, "build")
     in
+    if Engine.agg_enabled idx then
+      Format.printf "aggregates: %s (budget %d, %d table entries)@."
+        (String.concat ","
+           (List.map Stt_semiring.Semiring.name (Engine.agg_kinds idx)))
+        (Engine.agg_budget idx)
+        (Engine.agg_table_size idx);
     if cache_budget > 0 then begin
       Engine.attach_cache idx ~budget:cache_budget;
       Format.printf "answer cache: %d stored tuples budget@." cache_budget
@@ -723,6 +741,10 @@ let serve_net_cmd =
         ?update_handler:
           (if Engine.supports_maintenance idx then
              Some (Server.engine_update_handler idx)
+           else None)
+        ?agg_handler:
+          (if Engine.agg_enabled idx then
+             Some (Server.engine_agg_handler idx)
            else None)
         ?io_backend
         (Server.engine_handler idx)
@@ -763,6 +785,8 @@ let serve_net_cmd =
       ("rejected_overload", Json.Int st.Server.rejected_overload);
       ("rejected_deadline", Json.Int st.Server.rejected_deadline);
       ("bad_requests", Json.Int st.Server.bad_requests);
+      ("agg_enabled", Json.Bool (Engine.agg_enabled idx));
+      ("agg_table_size", Json.Int (Engine.agg_table_size idx));
       ("server_trace", server_trace);
     ]
     @ json_cache_stats idx
@@ -770,8 +794,8 @@ let serve_net_cmd =
   Cmd.v (Cmd.info "serve-net" ~doc)
     Term.(
       const run $ serve_query_arg $ budget_arg $ edges_arg $ seed_arg
-      $ cache_budget_arg $ jobs_arg $ from_snapshot_arg $ port_arg $ queue_arg
-      $ io_backend_arg $ json_arg)
+      $ cache_budget_arg $ jobs_arg $ from_snapshot_arg $ serve_agg_budget_arg
+      $ port_arg $ queue_arg $ io_backend_arg $ json_arg)
 
 (* ---------------------------------------------------------------- *)
 (* route: the sharded tier's router process                           *)
@@ -1006,6 +1030,32 @@ let drain_after_arg =
            so in-flight tuples re-route to the surviving owners.  The \
            zero-loss gate still applies.")
 
+let agg_arg =
+  let parse s =
+    match Stt_semiring.Semiring.of_name s with
+    | Some k -> Ok (Some k)
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf
+               "unknown aggregate %S (expected count, sum, min or max)" s))
+  in
+  let print ppf = function
+    | None -> Format.pp_print_string ppf "none"
+    | Some k -> Format.pp_print_string ppf (Stt_semiring.Semiring.name k)
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) None
+    & info [ "agg" ] ~docv:"KIND"
+        ~doc:
+          "Aggregate workload: drive $(docv) (count, sum, min or max) \
+           aggregate frames instead of tuple requests, and check every \
+           reply against a direct local $(b,answer_agg) over the same \
+           synthetic data — any disagreement fails the run.  With \
+           $(b,--shards N) the fleet snapshot ships the aggregate tables \
+           and replies are router-merged partials.")
+
 let rec json_of_health (h : Stt_net.Frame.health) =
   let ch = h.Stt_net.Frame.cache in
   Json.Obj
@@ -1044,13 +1094,17 @@ let bench_net_cmd =
   in
   let run q budget nedges seed host port connections drivers active requests
       batch skew cache_budget deadline_ms verify artifact speedup_vs shards
-      shard_jobs router_jobs drain_after io_backend =
+      shard_jobs router_jobs drain_after agg io_backend =
     require_single_edge_relation "bench-net" q;
     let open Stt_net in
     let sharded = shards > 0 in
-    (* the sharded experiment gets its own artifact lineage *)
+    (* the sharded and aggregate experiments get their own artifact
+       lineages *)
     let artifact =
-      if sharded && artifact = "BENCH_emp-net.json" then "BENCH_emp-shard.json"
+      if artifact = "BENCH_emp-net.json" then
+        match agg with
+        | Some _ -> "BENCH_agg-net.json"
+        | None -> if sharded then "BENCH_emp-shard.json" else artifact
       else artifact
     in
     (* resolve the comparison artifact up front, so a bad path fails
@@ -1100,6 +1154,17 @@ let bench_net_cmd =
           Hashtbl.replace built b idx;
           idx
     in
+    (* aggregate mode needs semiring state on the benched index: in
+       sharded mode it must be there before the snapshot is saved (that
+       is how the replicas get it), and either way the same index serves
+       as the direct-evaluation reference.  The db is rebuilt from the
+       same seed, which yields the identical edge set. *)
+    let ensure_agg idx =
+      if not (Engine.agg_enabled idx) then begin
+        let db = Scenario.synthetic_db ~seed ~vertices ~edges:nedges in
+        Engine.enable_agg idx ~db ~budget
+      end
+    in
     let verify_fn =
       if not verify then None
       else begin
@@ -1125,6 +1190,7 @@ let bench_net_cmd =
         let module Fleet = Stt_shard.Fleet in
         let module Router = Stt_shard.Router in
         let idx = build_index budget in
+        if agg <> None then ensure_agg idx;
         let dir =
           Filename.concat
             (Filename.get_temp_dir_name ())
@@ -1217,6 +1283,210 @@ let bench_net_cmd =
       Atomic.set run_over true;
       Option.iter Domain.join drain_domain
     in
+    match agg with
+    | Some k ->
+        (* ------------------------------------------------------------ *)
+        (* aggregate mode: Frame.Agg frames, every reply checked against *)
+        (* a direct local answer_agg over the same synthetic data        *)
+        (* ------------------------------------------------------------ *)
+        let kind_name = Stt_semiring.Semiring.name k in
+        let kind = Stt_semiring.Semiring.to_tag k in
+        let ref_idx = build_index budget in
+        ensure_agg ref_idx;
+        let schema = Engine.access_schema ref_idx in
+        let frames =
+          let rec chunk = function
+            | [] -> []
+            | l ->
+                let rec take n acc rest =
+                  match (n, rest) with
+                  | 0, rest | _, ([] as rest) -> (List.rev acc, rest)
+                  | n, x :: rest -> take (n - 1) (x :: acc) rest
+                in
+                let frame, rest = take batch [] l in
+                frame :: chunk rest
+          in
+          chunk
+            (Scenario.zipf_requests ~seed:(seed + 1) ~n:vertices ~requests
+               ~skew ~arity)
+        in
+        let frame_arr = Array.of_list frames in
+        let nframes = Array.length frame_arr in
+        let pool = max 1 (min (min drivers connections) nframes) in
+        Format.printf
+          "%d %s-aggregate frames (%d tuples each) over %d connections@."
+          nframes kind_name batch pool;
+        Format.print_flush ();
+        let next = Atomic.make 0 in
+        let t0 = Unix.gettimeofday () in
+        let worker () =
+          match Client.connect ~host ~port () with
+          | Error e -> Error (Frame.error_to_string e)
+          | Ok c ->
+              let out = ref [] in
+              let rec loop () =
+                let i = Atomic.fetch_and_add next 1 in
+                if i < nframes then begin
+                  let tuples = frame_arr.(i) in
+                  let s0 = Unix.gettimeofday () in
+                  let res =
+                    match
+                      Client.rpc c
+                        (Frame.Agg
+                           {
+                             id = i;
+                             deadline_us = deadline_ms * 1000;
+                             kind;
+                             arity;
+                             tuples;
+                           })
+                    with
+                    | Ok (Frame.Agg_reply { id; value; _ }) when id = i ->
+                        Ok value
+                    | Ok (Frame.Rejected { reject; _ }) ->
+                        Error
+                          (match reject with
+                          | Frame.Overloaded -> "overloaded"
+                          | Frame.Deadline_exceeded -> "deadline exceeded"
+                          | Frame.Bad_request m -> "bad request: " ^ m)
+                    | Ok _ -> Error "unexpected reply frame"
+                    | Error e -> Error (Frame.error_to_string e)
+                  in
+                  let rtt_us = (Unix.gettimeofday () -. s0) *. 1e6 in
+                  out := (tuples, res, rtt_us) :: !out;
+                  loop ()
+                end
+              in
+              loop ();
+              Client.close c;
+              Ok !out
+        in
+        let joined =
+          List.map Domain.join (List.init pool (fun _ -> Domain.spawn worker))
+        in
+        let wall = Unix.gettimeofday () -. t0 in
+        join_drain ();
+        let conn_errors =
+          List.filter_map (function Error m -> Some m | Ok _ -> None) joined
+        in
+        List.iter
+          (fun m -> Format.eprintf "stt bench-net: connect: %s@." m)
+          conn_errors;
+        let replies =
+          List.concat_map (function Ok l -> l | Error _ -> []) joined
+        in
+        (* verification runs sequentially after the load: the engine's op
+           counters are not domain-safe, and this keeps the timed window
+           free of local evaluation work *)
+        let mismatched = ref 0 and answered = ref 0 and errors = ref 0 in
+        let sent = ref 0 in
+        List.iter
+          (fun (tuples, res, _) ->
+            sent := !sent + List.length tuples;
+            match res with
+            | Error _ -> incr errors
+            | Ok value ->
+                incr answered;
+                let q_a = Stt_relation.Relation.of_list schema tuples in
+                let expected, _ = Engine.answer_agg ref_idx k ~q_a in
+                if expected <> value then begin
+                  incr mismatched;
+                  if !mismatched <= 3 then
+                    Format.eprintf
+                      "stt bench-net: %s aggregate mismatch: served %d, \
+                       direct %d@."
+                      kind_name value expected
+                end)
+          replies;
+        let rtts =
+          List.filter_map
+            (fun (_, res, rtt) ->
+              match res with Ok _ -> Some rtt | Error _ -> None)
+            replies
+          |> Array.of_list
+        in
+        Array.sort compare rtts;
+        let pct p =
+          if Array.length rtts = 0 then 0.0
+          else
+            rtts.(min
+                    (Array.length rtts - 1)
+                    (int_of_float (p *. float_of_int (Array.length rtts))))
+        in
+        let identical =
+          !answered > 0 && !mismatched = 0 && !errors = 0 && conn_errors = []
+        in
+        let shard_fields =
+          match fleet_ctx with
+          | None -> []
+          | Some (router, _, _) ->
+              [
+                ("shards", Json.Int shards);
+                ("shard_jobs", Json.Int shard_jobs);
+                ("router_jobs", Json.Int router_jobs);
+                ( "shard_errors",
+                  Json.Int (Stt_shard.Router.shard_errors router) );
+                ( "retried_tuples",
+                  Json.Int (Stt_shard.Router.retried_tuples router) );
+              ]
+        in
+        teardown ();
+        Format.printf
+          "%d tuples in %d frames: %d answered, %d errors, %d mismatched \
+           (identical_answers=%b)@."
+          !sent nframes !answered !errors !mismatched identical;
+        Format.printf
+          "%.0f aggregates/sec   rtt p50 %.0fus  p95 %.0fus  p99 %.0fus@."
+          (float_of_int !answered /. wall)
+          (pct 0.50) (pct 0.95) (pct 0.99);
+        let doc =
+          Json.Obj
+            [
+              ("schema", Json.String "stt-bench/1");
+              ("experiment", Json.String "agg-net");
+              ("wall_s", Json.Float wall);
+              ( "data",
+                Json.Obj
+                  ([
+                     ("host", Json.String host);
+                     ("port", Json.Int port);
+                     ("agg", Json.String kind_name);
+                     ("budget", Json.Int budget);
+                     ("edges", Json.Int nedges);
+                     ("connections", Json.Int pool);
+                     ("requests", Json.Int requests);
+                     ("batch", Json.Int batch);
+                     ("skew", Json.Float skew);
+                     ("frames", Json.Int nframes);
+                     ("sent", Json.Int !sent);
+                     ("answered_frames", Json.Int !answered);
+                     ("errors", Json.Int !errors);
+                     ("mismatched", Json.Int !mismatched);
+                     ("identical_answers", Json.Bool identical);
+                     ("elapsed_s", Json.Float wall);
+                     ( "aggs_per_sec",
+                       Json.Float (float_of_int !answered /. wall) );
+                     ("p50_us", Json.Float (pct 0.50));
+                     ("p95_us", Json.Float (pct 0.95));
+                     ("p99_us", Json.Float (pct 0.99));
+                     ( "agg_table_size",
+                       Json.Int (Engine.agg_table_size ref_idx) );
+                     ( "host_cpus",
+                       Json.Int (Domain.recommended_domain_count ()) );
+                   ]
+                  @ shard_fields) );
+            ]
+        in
+        Json.to_file artifact doc;
+        Format.printf "artifact: %s@." artifact;
+        if not identical then begin
+          Format.eprintf
+            "stt bench-net: aggregate run not clean (answered %d, errors %d, \
+             mismatched %d)@."
+            !answered !errors !mismatched;
+          exit 1
+        end
+    | None ->
     Obs.set_enabled true;
     Obs.reset ();
     let cfg =
@@ -1429,7 +1699,8 @@ let bench_net_cmd =
       $ net_requests_arg
       $ net_batch_arg $ skew_arg $ cache_budget_arg $ deadline_ms_arg
       $ verify_arg $ bench_artifact_arg $ speedup_vs_arg $ shards_arg
-      $ shard_jobs_arg $ router_jobs_arg $ drain_after_arg $ io_backend_arg)
+      $ shard_jobs_arg $ router_jobs_arg $ drain_after_arg $ agg_arg
+      $ io_backend_arg)
 
 let main =
   let doc = "space-time tradeoffs for conjunctive queries with access patterns" in

@@ -1,0 +1,58 @@
+open Stt_relation
+module Semiring = Stt_semiring.Semiring
+
+type weighted_edges = (int * int * int) list
+
+type t = { engine : Stt_core.Engine.t }
+
+let build ~k edges ~budget ~agg_budget =
+  List.iter
+    (fun (_, _, w) -> if w < 0 then invalid_arg "Minreach.build: negative weight")
+    edges;
+  let q = Stt_hypergraph.Cq.Library.k_path k in
+  let db = Stt_core.Db.create () in
+  Stt_core.Db.add_weighted db "R"
+    (List.map (fun (u, v, w) -> ([| u; v |], w)) edges);
+  let engine = Stt_core.Engine.build_auto q ~db ~budget in
+  Stt_core.Engine.enable_agg ~kinds:[ Semiring.Min ] engine ~db
+    ~budget:agg_budget;
+  { engine }
+
+let engine t = t.engine
+let space t = Stt_core.Engine.total_space t.engine
+
+let min_weight t u v =
+  let q_a =
+    Relation.of_list (Stt_core.Engine.access_schema t.engine) [ [| u; v |] ]
+  in
+  let w, _ = Stt_core.Engine.answer_agg t.engine Semiring.Min ~q_a in
+  if w = Semiring.zero Semiring.Min then None else Some w
+
+(* Bellman–Ford-style DP over exactly-i-edge walks; duplicate (u, v)
+   edges keep the last weight, matching Db.add_weighted *)
+let naive edges ~k u v =
+  let weight = Tuple.Tbl.create (List.length edges) in
+  let adj = Hashtbl.create 64 in
+  List.iter
+    (fun (a, b, w) ->
+      let key = [| a; b |] in
+      if not (Tuple.Tbl.mem weight key) then
+        Hashtbl.replace adj a (b :: (try Hashtbl.find adj a with Not_found -> []));
+      Tuple.Tbl.replace weight key w)
+    edges;
+  let dist = ref (Hashtbl.create 64) in
+  Hashtbl.replace !dist u 0;
+  for _ = 1 to k do
+    let next = Hashtbl.create 64 in
+    Hashtbl.iter
+      (fun w d ->
+        List.iter
+          (fun x ->
+            let cand = d + Tuple.Tbl.find weight [| w; x |] in
+            let prev = try Hashtbl.find next x with Not_found -> max_int in
+            if cand < prev then Hashtbl.replace next x cand)
+          (try Hashtbl.find adj w with Not_found -> []))
+      !dist;
+    dist := next
+  done;
+  try Some (Hashtbl.find !dist v) with Not_found -> None

@@ -1,0 +1,27 @@
+(** Min-weight k-reachability: the lightest [k]-edge walk between two
+    vertices, as a sum-product CQAP over the tropical semiring
+    (min, +).  The engine's MIN-annotated aggregate path answers the
+    access request without enumerating the walks
+    ({!Stt_core.Engine.answer_agg} with {!Stt_semiring.Semiring.Min}). *)
+
+type weighted_edges = (int * int * int) list
+(** [(u, v, w)] — a directed edge of nonnegative weight [w].  Duplicate
+    [(u, v)] pairs keep the last weight. *)
+
+type t
+
+val build : k:int -> weighted_edges -> budget:int -> agg_budget:int -> t
+(** [budget] bounds the tuple-answering structures, [agg_budget] the
+    precomputed MIN table.  Raises [Invalid_argument] on a negative
+    edge weight (the tropical sum saturates instead of wrapping, so
+    negative weights would be silently unsound). *)
+
+val min_weight : t -> int -> int -> int option
+(** Weight of the lightest exactly-[k]-edge walk from [u] to [v], or
+    [None] when no such walk exists.  Cost-counted. *)
+
+val space : t -> int
+val engine : t -> Stt_core.Engine.t
+
+val naive : weighted_edges -> k:int -> int -> int -> int option
+(** Reference by layered relaxation (tests only). *)

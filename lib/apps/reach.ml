@@ -200,6 +200,48 @@ module AtMost = struct
     u = v || List.exists (fun o -> Framework.query o u v) t.oracles
 end
 
+module Counting = struct
+  type t = { engine : Stt_core.Engine.t }
+
+  let build ~k edges ~budget ~agg_budget =
+    let q = Stt_hypergraph.Cq.Library.k_path k in
+    let db = Stt_core.Db.create () in
+    Stt_core.Db.add_pairs db "R" edges;
+    let engine = Stt_core.Engine.build_auto q ~db ~budget in
+    Stt_core.Engine.enable_agg ~kinds:[ Stt_semiring.Semiring.Count ] engine
+      ~db ~budget:agg_budget;
+    { engine }
+
+  let engine t = t.engine
+
+  let count t u v =
+    let q_a =
+      Relation.of_list (Stt_core.Engine.access_schema t.engine) [ [| u; v |] ]
+    in
+    fst (Stt_core.Engine.answer_agg t.engine Stt_semiring.Semiring.Count ~q_a)
+end
+
+(* layered DP: [counts.(i)] maps w to the number of distinct i-edge walks
+   u -> ... -> w (edge multiset deduped, matching set semantics of the
+   stored relation) *)
+let naive_count edges ~k u v =
+  let adj = adjacency edges in
+  let counts = ref (Hashtbl.create 64) in
+  Hashtbl.replace !counts u 1;
+  for _ = 1 to k do
+    let next = Hashtbl.create 64 in
+    Hashtbl.iter
+      (fun w c ->
+        List.iter
+          (fun x ->
+            let prev = try Hashtbl.find next x with Not_found -> 0 in
+            Hashtbl.replace next x (prev + c))
+          (successors adj w))
+      !counts;
+    counts := next
+  done;
+  try Hashtbl.find !counts v with Not_found -> 0
+
 let naive edges ~k u v =
   let rec go k u =
     if k = 0 then u = v

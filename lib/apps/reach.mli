@@ -55,5 +55,27 @@ module AtMost : sig
   val query : t -> int -> int -> bool
 end
 
+module Counting : sig
+  (** Path {e counting}: how many distinct [k]-edge walks [u -> ... -> v]?
+      A sum-product CQAP over the counting semiring — the aggregate is
+      answered without materializing the walks themselves
+      ({!Stt_core.Engine.answer_agg}). *)
+
+  type t
+
+  val build : k:int -> edges -> budget:int -> agg_budget:int -> t
+  (** [budget] bounds the tuple-answering structures (as in
+      {!Framework.build}); [agg_budget] bounds the precomputed COUNT
+      table ({!Stt_core.Engine.enable_agg}). *)
+
+  val count : t -> int -> int -> int
+  (** Number of distinct [k]-edge walks from [u] to [v].  Cost-counted. *)
+
+  val engine : t -> Stt_core.Engine.t
+end
+
+val naive_count : edges -> k:int -> int -> int -> int
+(** Reference walk count by layered dynamic programming (tests only). *)
+
 val naive : edges -> k:int -> int -> int -> bool
 (** Reference by exhaustive path search (tests only). *)

@@ -209,6 +209,41 @@ let disjoint t sets_arr =
         | None -> true
         | Some (s0, _) -> scan (light_elems t s0))
 
+module Counting = struct
+  type t = { k : int; engine : Stt_core.Engine.t }
+
+  let build ~k ~memberships ~budget ~agg_budget =
+    if k < 1 then invalid_arg "Setdisj.Counting.build: k >= 1 required";
+    let q = Stt_hypergraph.Cq.Library.k_set_intersection k in
+    let db = Stt_core.Db.create () in
+    Stt_core.Db.add_pairs db "R" memberships;
+    let engine = Stt_core.Engine.build_auto q ~db ~budget in
+    Stt_core.Engine.enable_agg ~kinds:[ Stt_semiring.Semiring.Count ] engine
+      ~db ~budget:agg_budget;
+    { k; engine }
+
+  let engine t = t.engine
+
+  let cardinality t sets =
+    if Array.length sets <> t.k then
+      invalid_arg "Setdisj.Counting: query arity must equal k";
+    let q_a =
+      Relation.of_list
+        (Stt_core.Engine.access_schema t.engine)
+        [ Array.copy sets ]
+    in
+    fst (Stt_core.Engine.answer_agg t.engine Stt_semiring.Semiring.Count ~q_a)
+end
+
+let naive_cardinality ~memberships sets_arr =
+  let members = Hashtbl.create (List.length memberships) in
+  List.iter (fun (e, s) -> Hashtbl.replace members (e, s) ()) memberships;
+  List.filter_map (fun (e, _) -> Some e) memberships
+  |> List.sort_uniq compare
+  |> List.filter (fun e ->
+         Array.for_all (fun s -> Hashtbl.mem members (e, s)) sets_arr)
+  |> List.length
+
 let naive_disjoint ~memberships sets_arr =
   let sets = Array.to_list sets_arr |> List.sort_uniq compare in
   let members = Hashtbl.create (List.length memberships) in

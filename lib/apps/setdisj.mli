@@ -32,5 +32,30 @@ val intersection : t -> int array -> int list
     the paper).  Heavy combinations replay the stored list; otherwise the
     lightest set is scanned. *)
 
+module Counting : sig
+  (** Intersection {e cardinality} as a sum-product CQAP: the COUNT
+      aggregate of the k-set intersection query over a request fixing
+      all k set variables is exactly [|S_1 ∩ … ∩ S_k|] — the only
+      eliminated variable is the element, so the engine's aggregate
+      path returns the cardinality without materializing the
+      intersection ({!Stt_core.Engine.answer_agg}). *)
+
+  type t
+
+  val build :
+    k:int -> memberships:(int * int) list -> budget:int -> agg_budget:int -> t
+  (** [budget] bounds the tuple-answering structures, [agg_budget] the
+      precomputed COUNT table. *)
+
+  val cardinality : t -> int array -> int
+  (** [cardinality t sets] = size of the intersection of the [k] given
+      sets.  Cost-counted.  Raises [Invalid_argument] on wrong arity. *)
+
+  val engine : t -> Stt_core.Engine.t
+end
+
+val naive_cardinality : memberships:(int * int) list -> int array -> int
+(** Reference intersection cardinality for tests. *)
+
 val naive_disjoint : memberships:(int * int) list -> int array -> bool
 (** Reference implementation for tests. *)

@@ -9,18 +9,26 @@ let canon ~access q_a =
       List.sort Tuple.compare
         (Relation.fold (fun tup acc -> Tuple.project pos tup :: acc) q_a []))
 
-let encode ~arity rows =
+(* The leading byte is the answer kind: 0 for tuple answers, the
+   Stt_semiring tag (1..4) for aggregates.  Folding the kind into the
+   canonical bytes means a COUNT answer and a tuple answer for the same
+   request can never collide in the cache; ring placement hashes the
+   kind-0 key (see of_tuple), so an aggregate and the tuple request it
+   refines still land on the same shard. *)
+let encode ?(kind = 0) ~arity rows =
   let e = C.encoder () in
+  C.write_u8 e kind;
   C.write_uint e arity;
   C.write_rows e ~arity rows;
   C.contents e
 
 let decode s =
   let d = C.decoder s in
+  let kind = C.read_u8 d in
   let arity = C.read_uint d in
   let rows = C.read_rows d ~arity in
   C.expect_end d "key";
-  (arity, rows)
+  (kind, arity, rows)
 
 let of_request ~access q_a =
   encode ~arity:(Schema.arity access) (canon ~access q_a)

@@ -19,17 +19,18 @@ val canon : access:Schema.t -> Relation.t -> Tuple.t list
     not charge {!Cost} counters (canonicalization is bookkeeping, not
     query work). *)
 
-val encode : arity:int -> Tuple.t list -> string
+val encode : ?kind:int -> arity:int -> Tuple.t list -> string
 (** Serialize canonical rows (as returned by {!canon}) into a compact
-    byte string via {!Stt_store.Codec.write_rows}.  Equal tuple sets
-    yield equal strings; the string is self-describing enough for
-    {!decode} to invert it. *)
+    byte string via {!Stt_store.Codec.write_rows}, prefixed by the
+    answer [kind] (default [0] = tuple answer; semiring aggregates pass
+    their [Stt_semiring.Semiring.to_tag]).  Equal tuple sets of equal
+    kind yield equal strings; different kinds can never collide. *)
 
-val decode : string -> int * Tuple.t list
-(** Inverse of {!encode}: [(arity, rows)] with rows in canonical order.
-    Raises {!Stt_store.Codec.Corrupt} or {!Stt_store.Codec.Short} on
-    malformed input — used to validate keys read back from a snapshot's
-    cache section. *)
+val decode : string -> int * int * Tuple.t list
+(** Inverse of {!encode}: [(kind, arity, rows)] with rows in canonical
+    order.  Raises {!Stt_store.Codec.Corrupt} or {!Stt_store.Codec.Short}
+    on malformed input — used to validate keys read back from a
+    snapshot's cache section. *)
 
 val of_request : access:Schema.t -> Relation.t -> string
 (** [encode ~arity:(Schema.arity access) (canon ~access q_a)]. *)

@@ -1,9 +1,14 @@
 open Stt_relation
 open Stt_hypergraph
 
-type t = (string, int array list) Hashtbl.t
+type t = {
+  rels : (string, int array list) Hashtbl.t;
+  (* semiring weights, when a relation was registered with them; tuples
+     without an entry fall back to the kind's default annotation *)
+  weights : (string, int Tuple.Tbl.t) Hashtbl.t;
+}
 
-let create () : t = Hashtbl.create 8
+let create () : t = { rels = Hashtbl.create 8; weights = Hashtbl.create 4 }
 
 let add t name tuples =
   (match tuples with
@@ -15,26 +20,45 @@ let add t name tuples =
           if Array.length tup <> arity then
             invalid_arg "Db.add: mixed arities")
         rest);
-  Hashtbl.replace t name tuples
+  Hashtbl.remove t.weights name;
+  Hashtbl.replace t.rels name tuples
 
 let add_pairs t name pairs =
   add t name (List.map (fun (a, b) -> [| a; b |]) pairs)
 
-let mem t name = Hashtbl.mem t name
-let cardinal t name =
-  match Hashtbl.find_opt t name with None -> 0 | Some l -> List.length l
+let add_weighted t name rows =
+  add t name (List.map fst rows);
+  let w = Tuple.Tbl.create (max 16 (List.length rows)) in
+  List.iter (fun (tup, weight) -> Tuple.Tbl.replace w tup weight) rows;
+  Hashtbl.replace t.weights name w
 
-let size t = Hashtbl.fold (fun _ l acc -> max acc (List.length l)) t 0
+let weight t name tup =
+  match Hashtbl.find_opt t.weights name with
+  | None -> None
+  | Some w -> Tuple.Tbl.find_opt w tup
+
+let mem t name = Hashtbl.mem t.rels name
+let cardinal t name =
+  match Hashtbl.find_opt t.rels name with None -> 0 | Some l -> List.length l
+
+let size t = Hashtbl.fold (fun _ l acc -> max acc (List.length l)) t.rels 0
 
 let relation t (atom : Cq.atom) =
   let tuples =
-    match Hashtbl.find_opt t atom.Cq.rel with
+    match Hashtbl.find_opt t.rels atom.Cq.rel with
     | Some l -> l
     | None -> invalid_arg ("Db.relation: unknown relation " ^ atom.Cq.rel)
   in
   let schema = Schema.of_list atom.Cq.vars in
   let rel = Relation.create schema in
-  Cost.with_counting false (fun () -> List.iter (Relation.add rel) tuples);
+  Cost.with_counting false (fun () ->
+      List.iter
+        (fun tup ->
+          Relation.add rel tup;
+          match weight t atom.Cq.rel tup with
+          | Some w -> Relation.annotate rel tup w
+          | None -> ())
+        tuples);
   rel
 
 exception Too_big

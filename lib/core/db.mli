@@ -13,6 +13,16 @@ val add : t -> string -> int array list -> unit
     Replaces any previous relation of that name. *)
 
 val add_pairs : t -> string -> (int * int) list -> unit
+
+val add_weighted : t -> string -> (int array * int) list -> unit
+(** Register a relation whose tuples carry semiring weights (SUM/MIN/MAX
+    annotations).  Replaces any previous relation of that name;
+    {!relation} carries the weights into the annotation column. *)
+
+val weight : t -> string -> int array -> int option
+(** The weight registered for a tuple, if the relation was added via
+    {!add_weighted} and the tuple has one. *)
+
 val mem : t -> string -> bool
 val cardinal : t -> string -> int
 val size : t -> int

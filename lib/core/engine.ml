@@ -6,6 +6,23 @@ open Stt_lp
 open Stt_obs
 module Cache = Stt_cache.Cache
 module Ckey = Stt_cache.Key
+module Semiring = Stt_semiring.Semiring
+module Agg_eval = Stt_semiring.Eval
+
+(* A per-kind aggregate table over the access variables.  [complete]
+   means every access tuple with at least one derivation has an entry,
+   so a miss soundly contributes the semiring zero; a partial table only
+   covers the heavy access keys and misses fall back to online
+   elimination. *)
+type agg_table = { complete : bool; entries : int Tuple.Tbl.t }
+
+type agg_state = {
+  agg_budget : int;
+  agg_factors : (string * Relation.t) list;
+      (* annotated base relations, aligned positionally with the CQ's
+         atoms (a self-joined relation appears once per atom) *)
+  mutable agg_tables : (Semiring.kind * agg_table) list;
+}
 
 type t = {
   cqap : Cq.cqap;
@@ -23,6 +40,9 @@ type t = {
          recorded in snapshots so a replica can tell stale from fresh *)
   mutable thawed : bool;
       (* S-views re-materialized unreduced for incremental maintenance *)
+  mutable agg : agg_state option;
+      (* semiring aggregate answering; None until [enable_agg] (or a
+         snapshot with an "agg" section) provides annotated factors *)
 }
 
 (* Carry the per-domain simplex pivot counter across the pool's worker
@@ -119,6 +139,7 @@ let build ?(counted = false) cqap pmtd_list ~db ~budget =
     cache = None;
     epoch = 0;
     thawed = false;
+    agg = None;
   }
 
 let build_auto ?counted ?max_pmtds cqap ~db ~budget =
@@ -345,6 +366,208 @@ let answer_batch t reqs =
         keyed
 
 (* ------------------------------------------------------------------ *)
+(* semiring aggregates                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* schema of cached aggregate answers: a one-row, one-column relation
+   holding the scalar (the variable id is arbitrary — the cache key's
+   kind byte, not the schema, is what distinguishes it from tuple
+   answers) *)
+let scalar_schema = Schema.of_list [ 0 ]
+
+let agg_enabled t = t.agg <> None
+let agg_budget t = match t.agg with None -> 0 | Some st -> st.agg_budget
+let agg_kinds t =
+  match t.agg with None -> [] | Some st -> List.map fst st.agg_tables
+
+let agg_complete t k =
+  match t.agg with
+  | None -> false
+  | Some st -> (
+      match List.assoc_opt k st.agg_tables with
+      | Some tbl -> tbl.complete
+      | None -> false)
+
+let agg_table_size t =
+  match t.agg with
+  | None -> 0
+  | Some st ->
+      List.fold_left
+        (fun acc (_, tbl) -> acc + Tuple.Tbl.length tbl.entries)
+        0 st.agg_tables
+
+let agg_state t =
+  match t.agg with
+  | Some st -> st
+  | None -> failwith "Engine: aggregates not enabled (call enable_agg)"
+
+let factors_of st k =
+  List.map (fun (_, r) -> Agg_eval.of_relation k r) st.agg_factors
+
+(* Precompute the per-kind aggregate tables over the access variables by
+   full offline elimination (uncounted — preprocessing time is not what
+   the paper optimizes).  The COUNT table is always computed first: its
+   per-key derivation counts are the work proxy that picks which access
+   keys stay in the tables when the full table exceeds the budget (the
+   heavy keys — exactly where online answering is expensive).  Partial
+   tables are marked incomplete so misses fall back to online
+   elimination instead of soundly-looking zeroes. *)
+let build_agg_tables t ~kinds =
+  match t.agg with
+  | None -> ()
+  | Some st ->
+      Cost.with_counting false @@ fun () ->
+      let access = access_schema t in
+      let count_tbl =
+        Agg_eval.table Semiring.Count (factors_of st Semiring.Count) ~access
+      in
+      let n = Tuple.Tbl.length count_tbl in
+      let heavy =
+        if n <= st.agg_budget then None
+        else begin
+          let all =
+            Tuple.Tbl.fold (fun key c acc -> (key, c) :: acc) count_tbl []
+          in
+          (* ties broken by tuple order so the table is deterministic *)
+          let sorted =
+            List.sort
+              (fun (ka, a) (kb, b) ->
+                match compare b a with 0 -> Tuple.compare ka kb | c -> c)
+              all
+          in
+          let keep = Tuple.Tbl.create (max 16 st.agg_budget) in
+          List.iteri
+            (fun i (key, _) ->
+              if i < st.agg_budget then Tuple.Tbl.replace keep key ())
+            sorted;
+          Some keep
+        end
+      in
+      let restrict tbl =
+        match heavy with
+        | None -> { complete = true; entries = tbl }
+        | Some keep ->
+            let entries = Tuple.Tbl.create (max 16 (Tuple.Tbl.length keep)) in
+            Tuple.Tbl.iter
+              (fun key v ->
+                if Tuple.Tbl.mem keep key then Tuple.Tbl.replace entries key v)
+              tbl;
+            { complete = false; entries }
+      in
+      st.agg_tables <-
+        List.map
+          (fun k ->
+            let tbl =
+              if k = Semiring.Count then count_tbl
+              else Agg_eval.table k (factors_of st k) ~access
+            in
+            (k, restrict tbl))
+          kinds
+
+let enable_agg ?(kinds = Semiring.all) t ~db ~budget =
+  Obs.span "engine.enable_agg" ~attrs:[ ("budget", Json.Int budget) ]
+  @@ fun () ->
+  if budget < 0 then invalid_arg "Engine.enable_agg: negative budget";
+  let agg_factors =
+    Cost.with_counting false (fun () ->
+        List.map
+          (fun (a : Cq.atom) -> (a.Cq.rel, Db.relation db a))
+          t.cqap.Cq.cq.Cq.atoms)
+  in
+  t.agg <- Some { agg_budget = budget; agg_factors; agg_tables = [] };
+  build_agg_tables t ~kinds;
+  Obs.set_attr "table_rows" (Json.Int (agg_table_size t))
+
+(* The online aggregate of canonical access rows.  A table hit charges
+   one probe per request row plus one tuple per combined row — never
+   less than what answering the same request from a materialized answer
+   would charge.  Rows missing from a partial table are collected and
+   answered by one annotated-elimination run (counted: it is online
+   work). *)
+let answer_agg_scoped t k ~rows =
+  let st = agg_state t in
+  Cost.scoped (fun () ->
+      let online light =
+        let q = Relation.create (access_schema t) in
+        List.iter (Relation.add q) light;
+        Agg_eval.aggregate k (factors_of st k) ~q_a:q
+      in
+      match List.assoc_opt k st.agg_tables with
+      | Some { complete; entries } ->
+          let acc = ref (Semiring.zero k) in
+          let light = ref [] in
+          List.iter
+            (fun row ->
+              Cost.charge_probe ();
+              match Tuple.Tbl.find_opt entries row with
+              | Some v ->
+                  Cost.charge_tuple ();
+                  acc := Semiring.add k !acc v
+              | None -> if not complete then light := row :: !light)
+            rows;
+          if !light <> [] then acc := Semiring.add k !acc (online !light);
+          !acc
+      | None -> online rows)
+
+(* the materialize-then-fold reference at the same request: flat join of
+   the annotated factors (request included), then ⊕-fold.  Counted —
+   this is the baseline the benchmarks and the differential op-sanity
+   check compare against. *)
+let agg_baseline t k ~q_a =
+  let st = agg_state t in
+  Cost.scoped (fun () -> Agg_eval.brute k (factors_of st k) ~q_a)
+
+let answer_agg t k ~q_a =
+  Obs.span "engine.answer_agg"
+    ~attrs:[ ("kind", Json.String (Semiring.name k)) ]
+  @@ fun () ->
+  let access = access_schema t in
+  let rows = Ckey.canon ~access q_a in
+  let kind = Semiring.to_tag k in
+  let value, cost, via =
+    match t.cache with
+    | None ->
+        let v, c = answer_agg_scoped t k ~rows in
+        (v, c, "direct")
+    | Some cache -> (
+        let key = Ckey.encode ~kind ~arity:(Schema.arity access) rows in
+        match Cost.scoped (fun () -> Cache.find cache key) with
+        | Some r, c ->
+            let v = Relation.fold (fun tup _ -> tup.(0)) r (Semiring.zero k) in
+            (v, c, "hit")
+        | None, lookup ->
+            let v, c = answer_agg_scoped t k ~rows in
+            (* the tropical sentinels (MIN's "no row" = [max_int], MAX's
+               [min_int]) don't survive the cache's zigzag row codec, so
+               empty-aggregate answers are recomputed rather than cached *)
+            if v <> max_int && v <> min_int then begin
+              let r =
+                Cost.with_counting false (fun () ->
+                    let r = Relation.create scalar_schema in
+                    Relation.add r [| v |];
+                    r)
+              in
+              Cache.add cache ~key ~key_tuples:(List.length rows) r
+            end;
+            (v, Cost.add lookup c, "miss"))
+  in
+  if Obs.enabled () then begin
+    Obs.set_attr "cache" (Json.String via);
+    Obs.set_attr "q_a" (Json.Int (Relation.cardinal q_a));
+    Obs.observe "engine.answer_agg.ops" (float_of_int (Cost.total cost))
+  end;
+  (value, cost)
+
+let answer_batch_agg t k reqs =
+  Obs.span "engine.answer_batch_agg"
+    ~attrs:
+      [
+        ("kind", Json.String (Semiring.name k));
+        ("requests", Json.Int (List.length reqs));
+      ]
+  @@ fun () -> List.map (fun q_a -> answer_agg t k ~q_a) reqs
+
+(* ------------------------------------------------------------------ *)
 (* incremental maintenance                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -429,8 +652,10 @@ let invalidate_cache t affected =
   | Some cache ->
       if Tuple.Tbl.length affected = 0 then 0
       else
+        (* all answer kinds alike: a tuple answer and an aggregate over
+           the same affected access tuple are both stale *)
         Cache.invalidate cache (fun key ->
-            let _, rows = Ckey.decode key in
+            let _, _, rows = Ckey.decode key in
             List.exists (Tuple.Tbl.mem affected) rows)
 
 (* S-view routing: an S-view row change for target [b] lands on every
@@ -517,6 +742,23 @@ let apply_one t ~rel ~tuple ~add =
         let n = invalidate_cache t aff in
         if n > 0 then Obs.incr ~by:n "cache.invalidate"
     | None -> ());
+    (* aggregate state: patch the annotated factors in place (a delta
+       carries no weight, so an inserted tuple starts from the kind's
+       default annotation) and drop the precomputed tables — subsequent
+       aggregate requests fall back to online elimination *)
+    (match t.agg with
+    | None -> ()
+    | Some st ->
+        List.iter
+          (fun (name, frel) ->
+            if name = rel then
+              if add then Relation.add frel tuple
+              else ignore (Relation.remove frel tuple))
+          st.agg_factors;
+        if st.agg_tables <> [] then begin
+          st.agg_tables <- [];
+          Obs.incr "agg.tables_dropped"
+        end);
     t.epoch <- t.epoch + 1;
     true
   end
@@ -594,6 +836,44 @@ let read_relation d =
   let rows = C.read_rows d ~arity:(Schema.arity schema) in
   let rel = Relation.create schema in
   List.iter (fun r -> guard "relation row" (fun () -> Relation.add rel r)) rows;
+  rel
+
+(* Semiring values: the zigzag varint cannot carry the tropical
+   ±infinity sentinels (MIN's [max_int], MAX's [min_int]) — [v lsl 1]
+   overflows — so they get their own tag bytes. *)
+let write_val e v =
+  if v = max_int then C.write_u8 e 1
+  else if v = min_int then C.write_u8 e 2
+  else begin
+    C.write_u8 e 0;
+    C.write_int e v
+  end
+
+let read_val d =
+  match C.read_u8 d with
+  | 0 -> C.read_int d
+  | 1 -> max_int
+  | 2 -> min_int
+  | n -> corrupt "semiring value: tag %d" n
+
+(* annotated relations: the plain tuple block, then one presence flag
+   (and value) per row in the same sorted order write_relation used *)
+let write_annotated e rel =
+  write_relation e rel;
+  List.iter
+    (fun tup ->
+      match Relation.annotation_opt rel tup with
+      | Some v ->
+          C.write_bool e true;
+          write_val e v
+      | None -> C.write_bool e false)
+    (List.sort Tuple.compare (Relation.to_list rel))
+
+let read_annotated d =
+  let rel = read_relation d in
+  List.iter
+    (fun tup -> if C.read_bool d then Relation.annotate rel tup (read_val d))
+    (List.sort Tuple.compare (Relation.to_list rel));
   rel
 
 (* indexes: the row-major data array (in index order — bucket offsets
@@ -831,8 +1111,50 @@ let save t path =
                 C.write_list e
                   (fun (key, _, rel) ->
                     C.write_string e key;
-                    write_relation e rel)
+                    (* the key's kind byte picks the value layout: tuple
+                       answers are relations, aggregate answers a single
+                       scalar (whose tropical sentinels write_rows could
+                       not encode) *)
+                    match Ckey.decode key with
+                    | 0, _, _ -> write_relation e rel
+                    | _ ->
+                        write_val e
+                          (Relation.fold (fun tup _ -> tup.(0)) rel 0))
                   (Cache.export cache) );
+          ]
+  in
+  (* optional section: semiring aggregate state — the annotated factors
+     and the precomputed per-kind tables, so a snapshot-shipped replica
+     serves aggregates without the base database *)
+  let sections =
+    match t.agg with
+    | None -> sections
+    | Some st ->
+        let access_arity = Schema.arity (access_schema t) in
+        sections
+        @ [
+            ( "agg",
+              fun e ->
+                C.write_uint e st.agg_budget;
+                C.write_list e
+                  (fun (name, rel) ->
+                    C.write_string e name;
+                    write_annotated e rel)
+                  st.agg_factors;
+                C.write_list e
+                  (fun (k, { complete; entries }) ->
+                    C.write_u8 e (Semiring.to_tag k);
+                    C.write_bool e complete;
+                    let rows =
+                      List.sort
+                        (fun (a, _) (b, _) -> Tuple.compare a b)
+                        (Tuple.Tbl.fold
+                           (fun key v acc -> (key, v) :: acc)
+                           entries [])
+                    in
+                    C.write_rows e ~arity:access_arity (List.map fst rows);
+                    List.iter (fun (_, v) -> write_val e v) rows)
+                  st.agg_tables );
           ]
   in
   match Store.write ~version:format_version path sections with
@@ -913,18 +1235,32 @@ let load path =
                 let key = C.read_string d in
                 (* a Short inside the nested key string is a malformed
                    section, not a truncated file *)
-                let arity, rows =
+                let kind, arity, rows =
                   try Ckey.decode key
                   with C.Short _ -> corrupt "cache key: truncated encoding"
                 in
+                if kind <> 0 && Semiring.of_tag kind = None then
+                  corrupt "cache key: unknown answer kind %d" kind;
                 if arity <> Schema.arity access then
                   corrupt "cache key: arity %d for a %d-ary access" arity
                     (Schema.arity access);
-                if not (String.equal (Ckey.encode ~arity rows) key) then
+                if not (String.equal (Ckey.encode ~kind ~arity rows) key) then
                   corrupt "cache key: not in canonical form";
-                let rel = read_relation d in
-                if not (Schema.equal (Relation.schema rel) head_schema) then
-                  corrupt "cache entry: schema differs from the head";
+                let rel =
+                  if kind = 0 then begin
+                    let rel = read_relation d in
+                    if not (Schema.equal (Relation.schema rel) head_schema)
+                    then corrupt "cache entry: schema differs from the head";
+                    rel
+                  end
+                  else begin
+                    (* aggregate answers are stored as a bare scalar *)
+                    let v = read_val d in
+                    let rel = Relation.create scalar_schema in
+                    Relation.add rel [| v |];
+                    rel
+                  end
+                in
                 (key, List.length rows, rel))
           in
           List.iter
@@ -940,6 +1276,59 @@ let load path =
           let epoch = C.read_uint d in
           if epoch = 0 then corrupt "epoch: zero epoch should be omitted";
           epoch)
+  in
+  (* the agg section is optional; a replica that loads one serves
+     aggregates without ever seeing the base database *)
+  let* agg =
+    if not (List.mem "agg" (Store.Reader.section_names r)) then Ok None
+    else
+      Store.Reader.section r "agg" (fun d ->
+          let agg_budget = C.read_uint d in
+          let atoms = cqap.Cq.cq.Cq.atoms in
+          let agg_factors =
+            C.read_list d (fun () ->
+                let name = C.read_string d in
+                (name, read_annotated d))
+          in
+          if List.length agg_factors <> List.length atoms then
+            corrupt "agg: %d factors for %d atoms"
+              (List.length agg_factors) (List.length atoms);
+          List.iter2
+            (fun (a : Cq.atom) (name, rel) ->
+              if not (String.equal name a.Cq.rel) then
+                corrupt "agg factor: %s where atom %s expected" name a.Cq.rel;
+              if
+                not
+                  (Schema.equal (Relation.schema rel)
+                     (Schema.of_list a.Cq.vars))
+              then corrupt "agg factor %s: schema differs from the atom" name)
+            atoms agg_factors;
+          let access_arity = Varset.cardinal cqap.Cq.access in
+          let seen = Hashtbl.create 8 in
+          let agg_tables =
+            C.read_list d (fun () ->
+                let tag = C.read_u8 d in
+                let k =
+                  match Semiring.of_tag tag with
+                  | Some k -> k
+                  | None -> corrupt "agg table: unknown kind tag %d" tag
+                in
+                if Hashtbl.mem seen tag then
+                  corrupt "agg table: duplicate kind %s" (Semiring.name k);
+                Hashtbl.add seen tag ();
+                let complete = C.read_bool d in
+                let keys = C.read_rows d ~arity:access_arity in
+                let entries = Tuple.Tbl.create (max 16 (List.length keys)) in
+                List.iter
+                  (fun key ->
+                    let v = read_val d in
+                    if Tuple.Tbl.mem entries key then
+                      corrupt "agg table: duplicate access key";
+                    Tuple.Tbl.replace entries key v)
+                  keys;
+                (k, { complete; entries }))
+          in
+          Some { agg_budget; agg_factors; agg_tables })
   in
   Obs.set_attr "space" (Json.Int space);
   Obs.set_attr "epoch" (Json.Int epoch);
@@ -957,4 +1346,5 @@ let load path =
          flag only matters for further maintenance, which imported
          structures reject anyway *)
       thawed = epoch > 0;
+      agg;
     }

@@ -68,6 +68,68 @@ val per_pmtd_space : t -> (Pmtd.t * int) list
 
 val access_schema : t -> Schema.t
 
+(** {1 Semiring aggregates}
+
+    Sum-product answering: an aggregate request returns the semiring sum
+    over all valuations of the query's variables consistent with some
+    request tuple, of the semiring product of the base-atom annotations
+    — COUNT and SUM without materializing the join, MIN/MAX over the
+    tropical semirings.  [enable_agg] annotates the base relations with
+    the database's weights ({!Db.add_weighted}) and precomputes per-kind
+    aggregate tables over the access variables (uncounted, like the rest
+    of preprocessing); when the full table exceeds the budget, only the
+    heaviest access keys (by derivation count) are kept and the rest are
+    answered by online annotated variable elimination.  Aggregate
+    answers are cached under kind-tagged keys and shipped in snapshots
+    (the ["agg"] section), so replicas serve aggregates too. *)
+
+val enable_agg :
+  ?kinds:Stt_semiring.Semiring.kind list -> t -> db:Db.t -> budget:int -> unit
+(** Build aggregate state for [kinds] (default: all) with at most
+    [budget] precomputed table entries per kind.  Raises
+    [Invalid_argument] on a negative budget. *)
+
+val answer_agg :
+  t -> Stt_semiring.Semiring.kind -> q_a:Relation.t -> int * Cost.snapshot
+(** The aggregate of one (possibly multi-tuple) access request, with the
+    online cost actually charged: a table hit costs one probe per
+    request row plus one tuple per combined row; misses against a
+    partial table are answered by one counted elimination run.  Raises
+    [Failure] when {!enable_agg} was never called (and the snapshot had
+    no agg section). *)
+
+val answer_batch_agg :
+  t ->
+  Stt_semiring.Semiring.kind ->
+  Relation.t list ->
+  (int * Cost.snapshot) list
+(** {!answer_agg} over each request, in input order. *)
+
+val agg_baseline :
+  t -> Stt_semiring.Semiring.kind -> q_a:Relation.t -> int * Cost.snapshot
+(** Materialize-then-fold reference: flat join of the annotated factors
+    (request included), then the semiring fold — same answer, counted
+    cost of actually materializing.  The op-count baseline benchmarks
+    and differential tests compare {!answer_agg} against. *)
+
+val agg_enabled : t -> bool
+
+val agg_kinds : t -> Stt_semiring.Semiring.kind list
+(** Kinds with a precomputed table, in {!enable_agg} order; empty after
+    a delta dropped the tables (answers fall back to online
+    elimination). *)
+
+val agg_budget : t -> int
+(** Table budget passed to {!enable_agg}; 0 when aggregates are off. *)
+
+val agg_complete : t -> Stt_semiring.Semiring.kind -> bool
+(** Whether the kind's table covers every access key with a derivation
+    (i.e. the full table fit the budget). *)
+
+val agg_table_size : t -> int
+(** Total precomputed table entries across kinds — the aggregate space
+    actually held, reported alongside {!space}. *)
+
 (** {1 Incremental maintenance}
 
     Single-tuple base-data deltas applied without a rebuild: the delta

@@ -12,10 +12,12 @@ let magic = "\x89STTWIRE"
    a router can detect a restarted shard: uptime going backwards means
    the process it aggregated last time is gone), and a recursive
    per-shard health list (empty for replicas; a router reports one block
-   per shard plus fleet-level sums).  Hellos must match exactly, so
-   older peers are refused with Version_skew instead of misparsing
-   unknown frames. *)
-let protocol_version = 5
+   per shard plus fleet-level sums).  v6: Agg/Agg_reply frames for
+   semiring aggregate requests — one multi-tuple request folds to a
+   single scalar on the server, so the reply carries a value and a cost
+   instead of rows.  Hellos must match exactly, so older peers are
+   refused with Version_skew instead of misparsing unknown frames. *)
+let protocol_version = 6
 let hello_len = String.length magic + 4
 let max_frame_len = 1 lsl 26
 
@@ -51,6 +53,13 @@ type request =
   | Answer of {
       id : int;
       deadline_us : int;
+      arity : int;
+      tuples : int array list;
+    }
+  | Agg of {
+      id : int;
+      deadline_us : int;
+      kind : int;  (** a {!Stt_semiring.Semiring.to_tag} value, 1..4 *)
       arity : int;
       tuples : int array list;
     }
@@ -97,16 +106,19 @@ type response =
   | Rejected of { id : int; reject : reject }
   | Stats_reply of { id : int; json : string }
   | Health_reply of { id : int; health : health }
+  | Agg_reply of { id : int; value : int; cost : Cost.snapshot }
 
 let tag_answer = 0x01
 let tag_stats = 0x02
 let tag_health = 0x03
 let tag_update = 0x04
+let tag_agg = 0x05
 let tag_answers = 0x81
 let tag_rejected = 0x82
 let tag_stats_reply = 0x83
 let tag_health_reply = 0x84
 let tag_updated = 0x85
+let tag_agg_reply = 0x86
 
 (* ------------------------------------------------------------------ *)
 (* body layout, abstracted over the byte sink                           *)
@@ -169,11 +181,29 @@ struct
     S.uint e c.Cost.tuples;
     S.uint e c.Cost.scans
 
+  (* semiring values: the zigzag varint cannot carry the tropical
+     ±infinity sentinels (MIN's "no path" is [max_int]), so they get
+     their own tag bytes *)
+  let value e v =
+    if v = max_int then S.u8 e 1
+    else if v = min_int then S.u8 e 2
+    else begin
+      S.u8 e 0;
+      S.int e v
+    end
+
   let request e = function
     | Answer { id; deadline_us; arity; tuples } ->
         S.u8 e tag_answer;
         S.uint e id;
         S.uint e deadline_us;
+        S.uint e arity;
+        S.rows e ~arity tuples
+    | Agg { id; deadline_us; kind; arity; tuples } ->
+        S.u8 e tag_agg;
+        S.uint e id;
+        S.uint e deadline_us;
+        S.u8 e kind;
         S.uint e arity;
         S.rows e ~arity tuples
     | Update { id; deltas } ->
@@ -226,6 +256,11 @@ struct
         S.u8 e tag_health_reply;
         S.uint e id;
         health_block e health
+    | Agg_reply { id; value = v; cost = c } ->
+        S.u8 e tag_agg_reply;
+        S.uint e id;
+        value e v;
+        cost e c
 
   (* recursive: a router's block nests one sub-block per shard *)
   and health_block e (h : health) =
@@ -337,6 +372,13 @@ let read_arity what d =
     raise (Codec.Corrupt (Printf.sprintf "%s arity %d" what arity))
   else arity
 
+let read_value d =
+  match Codec.read_u8 d with
+  | 0 -> Codec.read_int d
+  | 1 -> max_int
+  | 2 -> min_int
+  | n -> raise (Codec.Corrupt (Printf.sprintf "semiring value tag %d" n))
+
 let request_of_decoder d =
   match Codec.read_u8 d with
   | t when t = tag_answer ->
@@ -345,6 +387,15 @@ let request_of_decoder d =
       let arity = read_arity "access" d in
       let tuples = read_rows_any d ~arity in
       Answer { id; deadline_us; arity; tuples }
+  | t when t = tag_agg ->
+      let id = Codec.read_uint d in
+      let deadline_us = Codec.read_uint d in
+      let kind = Codec.read_u8 d in
+      if kind < 1 || kind > 4 then
+        raise (Codec.Corrupt (Printf.sprintf "aggregate kind %d" kind));
+      let arity = read_arity "access" d in
+      let tuples = read_rows_any d ~arity in
+      Agg { id; deadline_us; kind; arity; tuples }
   | t when t = tag_update ->
       let id = Codec.read_uint d in
       let deltas =
@@ -403,6 +454,11 @@ let rec response_of_decoder d =
   | t when t = tag_health_reply ->
       let id = Codec.read_uint d in
       Health_reply { id; health = read_health d ~depth:0 }
+  | t when t = tag_agg_reply ->
+      let id = Codec.read_uint d in
+      let value = read_value d in
+      let cost = read_cost d in
+      Agg_reply { id; value; cost }
   | t -> raise (Codec.Corrupt (Printf.sprintf "unknown response tag 0x%02x" t))
 
 (* a fleet is one router over replicas, so legitimate nesting is depth 1;

@@ -68,6 +68,17 @@ type request =
       arity : int;
       tuples : int array list;  (** batch of access tuples, one request each *)
     }
+  | Agg of {
+      id : int;
+      deadline_us : int;
+      kind : int;
+          (** a {!Stt_semiring.Semiring.to_tag} value (1..4); decode
+              rejects anything else *)
+      arity : int;
+      tuples : int array list;
+          (** {e one} multi-tuple access request — the server folds the
+              whole tuple set to a single scalar (protocol v6) *)
+    }
   | Update of { id : int; deltas : update list }
       (** apply a batch of base-data deltas atomically between answer
           jobs; redundant deltas are no-ops *)
@@ -132,6 +143,11 @@ type response =
   | Stats_reply of { id : int; json : string }
       (** the server's [Obs.trace] document, serialized *)
   | Health_reply of { id : int; health : health }
+  | Agg_reply of { id : int; value : int; cost : Cost.snapshot }
+      (** the scalar aggregate of an [Agg] request (protocol v6).  The
+          value may be any [int], including the tropical ±infinity
+          sentinels ([max_int]/[min_int]) — the wire layout tags them
+          specially since the zigzag varint cannot carry them. *)
 
 (** {1 Encoding / decoding}
 

@@ -15,6 +15,8 @@ type handler =
 type update_handler =
   Frame.update list -> (int * int * Cost.snapshot, string) result
 
+type agg_handler = kind:int -> arity:int -> int array list -> int * Cost.snapshot
+
 let engine_handler engine ~arity tuples =
   let module Engine = Stt_core.Engine in
   let schema = Engine.access_schema engine in
@@ -29,6 +31,22 @@ let engine_handler engine ~arity tuples =
   |> List.map (fun (rel, cost) ->
          let rows = List.sort Tuple.compare (Relation.to_list rel) in
          (rows, Schema.arity (Relation.schema rel), cost))
+
+let engine_agg_handler engine ~kind ~arity tuples =
+  let module Engine = Stt_core.Engine in
+  let module Semiring = Stt_semiring.Semiring in
+  let k =
+    match Semiring.of_tag kind with
+    | Some k -> k
+    | None -> failwith (Printf.sprintf "unknown aggregate kind %d" kind)
+  in
+  let schema = Engine.access_schema engine in
+  if arity <> Schema.arity schema then
+    failwith
+      (Printf.sprintf "access arity %d, engine expects %d" arity
+         (Schema.arity schema));
+  let q_a = Relation.of_list schema tuples in
+  Engine.answer_agg engine k ~q_a
 
 let engine_update_handler engine deltas =
   let module Engine = Stt_core.Engine in
@@ -169,6 +187,55 @@ let serve_answer core ~rw ~handler ~jconn ~jid ~jarity ~jtuples ~jdeadline =
         Obs.observe "net.serve_us" ((finished -. started) *. 1e6))
   end
 
+let serve_agg core ~rw ~agg_handler ~jconn ~jid ~jkind ~jarity ~jtuples
+    ~jdeadline =
+  let started = Unix.gettimeofday () in
+  if started > jdeadline then begin
+    Core.note_deadline core;
+    Core.reply core jconn
+      (Frame.Rejected { id = jid; reject = Frame.Deadline_exceeded })
+  end
+  else begin
+    let jctx = Obs.create_context () in
+    let result =
+      Obs.with_context jctx (fun () ->
+          Obs.span "net.agg"
+            ~attrs:
+              [
+                ("id", Json.Int jid);
+                ("kind", Json.Int jkind);
+                ("tuples", Json.Int (List.length jtuples));
+              ]
+            (fun () ->
+              match agg_handler with
+              | None -> Error "this server does not serve aggregates"
+              | Some ah -> (
+                  try
+                    Rw.read rw (fun () ->
+                        Ok (ah ~kind:jkind ~arity:jarity jtuples))
+                  with
+                  | Failure msg -> Error msg
+                  | e -> Error (Printexc.to_string e))))
+    in
+    let finished = Unix.gettimeofday () in
+    (match result with
+    | Error msg ->
+        Core.note_bad core;
+        Core.reply core jconn
+          (Frame.Rejected { id = jid; reject = Frame.Bad_request msg })
+    | Ok _ when finished > jdeadline ->
+        Core.note_deadline core;
+        Core.reply core jconn
+          (Frame.Rejected { id = jid; reject = Frame.Deadline_exceeded })
+    | Ok (value, cost) ->
+        Core.note_answered core;
+        Core.reply core jconn (Frame.Agg_reply { id = jid; value; cost }));
+    Core.with_obs core (fun () ->
+        Obs.adopt jctx;
+        Obs.incr "net.aggs";
+        Obs.observe "net.agg_us" ((finished -. started) *. 1e6))
+  end
+
 let serve_update core ~rw ~update_handler ~jconn ~jid ~jdeltas =
   let started = Unix.gettimeofday () in
   let jctx = Obs.create_context () in
@@ -207,8 +274,8 @@ let serve_update core ~rw ~update_handler ~jconn ~jid ~jdeltas =
 (* the role callback (runs on the IO domain)                            *)
 (* ------------------------------------------------------------------ *)
 
-let handle_request ~rw ~handler ~update_handler ~space ~cache_info core conn
-    ~now req =
+let handle_request ~rw ~handler ~update_handler ~agg_handler ~space
+    ~cache_info core conn ~now req =
   match req with
   | Frame.Answer { id; deadline_us; arity; tuples } ->
       Core.note_received core;
@@ -219,6 +286,20 @@ let handle_request ~rw ~handler ~update_handler ~space ~cache_info core conn
       let job () =
         serve_answer core ~rw ~handler ~jconn:conn ~jid:id ~jarity:arity
           ~jtuples:tuples ~jdeadline
+      in
+      if not (Core.enqueue core job) then begin
+        Core.note_overload core;
+        Core.reply core conn (Frame.Rejected { id; reject = Frame.Overloaded })
+      end
+  | Frame.Agg { id; deadline_us; kind; arity; tuples } ->
+      Core.note_received core;
+      let jdeadline =
+        if deadline_us = 0 then infinity
+        else now +. (float_of_int deadline_us /. 1e6)
+      in
+      let job () =
+        serve_agg core ~rw ~agg_handler ~jconn:conn ~jid:id ~jkind:kind
+          ~jarity:arity ~jtuples:tuples ~jdeadline
       in
       if not (Core.enqueue core job) then begin
         Core.note_overload core;
@@ -261,11 +342,12 @@ let handle_request ~rw ~handler ~update_handler ~space ~cache_info core conn
 (* ------------------------------------------------------------------ *)
 
 let start ?host ~port ~workers ~queue_capacity ?(space = 0)
-    ?(cache_info = fun () -> Frame.no_cache) ?update_handler ?io_backend
-    handler =
+    ?(cache_info = fun () -> Frame.no_cache) ?update_handler ?agg_handler
+    ?io_backend handler =
   let rw = Rw.create () in
   Core.start ?host ~port ~workers ~queue_capacity ?io_backend
-    (handle_request ~rw ~handler ~update_handler ~space ~cache_info)
+    (handle_request ~rw ~handler ~update_handler ~agg_handler ~space
+       ~cache_info)
 
 let port = Core.port
 let io_backend = Core.io_backend

@@ -72,6 +72,18 @@ val engine_update_handler : Stt_core.Engine.t -> update_handler
 (** Apply through [Engine.apply_deltas]; engine rejections
     ([Failure]) map to [Error]. *)
 
+type agg_handler = kind:int -> arity:int -> int array list -> int * Cost.snapshot
+(** [agg_handler ~kind ~arity tuples] folds {e one} multi-tuple access
+    request to its scalar aggregate under the wire kind tag
+    ([Stt_semiring.Semiring.to_tag]).  Raising [Failure msg] rejects the
+    request as [Bad_request msg].  Runs under the read side of the
+    server's lock, concurrently with answer jobs. *)
+
+val engine_agg_handler : Stt_core.Engine.t -> agg_handler
+(** Answer through [Engine.answer_agg]; rejects unknown kind tags, arity
+    mismatches, and engines without aggregate state ([Failure] from the
+    engine maps to [Bad_request]). *)
+
 type stats = {
   connections : int;  (** accepted over the server's lifetime *)
   received : int;  (** [Answer] + [Update] requests received *)
@@ -92,6 +104,7 @@ val start :
   ?space:int ->
   ?cache_info:(unit -> Frame.cache_health) ->
   ?update_handler:update_handler ->
+  ?agg_handler:agg_handler ->
   ?io_backend:Evloop.backend ->
   handler ->
   t

@@ -1,10 +1,62 @@
-type t = { schema : Schema.t; data : unit Tuple.Tbl.t }
+(* The optional annotation column mirrors the flat bucket layout of the
+   join indexes: semiring values live in one growable int array and a
+   tuple -> slot index, so annotated relations pay one array cell per
+   tuple instead of a boxed option per entry. *)
+type ann = { mutable slots : int array; mutable used : int; idx : int Tuple.Tbl.t }
 
-let create schema = { schema; data = Tuple.Tbl.create 64 }
+type t = {
+  schema : Schema.t;
+  data : unit Tuple.Tbl.t;
+  mutable ann : ann option;
+}
+
+let create schema = { schema; data = Tuple.Tbl.create 64; ann = None }
 let schema t = t.schema
 let cardinal t = Tuple.Tbl.length t.data
 let is_empty t = cardinal t = 0
 let mem t tup = Tuple.Tbl.mem t.data tup
+
+let ann_of t =
+  match t.ann with
+  | Some a -> a
+  | None ->
+      let a = { slots = Array.make 16 0; used = 0; idx = Tuple.Tbl.create 16 } in
+      t.ann <- Some a;
+      a
+
+let annotate t tup v =
+  if not (Tuple.Tbl.mem t.data tup) then
+    invalid_arg "Relation.annotate: tuple not present";
+  let a = ann_of t in
+  match Tuple.Tbl.find_opt a.idx tup with
+  | Some slot -> a.slots.(slot) <- v
+  | None ->
+      if a.used = Array.length a.slots then begin
+        let bigger = Array.make (2 * a.used) 0 in
+        Array.blit a.slots 0 bigger 0 a.used;
+        a.slots <- bigger
+      end;
+      a.slots.(a.used) <- v;
+      Tuple.Tbl.add a.idx tup a.used;
+      a.used <- a.used + 1
+
+let annotation t ~default tup =
+  match t.ann with
+  | None -> default
+  | Some a -> (
+      match Tuple.Tbl.find_opt a.idx tup with
+      | Some slot -> a.slots.(slot)
+      | None -> default)
+
+let annotation_opt t tup =
+  match t.ann with
+  | None -> None
+  | Some a -> (
+      match Tuple.Tbl.find_opt a.idx tup with
+      | Some slot -> Some a.slots.(slot)
+      | None -> None)
+
+let annotated t = t.ann <> None
 
 let add t tup =
   if Tuple.arity tup <> Schema.arity t.schema then
@@ -20,6 +72,9 @@ let remove t tup =
   if Tuple.Tbl.mem t.data tup then begin
     Cost.charge_scan ();
     Tuple.Tbl.remove t.data tup;
+    (* the slot itself stays allocated; only the index entry goes, so a
+       re-added tuple starts from the annotation default again *)
+    (match t.ann with Some a -> Tuple.Tbl.remove a.idx tup | None -> ());
     true
   end
   else false
@@ -36,6 +91,9 @@ let to_list t = fold List.cons t []
 let copy t =
   let c = create t.schema in
   iter (add c) t;
+  (match t.ann with
+  | None -> ()
+  | Some a -> Tuple.Tbl.iter (fun tup slot -> annotate c tup a.slots.(slot)) a.idx);
   c
 
 let singleton schema tup =

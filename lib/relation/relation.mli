@@ -22,6 +22,25 @@ val remove : t -> Tuple.t -> bool
 (** Delete one tuple; [true] iff it was present (one [scan] charged on a
     successful removal).  Raises [Invalid_argument] on arity mismatch. *)
 
+val annotate : t -> Tuple.t -> int -> unit
+(** Attach (or overwrite) a semiring annotation on a present tuple.
+    Annotations live in a flat slot array plus a tuple → slot index, so
+    an annotated relation costs one int cell per annotated tuple.
+    Raises [Invalid_argument] if the tuple is not in the relation. *)
+
+val annotation : t -> default:int -> Tuple.t -> int
+(** The tuple's annotation, or [default] when the tuple was never
+    annotated (or the relation has no annotation column at all). *)
+
+val annotation_opt : t -> Tuple.t -> int option
+(** The tuple's annotation, or [None] when it was never annotated —
+    used where the absence itself matters (e.g. snapshot writing). *)
+
+val annotated : t -> bool
+(** Whether an annotation column exists.  Relational operators ignore
+    annotations; only {!copy} carries them over, and {!remove} drops the
+    removed tuple's entry. *)
+
 val iter : (Tuple.t -> unit) -> t -> unit
 val fold : (Tuple.t -> 'a -> 'a) -> t -> 'a -> 'a
 val to_list : t -> Tuple.t list

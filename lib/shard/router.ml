@@ -236,6 +236,128 @@ let scatter_gather t ~id ~deadline_us ~arity tuples =
       | exception Invalid_argument _ -> `Error "gather left a hole")
 
 (* ------------------------------------------------------------------ *)
+(* aggregate scatter/gather                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Semiring = Stt_semiring.Semiring
+
+(* One aggregate round: per-shard partial Agg requests (each shard folds
+   its owned tuples to a scalar), sent before any receive.  Mirrors
+   [forward_round]. *)
+let agg_round t ~id ~deadline_us ~kind ~arity groups =
+  let sent = ref [] and failed = ref [] in
+  List.iter
+    (fun (shard, items) ->
+      match acquire_conn t shard with
+      | Error e -> failed := (shard, items, e) :: !failed
+      | Ok c -> (
+          let req =
+            Frame.Agg
+              { id; deadline_us; kind; arity; tuples = List.map snd items }
+          in
+          match Client.send c req with
+          | Ok () -> sent := (shard, items, c) :: !sent
+          | Error e ->
+              Client.close c;
+              failed := (shard, items, e) :: !failed))
+    groups;
+  let completed = ref [] in
+  List.iter
+    (fun (shard, items, c) ->
+      match Client.recv c with
+      | Ok (Frame.Agg_reply { value; cost; _ }) ->
+          release_conn t shard c;
+          completed := (shard, items, `Partial (value, cost)) :: !completed
+      | Ok (Frame.Rejected { reject; _ }) ->
+          release_conn t shard c;
+          completed := (shard, items, `Rejected reject) :: !completed
+      | Ok _ ->
+          Client.close c;
+          failed :=
+            (shard, items, Frame.Malformed "unexpected shard response")
+            :: !failed
+      | Error e ->
+          Client.close c;
+          failed := (shard, items, e) :: !failed)
+    (List.rev !sent);
+  (List.rev !completed, List.rev !failed)
+
+(* Scatter one multi-tuple aggregate request and ⊕-merge the per-shard
+   partial scalars with the semiring's combine operator (costs sum).
+   Soundness of the merge: the request's tuple set is partitioned across
+   shards, every shard holds a full snapshot, and the aggregate is a
+   semiring sum over derivations grouped by access tuple — so partials
+   over disjoint tuple sets combine exactly.  On a transport failure
+   only the {e failed} groups' tuples are re-routed to the next distinct
+   owner; completed partials are already merged and are never re-sent,
+   so no derivation is double-counted under failover. *)
+let scatter_gather_agg t ~id ~deadline_us ~kind ~arity tuples =
+  match Semiring.of_tag kind with
+  | None -> `Error (Printf.sprintf "unknown aggregate kind %d" kind)
+  | Some k ->
+      let acc_value = ref (Semiring.zero k) in
+      let acc_cost = ref Stt_relation.Cost.zero in
+      let items = List.mapi (fun i tup -> (i, tup)) tuples in
+      let rec rounds ~excluded ~round items =
+        if items = [] then `Done
+        else
+          let rg = ring t in
+          if Ring.is_empty rg then `Error "shard ring is empty"
+          else begin
+            let groups, orphans = group_items rg ~arity ~excluded items in
+            if orphans > 0 then
+              `Error
+                (Printf.sprintf
+                   "no reachable shard for %d tuples (%d shards failed)"
+                   orphans (List.length excluded))
+            else begin
+              let completed, failed =
+                agg_round t ~id ~deadline_us ~kind ~arity groups
+              in
+              let rejection = ref None in
+              List.iter
+                (fun (_, _, outcome) ->
+                  match outcome with
+                  | `Partial (value, cost) ->
+                      acc_value := Semiring.add k !acc_value value;
+                      acc_cost := Stt_relation.Cost.add !acc_cost cost
+                  | `Rejected reject ->
+                      if !rejection = None then rejection := Some reject)
+                completed;
+              match !rejection with
+              | Some reject -> `Rejected reject
+              | None ->
+                  if failed = [] then `Done
+                  else begin
+                    let failed_shards =
+                      List.sort_uniq String.compare
+                        (List.map (fun (s, _, _) -> s) failed)
+                    in
+                    let retry_items =
+                      List.concat_map (fun (_, items, _) -> items) failed
+                    in
+                    Atomic.fetch_and_add t.shard_errors
+                      (List.length failed_shards)
+                    |> ignore;
+                    Atomic.fetch_and_add t.retried_tuples
+                      (List.length retry_items)
+                    |> ignore;
+                    if round > List.length (Ring.shards rg) then
+                      `Error "shard retry limit exceeded"
+                    else
+                      rounds
+                        ~excluded:(failed_shards @ excluded)
+                        ~round:(round + 1) retry_items
+                  end
+            end
+          end
+      in
+      (match rounds ~excluded:[] ~round:0 items with
+      | `Error _ as e -> e
+      | `Rejected _ as r -> r
+      | `Done -> `Value (!acc_value, !acc_cost))
+
+(* ------------------------------------------------------------------ *)
 (* worker jobs                                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -287,6 +409,58 @@ let serve_answer t ~conn ~id ~deadline_us ~arity ~tuples ~jdeadline =
         Obs.adopt jctx;
         Obs.incr "route.requests";
         Obs.observe "route.serve_us" ((finished -. started) *. 1e6))
+  end
+
+let serve_agg t ~conn ~id ~deadline_us ~kind ~arity ~tuples ~jdeadline =
+  let started = Unix.gettimeofday () in
+  if started > jdeadline then begin
+    Core.note_deadline t.core;
+    Core.reply t.core conn
+      (Frame.Rejected { id; reject = Frame.Deadline_exceeded })
+  end
+  else begin
+    let jctx = Obs.create_context () in
+    let remaining_us =
+      if deadline_us = 0 then 0
+      else max 1 (int_of_float ((jdeadline -. started) *. 1e6))
+    in
+    let outcome =
+      Obs.with_context jctx (fun () ->
+          Obs.span "route.agg"
+            ~attrs:
+              [
+                ("id", Json.Int id);
+                ("kind", Json.Int kind);
+                ("tuples", Json.Int (List.length tuples));
+              ]
+            (fun () ->
+              try
+                scatter_gather_agg t ~id ~deadline_us:remaining_us ~kind
+                  ~arity tuples
+              with e -> `Error (Printexc.to_string e)))
+    in
+    let finished = Unix.gettimeofday () in
+    (match outcome with
+    | `Value (value, cost) ->
+        Core.note_answered t.core;
+        Core.reply t.core conn (Frame.Agg_reply { id; value; cost })
+    | `Rejected (Frame.Overloaded as reject) ->
+        Core.note_overload t.core;
+        Core.reply t.core conn (Frame.Rejected { id; reject })
+    | `Rejected (Frame.Deadline_exceeded as reject) ->
+        Core.note_deadline t.core;
+        Core.reply t.core conn (Frame.Rejected { id; reject })
+    | `Rejected (Frame.Bad_request _ as reject) ->
+        Core.note_bad t.core;
+        Core.reply t.core conn (Frame.Rejected { id; reject })
+    | `Error msg ->
+        Core.note_bad t.core;
+        Core.reply t.core conn
+          (Frame.Rejected { id; reject = Frame.Bad_request msg }));
+    Core.with_obs t.core (fun () ->
+        Obs.adopt jctx;
+        Obs.incr "route.aggs";
+        Obs.observe "route.agg_us" ((finished -. started) *. 1e6))
   end
 
 (* ------------------------------------------------------------------ *)
@@ -383,6 +557,19 @@ let handle_request t core conn ~now req =
         Core.note_overload core;
         Core.reply core conn (Frame.Rejected { id; reject = Frame.Overloaded })
       end
+  | Frame.Agg { id; deadline_us; kind; arity; tuples } ->
+      Core.note_received core;
+      let jdeadline =
+        if deadline_us = 0 then infinity
+        else now +. (float_of_int deadline_us /. 1e6)
+      in
+      let job () =
+        serve_agg t ~conn ~id ~deadline_us ~kind ~arity ~tuples ~jdeadline
+      in
+      if not (Core.enqueue core job) then begin
+        Core.note_overload core;
+        Core.reply core conn (Frame.Rejected { id; reject = Frame.Overloaded })
+      end
   | Frame.Update { id; _ } ->
       (* replicas serve static snapshot loads; there is no coherent way
          to apply a delta fleet-wide through this tier yet *)
@@ -447,6 +634,7 @@ let start ?host ~port ~workers ~queue_capacity ?io_backend ?(vnodes = 128)
             ignore now;
             match req with
             | Frame.Answer { id; _ }
+            | Frame.Agg { id; _ }
             | Frame.Update { id; _ }
             | Frame.Stats { id }
             | Frame.Health { id } ->

@@ -52,14 +52,23 @@ let test_key_canon_sorts () =
 
 let test_key_roundtrip () =
   let rows = [ [| 1; 2 |]; [| 3; 4 |]; [| 3; 9 |] ] in
-  let arity', rows' = Key.decode (Key.encode ~arity:2 rows) in
+  let kind', arity', rows' = Key.decode (Key.encode ~arity:2 rows) in
+  Alcotest.(check int) "default kind is tuple" 0 kind';
   Alcotest.(check int) "arity" 2 arity';
   check_tuples "rows" (List.map Array.to_list rows)
     (List.map Array.to_list rows');
   (* arity 0 (boolean access) round trips too *)
-  let a0, r0 = Key.decode (Key.encode ~arity:0 [ [||] ]) in
+  let k0, a0, r0 = Key.decode (Key.encode ~arity:0 [ [||] ]) in
+  Alcotest.(check int) "kind 0" 0 k0;
   Alcotest.(check int) "arity 0" 0 a0;
-  Alcotest.(check int) "one empty row" 1 (List.length r0)
+  Alcotest.(check int) "one empty row" 1 (List.length r0);
+  (* kind-tagged keys round trip and never collide with the tuple key *)
+  let kc, ac, rc = Key.decode (Key.encode ~kind:1 ~arity:2 rows) in
+  Alcotest.(check int) "kind survives" 1 kc;
+  Alcotest.(check int) "kinded arity" 2 ac;
+  Alcotest.(check int) "kinded rows" 3 (List.length rc);
+  Alcotest.(check bool) "kind byte separates keys" false
+    (String.equal (Key.encode ~arity:2 rows) (Key.encode ~kind:1 ~arity:2 rows))
 
 (* ------------------------------------------------------------------ *)
 (* Sketch: count-min frequency estimates                                *)
@@ -229,7 +238,7 @@ let test_concurrent_stripes () =
   List.iter
     (fun (k, kt, r) ->
       Alcotest.(check int) "key_tuples preserved" 1 kt;
-      let _, rows = Key.decode k in
+      let _, _, rows = Key.decode k in
       match rows with
       | [ [| i |] ] -> check_tuples "entry value" (expected i) (sorted r)
       | _ -> Alcotest.fail "unexpected key shape")

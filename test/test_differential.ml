@@ -34,6 +34,43 @@ let pp_tuples fmt ts =
           (fun t -> "(" ^ String.concat "," (List.map string_of_int t) ^ ")")
           ts))
 
+(* Aggregate differential: for every semiring kind, [answer_agg] must
+   equal the brute-force fold over the flat annotated join, and its op
+   count must not exceed materialize-then-fold beyond the fixed table
+   overhead of two ops per request row (one probe, one combined
+   tuple). *)
+let check_aggregates i seed inst idx =
+  Engine.enable_agg idx ~db:inst.db ~budget:100_000;
+  let brute_factors k =
+    List.map
+      (fun (a : Cq.atom) ->
+        Stt_semiring.Eval.of_relation k (Db.relation inst.db a))
+      inst.cqap.Cq.cq.Cq.atoms
+  in
+  List.iter
+    (fun k ->
+      let got, cost = Engine.answer_agg idx k ~q_a:inst.q_a in
+      let expected = Stt_semiring.Eval.brute k (brute_factors k) ~q_a:inst.q_a in
+      if got <> expected then
+        Alcotest.failf
+          "instance %d (seed %d): %s aggregate disagrees with brute fold@\n\
+           query: %a@\nexpected %d got %d"
+          i seed
+          (Stt_semiring.Semiring.name k)
+          Cq.pp_cqap inst.cqap expected got;
+      let _, base_cost = Engine.agg_baseline idx k ~q_a:inst.q_a in
+      let allowed =
+        Cost.total base_cost + (2 * Relation.cardinal inst.q_a)
+      in
+      if Cost.total cost > allowed then
+        Alcotest.failf
+          "instance %d (seed %d): %s aggregate cost %d exceeds \
+           materialize-then-fold budget %d"
+          i seed
+          (Stt_semiring.Semiring.name k)
+          (Cost.total cost) allowed)
+    Stt_semiring.Semiring.all
+
 let run_one i =
   let rec attempt k =
     let seed = base_seed + (1000 * i) + k in
@@ -60,7 +97,8 @@ let run_one i =
           Alcotest.failf
             "instance %d (seed %d): space %d exceeds budget-implied bound %d \
              (budget %d)"
-            i seed (Engine.space idx) bound used_budget
+            i seed (Engine.space idx) bound used_budget;
+        check_aggregates i seed inst idx
   in
   attempt 0
 

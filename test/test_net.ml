@@ -48,6 +48,11 @@ let gen_request =
         ( int_bound 1_000_000 >>= fun id ->
           list_size (int_bound 10) gen_update >|= fun deltas ->
           Frame.Update { id; deltas } );
+        ( gen_tuples >>= fun (arity, tuples) ->
+          int_bound 1_000_000 >>= fun id ->
+          int_bound 10_000_000 >>= fun deadline_us ->
+          int_range 1 4 >|= fun kind ->
+          Frame.Agg { id; deadline_us; kind; arity; tuples } );
         (int_bound 1_000_000 >|= fun id -> Frame.Stats { id });
         (int_bound 1_000_000 >|= fun id -> Frame.Health { id });
       ])
@@ -122,6 +127,13 @@ let gen_response =
           gen_cost >|= fun cost -> Frame.Updated { id; epoch; applied; cost }
         );
         ( int_bound 1_000_000 >>= fun id ->
+          (* the tropical identities travel as tagged sentinels, so force
+             them into the sampled range *)
+          oneof
+            [ int_bound 1_000_000; oneofl [ max_int; min_int; -1; -7 ] ]
+          >>= fun value ->
+          gen_cost >|= fun cost -> Frame.Agg_reply { id; value; cost } );
+        ( int_bound 1_000_000 >>= fun id ->
           string_size (int_bound 200) >|= fun json ->
           Frame.Stats_reply { id; json } );
         ( int_bound 1_000_000 >>= fun id ->
@@ -192,6 +204,22 @@ let sample_blobs =
            });
       Frame.encode_response
         (Frame.Rejected { id = 3; reject = Frame.Bad_request "nope" });
+      Frame.encode_request
+        (Frame.Agg
+           {
+             id = 21;
+             deadline_us = 250_000;
+             kind = 3;
+             arity = 2;
+             tuples = [ [| 1; 2 |]; [| 3; 4 |] ];
+           });
+      Frame.encode_response
+        (Frame.Agg_reply
+           {
+             id = 21;
+             value = max_int;
+             cost = { Cost.probes = 2; tuples = 2; scans = 0 };
+           });
     ]
 
 (* decoding never crashes and never silently succeeds on damaged bytes *)
@@ -243,13 +271,13 @@ let hello_checks () =
   (match Frame.check_hello skewed with
   | Error (Frame.Version_skew { found = 0x63; _ }) -> ()
   | _ -> Alcotest.fail "version skew not detected");
-  (* a v4 peer (pre-shard Health) must be refused by a v5 server *)
-  Alcotest.(check int) "sharded health bumped the protocol to v5" 5
+  (* an older peer (pre-aggregate frames) must be refused by a v6 server *)
+  Alcotest.(check int) "aggregate frames bumped the protocol to v6" 6
     Frame.protocol_version;
-  let v4 = String.sub Frame.hello 0 8 ^ "\x04\x00\x00\x00" in
-  (match Frame.check_hello v4 with
-  | Error (Frame.Version_skew { found = 4; expected = 5 }) -> ()
-  | _ -> Alcotest.fail "v4 hello not rejected by v5");
+  let v5 = String.sub Frame.hello 0 8 ^ "\x05\x00\x00\x00" in
+  (match Frame.check_hello v5 with
+  | Error (Frame.Version_skew { found = 5; expected = 6 }) -> ()
+  | _ -> Alcotest.fail "v5 hello not rejected by v6");
   match Frame.check_hello "short" with
   | Error (Frame.Truncated _) -> ()
   | _ -> Alcotest.fail "short hello not detected"
@@ -470,10 +498,10 @@ let fixture_tuples n seed =
       Array.init arity (fun _ -> Stt_workload.Rng.int rng 300))
 
 let with_server ?(workers = 2) ?(queue = 64) ?io_backend ?update_handler
-    handler f =
+    ?agg_handler handler f =
   let server =
     Server.start ~port:0 ~workers ~queue_capacity:queue ?io_backend
-      ?update_handler handler
+      ?update_handler ?agg_handler handler
   in
   Fun.protect
     ~finally:(fun () ->
@@ -790,6 +818,85 @@ let updates_without_handler_reject () =
   | _ -> Alcotest.fail "update on a static server must reject"
 
 (* ------------------------------------------------------------------ *)
+(* aggregates over the wire                                             *)
+(* ------------------------------------------------------------------ *)
+
+let agg_fixture =
+  lazy
+    (let q = Cq.Library.k_path 2 in
+     let db =
+       Stt_workload.Scenario.synthetic_db ~seed:11 ~vertices:300 ~edges:2500
+     in
+     let idx = Engine.build_auto ~max_pmtds:128 q ~db ~budget:500 in
+     Engine.enable_agg idx ~db ~budget:10_000;
+     idx)
+
+(* every kind served over loopback equals a direct [answer_agg] call —
+   MIN on unreachable pairs also exercises the sentinel value codec *)
+let loopback_agg_matches_direct () =
+  let idx = Lazy.force agg_fixture in
+  let schema = Engine.access_schema idx in
+  let arity = Schema.arity schema in
+  with_server
+    ~agg_handler:(Server.engine_agg_handler idx)
+    (Server.engine_handler idx)
+  @@ fun server ->
+  with_client server @@ fun client ->
+  let rng = Stt_workload.Rng.create 33 in
+  List.iteri
+    (fun i n ->
+      let tuples =
+        List.init n (fun _ ->
+            Array.init arity (fun _ -> Stt_workload.Rng.int rng 300))
+      in
+      List.iter
+        (fun k ->
+          let q_a = Relation.of_list schema tuples in
+          let expected, _ = Engine.answer_agg idx k ~q_a in
+          let kind = Stt_semiring.Semiring.to_tag k in
+          match
+            rpc_exn client
+              (Frame.Agg { id = i; deadline_us = 0; kind; arity; tuples })
+          with
+          | Frame.Agg_reply { id; value; cost } ->
+              Alcotest.(check int) "id echoed" i id;
+              Alcotest.(check int)
+                (Printf.sprintf "%s value" (Stt_semiring.Semiring.name k))
+                expected value;
+              Alcotest.(check bool) "nonzero accounting" true
+                (Cost.total cost > 0)
+          | _ -> Alcotest.fail "expected Agg_reply")
+        Stt_semiring.Semiring.all)
+    [ 1; 5; 12 ]
+
+let aggs_without_handler_reject () =
+  let idx = Lazy.force fixture in
+  let arity = Schema.arity (Engine.access_schema idx) in
+  with_server (Server.engine_handler idx) @@ fun server ->
+  with_client server @@ fun client ->
+  match
+    rpc_exn client
+      (Frame.Agg
+         { id = 6; deadline_us = 0; kind = 1; arity; tuples = [ [| 1; 2 |] ] })
+  with
+  | Frame.Rejected { id = 6; reject = Frame.Bad_request _ } -> ()
+  | _ -> Alcotest.fail "aggregate on a tuple-only server must reject"
+
+let agg_bad_kind_rejected () =
+  let blob =
+    Frame.encode_request
+      (Frame.Agg
+         { id = 1; deadline_us = 0; kind = 7; arity = 2; tuples = [ [| 1; 2 |] ] })
+  in
+  expect_rejected "kind 7" (Frame.decode_request blob);
+  let blob0 =
+    Frame.encode_request
+      (Frame.Agg
+         { id = 1; deadline_us = 0; kind = 0; arity = 2; tuples = [ [| 1; 2 |] ] })
+  in
+  expect_rejected "kind 0" (Frame.decode_request blob0)
+
+(* ------------------------------------------------------------------ *)
 (* load generator                                                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -885,6 +992,15 @@ let () =
             updates_interleave_with_answers;
           Alcotest.test_case "static server rejects updates" `Quick
             updates_without_handler_reject;
+        ] );
+      ( "agg",
+        [
+          Alcotest.test_case "loopback equals direct answer_agg" `Quick
+            loopback_agg_matches_direct;
+          Alcotest.test_case "tuple-only server rejects aggregates" `Quick
+            aggs_without_handler_reject;
+          Alcotest.test_case "invalid kind tags rejected at decode" `Quick
+            agg_bad_kind_rejected;
         ] );
       ( "loadgen",
         [

@@ -146,7 +146,9 @@ let fixture =
      let db =
        Stt_workload.Scenario.synthetic_db ~seed:11 ~vertices:300 ~edges:2500
      in
-     Engine.build_auto ~max_pmtds:128 q ~db ~budget:500)
+     let idx = Engine.build_auto ~max_pmtds:128 q ~db ~budget:500 in
+     Engine.enable_agg idx ~db ~budget:10_000;
+     idx)
 
 let fixture_tuples n seed =
   let idx = Lazy.force fixture in
@@ -162,7 +164,8 @@ let with_fleet ?(replicas = 3) ?(workers = 1) ?(queue = 64) f =
   let handler = Server.engine_handler idx in
   let servers =
     List.init replicas (fun _ ->
-        Server.start ~port:0 ~workers ~queue_capacity:queue handler)
+        Server.start ~port:0 ~workers ~queue_capacity:queue
+          ~agg_handler:(Server.engine_agg_handler idx) handler)
   in
   let endpoints =
     List.mapi
@@ -351,6 +354,89 @@ let drain_then_serve () =
     errors_before (Router.shard_errors router)
 
 (* ------------------------------------------------------------------ *)
+(* aggregates through the router                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* a routed aggregate is the ⊕-merge of per-shard partials: the value
+   must equal one direct [answer_agg] over the whole tuple set (every
+   valuation projects to exactly one access tuple, so the shard
+   partition never double-counts), and the cost must equal the sum of
+   each owner group's direct cost *)
+let routed_agg_matches_direct () =
+  let idx = Lazy.force fixture in
+  let schema = Engine.access_schema idx in
+  let arity = Schema.arity schema in
+  let names = [ "shard-0"; "shard-1"; "shard-2" ] in
+  with_fleet @@ fun router _servers _handler ->
+  with_client (Router.port router) @@ fun client ->
+  List.iteri
+    (fun i tuples ->
+      List.iter
+        (fun k ->
+          let direct, _ =
+            Engine.answer_agg idx k ~q_a:(Relation.of_list schema tuples)
+          in
+          let group_cost =
+            List.fold_left
+              (fun acc group ->
+                let q_a = Relation.of_list schema (List.map snd group) in
+                Cost.add acc (snd (Engine.answer_agg idx k ~q_a)))
+              Cost.zero (owner_groups names tuples)
+          in
+          let kind = Stt_semiring.Semiring.to_tag k in
+          match
+            rpc_exn client
+              (Frame.Agg { id = i; deadline_us = 0; kind; arity; tuples })
+          with
+          | Frame.Agg_reply { id; value; cost } ->
+              Alcotest.(check int) "id echoed" i id;
+              Alcotest.(check int)
+                (Printf.sprintf "%s routed = direct"
+                   (Stt_semiring.Semiring.name k))
+                direct value;
+              Alcotest.(check bool) "cost is the sum of owner-group costs"
+                true (cost = group_cost)
+          | _ -> Alcotest.fail "expected Agg_reply")
+        Stt_semiring.Semiring.all)
+    [ fixture_tuples 5 71; fixture_tuples 24 72 ]
+
+(* a dead replica's groups fail over; completed partials must be merged
+   exactly once — any double-count would break value equality *)
+let agg_failover_no_double_count () =
+  let idx = Lazy.force fixture in
+  let schema = Engine.access_schema idx in
+  let arity = Schema.arity schema in
+  with_fleet @@ fun router servers _handler ->
+  let dead = List.nth servers 2 in
+  Server.stop dead;
+  ignore (Server.wait dead);
+  with_client (Router.port router) @@ fun client ->
+  List.iteri
+    (fun i tuples ->
+      List.iter
+        (fun k ->
+          let direct, _ =
+            Engine.answer_agg idx k ~q_a:(Relation.of_list schema tuples)
+          in
+          let kind = Stt_semiring.Semiring.to_tag k in
+          match
+            rpc_exn client
+              (Frame.Agg { id = i; deadline_us = 0; kind; arity; tuples })
+          with
+          | Frame.Agg_reply { value; _ } ->
+              Alcotest.(check int)
+                (Printf.sprintf "%s survives failover exactly-once"
+                   (Stt_semiring.Semiring.name k))
+                direct value
+          | _ -> Alcotest.fail "expected Agg_reply despite a dead shard")
+        Stt_semiring.Semiring.all)
+    [ fixture_tuples 20 81; fixture_tuples 20 82; fixture_tuples 20 83 ];
+  Alcotest.(check bool) "re-routes recorded" true
+    (Router.retried_tuples router > 0);
+  Alcotest.(check bool) "shard errors recorded" true
+    (Router.shard_errors router > 0)
+
+(* ------------------------------------------------------------------ *)
 (* fleet health                                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -457,6 +543,13 @@ let () =
             failover_reroutes;
           Alcotest.test_case "drained shard leaves quietly" `Quick
             drain_then_serve;
+        ] );
+      ( "agg",
+        [
+          Alcotest.test_case "routed aggregate equals direct answer_agg"
+            `Quick routed_agg_matches_direct;
+          Alcotest.test_case "failover merges partials exactly once" `Quick
+            agg_failover_no_double_count;
         ] );
       ( "health",
         [

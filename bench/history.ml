@@ -86,6 +86,14 @@ let metrics_of_experiment = function
         m "p99_us" "data.p99_us";
         m "shards" "data.shards";
       ]
+  | "emp-factor" ->
+      [
+        m "compression_ratio" "data.compression_ratio";
+        m "extra_rows" "data.extra_rows";
+        m "fact_rows" "data.fact_rows";
+        m "serve_ops_ratio" "data.serve_ops_ratio";
+        m "answers_per_sec" "data.answers_per_sec";
+      ]
   | _ -> [ m "wall_s" "wall_s" ]
 
 (* strings worth carrying along for the page (never gated) *)

@@ -75,6 +75,25 @@ let json_logs_curve rows =
        rows)
 
 (* ------------------------------------------------------------------ *)
+(* shared empirical-gate helpers                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* The deterministic twin of a wall-clock speedup: ops the slow side
+   spends per op of the fast side.  The machine-independent regression
+   gate shared by emp-cache, emp-agg and emp-factor. *)
+let ops_ratio ~slow ~fast =
+  float_of_int slow /. float_of_int (max 1 fast)
+
+(* Flat rows per stored singleton — how many logical tuples one unit of
+   space budget holds.  1.0 for flat storage; the emp-factor gate wants
+   the factorized engine well above it. *)
+let compression_ratio ~rows ~size =
+  float_of_int rows /. float_of_int (max 1 size)
+
+(* positionally aligned answer streams must agree relation-for-relation *)
+let identical_relations a b = List.for_all2 Relation.equal a b
+
+(* ------------------------------------------------------------------ *)
 (* shared symbolic helpers                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -846,7 +865,7 @@ let emp_serve () =
   in
   let row1, tput1, ans1 = serve 1 in
   let row64, tput64, ans64 = serve 64 in
-  let identical_answers = List.for_all2 Relation.equal ans1 ans64 in
+  let identical_answers = identical_relations ans1 ans64 in
   let speedup = tput64 /. tput1 in
   Printf.printf
     "batched (64) vs per-tuple (1): %.2fx throughput — identical answers: %b\n"
@@ -1004,14 +1023,14 @@ let emp_cache () =
   in
   Engine.attach_cache engine ~budget:0;
   let identical_answers =
-    List.for_all2 Relation.equal ans_z0 ans_zs
-    && List.for_all2 Relation.equal ans_z0 ans_zl
-    && List.for_all2 Relation.equal ans_u0 ans_ul
+    identical_relations ans_z0 ans_zs
+    && identical_relations ans_z0 ans_zl
+    && identical_relations ans_u0 ans_ul
   in
   let skew_speedup = t_zl /. t_z0 in
   (* op counts are machine-independent: the deterministic twin of the
      wall-clock speedup, for noise-free regression gating *)
-  let skew_ops_ratio = float_of_int ops_z0 /. float_of_int (max 1 ops_zl) in
+  let skew_ops_ratio = ops_ratio ~slow:ops_z0 ~fast:ops_zl in
   let uniform_ratio = t_ul /. t_u0 in
   Printf.printf
     "zipf(%.1f): cached (20000) vs uncached: %.2fx throughput, %.2fx fewer \
@@ -1238,7 +1257,7 @@ let emp_agg () =
       serve (fun q_a -> Engine.agg_baseline engine k ~q_a)
     in
     let identical = List.for_all2 (fun a b -> a = b) fast slow in
-    let ratio = float_of_int slow_ops /. float_of_int (max 1 fast_ops) in
+    let ratio = ops_ratio ~slow:slow_ops ~fast:fast_ops in
     Printf.printf
       "  %-6s agg %9d ops %6.3fs  |  materialize-then-fold %9d ops %6.3fs  \
        -> %.1fx fewer ops, identical %b\n"
@@ -1485,6 +1504,150 @@ let micro () =
 (* driver                                                               *)
 (* ------------------------------------------------------------------ *)
 
+(* ------------------------------------------------------------------ *)
+(* emp-factor                                                           *)
+(* ------------------------------------------------------------------ *)
+
+module Fconfig = Stt_factorized.Config
+
+let emp_factor () =
+  section "emp-factor"
+    "Empirical — factorized d-representations: more materialization per \
+     stored-singleton budget";
+  (* 3-reach on a hub-dense Zipf graph: many sources share identical
+     reachable sets, exactly the suffix sharing a d-representation
+     stores once — so the same stored-singleton budget funds an
+     amplified split structure that materializes strictly more *)
+  let saved_mode = Fconfig.mode () in
+  Fun.protect ~finally:(fun () -> Fconfig.set_mode saved_mode) @@ fun () ->
+  let vertices = 300 in
+  let edges = Graphs.zipf_both ~seed:131 ~vertices ~edges:6_000 ~s:1.3 in
+  let q = Cq.Library.k_path 3 in
+  let budget = 800 in
+  let db = Db.create () in
+  Db.add_pairs db "R" edges;
+  let build mode =
+    Fconfig.set_mode mode;
+    timed (fun () -> Engine.build_auto ~max_pmtds:128 q ~db ~budget)
+  in
+  let flat, flat_wall = build Fconfig.Off in
+  let fact, fact_wall = build Fconfig.Auto in
+  let flat_rows = Engine.materialized_rows flat in
+  let fact_rows = Engine.materialized_rows fact in
+  let ratio = compression_ratio ~rows:fact_rows ~size:(Engine.space fact) in
+  Printf.printf
+    "flat:       space %6d singletons = %6d rows              (built in \
+     %.3fs)\n"
+    (Engine.space flat) flat_rows flat_wall;
+  Printf.printf
+    "factorized: space %6d singletons = %6d rows (%d d-reps)  (built in \
+     %.3fs)\n"
+    (Engine.space fact) fact_rows
+    (Engine.factorized_views fact)
+    fact_wall;
+  Printf.printf
+    "same budget %d: %.2fx rows per stored singleton, %+d rows more \
+     materialized\n"
+    budget ratio (fact_rows - flat_rows);
+  (* serve path at equal budget, no cache: the factorized engine's extra
+     materialization turns delegated online joins into stored-view
+     probes *)
+  let requests = 2_000 in
+  let batch = 16 in
+  let acc_schema = Engine.access_schema fact in
+  let arity = Schema.arity acc_schema in
+  let reqs =
+    let rng = Rng.create 117 in
+    let sample = Rng.zipf_sampler rng ~n:vertices ~s:1.5 in
+    List.init requests (fun _ ->
+        Relation.singleton acc_schema (Array.init arity (fun _ -> sample ())))
+  in
+  let serve engine =
+    let ops = ref 0 and answers = ref [] in
+    let (), wall =
+      timed (fun () ->
+          List.iter
+            (fun group ->
+              List.iter
+                (fun (r, c) ->
+                  ops := !ops + Cost.total c;
+                  answers := r :: !answers)
+                (Engine.answer_batch engine group))
+            (chunks batch reqs))
+    in
+    (List.rev !answers, !ops, wall)
+  in
+  let ans_flat, ops_flat, wall_flat = serve flat in
+  let ans_fact, ops_fact, wall_fact = serve fact in
+  let serve_identical = identical_relations ans_flat ans_fact in
+  let serve_ops_ratio = ops_ratio ~slow:ops_flat ~fast:ops_fact in
+  let throughput w = float_of_int requests /. w in
+  Printf.printf
+    "serve zipf(1.5): flat %9.0f answers/sec %9d ops | factorized %9.0f \
+     answers/sec %9d ops -> %.2fx fewer ops, identical answers: %b\n"
+    (throughput wall_flat) ops_flat (throughput wall_fact) ops_fact
+    serve_ops_ratio serve_identical;
+  (* answer cache at a fixed budget: compressed values make the same
+     budget hold more entries *)
+  let cache_budget = 2_000 in
+  let cache_run mode =
+    Fconfig.set_mode mode;
+    Engine.attach_cache fact ~budget:cache_budget;
+    let ans, ops, wall = serve fact in
+    let s =
+      match Engine.cache_stats fact with
+      | Some s -> s
+      | None -> assert false
+    in
+    Engine.attach_cache fact ~budget:0;
+    (ans, ops, wall, s)
+  in
+  let ans_cflat, _, _, s_cflat = cache_run Fconfig.Off in
+  let ans_cfact, _, _, s_cfact = cache_run Fconfig.Auto in
+  let hit_rate (s : Stt_cache.Cache.stats) =
+    let lookups = s.Stt_cache.Cache.hits + s.misses in
+    if lookups = 0 then 0.0 else float_of_int s.hits /. float_of_int lookups
+  in
+  let cache_identical =
+    identical_relations ans_flat ans_cflat
+    && identical_relations ans_flat ans_cfact
+  in
+  let entries_ratio =
+    float_of_int s_cfact.entries /. float_of_int (max 1 s_cflat.entries)
+  in
+  Printf.printf
+    "cache (%d): flat values %5d entries hit rate %.3f | factorized values \
+     %5d entries (%d compressed) hit rate %.3f -> %.2fx capacity\n"
+    cache_budget s_cflat.entries (hit_rate s_cflat) s_cfact.entries
+    s_cfact.factorized (hit_rate s_cfact) entries_ratio;
+  let identical_answers = serve_identical && cache_identical in
+  record "edges" (Json.Int (List.length edges));
+  record "budget" (Json.Int budget);
+  record "flat_space" (Json.Int (Engine.space flat));
+  record "flat_rows" (Json.Int flat_rows);
+  record "flat_build_wall_s" (Json.Float flat_wall);
+  record "fact_space" (Json.Int (Engine.space fact));
+  record "fact_rows" (Json.Int fact_rows);
+  record "fact_views" (Json.Int (Engine.factorized_views fact));
+  record "fact_build_wall_s" (Json.Float fact_wall);
+  record "compression_ratio" (Json.Float ratio);
+  record "extra_rows" (Json.Int (fact_rows - flat_rows));
+  record "requests" (Json.Int requests);
+  record "batch" (Json.Int batch);
+  record "serve_ops_flat" (Json.Int ops_flat);
+  record "serve_ops_fact" (Json.Int ops_fact);
+  record "serve_ops_ratio" (Json.Float serve_ops_ratio);
+  record "answers_per_sec" (Json.Float (throughput wall_fact));
+  record "flat_answers_per_sec" (Json.Float (throughput wall_flat));
+  record "cache_budget" (Json.Int cache_budget);
+  record "cache_entries_flat" (Json.Int s_cflat.entries);
+  record "cache_entries_fact" (Json.Int s_cfact.entries);
+  record "cache_factorized_entries" (Json.Int s_cfact.factorized);
+  record "cache_hit_rate_flat" (Json.Float (hit_rate s_cflat));
+  record "cache_hit_rate_fact" (Json.Float (hit_rate s_cfact));
+  record "cache_entries_ratio" (Json.Float entries_ratio);
+  record "identical_answers" (Json.Bool identical_answers)
+
 let experiments =
   [
     ("fig1", fig1);
@@ -1504,6 +1667,7 @@ let experiments =
     ("emp-cache", emp_cache);
     ("emp-churn", emp_churn);
     ("emp-agg", emp_agg);
+    ("emp-factor", emp_factor);
     ("abl-join", abl_join);
     ("curves", exact_curves);
     ("proofs", proofs);

@@ -327,8 +327,18 @@ let cache_budget_arg =
 (* cache fields shared by the serve/serve-net artifacts: intrinsic space
    stays [space]; the cache reports its own occupancy and hit rate *)
 let json_cache_stats idx =
+  (* [total_space] = space + cache + aggregate tables, in every branch:
+     the one number that tracks everything the engine holds *)
+  let totals =
+    [
+      ("agg_space", Json.Int (Engine.agg_table_size idx));
+      ("factorized_views", Json.Int (Engine.factorized_views idx));
+      ("materialized_rows", Json.Int (Engine.materialized_rows idx));
+      ("total_space", Json.Int (Engine.total_space idx));
+    ]
+  in
   match Engine.cache_stats idx with
-  | None -> [ ("cache_budget", Json.Int 0); ("total_space", Json.Int (Engine.space idx)) ]
+  | None -> ("cache_budget", Json.Int 0) :: totals
   | Some (s : Stt_cache.Cache.stats) ->
       let lookups = s.hits + s.misses in
       [
@@ -338,12 +348,13 @@ let json_cache_stats idx =
         ("cache_hits", Json.Int s.hits);
         ("cache_misses", Json.Int s.misses);
         ("cache_evictions", Json.Int s.evictions);
+        ("cache_factorized", Json.Int s.factorized);
         ( "cache_hit_rate",
           Json.Float
             (if lookups = 0 then 0.0
              else float_of_int s.hits /. float_of_int lookups) );
-        ("total_space", Json.Int (Engine.total_space idx));
       ]
+      @ totals
 
 module Scenario = Stt_workload.Scenario
 
@@ -737,6 +748,7 @@ let serve_net_cmd =
     let server =
       Server.start ~port ~workers ~queue_capacity:queue
         ~space:(Engine.space idx)
+        ~agg_space:(fun () -> Engine.agg_table_size idx)
         ~cache_info:(Server.engine_cache_info idx)
         ?update_handler:
           (if Engine.supports_maintenance idx then
@@ -1062,6 +1074,11 @@ let rec json_of_health (h : Stt_net.Frame.health) =
     [
       ("ready", Json.Bool h.Stt_net.Frame.ready);
       ("space", Json.Int h.Stt_net.Frame.space);
+      ("agg_space", Json.Int h.Stt_net.Frame.agg_space);
+      ( "total_space",
+        Json.Int
+          (h.Stt_net.Frame.space + h.Stt_net.Frame.agg_space
+         + h.Stt_net.Frame.cache.Stt_net.Frame.cache_used) );
       ("workers", Json.Int h.Stt_net.Frame.workers);
       ("queue_capacity", Json.Int h.Stt_net.Frame.queue_capacity);
       ("queue_depth", Json.Int h.Stt_net.Frame.queue_depth);

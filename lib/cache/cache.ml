@@ -1,15 +1,20 @@
 open Stt_relation
 open Stt_obs
 module C = Stt_store.Codec
+module Fconfig = Stt_factorized.Config
+module Frep = Stt_factorized.Frep
 
 type entry = {
   key : string;
   vars : Schema.var list;
   arity : int;
-  rows : int;
-  blob : string; (* delta-encoded sorted answer rows *)
+  rows : int; (* logical answer rows, whatever the value layout *)
+  blob : string; (* delta-encoded sorted rows, or an encoded d-rep *)
+  fact : bool; (* [blob] is a {!Stt_factorized.Frep} encoding *)
   key_tuples : int;
-  charge : int; (* stored-tuple charge: max 1 (key_tuples + rows) *)
+  charge : int;
+      (* stored-tuple charge: max 1 (key_tuples + rows), with the
+         d-representation size standing in for [rows] when [fact] *)
   mutable prev : entry option; (* toward older *)
   mutable next : entry option; (* toward newer *)
 }
@@ -42,6 +47,7 @@ type stats = {
   evictions : int;
   rejected : int;
   invalidated : int;
+  factorized : int;
 }
 
 let create ?(stripes = 8) ~budget () =
@@ -115,31 +121,57 @@ let evict_entry s e =
 (* value encoding                                                       *)
 (* ------------------------------------------------------------------ *)
 
+(* A value is stored factorized when the config gate says its d-rep is
+   worth it: the entry is then charged at the compressed size, so the
+   same cache budget holds more answers.  Decoding stays lazy — the
+   d-rep is only expanded on a hit. *)
 let make_entry ~key ~key_tuples rel =
   Cost.with_counting false (fun () ->
       let schema = Relation.schema rel in
       let rows = List.sort Tuple.compare (Relation.to_list rel) in
+      let n_rows = List.length rows in
       let arity = Schema.arity schema in
-      let enc = C.encoder () in
-      C.write_rows enc ~arity rows;
-      {
-        key;
-        vars = Schema.vars schema;
-        arity;
-        rows = List.length rows;
-        blob = C.contents enc;
-        key_tuples;
-        charge = max 1 (key_tuples + List.length rows);
-        prev = None;
-        next = None;
-      })
+      let mk ~blob ~fact ~value_charge =
+        {
+          key;
+          vars = Schema.vars schema;
+          arity;
+          rows = n_rows;
+          blob;
+          fact;
+          key_tuples;
+          charge = max 1 (key_tuples + value_charge);
+          prev = None;
+          next = None;
+        }
+      in
+      let fact_value =
+        if Fconfig.mode () = Fconfig.Off then None
+        else
+          let f = Frep.of_relation rel in
+          if Fconfig.eligible ~rows:n_rows ~size:(Frep.size f) then Some f
+          else None
+      in
+      match fact_value with
+      | Some f ->
+          mk ~blob:(Frep.encode f) ~fact:true ~value_charge:(Frep.size f)
+      | None ->
+          let enc = C.encoder () in
+          C.write_rows enc ~arity rows;
+          mk ~blob:(C.contents enc) ~fact:false ~value_charge:n_rows)
 
 let decode_raw e =
   Cost.with_counting false (fun () ->
-      let d = C.decoder e.blob in
-      let rows = C.read_rows d ~arity:e.arity in
-      C.expect_end d "cache value";
-      Relation.of_list (Schema.of_list e.vars) rows)
+      if e.fact then
+        (* project back to the answer's own variable order: the d-rep
+           reorders levels for sharing *)
+        Relation.project (Frep.to_relation (Frep.decode e.blob)) e.vars
+      else begin
+        let d = C.decoder e.blob in
+        let rows = C.read_rows d ~arity:e.arity in
+        C.expect_end d "cache value";
+        Relation.of_list (Schema.of_list e.vars) rows
+      end)
 
 (* A hit materializes the answer: charge one tuple per row, exactly as
    if the engine had copied a preprocessed heavy-key answer out. *)
@@ -260,16 +292,20 @@ let entries t = fold_stripes t (fun acc s -> acc + Hashtbl.length s.tbl) 0
 let stats t =
   fold_stripes t
     (fun acc s ->
+      let fact_here =
+        Hashtbl.fold (fun _ e n -> if e.fact then n + 1 else n) s.tbl 0
+      in
       {
-        acc with
         entries = acc.entries + Hashtbl.length s.tbl;
         used = acc.used + s.s_used;
+        budget = acc.budget;
         hits = acc.hits + s.s_hits;
         misses = acc.misses + s.s_misses;
         insertions = acc.insertions + s.s_insertions;
         evictions = acc.evictions + s.s_evictions;
         rejected = acc.rejected + s.s_rejected;
         invalidated = acc.invalidated + s.s_invalidated;
+        factorized = acc.factorized + fact_here;
       })
     {
       entries = 0;
@@ -281,6 +317,7 @@ let stats t =
       evictions = 0;
       rejected = 0;
       invalidated = 0;
+      factorized = 0;
     }
 
 (* Precise invalidation after a base-data delta: drop exactly the

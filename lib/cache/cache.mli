@@ -41,6 +41,9 @@ type stats = {
   evictions : int;
   rejected : int;  (** denied by admission filter or per-entry capacity *)
   invalidated : int;  (** dropped by {!invalidate} after base-data deltas *)
+  factorized : int;
+      (** live entries whose value is held as a d-representation,
+          charged at the compressed size *)
 }
 
 val create : ?stripes:int -> budget:int -> unit -> t

@@ -6,6 +6,7 @@ open Stt_lp
 open Stt_obs
 module Cache = Stt_cache.Cache
 module Ckey = Stt_cache.Key
+module Frep = Stt_factorized.Frep
 module Semiring = Stt_semiring.Semiring
 module Agg_eval = Stt_semiring.Eval
 
@@ -66,10 +67,20 @@ let attach_cache t ~budget =
 let cache_space t = match t.cache with None -> 0 | Some c -> Cache.used c
 let cache_budget t = match t.cache with None -> 0 | Some c -> Cache.budget c
 let cache_stats t = Option.map Cache.stats t.cache
-let total_space t = t.space + cache_space t
 
 let per_pmtd_space t =
   List.map (fun (p, oy) -> (p, Online_yannakakis.space oy)) t.preprocessed
+
+let materialized_rows t =
+  List.fold_left
+    (fun acc (_, oy) -> acc + Online_yannakakis.logical_rows oy)
+    0 t.preprocessed
+
+let factorized_views t =
+  List.fold_left
+    (fun acc (_, oy) ->
+      acc + List.length (Online_yannakakis.factorized_views oy))
+    0 t.preprocessed
 
 let access_schema t = Schema.of_list (Varset.to_list t.cqap.Cq.access)
 
@@ -396,6 +407,12 @@ let agg_table_size t =
         (fun acc (_, tbl) -> acc + Tuple.Tbl.length tbl.entries)
         0 st.agg_tables
 
+(* Everything the engine holds, in one unit (stored singletons /
+   entries): intrinsic S-view space, the answer cache's charged entries,
+   and the aggregate tables' rows.  The single number trace JSON and the
+   serve-net Health report. *)
+let total_space t = t.space + cache_space t + agg_table_size t
+
 let agg_state t =
   match t.agg with
   | Some st -> st
@@ -592,7 +609,9 @@ let thaw t =
               let s_views node =
                 view_of_targets all_s_targets (Pmtd.view p node).Pmtd.vars
               in
-              (p, Online_yannakakis.preprocess ~reduce:false p ~s_views))
+              ( p,
+                Online_yannakakis.preprocess ~reduce:false ~factorize:false p
+                  ~s_views ))
             t.preprocessed)
     in
     t.preprocessed <- preprocessed;
@@ -1157,6 +1176,33 @@ let save t path =
                   st.agg_tables );
           ]
   in
+  (* optional section: the d-representations behind factorized S-views.
+     The yannakakis section stays flat (readers predating this section
+     load the same views uncompressed); this one restores the compressed
+     holders — and with them the compressed space accounting that the
+     summary section records. *)
+  let sections =
+    let any_fact =
+      List.exists
+        (fun (_, oy) -> Online_yannakakis.factorized_views oy <> [])
+        t.preprocessed
+    in
+    if not any_fact then sections
+    else
+      sections
+      @ [
+          ( "factorized",
+            fun e ->
+              C.write_list e
+                (fun (_, oy) ->
+                  C.write_list e
+                    (fun (node, f) ->
+                      C.write_uint e node;
+                      Frep.write e f)
+                    (Online_yannakakis.factorized_views oy))
+                t.preprocessed );
+        ]
+  in
   match Store.write ~version:format_version path sections with
   | Ok bytes as ok ->
       Obs.incr ~by:bytes "snapshot.write.bytes";
@@ -1197,6 +1243,41 @@ let load path =
   let* preprocessed =
     Store.Reader.section r "yannakakis"
       (map_in_order (fun p d -> (p, read_preprocessed p d)) pmtds)
+  in
+  (* the factorized section is optional; when present it swaps flat
+     holders for the saved d-representations, and must be applied before
+     the summary check below — the saved space is the compressed
+     accounting.  Each d-rep is revalidated against the flat view it
+     replaces: same tuple set, same probe key. *)
+  let* () =
+    if not (List.mem "factorized" (Store.Reader.section_names r)) then Ok ()
+    else
+      Store.Reader.section r "factorized"
+        (map_in_order
+           (fun (_, oy) d ->
+             C.read_list d (fun () ->
+                 let node = C.read_uint d in
+                 let f = Frep.read d in
+                 let rel =
+                   match Online_yannakakis.view_relation oy node with
+                   | Some rel -> rel
+                   | None ->
+                       corrupt "factorized: node %d has no stored view" node
+                 in
+                 let mat = Frep.to_relation f in
+                 let proj =
+                   try
+                     Relation.project mat (Schema.vars (Relation.schema rel))
+                   with Not_found ->
+                     corrupt "factorized: node %d schema differs from view"
+                       node
+                 in
+                 if not (Relation.equal proj rel) then
+                   corrupt "factorized: node %d tuples differ from view" node;
+                 try Online_yannakakis.set_factorized oy node f
+                 with Invalid_argument msg -> corrupt "factorized: %s" msg))
+           preprocessed)
+      |> Result.map (fun (_ : unit list list) -> ())
   in
   let space =
     List.fold_left

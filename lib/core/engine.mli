@@ -26,8 +26,18 @@ val build_auto :
 (** [build] over the automatically enumerated PMTD set. *)
 
 val space : t -> int
-(** Intrinsic space: stored S-view tuples (after per-PMTD indexing).
-    Does not include the answer cache — see {!cache_space}. *)
+(** Intrinsic space in stored singletons: flat S-views count one per
+    tuple, factorized S-views count their d-representation size
+    ({!Stt_factorized.Frep.size}).  Does not include the answer cache —
+    see {!cache_space}. *)
+
+val materialized_rows : t -> int
+(** Total {e flat} rows the stored S-views represent, regardless of
+    holder: [space t] ≤ [materialized_rows t], and the gap is what
+    factorization bought. *)
+
+val factorized_views : t -> int
+(** Number of S-views currently held as d-representations. *)
 
 val answer : t -> q_a:Relation.t -> Relation.t
 (** Result of the access CQ over the head variables.  Cost counters
@@ -200,8 +210,9 @@ val cache_space : t -> int
 val cache_stats : t -> Stt_cache.Cache.stats option
 
 val total_space : t -> int
-(** [space t + cache_space t] — what the artifacts report as the full
-    memory story. *)
+(** [space t + cache_space t + agg_table_size t] — every stored entry
+    the engine holds, in one unit; what trace JSON and the serve-net
+    Health report as the full memory story. *)
 
 (** {1 Snapshots}
 

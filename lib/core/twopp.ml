@@ -3,6 +3,8 @@ open Stt_hypergraph
 open Stt_polymatroid
 open Stt_lp
 open Stt_obs
+module Fconfig = Stt_factorized.Config
+module Frep = Stt_factorized.Frep
 
 (* One probing step of an online plan: join the accumulator with the
    indexed relation, then project to [keep]. *)
@@ -473,12 +475,22 @@ and tree_delete tr atom tup events =
 (* build                                                                *)
 (* ------------------------------------------------------------------ *)
 
-let build ?(counted = false) (r : Rule.t) ~db ~budget =
+(* One materialization pass.  [budget_lp] drives the guide LP's space
+   exponent and the candidate-evaluation limit — how aggressively the
+   splits steer tuples toward storage; [budget] is the stored-singleton
+   budget every admitted candidate is charged against (at its effective,
+   possibly compressed, size).  A plain build has [budget_lp = budget];
+   the amplified second pass of {!build} raises only [budget_lp].
+   Besides the structure, returns the total cardinality and effective
+   size of the best candidates seen, the measured compression evidence
+   {!build} amplifies on. *)
+let build_pass ~counted (r : Rule.t) ~db ~budget ~budget_lp =
   Obs.span "twopp.build"
     ~attrs:
       [
         ("rule", Json.String (Format.asprintf "%a" Rule.pp r));
         ("budget", Json.Int budget);
+        ("budget_lp", Json.Int budget_lp);
       ]
   @@ fun () ->
   Cost.with_counting counted (fun () ->
@@ -497,7 +509,7 @@ let build ?(counted = false) (r : Rule.t) ~db ~budget =
       let logd_abs = Float.log2 (float_of_int dsize) in
       let logs =
         Rat.of_float_approx ~max_den:1024
-          (Float.log2 (float_of_int (max 2 budget)) /. logd_abs)
+          (Float.log2 (float_of_int (max 2 budget_lp)) /. logd_abs)
       in
       let pivots_before = Simplex.pivot_count () in
       let point =
@@ -643,6 +655,8 @@ let build ?(counted = false) (r : Rule.t) ~db ~budget =
       let delegated = ref [] in
       let stored_subs = ref 0 in
       let n_live = ref 0 in
+      let cand_rows = ref 0 in
+      let cand_eff = ref 0 in
       List.iter
         (fun c ->
           if combo_nonempty c then begin
@@ -652,21 +666,37 @@ let build ?(counted = false) (r : Rule.t) ~db ~budget =
             let candidates =
               match r.Rule.s_targets with
               | [] -> []
-              | s_targets -> eval_targets rels s_targets ~budget
+              | s_targets -> eval_targets rels s_targets ~budget:budget_lp
+            in
+            (* admission charges a candidate at the stored-singleton
+               size it would actually occupy: its d-representation size
+               when factorization is on and the measured ratio clears
+               the gate, its flat cardinality otherwise.  Under mode
+               [Off] this is exactly the pre-factorization cardinality
+               test. *)
+            let admission_size rel =
+              let rows = Relation.cardinal rel in
+              if Fconfig.mode () = Fconfig.Off then rows
+              else
+                Fconfig.effective_size ~rows
+                  ~size:(Frep.size (Frep.of_relation rel))
             in
             let best =
               List.fold_left
                 (fun acc (b, rel) ->
+                  let eff = admission_size rel in
                   match acc with
-                  | Some (_, best_rel)
-                    when Relation.cardinal best_rel <= Relation.cardinal rel
-                    ->
-                      acc
-                  | _ -> Some (b, rel))
+                  | Some (_, _, best_eff) when best_eff <= eff -> acc
+                  | _ -> Some (b, rel, eff))
                 None candidates
             in
+            (match best with
+            | Some (_, rel, eff) ->
+                cand_rows := !cand_rows + Relation.cardinal rel;
+                cand_eff := !cand_eff + eff
+            | None -> ());
             match best with
-            | Some (b, rel) when Relation.cardinal rel <= budget ->
+            | Some (b, rel, eff) when eff <= budget ->
                 incr stored_subs;
                 Obs.set_attr "decision" (Json.String "stored");
                 Obs.set_attr "target" (Json.String (vs_str b));
@@ -674,6 +704,11 @@ let build ?(counted = false) (r : Rule.t) ~db ~budget =
                 union_into b rel;
                 c.cdecision <- M_stored b
             | _ -> (
+                (match best with
+                | Some (_, _, eff) ->
+                    (* best S-candidate existed but blew the budget *)
+                    Obs.set_attr "best_eff" (Json.Int eff)
+                | None -> ());
                 match r.Rule.t_targets with
                 | [] -> failwith "Twopp.build: rule impossible at this budget"
                 | t_targets ->
@@ -701,14 +736,41 @@ let build ?(counted = false) (r : Rule.t) ~db ~budget =
       Obs.set_attr "stored" (Json.Int !stored_subs);
       Obs.set_attr "delegated" (Json.Int (List.length !delegated));
       Obs.set_attr "space" (Json.Int space);
-      {
-        rule = r;
-        stored;
-        space;
-        delegated = List.rev !delegated;
-        stored_subs = !stored_subs;
-        maint = Some { mbudget = budget; base; tree; combos };
-      })
+      ( {
+          rule = r;
+          stored;
+          space;
+          delegated = List.rev !delegated;
+          stored_subs = !stored_subs;
+          maint = Some { mbudget = budget; base; tree; combos };
+        },
+        !cand_rows,
+        !cand_eff ))
+
+(* Adaptive space amplification: when the best candidates of a plain
+   pass measurably compress as d-representations (cardinality at least
+   1.5x their effective size), the same stored-singleton budget
+   can fund a more aggressive split structure.  Rebuild with the LP
+   budget scaled by the measured ratio (capped at 4x) — admission still
+   charges every candidate's effective size against the {e true} budget,
+   so the amplified structure occupies no more stored singletons than
+   the budget allows; it just materializes more logical tuples per
+   singleton.  The amplified pass is kept only if it strictly increases
+   materialized tuples without delegating any subproblem the plain pass
+   stored; on any failure the plain structure stands, so answers and
+   worst-case behavior are unchanged when compression does not show. *)
+let build ?(counted = false) (r : Rule.t) ~db ~budget =
+  let s1, rows1, eff1 = build_pass ~counted r ~db ~budget ~budget_lp:budget in
+  if Fconfig.mode () = Fconfig.Off || eff1 = 0 || 2 * rows1 < 3 * eff1 then s1
+  else
+    (* nearest-integer measured ratio, clamped to [2, 4] *)
+    let amp = max 2 (min 4 ((rows1 + (eff1 / 2)) / eff1)) in
+    match build_pass ~counted r ~db ~budget ~budget_lp:(budget * amp) with
+    | s2, _, _ when s2.space > s1.space && s2.stored_subs >= s1.stored_subs ->
+        Obs.incr "twopp.amplified";
+        s2
+    | _ -> s1
+    | exception Failure _ -> s1
 
 (* ------------------------------------------------------------------ *)
 (* online                                                               *)

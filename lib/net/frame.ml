@@ -15,9 +15,12 @@ let magic = "\x89STTWIRE"
    per shard plus fleet-level sums).  v6: Agg/Agg_reply frames for
    semiring aggregate requests — one multi-tuple request folds to a
    single scalar on the server, so the reply carries a value and a cost
-   instead of rows.  Hellos must match exactly, so older peers are
-   refused with Version_skew instead of misparsing unknown frames. *)
-let protocol_version = 6
+   instead of rows.  v7: the health block carries [agg_space] (stored
+   aggregate-table rows) so the fleet's full memory story — S-views,
+   answer cache, aggregate tables — travels in one reply.  Hellos must
+   match exactly, so older peers are refused with Version_skew instead
+   of misparsing unknown frames. *)
+let protocol_version = 7
 let hello_len = String.length magic + 4
 let max_frame_len = 1 lsl 26
 
@@ -91,6 +94,7 @@ let no_cache =
 type health = {
   ready : bool;
   space : int;
+  agg_space : int;
   workers : int;
   queue_capacity : int;
   queue_depth : int;
@@ -266,6 +270,7 @@ struct
   and health_block e (h : health) =
     S.bool e h.ready;
     S.uint e h.space;
+    S.uint e h.agg_space;
     S.uint e h.workers;
     S.uint e h.queue_capacity;
     S.uint e h.queue_depth;
@@ -467,6 +472,7 @@ and read_health d ~depth =
   if depth > 4 then raise (Codec.Corrupt "health nesting too deep");
   let ready = Codec.read_bool d in
   let space = Codec.read_uint d in
+  let agg_space = Codec.read_uint d in
   let workers = Codec.read_uint d in
   let queue_capacity = Codec.read_uint d in
   let queue_depth = Codec.read_uint d in
@@ -485,6 +491,7 @@ and read_health d ~depth =
   {
     ready;
     space;
+    agg_space;
     workers;
     queue_capacity;
     queue_depth;

@@ -109,7 +109,11 @@ val no_cache : cache_health
 
 type health = {
   ready : bool;
-  space : int;  (** intrinsic stored tuples of the served engine *)
+  space : int;  (** intrinsic stored singletons of the served engine *)
+  agg_space : int;
+      (** stored aggregate-table rows (protocol v7); with [space] and
+          the cache block this completes the engine's memory story —
+          their sum is [Engine.total_space] on the serving side *)
   workers : int;
   queue_capacity : int;
   queue_depth : int;

@@ -274,7 +274,7 @@ let serve_update core ~rw ~update_handler ~jconn ~jid ~jdeltas =
 (* the role callback (runs on the IO domain)                            *)
 (* ------------------------------------------------------------------ *)
 
-let handle_request ~rw ~handler ~update_handler ~agg_handler ~space
+let handle_request ~rw ~handler ~update_handler ~agg_handler ~space ~agg_space
     ~cache_info core conn ~now req =
   match req with
   | Frame.Answer { id; deadline_us; arity; tuples } ->
@@ -327,6 +327,7 @@ let handle_request ~rw ~handler ~update_handler ~agg_handler ~space
                {
                  Frame.ready = true;
                  space;
+                 agg_space = agg_space ();
                  workers = Core.workers core;
                  queue_capacity = Core.queue_capacity core;
                  queue_depth = Core.queue_depth core;
@@ -342,12 +343,12 @@ let handle_request ~rw ~handler ~update_handler ~agg_handler ~space
 (* ------------------------------------------------------------------ *)
 
 let start ?host ~port ~workers ~queue_capacity ?(space = 0)
-    ?(cache_info = fun () -> Frame.no_cache) ?update_handler ?agg_handler
-    ?io_backend handler =
+    ?(agg_space = fun () -> 0) ?(cache_info = fun () -> Frame.no_cache)
+    ?update_handler ?agg_handler ?io_backend handler =
   let rw = Rw.create () in
   Core.start ?host ~port ~workers ~queue_capacity ?io_backend
     (handle_request ~rw ~handler ~update_handler ~agg_handler ~space
-       ~cache_info)
+       ~agg_space ~cache_info)
 
 let port = Core.port
 let io_backend = Core.io_backend

@@ -102,6 +102,7 @@ val start :
   workers:int ->
   queue_capacity:int ->
   ?space:int ->
+  ?agg_space:(unit -> int) ->
   ?cache_info:(unit -> Frame.cache_health) ->
   ?update_handler:update_handler ->
   ?agg_handler:agg_handler ->
@@ -111,6 +112,9 @@ val start :
 (** Bind [host:port] (default host [127.0.0.1]; port [0] picks an
     ephemeral port, see {!port}), then spawn the IO domain and [workers]
     worker domains.  [space] is reported in [Health] replies;
+    [agg_space] (default: constantly 0) is polled per [Health] request
+    for the aggregate-table row count, same cheapness contract as
+    [cache_info];
     [cache_info] (default: always {!Frame.no_cache}) is polled by the
     IO domain on each [Health] request, so it must be cheap and safe to
     call concurrently with the workers.  [update_handler] (default:

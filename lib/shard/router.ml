@@ -471,6 +471,7 @@ let unreachable_health =
   {
     Frame.ready = false;
     space = 0;
+    agg_space = 0;
     workers = 0;
     queue_capacity = 0;
     queue_depth = 0;
@@ -522,6 +523,7 @@ let fleet_health t =
     Frame.ready =
       blocks <> [] && List.for_all (fun (_, h) -> h.Frame.ready) blocks;
     space = sum (fun h -> h.Frame.space);
+    agg_space = sum (fun h -> h.Frame.agg_space);
     workers = sum (fun h -> h.Frame.workers);
     queue_capacity = sum (fun h -> h.Frame.queue_capacity);
     queue_depth = sum (fun h -> h.Frame.queue_depth);

@@ -1,11 +1,19 @@
 open Stt_relation
 open Stt_hypergraph
 open Stt_decomp
+module Fconfig = Stt_factorized.Config
+module Frep = Stt_factorized.Frep
+
+(* How a materialized S-view is held: a flat hash index on its link
+   variables, or a d-representation whose probe prefix is those same
+   link variables.  Both sides answer the same probes at the same op
+   charges; they differ only in stored-singleton footprint. *)
+type storage = Flat of Index.t | Fact of Frep.t
 
 type preprocessed = {
   pmtd : Pmtd.t;
   s_rels : (int, Relation.t) Hashtbl.t;
-  s_idx : (int, Index.t) Hashtbl.t; (* keyed on common vars with parent view *)
+  s_store : (int, storage) Hashtbl.t; (* keyed on common vars with parent view *)
   mutable space : int;
 }
 
@@ -19,14 +27,38 @@ let link_vars (p : Pmtd.t) node =
   | None -> Varset.inter (view_vars p node) p.Pmtd.cqap.Cq.access
   | Some par -> Varset.inter (view_vars p node) (view_vars p par)
 
-let semijoin_via_index rel idx = Index.semijoin rel idx
-let join_via_index rel idx = Index.join rel idx
+let semijoin_via_storage rel = function
+  | Flat idx -> Index.semijoin rel idx
+  | Fact f -> Frep.semijoin rel f
 
-let preprocess ?(reduce = true) pmtd ~s_views =
+let join_via_storage rel = function
+  | Flat idx -> Index.join rel idx
+  | Fact f -> Frep.join rel f
+
+(* the stored-singleton charge of a holder for [rows] flat tuples *)
+let storage_space ~rows = function
+  | Flat _ -> rows
+  | Fact f -> Frep.size f
+
+(* Pick the cheaper holder for [rel] keyed on [key]: factorize when the
+   mode and measured ratio allow it, flat otherwise.  Never factorizes
+   under [~factorize:false] (maintainable engines need ±1-row deltas)
+   or mode [Off]; under [Auto] the d-rep is built, measured, and thrown
+   away if the compression does not clear the gate. *)
+let store_of_rel ~factorize rel key =
+  if factorize && Fconfig.mode () <> Fconfig.Off then begin
+    let f = Frep.of_relation ~prefix:key rel in
+    if Fconfig.eligible ~rows:(Relation.cardinal rel) ~size:(Frep.size f) then
+      Fact f
+    else Flat (Index.build rel key)
+  end
+  else Flat (Index.build rel key)
+
+let preprocess ?(reduce = true) ?(factorize = true) pmtd ~s_views =
   Cost.with_counting false (fun () ->
       let tree = pmtd.Pmtd.td.Td.tree in
       let s_rels = Hashtbl.create 8 in
-      let s_idx = Hashtbl.create 8 in
+      let s_store = Hashtbl.create 8 in
       let materialized = pmtd.Pmtd.materialized in
       List.iter
         (fun node -> if materialized.(node) then
@@ -49,37 +81,71 @@ let preprocess ?(reduce = true) pmtd ~s_views =
                   Hashtbl.replace s_rels par reduced
               | Some _ | None -> ())
           (Rtree.bottom_up tree);
-      (* hash index per S-view on its link variables *)
+      (* per S-view: a probe structure on its link variables *)
       let space = ref 0 in
       Hashtbl.iter
         (fun node rel ->
-          space := !space + Relation.cardinal rel;
-          Hashtbl.replace s_idx node
-            (Index.build rel (Varset.to_list (link_vars pmtd node))))
+          let st =
+            store_of_rel ~factorize rel
+              (Varset.to_list (link_vars pmtd node))
+          in
+          space := !space + storage_space ~rows:(Relation.cardinal rel) st;
+          Hashtbl.replace s_store node st)
         s_rels;
-      { pmtd; s_rels; s_idx; space = !space })
+      { pmtd; s_rels; s_store; space = !space })
 
 let space t = t.space
+
+let logical_rows t =
+  Hashtbl.fold (fun _ rel acc -> acc + Relation.cardinal rel) t.s_rels 0
+
+let factorized_views t =
+  Hashtbl.fold
+    (fun node st acc ->
+      match st with Fact f -> (node, f) :: acc | Flat _ -> acc)
+    t.s_store []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let set_factorized t node f =
+  let rel = Hashtbl.find t.s_rels node in
+  if Frep.rows f <> Relation.cardinal rel then
+    invalid_arg "Online_yannakakis.set_factorized: cardinality mismatch";
+  if Frep.key_vars f <> Varset.to_list (link_vars t.pmtd node) then
+    invalid_arg "Online_yannakakis.set_factorized: key mismatch";
+  let old = Hashtbl.find t.s_store node in
+  Hashtbl.replace t.s_store node (Fact f);
+  t.space <-
+    t.space - storage_space ~rows:(Relation.cardinal rel) old + Frep.size f
+
+let view_relation t node = Hashtbl.find_opt t.s_rels node
 
 let materialized_nodes t =
   List.filter
     (fun node -> t.pmtd.Pmtd.materialized.(node))
     (Rtree.nodes t.pmtd.Pmtd.td.Td.tree)
 
+let flat_index t node =
+  match Hashtbl.find t.s_store node with
+  | Flat idx -> idx
+  | Fact _ ->
+      invalid_arg "Online_yannakakis: factorized view cannot absorb deltas"
+
 let insert_view_tuple t node row =
   let rel = Hashtbl.find t.s_rels node in
   if Relation.mem rel row then false
   else begin
+    let idx = flat_index t node in
     Relation.add rel row;
-    ignore (Index.insert (Hashtbl.find t.s_idx node) row);
+    ignore (Index.insert idx row);
     t.space <- t.space + 1;
     true
   end
 
 let delete_view_tuple t node row =
   let rel = Hashtbl.find t.s_rels node in
+  let idx = flat_index t node in
   if Relation.remove rel row then begin
-    ignore (Index.remove (Hashtbl.find t.s_idx node) row);
+    ignore (Index.remove idx row);
     t.space <- t.space - 1;
     true
   end
@@ -87,21 +153,31 @@ let delete_view_tuple t node row =
 
 let export t =
   Hashtbl.fold
-    (fun node rel acc -> (node, rel, Hashtbl.find t.s_idx node) :: acc)
+    (fun node rel acc ->
+      let idx =
+        match Hashtbl.find t.s_store node with
+        | Flat idx -> idx
+        | Fact _ ->
+            (* snapshot sections stay flat-format; the factorized
+               section re-compresses on load *)
+            Cost.with_counting false (fun () ->
+                Index.build rel (Varset.to_list (link_vars t.pmtd node)))
+      in
+      (node, rel, idx) :: acc)
     t.s_rels []
   |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
 
 let import pmtd entries =
   let s_rels = Hashtbl.create 8 in
-  let s_idx = Hashtbl.create 8 in
+  let s_store = Hashtbl.create 8 in
   let space = ref 0 in
   List.iter
     (fun (node, rel, idx) ->
       space := !space + Relation.cardinal rel;
       Hashtbl.replace s_rels node rel;
-      Hashtbl.replace s_idx node idx)
+      Hashtbl.replace s_store node (Flat idx))
     entries;
-  { pmtd; s_rels; s_idx; space = !space }
+  { pmtd; s_rels; s_store; space = !space }
 
 (* Per-call node state lives in flat arrays indexed by node id (tree
    nodes are [0 .. size-1]): the only per-answer setup allocation is the
@@ -134,9 +210,9 @@ let answer t ~t_views ~q_a =
           if materialized.(node) && materialized.(par) then
             () (* SS: done at preprocess *)
           else if materialized.(node) then begin
-            (* ST edge: parent T-view semijoined via the child's index *)
+            (* ST edge: parent T-view semijoined via the child's storage *)
             rels.(par) <-
-              semijoin_via_index rels.(par) (Hashtbl.find t.s_idx node);
+              semijoin_via_storage rels.(par) (Hashtbl.find t.s_store node);
             if head_covered ~child:node ~parent:par then
               removed.(node) <- true
           end
@@ -156,7 +232,7 @@ let answer t ~t_views ~q_a =
   let root = Rtree.root tree in
   let q_a =
     if materialized.(root) then
-      semijoin_via_index q_a (Hashtbl.find t.s_idx root)
+      semijoin_via_storage q_a (Hashtbl.find t.s_store root)
     else begin
       rels.(root) <-
         Relation.project rels.(root)
@@ -170,7 +246,7 @@ let answer t ~t_views ~q_a =
     (fun node ->
       if not removed.(node) then
         if materialized.(node) then
-          result := join_via_index !result (Hashtbl.find t.s_idx node)
+          result := join_via_storage !result (Hashtbl.find t.s_store node)
         else result := Relation.natural_join !result rels.(node))
     (Rtree.nodes tree);
   Relation.project !result (Varset.to_list head)

@@ -17,16 +17,44 @@ open Stt_decomp
 type preprocessed
 
 val preprocess :
-  ?reduce:bool -> Pmtd.t -> s_views:(int -> Relation.t) -> preprocessed
+  ?reduce:bool ->
+  ?factorize:bool ->
+  Pmtd.t ->
+  s_views:(int -> Relation.t) ->
+  preprocessed
 (** [s_views node] must supply a relation over schema [v(node)] (any
     variable order) for every materialized node.  [reduce] (default
     [true]) runs the bottom-up SS semijoin pass — a pure space
     optimization that {!answer} never depends on; pass [false] for
     engines that will maintain the views incrementally, since reduced
-    views cannot absorb single-tuple deltas additively. *)
+    views cannot absorb single-tuple deltas additively.  [factorize]
+    (default [true]) allows storing a view as a d-representation keyed
+    on its link variables when {!Stt_factorized.Config} deems it
+    eligible; pass [false] (like [reduce:false], for maintainable
+    engines) to force flat indexes — factorized views cannot absorb
+    ±1-row deltas either. *)
 
 val space : preprocessed -> int
-(** Total stored tuples across indexed S-views. *)
+(** Total stored singletons across S-views: flat views count one per
+    tuple, factorized views count {!Stt_factorized.Frep.size}. *)
+
+val logical_rows : preprocessed -> int
+(** Total {e flat} rows the stored S-views represent, regardless of
+    holder — [space] ≤ [logical_rows], with equality when nothing is
+    factorized. *)
+
+val factorized_views : preprocessed -> (int * Stt_factorized.Frep.t) list
+(** The views currently held compressed, sorted by node id. *)
+
+val view_relation : preprocessed -> int -> Relation.t option
+(** The stored (possibly reduced) S-view relation of a node, [None] if
+    the node is not materialized. *)
+
+val set_factorized : preprocessed -> int -> Stt_factorized.Frep.t -> unit
+(** Swap a node's holder for the given d-representation, adjusting
+    {!space}.  Used by snapshot load to restore the compressed holders
+    saved alongside the flat section.  Raises [Invalid_argument] if the
+    d-rep's cardinality or probe key disagrees with the stored view. *)
 
 (** {1 Incremental maintenance}
 

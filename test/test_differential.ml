@@ -107,6 +107,76 @@ let test_differential () =
     run_one i
   done
 
+(* ------------------------------------------------------------------ *)
+(* factorization differential                                           *)
+(* ------------------------------------------------------------------ *)
+
+module Fconfig = Stt_factorized.Config
+module Frep = Stt_factorized.Frep
+
+(* Forced-on vs forced-off factorized storage must be answer-invariant
+   on every instance, and every d-representation must enumerate with
+   constant delay: exactly one probe up front, then one tuple per
+   emitted row and nothing else. *)
+let check_delay_invariant i seed rel =
+  if not (Relation.is_empty rel) then begin
+    let f = Cost.with_counting false (fun () -> Frep.of_relation rel) in
+    let emitted = ref 0 in
+    let (), c =
+      Cost.measure (fun () -> Frep.enum_iter f (fun _ -> incr emitted))
+    in
+    if !emitted <> Relation.cardinal rel then
+      Alcotest.failf
+        "instance %d (seed %d): d-rep enumerated %d of %d tuples" i seed
+        !emitted (Relation.cardinal rel);
+    if
+      c.Cost.probes <> 1
+      || c.Cost.tuples <> !emitted
+      || c.Cost.scans <> 0
+    then
+      Alcotest.failf
+        "instance %d (seed %d): enumeration delay {probes=%d; tuples=%d; \
+         scans=%d} is not 1 probe + 1 tuple/row over %d rows"
+        i seed c.Cost.probes c.Cost.tuples c.Cost.scans !emitted
+  end
+
+let run_one_factorized i =
+  let rec attempt k =
+    let seed = base_seed + (1000 * i) + k in
+    let inst = gen_instance seed in
+    Fconfig.set_mode Fconfig.Off;
+    match build_index inst with
+    | exception Skip _ -> if k < 20 then attempt (k + 1)
+    | idx_off, _ -> (
+        let off = sorted (Engine.answer idx_off ~q_a:inst.q_a) in
+        Fconfig.set_mode Fconfig.Forced;
+        (match build_index inst with
+        | exception Skip reason ->
+            Alcotest.failf
+              "instance %d (seed %d): buildable flat but not under forced \
+               factorization (%s)"
+              i seed reason
+        | idx_on, _ ->
+            let on = sorted (Engine.answer idx_on ~q_a:inst.q_a) in
+            if on <> off then
+              Alcotest.failf
+                "instance %d (seed %d): forced factorization changes \
+                 answers@\nquery: %a@\nflat %a@\nfactorized %a"
+                i seed Cq.pp_cqap inst.cqap pp_tuples off pp_tuples on);
+        List.iter
+          (fun (a : Cq.atom) ->
+            check_delay_invariant i seed (Db.relation inst.db a))
+          inst.cqap.Cq.cq.Cq.atoms)
+  in
+  attempt 0
+
+let test_factorization_modes () =
+  let saved = Fconfig.mode () in
+  Fun.protect ~finally:(fun () -> Fconfig.set_mode saved) @@ fun () ->
+  for i = 0 to n_instances - 1 do
+    run_one_factorized i
+  done
+
 let () =
   Alcotest.run "differential"
     [
@@ -115,5 +185,10 @@ let () =
           Alcotest.test_case
             (Printf.sprintf "%d random instances vs reference" n_instances)
             `Slow test_differential;
+          Alcotest.test_case
+            (Printf.sprintf
+               "%d instances, factorization forced on == forced off"
+               n_instances)
+            `Slow test_factorization_modes;
         ] );
     ]

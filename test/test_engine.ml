@@ -123,6 +123,30 @@ let test_space_reported () =
   Alcotest.check Alcotest.bool "tiny budget, no space" true
     (Engine.space idx0 <= 4)
 
+(* total_space must stay the sum of every store the engine holds —
+   intrinsic views, answer cache, aggregate tables — in one unit, at
+   every stage of attach/serve/enable *)
+let test_total_space () =
+  let db = graph_db small_graph in
+  let q = Cq.Library.k_path 2 in
+  let idx = Engine.build_auto q ~db ~budget:300 in
+  let parts () =
+    Engine.space idx + Engine.cache_space idx + Engine.agg_table_size idx
+  in
+  Alcotest.(check int) "bare engine" (parts ()) (Engine.total_space idx);
+  Engine.attach_cache idx ~budget:500;
+  List.iter
+    (fun req -> ignore (Engine.answer_tuple idx (Array.of_list req)))
+    (requests_2 40 21);
+  Alcotest.(check bool) "cache holds something" true (Engine.cache_space idx > 0);
+  Alcotest.(check int) "with warm cache" (parts ()) (Engine.total_space idx);
+  Engine.enable_agg idx ~db ~budget:10_000;
+  Alcotest.(check bool) "agg tables hold something" true
+    (Engine.agg_table_size idx > 0);
+  Alcotest.(check int) "with aggregates" (parts ()) (Engine.total_space idx);
+  Alcotest.(check bool) "strictly above intrinsic space" true
+    (Engine.total_space idx > Engine.space idx)
+
 (* randomized integration sweep *)
 let digraph_gen =
   QCheck2.Gen.(
@@ -166,6 +190,8 @@ let () =
             test_triangle_empty_access;
           Alcotest.test_case "batched requests" `Quick test_batched_requests;
           Alcotest.test_case "space accounting" `Quick test_space_reported;
+          Alcotest.test_case "total_space sums every store" `Quick
+            test_total_space;
         ] );
       ("random", qcheck_cases);
     ]

@@ -79,10 +79,12 @@ let gen_health ~shards =
       >>= fun (cache_budget, cache_used, cache_entries, (hits, misses)) ->
       pair (int_bound 4096) (int_bound 1_000_000_000)
       >>= fun (queue_depth, uptime_ns) ->
+      int_bound 100_000 >>= fun agg_space ->
       oneofl [ "epoll"; "select" ] >|= fun io_backend ->
       {
         Frame.ready;
         space;
+        agg_space;
         workers;
         queue_capacity;
         queue_depth;
@@ -271,13 +273,13 @@ let hello_checks () =
   (match Frame.check_hello skewed with
   | Error (Frame.Version_skew { found = 0x63; _ }) -> ()
   | _ -> Alcotest.fail "version skew not detected");
-  (* an older peer (pre-aggregate frames) must be refused by a v6 server *)
-  Alcotest.(check int) "aggregate frames bumped the protocol to v6" 6
+  (* an older peer (pre-agg_space health) must be refused by a v7 server *)
+  Alcotest.(check int) "agg_space health bumped the protocol to v7" 7
     Frame.protocol_version;
-  let v5 = String.sub Frame.hello 0 8 ^ "\x05\x00\x00\x00" in
-  (match Frame.check_hello v5 with
-  | Error (Frame.Version_skew { found = 5; expected = 6 }) -> ()
-  | _ -> Alcotest.fail "v5 hello not rejected by v6");
+  let v6 = String.sub Frame.hello 0 8 ^ "\x06\x00\x00\x00" in
+  (match Frame.check_hello v6 with
+  | Error (Frame.Version_skew { found = 6; expected = 7 }) -> ()
+  | _ -> Alcotest.fail "v6 hello not rejected by v7");
   match Frame.check_hello "short" with
   | Error (Frame.Truncated _) -> ()
   | _ -> Alcotest.fail "short hello not detected"
